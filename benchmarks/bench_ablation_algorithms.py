@@ -1,0 +1,92 @@
+"""Ablation: basic vs modified vs combined vs exact partitioners.
+
+Reproduces the algorithmic story of section 2 (figures 8, 10-12, 15):
+
+* on benign real-life speed functions the basic bisection converges in
+  O(log n) steps and all algorithms return the same (optimal) makespan;
+* on a pathological flat-plateau shape the basic bisection's step count
+  blows up while the modified algorithm stays within its p*log2(n) bound,
+  and the combined algorithm tracks the better of the two.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    PiecewiseLinearSpeedFunction,
+    partition_bisection,
+    partition_combined,
+    partition_exact,
+    partition_modified,
+)
+from repro.experiments import ascii_table
+
+ALGOS = {
+    "bisection": partition_bisection,
+    "modified": partition_modified,
+    "combined": partition_combined,
+    "exact": partition_exact,
+}
+
+
+def _pathological(p: int = 4) -> list[PiecewiseLinearSpeedFunction]:
+    """Nearly flat plateaus ending in cliffs at staggered sizes.
+
+    On such shapes the optimal-line slope is extremely sensitive to n and
+    slope bisection makes little x-progress per step.
+    """
+    sfs = []
+    for i in range(p):
+        edge = 1e6 * (1.0 + 0.37 * i)
+        xs = np.array([1e3, edge, edge * 1.001])
+        ss = np.array([100.0, 99.0, 0.01]) * (1.0 + 0.2 * i)
+        sfs.append(PiecewiseLinearSpeedFunction(xs, ss))
+    return sfs
+
+
+def test_ablation_realistic(mm_models, benchmark):
+    n = 3 * 25_000**2
+    rows = []
+    for name, fn in ALGOS.items():
+        r = fn(n, mm_models)
+        rows.append((name, r.iterations, r.intersections, r.makespan))
+    print()
+    print(
+        ascii_table(
+            ["algorithm", "steps", "ray intersections", "makespan (model s)"],
+            rows,
+            title=f"Ablation (12-machine testbed models, n = 3*25000^2)",
+        )
+    )
+    makespans = [r[3] for r in rows]
+    assert max(makespans) / min(makespans) < 1 + 1e-9  # all optimal
+    benchmark(lambda: partition_combined(n, mm_models))
+
+
+def test_ablation_pathological(benchmark):
+    sfs = _pathological()
+    n = int(sum(sf.max_size for sf in sfs) * 0.9)
+
+    def run():
+        return {name: fn(n, sfs) for name, fn in ALGOS.items()}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (name, r.iterations, r.intersections, r.makespan)
+        for name, r in results.items()
+    ]
+    print()
+    print(
+        ascii_table(
+            ["algorithm", "steps", "ray intersections", "makespan (model s)"],
+            rows,
+            title="Ablation (pathological flat plateaus)",
+        )
+    )
+    p = len(sfs)
+    # The modified algorithm honours its bound even here.
+    assert results["modified"].iterations <= p * np.log2(n) + p
+    # All algorithms still agree on the optimum.
+    ms = [r.makespan for r in results.values()]
+    assert max(ms) / min(ms) < 1 + 1e-6

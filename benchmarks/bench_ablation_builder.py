@@ -1,0 +1,96 @@
+"""Ablation: cost and accuracy of the section-3.1 model builder.
+
+The paper reports that ~5 experimental points per machine sufficed to
+build speed functions within the +/-5 % acceptance band.  This bench
+measures, for every Table 2 machine: how many benchmark experiments the
+trisection procedure consumes, and how far the fitted model strays from
+the ground truth over the usable size range, for two acceptance bands.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import ascii_table
+from repro.machines import TABLE2_PAGING_MM
+from repro.model import SimulatedBenchmark, build_piecewise_model, max_relative_deviation
+
+
+def _build_all(net2, eps, spacing="log"):
+    rows = []
+    rng = np.random.default_rng(0)
+    for m in net2:
+        truth = m.speed_function("matmul")
+        bench = SimulatedBenchmark(truth, rng)
+        built = build_piecewise_model(
+            bench, a=truth.max_size * 1e-4, b=truth.max_size, eps=eps, spacing=spacing
+        )
+        # Usable range: up to just below the paging knee.  Crossing the
+        # knee itself is excluded — a piecewise-linear chord over a cliff
+        # deviates by construction, and so would a real fitted model.
+        usable = np.geomspace(
+            truth.max_size * 1e-4, 0.9 * 3 * TABLE2_PAGING_MM[m.name] ** 2, 80
+        )
+        rows.append(
+            (
+                m.name,
+                built.experiments,
+                built.function.num_knots,
+                max_relative_deviation(built.function, truth, usable),
+            )
+        )
+    return rows
+
+
+def test_builder_cost_and_accuracy(net2, benchmark):
+    rows = benchmark.pedantic(_build_all, args=(net2, 0.05), rounds=1, iterations=1)
+    print()
+    print(
+        ascii_table(
+            ["Machine", "experiments", "knots", "max rel deviation (usable range)"],
+            rows,
+            title="Builder ablation, eps = 5% (the paper's setting)",
+        )
+    )
+    for name, experiments, knots, dev in rows:
+        # A handful of experiments per machine; accurate over the usable
+        # (pre-collapse) range to roughly the acceptance band.
+        assert experiments < 80, name
+        assert dev < 0.15, f"{name}: {dev:.2%}"
+
+
+def test_builder_eps_tradeoff(net2, benchmark):
+    loose = benchmark.pedantic(_build_all, args=(net2, 0.15), rounds=1, iterations=1)
+    tight = _build_all(net2, 0.03)
+    print()
+    print(
+        ascii_table(
+            ["Machine", "experiments (eps=15%)", "experiments (eps=3%)"],
+            [(a[0], a[1], b[1]) for a, b in zip(loose, tight)],
+            title="Builder ablation: acceptance band vs experiment count",
+        )
+    )
+    # A looser band can only need fewer (or equal) experiments in total.
+    assert sum(a[1] for a in loose) <= sum(b[1] for b in tight)
+
+
+def test_builder_spacing_ablation(net2, benchmark):
+    """Paper's linear trisection vs the log-spaced extension."""
+    linear = benchmark.pedantic(
+        _build_all, args=(net2, 0.05, "linear"), rounds=1, iterations=1
+    )
+    log = _build_all(net2, 0.05, "log")
+    print()
+    print(
+        ascii_table(
+            ["Machine", "linear: experiments / max dev", "log: experiments / max dev"],
+            [
+                (a[0], f"{a[1]} / {a[3]:.1%}", f"{b[1]} / {b[3]:.1%}")
+                for a, b in zip(linear, log)
+            ],
+            title="Builder ablation: trisection spacing (eps = 5%)",
+        )
+    )
+    # Log spacing resolves the decade-spanning ramp everywhere.
+    for row in log:
+        assert row[3] < 0.15, f"{row[0]}: {row[3]:.2%}"

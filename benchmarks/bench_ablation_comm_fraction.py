@@ -1,0 +1,66 @@
+"""Ablation: is ignoring communication justified? (the paper's assumption).
+
+Section 1 excludes communication from the model because "the contribution
+of communication operations in the total execution time of the
+application is negligible compared to that of computations" on the
+100 Mbit testbed at the evaluated sizes.  This bench checks that claim in
+the reproduction: simulate the figure-22 workloads with the serialised
+Ethernet model switched on and report the communication share of the
+total time.
+"""
+
+from __future__ import annotations
+
+from repro import ConstantSpeedFunction, partition, single_number_speeds
+from repro.experiments import ascii_table
+from repro.kernels import mm_elements, variable_group_block
+from repro.machines import CommModel
+from repro.simulate import simulate_lu, simulate_striped_matmul
+
+
+def test_comm_fraction_is_negligible(net2, mm_models, lu_models, benchmark):
+    comm = CommModel.ethernet(12)  # the paper's 100 Mbit switched LAN
+    truth_mm = net2.speed_functions("matmul")
+    truth_lu = net2.speed_functions("lu")
+
+    def run():
+        rows = []
+        for n in (17_000, 25_000):
+            alloc = partition(mm_elements(n), mm_models).allocation
+            sim = simulate_striped_matmul(n, alloc, truth_mm, comm=comm)
+            rows.append(
+                (
+                    f"MM n={n}",
+                    f"{sim.makespan:,.0f}",
+                    f"{sim.comm_seconds:,.0f}",
+                    sim.comm_seconds / sim.makespan,
+                )
+            )
+        for n in (16_000, 24_000):
+            dist = variable_group_block(n, 64, lu_models)
+            sim = simulate_lu(dist, truth_lu, comm=comm, keep_trace=False)
+            rows.append(
+                (
+                    f"LU n={n}",
+                    f"{sim.total_seconds:,.0f}",
+                    f"{sim.comm_seconds:,.0f}",
+                    sim.comm_seconds / sim.total_seconds,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        ascii_table(
+            ["workload", "total (s)", "comm (s)", "comm fraction"],
+            [(w, t, c, f"{f:.1%}") for w, t, c, f in rows],
+            title="Communication share on the 100 Mbit testbed (paper's assumption)",
+        )
+    )
+    # The paper's justification holds: communication is a minor share of
+    # the total at the evaluated sizes.
+    for w, _, _, f in [(r[0], r[1], r[2], r[3]) for r in rows]:
+        assert f < 0.35, f"{w}: comm fraction {f:.1%}"
+    # And for the compute-bound MM at scale it is truly negligible.
+    assert rows[1][3] < 0.05

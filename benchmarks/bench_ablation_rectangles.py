@@ -1,0 +1,52 @@
+"""Ablation: 1-D striping vs the 2-D rectangle extension.
+
+Section 3.1 sketches the multi-parameter extension ("a set of rectangular
+partitions ... such that the area of the partition is proportional to the
+speed of the processor").  This bench quantifies the classical trade-off
+on the twelve-machine testbed's MM models:
+
+* compute balance — both layouts equalise finish times through the
+  functional model, so makespans should be comparable;
+* communication volume — the 2-D layout's half-perimeter sum should beat
+  the 1-D stripes (each stripe touches the full matrix width).
+"""
+
+from __future__ import annotations
+
+from repro import partition, partition_rectangles
+from repro.experiments import ascii_table
+from repro.kernels import rows_from_elements
+
+
+def test_rectangles_vs_stripes(net2, mm_models, benchmark):
+    n = 12_000  # per-matrix dimension; areas stay within every model domain
+
+    def run():
+        return partition_rectangles(n, mm_models)
+
+    rect = benchmark.pedantic(run, rounds=1, iterations=1)
+    rect.verify_cover()
+
+    stripe_alloc = partition(n * n, mm_models).allocation
+    stripe_rows = rows_from_elements(stripe_alloc, n, matrices=1)
+    stripe_half_perimeter = int(sum(int(r) + n for r in stripe_rows if r > 0))
+    stripe_makespan = max(
+        float(sf.time(int(r) * n)) for sf, r in zip(mm_models, stripe_rows)
+    )
+
+    print()
+    print(
+        ascii_table(
+            ["layout", "half-perimeter sum", "modelled makespan (s)"],
+            [
+                ("1-D stripes", stripe_half_perimeter, stripe_makespan),
+                ("2-D rectangles", rect.half_perimeter_sum, rect.makespan),
+            ],
+            title=f"Ablation: 1-D vs 2-D partitioning, n = {n}, p = 12",
+        )
+    )
+    # Communication proxy: 2-D clearly lower.
+    assert rect.half_perimeter_sum < 0.8 * stripe_half_perimeter
+    # Compute balance: within 25% of the (optimal) striped makespan —
+    # the column arrangement trades a little balance for less traffic.
+    assert rect.makespan < 1.25 * stripe_makespan

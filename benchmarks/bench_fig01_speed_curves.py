@@ -1,0 +1,106 @@
+"""Table 1 + Figure 1: machine specs and the three kernel speed curves.
+
+Regenerates:
+
+* Table 1 — the specifications of the four heterogeneous computers;
+* Figure 1 — absolute speed versus problem size for ArrayOpsF,
+  MatrixMultATLAS and MatrixMult on each machine, with the paging point P.
+
+Shape claims checked: the efficient kernels hold a flat plateau and then
+collapse at P; the naive kernel declines smoothly well before P; machine
+ordering by speed follows the hardware.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import ascii_plot, ascii_table, fig1_curves
+from repro.machines import TABLE1_SPECS
+
+KERNEL_LABELS = {
+    "arrayops": "ArrayOpsF",
+    "matmul_atlas": "MatrixMultATLAS",
+    "matmul_naive": "MatrixMult",
+}
+
+
+def test_table1_specs(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [
+            (s.name, s.os, s.arch, int(s.cpu_mhz), s.main_memory_kb, s.cache_kb)
+            for s in TABLE1_SPECS
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        ascii_table(
+            ["Machine", "OS", "Architecture", "cpu MHz", "Main Memory (kB)", "Cache (kB)"],
+            rows,
+            title="Table 1: specifications of four heterogeneous computers",
+        )
+    )
+    assert len(rows) == 4
+
+
+def test_fig01_curve_shapes(net1, benchmark):
+    curves = benchmark.pedantic(fig1_curves, args=(net1,), rounds=1, iterations=1)
+    print()
+    for kernel, series in curves.items():
+        rows = []
+        for c in series:
+            plateau = c.speeds[
+                (c.sizes > c.paging_onset * 0.05) & (c.sizes < c.paging_onset * 0.8)
+            ]
+            post = c.speeds[c.sizes > min(c.paging_onset * 2.5, c.sizes[-1])]
+            rows.append(
+                (
+                    c.machine,
+                    float(c.peak),
+                    float(plateau.min()) if plateau.size else float("nan"),
+                    float(c.paging_onset),
+                    float(post.min()) if post.size else float(c.speeds[-1]),
+                )
+            )
+        print(
+            ascii_table(
+                ["Machine", "peak MFlops", "plateau min", "paging point P (elems)", "post-P speed"],
+                rows,
+                title=f"Figure 1 ({KERNEL_LABELS[kernel]}): speed vs problem size",
+            )
+        )
+        print()
+
+    print(
+        ascii_plot(
+            [
+                (c.machine, c.sizes, c.speeds)
+                for c in curves["matmul_atlas"]
+            ],
+            log_x=True,
+            title="Figure 1(b) analogue: MatrixMultATLAS speed vs size",
+            x_label="elements",
+            y_label="MFlops",
+        )
+    )
+    print()
+
+    # Shape assertions (paper's qualitative claims).
+    for c in curves["matmul_atlas"]:
+        plateau = c.speeds[
+            (c.sizes > c.paging_onset * 0.05) & (c.sizes < c.paging_onset * 0.8)
+        ]
+        assert plateau.max() / plateau.min() < 1.25  # near-flat before P
+        post = c.speeds[c.sizes > c.paging_onset * 2.5]
+        if post.size:
+            assert post.max() < 0.3 * plateau.min()  # collapse after P
+    for c in curves["matmul_naive"]:
+        mid = c.speeds[(c.sizes > c.sizes[0] * 100) & (c.sizes < c.paging_onset)]
+        assert mid.min() < 0.8 * c.peak  # smooth decline before paging
+    # Hardware ordering: Comp3 (3.0 GHz P4) fastest, Comp2 (440 MHz sparc)
+    # slowest on the ATLAS kernel.
+    atlas = {c.machine: c.peak for c in curves["matmul_atlas"]}
+    assert atlas["Comp3"] == max(atlas.values())
+    assert atlas["Comp2"] == min(atlas.values())

@@ -1,0 +1,45 @@
+"""Figure 2: workload-fluctuation bands of MatrixMultATLAS.
+
+Paper's observations reproduced: bands on highly integrated machines are
+~30-40 % wide (relative) at small problem sizes, declining close to
+linearly to ~5-8 % at the maximum size; the width in per cent of maximum
+speed is annotated per machine (Comp1: 30/8/5 %, Comp2: 35/7/5 %, Comp4:
+40/7/5 %).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import ascii_table, fig2_bands
+
+
+def test_fig02_band_widths(net1, benchmark):
+    bands = benchmark.pedantic(fig2_bands, args=(net1,), rounds=1, iterations=1)
+    print()
+    rows = []
+    for b in bands:
+        rows.append(
+            (
+                b.machine,
+                float(b.relative_width_percent[0]),
+                float(b.relative_width_percent[len(b.sizes) // 2]),
+                float(b.relative_width_percent[-1]),
+            )
+        )
+    print(
+        ascii_table(
+            ["Machine", "width% (small)", "width% (mid)", "width% (max size)"],
+            rows,
+            title="Figure 2: performance band widths (percent of midline speed)",
+        )
+    )
+
+    for b in bands:
+        # ~40% at small sizes, ~6% at the maximum solvable size.
+        assert 25.0 <= b.relative_width_percent[0] <= 45.0
+        assert 4.0 <= b.relative_width_percent[-1] <= 10.0
+        # Monotone (close to linear) decline.
+        assert np.all(np.diff(b.relative_width_percent) <= 1e-6)
+        # Envelopes never cross.
+        assert np.all(b.upper >= b.lower)

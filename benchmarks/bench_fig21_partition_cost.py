@@ -1,0 +1,49 @@
+"""Figure 21: the cost of finding the optimal partition.
+
+The paper sweeps p in {270, 540, 810, 1080} processors and problem sizes
+up to 2e9 elements and reports costs below ~0.12 s — negligible against
+application run times of minutes to hours.  The bench replays the sweep on
+speed functions tiled from the twelve built models and asserts the two
+shape claims: sub-second cost everywhere, cost growing with p.
+"""
+
+from __future__ import annotations
+
+from repro.core.partition import partition
+from repro.experiments import (
+    FIG21_PROBLEM_SIZES,
+    FIG21_PROCESSOR_COUNTS,
+    ascii_table,
+    fig21_sweep,
+    tile_speed_functions,
+)
+
+
+def test_fig21_cost_sweep(mm_models, benchmark):
+    points = benchmark.pedantic(
+        fig21_sweep, args=(mm_models,), kwargs=dict(repeats=2), rounds=1, iterations=1
+    )
+    print()
+    print(
+        ascii_table(
+            ["p", "problem size n", "cost (s)", "bisection steps"],
+            [(pt.p, pt.n, pt.seconds, pt.iterations) for pt in points],
+            title="Figure 21: cost of the partitioning algorithm",
+        )
+    )
+    for pt in points:
+        assert pt.seconds < 1.0, f"p={pt.p}, n={pt.n}: {pt.seconds:.3f}s"
+    # Cost grows with the number of processors (the paper's four curves
+    # stack in p order).  Compare totals across the whole size axis so a
+    # single noisy timing sample cannot flip the ordering.
+    total_by_p: dict[int, float] = {}
+    for pt in points:
+        total_by_p[pt.p] = total_by_p.get(pt.p, 0.0) + pt.seconds
+    assert total_by_p[1080] > total_by_p[270]
+
+
+def test_fig21_benchmark_largest_case(mm_models, benchmark):
+    sfs = tile_speed_functions(mm_models, max(FIG21_PROCESSOR_COUNTS))
+    n = max(FIG21_PROBLEM_SIZES)
+    result = benchmark(lambda: partition(n, sfs))
+    assert int(result.allocation.sum()) == n

@@ -1,0 +1,88 @@
+"""Figure 22(a): matrix multiplication — functional vs single-number model.
+
+For n = 15000..31000, partitions C = A*B^T over the twelve-machine testbed
+with (i) the functional model built by the section-3.1 procedure and (ii)
+the single-number model with speeds measured at 500x500 (solid curve) and
+4000x4000 (dashed curve) matrices, then simulates both distributions on
+the ground-truth machines.
+
+Shape claims asserted: speedup >= ~1 everywhere (the paper argues the
+single-number distribution "cannot in principle be better"), and clearly
+> 1 in the paging regime, for both probe sizes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    FIG22A_PROBES,
+    FIG22A_SIZES,
+    ascii_plot,
+    ascii_table,
+    mm_speedup_experiment,
+)
+
+
+def test_fig22a_mm_speedup(net2, mm_models, benchmark):
+    all_points = {}
+
+    def run():
+        return {
+            probe: mm_speedup_experiment(
+                net2, sizes=FIG22A_SIZES, probe=probe, models=mm_models
+            )
+            for probe in FIG22A_PROBES
+        }
+
+    all_points = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    rows = []
+    for n, p_small, p_large in zip(
+        FIG22A_SIZES, all_points[FIG22A_PROBES[0]], all_points[FIG22A_PROBES[1]]
+    ):
+        rows.append(
+            (
+                n,
+                p_small.functional_seconds,
+                p_small.single_seconds,
+                round(p_small.speedup, 2),
+                round(p_large.speedup, 2),
+            )
+        )
+    print(
+        ascii_table(
+            [
+                "n",
+                "functional t (s)",
+                f"single t (s, {FIG22A_PROBES[0]}^2)",
+                f"speedup ({FIG22A_PROBES[0]}^2)",
+                f"speedup ({FIG22A_PROBES[1]}^2)",
+            ],
+            rows,
+            title="Figure 22(a): MM speedup of the functional over the single-number model",
+        )
+    )
+    print()
+    print(
+        ascii_plot(
+            [
+                (
+                    f"probe {probe}^2",
+                    [p.n for p in pts],
+                    [p.speedup for p in pts],
+                )
+                for probe, pts in all_points.items()
+            ],
+            title="Figure 22(a): speedup vs matrix size",
+            x_label="n",
+            y_label="speedup",
+        )
+    )
+    for probe, pts in all_points.items():
+        for pt in pts:
+            assert pt.speedup > 0.9, f"probe {probe}, n={pt.n}: {pt.speedup:.2f}"
+        # Clear wins once tasks stop fitting in memory.
+        assert max(pt.speedup for pt in pts) > 1.5, f"probe {probe}"
+        # The speedup trend rises over the sweep (compare endpoints' means).
+        first3 = sum(p.speedup for p in pts[:3]) / 3
+        last3 = sum(p.speedup for p in pts[-3:]) / 3
+        assert last3 > first3, f"probe {probe}"

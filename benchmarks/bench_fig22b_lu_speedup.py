@@ -1,0 +1,88 @@
+"""Figure 22(b): LU factorisation — functional vs single-number model.
+
+For n = 16000..32000, builds the Variable Group Block distribution with
+(i) the functional model and (ii) constant speeds measured at 2000x2000
+(solid) and 5000x5000 (dashed) matrices — the latter collapsing it to the
+classical Group Block distribution — and simulates both step-by-step on
+the ground-truth machines.
+
+Shape claims: speedup >= ~1 everywhere and rising once per-step problem
+sizes push the single-number distribution past machines' paging points
+(the paper's y axis tops out near 2).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    FIG22B_PROBES,
+    FIG22B_SIZES,
+    ascii_plot,
+    ascii_table,
+    lu_speedup_experiment,
+)
+
+#: Wider blocks than the paper's b=32 keep the simulated sweep quick; the
+#: distribution and speed effects are unchanged.
+BLOCK = 64
+
+
+def test_fig22b_lu_speedup(net2, lu_models, benchmark):
+    def run():
+        return {
+            probe: lu_speedup_experiment(
+                net2, sizes=FIG22B_SIZES, probe=probe, block=BLOCK, models=lu_models
+            )
+            for probe in FIG22B_PROBES
+        }
+
+    all_points = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    rows = []
+    for n, p_small, p_large in zip(
+        FIG22B_SIZES, all_points[FIG22B_PROBES[0]], all_points[FIG22B_PROBES[1]]
+    ):
+        rows.append(
+            (
+                n,
+                p_small.functional_seconds,
+                p_small.single_seconds,
+                round(p_small.speedup, 2),
+                round(p_large.speedup, 2),
+            )
+        )
+    print(
+        ascii_table(
+            [
+                "n",
+                "functional t (s)",
+                f"single t (s, {FIG22B_PROBES[0]}^2)",
+                f"speedup ({FIG22B_PROBES[0]}^2)",
+                f"speedup ({FIG22B_PROBES[1]}^2)",
+            ],
+            rows,
+            title="Figure 22(b): LU speedup of the functional over the single-number model",
+        )
+    )
+    print()
+    print(
+        ascii_plot(
+            [
+                (
+                    f"probe {probe}^2",
+                    [p.n for p in pts],
+                    [p.speedup for p in pts],
+                )
+                for probe, pts in all_points.items()
+            ],
+            title="Figure 22(b): speedup vs matrix size",
+            x_label="n",
+            y_label="speedup",
+        )
+    )
+    for probe, pts in all_points.items():
+        for pt in pts:
+            assert pt.speedup > 0.9, f"probe {probe}, n={pt.n}: {pt.speedup:.2f}"
+        assert max(pt.speedup for pt in pts) > 1.3, f"probe {probe}"
+        first3 = sum(p.speedup for p in pts[:3]) / 3
+        last3 = sum(p.speedup for p in pts[-3:]) / 3
+        assert last3 > first3, f"probe {probe}"

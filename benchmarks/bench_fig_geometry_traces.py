@@ -1,0 +1,101 @@
+"""Figures 3-15 (illustrative constructions): regenerated geometric data.
+
+These are not evaluation figures, but the paper's algorithmic claims live
+in them; the bench regenerates each construction on the twelve-machine
+testbed models and asserts the claimed invariant:
+
+* fig 4/6 — optimal points share one ray through the origin; perturbing
+  the allocation strictly increases the execution time;
+* fig 8/18 — the initial lines straddle ``n`` and every bisection step
+  keeps the optimum bracketed;
+* fig 13/15 — step counts of basic vs modified on benign shapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import ascii_table
+from repro.experiments.traces import (
+    algorithm_step_comparison,
+    bisection_trace,
+    optimal_line_demo,
+)
+from repro.kernels import mm_elements
+
+
+def test_fig04_06_optimal_line(mm_models, benchmark):
+    n = mm_elements(20_000)
+    demo = benchmark.pedantic(
+        optimal_line_demo, args=(n, mm_models), rounds=1, iterations=1
+    )
+    print()
+    print(
+        ascii_table(
+            ["processor", "allocation x_i", "point slope s_i(x_i)/x_i"],
+            [
+                (i, int(x), s)
+                for i, (x, s) in enumerate(
+                    zip(demo.allocation[demo.allocation > 0], demo.point_slopes)
+                )
+            ],
+            title="Figure 4/6: the optimal points lie on one line through the origin",
+        )
+    )
+    spread = demo.point_slopes.max() / demo.point_slopes.min()
+    print(f"slope spread: {spread - 1:.2e};  optimal {demo.optimal_makespan:.4g}s "
+          f"vs perturbed {demo.perturbed_makespan:.4g}s")
+    # One ray (integer rounding allows a whisker of spread).
+    assert spread < 1.01
+    # Figure 6's claim: any other allocation takes at least as long.
+    assert demo.perturbed_makespan >= demo.optimal_makespan
+
+
+def test_fig08_18_bisection_trace(mm_models, benchmark):
+    n = mm_elements(23_000)
+    trace = benchmark.pedantic(
+        bisection_trace, args=(n, mm_models), rounds=1, iterations=1
+    )
+    print()
+    rows = [
+        ("line1 (initial, steep)", trace.initial_upper[0], trace.initial_upper[1]),
+        ("line2 (initial, shallow)", trace.initial_lower[0], trace.initial_lower[1]),
+    ] + [
+        (f"line{k + 3}", slope, total)
+        for k, (slope, total) in enumerate(trace.steps[:10])
+    ]
+    print(
+        ascii_table(
+            ["line", "slope", "total allocation"],
+            rows,
+            title=f"Figure 8/18: bisection lines for n = {n} "
+            f"({trace.num_steps} steps total)",
+        )
+    )
+    # Initial lines bracket n (figure 18's construction).
+    assert trace.initial_upper[1] <= n <= trace.initial_lower[1]
+    # Every bisecting line lies inside the initial slope wedge.
+    for slope, _ in trace.steps:
+        assert trace.initial_lower[0] <= slope <= trace.initial_upper[0]
+    # Totals approach n: the last step is far closer than the first.
+    first_gap = abs(trace.steps[0][1] - n)
+    last_gap = abs(trace.steps[-1][1] - n)
+    assert last_gap <= first_gap
+
+
+def test_fig13_15_step_counts(mm_models, benchmark):
+    n = mm_elements(20_000)
+    counts = benchmark.pedantic(
+        algorithm_step_comparison, args=(n, mm_models), rounds=1, iterations=1
+    )
+    print()
+    print(
+        ascii_table(
+            ["algorithm", "steps"],
+            list(counts.items()),
+            title="Figure 13/15: step counts on real-life shapes (polynomial slopes)",
+        )
+    )
+    # Real-life shapes: both algorithms take O(log n)-ish steps.
+    assert counts["bisection"] <= int(np.log2(n)) + 10
+    assert counts["modified"] <= 12 * np.log2(n) + 12

@@ -1,0 +1,62 @@
+"""Performance micro-benchmarks: the ray-intersection hot path.
+
+The partitioner's cost is dominated by ray-graph intersections (figure
+21); these benches pin down the two implementations — the per-function
+Python loop and the padded-array vectorised set — at testbed and
+figure-21 scales, so regressions in the hot path show up immediately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.vectorized import PiecewiseLinearSet, make_allocator
+from repro.experiments import tile_speed_functions
+
+
+@pytest.fixture(scope="module")
+def packed_1080(mm_models):
+    return PiecewiseLinearSet(tile_speed_functions(mm_models, 1080))
+
+
+@pytest.fixture(scope="module")
+def functions_1080(mm_models):
+    return tile_speed_functions(mm_models, 1080)
+
+
+def test_perf_vectorised_allocations_p1080(packed_1080, benchmark):
+    slope = 1e-7
+    out = benchmark(lambda: packed_1080.allocations(slope))
+    assert out.shape == (1080,)
+    assert np.all(out > 0)
+
+
+def test_perf_scalar_allocations_p1080(functions_1080, benchmark):
+    slope = 1e-7
+    out = benchmark(
+        lambda: np.array([sf.intersect_ray(slope) for sf in functions_1080])
+    )
+    assert out.shape == (1080,)
+
+
+def test_vectorised_and_scalar_agree_at_scale(packed_1080, functions_1080, benchmark):
+    def check():
+        for slope in (1e-9, 1e-7, 1e-5, 1e-3):
+            expected = np.array(
+                [sf.intersect_ray(slope) for sf in functions_1080]
+            )
+            np.testing.assert_allclose(
+                packed_1080.allocations(slope), expected, rtol=1e-9
+            )
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_perf_partition_p1080(functions_1080, benchmark):
+    from repro.core.partition import partition
+
+    n = 2_000_000_000
+    result = benchmark(lambda: partition(n, functions_1080))
+    assert int(result.allocation.sum()) == n

@@ -1,0 +1,70 @@
+"""Table 2: the twelve-machine testbed and its paging onsets.
+
+Prints the full Table 2 and verifies that the paging onset *detected* from
+each simulated machine's ground-truth curve (the knee an experimenter
+would measure) lands on the published column within tolerance.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ascii_table, detect_paging_onsets
+from repro.machines import TABLE2_SPECS
+
+
+def test_table2_specs_and_paging(net2, benchmark):
+    spec_rows = [
+        (
+            s.name,
+            s.os,
+            s.arch,
+            int(s.cpu_mhz),
+            s.main_memory_kb,
+            s.free_memory_kb,
+            s.cache_kb,
+        )
+        for s in TABLE2_SPECS
+    ]
+    print()
+    print(
+        ascii_table(
+            [
+                "Machine",
+                "OS",
+                "Architecture",
+                "cpu MHz",
+                "Main Mem (kB)",
+                "Free Mem (kB)",
+                "Cache (kB)",
+            ],
+            spec_rows,
+            title="Table 2: specifications of the twelve computers",
+        )
+    )
+
+    rows = benchmark.pedantic(
+        detect_paging_onsets, args=(net2,), rounds=1, iterations=1
+    )
+    print()
+    print(
+        ascii_table(
+            [
+                "Machine",
+                "Paging MM (detected)",
+                "Paging MM (paper)",
+                "Paging LU (detected)",
+                "Paging LU (paper)",
+            ],
+            [
+                (r.machine, round(r.detected_mm), r.published_mm, round(r.detected_lu), r.published_lu)
+                for r in rows
+            ],
+            title="Table 2 (paging columns): detected vs published onset matrix sizes",
+        )
+    )
+    assert len(rows) == 12
+    for r in rows:
+        assert r.mm_error < 0.25, f"{r.machine}: MM onset off by {r.mm_error:.0%}"
+        assert r.lu_error < 0.25, f"{r.machine}: LU onset off by {r.lu_error:.0%}"
+    # LU pages later than MM everywhere (one matrix resident instead of 3).
+    for r in rows:
+        assert r.published_lu >= r.published_mm

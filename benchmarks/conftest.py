@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+Heavy artefacts (networks, built models) are session-scoped so every bench
+file reuses them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import build_network_models
+from repro.machines import table1_network, table2_network
+
+
+@pytest.fixture(scope="session")
+def net1():
+    return table1_network()
+
+
+@pytest.fixture(scope="session")
+def net2():
+    return table2_network()
+
+
+@pytest.fixture(scope="session")
+def mm_models(net2):
+    """Section-3.1 piecewise models of the MM kernel for all 12 machines."""
+    return build_network_models(net2, "matmul")
+
+
+@pytest.fixture(scope="session")
+def lu_models(net2):
+    """Section-3.1 piecewise models of the LU kernel for all 12 machines."""
+    return build_network_models(net2, "lu")

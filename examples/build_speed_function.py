@@ -1,0 +1,60 @@
+"""Build a speed function of THIS machine from real benchmark runs.
+
+Runs the section-3.1 procedure against the host you are sitting at: the
+benchmark callable times the real NumPy matrix-multiplication kernel, and
+the trisection procedure decides where to measure next.  (Sizes are kept
+modest so the example finishes in seconds; on a real deployment you would
+let ``b`` reach the paging region.)
+
+Run:  python examples/build_speed_function.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import ascii_table
+from repro.model import build_piecewise_model, measure_mm_speed
+
+A_DIM = 32     # smallest benchmark: 32 x 32 (fits every cache)
+B_DIM = 700    # largest benchmark dimension
+
+
+def bench(elements: float) -> float:
+    """One real benchmark run: square MM with the given element count."""
+    n = max(int(math.sqrt(elements)), 2)
+    return measure_mm_speed(n, repeats=2).speed
+
+
+def main() -> None:
+    print("Benchmarking this host's matrix multiplication ...")
+    built = build_piecewise_model(
+        bench,
+        a=A_DIM * A_DIM,
+        b=B_DIM * B_DIM,
+        eps=0.10,          # real hosts are noisier than the paper's 5 %
+        spacing="log",
+        pin_zero_at_b=False,  # 700x700 is solvable here: measure it
+    )
+    print(f"\n{built.experiments} benchmark runs -> "
+          f"{built.function.num_knots} knots\n")
+    rows = [
+        (f"{int(math.sqrt(x))}x{int(math.sqrt(x))}", int(x), round(s))
+        for x, s in built.points
+    ]
+    print(
+        ascii_table(
+            ["matrix", "elements", "speed (MFlops)"],
+            rows,
+            title="Piecewise speed function of this host (MM kernel)",
+        )
+    )
+    mid = (A_DIM * A_DIM + B_DIM * B_DIM) / 2
+    print(f"\nInterpolated speed at {int(mid)} elements: "
+          f"{float(built.function.speed(mid)):,.0f} MFlops")
+    print("Feed a list of these functions (one per machine) to "
+          "repro.partition() to balance a real cluster.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Partitioning under fluctuating background workloads (speed bands).
+
+Section 1 of the paper models transient load as a *band* of speed curves.
+This example quantifies what that does to a distribution:
+
+1. take the Table 2 testbed with its high/low-integration bands;
+2. partition once using the band midlines (what a deployment would do);
+3. replay the same distribution against many stochastic draws from the
+   bands and report the spread of the achieved makespan;
+4. show the band-shift behaviour under an extra heavy load.
+
+Run:  python examples/fluctuating_workloads.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import partition
+from repro.experiments import ascii_table, build_network_models
+from repro.kernels import mm_elements
+from repro.machines import table2_network
+from repro.simulate import simulate_striped_matmul
+
+N = 20_000
+RUNS = 30
+
+
+def main() -> None:
+    net = table2_network()
+    rng = np.random.default_rng(2004)
+
+    models = build_network_models(net, "matmul")
+    alloc = partition(mm_elements(N), models).allocation
+
+    nominal = simulate_striped_matmul(
+        N, alloc, net.speed_functions("matmul")
+    ).makespan
+    samples = []
+    for _ in range(RUNS):
+        truth = net.sample_speed_functions("matmul", rng)
+        samples.append(simulate_striped_matmul(N, alloc, truth).makespan)
+    arr = np.asarray(samples)
+    print(
+        ascii_table(
+            ["statistic", "seconds"],
+            [
+                ("nominal (midline) makespan", f"{nominal:,.0f}"),
+                (f"mean over {RUNS} fluctuating runs", f"{arr.mean():,.0f}"),
+                ("best run", f"{arr.min():,.0f}"),
+                ("worst run", f"{arr.max():,.0f}"),
+                ("relative spread", f"{(arr.max() - arr.min()) / arr.mean():.1%}"),
+            ],
+            title=f"Makespan of one fixed distribution under workload bands (n={N})",
+        )
+    )
+
+    # Band shift: an extra heavy job on X5 moves its whole band down at
+    # constant absolute width (the paper's observation).
+    band = net["X5"].band("matmul")
+    x = mm_elements(6000) // 2
+    shifted = band.shifted(40.0)
+    print("\nHeavy extra load on X5 (band shifted down by 40 MFlops):")
+    print(f"  before: mid {float(band.midline.speed(x)):6.1f} MFlops, "
+          f"abs width {float(band.upper_speed(x) - band.lower_speed(x)):5.1f}")
+    print(f"  after : mid {float(shifted.midline.speed(x)):6.1f} MFlops, "
+          f"abs width {float(shifted.upper_speed(x) - shifted.lower_speed(x)):5.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Two-level partitioning over a multi-site heterogeneous network.
+
+Global networks of heterogeneous computers are hierarchical: sites
+connected by a WAN, machines inside each site.  The functional model
+composes across the levels — a whole site collapses into one *composite
+speed function* ``s_G(x) = x / T_G(x)`` (the optimal within-site makespan
+defines the site's speed), which is itself a valid member of the model
+family.
+
+This example splits the Table 2 testbed into three sites (the PIII lab,
+the Xeon cluster, the sparc corner), partitions a large MM workload across
+the composites, then within each site, and shows the result matches the
+flat twelve-machine partition.
+
+Run:  python examples/hierarchical_sites.py
+"""
+
+from __future__ import annotations
+
+from repro import partition, partition_hierarchical
+from repro.experiments import ascii_table, build_network_models
+from repro.kernels import mm_elements
+from repro.machines import table2_network
+
+N = 20_000
+
+SITES = {
+    "PIII lab": ["X1", "X2"],
+    "Xeon cluster": ["X3", "X4", "X5", "X6", "X7", "X8", "X9"],
+    "sparc corner": ["X10", "X11", "X12"],
+}
+
+
+def main() -> None:
+    net = table2_network()
+    models = dict(zip(net.names, build_network_models(net, "matmul")))
+    groups = [[models[name] for name in members] for members in SITES.values()]
+
+    n = mm_elements(N)
+    h = partition_hierarchical(n, groups)
+    flat = partition(n, [models[name] for name in net.names])
+
+    rows = []
+    for (site, members), total, alloc in zip(
+        SITES.items(), h.group_totals, h.allocations
+    ):
+        rows.append(
+            (
+                site,
+                len(members),
+                f"{int(total):,}",
+                f"{100 * total / n:.1f}%",
+                str([int(a) for a in alloc]),
+            )
+        )
+    print(
+        ascii_table(
+            ["site", "machines", "elements", "share", "within-site split"],
+            rows,
+            title=f"Hierarchical partition of {n:,} elements (MM at n = {N})",
+        )
+    )
+    print(f"\nhierarchical makespan : {h.makespan:,.0f} model-s")
+    print(f"flat 12-way makespan  : {flat.makespan:,.0f} model-s")
+    print(f"overhead of the site abstraction: "
+          f"{h.makespan / flat.makespan - 1:+.2%}")
+    print("\nThe composite-site abstraction costs only the sampling error of")
+    print("the site curves (a few per cent; raise samples_per_group to shrink")
+    print("it) — the functional model's optimal substructure carries across")
+    print("levels.")
+
+
+if __name__ == "__main__":
+    main()

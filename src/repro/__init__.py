@@ -1,0 +1,108 @@
+"""repro — functional performance models and data partitioning for
+networks of heterogeneous computers.
+
+A production-quality reproduction of:
+
+    A. Lastovetsky and R. Reddy, "Data Partitioning with a Realistic
+    Performance Model of Networks of Heterogeneous Computers",
+    Proc. IPPS/IPDPS, 2004.
+
+The package layers:
+
+* :mod:`repro.core` — speed functions, speed bands and the geometric
+  set-partitioning algorithms (the paper's contribution);
+* :mod:`repro.model` — the experimental procedure that builds piecewise
+  speed functions from benchmark measurements (section 3.1);
+* :mod:`repro.machines` — simulated heterogeneous computers with
+  cache/memory/paging regimes and workload-fluctuation bands;
+* :mod:`repro.kernels` — matrix multiplication, LU factorisation and
+  streaming kernels plus the striped and Variable Group Block
+  distributions;
+* :mod:`repro.simulate` — the parallel-execution simulator used by the
+  evaluation;
+* :mod:`repro.experiments` — drivers regenerating every table and figure
+  of the paper's evaluation.
+"""
+
+from .core import (
+    ALGORITHMS,
+    AnalyticSpeedFunction,
+    CommAwareSpeedFunction,
+    HierarchicalResult,
+    ConstantSpeedFunction,
+    PartitionResult,
+    PiecewiseLinearSpeedFunction,
+    Rectangle,
+    RectanglePartition,
+    SpeedBand,
+    SpeedFunction,
+    SpeedSurface,
+    StepSpeedFunction,
+    WeightedPartitionResult,
+    group_speed_function,
+    makespan,
+    partition,
+    partition_2d_fixed,
+    partition_bisection,
+    partition_bounded,
+    partition_combined,
+    partition_constant,
+    partition_even,
+    partition_exact,
+    partition_hierarchical,
+    partition_modified,
+    partition_rectangles,
+    partition_weighted,
+    single_number_speeds,
+    validate_speed_functions,
+)
+from .exceptions import (
+    ConfigurationError,
+    ConvergenceError,
+    InfeasiblePartitionError,
+    InvalidSpeedFunctionError,
+    MeasurementError,
+    ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "AnalyticSpeedFunction",
+    "CommAwareSpeedFunction",
+    "HierarchicalResult",
+    "ConfigurationError",
+    "ConstantSpeedFunction",
+    "ConvergenceError",
+    "InfeasiblePartitionError",
+    "InvalidSpeedFunctionError",
+    "MeasurementError",
+    "PartitionResult",
+    "PiecewiseLinearSpeedFunction",
+    "Rectangle",
+    "RectanglePartition",
+    "ReproError",
+    "SpeedBand",
+    "SpeedFunction",
+    "SpeedSurface",
+    "StepSpeedFunction",
+    "WeightedPartitionResult",
+    "__version__",
+    "group_speed_function",
+    "makespan",
+    "partition",
+    "partition_2d_fixed",
+    "partition_bisection",
+    "partition_bounded",
+    "partition_combined",
+    "partition_constant",
+    "partition_even",
+    "partition_exact",
+    "partition_hierarchical",
+    "partition_modified",
+    "partition_rectangles",
+    "partition_weighted",
+    "single_number_speeds",
+    "validate_speed_functions",
+]

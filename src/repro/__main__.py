@@ -1,0 +1,7 @@
+"""``python -m repro`` — alias for the :mod:`repro.cli` entry point."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,281 @@
+"""Command-line experiment runner: ``repro <experiment>``.
+
+Regenerates the paper's tables and figures from the terminal without
+touching pytest::
+
+    repro fig1            # speed curves (Table 1 machines)
+    repro fig2            # workload bands
+    repro table2          # testbed specs + paging onsets
+    repro fig21           # partitioner cost sweep
+    repro fig22a          # MM speedup sweep
+    repro fig22b          # LU speedup sweep
+    repro all             # everything above
+
+``repro table3`` / ``repro table4`` run the *real* NumPy kernels on this
+host, so their absolute MFlops depend on where you run them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from .experiments import (
+    FIG22A_PROBES,
+    FIG22A_SIZES,
+    FIG22B_PROBES,
+    FIG22B_SIZES,
+    ascii_table,
+    build_network_models,
+    detect_paging_onsets,
+    fig1_curves,
+    fig21_sweep,
+    fig2_bands,
+    lu_invariance,
+    lu_speedup_experiment,
+    mm_invariance,
+    mm_speedup_experiment,
+)
+from .machines import TABLE1_SPECS, TABLE2_SPECS, table1_network, table2_network
+
+__all__ = ["main"]
+
+
+def _cmd_fig1(args: argparse.Namespace) -> None:
+    net = table1_network()
+    print(
+        ascii_table(
+            ["Machine", "Architecture", "cpu MHz", "Main Memory (kB)", "Cache (kB)"],
+            [
+                (s.name, s.arch, int(s.cpu_mhz), s.main_memory_kb, s.cache_kb)
+                for s in TABLE1_SPECS
+            ],
+            title="Table 1",
+        )
+    )
+    for kernel, series in fig1_curves(net).items():
+        print()
+        print(
+            ascii_table(
+                ["Machine", "peak MFlops", "paging point P (elements)"],
+                [(c.machine, c.peak, c.paging_onset) for c in series],
+                title=f"Figure 1 — {kernel}",
+            )
+        )
+
+
+def _cmd_fig2(args: argparse.Namespace) -> None:
+    for b in fig2_bands(table1_network()):
+        print(
+            ascii_table(
+                ["size (elements)", "lower", "upper", "width % of midline"],
+                [
+                    (float(x), float(lo), float(hi), float(w))
+                    for x, lo, hi, w in zip(
+                        b.sizes[:: max(len(b.sizes) // 10, 1)],
+                        b.lower[:: max(len(b.sizes) // 10, 1)],
+                        b.upper[:: max(len(b.sizes) // 10, 1)],
+                        b.relative_width_percent[:: max(len(b.sizes) // 10, 1)],
+                    )
+                ],
+                title=f"Figure 2 — {b.machine} ({b.kernel})",
+            )
+        )
+        print()
+
+
+def _cmd_table2(args: argparse.Namespace) -> None:
+    print(
+        ascii_table(
+            ["Machine", "Architecture", "cpu MHz", "Main (kB)", "Free (kB)", "Cache (kB)"],
+            [
+                (s.name, s.arch, int(s.cpu_mhz), s.main_memory_kb, s.free_memory_kb, s.cache_kb)
+                for s in TABLE2_SPECS
+            ],
+            title="Table 2",
+        )
+    )
+    print()
+    rows = detect_paging_onsets(table2_network())
+    print(
+        ascii_table(
+            ["Machine", "Paging MM (detected/paper)", "Paging LU (detected/paper)"],
+            [
+                (r.machine, f"{r.detected_mm:.0f} / {r.published_mm}",
+                 f"{r.detected_lu:.0f} / {r.published_lu}")
+                for r in rows
+            ],
+            title="Paging onsets",
+        )
+    )
+
+
+def _cmd_table3(args: argparse.Namespace) -> None:
+    rows = mm_invariance(base_sizes=(256, 512), steps=4, repeats=args.repeats)
+    table = []
+    for row in rows:
+        for (n1, n2), s in zip(row.shapes, row.speeds):
+            table.append((f"{n1}x{n2}", row.elements, round(s)))
+    print(ascii_table(["Size of matrix", "Elements", "MFlops"], table, title="Table 3 (this host)"))
+
+
+def _cmd_table4(args: argparse.Namespace) -> None:
+    rows = lu_invariance(base_sizes=(256, 512), steps=4, repeats=args.repeats)
+    table = []
+    for row in rows:
+        for (n1, n2), s in zip(row.shapes, row.speeds):
+            table.append((f"{n1}x{n2}", row.elements, round(s)))
+    print(ascii_table(["Size of matrix", "Elements", "MFlops"], table, title="Table 4 (this host)"))
+
+
+def _cmd_fig21(args: argparse.Namespace) -> None:
+    models = build_network_models(table2_network(), "matmul")
+    points = fig21_sweep(models, repeats=args.repeats)
+    print(
+        ascii_table(
+            ["p", "n", "cost (s)", "steps"],
+            [(p.p, p.n, p.seconds, p.iterations) for p in points],
+            title="Figure 21 — cost of the partitioning algorithm",
+        )
+    )
+
+
+def _cmd_fig22a(args: argparse.Namespace) -> None:
+    net = table2_network()
+    models = build_network_models(net, "matmul")
+    for probe in FIG22A_PROBES:
+        pts = mm_speedup_experiment(net, sizes=FIG22A_SIZES, probe=probe, models=models)
+        print(
+            ascii_table(
+                ["n", "functional (s)", "single (s)", "speedup"],
+                [
+                    (p.n, p.functional_seconds, p.single_seconds, round(p.speedup, 2))
+                    for p in pts
+                ],
+                title=f"Figure 22(a) — MM speedup, single-number probe {probe}x{probe}",
+            )
+        )
+        print()
+
+
+def _cmd_fig22b(args: argparse.Namespace) -> None:
+    net = table2_network()
+    models = build_network_models(net, "lu")
+    for probe in FIG22B_PROBES:
+        pts = lu_speedup_experiment(
+            net, sizes=FIG22B_SIZES, probe=probe, block=args.block, models=models
+        )
+        print(
+            ascii_table(
+                ["n", "functional (s)", "single (s)", "speedup"],
+                [
+                    (p.n, p.functional_seconds, p.single_seconds, round(p.speedup, 2))
+                    for p in pts
+                ],
+                title=f"Figure 22(b) — LU speedup, single-number probe {probe}x{probe}",
+            )
+        )
+        print()
+
+
+def _cmd_report(args: argparse.Namespace) -> None:
+    from .experiments.full_report import generate_report
+
+    path = generate_report(args.out, quick=not args.full)
+    print(f"report written to {path}")
+
+
+def _cmd_traces(args: argparse.Namespace) -> None:
+    from .experiments import build_network_models
+    from .experiments.traces import bisection_trace, optimal_line_demo
+    from .kernels import mm_elements
+
+    net = table2_network()
+    models = build_network_models(net, "matmul")
+    n = mm_elements(20_000)
+    demo = optimal_line_demo(n, models)
+    print(
+        ascii_table(
+            ["machine", "allocation", "point slope"],
+            [
+                (name, int(x), s)
+                for name, x, s in zip(
+                    net.names, demo.allocation, demo.point_slopes
+                )
+            ],
+            title="Figure 4/6 — the optimal line through the origin",
+        )
+    )
+    print(
+        f"\noptimal makespan {demo.optimal_makespan:.6g}s, perturbed "
+        f"{demo.perturbed_makespan:.6g}s"
+    )
+    trace = bisection_trace(n, models)
+    print(
+        ascii_table(
+            ["line", "slope", "total allocation"],
+            [("initial upper", *trace.initial_upper), ("initial lower", *trace.initial_lower)]
+            + [(f"step {k + 1}", s, t) for k, (s, t) in enumerate(trace.steps)],
+            title="Figure 8/18 — bisection trace",
+        )
+    )
+
+
+_COMMANDS: dict[str, Callable[[argparse.Namespace], None]] = {
+    "fig1": _cmd_fig1,
+    "fig2": _cmd_fig2,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "table4": _cmd_table4,
+    "fig21": _cmd_fig21,
+    "fig22a": _cmd_fig22a,
+    "fig22b": _cmd_fig22b,
+    "traces": _cmd_traces,
+    "report": _cmd_report,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate the tables and figures of Lastovetsky & Reddy, "
+            "'Data Partitioning with a Realistic Performance Model of "
+            "Networks of Heterogeneous Computers' (IPPS 2004)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_COMMANDS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2, help="benchmark repeats where applicable"
+    )
+    parser.add_argument(
+        "--block", type=int, default=64, help="LU column block width (fig22b)"
+    )
+    parser.add_argument(
+        "--out", default="report.md", help="output file for `repro report`"
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="run the full figure-22 sweeps in `repro report`",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "all":
+        for name in sorted(_COMMANDS):
+            print(f"\n===== {name} =====")
+            _COMMANDS[name](args)
+    else:
+        _COMMANDS[args.experiment](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

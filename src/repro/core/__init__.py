@@ -1,0 +1,74 @@
+"""Core of the reproduction: the functional performance model and the
+geometric set-partitioning algorithms of Lastovetsky & Reddy (IPPS 2004).
+"""
+
+from .band import SpeedBand
+from .bisection import partition_bisection
+from .bounded import partition_bounded
+from .combined import partition_combined
+from .comm_aware import CommAwareSpeedFunction
+from .constant_model import (
+    partition_constant,
+    partition_constant_naive,
+    partition_even,
+    single_number_speeds,
+)
+from .exact import partition_exact
+from .geometry import SlopeRegion, allocations, initial_bracket, total_allocation
+from .hierarchical import HierarchicalResult, group_speed_function, partition_hierarchical
+from .modified import partition_modified
+from .multidim import SpeedSurface, partition_2d_fixed
+from .partition import ALGORITHMS, partition
+from .rectangles import Rectangle, RectanglePartition, partition_rectangles
+from .refine import makespan, refine_greedy, refine_paper
+from .result import PartitionResult
+from .step_model import StepSpeedFunction
+from .speed_function import (
+    AnalyticSpeedFunction,
+    ConstantSpeedFunction,
+    PiecewiseLinearSpeedFunction,
+    SpeedFunction,
+    validate_speed_functions,
+)
+from .weighted import WeightedPartitionResult, partition_weighted
+
+__all__ = [
+    "ALGORITHMS",
+    "AnalyticSpeedFunction",
+    "CommAwareSpeedFunction",
+    "HierarchicalResult",
+    "ConstantSpeedFunction",
+    "PartitionResult",
+    "PiecewiseLinearSpeedFunction",
+    "Rectangle",
+    "RectanglePartition",
+    "SlopeRegion",
+    "SpeedBand",
+    "SpeedFunction",
+    "SpeedSurface",
+    "StepSpeedFunction",
+    "WeightedPartitionResult",
+    "allocations",
+    "group_speed_function",
+    "initial_bracket",
+    "makespan",
+    "partition",
+    "partition_2d_fixed",
+    "partition_bisection",
+    "partition_bounded",
+    "partition_combined",
+    "partition_constant",
+    "partition_constant_naive",
+    "partition_even",
+    "partition_even",
+    "partition_exact",
+    "partition_hierarchical",
+    "partition_modified",
+    "partition_rectangles",
+    "partition_weighted",
+    "refine_greedy",
+    "refine_paper",
+    "single_number_speeds",
+    "total_allocation",
+    "validate_speed_functions",
+]

@@ -1,0 +1,227 @@
+"""Speed bands: workload-fluctuation envelopes around a speed function.
+
+Section 1 of the paper argues that on general-purpose networks a computer's
+speed fluctuates with the transient background load, so the dependence of
+speed on problem size is naturally a *band* of curves rather than a single
+curve.  The paper's experimental observations, all reproduced by this
+module:
+
+* highly integrated computers show bands ~40 % wide (of the maximum speed)
+  at small problem sizes, declining *close to linearly* to ~5-7 % at the
+  largest solvable size (figure 2);
+* weakly integrated computers stay within ~5-7 % throughout;
+* adding a heavy external load **shifts the whole band down without changing
+  its width**.
+
+A band is represented as a midline :class:`~repro.core.speed_function.
+SpeedFunction` plus a relative-width schedule ``w(x)``; the lower and upper
+envelopes are ``mid(x) * (1 -/+ w(x)/2)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .speed_function import PiecewiseLinearSpeedFunction, SpeedFunction
+
+__all__ = ["SpeedBand", "linear_width_schedule", "constant_width_schedule"]
+
+
+def linear_width_schedule(
+    width_small: float,
+    width_large: float,
+    size_small: float,
+    size_large: float,
+) -> Callable[[np.ndarray], np.ndarray]:
+    """Relative band width declining linearly with problem size.
+
+    The paper observes a "close to linear decrease in the width of the
+    performance band as the execution time increases"; execution time grows
+    with problem size, so the schedule interpolates linearly between
+    ``width_small`` at ``size_small`` and ``width_large`` at ``size_large``
+    and clamps outside.
+
+    Widths are fractions of the midline speed (e.g. ``0.40`` for the 40 %
+    bands of figure 2).
+    """
+    if not (0 <= width_large <= width_small < 1):
+        raise ConfigurationError(
+            "expected 0 <= width_large <= width_small < 1, got "
+            f"{width_small!r}, {width_large!r}"
+        )
+    if not (0 < size_small < size_large):
+        raise ConfigurationError(
+            f"expected 0 < size_small < size_large, got {size_small!r}, {size_large!r}"
+        )
+
+    def schedule(x):
+        frac = (np.asarray(x, dtype=float) - size_small) / (size_large - size_small)
+        return width_small + (width_large - width_small) * np.clip(frac, 0.0, 1.0)
+
+    return schedule
+
+
+def constant_width_schedule(width: float) -> Callable[[np.ndarray], np.ndarray]:
+    """Constant relative width (weakly integrated computers, ~5-7 %)."""
+    if not (0 <= width < 1):
+        raise ConfigurationError(f"width must be in [0, 1), got {width!r}")
+
+    def schedule(x):
+        return np.full_like(np.asarray(x, dtype=float), width)
+
+    return schedule
+
+
+class SpeedBand:
+    """A performance band: midline speed function plus a width schedule.
+
+    Parameters
+    ----------
+    midline:
+        The representative speed function (what a run under typical load
+        would exhibit).
+    width:
+        Callable mapping problem size to the *relative full width* of the
+        band (fraction of the midline speed), or a constant fraction.
+    """
+
+    def __init__(
+        self,
+        midline: SpeedFunction,
+        width: Callable[[np.ndarray], np.ndarray] | float = 0.0,
+    ):
+        if isinstance(width, (int, float)):
+            width = constant_width_schedule(float(width))
+        self._mid = midline
+        self._width = width
+
+    # -- basic accessors -------------------------------------------------
+    @property
+    def midline(self) -> SpeedFunction:
+        """The midline speed function."""
+        return self._mid
+
+    @property
+    def max_size(self) -> float:
+        """Memory bound inherited from the midline."""
+        return self._mid.max_size
+
+    def width_at(self, x):
+        """Relative full band width at problem size ``x``."""
+        return self._width(x)
+
+    def lower_speed(self, x):
+        """Lower envelope speed at ``x``."""
+        x_arr = np.asarray(x, dtype=float)
+        return self._mid.speed(x_arr) * (1.0 - 0.5 * np.asarray(self._width(x_arr)))
+
+    def upper_speed(self, x):
+        """Upper envelope speed at ``x``."""
+        x_arr = np.asarray(x, dtype=float)
+        return self._mid.speed(x_arr) * (1.0 + 0.5 * np.asarray(self._width(x_arr)))
+
+    def contains(self, x: float, speed: float, *, slack: float = 0.0) -> bool:
+        """True if the observation ``(x, speed)`` lies inside the band.
+
+        ``slack`` widens the band relatively on both sides (useful when
+        checking noisy measurements against a fitted band).
+        """
+        lo = float(self.lower_speed(x)) * (1.0 - slack)
+        hi = float(self.upper_speed(x)) * (1.0 + slack)
+        return lo <= speed <= hi
+
+    # -- materialisation --------------------------------------------------
+    def _grid(self, grid: Sequence[float] | None) -> np.ndarray:
+        if grid is not None:
+            return np.asarray(sorted(grid), dtype=float)
+        if isinstance(self._mid, PiecewiseLinearSpeedFunction):
+            return np.asarray(self._mid.knot_sizes, dtype=float)
+        if not math.isfinite(self.max_size):
+            raise ConfigurationError(
+                "cannot tabulate a band over an unbounded midline without "
+                "an explicit grid"
+            )
+        return np.geomspace(max(self.max_size * 1e-6, 1.0), self.max_size, 64)
+
+    def lower_function(
+        self, grid: Sequence[float] | None = None
+    ) -> PiecewiseLinearSpeedFunction:
+        """Lower envelope materialised as a piecewise-linear speed function."""
+        xs = self._grid(grid)
+        return PiecewiseLinearSpeedFunction(xs, np.maximum(self.lower_speed(xs), 0.0))
+
+    def upper_function(
+        self, grid: Sequence[float] | None = None
+    ) -> PiecewiseLinearSpeedFunction:
+        """Upper envelope materialised as a piecewise-linear speed function."""
+        xs = self._grid(grid)
+        return PiecewiseLinearSpeedFunction(xs, self.upper_speed(xs))
+
+    # -- stochastic behaviour ---------------------------------------------
+    def sample(
+        self,
+        rng: np.random.Generator,
+        grid: Sequence[float] | None = None,
+    ) -> PiecewiseLinearSpeedFunction:
+        """Draw one plausible run-time speed function from the band.
+
+        A single blend coordinate ``lam ~ U(0, 1)`` positions the whole
+        curve inside the band: the transient load during one run is heavily
+        autocorrelated, so the paper treats a run as tracing *one* curve of
+        the band rather than bouncing between envelopes.
+        """
+        lam = float(rng.uniform(0.0, 1.0))
+        xs = self._grid(grid)
+        mid = self._mid.speed(xs)
+        w = np.asarray(self._width(xs))
+        speeds = mid * (1.0 + (lam - 0.5) * w)
+        return PiecewiseLinearSpeedFunction(xs, np.maximum(speeds, 0.0))
+
+    def shifted(
+        self, delta_speed: float, grid: Sequence[float] | None = None
+    ) -> "SpeedBand":
+        """Band under an additional heavy load: shifted down, same width.
+
+        Subtracts the absolute amount ``delta_speed`` from the midline
+        (clamping at a small positive floor) while keeping the *absolute*
+        band width unchanged — the behaviour the paper reports for machines
+        already engaged in heavy computation.  The shifted midline is
+        re-validated; unrealistic shifts that would destroy the
+        single-intersection property raise
+        :class:`~repro.exceptions.InvalidSpeedFunctionError`.
+        """
+        if delta_speed < 0:
+            raise ConfigurationError(
+                f"delta_speed must be non-negative, got {delta_speed!r}"
+            )
+        xs = self._grid(grid)
+        old_mid = self._mid.speed(xs)
+        floor = 1e-6 * float(np.max(old_mid))
+        new_mid_vals = np.maximum(old_mid - delta_speed, floor)
+        # Flooring can leave small-size knots *below* the ray of their right
+        # neighbour (g would increase).  Repair right-to-left by raising a
+        # knot just above its neighbour's ray — the minimal change that
+        # restores the single-intersection invariant while keeping the
+        # large-size behaviour exact.
+        for k in range(xs.size - 2, -1, -1):
+            lower_bound = new_mid_vals[k + 1] * xs[k] / xs[k + 1] * (1.0 + 1e-9)
+            if new_mid_vals[k] <= lower_bound:
+                new_mid_vals[k] = lower_bound
+        new_mid = PiecewiseLinearSpeedFunction(xs, new_mid_vals)
+        old_width = self._width
+
+        def absolute_preserving_width(x, _old=old_width, _mid=self._mid, _new=new_mid):
+            # Old absolute width divided by the new midline speed.
+            x_arr = np.asarray(x, dtype=float)
+            abs_width = np.asarray(_old(x_arr)) * _mid.speed(x_arr)
+            new_speed = np.maximum(_new.speed(x_arr), 1e-300)
+            return np.clip(abs_width / new_speed, 0.0, 0.999)
+
+        return SpeedBand(new_mid, absolute_preserving_width)
+
+    def __repr__(self) -> str:
+        return f"SpeedBand(midline={self._mid!r})"

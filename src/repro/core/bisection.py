@@ -1,0 +1,135 @@
+"""The basic slope-bisection partitioning algorithm (section 2, figures 7-8).
+
+The algorithm maintains two lines through the origin: the steeper allocates
+at most ``n`` elements in total, the shallower at least ``n``.  Each step
+bisects the angular region between them by a third line and keeps the half
+containing the optimal line.  It stops when no allocation can change by a
+whole element any more (the paper's criterion: ``u_i - l_i < 1`` for every
+processor), then hands over to the fine-tuning procedure.
+
+Complexity: ``O(p)`` per step.  When the optimal slope decays polynomially
+with ``n`` — which the paper argues covers most real-life situations — the
+number of steps is ``O(log n)``, giving ``O(p log n)`` overall; for
+pathological shapes (optimal slope decaying exponentially) the step count
+degrades up to ``O(n)``, which motivates the modified algorithm in
+:mod:`repro.core.modified`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConvergenceError
+from .geometry import SlopeRegion, allocations, initial_bracket
+from .vectorized import make_allocator
+from .refine import makespan, refine_greedy, refine_paper
+from .result import PartitionResult
+from .speed_function import SpeedFunction
+
+__all__ = ["partition_bisection"]
+
+#: Hard iteration cap; generous enough for n up to ~2**10000 with tangent
+#: bisection, only ever reached by adversarial inputs.
+_DEFAULT_MAX_ITERATIONS = 20_000
+
+#: Relative slope width below which the region is numerically a single line.
+_MIN_RELATIVE_WIDTH = 1e-15
+
+
+def partition_bisection(
+    n: int,
+    speed_functions: Sequence[SpeedFunction],
+    *,
+    mode: str = "tangent",
+    refine: str = "greedy",
+    max_iterations: int = _DEFAULT_MAX_ITERATIONS,
+    keep_trace: bool = False,
+    region: SlopeRegion | None = None,
+) -> PartitionResult:
+    """Partition ``n`` elements with the basic bisection algorithm.
+
+    Parameters
+    ----------
+    n:
+        Number of elements to distribute.
+    speed_functions:
+        One :class:`~repro.core.speed_function.SpeedFunction` per processor.
+    mode:
+        ``"tangent"`` (default, bisect tangent slopes — the paper's
+        recommendation for practical implementations) or ``"angle"``
+        (bisect the angles, the paper's formal definition).
+    refine:
+        Fine-tuning procedure: ``"greedy"`` (optimal, default) or
+        ``"paper"`` (the literal 2p-candidate sort of figure 9).
+    max_iterations:
+        Safety cap on bisection steps.
+    keep_trace:
+        Record ``(slope, total_allocation)`` per step in the result.
+    region:
+        Optional pre-computed starting region (used by the combined
+        algorithm); computed by
+        :func:`~repro.core.geometry.initial_bracket` when omitted.
+
+    Returns
+    -------
+    PartitionResult
+    """
+    p = len(speed_functions)
+    if n == 0:
+        return PartitionResult(
+            allocation=np.zeros(p, dtype=np.int64),
+            makespan=0.0,
+            algorithm="bisection",
+        )
+    alloc_at = make_allocator(speed_functions)
+    if region is None:
+        region = initial_bracket(speed_functions, n, allocator=alloc_at)
+    low_alloc = alloc_at(region.upper)
+    high_alloc = alloc_at(region.lower)
+    intersections = 3 * p  # bracket probe + the two initial lines
+    iterations = 0
+    trace: list[tuple[float, float]] = []
+
+    while np.any(high_alloc - low_alloc >= 1.0):
+        if iterations >= max_iterations:
+            raise ConvergenceError(
+                f"basic bisection did not converge within {max_iterations} "
+                "steps; consider partition_modified()",
+                iterations=iterations,
+            )
+        if region.width() <= _MIN_RELATIVE_WIDTH * region.upper:
+            # The slope interval has collapsed to float precision while some
+            # allocation interval still spans an integer (a numerically flat
+            # graph segment); fine-tuning resolves the remainder.
+            break
+        mid = region.midpoint(mode)
+        mid_alloc = alloc_at(mid)
+        intersections += p
+        total = float(mid_alloc.sum())
+        if keep_trace:
+            trace.append((mid, total))
+        if total >= n:
+            region = region.replace_lower(mid)
+            high_alloc = mid_alloc
+        else:
+            region = region.replace_upper(mid)
+            low_alloc = mid_alloc
+        iterations += 1
+
+    if refine == "greedy":
+        alloc = refine_greedy(n, speed_functions, low_alloc)
+    elif refine == "paper":
+        alloc = refine_paper(n, speed_functions, low_alloc, high_alloc)
+    else:
+        raise ValueError(f"unknown refine procedure {refine!r}")
+    return PartitionResult(
+        allocation=alloc,
+        makespan=makespan(speed_functions, alloc),
+        algorithm="bisection",
+        iterations=iterations,
+        intersections=intersections,
+        slope=region.midpoint(mode),
+        trace=trace,
+    )

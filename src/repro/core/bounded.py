@@ -1,0 +1,100 @@
+"""Partitioning with explicit per-processor bounds (the general problem).
+
+The paper's general formulation [20] adds "an upper bound ``b_i`` on the
+number of elements stored by each processor".  Geometrically a bound simply
+truncates the speed graph at ``x = b_i``; ray intersections beyond the bound
+clamp to it, and the bisection algorithms then never allocate past it.  This
+module provides the truncation wrapper and a convenience front-end.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import InfeasiblePartitionError
+from .partition import partition
+from .result import PartitionResult
+from .speed_function import SpeedFunction
+
+__all__ = ["TruncatedSpeedFunction", "partition_bounded"]
+
+
+class TruncatedSpeedFunction(SpeedFunction):
+    """A speed function restricted to sizes at most ``bound``.
+
+    Truncation preserves the single-intersection invariant (it only removes
+    part of the domain) and implements the memory bound of the general
+    partitioning problem.
+    """
+
+    def __init__(self, base: SpeedFunction, bound: float):
+        if not (bound > 0):
+            raise InfeasiblePartitionError(f"bound must be positive, got {bound!r}")
+        self._base = base
+        self.max_size = float(min(bound, base.max_size))
+
+    @property
+    def base(self) -> SpeedFunction:
+        """The unrestricted speed function."""
+        return self._base
+
+    def speed(self, x):
+        x_clamped = np.minimum(np.asarray(x, dtype=float), self.max_size)
+        out = self._base.speed(x_clamped)
+        if np.isscalar(x) or np.ndim(x) == 0:
+            return float(out)
+        return np.asarray(out, dtype=float)
+
+    def intersect_ray(self, slope: float) -> float:
+        return float(min(self._base.intersect_ray(slope), self.max_size))
+
+    def __repr__(self) -> str:
+        return f"TruncatedSpeedFunction({self._base!r}, bound={self.max_size:g})"
+
+
+def partition_bounded(
+    n: int,
+    speed_functions: Sequence[SpeedFunction],
+    bounds: Sequence[float],
+    *,
+    algorithm: str = "combined",
+    **kwargs,
+) -> PartitionResult:
+    """Partition ``n`` elements subject to per-processor element bounds.
+
+    Parameters
+    ----------
+    n:
+        Number of elements.
+    speed_functions:
+        One speed function per processor.
+    bounds:
+        Upper bound ``b_i`` on the elements each processor may store.
+        ``math.inf`` disables the bound for a processor (its own
+        ``max_size`` still applies).
+    algorithm, **kwargs:
+        Forwarded to :func:`~repro.core.partition.partition`.
+
+    Raises
+    ------
+    InfeasiblePartitionError
+        When ``sum(min(b_i, max_size_i)) < n``.
+    """
+    if len(bounds) != len(speed_functions):
+        raise InfeasiblePartitionError(
+            f"got {len(bounds)} bounds for {len(speed_functions)} processors"
+        )
+    truncated: list[SpeedFunction] = []
+    for sf, b in zip(speed_functions, bounds):
+        truncated.append(sf if math.isinf(b) else TruncatedSpeedFunction(sf, b))
+    capacity = sum(sf.max_size for sf in truncated)
+    if capacity < n:
+        raise InfeasiblePartitionError(
+            f"combined bounds ({capacity:g}) cannot store {n} elements"
+        )
+    result = partition(n, truncated, algorithm=algorithm, **kwargs)
+    result.algorithm = f"{result.algorithm}+bounded"
+    return result

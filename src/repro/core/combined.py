@@ -1,0 +1,170 @@
+"""The combined partitioning algorithm (section 2, figure 15).
+
+The basic bisection is the fastest when the optimal line lies in a region
+where the speed graphs have "polynomial" slopes (the common real-life
+case, figure 13), but can degrade badly in the flat tails of the graphs.
+The modified algorithm is shape-insensitive but pays an extra factor of
+``p``.  The paper proposes running the basic step while the region looks
+benign and switching to the modified algorithm otherwise.
+
+The switch condition implemented here follows the paper's figure 15 plus a
+robustness refinement (documented in DESIGN.md):
+
+* **flat-tail test** — after each basic step, if the new dividing line
+  intersects one or more graphs where the graph is locally horizontal
+  (relative derivative below ``flat_tol``) while those intersections still
+  move by whole elements, the region is in a flat tail: switch.
+* **stall test** — if ``stall_limit`` consecutive basic steps fail to
+  shrink the total allocation uncertainty ``sum_i (u_i - l_i)`` by at least
+  ``stall_factor``, the basic bisection is making no geometric progress:
+  switch.
+
+Either test firing hands the current (already narrowed) region to
+:func:`~repro.core.modified.partition_modified`, so no work is repeated.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConvergenceError
+from .geometry import SlopeRegion, allocations, initial_bracket
+from .vectorized import make_allocator
+from .modified import partition_modified
+from .refine import makespan, refine_greedy, refine_paper
+from .result import PartitionResult
+from .speed_function import SpeedFunction
+
+__all__ = ["partition_combined"]
+
+_DEFAULT_MAX_ITERATIONS = 20_000
+
+
+def _relative_derivative(sf: SpeedFunction, x: float) -> float:
+    """Dimensionless local slope ``s'(x) * x / s(x)`` by finite difference.
+
+    Zero means the graph is locally horizontal (a flat tail or plateau).
+    """
+    if x <= 0:
+        return 0.0
+    h = max(x * 1e-3, 1e-9)
+    x1 = min(x + h, sf.max_size)
+    x0 = max(x - h, 0.0)
+    if x1 <= x0:
+        return 0.0
+    s = sf.speed(x)
+    if s <= 0:
+        return 0.0
+    return float((sf.speed(x1) - sf.speed(x0)) / (x1 - x0) * x / s)
+
+
+def partition_combined(
+    n: int,
+    speed_functions: Sequence[SpeedFunction],
+    *,
+    mode: str = "tangent",
+    refine: str = "greedy",
+    max_iterations: int = _DEFAULT_MAX_ITERATIONS,
+    keep_trace: bool = False,
+    flat_tol: float = 1e-3,
+    stall_limit: int = 8,
+    stall_factor: float = 0.75,
+) -> PartitionResult:
+    """Partition ``n`` elements, switching basic -> modified when useful.
+
+    See :func:`~repro.core.bisection.partition_bisection` for the common
+    parameters.  ``flat_tol``, ``stall_limit`` and ``stall_factor`` tune
+    the switch heuristics described in the module docstring.
+    """
+    p = len(speed_functions)
+    if n == 0:
+        return PartitionResult(
+            allocation=np.zeros(p, dtype=np.int64),
+            makespan=0.0,
+            algorithm="combined",
+        )
+    alloc_at = make_allocator(speed_functions)
+    region = initial_bracket(speed_functions, n, allocator=alloc_at)
+    low_alloc = alloc_at(region.upper)
+    high_alloc = alloc_at(region.lower)
+    intersections = 3 * p
+    iterations = 0
+    stalled = 0
+    trace: list[tuple[float, float]] = []
+    switch = False
+
+    while np.any(high_alloc - low_alloc >= 1.0):
+        if iterations >= max_iterations:
+            raise ConvergenceError(
+                f"combined algorithm did not converge within {max_iterations} steps",
+                iterations=iterations,
+            )
+        uncertainty_before = float(np.sum(high_alloc - low_alloc))
+        mid = region.midpoint(mode)
+        mid_alloc = alloc_at(mid)
+        intersections += p
+        total = float(mid_alloc.sum())
+        if keep_trace:
+            trace.append((mid, total))
+        if total >= n:
+            region = region.replace_lower(mid)
+            high_alloc = mid_alloc
+        else:
+            region = region.replace_upper(mid)
+            low_alloc = mid_alloc
+        iterations += 1
+
+        # Flat-tail test: the dividing line crosses a locally horizontal
+        # graph while that processor's allocation is still undecided.
+        moving = high_alloc - low_alloc >= 1.0
+        if np.any(moving):
+            for i in np.nonzero(moving)[0]:
+                if abs(_relative_derivative(speed_functions[i], float(mid_alloc[i]))) < flat_tol:
+                    switch = True
+                    break
+        # Stall test: geometric progress dried up.
+        uncertainty_after = float(np.sum(high_alloc - low_alloc))
+        if uncertainty_after > stall_factor * uncertainty_before:
+            stalled += 1
+        else:
+            stalled = 0
+        if stalled >= stall_limit:
+            switch = True
+        if switch:
+            break
+
+    if switch and np.any(high_alloc - low_alloc >= 1.0):
+        sub = partition_modified(
+            n,
+            speed_functions,
+            refine=refine,
+            keep_trace=keep_trace,
+            region=region,
+        )
+        return PartitionResult(
+            allocation=sub.allocation,
+            makespan=sub.makespan,
+            algorithm="combined",
+            iterations=iterations + sub.iterations,
+            intersections=intersections + sub.intersections - 3 * p,
+            slope=sub.slope,
+            trace=trace + sub.trace,
+        )
+
+    if refine == "greedy":
+        alloc = refine_greedy(n, speed_functions, low_alloc)
+    elif refine == "paper":
+        alloc = refine_paper(n, speed_functions, low_alloc, high_alloc)
+    else:
+        raise ValueError(f"unknown refine procedure {refine!r}")
+    return PartitionResult(
+        allocation=alloc,
+        makespan=makespan(speed_functions, alloc),
+        algorithm="combined",
+        iterations=iterations,
+        intersections=intersections,
+        slope=region.midpoint(mode),
+        trace=trace,
+    )

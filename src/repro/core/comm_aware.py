@@ -1,0 +1,148 @@
+"""Communication-aware partitioning (the paper's future-work extension).
+
+Section 1 defers communication cost to future research but sketches the
+ingredients: a per-processor-pair start-up time and transmission rate
+(the Bhat et al. [13] model).  For distributions whose communication
+overlaps across processors (each processor receives its own data over its
+own link, as on a switched network), the extension fits the existing
+geometric framework exactly:
+
+the total time of processor ``i`` holding ``x`` elements becomes
+
+.. math::  t_i(x) = x / s_i(x) + \\alpha_i + \\beta_i x
+
+(compute + link start-up + transfer).  Define the *effective speed*
+``s'_i(x) = x / t_i(x)``.  Then ``g'(x) = s'(x)/x = 1/t_i(x)`` is strictly
+decreasing (``t_i`` is strictly increasing), so :class:`CommAwareSpeedFunction`
+is a valid :class:`~repro.core.speed_function.SpeedFunction` and every
+partitioning algorithm in the library balances *compute plus
+communication* with no further changes.
+
+One genuine difference from pure compute curves: ``g'`` is bounded above
+by ``1/alpha`` — a sufficiently steep ray misses the graph entirely, which
+geometrically encodes "for very small assignments the start-up dominates
+and the processor is not worth using".  ``intersect_ray`` returns 0 in
+that regime (the ``sup``-of-empty-set convention), and the bisection
+algorithms then naturally assign such processors nothing.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .speed_function import SpeedFunction
+
+__all__ = ["CommAwareSpeedFunction"]
+
+
+class CommAwareSpeedFunction(SpeedFunction):
+    """Effective speed of a processor including its link cost.
+
+    Parameters
+    ----------
+    base:
+        The compute-only speed function.
+    startup_s:
+        Link start-up latency ``alpha`` (seconds), charged once per run.
+    seconds_per_element:
+        Transfer cost ``beta`` (seconds per element), e.g.
+        ``bytes_per_element / link_rate``.
+    """
+
+    def __init__(
+        self,
+        base: SpeedFunction,
+        *,
+        startup_s: float = 0.0,
+        seconds_per_element: float = 0.0,
+    ):
+        if startup_s < 0 or seconds_per_element < 0:
+            raise ConfigurationError(
+                "startup_s and seconds_per_element must be non-negative"
+            )
+        self._base = base
+        self._alpha = float(startup_s)
+        self._beta = float(seconds_per_element)
+        self.max_size = base.max_size
+
+    @property
+    def base(self) -> SpeedFunction:
+        """The compute-only speed function."""
+        return self._base
+
+    def total_time(self, x):
+        """Compute-plus-communication time at allocation ``x``."""
+        x_arr = np.asarray(x, dtype=float)
+        out = self._base.time(x_arr) + np.where(
+            x_arr > 0, self._alpha + self._beta * x_arr, 0.0
+        )
+        if np.isscalar(x) or np.ndim(x) == 0:
+            return float(out)
+        return out
+
+    # -- SpeedFunction interface -------------------------------------------
+    def speed(self, x):
+        x_arr = np.asarray(x, dtype=float)
+        t = self.total_time(np.minimum(x_arr, self.max_size))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = np.where(x_arr > 0, x_arr / np.asarray(t, dtype=float), 0.0)
+        # speed(0) is conventionally the zero-size limit x/t -> 0 when
+        # alpha > 0; report the base speed instead so plots stay sensible.
+        if self._alpha == 0:
+            out = np.where(x_arr > 0, out, self._base.speed(x_arr))
+        if np.isscalar(x) or np.ndim(x) == 0:
+            return float(out)
+        return out
+
+    def time(self, x):
+        """Override: the execution time *is* the total time here."""
+        x_arr = np.asarray(x, dtype=float)
+        out = np.where(
+            x_arr > self.max_size, math.inf, self.total_time(np.minimum(x_arr, self.max_size))
+        )
+        if np.isscalar(x) or np.ndim(x) == 0:
+            return float(out)
+        return out
+
+    def g(self, x):
+        """``g'(x) = 1/t(x)`` — strictly decreasing, bounded by ``1/alpha``."""
+        x_arr = np.asarray(x, dtype=float)
+        t = np.asarray(self.total_time(x_arr), dtype=float)
+        with np.errstate(divide="ignore"):
+            out = np.where(x_arr > 0, 1.0 / t, math.inf if self._alpha == 0 else 1.0 / self._alpha)
+        if np.isscalar(x) or np.ndim(x) == 0:
+            return float(out)
+        return out
+
+    def intersect_ray(self, slope: float) -> float:
+        if slope <= 0:
+            raise ValueError(f"ray slope must be positive, got {slope!r}")
+        # Solve 1/t(x) = slope, i.e. t(x) = 1/slope, by bisection on the
+        # strictly increasing t.
+        target = 1.0 / slope
+        if self._alpha > 0 and target <= self._alpha:
+            # Even an empty assignment would cost more than the budget the
+            # ray implies: the processor is priced out.
+            return 0.0
+        hi = self.max_size
+        if self.total_time(hi) <= target:
+            return float(hi)
+        lo = 0.0
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if self.total_time(mid) <= target:
+                lo = mid
+            else:
+                hi = mid
+            if hi - lo <= 1e-9 * max(hi, 1.0):
+                break
+        return float(0.5 * (lo + hi))
+
+    def __repr__(self) -> str:
+        return (
+            f"CommAwareSpeedFunction({self._base!r}, startup={self._alpha:g}s, "
+            f"per_element={self._beta:g}s)"
+        )

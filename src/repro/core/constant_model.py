@@ -1,0 +1,139 @@
+"""Single-number (constant) performance model baselines.
+
+Every prior model the paper surveys (normalised processor speed, normalised
+cycle time, per-machine computation time) represents a processor by a single
+positive number and distributes elements in proportion to it.  This module
+implements those baselines:
+
+* :func:`partition_constant_naive` — the straightforward ``O(p^2)``
+  algorithm referenced from Beaumont et al. [6];
+* :func:`partition_constant` — the ``O(p log p)`` heap-based variant that
+  [6] obtains with ad-hoc data structures;
+* :func:`partition_even` — the homogeneous even split the paper recommends
+  when a badly chosen single number would otherwise produce a
+  worse-than-even distribution.
+
+These functions accept plain positive numbers.  To evaluate the *quality*
+of a constant-model distribution under the true functional behaviour, pass
+the resulting allocation to the simulator in :mod:`repro.simulate`, or use
+:func:`single_number_speeds` to derive the numbers the paper's experiments
+use (speed measured at one fixed problem size).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import InfeasiblePartitionError
+from .result import PartitionResult
+from .speed_function import SpeedFunction
+
+__all__ = [
+    "partition_constant",
+    "partition_constant_naive",
+    "partition_even",
+    "single_number_speeds",
+]
+
+
+def _check_inputs(n: int, speeds: Sequence[float]) -> np.ndarray:
+    if n < 0:
+        raise InfeasiblePartitionError(f"problem size must be non-negative, got {n}")
+    s = np.asarray(speeds, dtype=float)
+    if s.ndim != 1 or s.size == 0:
+        raise InfeasiblePartitionError("speeds must be a non-empty 1-D sequence")
+    if np.any(s <= 0) or not np.all(np.isfinite(s)):
+        raise InfeasiblePartitionError("all speeds must be positive finite numbers")
+    return s
+
+
+def partition_constant(n: int, speeds: Sequence[float]) -> PartitionResult:
+    """Distribute ``n`` elements proportionally to constant speeds.
+
+    Allocates ``floor(n * s_i / sum(s))`` to each processor, then assigns the
+    remaining ``< p`` elements one at a time to the processor that would
+    finish soonest after receiving it (a min-heap on ``(x_i+1)/s_i``).  This
+    is the ``O(p log p)`` variant and produces a makespan-optimal integer
+    allocation for the constant model.
+    """
+    s = _check_inputs(n, speeds)
+    share = n * s / s.sum()
+    alloc = np.floor(share).astype(np.int64)
+    deficit = int(n - alloc.sum())
+    heap = [(float((alloc[i] + 1) / s[i]), i) for i in range(s.size)]
+    heapq.heapify(heap)
+    for _ in range(deficit):
+        _, i = heapq.heappop(heap)
+        alloc[i] += 1
+        heapq.heappush(heap, (float((alloc[i] + 1) / s[i]), i))
+    return PartitionResult(
+        allocation=alloc,
+        makespan=float((alloc / s).max()) if n else 0.0,
+        algorithm="constant",
+        iterations=deficit,
+        intersections=0,
+    )
+
+
+def partition_constant_naive(n: int, speeds: Sequence[float]) -> PartitionResult:
+    """The naive ``O(p^2)`` proportional algorithm of [6].
+
+    Identical output to :func:`partition_constant`; kept as a faithful
+    baseline implementation (each leftover element triggers a linear scan
+    over all processors).
+    """
+    s = _check_inputs(n, speeds)
+    alloc = np.floor(n * s / s.sum()).astype(np.int64)
+    for _ in range(int(n - alloc.sum())):
+        # Linear scan: the processor finishing soonest after one more element.
+        finish = (alloc + 1) / s
+        alloc[int(np.argmin(finish))] += 1
+    return PartitionResult(
+        allocation=alloc,
+        makespan=float((alloc / s).max()) if n else 0.0,
+        algorithm="constant-naive",
+        iterations=0,
+        intersections=0,
+    )
+
+
+def partition_even(n: int, p: int) -> PartitionResult:
+    """Even distribution: ``n`` elements over ``p`` identical shares.
+
+    The paper notes that when the single numbers are measured at the wrong
+    problem size, the proportional distribution can be *inversely*
+    proportional to the true speeds, in which case an even split is the
+    safer choice.
+    """
+    if p <= 0:
+        raise InfeasiblePartitionError(f"number of processors must be positive, got {p}")
+    if n < 0:
+        raise InfeasiblePartitionError(f"problem size must be non-negative, got {n}")
+    base, extra = divmod(n, p)
+    alloc = np.full(p, base, dtype=np.int64)
+    alloc[:extra] += 1
+    return PartitionResult(
+        allocation=alloc,
+        makespan=float(alloc.max()),  # time units of 1/speed with unit speed
+        algorithm="even",
+    )
+
+
+def single_number_speeds(
+    speed_functions: Sequence[SpeedFunction], probe_size: float
+) -> np.ndarray:
+    """Constant-model speeds measured at one fixed problem size.
+
+    This reproduces how the paper's experiments obtain the single numbers:
+    every processor runs the *same* benchmark size (e.g. multiplication of
+    two dense 500x500 matrices) and reports its speed there — regardless of
+    the size it will actually be assigned.  The returned array feeds
+    :func:`partition_constant`.
+    """
+    return np.array(
+        [sf.speed(min(probe_size, sf.max_size)) for sf in speed_functions],
+        dtype=float,
+    )

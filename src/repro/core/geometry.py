@@ -1,0 +1,186 @@
+"""Geometric primitives for the line-through-origin partitioning algorithms.
+
+The algorithms of section 2 search for a straight line ``y = c * x`` through
+the origin of the (problem size, absolute speed) plane such that the sum of
+the size coordinates of its intersections with the ``p`` speed graphs equals
+the problem size ``n``.  This module provides:
+
+* :func:`allocations` / :func:`total_allocation` — intersect a ray with all
+  graphs at once;
+* :func:`initial_bracket` — the paper's procedure (figure 18) for finding the
+  two starting lines between which the optimal line lies;
+* :class:`SlopeRegion` — the pair of bounding slopes manipulated by the
+  bisection algorithms, with both *tangent* and *angle* bisection rules (the
+  paper bisects angles but notes that tangents work in practice).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import InfeasiblePartitionError
+from .speed_function import SpeedFunction
+
+__all__ = [
+    "allocations",
+    "total_allocation",
+    "initial_bracket",
+    "SlopeRegion",
+]
+
+
+def allocations(
+    speed_functions: Sequence[SpeedFunction], slope: float
+) -> np.ndarray:
+    """Size coordinates of the intersections of ``y = slope*x`` with each graph.
+
+    Element ``i`` of the result is the (generally non-integer) number of
+    elements processor ``i`` would receive if the line with the given slope
+    were the optimal one.  Intersections beyond a processor's memory bound
+    are clamped to the bound by :meth:`SpeedFunction.intersect_ray`.
+    """
+    return np.array([sf.intersect_ray(slope) for sf in speed_functions], dtype=float)
+
+
+def total_allocation(
+    speed_functions: Sequence[SpeedFunction], slope: float
+) -> float:
+    """Sum of the intersection size coordinates for the given ray slope.
+
+    Monotonically non-increasing in ``slope``: steeper lines cross every
+    graph at smaller sizes.
+    """
+    return float(sum(sf.intersect_ray(slope) for sf in speed_functions))
+
+
+def initial_bracket(
+    speed_functions: Sequence[SpeedFunction],
+    n: int,
+    *,
+    max_expansions: int = 200,
+    allocator=None,
+) -> "SlopeRegion":
+    """Find two lines bracketing the optimal one (the paper's figure 18).
+
+    Each processor is probed at the even allocation ``n/p``.  The first line
+    passes through ``(n/p, max_i s_i(n/p))`` — it is the steeper of the two
+    and yields a total allocation of at most ``n``; the second passes through
+    ``(n/p, min_i s_i(n/p))`` and yields at least ``n``.
+
+    Memory bounds can break the second guarantee (the intersections are
+    clamped, so even a nearly flat line may not reach a total of ``n``).  In
+    that case the shallow slope is decreased geometrically; if the problem
+    does not fit in the combined memory of all processors at any slope,
+    :class:`~repro.exceptions.InfeasiblePartitionError` is raised.
+
+    ``allocator`` optionally supplies a vectorised ``slope -> allocations``
+    callable (see :func:`repro.core.vectorized.make_allocator`); the
+    default evaluates the functions one by one.
+
+    Returns a :class:`SlopeRegion` with ``total(upper) <= n <= total(lower)``.
+    """
+    total = (
+        (lambda c: float(allocator(c).sum()))
+        if allocator is not None
+        else (lambda c: total_allocation(speed_functions, c))
+    )
+    p = len(speed_functions)
+    if p == 0:
+        raise InfeasiblePartitionError("no processors")
+    if n <= 0:
+        raise InfeasiblePartitionError(f"problem size must be positive, got {n}")
+    capacity = sum(sf.max_size for sf in speed_functions)
+    if capacity < n:
+        raise InfeasiblePartitionError(
+            f"problem of size {n} exceeds the combined memory bound "
+            f"{capacity:g} of the {p} processors"
+        )
+    probe = n / p
+    speeds_at_probe = np.array(
+        [sf.speed(min(probe, sf.max_size)) for sf in speed_functions], dtype=float
+    )
+    if np.any(speeds_at_probe <= 0):
+        # A processor whose speed is exactly zero at n/p (e.g. at its paging
+        # limit) still has positive speed at smaller sizes; fall back to a
+        # tiny positive surrogate so the bracket search can proceed.
+        speeds_at_probe = np.maximum(speeds_at_probe, 1e-30)
+    upper = float(speeds_at_probe.max() / probe)
+    lower = float(speeds_at_probe.min() / probe)
+
+    # Guarantee total(upper) <= n (expand upwards if a clamped or unusual
+    # shape broke the textbook property).
+    for _ in range(max_expansions):
+        if total(upper) <= n:
+            break
+        upper *= 2.0
+    else:  # pragma: no cover - requires a pathological speed function
+        raise InfeasiblePartitionError(
+            "could not find a steep line allocating fewer than n elements"
+        )
+    # Guarantee total(lower) >= n (expand downwards past memory-bound clamps).
+    for _ in range(max_expansions):
+        if total(lower) >= n:
+            break
+        lower *= 0.5
+    else:
+        raise InfeasiblePartitionError(
+            f"problem of size {n} cannot be allocated even with arbitrarily "
+            "shallow lines; processors saturate at their memory bounds"
+        )
+    return SlopeRegion(upper=upper, lower=lower)
+
+
+@dataclass
+class SlopeRegion:
+    """The angular region between two candidate lines through the origin.
+
+    Attributes
+    ----------
+    upper:
+        Tangent slope of the steeper line; its total allocation is <= n.
+    lower:
+        Tangent slope of the shallower line; its total allocation is >= n.
+    """
+
+    upper: float
+    lower: float
+
+    def __post_init__(self) -> None:
+        if not (self.upper > 0 and self.lower > 0):
+            raise ValueError(
+                f"slopes must be positive (upper={self.upper!r}, lower={self.lower!r})"
+            )
+        if self.upper < self.lower:
+            raise ValueError(
+                f"upper slope {self.upper!r} must be >= lower slope {self.lower!r}"
+            )
+
+    def midpoint(self, mode: str = "tangent") -> float:
+        """Slope of the line bisecting this region.
+
+        ``mode='angle'`` bisects the angle (the paper's definition:
+        ``(theta1 + theta2) / 2``); ``mode='tangent'`` averages the tangent
+        slopes, which the paper notes is the computationally efficient
+        choice for practical implementations.
+        """
+        if mode == "tangent":
+            return 0.5 * (self.upper + self.lower)
+        if mode == "angle":
+            return math.tan(0.5 * (math.atan(self.upper) + math.atan(self.lower)))
+        raise ValueError(f"unknown bisection mode {mode!r}")
+
+    def width(self) -> float:
+        """Tangent-slope width of the region."""
+        return self.upper - self.lower
+
+    def replace_upper(self, slope: float) -> "SlopeRegion":
+        """New region with the steeper bound moved down to ``slope``."""
+        return SlopeRegion(upper=slope, lower=self.lower)
+
+    def replace_lower(self, slope: float) -> "SlopeRegion":
+        """New region with the shallower bound moved up to ``slope``."""
+        return SlopeRegion(upper=self.upper, lower=slope)

@@ -1,0 +1,139 @@
+"""The modified (solution-space) bisection algorithm (section 2, figs 10-12).
+
+The basic algorithm bisects the *angular region* between two lines; its step
+count therefore depends on how fast the optimal slope decays with ``n``.
+The modified algorithm instead bisects the *space of solutions*: the
+discrete set of lines through the origin that pass through a point of some
+speed graph with an integer size coordinate.
+
+Each step:
+
+1. find the processor whose graph carries the most candidate lines inside
+   the current region — i.e. the most integer sizes between its two
+   bounding intersections;
+2. split that processor's size interval at its midpoint ``(v+w)/2`` (the
+   paper prints ``(v-w)/2``, an obvious typo) and draw the line through the
+   origin and ``(mid, s(mid))``;
+3. keep the half-region containing the optimal line.
+
+Every ``p`` consecutive steps at least halve the total number of candidate
+lines (the pigeonhole argument of figure 12), so at most ``p * log2(n)``
+steps are needed and the overall complexity is ``O(p^2 log n)`` —
+independent of the shapes of the speed graphs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConvergenceError
+from .geometry import SlopeRegion, allocations, initial_bracket
+from .vectorized import make_allocator
+from .refine import makespan, refine_greedy, refine_paper
+from .result import PartitionResult
+from .speed_function import SpeedFunction
+
+__all__ = ["partition_modified"]
+
+_DEFAULT_MAX_ITERATIONS = 100_000
+
+
+def _integer_counts(low: np.ndarray, high: np.ndarray) -> np.ndarray:
+    """Number of integer sizes strictly inside each ``[low_i, high_i]``.
+
+    Counts integers ``k`` with ``low_i < k < high_i`` — candidate
+    intersection sizes that would distinguish two different solution lines
+    within the region.
+    """
+    lo = np.floor(low) + 1.0
+    hi = np.ceil(high) - 1.0
+    return np.maximum(hi - lo + 1.0, 0.0).astype(np.int64)
+
+
+def partition_modified(
+    n: int,
+    speed_functions: Sequence[SpeedFunction],
+    *,
+    refine: str = "greedy",
+    max_iterations: int = _DEFAULT_MAX_ITERATIONS,
+    keep_trace: bool = False,
+    region: SlopeRegion | None = None,
+) -> PartitionResult:
+    """Partition ``n`` elements with the modified bisection algorithm.
+
+    Parameters mirror :func:`~repro.core.bisection.partition_bisection`;
+    there is no ``mode`` because the split point is chosen on a speed graph
+    rather than in slope space.
+    """
+    p = len(speed_functions)
+    if n == 0:
+        return PartitionResult(
+            allocation=np.zeros(p, dtype=np.int64),
+            makespan=0.0,
+            algorithm="modified",
+        )
+    alloc_at = make_allocator(speed_functions)
+    if region is None:
+        region = initial_bracket(speed_functions, n, allocator=alloc_at)
+    low_alloc = alloc_at(region.upper)
+    high_alloc = alloc_at(region.lower)
+    intersections = 3 * p
+    iterations = 0
+    trace: list[tuple[float, float]] = []
+
+    while np.any(high_alloc - low_alloc >= 1.0):
+        if iterations >= max_iterations:
+            raise ConvergenceError(
+                f"modified bisection did not converge within {max_iterations} steps",
+                iterations=iterations,
+            )
+        if region.upper - region.lower <= 1e-15 * region.upper:
+            # The slope interval collapsed to float precision while some
+            # allocation interval still spans integers: a graph segment lies
+            # exactly on a ray through the origin (constant g), so every
+            # allocation on it has the same execution time.  Fine-tuning
+            # resolves the remainder.
+            break
+        counts = _integer_counts(low_alloc, high_alloc)
+        if counts.sum() == 0:
+            # No candidate line separates the bounds any more; the remaining
+            # >=1-wide intervals touch integers only at their endpoints.
+            break
+        i = int(np.argmax(counts))
+        mid_x = 0.5 * (low_alloc[i] + high_alloc[i])
+        slope = speed_functions[i].g(mid_x)
+        # Keep the dividing line strictly inside the region; degenerate
+        # clamped intersections could push it onto a boundary.
+        if not (region.lower < slope < region.upper) or not math.isfinite(slope):
+            slope = region.midpoint("tangent")
+        mid_alloc = alloc_at(slope)
+        intersections += p
+        total = float(mid_alloc.sum())
+        if keep_trace:
+            trace.append((slope, total))
+        if total >= n:
+            region = region.replace_lower(slope)
+            high_alloc = mid_alloc
+        else:
+            region = region.replace_upper(slope)
+            low_alloc = mid_alloc
+        iterations += 1
+
+    if refine == "greedy":
+        alloc = refine_greedy(n, speed_functions, low_alloc)
+    elif refine == "paper":
+        alloc = refine_paper(n, speed_functions, low_alloc, high_alloc)
+    else:
+        raise ValueError(f"unknown refine procedure {refine!r}")
+    return PartitionResult(
+        allocation=alloc,
+        makespan=makespan(speed_functions, alloc),
+        algorithm="modified",
+        iterations=iterations,
+        intersections=intersections,
+        slope=region.midpoint("tangent"),
+        trace=trace,
+    )

@@ -1,0 +1,163 @@
+"""Multi-parameter problem sizes: the surface-to-curve reduction.
+
+Section 3.1 of the paper explains that for the matrix applications the
+problem size has *two* parameters ``(n1, n2)`` and the speed of a processor
+is geometrically a surface ``s = f(n1, n2)``.  When one parameter is fixed
+(``n2 = n`` for striped matrix multiplication, ``n1 = n`` for the LU column
+panels), the surface reduces to a curve and the 1-D set-partitioning
+algorithm applies directly.  This module implements that reduction:
+
+* :class:`SpeedSurface` — a bilinear-interpolated speed surface built from
+  measurements on a rectangular grid of ``(n1, n2)`` sizes;
+* :func:`partition_2d_fixed` — slice every processor's surface at the fixed
+  parameter, re-parameterise by total element count ``x = n1 * n2``, and run
+  the ordinary partitioner.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .partition import partition
+from .result import PartitionResult
+from .speed_function import PiecewiseLinearSpeedFunction
+
+__all__ = ["SpeedSurface", "partition_2d_fixed"]
+
+
+class SpeedSurface:
+    """Processor speed as a function of a two-parameter problem size.
+
+    Parameters
+    ----------
+    n1_grid, n2_grid:
+        Strictly increasing positive sample coordinates.
+    speeds:
+        2-D array, ``speeds[i, j]`` is the speed at ``(n1_grid[i],
+        n2_grid[j])`` in elements per second (element count ``n1 * n2``).
+    """
+
+    def __init__(
+        self,
+        n1_grid: Sequence[float],
+        n2_grid: Sequence[float],
+        speeds: np.ndarray,
+    ):
+        g1 = np.asarray(n1_grid, dtype=float)
+        g2 = np.asarray(n2_grid, dtype=float)
+        sp = np.asarray(speeds, dtype=float)
+        if g1.ndim != 1 or g2.ndim != 1:
+            raise ConfigurationError("grids must be 1-D")
+        if np.any(np.diff(g1) <= 0) or np.any(np.diff(g2) <= 0):
+            raise ConfigurationError("grids must be strictly increasing")
+        if np.any(g1 <= 0) or np.any(g2 <= 0):
+            raise ConfigurationError("grid coordinates must be positive")
+        if sp.shape != (g1.size, g2.size):
+            raise ConfigurationError(
+                f"speeds shape {sp.shape} does not match grids "
+                f"({g1.size}, {g2.size})"
+            )
+        if np.any(sp < 0):
+            raise ConfigurationError("speeds must be non-negative")
+        self._g1 = g1
+        self._g2 = g2
+        self._sp = sp
+
+    @property
+    def n1_grid(self) -> np.ndarray:
+        v = self._g1.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def n2_grid(self) -> np.ndarray:
+        v = self._g2.view()
+        v.flags.writeable = False
+        return v
+
+    def speed(self, n1, n2) -> np.ndarray:
+        """Bilinear interpolation of the speed at ``(n1, n2)`` (clamped)."""
+        a = np.clip(np.asarray(n1, dtype=float), self._g1[0], self._g1[-1])
+        b = np.clip(np.asarray(n2, dtype=float), self._g2[0], self._g2[-1])
+        a, b = np.broadcast_arrays(a, b)
+        i = np.clip(np.searchsorted(self._g1, a, side="right") - 1, 0, self._g1.size - 2)
+        j = np.clip(np.searchsorted(self._g2, b, side="right") - 1, 0, self._g2.size - 2)
+        x0, x1 = self._g1[i], self._g1[i + 1]
+        y0, y1 = self._g2[j], self._g2[j + 1]
+        tx = np.where(x1 > x0, (a - x0) / (x1 - x0), 0.0)
+        ty = np.where(y1 > y0, (b - y0) / (y1 - y0), 0.0)
+        s00 = self._sp[i, j]
+        s10 = self._sp[i + 1, j]
+        s01 = self._sp[i, j + 1]
+        s11 = self._sp[i + 1, j + 1]
+        return (
+            s00 * (1 - tx) * (1 - ty)
+            + s10 * tx * (1 - ty)
+            + s01 * (1 - tx) * ty
+            + s11 * tx * ty
+        )
+
+    def slice_fixed_n2(self, n2: float) -> PiecewiseLinearSpeedFunction:
+        """Reduce the surface to a curve over element count with fixed ``n2``.
+
+        The resulting 1-D function maps ``x = n1 * n2`` (total elements of
+        an ``n1 x n2`` task) to the interpolated speed — exactly the
+        reduction ``s = f(n1, n2) -> s = f(n1, n)`` of section 3.1.
+        """
+        speeds = self.speed(self._g1, np.full_like(self._g1, n2))
+        sizes = self._g1 * float(n2)
+        return PiecewiseLinearSpeedFunction(sizes, np.asarray(speeds, dtype=float))
+
+    def slice_fixed_n1(self, n1: float) -> PiecewiseLinearSpeedFunction:
+        """Reduce with the first parameter fixed (LU panel orientation)."""
+        speeds = self.speed(np.full_like(self._g2, n1), self._g2)
+        sizes = self._g2 * float(n1)
+        return PiecewiseLinearSpeedFunction(sizes, np.asarray(speeds, dtype=float))
+
+
+def partition_2d_fixed(
+    total_elements: int,
+    surfaces: Sequence[SpeedSurface],
+    fixed_value: float,
+    *,
+    fixed_param: str = "n2",
+    algorithm: str = "combined",
+    **kwargs,
+) -> PartitionResult:
+    """Partition a two-parameter problem with one parameter fixed.
+
+    Parameters
+    ----------
+    total_elements:
+        Total number of elements to distribute, e.g. ``n * n`` for striping
+        an ``n x n`` matrix over rows.
+    surfaces:
+        One :class:`SpeedSurface` per processor.
+    fixed_value:
+        Value of the fixed parameter (the matrix dimension ``n``).
+    fixed_param:
+        ``"n2"`` (stripe rows, MM orientation) or ``"n1"`` (stripe columns,
+        LU orientation).
+    algorithm, **kwargs:
+        Forwarded to :func:`~repro.core.partition.partition`.
+
+    Returns
+    -------
+    PartitionResult
+        Allocations are in *elements*; divide by ``fixed_value`` for row or
+        column counts.
+    """
+    if fixed_param == "n2":
+        sfs = [s.slice_fixed_n2(fixed_value) for s in surfaces]
+    elif fixed_param == "n1":
+        sfs = [s.slice_fixed_n1(fixed_value) for s in surfaces]
+    else:
+        raise ConfigurationError(
+            f"fixed_param must be 'n1' or 'n2', got {fixed_param!r}"
+        )
+    result = partition(total_elements, sfs, algorithm=algorithm, **kwargs)
+    result.algorithm = f"{result.algorithm}+2d"
+    return result

@@ -1,0 +1,83 @@
+"""High-level entry point for set partitioning under the functional model.
+
+Most users should call :func:`partition`::
+
+    from repro import PiecewiseLinearSpeedFunction, partition
+
+    sfs = [PiecewiseLinearSpeedFunction([1e4, 1e6, 1e8], [120.0, 100.0, 5.0]),
+           PiecewiseLinearSpeedFunction([1e4, 1e6, 1e8], [300.0, 280.0, 90.0])]
+    result = partition(10_000_000, sfs)
+    result.allocation   # elements per processor, sums to n
+    result.makespan     # modelled parallel time
+
+``algorithm`` selects between the paper's algorithms; the default
+``"combined"`` matches the paper's recommendation for real-life problems.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..exceptions import ConfigurationError
+from .bisection import partition_bisection
+from .combined import partition_combined
+from .exact import partition_exact
+from .modified import partition_modified
+from .result import PartitionResult
+from .speed_function import SpeedFunction, validate_speed_functions
+
+__all__ = ["partition", "ALGORITHMS"]
+
+#: Registry of algorithm names accepted by :func:`partition`.
+ALGORITHMS: dict[str, Callable[..., PartitionResult]] = {
+    "bisection": partition_bisection,
+    "modified": partition_modified,
+    "combined": partition_combined,
+    "exact": partition_exact,
+}
+
+
+def partition(
+    n: int,
+    speed_functions: Sequence[SpeedFunction],
+    *,
+    algorithm: str = "combined",
+    validate: bool = False,
+    **kwargs,
+) -> PartitionResult:
+    """Partition an ``n``-element set over heterogeneous processors.
+
+    Parameters
+    ----------
+    n:
+        Number of elements.  The number of elements assigned to each
+        processor will be proportional to its speed *at the size it is
+        actually assigned* — the defining property of the functional model.
+    speed_functions:
+        One :class:`~repro.core.speed_function.SpeedFunction` per processor.
+        Each function's ``max_size`` acts as that processor's memory bound
+        ``b_i`` from the general problem statement.
+    algorithm:
+        One of ``"combined"`` (default), ``"bisection"``, ``"modified"``,
+        ``"exact"``.
+    validate:
+        When true, re-check the single-intersection invariant of every
+        speed function before partitioning.
+    **kwargs:
+        Forwarded to the selected algorithm (``mode=``, ``refine=``,
+        ``keep_trace=``, ...).
+
+    Returns
+    -------
+    PartitionResult
+        ``result.allocation`` sums to exactly ``n``.
+    """
+    try:
+        algo = ALGORITHMS[algorithm]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown algorithm {algorithm!r}; expected one of {sorted(ALGORITHMS)}"
+        ) from None
+    if validate:
+        validate_speed_functions(speed_functions)
+    return algo(n, speed_functions, **kwargs)

@@ -1,0 +1,164 @@
+"""Piecewise-constant speed functions (the Drozdowski-Wolniewicz model).
+
+The paper's closest prior work [19] models hierarchical memory with a
+*piecewise constant* dependence of speed on problem size: full speed while
+the task fits a memory level, a lower constant after each boundary.  The
+paper argues this suits carefully designed applications on dedicated
+systems, while common applications need the smooth functional model.
+
+:class:`StepSpeedFunction` implements that model inside this library's
+framework so the two can be compared head-to-head (see
+``benchmarks/bench_ablation_step_model.py``): a non-increasing step
+function satisfies the single-intersection invariant (``g(x) = s/x`` falls
+within every flat segment and drops across boundaries), so all the
+geometric partitioning algorithms accept it unchanged.  Ray intersections
+use the ``sup {x : s(x) >= slope * x}`` convention, which lands on the
+segment interior when the ray crosses a flat run and on the boundary when
+it passes through a speed drop.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import InvalidSpeedFunctionError
+from .speed_function import PiecewiseLinearSpeedFunction, SpeedFunction
+
+__all__ = ["StepSpeedFunction"]
+
+
+class StepSpeedFunction(SpeedFunction):
+    """Non-increasing piecewise-constant speed function.
+
+    Parameters
+    ----------
+    boundaries:
+        Strictly increasing positive sizes ``b_1 < ... < b_m``; the
+        function equals ``speeds[i]`` on ``(b_{i-1}, b_i]`` (with
+        ``b_0 = 0``) and ``b_m`` is the memory bound.
+    speeds:
+        Strictly decreasing positive speeds, one per segment — e.g. the
+        in-cache, in-memory and in-swap rates of [19].
+    """
+
+    def __init__(self, boundaries: Sequence[float], speeds: Sequence[float]):
+        bs = np.asarray(boundaries, dtype=float)
+        ss = np.asarray(speeds, dtype=float)
+        if bs.ndim != 1 or ss.ndim != 1 or bs.size != ss.size:
+            raise InvalidSpeedFunctionError(
+                "boundaries and speeds must be 1-D sequences of equal length"
+            )
+        if bs.size == 0:
+            raise InvalidSpeedFunctionError("at least one segment is required")
+        if np.any(bs <= 0) or np.any(np.diff(bs) <= 0):
+            raise InvalidSpeedFunctionError(
+                "boundaries must be positive and strictly increasing"
+            )
+        if np.any(ss <= 0):
+            raise InvalidSpeedFunctionError("segment speeds must be positive")
+        if np.any(np.diff(ss) >= 0):
+            raise InvalidSpeedFunctionError(
+                "segment speeds must strictly decrease (a speed *increase* "
+                "at a memory boundary would let a ray cross the graph twice)"
+            )
+        self._bs = bs
+        self._ss = ss
+        self.max_size = float(bs[-1])
+
+    # -- accessors ----------------------------------------------------------
+    @property
+    def boundaries(self) -> np.ndarray:
+        v = self._bs.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def segment_speeds(self) -> np.ndarray:
+        v = self._ss.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def num_segments(self) -> int:
+        return int(self._bs.size)
+
+    # -- SpeedFunction interface ------------------------------------------------
+    def speed(self, x):
+        x_arr = np.asarray(x, dtype=float)
+        idx = np.searchsorted(self._bs, np.minimum(x_arr, self.max_size), side="left")
+        idx = np.clip(idx, 0, self._bs.size - 1)
+        out = self._ss[idx]
+        if np.isscalar(x) or np.ndim(x) == 0:
+            return float(out)
+        return out
+
+    def intersect_ray(self, slope: float) -> float:
+        if slope <= 0:
+            raise ValueError(f"ray slope must be positive, got {slope!r}")
+        # Largest x with s(x) >= slope * x.  On segment i the condition is
+        # x <= s_i / slope; the candidate within the segment is
+        # min(b_i, s_i/slope), valid if it exceeds the left edge b_{i-1}.
+        best = 0.0
+        left = 0.0
+        for b, s in zip(self._bs, self._ss):
+            candidate = min(float(b), s / slope)
+            if candidate > left:
+                best = candidate
+            left = float(b)
+        if best <= 0.0:
+            # Even the first segment's flat run lies below the ray at its
+            # left edge; the intersection degenerates to an arbitrarily
+            # small size.  Return the exact crossing on the first plateau.
+            best = self._ss[0] / slope
+        return float(min(best, self.max_size))
+
+    def check_single_intersection(self, sizes=()) -> None:
+        """Exact validation from the construction invariants."""
+        # Construction already guarantees the invariant; re-run it so a
+        # mutated instance would be caught.
+        if np.any(np.diff(self._ss) >= 0) or np.any(np.diff(self._bs) <= 0):
+            raise InvalidSpeedFunctionError("step function invariants violated")
+
+    # -- conversions ----------------------------------------------------------
+    @classmethod
+    def from_memory_levels(
+        cls,
+        level_elements: Sequence[float],
+        level_speeds: Sequence[float],
+        capacity: float,
+    ) -> "StepSpeedFunction":
+        """Build from memory-level capacities, the [19] parameterisation.
+
+        ``level_elements`` are the cumulative capacities of each level
+        (cache, main memory, ...); ``capacity`` closes the last (swap)
+        segment.
+        """
+        bs = list(level_elements) + [capacity]
+        return cls(bs, level_speeds)
+
+    def to_piecewise_linear(
+        self, *, transition: float = 1e-6
+    ) -> PiecewiseLinearSpeedFunction:
+        """Smooth the steps into a (steep) piecewise-linear function.
+
+        ``transition`` is the relative width of each jump.  Useful for
+        comparing the two model families on identical machinery.
+        """
+        xs: list[float] = []
+        ss: list[float] = []
+        left = self._bs[0] * transition
+        for i, (b, s) in enumerate(zip(self._bs, self._ss)):
+            xs.append(left)
+            ss.append(float(s))
+            xs.append(float(b))
+            ss.append(float(s))
+            left = float(b) * (1.0 + transition)
+        return PiecewiseLinearSpeedFunction.from_points(zip(xs, ss))
+
+    def __repr__(self) -> str:
+        return (
+            f"StepSpeedFunction({self.num_segments} segments, "
+            f"max_size={self.max_size:g})"
+        )

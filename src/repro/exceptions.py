@@ -1,0 +1,57 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class.  The hierarchy distinguishes *model* problems (an invalid speed
+function), *problem-statement* problems (an infeasible partitioning request),
+and *procedural* problems (an algorithm failed to converge).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidSpeedFunctionError",
+    "InfeasiblePartitionError",
+    "ConvergenceError",
+    "MeasurementError",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class InvalidSpeedFunctionError(ReproError, ValueError):
+    """A speed function violates the functional-model shape requirements.
+
+    The partitioning algorithms require that any straight line through the
+    origin intersect each speed graph at exactly one point, which is
+    equivalent to ``s(x)/x`` being strictly decreasing on the domain
+    (section 2 of the paper).
+    """
+
+
+class InfeasiblePartitionError(ReproError, ValueError):
+    """The requested partition cannot be produced.
+
+    Raised, for example, when the total problem size exceeds the sum of the
+    per-processor memory bounds, or when ``n < 0``.
+    """
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative procedure exceeded its iteration budget."""
+
+    def __init__(self, message: str, iterations: int | None = None):
+        super().__init__(message)
+        #: Number of iterations performed before giving up, when known.
+        self.iterations = iterations
+
+
+class MeasurementError(ReproError, RuntimeError):
+    """A benchmark measurement could not be carried out."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An object was constructed with inconsistent parameters."""

@@ -1,0 +1,71 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Index (see DESIGN.md section 5 for the full mapping):
+
+* Table 1 / Figure 1  -> :mod:`~repro.experiments.curves`
+* Figure 2            -> :mod:`~repro.experiments.curves`
+* Table 2 (paging)    -> :mod:`~repro.experiments.paging`
+* Tables 3 & 4        -> :mod:`~repro.experiments.invariance`
+* Figure 21           -> :mod:`~repro.experiments.cost`
+* Figure 22 (a, b)    -> :mod:`~repro.experiments.speedup`
+"""
+
+from .cost import (
+    FIG21_PROBLEM_SIZES,
+    FIG21_PROCESSOR_COUNTS,
+    CostPoint,
+    fig21_sweep,
+    partition_cost,
+    tile_speed_functions,
+)
+from .full_report import generate_report
+from .curves import BandCurve, SpeedCurve, fig1_curves, fig2_bands, paging_point
+from .invariance import InvarianceRow, aspect_ladder, lu_invariance, mm_invariance
+from .paging import PagingRow, detect_paging_onsets
+from .plot import ascii_plot
+from .report import ascii_table, format_float, format_series
+from .speedup import (
+    FIG22A_PROBES,
+    FIG22A_SIZES,
+    FIG22B_PROBES,
+    FIG22B_SIZES,
+    SpeedupPoint,
+    build_network_models,
+    lu_speedup_experiment,
+    mm_speedup_experiment,
+    stream_speedup_experiment,
+)
+
+__all__ = [
+    "BandCurve",
+    "CostPoint",
+    "FIG21_PROBLEM_SIZES",
+    "FIG21_PROCESSOR_COUNTS",
+    "FIG22A_PROBES",
+    "FIG22A_SIZES",
+    "FIG22B_PROBES",
+    "FIG22B_SIZES",
+    "InvarianceRow",
+    "PagingRow",
+    "SpeedCurve",
+    "SpeedupPoint",
+    "ascii_plot",
+    "ascii_table",
+    "aspect_ladder",
+    "build_network_models",
+    "detect_paging_onsets",
+    "fig1_curves",
+    "fig21_sweep",
+    "fig2_bands",
+    "format_float",
+    "format_series",
+    "generate_report",
+    "lu_invariance",
+    "lu_speedup_experiment",
+    "mm_invariance",
+    "mm_speedup_experiment",
+    "paging_point",
+    "partition_cost",
+    "stream_speedup_experiment",
+    "tile_speed_functions",
+]

@@ -1,0 +1,88 @@
+"""Figure 21: the cost of finding the optimal partition.
+
+The paper times its partitioning algorithm for p in {270, 540, 810, 1080}
+processors and problem sizes up to 2e9 elements, finding costs below
+~0.12 s — negligible against application run times of minutes to hours.
+This driver replays exactly that sweep on speed functions tiled from the
+twelve-machine testbed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.partition import partition
+from ..core.speed_function import SpeedFunction
+
+__all__ = ["CostPoint", "tile_speed_functions", "partition_cost", "fig21_sweep"]
+
+#: The paper's processor counts.
+FIG21_PROCESSOR_COUNTS = (270, 540, 810, 1080)
+
+#: The paper's problem-size axis reaches 2e9 elements.
+FIG21_PROBLEM_SIZES = (125_000_000, 500_000_000, 1_000_000_000, 2_000_000_000)
+
+
+@dataclass
+class CostPoint:
+    """One (p, n) cost sample."""
+
+    p: int
+    n: int
+    seconds: float
+    iterations: int
+    algorithm: str
+
+
+def tile_speed_functions(
+    base: Sequence[SpeedFunction], p: int
+) -> list[SpeedFunction]:
+    """Cycle the base speed functions up to ``p`` processors."""
+    if p <= 0:
+        raise ValueError(f"p must be positive, got {p}")
+    return [base[i % len(base)] for i in range(p)]
+
+
+def partition_cost(
+    n: int,
+    speed_functions: Sequence[SpeedFunction],
+    *,
+    algorithm: str = "combined",
+    repeats: int = 3,
+) -> CostPoint:
+    """Best-of-``repeats`` wall time of one partitioning call."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = partition(n, speed_functions, algorithm=algorithm)
+        best = min(best, time.perf_counter() - t0)
+    assert result is not None
+    return CostPoint(
+        p=len(speed_functions),
+        n=n,
+        seconds=best,
+        iterations=result.iterations,
+        algorithm=algorithm,
+    )
+
+
+def fig21_sweep(
+    base: Sequence[SpeedFunction],
+    *,
+    processor_counts: Sequence[int] = FIG21_PROCESSOR_COUNTS,
+    problem_sizes: Sequence[int] = FIG21_PROBLEM_SIZES,
+    algorithm: str = "combined",
+    repeats: int = 3,
+) -> list[CostPoint]:
+    """The full figure-21 sweep: cost versus n for each processor count."""
+    points = []
+    for p in processor_counts:
+        sfs = tile_speed_functions(base, p)
+        for n in problem_sizes:
+            points.append(
+                partition_cost(n, sfs, algorithm=algorithm, repeats=repeats)
+            )
+    return points

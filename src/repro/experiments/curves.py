@@ -1,0 +1,138 @@
+"""Figure 1 and figure 2 data series: speed curves and performance bands.
+
+Figure 1 plots absolute speed against problem size for three applications
+(ArrayOpsF, MatrixMultATLAS, MatrixMult) on the four Table 1 machines,
+annotating the point ``P`` where paging starts.  Figure 2 shows the
+workload-fluctuation bands of MatrixMultATLAS on Comp1, Comp2 and Comp4,
+with widths of ~30-40 % at small sizes narrowing to ~5-8 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machines.network import HeterogeneousNetwork, Machine
+
+__all__ = ["SpeedCurve", "BandCurve", "fig1_curves", "fig2_bands", "paging_point"]
+
+
+@dataclass
+class SpeedCurve:
+    """One machine/kernel speed-versus-size series.
+
+    Sizes are in elements; ``paging_onset`` marks the paper's point ``P``.
+    """
+
+    machine: str
+    kernel: str
+    sizes: np.ndarray
+    speeds: np.ndarray
+    paging_onset: float
+
+    @property
+    def peak(self) -> float:
+        """Maximum speed over the series."""
+        return float(self.speeds.max())
+
+
+@dataclass
+class BandCurve:
+    """One machine's performance band samples (figure 2).
+
+    ``width_percent`` is the band width as a percentage of the machine's
+    maximum speed, sampled along ``sizes``.
+    """
+
+    machine: str
+    kernel: str
+    sizes: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    width_percent: np.ndarray
+    relative_width_percent: np.ndarray
+
+
+def paging_point(machine: Machine, kernel: str, *, drop: float = 0.5) -> float:
+    """Estimate the paging onset ``P`` from a machine's ground-truth curve.
+
+    Scans the curve and returns the smallest size where the speed falls
+    below ``drop`` times the pre-decline plateau (the speed at 10 % of the
+    domain).  Figure 1 marks exactly this knee.
+    """
+    sf = machine.speed_function(kernel)
+    xs = np.geomspace(max(sf.max_size * 1e-5, 1.0), sf.max_size, 600)
+    speeds = np.asarray(sf.speed(xs), dtype=float)
+    plateau = float(np.max(speeds))
+    below = np.nonzero(speeds < drop * plateau)[0]
+    # Ignore the start-up ramp: only knees past the plateau peak count.
+    peak_idx = int(np.argmax(speeds))
+    below = below[below > peak_idx]
+    if below.size == 0:
+        return float(sf.max_size)
+    return float(xs[int(below[0])])
+
+
+def fig1_curves(
+    network: HeterogeneousNetwork,
+    kernels: tuple[str, ...] = ("arrayops", "matmul_atlas", "matmul_naive"),
+    *,
+    num: int = 80,
+) -> dict[str, list[SpeedCurve]]:
+    """Figure 1: per-kernel speed curves for every machine of the network.
+
+    Returns ``{kernel: [SpeedCurve per machine]}``; each curve samples the
+    machine's ground-truth midline on a log grid up to its capacity.
+    """
+    out: dict[str, list[SpeedCurve]] = {}
+    for kernel in kernels:
+        series = []
+        for m in network:
+            sf = m.speed_function(kernel)
+            xs = np.geomspace(max(sf.max_size * 1e-5, 1.0), sf.max_size, num)
+            series.append(
+                SpeedCurve(
+                    machine=m.name,
+                    kernel=kernel,
+                    sizes=xs,
+                    speeds=np.asarray(sf.speed(xs), dtype=float),
+                    paging_onset=paging_point(m, kernel),
+                )
+            )
+        out[kernel] = series
+    return out
+
+
+def fig2_bands(
+    network: HeterogeneousNetwork,
+    machines: tuple[str, ...] = ("Comp1", "Comp2", "Comp4"),
+    kernel: str = "matmul_atlas",
+    *,
+    num: int = 40,
+) -> list[BandCurve]:
+    """Figure 2: fluctuation bands of the ATLAS kernel on selected machines."""
+    out = []
+    for name in machines:
+        m = network[name]
+        band = m.band(kernel)
+        sf = band.midline
+        xs = np.geomspace(max(sf.max_size * 1e-4, 1.0), sf.max_size, num)
+        lower = np.asarray(band.lower_speed(xs), dtype=float)
+        upper = np.asarray(band.upper_speed(xs), dtype=float)
+        mid = np.asarray(sf.speed(xs), dtype=float)
+        peak = float(np.max(upper))
+        out.append(
+            BandCurve(
+                machine=name,
+                kernel=kernel,
+                sizes=xs,
+                lower=lower,
+                upper=upper,
+                # Paper's axis: width as % of the maximum speed...
+                width_percent=100.0 * (upper - lower) / peak,
+                # ...and the schedule itself (40% -> 6%), % of the midline.
+                relative_width_percent=100.0 * (upper - lower) / np.maximum(mid, 1e-300),
+            )
+        )
+    return out

@@ -1,0 +1,101 @@
+"""Tables 3 and 4: square vs non-square speed invariance.
+
+The paper justifies benchmarking with *square* matrices by showing that
+its serial MM and LU kernels run at almost the same speed on a non-square
+matrix with the same number of elements (Tables 3 and 4: four element
+counts, aspect ratios up to 64:1, speeds within a few MFlops).
+
+These experiments actually run the NumPy kernels on this host.  The sizes
+are scaled down from the paper's (which were chosen for 2003 hardware) but
+keep the same aspect-ratio ladder; the claim being reproduced is the
+*invariance*, not the absolute MFlops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..model.measurement import Measurement, measure_lu_speed, measure_mm_speed
+
+__all__ = ["InvarianceRow", "aspect_ladder", "mm_invariance", "lu_invariance"]
+
+
+@dataclass
+class InvarianceRow:
+    """One element-count group of an invariance table.
+
+    Attributes
+    ----------
+    elements:
+        Common element count of every shape in the group.
+    shapes:
+        The ``(n1, n2)`` pairs benchmarked.
+    speeds:
+        Measured speed for each shape (MFlops).
+    """
+
+    elements: int
+    shapes: list[tuple[int, int]]
+    speeds: list[float]
+
+    @property
+    def spread(self) -> float:
+        """Relative peak-to-peak spread of the speeds in the group."""
+        s = np.asarray(self.speeds, dtype=float)
+        return float((s.max() - s.min()) / s.mean())
+
+
+def aspect_ladder(n: int, steps: int = 4) -> list[tuple[int, int]]:
+    """Shapes ``(n, n), (n/2, 2n), (n/4, 4n), ...`` of equal element count.
+
+    Mirrors the paper's ladders (e.g. 1024x1024, 512x2048, 256x4096,
+    128x8192).  ``n`` must be divisible by ``2**(steps-1)``.
+    """
+    if steps < 1:
+        raise ConfigurationError(f"steps must be >= 1, got {steps}")
+    if n % (1 << (steps - 1)) != 0:
+        raise ConfigurationError(
+            f"n={n} must be divisible by {1 << (steps - 1)} for {steps} steps"
+        )
+    return [(n >> k, n << k) for k in range(steps)]
+
+
+def mm_invariance(
+    base_sizes: tuple[int, ...] = (256, 512, 768, 1024),
+    *,
+    steps: int = 4,
+    kernel: str = "reference",
+    repeats: int = 3,
+) -> list[InvarianceRow]:
+    """Table 3 on this host: serial MM speed across equal-element shapes."""
+    rows = []
+    for n in base_sizes:
+        shapes = aspect_ladder(n, steps)
+        speeds = [
+            measure_mm_speed(n1, n2, kernel=kernel, repeats=repeats).speed
+            for (n1, n2) in shapes
+        ]
+        rows.append(InvarianceRow(elements=n * n, shapes=shapes, speeds=speeds))
+    return rows
+
+
+def lu_invariance(
+    base_sizes: tuple[int, ...] = (256, 512, 768, 1024),
+    *,
+    steps: int = 4,
+    block: int = 64,
+    repeats: int = 3,
+) -> list[InvarianceRow]:
+    """Table 4 on this host: serial LU speed across equal-element shapes."""
+    rows = []
+    for n in base_sizes:
+        shapes = aspect_ladder(n, steps)
+        speeds = [
+            measure_lu_speed(n1, n2, block=block, repeats=repeats).speed
+            for (n1, n2) in shapes
+        ]
+        rows.append(InvarianceRow(elements=n * n, shapes=shapes, speeds=speeds))
+    return rows

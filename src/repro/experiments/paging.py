@@ -1,0 +1,71 @@
+"""Table 2: paging-onset verification.
+
+Table 2's last two columns record the matrix size beyond which paging
+started happening for the MM and LU applications on each machine.  In the
+reproduction those published onsets parameterise the synthetic machines,
+so this experiment closes the loop: it *detects* the onset from each
+machine's ground-truth curve the way an experimenter would (the knee where
+speed starts collapsing) and checks it lands on the published value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import sqrt
+
+from ..machines.network import HeterogeneousNetwork
+from ..machines.presets import TABLE2_PAGING_LU, TABLE2_PAGING_MM
+from .curves import paging_point
+
+__all__ = ["PagingRow", "detect_paging_onsets"]
+
+
+@dataclass
+class PagingRow:
+    """One machine's detected versus published paging onsets.
+
+    Matrix sizes (``n``), as in Table 2.
+    """
+
+    machine: str
+    detected_mm: float
+    published_mm: int
+    detected_lu: float
+    published_lu: int
+
+    @property
+    def mm_error(self) -> float:
+        """Relative error of the detected MM onset."""
+        return abs(self.detected_mm - self.published_mm) / self.published_mm
+
+    @property
+    def lu_error(self) -> float:
+        """Relative error of the detected LU onset."""
+        return abs(self.detected_lu - self.published_lu) / self.published_lu
+
+
+def detect_paging_onsets(
+    network: HeterogeneousNetwork,
+    *,
+    drop: float = 0.5,
+) -> list[PagingRow]:
+    """Detect MM/LU paging onsets for every Table 2 machine.
+
+    The detected element-count knee (speed fallen to ``drop`` of the
+    plateau) is converted back to a matrix size (``x = 3 n^2`` for MM,
+    ``x = n^2`` for LU) and compared against the published column.
+    """
+    rows = []
+    for m in network:
+        mm_knee = paging_point(m, "matmul", drop=drop)
+        lu_knee = paging_point(m, "lu", drop=drop)
+        rows.append(
+            PagingRow(
+                machine=m.name,
+                detected_mm=sqrt(mm_knee / 3.0),
+                published_mm=TABLE2_PAGING_MM[m.name],
+                detected_lu=sqrt(lu_knee),
+                published_lu=TABLE2_PAGING_LU[m.name],
+            )
+        )
+    return rows

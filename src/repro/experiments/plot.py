@@ -1,0 +1,103 @@
+"""Dependency-free ASCII line plots for the figure series.
+
+The benchmark harness and CLI print the paper's figures as data tables;
+these helpers add a quick visual: multi-series scatter/line charts drawn
+on a character canvas, with optional logarithmic x axes (speed-versus-size
+curves span decades).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["ascii_plot"]
+
+#: Glyphs used for successive series.
+_GLYPHS = "*o+x#@%&"
+
+
+def _scale(
+    values: np.ndarray, lo: float, hi: float, cells: int, log: bool
+) -> np.ndarray:
+    if log:
+        values = np.log10(np.maximum(values, 1e-300))
+        lo, hi = math.log10(max(lo, 1e-300)), math.log10(max(hi, 1e-300))
+    if hi <= lo:
+        return np.zeros(values.size, dtype=int)
+    frac = (values - lo) / (hi - lo)
+    return np.clip((frac * (cells - 1)).round().astype(int), 0, cells - 1)
+
+
+def ascii_plot(
+    series: Sequence[tuple[str, Sequence[float], Sequence[float]]],
+    *,
+    width: int = 72,
+    height: int = 18,
+    log_x: bool = False,
+    log_y: bool = False,
+    title: str | None = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render ``(name, xs, ys)`` series onto a character canvas.
+
+    Returns a multi-line string; each series uses the next glyph from
+    ``* o + x ...`` and the legend maps glyphs to names.
+    """
+    if not series:
+        raise ConfigurationError("at least one series is required")
+    if width < 16 or height < 4:
+        raise ConfigurationError("canvas too small")
+    all_x = np.concatenate([np.asarray(xs, dtype=float) for _, xs, _ in series])
+    all_y = np.concatenate([np.asarray(ys, dtype=float) for _, _, ys in series])
+    if all_x.size == 0:
+        raise ConfigurationError("series contain no points")
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for k, (name, xs, ys) in enumerate(series):
+        xs_arr = np.asarray(xs, dtype=float)
+        ys_arr = np.asarray(ys, dtype=float)
+        if xs_arr.size != ys_arr.size:
+            raise ConfigurationError(f"series {name!r}: x/y length mismatch")
+        glyph = _GLYPHS[k % len(_GLYPHS)]
+        cols = _scale(xs_arr, x_lo, x_hi, width, log_x)
+        rows = _scale(ys_arr, y_lo, y_hi, height, log_y)
+        for c, r in zip(cols, rows):
+            canvas[height - 1 - r][c] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = f"{y_hi:.3g}"
+    y_bot = f"{y_lo:.3g}"
+    label_w = max(len(y_top), len(y_bot)) + 1
+    for r, row in enumerate(canvas):
+        label = y_top if r == 0 else (y_bot if r == height - 1 else "")
+        lines.append(f"{label:>{label_w}} |" + "".join(row))
+    lines.append(" " * label_w + " +" + "-" * width)
+    x_axis = f"{x_lo:.3g}"
+    x_end = f"{x_hi:.3g}"
+    pad = width - len(x_axis) - len(x_end)
+    lines.append(
+        " " * (label_w + 2) + x_axis + " " * max(pad, 1) + x_end
+    )
+    scales = []
+    if log_x:
+        scales.append("log x")
+    if log_y:
+        scales.append("log y")
+    suffix = f"  [{', '.join(scales)}]" if scales else ""
+    legend = "   ".join(
+        f"{_GLYPHS[k % len(_GLYPHS)]} {name}" for k, (name, _, _) in enumerate(series)
+    )
+    lines.append(f"{x_label} vs {y_label}{suffix}:  {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["ascii_table", "format_series", "format_float"]
+
+
+def format_float(value: float, digits: int = 4) -> str:
+    """Compact float formatting for table cells."""
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 10 ** (digits + 1) or magnitude < 10 ** -(digits - 1):
+        return f"{value:.{digits - 1}e}"
+    return f"{value:.{digits}g}"
+
+
+def ascii_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], *, title: str | None = None
+) -> str:
+    """Render rows as an aligned ASCII table."""
+    str_rows = [
+        [
+            format_float(c) if isinstance(c, float) else str(c)
+            for c in row
+        ]
+        for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers: {row!r}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[float], ys: Sequence[float], *, unit: str = ""
+) -> str:
+    """Render one (x, y) series compactly, one point per line."""
+    lines = [f"series: {name}" + (f" [{unit}]" if unit else "")]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {format_float(float(x)):>12}  {format_float(float(y)):>12}")
+    return "\n".join(lines)

@@ -1,0 +1,230 @@
+"""Figure 22: functional model versus single-number model speedups.
+
+The paper's headline experiment.  For each problem size:
+
+1. build per-machine piecewise speed functions with the section-3.1
+   procedure (benchmarking the simulated machines);
+2. partition with the functional model and run the simulated application;
+3. partition with the single-number model — every machine's speed measured
+   at one *fixed* benchmark size (500^2 / 4000^2 matrices for MM, 2000^2 /
+   5000^2 for LU) — and run the same simulated application;
+4. report ``speedup = t_single / t_functional``.
+
+The paper observes speedups above 1 everywhere (the single-number model
+"cannot in principle be better"), growing once assigned tasks stop fitting
+in some machines' memory: small-size probes overrate slow-at-scale
+machines, large-size probes misjudge relative speeds below the paging
+points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.constant_model import partition_constant, single_number_speeds
+from ..core.partition import partition
+from ..core.speed_function import ConstantSpeedFunction, SpeedFunction
+from ..kernels.flops import lu_elements, mm_elements
+from ..kernels.group_block import variable_group_block
+from ..machines.network import HeterogeneousNetwork
+from ..model.builder import build_piecewise_model
+from ..model.measurement import SimulatedBenchmark
+from ..simulate.executor import simulate_striped_matmul
+from ..simulate.lu_executor import simulate_lu
+
+__all__ = [
+    "SpeedupPoint",
+    "build_network_models",
+    "mm_speedup_experiment",
+    "lu_speedup_experiment",
+    "stream_speedup_experiment",
+]
+
+#: The paper's figure-22 sweeps.
+FIG22A_SIZES = tuple(range(15_000, 32_000, 2_000))
+FIG22B_SIZES = tuple(range(16_000, 33_000, 2_000))
+FIG22A_PROBES = (500, 4000)
+FIG22B_PROBES = (2000, 5000)
+
+
+@dataclass
+class SpeedupPoint:
+    """One figure-22 data point.
+
+    Attributes
+    ----------
+    n:
+        Matrix dimension.
+    functional_seconds:
+        Simulated run time under the functional-model distribution.
+    single_seconds:
+        Simulated run time under the single-number distribution.
+    probe:
+        Benchmark matrix size the single numbers were measured at.
+    """
+
+    n: int
+    functional_seconds: float
+    single_seconds: float
+    probe: int
+
+    @property
+    def speedup(self) -> float:
+        """``t_single / t_functional`` (the paper's y axis)."""
+        return self.single_seconds / self.functional_seconds
+
+
+def build_network_models(
+    network: HeterogeneousNetwork,
+    kernel: str,
+    *,
+    noisy: bool = False,
+    seed: int = 2004,
+    a_fraction: float = 1e-4,
+    eps: float = 0.05,
+) -> list[SpeedFunction]:
+    """Section-3.1 models for every machine of a network.
+
+    Benchmarks each simulated machine (noise-free midline by default;
+    ``noisy=True`` draws every measurement from the fluctuation band) and
+    returns the fitted piecewise functions in network order.
+    """
+    rng = np.random.default_rng(seed)
+    models: list[SpeedFunction] = []
+    for m in network:
+        source = m.band(kernel) if noisy else m.speed_function(kernel)
+        bench = SimulatedBenchmark(source, rng)
+        truth = m.speed_function(kernel)
+        built = build_piecewise_model(
+            bench,
+            a=a_fraction * truth.max_size,
+            b=truth.max_size,
+            eps=eps,
+            spacing="log",
+        )
+        models.append(built.function)
+    return models
+
+
+def mm_speedup_experiment(
+    network: HeterogeneousNetwork,
+    sizes: Sequence[int] = FIG22A_SIZES,
+    probe: int = FIG22A_PROBES[0],
+    *,
+    kernel: str = "matmul",
+    models: Sequence[SpeedFunction] | None = None,
+    algorithm: str = "combined",
+) -> list[SpeedupPoint]:
+    """Figure 22(a): MM speedup of the functional over the single model.
+
+    ``probe`` is the square-matrix dimension the single-number speeds are
+    measured at (the paper uses 500 and 4000).  Pass ``models`` to reuse
+    already-built functional models across probes.
+    """
+    truth = network.speed_functions(kernel)
+    if models is None:
+        models = build_network_models(network, kernel)
+    probe_elements = mm_elements(probe)
+    single = single_number_speeds(truth, probe_elements)
+    points = []
+    for n in sizes:
+        total = mm_elements(n)
+        func_alloc = partition(total, models, algorithm=algorithm).allocation
+        func_sim = simulate_striped_matmul(n, func_alloc, truth)
+        single_alloc = partition_constant(total, single).allocation
+        single_sim = simulate_striped_matmul(n, single_alloc, truth)
+        points.append(
+            SpeedupPoint(
+                n=n,
+                functional_seconds=func_sim.makespan,
+                single_seconds=single_sim.makespan,
+                probe=probe,
+            )
+        )
+    return points
+
+
+def stream_speedup_experiment(
+    network: HeterogeneousNetwork,
+    sizes: Sequence[int],
+    probe: int,
+    *,
+    kernel: str = "arrayops",
+    models: Sequence[SpeedFunction] | None = None,
+    algorithm: str = "combined",
+) -> list[SpeedupPoint]:
+    """Streaming-kernel speedup (beyond the paper's two applications).
+
+    The introduction's first motivating application class — processing
+    very large linear data files — under the same protocol as figure 22:
+    the functional model versus single numbers measured at ``probe``
+    elements.  Stream time is directly ``x / s(x)`` (one pass over the
+    data), so no simulator conversion is needed.
+    """
+    truth = network.speed_functions(kernel)
+    if models is None:
+        models = build_network_models(network, kernel)
+    single = single_number_speeds(truth, float(probe))
+
+    def realized(alloc) -> float:
+        return max(
+            float(t.time(min(int(x), t.max_size)))
+            for t, x in zip(truth, alloc)
+        )
+
+    points = []
+    for n in sizes:
+        func_alloc = partition(int(n), models, algorithm=algorithm).allocation
+        single_alloc = partition_constant(int(n), single).allocation
+        points.append(
+            SpeedupPoint(
+                n=int(n),
+                functional_seconds=realized(func_alloc),
+                single_seconds=realized(single_alloc),
+                probe=int(probe),
+            )
+        )
+    return points
+
+
+def lu_speedup_experiment(
+    network: HeterogeneousNetwork,
+    sizes: Sequence[int] = FIG22B_SIZES,
+    probe: int = FIG22B_PROBES[0],
+    *,
+    kernel: str = "lu",
+    block: int = 32,
+    models: Sequence[SpeedFunction] | None = None,
+    algorithm: str = "combined",
+) -> list[SpeedupPoint]:
+    """Figure 22(b): LU speedup of the functional over the single model.
+
+    Both models drive the same Variable Group Block machinery; the single
+    model simply feeds it constant speed functions (measured at
+    ``probe^2`` elements), which collapses it to the classical Group Block
+    distribution of [27]/[28].
+    """
+    truth = network.speed_functions(kernel)
+    if models is None:
+        models = build_network_models(network, kernel)
+    probe_elements = lu_elements(probe)
+    single = single_number_speeds(truth, probe_elements)
+    single_sfs = [ConstantSpeedFunction(float(s)) for s in single]
+    points = []
+    for n in sizes:
+        func_dist = variable_group_block(n, block, models, algorithm=algorithm)
+        func_sim = simulate_lu(func_dist, truth, keep_trace=False)
+        single_dist = variable_group_block(n, block, single_sfs, algorithm=algorithm)
+        single_sim = simulate_lu(single_dist, truth, keep_trace=False)
+        points.append(
+            SpeedupPoint(
+                n=n,
+                functional_seconds=func_sim.total_seconds,
+                single_seconds=single_sim.total_seconds,
+                probe=probe,
+            )
+        )
+    return points

@@ -1,0 +1,168 @@
+"""Persistence: save and load speed-function models as JSON.
+
+A deployment benchmarks its machines once (minutes) and partitions many
+times (milliseconds), so fitted models need to live on disk.  The format
+is a small, versioned JSON document; only model *data* is stored — no
+pickling, no code execution on load.
+
+Supported objects: :class:`~repro.core.speed_function.ConstantSpeedFunction`,
+:class:`~repro.core.speed_function.PiecewiseLinearSpeedFunction`,
+:class:`~repro.core.step_model.StepSpeedFunction`, and flat collections of
+them keyed by machine name.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Mapping
+
+from .core.speed_function import (
+    ConstantSpeedFunction,
+    PiecewiseLinearSpeedFunction,
+    SpeedFunction,
+)
+from .core.step_model import StepSpeedFunction
+from .exceptions import ConfigurationError
+
+__all__ = [
+    "speed_function_to_dict",
+    "speed_function_from_dict",
+    "save_models",
+    "load_models",
+    "save_distribution",
+    "load_distribution",
+]
+
+_FORMAT = "repro.speed-functions"
+_VERSION = 1
+
+
+def speed_function_to_dict(sf: SpeedFunction) -> dict:
+    """Serialise one speed function to a plain dictionary."""
+    if isinstance(sf, PiecewiseLinearSpeedFunction):
+        return {
+            "kind": "piecewise_linear",
+            "sizes": [float(x) for x in sf.knot_sizes],
+            "speeds": [float(s) for s in sf.knot_speeds],
+        }
+    if isinstance(sf, StepSpeedFunction):
+        return {
+            "kind": "step",
+            "boundaries": [float(b) for b in sf.boundaries],
+            "speeds": [float(s) for s in sf.segment_speeds],
+        }
+    if isinstance(sf, ConstantSpeedFunction):
+        return {
+            "kind": "constant",
+            "speed": float(sf.value),
+            "max_size": None if math.isinf(sf.max_size) else float(sf.max_size),
+        }
+    raise ConfigurationError(
+        f"cannot serialise speed functions of type {type(sf).__name__}; "
+        "tabulate analytic functions first"
+    )
+
+
+def speed_function_from_dict(data: Mapping) -> SpeedFunction:
+    """Rebuild a speed function from :func:`speed_function_to_dict` output."""
+    try:
+        kind = data["kind"]
+    except (KeyError, TypeError):
+        raise ConfigurationError(f"not a speed-function record: {data!r}") from None
+    if kind == "piecewise_linear":
+        return PiecewiseLinearSpeedFunction(data["sizes"], data["speeds"])
+    if kind == "step":
+        return StepSpeedFunction(data["boundaries"], data["speeds"])
+    if kind == "constant":
+        max_size = data.get("max_size")
+        return ConstantSpeedFunction(
+            data["speed"], math.inf if max_size is None else float(max_size)
+        )
+    raise ConfigurationError(f"unknown speed-function kind {kind!r}")
+
+
+def save_models(
+    path: str | Path,
+    models: Mapping[str, SpeedFunction],
+    *,
+    kernel: str | None = None,
+) -> None:
+    """Write a named collection of speed functions to a JSON file."""
+    doc = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "kernel": kernel,
+        "machines": {
+            name: speed_function_to_dict(sf) for name, sf in models.items()
+        },
+    }
+    Path(path).write_text(json.dumps(doc, indent=2))
+
+
+def load_models(path: str | Path) -> dict[str, SpeedFunction]:
+    """Read a collection previously written by :func:`save_models`."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read model file {path}: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("format") != _FORMAT:
+        raise ConfigurationError(f"{path} is not a repro speed-function file")
+    if doc.get("version") != _VERSION:
+        raise ConfigurationError(
+            f"{path}: unsupported format version {doc.get('version')!r}"
+        )
+    machines = doc.get("machines")
+    if not isinstance(machines, dict):
+        raise ConfigurationError(f"{path}: missing machine table")
+    return {
+        name: speed_function_from_dict(rec) for name, rec in machines.items()
+    }
+
+
+_DIST_FORMAT = "repro.group-block-distribution"
+
+
+def save_distribution(path: str | Path, dist) -> None:
+    """Write a :class:`~repro.kernels.group_block.GroupBlockDistribution`.
+
+    A deployment computes the Variable Group Block distribution once per
+    (matrix size, machine set) and reuses it for every factorisation.
+    """
+    from .kernels.group_block import GroupBlockDistribution
+
+    if not isinstance(dist, GroupBlockDistribution):
+        raise ConfigurationError(
+            f"expected a GroupBlockDistribution, got {type(dist).__name__}"
+        )
+    doc = {
+        "format": _DIST_FORMAT,
+        "version": _VERSION,
+        "n": int(dist.n),
+        "b": int(dist.b),
+        "groups": [[int(x) for x in g] for g in dist.groups],
+    }
+    Path(path).write_text(json.dumps(doc, indent=2))
+
+
+def load_distribution(path: str | Path):
+    """Read a distribution previously written by :func:`save_distribution`."""
+    from .kernels.group_block import GroupBlockDistribution
+
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read distribution file {path}: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("format") != _DIST_FORMAT:
+        raise ConfigurationError(f"{path} is not a repro distribution file")
+    if doc.get("version") != _VERSION:
+        raise ConfigurationError(
+            f"{path}: unsupported format version {doc.get('version')!r}"
+        )
+    try:
+        return GroupBlockDistribution(
+            n=int(doc["n"]), b=int(doc["b"]), groups=doc["groups"]
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"{path}: malformed distribution: {exc}") from exc

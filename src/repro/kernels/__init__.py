@@ -1,0 +1,59 @@
+"""Computational kernels and data distributions used by the evaluation."""
+
+from .arrayops import ARRAYOPS_PASSES, array_ops
+from .flops import (
+    LU_MF,
+    MM_MF,
+    arrayops_flops,
+    lu_elements,
+    lu_flops,
+    lu_flops_rect,
+    mflops,
+    mm_elements,
+    mm_flops,
+    mm_flops_rect,
+    mm_slice_flops,
+)
+from .group_block import GroupBlockDistribution, variable_group_block
+from .lu import apply_pivots, lu_factor, lu_reconstruct, lu_unblocked_panel
+from .matmul import matmul_abt, matmul_blocked, matmul_poor, matmul_reference
+from .scan import chunk_offsets, count_pattern, scan_chunks
+from .striped import (
+    elements_from_rows,
+    row_slices,
+    rows_from_elements,
+    stripe_matrix,
+)
+
+__all__ = [
+    "ARRAYOPS_PASSES",
+    "GroupBlockDistribution",
+    "LU_MF",
+    "MM_MF",
+    "apply_pivots",
+    "array_ops",
+    "arrayops_flops",
+    "chunk_offsets",
+    "count_pattern",
+    "elements_from_rows",
+    "lu_elements",
+    "lu_factor",
+    "lu_flops",
+    "lu_flops_rect",
+    "lu_reconstruct",
+    "lu_unblocked_panel",
+    "matmul_abt",
+    "matmul_blocked",
+    "matmul_poor",
+    "matmul_reference",
+    "mflops",
+    "mm_elements",
+    "mm_flops",
+    "mm_flops_rect",
+    "mm_slice_flops",
+    "row_slices",
+    "rows_from_elements",
+    "scan_chunks",
+    "stripe_matrix",
+    "variable_group_block",
+]

@@ -1,0 +1,35 @@
+"""Streaming array kernel (the ArrayOpsF analogue of figure 1a).
+
+A carefully designed, memory-hierarchy-friendly kernel: several vectorised
+passes over a contiguous array.  It runs near the machine's streaming peak
+while the array fits in a cache level and degrades sharply at each
+boundary — the "sharp and distinctive performance curve" the paper
+contrasts with the smooth MatrixMult curve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["array_ops", "ARRAYOPS_PASSES"]
+
+#: Floating-point operations per element performed by :func:`array_ops`.
+ARRAYOPS_PASSES = 4
+
+
+def array_ops(a: np.ndarray) -> np.ndarray:
+    """Four fused streaming passes over ``a`` (scale, shift, square, add).
+
+    Operates on a copy; returns the transformed array.  The flop count is
+    ``ARRAYOPS_PASSES * a.size``.
+    """
+    if a.ndim != 1:
+        raise ConfigurationError("array_ops expects a 1-D array")
+    out = a.astype(float, copy=True)
+    out *= 1.000001          # pass 1: scale
+    out += 0.5               # pass 2: shift
+    out *= out               # pass 3: square
+    out += a                 # pass 4: accumulate the original
+    return out

@@ -1,0 +1,117 @@
+"""Flop and element accounting for the paper's kernels.
+
+The paper defines (section 3.1):
+
+* absolute speed  = ``MF * n^3 / time`` with ``MF = 2`` for matrix
+  multiplication and ``MF = 2/3`` for LU factorisation;
+* problem size    = the amount of data stored and processed — ``3 n^2``
+  elements for C=A*B^T (three dense matrices) and ``n^2`` for LU.
+
+These conversions keep the model speed axis (MFlops) and the partitioning
+axis (elements) consistent: under a striped distribution with the matrix
+dimension ``n`` fixed, the flop count of a slice is a *shared linear*
+function of its element count, so equalising ``elements/speed`` equalises
+real execution time (DESIGN.md section 4).
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "MM_MF",
+    "LU_MF",
+    "mm_flops",
+    "mm_flops_rect",
+    "mm_elements",
+    "mm_slice_flops",
+    "lu_flops",
+    "lu_flops_rect",
+    "lu_elements",
+    "arrayops_flops",
+    "mflops",
+]
+
+#: The paper's MF constants.
+MM_MF = 2.0
+LU_MF = 2.0 / 3.0
+
+
+def _check_positive(**kwargs: float) -> None:
+    for name, value in kwargs.items():
+        if value <= 0:
+            raise ConfigurationError(f"{name} must be positive, got {value!r}")
+
+
+def mm_flops(n: int) -> float:
+    """Flops of a dense square ``n x n`` matrix multiplication: ``2 n^3``."""
+    _check_positive(n=n)
+    return MM_MF * float(n) ** 3
+
+
+def mm_flops_rect(n1: int, n2: int) -> float:
+    """Flops of ``A1 (n1 x n2) @ B1 (n2 x n1)``: ``2 n1^2 n2``.
+
+    The serial benchmark of figure 16(b) used to estimate processor speed.
+    """
+    _check_positive(n1=n1, n2=n2)
+    return 2.0 * float(n1) ** 2 * float(n2)
+
+
+def mm_elements(n: int) -> int:
+    """Problem size of square MM in elements: ``3 n^2`` (A, B and C)."""
+    _check_positive(n=n)
+    return 3 * int(n) * int(n)
+
+
+def mm_slice_flops(elements: float, n: int) -> float:
+    """Flops of an MM slice holding ``elements`` of the three matrices.
+
+    A slice of ``r`` rows stores ``3 r n`` elements and multiplies an
+    ``r x n`` strip by the ``n x n`` matrix: ``2 r n^2`` flops, i.e.
+    ``(2 n / 3) * elements`` — linear in the element count with the shared
+    coefficient ``2n/3``.
+    """
+    _check_positive(n=n)
+    if elements < 0:
+        raise ConfigurationError(f"elements must be non-negative, got {elements!r}")
+    return (2.0 * float(n) / 3.0) * float(elements)
+
+
+def lu_flops(n: int) -> float:
+    """Flops of dense LU of an ``n x n`` matrix: ``(2/3) n^3``."""
+    _check_positive(n=n)
+    return LU_MF * float(n) ** 3
+
+
+def lu_flops_rect(n1: int, n2: int) -> float:
+    """Flops of LU of a dense ``n1 x n2`` matrix (``n1 >= n2``).
+
+    Standard count ``n2^2 (n1 - n2/3)``; reduces to ``(2/3) n^3`` when
+    square.  Used by the rectangular serial benchmark of figure 17(c).
+    """
+    _check_positive(n1=n1, n2=n2)
+    if n1 < n2:
+        n1, n2 = n2, n1  # LU of the transpose costs the same
+    return float(n2) ** 2 * (float(n1) - float(n2) / 3.0)
+
+
+def lu_elements(n: int) -> int:
+    """Problem size of LU in elements: ``n^2``."""
+    _check_positive(n=n)
+    return int(n) * int(n)
+
+
+def arrayops_flops(n: int, passes: int = 4) -> float:
+    """Flops of the streaming array kernel: ``passes`` ops per element."""
+    _check_positive(n=n, passes=passes)
+    return float(passes) * float(n)
+
+
+def mflops(flops: float, seconds: float) -> float:
+    """Absolute speed in MFlops from a flop count and a wall time."""
+    if flops < 0:
+        raise ConfigurationError(f"flops must be non-negative, got {flops!r}")
+    if seconds <= 0:
+        raise ConfigurationError(f"seconds must be positive, got {seconds!r}")
+    return flops / seconds / 1e6

@@ -1,0 +1,111 @@
+"""Dense matrix multiplication kernels (real NumPy implementations).
+
+Three kernels matching the three behaviour classes the paper motivates
+(figure 1):
+
+* :func:`matmul_blocked` — cache-blocked multiplication built on per-block
+  BLAS calls: the stand-in for MatrixMultATLAS;
+* :func:`matmul_poor` — the straightforward row-times-column algorithm
+  with poor memory reference patterns: the stand-in for MatrixMult;
+* :func:`matmul_reference` — a single BLAS call, used as the correctness
+  oracle and for fast bulk work.
+
+All kernels compute the paper's matrix operation ``C = A @ B.T`` (figure
+16) when called through :func:`matmul_abt`, and plain ``A @ B`` otherwise.
+They are genuinely executed by the measurement examples to build empirical
+speed functions on the host running the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "matmul_reference",
+    "matmul_blocked",
+    "matmul_poor",
+    "matmul_abt",
+]
+
+
+def _check_mm_shapes(a: np.ndarray, b: np.ndarray) -> None:
+    if a.ndim != 2 or b.ndim != 2:
+        raise ConfigurationError("matmul operands must be 2-D")
+    if a.shape[1] != b.shape[0]:
+        raise ConfigurationError(
+            f"incompatible shapes for matmul: {a.shape} x {b.shape}"
+        )
+
+
+def matmul_reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Plain BLAS ``a @ b`` (correctness oracle)."""
+    _check_mm_shapes(a, b)
+    return a @ b
+
+
+def matmul_blocked(a: np.ndarray, b: np.ndarray, block: int = 128) -> np.ndarray:
+    """Cache-blocked multiplication (the ATLAS-like kernel).
+
+    Loops over ``block x block`` tiles accumulating ``C[i, j] += A[i, k] @
+    B[k, j]``; each tile product is a contiguous BLAS call, so the working
+    set per step is three tiles — the standard blocking that keeps dgemm
+    near peak across problem sizes.
+    """
+    _check_mm_shapes(a, b)
+    if block <= 0:
+        raise ConfigurationError(f"block must be positive, got {block}")
+    m, k = a.shape
+    _, n = b.shape
+    c = np.zeros((m, n), dtype=np.result_type(a, b))
+    for i0 in range(0, m, block):
+        i1 = min(i0 + block, m)
+        for k0 in range(0, k, block):
+            k1 = min(k0 + block, k)
+            a_tile = np.ascontiguousarray(a[i0:i1, k0:k1])
+            for j0 in range(0, n, block):
+                j1 = min(j0 + block, n)
+                c[i0:i1, j0:j1] += a_tile @ b[k0:k1, j0:j1]
+    return c
+
+
+def matmul_poor(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-times-column multiplication with poor reference patterns.
+
+    Computes each output row as a sequence of dot products against the
+    *columns* of ``b`` — strided accesses that defeat the cache, just like
+    the paper's straightforward MatrixMult.  Python-level loop over rows;
+    intended for the modest sizes used in measurement examples.
+    """
+    _check_mm_shapes(a, b)
+    m, k = a.shape
+    _, n = b.shape
+    c = np.empty((m, n), dtype=np.result_type(a, b))
+    for i in range(m):
+        row = a[i, :]
+        for j in range(n):
+            # Strided column access: b[:, j] is non-contiguous for C order.
+            c[i, j] = np.dot(row, b[:, j])
+    return c
+
+
+def matmul_abt(
+    a: np.ndarray, b: np.ndarray, *, kernel: str = "reference", block: int = 128
+) -> np.ndarray:
+    """The paper's matrix operation ``C = A @ B.T`` (figure 16a).
+
+    ``kernel`` selects ``"reference"``, ``"blocked"`` or ``"poor"``.
+    """
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
+        raise ConfigurationError(
+            f"C = A @ B.T needs matching column counts, got {a.shape}, {b.shape}"
+        )
+    bt = b.T
+    if kernel == "reference":
+        return matmul_reference(a, bt)
+    if kernel == "blocked":
+        return matmul_blocked(a, bt, block=block)
+    if kernel == "poor":
+        return matmul_poor(a, bt)
+    raise ConfigurationError(f"unknown kernel {kernel!r}")

@@ -1,0 +1,93 @@
+"""Horizontal striped partitioning of matrices (figure 16a).
+
+The paper's parallel C = A * B^T slices A, B and C into horizontal stripes
+whose element counts are proportional to processor speed.  The partitioner
+works in elements; this module converts element allocations to whole-row
+stripes and back, preserving exact totals:
+
+* :func:`rows_from_elements` — element allocation (summing to ``3 n^2``
+  for MM) to per-processor row counts summing to exactly ``n``;
+* :func:`row_slices` — row counts to ``slice`` objects;
+* :func:`stripe_matrix` — cut a concrete matrix into stripe views.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, InfeasiblePartitionError
+
+__all__ = ["rows_from_elements", "row_slices", "stripe_matrix", "elements_from_rows"]
+
+
+def rows_from_elements(
+    allocation: Sequence[int], n: int, matrices: int = 3
+) -> np.ndarray:
+    """Whole-row stripe sizes from an element allocation.
+
+    Parameters
+    ----------
+    allocation:
+        Elements per processor, summing to ``matrices * n * n``.
+    n:
+        Matrix dimension (rows to distribute).
+    matrices:
+        Matrices striped together (3 for A, B, C).
+
+    Each processor's fractional row share is ``allocation_i / (matrices *
+    n)``; shares are floored and the remaining rows are assigned by largest
+    remainder, so the result sums to exactly ``n`` and differs from the
+    fractional share by less than one row per processor.
+    """
+    alloc = np.asarray(allocation, dtype=float)
+    if n <= 0:
+        raise ConfigurationError(f"matrix dimension must be positive, got {n}")
+    expected = float(matrices) * n * n
+    if abs(alloc.sum() - expected) > 0.5:
+        raise InfeasiblePartitionError(
+            f"element allocation sums to {alloc.sum():g}, expected {expected:g}"
+        )
+    share = alloc / (matrices * n)
+    rows = np.floor(share).astype(np.int64)
+    remainder = share - rows
+    deficit = int(n - rows.sum())
+    if deficit < 0:  # pragma: no cover - floor() keeps the sum below n
+        raise InfeasiblePartitionError("row rounding overflow")
+    for i in np.argsort(-remainder, kind="stable")[:deficit]:
+        rows[i] += 1
+    return rows
+
+
+def elements_from_rows(rows: Sequence[int], n: int, matrices: int = 3) -> np.ndarray:
+    """Element counts of whole-row stripes (inverse of the conversion)."""
+    r = np.asarray(rows, dtype=np.int64)
+    if np.any(r < 0):
+        raise ConfigurationError("row counts must be non-negative")
+    return r * int(matrices) * int(n)
+
+
+def row_slices(rows: Sequence[int]) -> list[slice]:
+    """Contiguous row ``slice`` objects for the given stripe sizes."""
+    slices = []
+    start = 0
+    for r in rows:
+        r = int(r)
+        if r < 0:
+            raise ConfigurationError("row counts must be non-negative")
+        slices.append(slice(start, start + r))
+        start += r
+    return slices
+
+
+def stripe_matrix(a: np.ndarray, rows: Sequence[int]) -> list[np.ndarray]:
+    """Views of ``a`` cut into horizontal stripes of the given sizes."""
+    if a.ndim != 2:
+        raise ConfigurationError("stripe_matrix expects a 2-D array")
+    total = int(np.sum(rows))
+    if total != a.shape[0]:
+        raise InfeasiblePartitionError(
+            f"stripe rows sum to {total}, matrix has {a.shape[0]} rows"
+        )
+    return [a[s, :] for s in row_slices(rows)]

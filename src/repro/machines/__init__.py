@@ -1,0 +1,56 @@
+"""Simulated heterogeneous computers: the substitute for the paper's testbed.
+
+See DESIGN.md section 2 for the substitution rationale.  The sub-modules:
+
+* :mod:`~repro.machines.spec` — machine specifications (Tables 1 & 2 columns);
+* :mod:`~repro.machines.hierarchy` — kernel profiles and the
+  cache/memory/paging efficiency model;
+* :mod:`~repro.machines.synthetic` — ground-truth speed-function generator;
+* :mod:`~repro.machines.workload` — workload-fluctuation bands (figure 2);
+* :mod:`~repro.machines.network` — :class:`Machine` and
+  :class:`HeterogeneousNetwork` containers;
+* :mod:`~repro.machines.presets` — the paper's Table 1 and Table 2 machines;
+* :mod:`~repro.machines.comm` — the optional two-parameter communication
+  model (future-work extension).
+"""
+
+from .comm import CommLink, CommModel
+from .hierarchy import PROFILES, KernelProfile, efficiency
+from .network import HeterogeneousNetwork, Machine
+from .presets import (
+    TABLE1_SPECS,
+    TABLE2_PAGING_LU,
+    TABLE2_PAGING_MM,
+    TABLE2_SPECS,
+    KernelModel,
+    build_machine,
+    table1_network,
+    table2_network,
+)
+from .spec import Integration, MachineSpec
+from .synthetic import build_speed_function, ground_truth_grid, paging_onset_elements
+from .workload import fluctuation_band
+
+__all__ = [
+    "CommLink",
+    "CommModel",
+    "HeterogeneousNetwork",
+    "Integration",
+    "KernelModel",
+    "KernelProfile",
+    "Machine",
+    "MachineSpec",
+    "PROFILES",
+    "TABLE1_SPECS",
+    "TABLE2_PAGING_LU",
+    "TABLE2_PAGING_MM",
+    "TABLE2_SPECS",
+    "build_machine",
+    "build_speed_function",
+    "efficiency",
+    "fluctuation_band",
+    "ground_truth_grid",
+    "paging_onset_elements",
+    "table1_network",
+    "table2_network",
+]

@@ -1,0 +1,153 @@
+"""Communication model (extension; the paper defers this to future work).
+
+The paper deliberately excludes communication cost from its performance
+model but sketches what an extension would need (section 1): a
+per-processor-pair model with "a start-up time and a data transmission
+rate" (the Bhat et al. [13] model) and awareness that on switched/shared
+Ethernet it is desirable that only one processor sends at a time.
+
+This module implements exactly that minimal extension so the simulator can
+optionally charge communication time:
+
+* :class:`CommLink` — the two-parameter (latency, bandwidth) link;
+* :class:`CommModel` — a ``p x p`` matrix of links with helpers for the
+  collective patterns the striped algorithms use (serialised sends, as the
+  paper recommends for Ethernet, or fully parallel for an ideal switch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["CommLink", "CommModel"]
+
+
+@dataclass(frozen=True)
+class CommLink:
+    """Two-parameter point-to-point link: ``t(m) = startup + m / rate``.
+
+    Attributes
+    ----------
+    startup_s:
+        Start-up latency in seconds.
+    rate_bytes_per_s:
+        Sustained transmission rate in bytes/second.
+    """
+
+    startup_s: float
+    rate_bytes_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.startup_s < 0:
+            raise ConfigurationError("startup_s must be non-negative")
+        if self.rate_bytes_per_s <= 0:
+            raise ConfigurationError("rate_bytes_per_s must be positive")
+
+    def time(self, message_bytes: float) -> float:
+        """Seconds to move ``message_bytes`` over this link."""
+        if message_bytes < 0:
+            raise ConfigurationError("message size must be non-negative")
+        if message_bytes == 0:
+            return 0.0
+        return self.startup_s + message_bytes / self.rate_bytes_per_s
+
+
+class CommModel:
+    """Pairwise communication model over ``p`` processors.
+
+    Parameters
+    ----------
+    links:
+        ``p x p`` nested sequence of :class:`CommLink` (diagonal ignored).
+    serialised:
+        When true (the default, matching the paper's recommendation for
+        Ethernet), concurrent messages are charged sequentially; when
+        false, an ideal switch overlaps them and a message set costs its
+        maximum.
+    """
+
+    def __init__(self, links: Sequence[Sequence[CommLink]], *, serialised: bool = True):
+        p = len(links)
+        if p == 0 or any(len(row) != p for row in links):
+            raise ConfigurationError("links must be a square p x p matrix")
+        self._links = [list(row) for row in links]
+        self.serialised = bool(serialised)
+
+    @classmethod
+    def ethernet(
+        cls,
+        p: int,
+        *,
+        startup_s: float = 1e-4,
+        bandwidth_bits_per_s: float = 100e6,
+        serialised: bool = True,
+    ) -> "CommModel":
+        """Homogeneous switched-Ethernet model (the paper's 100 Mbit LAN)."""
+        if p <= 0:
+            raise ConfigurationError("p must be positive")
+        link = CommLink(startup_s, bandwidth_bits_per_s / 8.0)
+        return cls([[link] * p for _ in range(p)], serialised=serialised)
+
+    @property
+    def p(self) -> int:
+        """Number of processors."""
+        return len(self._links)
+
+    def link(self, src: int, dst: int) -> CommLink:
+        """The link between two processors."""
+        if src == dst:
+            raise ConfigurationError("no link from a processor to itself")
+        return self._links[src][dst]
+
+    def point_to_point(self, src: int, dst: int, message_bytes: float) -> float:
+        """Time for one message."""
+        return self.link(src, dst).time(message_bytes)
+
+    def message_set(self, messages: Sequence[tuple[int, int, float]]) -> float:
+        """Time for a set of ``(src, dst, bytes)`` messages.
+
+        Serialised (shared medium): the sum of the individual times —
+        "only one processor sends a message at a given time".  Parallel
+        (ideal switch): the maximum.
+        """
+        times = [self.point_to_point(s, d, b) for (s, d, b) in messages if b > 0]
+        if not times:
+            return 0.0
+        return float(sum(times)) if self.serialised else float(max(times))
+
+    def broadcast(self, root: int, message_bytes: float) -> float:
+        """Root sends the same message to every other processor (flat tree)."""
+        msgs = [(root, dst, message_bytes) for dst in range(self.p) if dst != root]
+        return self.message_set(msgs)
+
+    def scatter(self, root: int, per_dest_bytes: Sequence[float]) -> float:
+        """Root sends a distinct block to each processor (flat scatter)."""
+        if len(per_dest_bytes) != self.p:
+            raise ConfigurationError(
+                f"expected {self.p} block sizes, got {len(per_dest_bytes)}"
+            )
+        msgs = [
+            (root, dst, float(b))
+            for dst, b in enumerate(per_dest_bytes)
+            if dst != root and b > 0
+        ]
+        return self.message_set(msgs)
+
+    def allgather(self, per_source_bytes: Sequence[float]) -> float:
+        """Every processor shares its block with every other (flat rounds)."""
+        if len(per_source_bytes) != self.p:
+            raise ConfigurationError(
+                f"expected {self.p} block sizes, got {len(per_source_bytes)}"
+            )
+        msgs = [
+            (src, dst, float(b))
+            for src, b in enumerate(per_source_bytes)
+            for dst in range(self.p)
+            if dst != src and b > 0
+        ]
+        return self.message_set(msgs)

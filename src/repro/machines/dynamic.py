@@ -1,0 +1,124 @@
+"""Time-varying background load: the process underneath the speed bands.
+
+Section 1 describes computers that "experience constant and stochastic
+fluctuations in the workload" from routine network-integration tasks, and
+reports two empirical regularities the band model encodes:
+
+* run-to-run speeds vary within a band whose *relative* width shrinks
+  "close to linearly" as the execution time grows;
+* a permanently heavier load shifts the band down at constant width.
+
+This module models the cause directly: an Ornstein-Uhlenbeck background
+load ``lam(t) in [0, 1)`` that steals a fraction of the machine, so the
+instantaneous processing rate is ``s(x) * (1 - lam(t))``.  A task of size
+``x`` finishes when the integrated rate reaches ``x``; because the OU
+process decorrelates over its time constant ``tau``, long runs average the
+load and their *effective* speed concentrates — which is exactly why the
+measured band narrows with execution time.  The ablation benchmark
+(``bench_ablation_dynamic_load.py``) regenerates that narrowing curve.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.speed_function import SpeedFunction
+from ..exceptions import ConfigurationError
+
+__all__ = ["ou_load_trace", "dynamic_task_time", "effective_speed"]
+
+
+def ou_load_trace(
+    rng: np.random.Generator,
+    steps: int,
+    dt: float,
+    *,
+    mean: float = 0.15,
+    sigma: float = 0.10,
+    tau: float = 5.0,
+    clip: tuple[float, float] = (0.0, 0.95),
+) -> np.ndarray:
+    """Sample an Ornstein-Uhlenbeck background-load trace.
+
+    Parameters
+    ----------
+    rng:
+        Seeded generator (no global state).
+    steps, dt:
+        Trace length and resolution (seconds).
+    mean:
+        Long-run average fraction of the machine consumed by background
+        work (the routine email/browser/editor activity of section 1).
+    sigma:
+        Stationary standard deviation of the load.
+    tau:
+        Correlation time constant (seconds); load bursts last ~``tau``.
+    clip:
+        Hard bounds keeping the load a valid fraction.
+
+    Returns the load fraction at each step (exact OU discretisation).
+    """
+    if steps < 1 or dt <= 0:
+        raise ConfigurationError("steps must be >= 1 and dt positive")
+    if tau <= 0 or sigma < 0:
+        raise ConfigurationError("tau must be positive and sigma non-negative")
+    if not (0 <= clip[0] < clip[1] < 1):
+        raise ConfigurationError(f"invalid clip bounds {clip!r}")
+    alpha = math.exp(-dt / tau)
+    noise_scale = sigma * math.sqrt(1.0 - alpha * alpha)
+    lam = np.empty(steps)
+    x = mean + sigma * float(rng.standard_normal())
+    for k in range(steps):
+        x = mean + alpha * (x - mean) + noise_scale * float(rng.standard_normal())
+        lam[k] = x
+    return np.clip(lam, clip[0], clip[1])
+
+
+def dynamic_task_time(
+    sf: SpeedFunction,
+    x: float,
+    trace: np.ndarray,
+    dt: float,
+) -> float:
+    """Time to finish an ``x``-element task under a load trace.
+
+    Integrates the instantaneous rate ``s(x) * (1 - lam(t))`` until the
+    accumulated work reaches ``x`` (sub-step linear interpolation at the
+    finish).  Raises if the trace ends before the task does — size the
+    trace generously.
+    """
+    if x <= 0:
+        return 0.0
+    if x > sf.max_size:
+        raise ConfigurationError(
+            f"task of {x:g} elements exceeds the memory bound {sf.max_size:g}"
+        )
+    base = float(sf.speed(x))
+    if base <= 0:
+        raise ConfigurationError("non-positive base speed")
+    rates = base * (1.0 - np.asarray(trace, dtype=float))
+    work = np.cumsum(rates) * dt
+    if work[-1] < x:
+        raise ConfigurationError(
+            f"load trace too short: {work[-1]:g} of {x:g} elements completed "
+            f"in {trace.size * dt:g}s"
+        )
+    k = int(np.searchsorted(work, x))
+    done_before = work[k - 1] if k > 0 else 0.0
+    remainder = (x - done_before) / rates[k] if rates[k] > 0 else dt
+    return k * dt + float(min(remainder, dt))
+
+
+def effective_speed(
+    sf: SpeedFunction,
+    x: float,
+    trace: np.ndarray,
+    dt: float,
+) -> float:
+    """The speed a benchmark would *measure* for one run under the trace."""
+    t = dynamic_task_time(sf, x, trace, dt)
+    if t <= 0:
+        raise ConfigurationError("zero-size task has no measurable speed")
+    return float(x) / t

@@ -1,0 +1,177 @@
+"""Memory-hierarchy speed model: from machine spec to efficiency curve.
+
+The paper motivates the functional model with three qualitatively different
+speed-versus-size shapes (figure 1):
+
+* **ArrayOpsF** — carefully designed streaming kernel: sharp, step-wise
+  curve; near-peak until the data leaves a memory level, collapse under
+  paging;
+* **MatrixMultATLAS** — blocked dgemm: almost flat until the paging point
+  ``P``, then a steep decline;
+* **MatrixMult** — straightforward triple loop with poor reference
+  patterns: smooth, strictly decreasing curve.
+
+This module captures those shapes with a three-factor multiplicative model
+
+.. math::  s(x) = s_{peak} \\cdot r(x) \\cdot c(x) \\cdot q(x)
+
+with ``r`` a saturating start-up ramp, ``c`` a cache-transition factor and
+``q`` a paging-collapse factor.  Every factor has a strictly decreasing
+ratio-to-``x`` profile, so the product keeps ``g(x) = s(x)/x`` strictly
+decreasing — the invariant required by the partitioning algorithms (the
+composition argument is spelled out in :func:`efficiency`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "KernelProfile",
+    "PROFILES",
+    "efficiency",
+]
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """How a kernel's efficiency reacts to the memory hierarchy.
+
+    Attributes
+    ----------
+    name:
+        Kernel identifier (``"matmul_atlas"``, ...).
+    cache_drop:
+        Fraction of peak speed lost when the working set leaves cache
+        (0 = cache-oblivious, 1 = total collapse).
+    cache_smoothness:
+        Width of the cache transition in decades of problem size.  Small
+        values give the sharp steps of carefully designed applications;
+        large values the smooth decline of poor reference patterns.
+    paging_drop_exponent:
+        Steepness of the paging collapse: the paging factor is
+        ``1 / (1 + ((x - x_p)/(w * x_p))**e)`` past the paging point.
+    paging_width:
+        ``w`` above — how far past the paging point (relative) the speed
+        halves.
+    flops_per_element_model:
+        Label used by :mod:`repro.kernels.flops` to convert between
+        model speed (elements/s-like MFlops axis) and real flop rates.
+    """
+
+    name: str
+    cache_drop: float
+    cache_smoothness: float
+    paging_drop_exponent: float
+    paging_width: float
+    flops_per_element_model: str
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.cache_drop < 1):
+            raise ConfigurationError("cache_drop must be in [0, 1)")
+        if self.cache_smoothness <= 0:
+            raise ConfigurationError("cache_smoothness must be positive")
+        if self.paging_drop_exponent <= 0 or self.paging_width <= 0:
+            raise ConfigurationError("paging parameters must be positive")
+
+
+#: The kernel profiles used throughout the reproduction.  Parameters are
+#: chosen to match the qualitative shapes of figure 1; absolute levels come
+#: from per-machine peak speeds in :mod:`repro.machines.presets`.
+PROFILES: dict[str, KernelProfile] = {
+    # Sharp steps, efficient use of the hierarchy, catastrophic paging.
+    "arrayops": KernelProfile(
+        name="arrayops",
+        cache_drop=0.30,
+        cache_smoothness=0.15,
+        paging_drop_exponent=3.0,
+        paging_width=0.12,
+        flops_per_element_model="arrayops",
+    ),
+    # Blocked dgemm: nearly flat until paging, then steep decline.
+    "matmul_atlas": KernelProfile(
+        name="matmul_atlas",
+        cache_drop=0.08,
+        cache_smoothness=0.30,
+        paging_drop_exponent=2.5,
+        paging_width=0.25,
+        flops_per_element_model="matmul",
+    ),
+    # Straightforward triple loop: smooth, strictly decreasing.
+    "matmul_naive": KernelProfile(
+        name="matmul_naive",
+        cache_drop=0.60,
+        cache_smoothness=1.40,
+        paging_drop_exponent=1.8,
+        paging_width=0.50,
+        flops_per_element_model="matmul",
+    ),
+    # The paper's LU application (naive parallel algorithm, partial
+    # blocking): a gentle pre-paging decline — wide cache transition — so
+    # relative speeds drift with size even before paging, as the measured
+    # curves do.
+    "lu": KernelProfile(
+        name="lu",
+        cache_drop=0.25,
+        cache_smoothness=3.00,
+        paging_drop_exponent=2.2,
+        paging_width=0.30,
+        flops_per_element_model="lu",
+    ),
+}
+
+
+def efficiency(
+    x,
+    *,
+    cache_elements: float,
+    paging_elements: float,
+    profile: KernelProfile,
+    ramp_elements: float | None = None,
+) -> np.ndarray:
+    """Dimensionless efficiency in (0, 1] at problem size ``x`` (elements).
+
+    The three factors and why their product keeps ``g(x) = s(x)/x``
+    strictly decreasing:
+
+    * ramp ``r(x) = x / (x + x_r)`` — increasing, but ``r(x)/x = 1/(x+x_r)``
+      is strictly decreasing;
+    * cache ``c(x) = 1 - drop * S(log10(x/x_c)/width)`` with ``S`` the
+      smoothstep — non-increasing in ``x``;
+    * paging ``q(x) = 1 / (1 + ((x - x_p)_+ / (w * x_p))**e)`` —
+      non-increasing, with a small positive floor so the speed never
+      reaches exactly zero inside the domain.
+
+    Hence ``s(x)/x = s_peak * (c(x) * q(x)) / (x + x_r)`` is a product of a
+    strictly decreasing positive factor and non-increasing positive
+    factors, i.e. strictly decreasing.
+    """
+    if cache_elements <= 0 or paging_elements <= 0:
+        raise ConfigurationError("cache and paging sizes must be positive")
+    x_arr = np.asarray(x, dtype=float)
+    x_r = ramp_elements if ramp_elements is not None else 0.05 * cache_elements
+    ramp = x_arr / (x_arr + x_r)
+
+    # Smoothstep on a log10 axis centred at the cache boundary.
+    t = np.clip(
+        (np.log10(np.maximum(x_arr, 1e-300) / cache_elements))
+        / profile.cache_smoothness
+        * 0.5
+        + 0.5,
+        0.0,
+        1.0,
+    )
+    smooth = t * t * (3.0 - 2.0 * t)
+    cache_factor = 1.0 - profile.cache_drop * smooth
+
+    over = np.maximum(x_arr - paging_elements, 0.0) / (
+        profile.paging_width * paging_elements
+    )
+    paging_factor = 1.0 / (1.0 + over**profile.paging_drop_exponent)
+    paging_factor = np.maximum(paging_factor, 1e-4)
+
+    return ramp * cache_factor * paging_factor

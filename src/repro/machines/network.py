@@ -1,0 +1,163 @@
+"""Machines and networks: containers binding specs to speed models.
+
+A :class:`Machine` owns a :class:`~repro.machines.spec.MachineSpec` plus one
+:class:`~repro.core.band.SpeedBand` per kernel.  A
+:class:`HeterogeneousNetwork` is an ordered collection of machines offering
+the views the experiments need: the list of midline speed functions for a
+kernel (deterministic runs), or a per-run stochastic sample from each
+machine's band (fluctuating-workload runs).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..core.band import SpeedBand
+from ..core.speed_function import SpeedFunction
+from ..exceptions import ConfigurationError
+from .spec import MachineSpec
+
+__all__ = ["Machine", "HeterogeneousNetwork"]
+
+
+class Machine:
+    """One simulated computer: spec + per-kernel performance bands."""
+
+    def __init__(self, spec: MachineSpec, bands: Mapping[str, SpeedBand]):
+        if not bands:
+            raise ConfigurationError(f"{spec.name}: at least one kernel band required")
+        self._spec = spec
+        self._bands = dict(bands)
+
+    @property
+    def spec(self) -> MachineSpec:
+        """The machine's static specification."""
+        return self._spec
+
+    @property
+    def name(self) -> str:
+        """Machine name (``spec.name``)."""
+        return self._spec.name
+
+    @property
+    def kernels(self) -> tuple[str, ...]:
+        """Kernels this machine has a performance model for."""
+        return tuple(sorted(self._bands))
+
+    def band(self, kernel: str) -> SpeedBand:
+        """Performance band for a kernel."""
+        try:
+            return self._bands[kernel]
+        except KeyError:
+            raise ConfigurationError(
+                f"{self.name} has no model for kernel {kernel!r}; "
+                f"known: {self.kernels}"
+            ) from None
+
+    def speed_function(self, kernel: str) -> SpeedFunction:
+        """Midline (typical-load) speed function for a kernel."""
+        return self.band(kernel).midline
+
+    def sample_speed_function(
+        self, kernel: str, rng: np.random.Generator
+    ) -> SpeedFunction:
+        """One run's speed function drawn from the fluctuation band."""
+        return self.band(kernel).sample(rng)
+
+    def __repr__(self) -> str:
+        return f"Machine({self.name!r}, kernels={list(self.kernels)})"
+
+
+class HeterogeneousNetwork:
+    """An ordered set of heterogeneous machines (the paper's HNOC)."""
+
+    def __init__(self, machines: Sequence[Machine]):
+        if not machines:
+            raise ConfigurationError("a network needs at least one machine")
+        names = [m.name for m in machines]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate machine names in {names}")
+        self._machines = list(machines)
+        self._by_name = {m.name: m for m in machines}
+
+    # -- container protocol ------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._machines)
+
+    def __iter__(self) -> Iterator[Machine]:
+        return iter(self._machines)
+
+    def __getitem__(self, key: int | str) -> Machine:
+        if isinstance(key, str):
+            try:
+                return self._by_name[key]
+            except KeyError:
+                raise KeyError(
+                    f"no machine named {key!r}; known: {self.names}"
+                ) from None
+        return self._machines[key]
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Machine names in network order."""
+        return tuple(m.name for m in self._machines)
+
+    @property
+    def machines(self) -> tuple[Machine, ...]:
+        """The machines in network order."""
+        return tuple(self._machines)
+
+    # -- model views ---------------------------------------------------------
+    def speed_functions(self, kernel: str) -> list[SpeedFunction]:
+        """Midline speed functions of every machine, in network order."""
+        return [m.speed_function(kernel) for m in self._machines]
+
+    def bands(self, kernel: str) -> list[SpeedBand]:
+        """Performance bands of every machine, in network order."""
+        return [m.band(kernel) for m in self._machines]
+
+    def sample_speed_functions(
+        self, kernel: str, rng: np.random.Generator
+    ) -> list[SpeedFunction]:
+        """One stochastic speed function per machine (independent draws)."""
+        return [m.sample_speed_function(kernel, rng) for m in self._machines]
+
+    # -- composition -----------------------------------------------------------
+    def subset(self, names: Iterable[str]) -> "HeterogeneousNetwork":
+        """Sub-network containing the named machines (in the given order)."""
+        return HeterogeneousNetwork([self[name] for name in names])
+
+    def replicated(self, copies: int) -> "HeterogeneousNetwork":
+        """Network with every machine duplicated ``copies`` times.
+
+        Used by the figure-21 cost experiment, which measures the
+        partitioner on networks of hundreds of processors by tiling the
+        12-machine testbed.
+        """
+        if copies < 1:
+            raise ConfigurationError(f"copies must be >= 1, got {copies}")
+        clones: list[Machine] = []
+        for c in range(copies):
+            for m in self._machines:
+                spec = m.spec
+                if c == 0:
+                    clones.append(m)
+                else:
+                    renamed = MachineSpec(
+                        name=f"{spec.name}.{c}",
+                        os=spec.os,
+                        arch=spec.arch,
+                        cpu_mhz=spec.cpu_mhz,
+                        main_memory_kb=spec.main_memory_kb,
+                        free_memory_kb=spec.free_memory_kb,
+                        cache_kb=spec.cache_kb,
+                        swap_kb=spec.swap_kb,
+                        integration=spec.integration,
+                    )
+                    clones.append(Machine(renamed, {k: m.band(k) for k in m.kernels}))
+        return HeterogeneousNetwork(clones)
+
+    def __repr__(self) -> str:
+        return f"HeterogeneousNetwork({list(self.names)})"

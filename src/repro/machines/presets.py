@@ -1,0 +1,259 @@
+"""Preset machines: Tables 1 and 2 of the paper.
+
+Every row of the paper's two machine tables is reproduced verbatim
+(architecture strings, clock rates, memory and cache sizes, and — for
+Table 2 — the measured matrix sizes at which paging starts for the MM and
+LU applications).  The columns the paper does *not* publish but the
+simulation needs are filled with documented estimates:
+
+* **peak speeds** per kernel are assigned per CPU class and calibrated
+  against the absolute numbers quoted in section 3.1 (X5 ~ 250 MFlops for
+  MM at 4500x4500, X10 ~ 31 MFlops; X6 ~ 130 MFlops for LU at 8500x8500,
+  X1 ~ 19 MFlops at 4500x4500 — heterogeneity ratios ~8 and ~6.8);
+* **free memory** for the Table 1 machines (not published) is taken as
+  70 % of main memory;
+* **integration levels** (not published per machine) assign HIGH to the
+  machines whose bands figure 2 displays and to a representative subset of
+  the Table 2 workstations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+from .network import HeterogeneousNetwork, Machine
+from .spec import Integration, MachineSpec
+from .synthetic import build_speed_function
+from .workload import fluctuation_band
+
+__all__ = [
+    "KernelModel",
+    "TABLE1_SPECS",
+    "TABLE2_SPECS",
+    "TABLE2_PAGING_MM",
+    "TABLE2_PAGING_LU",
+    "build_machine",
+    "table1_network",
+    "table2_network",
+]
+
+
+@dataclass(frozen=True)
+class KernelModel:
+    """Synthetic-model parameters of one kernel on one machine.
+
+    Attributes
+    ----------
+    profile:
+        Name of a :data:`~repro.machines.hierarchy.PROFILES` entry.
+    peak_mflops:
+        In-cache peak speed.
+    paging_matrix_size:
+        Measured paging-onset matrix dimension, if published (Table 2).
+    matrices:
+        Square matrices making up the element count (3 for C=A*B^T, 1 for LU).
+    """
+
+    profile: str
+    peak_mflops: float
+    paging_matrix_size: float | None = None
+    matrices: int = 1
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — the four motivating machines of figures 1 and 2
+# ---------------------------------------------------------------------------
+
+TABLE1_SPECS: tuple[MachineSpec, ...] = (
+    MachineSpec(
+        name="Comp1",
+        os="Linux 2.4.20-8",
+        arch="Intel(R) Pentium(R) 4",
+        cpu_mhz=2793,
+        main_memory_kb=513304,
+        free_memory_kb=359313,  # 70% of main (not published)
+        cache_kb=512,
+        integration=Integration.HIGH,
+    ),
+    MachineSpec(
+        name="Comp2",
+        os="SunOS 5.8 sun4u sparc",
+        arch="SUNW,Ultra-5_10",
+        cpu_mhz=440,
+        main_memory_kb=524288,
+        free_memory_kb=367001,
+        cache_kb=2048,
+        integration=Integration.HIGH,
+    ),
+    MachineSpec(
+        name="Comp3",
+        os="Windows XP",
+        arch="Intel(R) Pentium(R) 4",
+        cpu_mhz=3000,
+        main_memory_kb=1030388,
+        free_memory_kb=721271,
+        cache_kb=512,
+        integration=Integration.LOW,
+    ),
+    MachineSpec(
+        name="Comp4",
+        os="Linux 2.4.7-10 i686",
+        arch="Intel Pentium III",
+        cpu_mhz=730,
+        main_memory_kb=254524,
+        free_memory_kb=178166,
+        cache_kb=256,
+        integration=Integration.HIGH,
+    ),
+)
+
+#: Per-machine peaks for the three motivating kernels of figure 1.  The
+#: ArrayOpsF/ATLAS kernels run near the machine's flop peak; the naive
+#: MatrixMult achieves a small fraction of it.
+_TABLE1_KERNELS: dict[str, dict[str, KernelModel]] = {
+    "Comp1": {
+        "arrayops": KernelModel("arrayops", 430.0, matrices=1),
+        "matmul_atlas": KernelModel("matmul_atlas", 520.0, matrices=3),
+        "matmul_naive": KernelModel("matmul_naive", 190.0, matrices=3),
+    },
+    "Comp2": {
+        "arrayops": KernelModel("arrayops", 55.0, matrices=1),
+        "matmul_atlas": KernelModel("matmul_atlas", 72.0, matrices=3),
+        "matmul_naive": KernelModel("matmul_naive", 30.0, matrices=3),
+    },
+    "Comp3": {
+        "arrayops": KernelModel("arrayops", 470.0, matrices=1),
+        "matmul_atlas": KernelModel("matmul_atlas", 560.0, matrices=3),
+        "matmul_naive": KernelModel("matmul_naive", 210.0, matrices=3),
+    },
+    "Comp4": {
+        "arrayops": KernelModel("arrayops", 95.0, matrices=1),
+        "matmul_atlas": KernelModel("matmul_atlas", 120.0, matrices=3),
+        "matmul_naive": KernelModel("matmul_naive", 50.0, matrices=3),
+    },
+}
+
+
+# ---------------------------------------------------------------------------
+# Table 2 — the twelve-machine experimental testbed
+# ---------------------------------------------------------------------------
+
+def _x(name, os, arch, mhz, main, free, cache, integ):
+    return MachineSpec(
+        name=name,
+        os=os,
+        arch=arch,
+        cpu_mhz=mhz,
+        main_memory_kb=main,
+        free_memory_kb=free,
+        cache_kb=cache,
+        integration=integ,
+    )
+
+
+_H, _L = Integration.HIGH, Integration.LOW
+
+TABLE2_SPECS: tuple[MachineSpec, ...] = (
+    _x("X1", "Linux 2.4.20-20.9 i686", "Intel Pentium III", 997, 513304, 363264, 256, _H),
+    _x("X2", "Linux 2.4.18-3 i686", "Intel Pentium III", 997, 254576, 65692, 256, _H),
+    _x("X3", "Linux 2.4.20-20.9bigmem", "Intel(R) Xeon(TM)", 2783, 7933500, 2221436, 512, _L),
+    _x("X4", "Linux 2.4.20-20.9bigmem", "Intel(R) Xeon(TM)", 2783, 7933500, 3073628, 512, _L),
+    _x("X5", "Linux 2.4.18-10smp", "Intel(R) XEON(TM)", 1977, 1030508, 415904, 512, _H),
+    _x("X6", "Linux 2.4.18-10smp", "Intel(R) XEON(TM)", 1977, 1030508, 364120, 512, _H),
+    _x("X7", "Linux 2.4.18-10smp", "Intel(R) XEON(TM)", 1977, 1030508, 215752, 512, _H),
+    _x("X8", "Linux 2.4.18-10smp", "Intel(R) XEON(TM)", 1977, 1030508, 134400, 512, _L),
+    _x("X9", "Linux 2.4.18-10smp", "Intel(R) XEON(TM)", 1977, 1030508, 134400, 512, _L),
+    _x("X10", "SunOS 5.8 sun4u sparc", "SUNW,Ultra-5_10", 440, 524288, 409600, 2048, _L),
+    _x("X11", "SunOS 5.8 sun4u sparc", "SUNW,Ultra-5_10", 440, 524288, 418816, 2048, _L),
+    _x("X12", "SunOS 5.8 sun4u sparc", "SUNW,Ultra-5_10", 440, 524288, 395264, 2048, _L),
+)
+
+#: Measured matrix sizes at which paging starts (Table 2, columns
+#: "Paging (MM)" and "Paging (LU)").
+TABLE2_PAGING_MM: dict[str, int] = {
+    "X1": 4500, "X2": 4000, "X3": 6400, "X4": 6400, "X5": 6000, "X6": 6000,
+    "X7": 6000, "X8": 5500, "X9": 5500, "X10": 4500, "X11": 4500, "X12": 4500,
+}
+TABLE2_PAGING_LU: dict[str, int] = {
+    "X1": 6000, "X2": 5000, "X3": 11000, "X4": 11000, "X5": 8500, "X6": 8500,
+    "X7": 8000, "X8": 6500, "X9": 6500, "X10": 5000, "X11": 5000, "X12": 5000,
+}
+
+#: In-cache peaks per CPU class, calibrated to the absolute speeds quoted in
+#: section 3.1 (see module docstring).
+_CLASS_PEAKS: dict[str, tuple[float, float]] = {
+    # arch -> (mm peak, lu peak) MFlops; LU peaks are in-cache values, the
+    # wide-transition "lu" profile settles them ~25 % lower at large sizes.
+    "Intel Pentium III": (90.0, 26.0),
+    "Intel(R) Xeon(TM)": (340.0, 230.0),
+    "Intel(R) XEON(TM)": (270.0, 175.0),
+    "SUNW,Ultra-5_10": (34.0, 41.0),
+}
+
+
+def _table2_kernels(spec: MachineSpec) -> dict[str, KernelModel]:
+    try:
+        mm_peak, lu_peak = _CLASS_PEAKS[spec.arch]
+    except KeyError:  # pragma: no cover - presets cover all classes
+        raise ConfigurationError(f"no peak speeds for architecture {spec.arch!r}")
+    return {
+        "matmul": KernelModel(
+            "matmul_atlas",
+            mm_peak,
+            paging_matrix_size=TABLE2_PAGING_MM[spec.name],
+            matrices=3,
+        ),
+        "lu": KernelModel(
+            "lu",
+            lu_peak,
+            paging_matrix_size=TABLE2_PAGING_LU[spec.name],
+            matrices=1,
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Builders
+# ---------------------------------------------------------------------------
+
+def build_machine(
+    spec: MachineSpec, kernel_models: dict[str, KernelModel]
+) -> Machine:
+    """Assemble a simulated machine from a spec and kernel models.
+
+    Ground-truth curves come from :func:`~repro.machines.synthetic.
+    build_speed_function`; each is wrapped in the fluctuation band matching
+    the machine's integration level.
+    """
+    bands = {}
+    for kernel, km in kernel_models.items():
+        sf = build_speed_function(
+            spec,
+            peak_mflops=km.peak_mflops,
+            profile=km.profile,
+            paging_matrix_size=km.paging_matrix_size,
+            matrices=km.matrices,
+        )
+        bands[kernel] = fluctuation_band(sf, spec.integration)
+    return Machine(spec, bands)
+
+
+def table1_network() -> HeterogeneousNetwork:
+    """The four machines of Table 1 with the figure-1 kernels.
+
+    Kernels: ``"arrayops"``, ``"matmul_atlas"``, ``"matmul_naive"``.
+    """
+    return HeterogeneousNetwork(
+        [build_machine(s, _TABLE1_KERNELS[s.name]) for s in TABLE1_SPECS]
+    )
+
+
+def table2_network() -> HeterogeneousNetwork:
+    """The twelve-machine testbed of Table 2 with the evaluation kernels.
+
+    Kernels: ``"matmul"`` (the C=A*B^T application) and ``"lu"``.
+    """
+    return HeterogeneousNetwork(
+        [build_machine(s, _table2_kernels(s)) for s in TABLE2_SPECS]
+    )

@@ -1,0 +1,123 @@
+"""Machine specifications mirroring Tables 1 and 2 of the paper.
+
+A :class:`MachineSpec` records exactly the columns the paper publishes for
+its experimental machines — OS/architecture string, CPU clock, main memory,
+free main memory, cache — plus the two derived quantities the evaluation
+depends on: the measured paging-onset matrix sizes for the matrix
+multiplication and LU applications (Table 2 columns ``Paging (MM)`` /
+``Paging (LU)``) and the machine's level of network integration, which
+controls the width of its workload-fluctuation band (section 1).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["Integration", "MachineSpec"]
+
+#: Bytes per double-precision element.
+ELEMENT_BYTES = 8
+
+
+class Integration(enum.Enum):
+    """Level of integration of the computer into the network.
+
+    Section 1: highly integrated computers show speed fluctuations of ~40 %
+    at small problem sizes declining to ~6 % at the largest; weakly
+    integrated ones stay within ~5-7 % even under heavy file sharing.
+    """
+
+    HIGH = "high"
+    LOW = "low"
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of one heterogeneous computer.
+
+    Attributes
+    ----------
+    name:
+        Machine identifier (``"X1"``..., ``"Comp1"``...).
+    os:
+        Operating-system string as printed in the paper's tables.
+    arch:
+        Processor architecture string.
+    cpu_mhz:
+        Clock frequency in MHz.
+    main_memory_kb:
+        Total main memory in kBytes.
+    free_memory_kb:
+        Main memory available to the application (total minus the routine
+        OS/user processes the paper describes), in kBytes.
+    cache_kb:
+        Last-level cache size in kBytes.
+    swap_kb:
+        Swap space in kBytes; together with free memory it bounds the
+        largest solvable problem.  Defaults to the total main memory, a
+        common configuration for the paper's era.
+    integration:
+        Workload-fluctuation class of the machine.
+    """
+
+    name: str
+    os: str
+    arch: str
+    cpu_mhz: float
+    main_memory_kb: int
+    free_memory_kb: int
+    cache_kb: int
+    swap_kb: int = 0
+    integration: Integration = Integration.LOW
+
+    def __post_init__(self) -> None:
+        if self.cpu_mhz <= 0:
+            raise ConfigurationError(f"{self.name}: cpu_mhz must be positive")
+        if self.main_memory_kb <= 0 or self.cache_kb <= 0:
+            raise ConfigurationError(f"{self.name}: memory sizes must be positive")
+        if not (0 < self.free_memory_kb <= self.main_memory_kb):
+            raise ConfigurationError(
+                f"{self.name}: free memory must be positive and at most main memory"
+            )
+        if self.swap_kb == 0:
+            object.__setattr__(self, "swap_kb", self.main_memory_kb)
+        if self.swap_kb < 0:
+            raise ConfigurationError(f"{self.name}: swap_kb must be non-negative")
+
+    # -- capacity helpers -------------------------------------------------
+    @property
+    def cache_elements(self) -> int:
+        """Number of double-precision elements fitting in the cache."""
+        return self.cache_kb * 1024 // ELEMENT_BYTES
+
+    @property
+    def free_memory_elements(self) -> int:
+        """Elements fitting in the free main memory."""
+        return self.free_memory_kb * 1024 // ELEMENT_BYTES
+
+    @property
+    def capacity_elements(self) -> int:
+        """Largest element count solvable at all (free memory + swap).
+
+        Beyond this the machine cannot hold the task; the paper chooses its
+        benchmark endpoint ``b`` from "the sum of amount of main memory and
+        swap space available".
+        """
+        return (self.free_memory_kb + self.swap_kb) * 1024 // ELEMENT_BYTES
+
+    def matrix_size_for_elements(self, elements: float, matrices: int = 1) -> float:
+        """Square-matrix dimension ``n`` storing ``elements`` in ``matrices``."""
+        if elements < 0:
+            raise ConfigurationError("elements must be non-negative")
+        return math.sqrt(elements / matrices)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name} ({self.arch}, {self.cpu_mhz:g} MHz, "
+            f"{self.main_memory_kb} kB RAM / {self.free_memory_kb} kB free, "
+            f"{self.cache_kb} kB cache)"
+        )

@@ -1,0 +1,106 @@
+"""Synthetic per-machine speed functions.
+
+This is the stand-in for the paper's physical testbed: given a
+:class:`~repro.machines.spec.MachineSpec`, a kernel profile and a peak
+speed, it produces the machine's "ground-truth" speed-versus-size curve as
+an :class:`~repro.core.speed_function.AnalyticSpeedFunction`.  Everything
+downstream — the model-building procedure of section 3.1, the simulator,
+the speedup experiments — treats these curves exactly the way the paper
+treats a real machine: benchmark it at a few sizes, fit a piecewise
+approximation, never peek at the analytic form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.speed_function import AnalyticSpeedFunction, PiecewiseLinearSpeedFunction
+from ..exceptions import ConfigurationError
+from .hierarchy import PROFILES, KernelProfile, efficiency
+from .spec import MachineSpec
+
+__all__ = ["build_speed_function", "paging_onset_elements", "ground_truth_grid"]
+
+
+def paging_onset_elements(
+    spec: MachineSpec, paging_matrix_size: float | None, matrices: int
+) -> float:
+    """Element count at which paging starts for a kernel on a machine.
+
+    ``paging_matrix_size`` is the measured onset matrix dimension from
+    Table 2 (``Paging (MM)`` / ``Paging (LU)``); when the paper does not
+    publish one (Table 1 machines) the onset is derived from the free main
+    memory with a conservative utilisation factor.
+    """
+    if paging_matrix_size is not None:
+        if paging_matrix_size <= 0:
+            raise ConfigurationError("paging matrix size must be positive")
+        return float(matrices) * float(paging_matrix_size) ** 2
+    return 0.85 * spec.free_memory_elements
+
+
+def build_speed_function(
+    spec: MachineSpec,
+    *,
+    peak_mflops: float,
+    profile: KernelProfile | str,
+    paging_matrix_size: float | None = None,
+    matrices: int = 1,
+    capacity_factor: float = 4.0,
+) -> AnalyticSpeedFunction:
+    """Ground-truth speed function of ``spec`` for one kernel.
+
+    Parameters
+    ----------
+    spec:
+        The machine.
+    peak_mflops:
+        In-cache peak speed of this kernel on this machine.  The paper's
+        "absolute speed" axis (MFlops); under striped distributions the
+        flop count is a shared linear function of the element count, so
+        partitioning elements proportionally to this axis equalises real
+        time (see DESIGN.md).
+    profile:
+        A :class:`~repro.machines.hierarchy.KernelProfile` or the name of a
+        registered one.
+    paging_matrix_size:
+        Measured paging-onset matrix dimension (Table 2), if available.
+    matrices:
+        Number of square matrices the element count comprises (3 for the
+        MM application, 1 for LU).
+    capacity_factor:
+        The domain endpoint ``b`` (``max_size``) as a multiple of the
+        paging onset; the speed there is deep in the paging collapse,
+        matching the paper's "large enough to make the speed practically
+        equal to zero".
+    """
+    if isinstance(profile, str):
+        try:
+            profile = PROFILES[profile]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown kernel profile {profile!r}; known: {sorted(PROFILES)}"
+            ) from None
+    if peak_mflops <= 0:
+        raise ConfigurationError("peak_mflops must be positive")
+    if capacity_factor <= 1:
+        raise ConfigurationError("capacity_factor must exceed 1")
+    cache_elems = float(spec.cache_elements)
+    paging_elems = paging_onset_elements(spec, paging_matrix_size, matrices)
+    max_size = capacity_factor * paging_elems
+    prof = profile
+
+    def func(x, _peak=float(peak_mflops), _cache=cache_elems, _page=paging_elems, _p=prof):
+        return _peak * efficiency(
+            x, cache_elements=_cache, paging_elements=_page, profile=_p
+        )
+
+    return AnalyticSpeedFunction(func, max_size=max_size)
+
+
+def ground_truth_grid(
+    sf: AnalyticSpeedFunction, num: int = 96
+) -> PiecewiseLinearSpeedFunction:
+    """Dense tabulation of a ground-truth curve (plotting/simulation aid)."""
+    xs = np.geomspace(max(sf.max_size * 1e-6, 1.0), sf.max_size, num)
+    return PiecewiseLinearSpeedFunction(xs, sf.speed(xs))

@@ -1,0 +1,78 @@
+"""Workload-fluctuation bands for simulated machines.
+
+Implements the observations of section 1 (figure 2):
+
+* machines with a **high** level of network integration fluctuate by about
+  40 % of the maximum speed at small problem sizes, declining close to
+  linearly to about 6 % at the largest solvable size;
+* machines with a **low** level of integration stay within about 5-7 %
+  regardless of activity;
+* an additional heavy computational load shifts the whole band down while
+  its (absolute) width stays the same — see
+  :meth:`repro.core.band.SpeedBand.shifted`.
+"""
+
+from __future__ import annotations
+
+from ..core.band import SpeedBand, constant_width_schedule, linear_width_schedule
+from ..core.speed_function import SpeedFunction
+from ..exceptions import ConfigurationError
+from .spec import Integration
+
+__all__ = [
+    "HIGH_INTEGRATION_WIDTH_SMALL",
+    "HIGH_INTEGRATION_WIDTH_LARGE",
+    "LOW_INTEGRATION_WIDTH",
+    "fluctuation_band",
+]
+
+#: Paper: "fluctuations in speed ... in the order of 40% for small problem
+#: sizes declining to approximately 6% for the maximum problem size".
+HIGH_INTEGRATION_WIDTH_SMALL = 0.40
+HIGH_INTEGRATION_WIDTH_LARGE = 0.06
+
+#: Paper: "for computers with low level of integration, the width of the
+#: performance band was not greater than around 5-7%".
+LOW_INTEGRATION_WIDTH = 0.06
+
+
+def fluctuation_band(
+    speed_function: SpeedFunction,
+    integration: Integration,
+    *,
+    width_small: float = HIGH_INTEGRATION_WIDTH_SMALL,
+    width_large: float = HIGH_INTEGRATION_WIDTH_LARGE,
+    small_size_fraction: float = 1e-4,
+) -> SpeedBand:
+    """Wrap a ground-truth curve in the appropriate fluctuation band.
+
+    Parameters
+    ----------
+    speed_function:
+        Midline (typical-load) speed function; must have a finite
+        ``max_size`` for the high-integration linear schedule.
+    integration:
+        The machine's :class:`~repro.machines.spec.Integration` level.
+    width_small, width_large:
+        Override the band endpoints for high-integration machines.
+    small_size_fraction:
+        Problem size (as a fraction of ``max_size``) at which the band is
+        at its widest.
+    """
+    if integration is Integration.LOW:
+        return SpeedBand(speed_function, constant_width_schedule(LOW_INTEGRATION_WIDTH))
+    if integration is Integration.HIGH:
+        max_size = speed_function.max_size
+        if not (max_size < float("inf")):
+            raise ConfigurationError(
+                "high-integration bands need a finite max_size to anchor the "
+                "linear width schedule"
+            )
+        schedule = linear_width_schedule(
+            width_small,
+            width_large,
+            small_size_fraction * max_size,
+            max_size,
+        )
+        return SpeedBand(speed_function, schedule)
+    raise ConfigurationError(f"unknown integration level {integration!r}")

@@ -1,0 +1,32 @@
+"""Experimental model building: benchmarks -> piecewise speed functions."""
+
+from .adaptive import AdaptiveModel, simplify_model
+
+from .builder import DEFAULT_EPSILON, BuiltModel, build_piecewise_model, repair_monotone_g
+from .fitting import estimate_band, max_relative_deviation, relative_deviation
+from .measurement import (
+    Measurement,
+    SimulatedBenchmark,
+    measure_arrayops_speed,
+    measure_lu_speed,
+    measure_mm_speed,
+    time_callable,
+)
+
+__all__ = [
+    "AdaptiveModel",
+    "BuiltModel",
+    "DEFAULT_EPSILON",
+    "Measurement",
+    "SimulatedBenchmark",
+    "build_piecewise_model",
+    "estimate_band",
+    "max_relative_deviation",
+    "measure_arrayops_speed",
+    "measure_lu_speed",
+    "measure_mm_speed",
+    "relative_deviation",
+    "repair_monotone_g",
+    "simplify_model",
+    "time_callable",
+]

@@ -1,0 +1,166 @@
+"""Online maintenance of fitted speed functions.
+
+The paper closes with "the problems of efficient building and maintaining
+of our model ... are subjects of our current research".  This module
+implements the natural maintenance loop a deployment needs:
+
+* every production run yields a free observation ``(size, realised speed)``;
+* :class:`AdaptiveModel` checks it against the current band, blends
+  out-of-band observations into the piecewise function (inserting or
+  adjusting a knot, then restoring the ``g``-monotonicity invariant), and
+* tracks *drift*: a streak of out-of-band observations signals that the
+  machine's behaviour changed (new permanent workload, memory upgrade)
+  and the model should be rebuilt from scratch.
+
+:func:`simplify_model` prunes knots whose removal keeps the function
+within a tolerance — keeping models small as observations accumulate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.speed_function import PiecewiseLinearSpeedFunction
+from ..exceptions import ConfigurationError
+from .builder import repair_monotone_g
+
+__all__ = ["AdaptiveModel", "simplify_model"]
+
+
+def simplify_model(
+    function: PiecewiseLinearSpeedFunction, *, eps: float = 0.05
+) -> PiecewiseLinearSpeedFunction:
+    """Drop knots whose removal changes the function by at most ``eps``.
+
+    Greedy single pass: an interior knot is removed when the chord between
+    its neighbours stays within relative ``eps`` of the current value at
+    that knot.  Endpoints are always kept.  The result satisfies the same
+    validity invariants (removing a knot from a valid function keeps ``g``
+    monotone at the surviving knots; the new chord's intercept lies
+    between the old segments' intercepts).
+    """
+    if not (0 < eps < 1):
+        raise ConfigurationError(f"eps must be in (0, 1), got {eps!r}")
+    xs = list(map(float, function.knot_sizes))
+    ss = list(map(float, function.knot_speeds))
+    keep = [True] * len(xs)
+    i = 0
+    while i + 2 < len(xs):
+        left = i
+        mid = i + 1
+        right = i + 2
+        # Chord value at the middle knot.
+        frac = (xs[mid] - xs[left]) / (xs[right] - xs[left])
+        chord = ss[left] + frac * (ss[right] - ss[left])
+        scale = max(abs(ss[mid]), 1e-12 * max(ss))
+        if abs(chord - ss[mid]) <= eps * scale:
+            del xs[mid], ss[mid]
+        else:
+            i += 1
+    out_xs, out_ss = repair_monotone_g(np.asarray(xs), np.asarray(ss))
+    return PiecewiseLinearSpeedFunction(out_xs, out_ss)
+
+
+class AdaptiveModel:
+    """A speed-function model that learns from production observations.
+
+    Parameters
+    ----------
+    function:
+        The initial fitted model (from the section-3.1 builder).
+    tolerance:
+        Relative band half-width; observations within it are "explained"
+        and ignored.
+    smoothing:
+        Weight of a new out-of-band observation against the current model
+        value when updating (1.0 = trust the observation completely).
+    drift_limit:
+        Number of *consecutive* out-of-band observations after which
+        :attr:`needs_rebuild` is raised.
+    max_knots:
+        The model is simplified back under this size when updates push the
+        knot count above it.
+    """
+
+    def __init__(
+        self,
+        function: PiecewiseLinearSpeedFunction,
+        *,
+        tolerance: float = 0.05,
+        smoothing: float = 0.5,
+        drift_limit: int = 5,
+        max_knots: int = 64,
+    ):
+        if not (0 < tolerance < 1):
+            raise ConfigurationError(f"tolerance must be in (0, 1), got {tolerance!r}")
+        if not (0 < smoothing <= 1):
+            raise ConfigurationError(f"smoothing must be in (0, 1], got {smoothing!r}")
+        if drift_limit < 1 or max_knots < 2:
+            raise ConfigurationError("drift_limit >= 1 and max_knots >= 2 required")
+        self._function = function
+        self._tolerance = float(tolerance)
+        self._smoothing = float(smoothing)
+        self._drift_limit = int(drift_limit)
+        self._max_knots = int(max_knots)
+        #: Consecutive out-of-band observations.
+        self.drift_streak = 0
+        #: Total observations seen / absorbed.
+        self.observations = 0
+        self.updates = 0
+
+    @property
+    def function(self) -> PiecewiseLinearSpeedFunction:
+        """The current model."""
+        return self._function
+
+    @property
+    def needs_rebuild(self) -> bool:
+        """True once drift has persisted for ``drift_limit`` observations."""
+        return self.drift_streak >= self._drift_limit
+
+    def observe(self, size: float, speed: float) -> bool:
+        """Feed one production observation; returns True if the model changed.
+
+        ``size`` must lie inside the model's domain; ``speed`` must be
+        non-negative.
+        """
+        if not (0 < size <= self._function.max_size):
+            raise ConfigurationError(
+                f"observation size {size!r} outside the model domain "
+                f"(0, {self._function.max_size:g}]"
+            )
+        if speed < 0 or not np.isfinite(speed):
+            raise ConfigurationError(f"invalid observed speed {speed!r}")
+        self.observations += 1
+        predicted = float(self._function.speed(size))
+        scale = max(abs(predicted), 1e-12)
+        if abs(speed - predicted) <= self._tolerance * scale:
+            self.drift_streak = 0
+            return False
+        self.drift_streak += 1
+        blended = (1 - self._smoothing) * predicted + self._smoothing * speed
+        xs = np.asarray(self._function.knot_sizes, dtype=float)
+        ss = np.asarray(self._function.knot_speeds, dtype=float)
+        # Update the nearest knot if one is within 1% of the size; else
+        # insert a new knot.
+        idx = int(np.argmin(np.abs(xs - size)))
+        if abs(xs[idx] - size) <= 0.01 * size:
+            ss = ss.copy()
+            ss[idx] = blended
+        else:
+            pos = int(np.searchsorted(xs, size))
+            xs = np.insert(xs, pos, float(size))
+            ss = np.insert(ss, pos, blended)
+        xs, ss = repair_monotone_g(xs, ss)
+        function = PiecewiseLinearSpeedFunction(xs, ss)
+        eps = self._tolerance / 2
+        while function.num_knots > self._max_knots and eps < 0.5:
+            function = simplify_model(function, eps=eps)
+            eps *= 2
+        self._function = function
+        self.updates += 1
+        return True
+
+    def reset_drift(self) -> None:
+        """Clear the drift streak (call after an external rebuild)."""
+        self.drift_streak = 0

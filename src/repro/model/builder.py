@@ -1,0 +1,223 @@
+"""Building piecewise speed functions from few measurements (section 3.1).
+
+The paper's practical procedure approximates a processor's speed function
+by a piecewise linear band built from a *small* set of experimentally
+obtained points:
+
+1. choose the interval ``[a, b]``: ``a`` fits in the top cache level, ``b``
+   is so large (main memory + swap) that the speed is practically zero;
+   measure ``s(a)``, pin ``s(b) = 0``;
+2. **trisect** the current interval (bisection can be fooled by symmetric
+   curves — figure 19c), measure the speed at both interior points, and
+   compare against the current linear band of relative width ``±eps``
+   (5 % in the paper, matching the machines' inherent fluctuation);
+3. where a measurement escapes the band, insert it as a knot and recurse
+   into the sub-intervals that are not yet explained; where it matches the
+   neighbouring endpoint to within the band there is nothing left to
+   resolve on that side (the paper's sub-cases 2b-2d), so that
+   sub-interval is skipped;
+4. stop when no sub-interval remains (or it falls below ``min_gap``).
+
+The assembled knots are lightly repaired to restore the strict decrease of
+``g(x) = s(x)/x`` that measurement noise can break (a knot's speed is at
+most clipped down by the noise amplitude; see :func:`repair_monotone_g`),
+because the partitioning algorithms require that invariant exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core.band import SpeedBand, constant_width_schedule
+from ..core.speed_function import PiecewiseLinearSpeedFunction
+from ..exceptions import ConfigurationError, MeasurementError
+
+__all__ = ["BuiltModel", "build_piecewise_model", "repair_monotone_g"]
+
+#: The paper's acceptable deviation between the approximation and reality.
+DEFAULT_EPSILON = 0.05
+
+
+@dataclass
+class BuiltModel:
+    """Result of the model-building procedure.
+
+    Attributes
+    ----------
+    function:
+        The fitted piecewise-linear speed function (the band midline).
+    band:
+        The fitted function wrapped in the ``±eps`` acceptance band.
+    points:
+        The experimentally measured ``(size, speed)`` pairs, in size order.
+    experiments:
+        Number of benchmark invocations consumed — the cost the paper
+        reports (about 5 points per machine in their experiments).
+    """
+
+    function: PiecewiseLinearSpeedFunction
+    band: SpeedBand
+    points: list[tuple[float, float]] = field(default_factory=list)
+    experiments: int = 0
+
+
+def repair_monotone_g(
+    sizes: np.ndarray, speeds: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Clip knot speeds so that ``g = s/x`` strictly decreases.
+
+    Walking left to right, a knot whose ray slope would not drop below its
+    predecessor's is clipped down to just under the predecessor's ray.
+    (Equivalently: every segment keeps a positive intercept at ``x=0``.)
+    Clipping is downward only and bounded by the violation magnitude, i.e.
+    by the measurement noise that caused it.
+    """
+    xs = np.asarray(sizes, dtype=float).copy()
+    ss = np.asarray(speeds, dtype=float).copy()
+    for k in range(1, xs.size):
+        cap = ss[k - 1] / xs[k - 1] * xs[k] * (1.0 - 1e-9)
+        if ss[k] >= cap:
+            ss[k] = cap
+    return xs, ss
+
+
+def build_piecewise_model(
+    measure: Callable[[float], float],
+    a: float,
+    b: float,
+    *,
+    eps: float = DEFAULT_EPSILON,
+    min_gap: float | None = None,
+    max_depth: int = 24,
+    spacing: str = "linear",
+    min_ratio: float = 1.02,
+    pin_zero_at_b: bool = True,
+) -> BuiltModel:
+    """Run the section-3.1 procedure against a benchmark callable.
+
+    Parameters
+    ----------
+    measure:
+        One benchmark experiment: problem size (elements) -> speed
+        (MFlops).  Use :class:`~repro.model.measurement.SimulatedBenchmark`
+        for simulated machines or a lambda over the real measurement
+        helpers.
+    a:
+        Smallest benchmarked size (the cache-resident problem).
+    b:
+        Largest size; the speed there is *pinned to zero* per the paper,
+        not measured (the machine would thrash for hours).
+    eps:
+        Relative half-width of the acceptance band (the paper's 5 %).
+    min_gap:
+        Smallest sub-interval worth refining; defaults to ``(b-a)/729``
+        (six levels of trisection).
+    max_depth:
+        Hard recursion bound.
+    spacing:
+        ``"linear"`` trisects intervals at equal *lengths* — the paper's
+        literal procedure.  ``"log"`` trisects at equal *ratios*, which
+        resolves features spanning decades (start-up ramps, early cache
+        steps) with far fewer experiments; a documented extension used by
+        the reproduction's experiment drivers.
+    min_ratio:
+        With ``spacing="log"``: stop refining once ``x_right/x_left``
+        falls below this ratio.
+    pin_zero_at_b:
+        The paper chooses ``b`` past the memory+swap limit and pins
+        ``s(b) = 0`` without measuring (the machine would thrash for
+        hours).  Pass ``False`` when ``b`` is a *solvable* size — e.g.
+        when benchmarking a real host over a modest range — to measure
+        the speed at ``b`` instead.
+    """
+    if not (0 < a < b):
+        raise ConfigurationError(f"need 0 < a < b, got a={a!r}, b={b!r}")
+    if not (0 < eps < 1):
+        raise ConfigurationError(f"eps must be in (0, 1), got {eps!r}")
+    if spacing not in ("linear", "log"):
+        raise ConfigurationError(f"spacing must be 'linear' or 'log', got {spacing!r}")
+    if min_ratio <= 1.0:
+        raise ConfigurationError(f"min_ratio must exceed 1, got {min_ratio!r}")
+    gap = min_gap if min_gap is not None else (b - a) / 729.0
+    if gap <= 0:
+        raise ConfigurationError(f"min_gap must be positive, got {gap!r}")
+
+    experiments = 0
+
+    def run(x: float) -> float:
+        nonlocal experiments
+        experiments += 1
+        s = float(measure(x))
+        if s < 0 or not np.isfinite(s):
+            raise MeasurementError(f"benchmark returned invalid speed {s!r} at {x:g}")
+        return s
+
+    s_a = run(a)
+    if s_a <= 0:
+        raise MeasurementError(f"speed at the smallest size must be positive, got {s_a!r}")
+    s_b = 0.0 if pin_zero_at_b else run(b)
+    knots: dict[float, float] = {float(a): s_a, float(b): s_b}
+
+    def within(x: float, s: float, xl: float, sl: float, xr: float, sr: float) -> bool:
+        """Is the observation inside the ``±eps`` band of the linear piece?"""
+        interp = sl + (sr - sl) * (x - xl) / (xr - xl)
+        tol = eps * max(abs(interp), eps * s_a)
+        return abs(s - interp) <= tol
+
+    def close(s1: float, s2: float) -> bool:
+        """Are two speeds indistinguishable at the band's resolution?"""
+        return abs(s1 - s2) <= eps * max(abs(s1), abs(s2), eps * s_a)
+
+    def refine(xl: float, sl: float, xr: float, sr: float, depth: int) -> None:
+        if depth >= max_depth:
+            return
+        if spacing == "linear":
+            if xr - xl <= gap:
+                return
+            xb1 = xl + (xr - xl) / 3.0
+            xb2 = xl + 2.0 * (xr - xl) / 3.0
+        else:
+            ratio = xr / xl
+            if ratio <= min_ratio or xr - xl <= 1.0:
+                return
+            # Geometric first probe: resolves decade-spanning structure
+            # near the left end (ramps, cache steps).  Linear second probe:
+            # sits in the bulk of the interval, so a collapse anywhere in
+            # the middle cannot hide under the chord (a pair of geometric
+            # probes would both crowd the left edge, where the chord is
+            # trivially close to s(x_l)).
+            xb1 = xl * ratio ** (1.0 / 3.0)
+            xb2 = xl + 2.0 * (xr - xl) / 3.0
+        sb1 = run(xb1)
+        sb2 = run(xb2)
+        ok1 = within(xb1, sb1, xl, sl, xr, sr)
+        ok2 = within(xb2, sb2, xl, sl, xr, sr)
+        if ok1 and ok2:
+            # Case 2a: the current band explains both experiments; this
+            # linear piece is final.
+            return
+        knots[float(xb1)] = sb1
+        knots[float(xb2)] = sb2
+        # Cases 2b-2d: recurse only into sub-intervals the band does not
+        # already explain.  An interior point matching its outer neighbour
+        # (to band resolution) closes that side.
+        if not (ok1 or close(sb1, sl)):
+            refine(xl, sl, xb1, sb1, depth + 1)
+        refine(xb1, sb1, xb2, sb2, depth + 1)
+        if not (ok2 or close(sb2, sr)):
+            refine(xb2, sb2, xr, sr, depth + 1)
+
+    refine(float(a), s_a, float(b), s_b, 0)
+
+    xs = np.array(sorted(knots), dtype=float)
+    ss = np.array([knots[x] for x in xs], dtype=float)
+    xs, ss = repair_monotone_g(xs, ss)
+    function = PiecewiseLinearSpeedFunction(xs, ss)
+    band = SpeedBand(function, constant_width_schedule(min(2 * eps, 0.99)))
+    points = [(float(x), float(s)) for x, s in zip(xs, ss)]
+    return BuiltModel(
+        function=function, band=band, points=points, experiments=experiments
+    )

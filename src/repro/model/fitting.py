@@ -1,0 +1,94 @@
+"""Band statistics and model-quality diagnostics.
+
+Helpers around the model builder: estimating a fluctuation band's width
+schedule from repeated noisy measurements (the paper's future-work
+"additional parameter that reflects the level of workload fluctuations"),
+and quantifying how far a fitted model strays from the ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.band import SpeedBand, linear_width_schedule
+from ..core.speed_function import PiecewiseLinearSpeedFunction, SpeedFunction
+from ..exceptions import ConfigurationError, MeasurementError
+
+__all__ = ["estimate_band", "relative_deviation", "max_relative_deviation"]
+
+
+def estimate_band(
+    measure: Callable[[float], float],
+    sizes: Sequence[float],
+    *,
+    repeats: int = 12,
+) -> SpeedBand:
+    """Estimate a machine's fluctuation band from repeated measurements.
+
+    At each size the benchmark runs ``repeats`` times; the midline is the
+    per-size mean, and the relative width (peak-to-peak spread over the
+    mean) is fitted by a linear schedule over size — the shape the paper
+    observes (~40 % shrinking to ~6 %).
+
+    Returns a :class:`~repro.core.band.SpeedBand` over a piecewise-linear
+    midline through the per-size means.
+    """
+    xs = np.asarray(sorted(float(s) for s in sizes), dtype=float)
+    if xs.size < 2:
+        raise ConfigurationError("need at least two sizes to estimate a band")
+    if repeats < 2:
+        raise ConfigurationError(f"repeats must be >= 2, got {repeats}")
+    means = np.empty(xs.size)
+    widths = np.empty(xs.size)
+    for k, x in enumerate(xs):
+        samples = np.array([float(measure(x)) for _ in range(repeats)])
+        if np.any(samples < 0) or not np.all(np.isfinite(samples)):
+            raise MeasurementError(f"invalid benchmark samples at size {x:g}")
+        mean = float(samples.mean())
+        if mean <= 0:
+            raise MeasurementError(f"non-positive mean speed at size {x:g}")
+        means[k] = mean
+        widths[k] = float(samples.max() - samples.min()) / mean
+    # Linear fit of width against size, clamped to a sane range.
+    coeffs = np.polyfit(xs, widths, 1)
+    w_small = float(np.clip(np.polyval(coeffs, xs[0]), 0.0, 0.95))
+    w_large = float(np.clip(np.polyval(coeffs, xs[-1]), 0.0, 0.95))
+    midline = PiecewiseLinearSpeedFunction(
+        *_repair(xs, means)
+    )
+    if w_small >= w_large:
+        schedule = linear_width_schedule(w_small, w_large, xs[0], xs[-1])
+    else:
+        # Fluctuations that (unusually) grow with size: fall back to the
+        # conservative constant width.
+        from ..core.band import constant_width_schedule
+
+        schedule = constant_width_schedule(max(w_small, w_large))
+    return SpeedBand(midline, schedule)
+
+
+def _repair(xs: np.ndarray, ss: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    from .builder import repair_monotone_g
+
+    return repair_monotone_g(xs, ss)
+
+
+def relative_deviation(
+    model: SpeedFunction, truth: SpeedFunction, sizes: Sequence[float]
+) -> np.ndarray:
+    """Pointwise relative error ``|model - truth| / truth`` on a grid."""
+    xs = np.asarray(list(sizes), dtype=float)
+    t = np.asarray(truth.speed(xs), dtype=float)
+    m = np.asarray(model.speed(xs), dtype=float)
+    if np.any(t <= 0):
+        raise ConfigurationError("ground-truth speed must be positive on the grid")
+    return np.abs(m - t) / t
+
+
+def max_relative_deviation(
+    model: SpeedFunction, truth: SpeedFunction, sizes: Sequence[float]
+) -> float:
+    """Largest relative error of the model over the grid."""
+    return float(relative_deviation(model, truth, sizes).max())

@@ -1,0 +1,220 @@
+"""Benchmark measurement harness.
+
+Two measurement paths feed the model builder:
+
+* **real measurements** — actually run a NumPy kernel on this host, time
+  it (best-of-``repeats``, matching the paper's "repeated several times,
+  with an averaging of the results" small-scale experiments) and convert
+  to MFlops with the paper's formula ``speed = MF * n^3 / time``;
+* **simulated measurements** — query a simulated machine's ground-truth
+  band: the speed at size ``x`` is drawn from the machine's fluctuation
+  band, which is how the reproduction "benchmarks" the Table 1/2 machines
+  it cannot physically run on.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core.band import SpeedBand
+from ..core.speed_function import SpeedFunction
+from ..exceptions import ConfigurationError, MeasurementError
+from ..kernels import flops as _flops
+from ..kernels.arrayops import array_ops
+from ..kernels.lu import lu_factor
+from ..kernels.matmul import matmul_blocked, matmul_poor, matmul_reference
+
+__all__ = [
+    "Measurement",
+    "time_callable",
+    "measure_mm_speed",
+    "measure_lu_speed",
+    "measure_arrayops_speed",
+    "SimulatedBenchmark",
+]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One benchmark observation.
+
+    Attributes
+    ----------
+    size:
+        Problem size in elements.
+    seconds:
+        Wall time of the kernel run (best of the repeats).
+    speed:
+        Absolute speed in MFlops.
+    """
+
+    size: float
+    seconds: float
+    speed: float
+
+
+def time_callable(
+    fn: Callable[[], object], *, repeats: int = 3, warmup: int = 1
+) -> float:
+    """Best-of-``repeats`` wall time of ``fn`` after ``warmup`` calls.
+
+    The minimum is the standard robust estimator for compute kernels (any
+    positive noise only ever slows a run down).
+    """
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    for _ in range(warmup):
+        fn()
+    best = math.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        t1 = time.perf_counter()
+        best = min(best, t1 - t0)
+    if best <= 0:
+        raise MeasurementError("kernel ran faster than the clock resolution")
+    return best
+
+
+_MM_KERNELS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "reference": matmul_reference,
+    "blocked": matmul_blocked,
+    "poor": matmul_poor,
+}
+
+
+def measure_mm_speed(
+    n1: int,
+    n2: int | None = None,
+    *,
+    kernel: str = "reference",
+    repeats: int = 3,
+    rng: np.random.Generator | None = None,
+) -> Measurement:
+    """Measured MM speed on this host: ``A1 (n1 x n2) @ B1 (n2 x n1)``.
+
+    With ``n2`` omitted the benchmark is square (the paper's Tables 3/4
+    compare square against non-square of equal element count).  Speed uses
+    ``2 * n1^2 * n2`` flops; size is the element count ``n1 * n2``
+    (per stored input matrix, matching the tables' "size of matrix").
+    """
+    if n2 is None:
+        n2 = n1
+    if n1 <= 0 or n2 <= 0:
+        raise ConfigurationError("matrix dimensions must be positive")
+    try:
+        fn = _MM_KERNELS[kernel]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown MM kernel {kernel!r}; known: {sorted(_MM_KERNELS)}"
+        ) from None
+    rng = rng or np.random.default_rng(0)
+    a = rng.standard_normal((n1, n2))
+    b = rng.standard_normal((n2, n1))
+    seconds = time_callable(lambda: fn(a, b), repeats=repeats)
+    return Measurement(
+        size=float(n1) * n2,
+        seconds=seconds,
+        speed=_flops.mflops(_flops.mm_flops_rect(n1, n2), seconds),
+    )
+
+
+def measure_lu_speed(
+    n1: int,
+    n2: int | None = None,
+    *,
+    block: int = 64,
+    repeats: int = 3,
+    rng: np.random.Generator | None = None,
+) -> Measurement:
+    """Measured LU speed on this host for a dense ``n1 x n2`` matrix."""
+    if n2 is None:
+        n2 = n1
+    if n1 <= 0 or n2 <= 0:
+        raise ConfigurationError("matrix dimensions must be positive")
+    rng = rng or np.random.default_rng(0)
+    # Diagonal dominance keeps the panel pivoting benign for timing runs.
+    a = rng.standard_normal((n1, n2))
+    k = min(n1, n2)
+    a[np.arange(k), np.arange(k)] += float(max(n1, n2))
+    seconds = time_callable(lambda: lu_factor(a, block=block), repeats=repeats)
+    return Measurement(
+        size=float(n1) * n2,
+        seconds=seconds,
+        speed=_flops.mflops(_flops.lu_flops_rect(n1, n2), seconds),
+    )
+
+
+def measure_arrayops_speed(
+    n: int, *, repeats: int = 3, rng: np.random.Generator | None = None
+) -> Measurement:
+    """Measured streaming-kernel speed on this host over ``n`` elements."""
+    if n <= 0:
+        raise ConfigurationError("array length must be positive")
+    rng = rng or np.random.default_rng(0)
+    a = rng.standard_normal(n)
+    seconds = time_callable(lambda: array_ops(a), repeats=repeats)
+    return Measurement(
+        size=float(n),
+        seconds=seconds,
+        speed=_flops.mflops(_flops.arrayops_flops(n), seconds),
+    )
+
+
+class SimulatedBenchmark:
+    """Benchmark interface over a simulated machine.
+
+    Wraps a ground-truth :class:`~repro.core.band.SpeedBand` (or bare
+    :class:`~repro.core.speed_function.SpeedFunction`) and pretends to "run"
+    the kernel at a given size: the returned speed is the band midline
+    perturbed by a uniformly drawn position inside the band, drawn fresh
+    for every call — the transient-load noise a real benchmark would see.
+
+    Every call increments :attr:`experiments`, the cost metric the paper
+    reports for building speed functions (5 points per machine sufficed).
+    """
+
+    def __init__(
+        self,
+        model: SpeedBand | SpeedFunction,
+        rng: np.random.Generator | None = None,
+    ):
+        if isinstance(model, SpeedBand):
+            self._band: SpeedBand | None = model
+            self._sf = model.midline
+        else:
+            self._band = None
+            self._sf = model
+        self._rng = rng or np.random.default_rng(0)
+        #: Number of benchmark invocations so far.
+        self.experiments = 0
+
+    @property
+    def max_size(self) -> float:
+        """Largest measurable problem size."""
+        return self._sf.max_size
+
+    def measure(self, size: float) -> float:
+        """One benchmark run at ``size`` elements: returns speed (MFlops)."""
+        if size <= 0:
+            raise MeasurementError(f"problem size must be positive, got {size!r}")
+        if size > self._sf.max_size:
+            raise MeasurementError(
+                f"problem of size {size:g} exceeds the machine capacity "
+                f"{self._sf.max_size:g}"
+            )
+        self.experiments += 1
+        mid = float(self._sf.speed(size))
+        if self._band is None:
+            return mid
+        w = float(np.asarray(self._band.width_at(size)))
+        lam = float(self._rng.uniform(-0.5, 0.5))
+        return max(mid * (1.0 + lam * w), 0.0)
+
+    def __call__(self, size: float) -> float:
+        return self.measure(size)

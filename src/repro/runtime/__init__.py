@@ -1,0 +1,22 @@
+"""Real parallel execution on an emulated heterogeneous cluster.
+
+The paper targets physical networks of heterogeneous computers; this
+package emulates one on the local host — pinned worker processes with
+deterministic work-inflation factors — so the whole benchmark -> model ->
+partition -> execute loop can run against *real* wall clocks instead of
+the simulator.  See :mod:`repro.runtime.cluster`.
+"""
+
+from .cluster import EmulatedCluster, StripedRunResult
+from .lu_parallel import ParallelLUResult, run_parallel_lu
+from .tasks import arrayops_task, benchmark_task, mm_stripe_task
+
+__all__ = [
+    "EmulatedCluster",
+    "ParallelLUResult",
+    "StripedRunResult",
+    "arrayops_task",
+    "benchmark_task",
+    "mm_stripe_task",
+    "run_parallel_lu",
+]

@@ -1,0 +1,209 @@
+"""An emulated heterogeneous cluster of real worker processes.
+
+:class:`EmulatedCluster` turns this machine into a miniature "network of
+heterogeneous computers": each emulated machine is one pinned worker
+process (its own single-worker :class:`~concurrent.futures.
+ProcessPoolExecutor`, so tasks cannot migrate) with a *work-inflation
+factor* making it behave ``r`` times slower than the host.
+
+The cluster supports the whole paper workflow on real execution:
+
+* :meth:`benchmark` — measure each machine's speed at a set of sizes
+  (runs the real MM kernel inside the worker, inflation included);
+* :meth:`build_models` — feed those measurements through the section-3.1
+  builder to get per-machine piecewise speed functions;
+* :meth:`run_striped_matmul` — execute ``C = A @ B.T`` with an arbitrary
+  row distribution, in parallel, returning the assembled result and the
+  per-machine wall times.
+
+Use as a context manager to guarantee worker shutdown::
+
+    with EmulatedCluster([1, 2, 4]) as cluster:
+        models = cluster.build_models(a_dim=48, b_dim=256)
+        ...
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+from typing import Sequence
+
+import numpy as np
+
+from ..core.speed_function import PiecewiseLinearSpeedFunction
+from ..exceptions import ConfigurationError
+from ..kernels.striped import row_slices
+from ..model.builder import BuiltModel, build_piecewise_model
+from .tasks import benchmark_task, mm_stripe_task
+
+__all__ = ["EmulatedCluster", "StripedRunResult"]
+
+
+class StripedRunResult:
+    """Outcome of one parallel striped run.
+
+    Attributes
+    ----------
+    result:
+        The assembled output matrix.
+    worker_seconds:
+        Wall time each machine spent computing its stripe (0 for empty
+        stripes).
+    """
+
+    def __init__(self, result: np.ndarray, worker_seconds: np.ndarray):
+        self.result = result
+        self.worker_seconds = worker_seconds
+
+    @property
+    def makespan(self) -> float:
+        """Slowest machine's compute time."""
+        return float(self.worker_seconds.max()) if self.worker_seconds.size else 0.0
+
+    @property
+    def imbalance(self) -> float:
+        """Makespan over mean busy time — 1.0 is a perfect balance."""
+        busy = self.worker_seconds[self.worker_seconds > 0]
+        if busy.size == 0:
+            return 1.0
+        return float(busy.max() / busy.mean())
+
+
+class EmulatedCluster:
+    """A set of pinned worker processes with per-worker slowdown factors."""
+
+    def __init__(self, repetitions: Sequence[int]):
+        if len(repetitions) == 0:
+            raise ConfigurationError("at least one machine is required")
+        reps = [int(r) for r in repetitions]
+        if any(r < 1 for r in reps):
+            raise ConfigurationError("repetition factors must be >= 1")
+        self._reps = reps
+        self._pools: list[ProcessPoolExecutor] | None = [
+            ProcessPoolExecutor(max_workers=1) for _ in reps
+        ]
+
+    # -- lifecycle ---------------------------------------------------------
+    def __enter__(self) -> "EmulatedCluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Terminate all worker processes (idempotent)."""
+        if self._pools is not None:
+            for pool in self._pools:
+                pool.shutdown(wait=True, cancel_futures=True)
+            self._pools = None
+
+    def _require_pools(self) -> list[ProcessPoolExecutor]:
+        if self._pools is None:
+            raise ConfigurationError("cluster has been shut down")
+        return self._pools
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of emulated machines."""
+        return len(self._reps)
+
+    @property
+    def repetitions(self) -> tuple[int, ...]:
+        """Per-machine work-inflation factors."""
+        return tuple(self._reps)
+
+    # -- benchmarking / model building ----------------------------------------
+    def benchmark(self, machine: int, n: int, *, repeats: int = 2) -> float:
+        """Measure one machine's square-MM speed (MFlops) at dimension ``n``."""
+        pools = self._require_pools()
+        if not (0 <= machine < self.size):
+            raise ConfigurationError(f"no machine {machine} in a {self.size}-node cluster")
+        fut = pools[machine].submit(benchmark_task, n, self._reps[machine], repeats)
+        return float(fut.result())
+
+    def build_models(
+        self,
+        *,
+        a_dim: int = 32,
+        b_dim: int = 256,
+        eps: float = 0.25,
+    ) -> list[BuiltModel]:
+        """Section-3.1 models of every machine from real in-worker runs.
+
+        ``a_dim``/``b_dim`` bound the benchmarked matrix dimensions; the
+        element axis of the resulting functions is the square-matrix
+        element count ``n*n``.  Real hosts are noisy, hence the loose
+        default acceptance band.
+        """
+        models = []
+        for machine in range(self.size):
+
+            def bench(elements: float, _m=machine) -> float:
+                n = max(int(math.sqrt(elements)), 2)
+                return self.benchmark(_m, n)
+
+            models.append(
+                build_piecewise_model(
+                    bench,
+                    a=float(a_dim * a_dim),
+                    b=float(b_dim * b_dim),
+                    eps=eps,
+                    spacing="log",
+                    pin_zero_at_b=False,
+                    min_ratio=2.0,
+                )
+            )
+        return models
+
+    def speed_functions(
+        self, models: Sequence[BuiltModel]
+    ) -> list[PiecewiseLinearSpeedFunction]:
+        """Convenience: unwrap built models to their speed functions."""
+        return [m.function for m in models]
+
+    # -- parallel execution -----------------------------------------------------
+    def run_striped_matmul(
+        self, a: np.ndarray, b: np.ndarray, rows: Sequence[int]
+    ) -> StripedRunResult:
+        """Execute ``C = A @ B.T`` in parallel with the given row stripes.
+
+        ``rows`` has one stripe height per machine and must sum to
+        ``a.shape[0]``.  Every machine computes its stripe concurrently
+        (with its inflation factor); the stripes are reassembled in order.
+        """
+        pools = self._require_pools()
+        rows_arr = np.asarray(rows, dtype=np.int64)
+        if rows_arr.size != self.size:
+            raise ConfigurationError(
+                f"got {rows_arr.size} stripes for {self.size} machines"
+            )
+        if rows_arr.sum() != a.shape[0]:
+            raise ConfigurationError(
+                f"stripes sum to {rows_arr.sum()}, matrix has {a.shape[0]} rows"
+            )
+        futures = []
+        for machine, sl in enumerate(row_slices(rows_arr)):
+            if sl.stop == sl.start:
+                futures.append(None)
+                continue
+            futures.append(
+                pools[machine].submit(
+                    mm_stripe_task, a[sl, :], b, self._reps[machine]
+                )
+            )
+        stripes: list[np.ndarray] = []
+        seconds = np.zeros(self.size, dtype=float)
+        for machine, fut in enumerate(futures):
+            if fut is None:
+                continue
+            stripe, elapsed = fut.result()
+            stripes.append(stripe)
+            seconds[machine] = elapsed
+        result = (
+            np.vstack(stripes)
+            if stripes
+            else np.zeros((0, b.shape[0]), dtype=float)
+        )
+        return StripedRunResult(result, seconds)

@@ -1,0 +1,142 @@
+"""Stateful worker tasks for the real parallel LU factorisation.
+
+Each emulated machine is one pinned worker process (a single-worker pool),
+so module-level globals inside the worker persist across submissions —
+that is where the worker keeps *its own column blocks* between elimination
+steps, exactly like a process in the paper's parallel LU owns its columns
+for the whole factorisation.
+
+Protocol per block step ``k`` (right-looking, no pivoting — the parallel
+example uses diagonally dominant matrices, as the paper's timing runs
+effectively do):
+
+1. the owner of block ``k`` calls :func:`lu_factor_panel` — it factorises
+   its local panel and returns the ``L`` panel below the diagonal plus the
+   pivot block;
+2. every worker (including the owner) calls :func:`lu_apply_update` with
+   that panel — it solves the triangular block row for its own columns and
+   applies the rank-``b`` update.
+
+Work inflation multiplies the update arithmetic, emulating slower
+machines.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "lu_worker_init",
+    "lu_factor_panel",
+    "lu_apply_update",
+    "lu_collect_columns",
+]
+
+#: Worker-local state: the columns this worker owns, keyed by session id.
+_STATE: dict[str, dict] = {}
+
+
+def lu_worker_init(
+    session: str,
+    columns: np.ndarray,
+    global_cols: np.ndarray,
+    n: int,
+    b: int,
+    repetitions: int,
+) -> int:
+    """Install this worker's column block matrix.
+
+    ``columns`` is the ``n x (owned columns)`` slab; ``global_cols`` maps
+    local column index to global column index.  Returns the number of
+    owned columns (handshake).
+    """
+    if repetitions < 1:
+        raise ConfigurationError(f"repetitions must be >= 1, got {repetitions}")
+    _STATE[session] = {
+        "cols": np.array(columns, dtype=float, order="F"),
+        "global": np.asarray(global_cols, dtype=np.int64),
+        "n": int(n),
+        "b": int(b),
+        "reps": int(repetitions),
+    }
+    return int(columns.shape[1])
+
+
+def _local_block(state: dict, k: int) -> np.ndarray:
+    """Local column indices of global block ``k`` (may be empty)."""
+    b = state["b"]
+    lo, hi = k * b, min((k + 1) * b, state["n"])
+    g = state["global"]
+    return np.nonzero((g >= lo) & (g < hi))[0]
+
+
+def lu_factor_panel(session: str, k: int) -> tuple[np.ndarray, float]:
+    """Factorise global panel ``k`` held by this worker.
+
+    Returns the factored panel rows ``k*b..n`` (unit-lower L below the
+    diagonal block, U on/above within the block) and the elapsed seconds.
+    """
+    state = _STATE[session]
+    cols = _local_block(state, k)
+    if cols.size == 0:
+        raise ConfigurationError(f"worker does not own block {k}")
+    b = state["b"]
+    n = state["n"]
+    row0 = k * b
+    t0 = time.perf_counter()
+    panel = state["cols"][row0:, cols]
+    width = panel.shape[1]
+    for _ in range(state["reps"]):
+        work = np.array(panel, order="F")
+        for j in range(width):
+            if work[j, j] == 0.0:
+                raise ConfigurationError(
+                    "zero pivot: the parallel LU example requires a "
+                    "diagonally dominant matrix"
+                )
+            work[j + 1 :, j] /= work[j, j]
+            if j + 1 < width:
+                work[j + 1 :, j + 1 :] -= np.outer(
+                    work[j + 1 :, j], work[j, j + 1 :]
+                )
+    state["cols"][row0:, cols] = work
+    return work, time.perf_counter() - t0
+
+
+def lu_apply_update(session: str, k: int, panel: np.ndarray) -> float:
+    """Apply step ``k``'s panel to this worker's trailing columns.
+
+    Solves ``L11 @ U12 = A12`` for the owned columns right of block ``k``
+    and applies ``A22 -= L21 @ U12``.  Returns elapsed seconds (inflated).
+    """
+    state = _STATE[session]
+    b = state["b"]
+    n = state["n"]
+    row0 = k * b
+    width = panel.shape[1]
+    mine = np.nonzero(state["global"] >= row0 + width)[0]
+    # Skip columns belonging to earlier blocks (already final).
+    if mine.size == 0:
+        return 0.0
+    t0 = time.perf_counter()
+    l11 = np.tril(panel[:width, :], -1) + np.eye(width)
+    l21 = panel[width:, :]
+    for _ in range(state["reps"]):
+        a12 = np.array(state["cols"][row0 : row0 + width, mine])
+        # Forward substitution with unit-lower L11.
+        for r in range(1, width):
+            a12[r, :] -= l11[r, :r] @ a12[:r, :]
+        a22 = state["cols"][row0 + width :, mine] - l21 @ a12
+    state["cols"][row0 : row0 + width, mine] = a12
+    state["cols"][row0 + width :, mine] = a22
+    return time.perf_counter() - t0
+
+
+def lu_collect_columns(session: str) -> tuple[np.ndarray, np.ndarray]:
+    """Return (global column indices, factored columns) and drop state."""
+    state = _STATE.pop(session)
+    return state["global"], state["cols"]

@@ -1,0 +1,67 @@
+"""Picklable task functions executed inside worker processes.
+
+Worker processes receive their payload by pickling, so everything here is
+a module-level function of plain arrays/numbers.  Heterogeneity is
+emulated by *work inflation*: a worker with repetition factor ``r``
+executes its kernel ``r`` times, making it behave like a machine ``r``
+times slower — deterministic, CPU-bound and measurable, unlike sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["mm_stripe_task", "benchmark_task", "arrayops_task"]
+
+
+def mm_stripe_task(
+    a_stripe: np.ndarray, b: np.ndarray, repetitions: int
+) -> tuple[np.ndarray, float]:
+    """Compute ``a_stripe @ b.T`` with work inflation.
+
+    Returns the stripe of ``C`` and the wall time spent computing (the
+    inflated time — what the emulated slower machine would take).
+    """
+    if repetitions < 1:
+        raise ConfigurationError(f"repetitions must be >= 1, got {repetitions}")
+    t0 = time.perf_counter()
+    out = a_stripe @ b.T
+    for _ in range(repetitions - 1):
+        out = a_stripe @ b.T
+    return out, time.perf_counter() - t0
+
+
+def arrayops_task(
+    data: np.ndarray, repetitions: int
+) -> tuple[np.ndarray, float]:
+    """Streaming array kernel with work inflation."""
+    if repetitions < 1:
+        raise ConfigurationError(f"repetitions must be >= 1, got {repetitions}")
+    t0 = time.perf_counter()
+    out = data
+    for _ in range(repetitions):
+        out = (out * 1.000001 + 0.5) ** 2 + data
+    return out, time.perf_counter() - t0
+
+
+def benchmark_task(n: int, repetitions: int, repeats: int = 2) -> float:
+    """Measure this worker's square-MM speed (MFlops) at dimension ``n``.
+
+    The measurement includes the worker's inflation factor, so the
+    returned speed is the *emulated machine's* speed — exactly what the
+    model builder should see.
+    """
+    if n < 2:
+        raise ConfigurationError(f"benchmark dimension must be >= 2, got {n}")
+    rng = np.random.default_rng(n)
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal((n, n))
+    best = float("inf")
+    for _ in range(max(repeats, 1)):
+        _, seconds = mm_stripe_task(a, b, repetitions)
+        best = min(best, seconds)
+    return 2.0 * float(n) ** 3 / best / 1e6

@@ -1,0 +1,17 @@
+"""Parallel-execution simulators standing in for the paper's testbed runs."""
+
+from .dynamic import DynamicMMSimulation, simulate_striped_matmul_dynamic
+from .events import LUStepRecord, SimulationTrace
+from .executor import MMSimulation, simulate_striped_matmul
+from .lu_executor import LUSimulation, simulate_lu
+
+__all__ = [
+    "DynamicMMSimulation",
+    "LUSimulation",
+    "LUStepRecord",
+    "MMSimulation",
+    "SimulationTrace",
+    "simulate_lu",
+    "simulate_striped_matmul_dynamic",
+    "simulate_striped_matmul",
+]

@@ -1,0 +1,76 @@
+"""Trace records emitted by the execution simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["LUStepRecord", "SimulationTrace"]
+
+
+@dataclass(frozen=True)
+class LUStepRecord:
+    """One elimination step of the simulated LU factorisation.
+
+    Attributes
+    ----------
+    step:
+        Block-column index ``k``.
+    remaining:
+        Dimension of the active trailing matrix at the start of the step.
+    owner:
+        Processor that factorises the panel.
+    panel_seconds:
+        Time of the panel factorisation.
+    comm_seconds:
+        Time of the panel broadcast (0 when communication is not modelled).
+    update_seconds:
+        Time of the trailing-matrix update (max over processors).
+    update_per_processor:
+        Per-processor update times (tuple, length ``p``).
+    """
+
+    step: int
+    remaining: int
+    owner: int
+    panel_seconds: float
+    comm_seconds: float
+    update_seconds: float
+    update_per_processor: tuple[float, ...]
+
+    @property
+    def seconds(self) -> float:
+        """Total time of the step."""
+        return self.panel_seconds + self.comm_seconds + self.update_seconds
+
+
+@dataclass
+class SimulationTrace:
+    """Ordered collection of step records."""
+
+    steps: list[LUStepRecord] = field(default_factory=list)
+
+    def append(self, record: LUStepRecord) -> None:
+        self.steps.append(record)
+
+    def total_seconds(self) -> float:
+        return float(sum(s.seconds for s in self.steps))
+
+    def busy_fraction(self, p: int) -> np.ndarray:
+        """Fraction of total update time each processor spent computing.
+
+        A crude load-balance diagnostic: 1.0 means the processor was the
+        critical one at every step.
+        """
+        totals = np.zeros(p, dtype=float)
+        crit = 0.0
+        for s in self.steps:
+            totals += np.asarray(s.update_per_processor, dtype=float)
+            crit += s.update_seconds
+        if crit <= 0:
+            return np.zeros(p, dtype=float)
+        return totals / crit
+
+    def __len__(self) -> int:
+        return len(self.steps)

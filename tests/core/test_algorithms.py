@@ -1,0 +1,191 @@
+"""Tests for the bisection, modified, combined and exact partitioners."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConstantSpeedFunction,
+    ConvergenceError,
+    InfeasiblePartitionError,
+    PiecewiseLinearSpeedFunction,
+    makespan,
+    partition_bisection,
+    partition_combined,
+    partition_constant,
+    partition_exact,
+    partition_modified,
+)
+from tests.conftest import make_hump_pwl, make_increasing_pwl, make_pwl
+
+ALGOS = [partition_bisection, partition_modified, partition_combined, partition_exact]
+
+
+@pytest.fixture(params=ALGOS, ids=["bisection", "modified", "combined", "exact"])
+def algo(request):
+    return request.param
+
+
+class TestCommonBehaviour:
+    def test_sums_to_n(self, algo, heterogeneous_trio):
+        for n in [1, 2, 1000, 123_456, 999_999]:
+            r = algo(n, heterogeneous_trio)
+            assert int(r.allocation.sum()) == n, f"n={n}"
+            assert np.all(r.allocation >= 0)
+
+    def test_zero_elements(self, algo, heterogeneous_trio):
+        r = algo(0, heterogeneous_trio)
+        assert r.allocation.sum() == 0
+        assert r.makespan == 0.0
+
+    def test_single_processor_gets_all(self, algo):
+        sfs = [make_pwl(100.0)]
+        r = algo(1_000_000, sfs)
+        assert r.allocation[0] == 1_000_000
+
+    def test_constant_speeds_proportional(self, algo):
+        sfs = [ConstantSpeedFunction(100.0), ConstantSpeedFunction(300.0)]
+        r = algo(1000, sfs)
+        baseline = partition_constant(1000, [100.0, 300.0])
+        assert r.makespan == pytest.approx(baseline.makespan, rel=1e-9)
+
+    def test_identical_processors_near_even(self, algo):
+        sfs = [make_pwl(100.0) for _ in range(4)]
+        r = algo(100_000, sfs)
+        assert r.allocation.max() - r.allocation.min() <= 1
+
+    def test_infeasible_raises(self, algo):
+        sfs = [make_pwl(100.0)]  # capacity 2e6
+        with pytest.raises(InfeasiblePartitionError):
+            algo(5_000_000, sfs)
+
+    def test_makespan_reported_consistent(self, algo, heterogeneous_trio):
+        r = algo(500_000, heterogeneous_trio)
+        assert r.makespan == pytest.approx(
+            makespan(heterogeneous_trio, r.allocation)
+        )
+
+    def test_faster_processor_gets_more(self, algo):
+        sfs = [make_pwl(50.0), make_pwl(200.0)]
+        r = algo(100_000, sfs)
+        assert r.allocation[1] > r.allocation[0]
+
+    @pytest.mark.parametrize(
+        "factory", [make_pwl, make_increasing_pwl, make_hump_pwl]
+    )
+    def test_all_figure5_shapes(self, algo, factory):
+        sfs = [factory(100.0), factory(37.0), factory(260.0)]
+        n = 600_000
+        r = algo(n, sfs)
+        assert int(r.allocation.sum()) == n
+
+
+class TestAgreementWithExact:
+    @pytest.mark.parametrize("n", [100, 5_000, 314_159, 1_000_000])
+    def test_geometric_algorithms_are_optimal(self, heterogeneous_trio, n):
+        t_exact = partition_exact(n, heterogeneous_trio).makespan
+        for fn in (partition_bisection, partition_modified, partition_combined):
+            t = fn(n, heterogeneous_trio).makespan
+            assert t == pytest.approx(t_exact, rel=1e-9), fn.__name__
+
+    def test_mixed_constant_and_functional(self):
+        sfs = [
+            ConstantSpeedFunction(120.0, max_size=5e6),
+            make_pwl(300.0),
+            make_increasing_pwl(90.0),
+        ]
+        n = 750_000
+        t_exact = partition_exact(n, sfs).makespan
+        for fn in (partition_bisection, partition_modified, partition_combined):
+            assert fn(n, sfs).makespan == pytest.approx(t_exact, rel=1e-9)
+
+
+class TestBisectionSpecifics:
+    def test_angle_mode_matches_tangent(self, heterogeneous_trio):
+        n = 424_242
+        a = partition_bisection(n, heterogeneous_trio, mode="tangent")
+        b = partition_bisection(n, heterogeneous_trio, mode="angle")
+        assert a.makespan == pytest.approx(b.makespan, rel=1e-9)
+
+    def test_paper_refine_close(self, heterogeneous_trio):
+        n = 300_000
+        greedy = partition_bisection(n, heterogeneous_trio, refine="greedy")
+        paper = partition_bisection(n, heterogeneous_trio, refine="paper")
+        assert int(paper.allocation.sum()) == n
+        assert paper.makespan <= greedy.makespan * 1.01
+
+    def test_unknown_refine_rejected(self, heterogeneous_trio):
+        with pytest.raises(ValueError):
+            partition_bisection(100, heterogeneous_trio, refine="magic")
+
+    def test_trace_recorded(self, heterogeneous_trio):
+        r = partition_bisection(100_000, heterogeneous_trio, keep_trace=True)
+        assert len(r.trace) == r.iterations
+        # Every trace entry is (slope, total) with positive slope.
+        assert all(s > 0 for s, _ in r.trace)
+
+    def test_iteration_cap(self, heterogeneous_trio):
+        with pytest.raises(ConvergenceError):
+            partition_bisection(500_000, heterogeneous_trio, max_iterations=1)
+
+    def test_iterations_logarithmic(self):
+        # O(log n) behaviour: steps grow roughly linearly in log2(n).
+        sfs = [make_pwl(100.0, scale=100.0), make_pwl(250.0, scale=100.0)]
+        small = partition_bisection(10_000, sfs).iterations
+        large = partition_bisection(100_000_000, sfs).iterations
+        assert large <= small + 40  # ~log2(1e4) extra bisections at most
+
+
+class TestModifiedSpecifics:
+    def test_iterations_bounded_by_plogn(self, heterogeneous_trio):
+        n = 1_000_000
+        r = partition_modified(n, heterogeneous_trio)
+        p = len(heterogeneous_trio)
+        assert r.iterations <= p * np.log2(n) + p
+
+    def test_trace_recorded(self, heterogeneous_trio):
+        r = partition_modified(77_777, heterogeneous_trio, keep_trace=True)
+        assert len(r.trace) == r.iterations
+
+
+class TestCombinedSpecifics:
+    def test_flat_tail_switches_to_modified(self):
+        # A nearly flat plateau followed by collapse: the basic bisection
+        # makes slow x-progress, so the combined algorithm must still finish
+        # quickly and correctly.
+        xs = np.array([1e3, 1e6, 1.001e6])
+        ss = np.array([100.0, 99.0, 0.01])
+        sfs = [PiecewiseLinearSpeedFunction(xs, ss) for _ in range(3)]
+        n = 2_500_000
+        r = partition_combined(n, sfs)
+        assert int(r.allocation.sum()) == n
+        t_exact = partition_exact(n, sfs).makespan
+        assert r.makespan == pytest.approx(t_exact, rel=1e-6)
+
+
+class TestExactSpecifics:
+    def test_optimal_vs_bruteforce_tiny(self):
+        import itertools
+
+        sfs = [
+            PiecewiseLinearSpeedFunction([1.0, 10.0, 20.0], [5.0, 4.0, 1.0]),
+            PiecewiseLinearSpeedFunction([1.0, 10.0, 20.0], [9.0, 6.0, 2.0]),
+        ]
+        for n in range(1, 30):
+            best = min(
+                makespan(sfs, [a, n - a])
+                for a in range(n + 1)
+                if a <= 20 and n - a <= 20
+            )
+            r = partition_exact(n, sfs)
+            assert r.makespan == pytest.approx(best, rel=1e-9), f"n={n}"
+
+    def test_bounded_capacity_edge(self):
+        sfs = [
+            ConstantSpeedFunction(10.0, max_size=5),
+            ConstantSpeedFunction(1.0, max_size=100),
+        ]
+        r = partition_exact(50, sfs)
+        assert r.allocation[0] <= 5
+        assert int(r.allocation.sum()) == 50

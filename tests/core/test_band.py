@@ -1,0 +1,121 @@
+"""Tests for speed bands (workload-fluctuation envelopes)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError, SpeedBand
+from repro.core.band import constant_width_schedule, linear_width_schedule
+from tests.conftest import make_pwl
+
+
+class TestWidthSchedules:
+    def test_linear_interpolates(self):
+        w = linear_width_schedule(0.40, 0.06, 100.0, 1000.0)
+        assert w(100.0) == pytest.approx(0.40)
+        assert w(1000.0) == pytest.approx(0.06)
+        assert w(550.0) == pytest.approx(0.23)
+
+    def test_linear_clamps_outside(self):
+        w = linear_width_schedule(0.40, 0.06, 100.0, 1000.0)
+        assert w(1.0) == pytest.approx(0.40)
+        assert w(1e9) == pytest.approx(0.06)
+
+    def test_linear_rejects_bad_widths(self):
+        with pytest.raises(ConfigurationError):
+            linear_width_schedule(0.06, 0.40, 100.0, 1000.0)  # inverted
+        with pytest.raises(ConfigurationError):
+            linear_width_schedule(1.2, 0.1, 100.0, 1000.0)
+
+    def test_linear_rejects_bad_sizes(self):
+        with pytest.raises(ConfigurationError):
+            linear_width_schedule(0.4, 0.1, 1000.0, 100.0)
+
+    def test_constant(self):
+        w = constant_width_schedule(0.07)
+        np.testing.assert_allclose(w(np.array([1.0, 1e6])), [0.07, 0.07])
+
+    def test_constant_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            constant_width_schedule(1.0)
+
+
+class TestSpeedBand:
+    def test_envelopes_straddle_midline(self):
+        band = SpeedBand(make_pwl(100.0), 0.2)
+        x = 1e4
+        mid = band.midline.speed(x)
+        assert band.lower_speed(x) == pytest.approx(mid * 0.9)
+        assert band.upper_speed(x) == pytest.approx(mid * 1.1)
+
+    def test_width_at(self):
+        band = SpeedBand(make_pwl(100.0), 0.3)
+        assert float(np.asarray(band.width_at(1e4))) == pytest.approx(0.3)
+
+    def test_contains(self):
+        band = SpeedBand(make_pwl(100.0), 0.2)
+        mid = float(band.midline.speed(1e4))
+        assert band.contains(1e4, mid)
+        assert band.contains(1e4, mid * 1.09)
+        assert not band.contains(1e4, mid * 1.2)
+
+    def test_contains_slack(self):
+        band = SpeedBand(make_pwl(100.0), 0.2)
+        mid = float(band.midline.speed(1e4))
+        assert band.contains(1e4, mid * 1.2, slack=0.15)
+
+    def test_sample_inside_band(self, rng):
+        band = SpeedBand(make_pwl(100.0), 0.4)
+        for _ in range(10):
+            sf = band.sample(rng)
+            xs = np.geomspace(1e3, 2e6, 30)
+            lo = band.lower_speed(xs) - 1e-9
+            hi = band.upper_speed(xs) + 1e-9
+            s = sf.speed(xs)
+            assert np.all(s >= lo) and np.all(s <= hi)
+
+    def test_sample_deterministic_with_seed(self):
+        band = SpeedBand(make_pwl(100.0), 0.4)
+        a = band.sample(np.random.default_rng(5))
+        b = band.sample(np.random.default_rng(5))
+        np.testing.assert_allclose(a.knot_speeds, b.knot_speeds)
+
+    def test_sampled_function_is_valid(self, rng):
+        band = SpeedBand(make_pwl(100.0), 0.4)
+        sf = band.sample(rng)
+        sf.check_single_intersection()
+
+    def test_materialised_envelopes_valid(self):
+        band = SpeedBand(make_pwl(100.0), 0.3)
+        band.lower_function().check_single_intersection()
+        band.upper_function().check_single_intersection()
+
+    def test_zero_width_band_sample_is_midline(self, rng):
+        band = SpeedBand(make_pwl(100.0), 0.0)
+        sf = band.sample(rng)
+        xs = np.geomspace(1e3, 2e6, 20)
+        np.testing.assert_allclose(sf.speed(xs), band.midline.speed(xs), rtol=1e-12)
+
+    def test_shifted_preserves_absolute_width(self):
+        band = SpeedBand(make_pwl(100.0), 0.2)
+        shifted = band.shifted(5.0)
+        x = 1e4
+        old_abs = float(band.upper_speed(x) - band.lower_speed(x))
+        new_abs = float(shifted.upper_speed(x) - shifted.lower_speed(x))
+        assert new_abs == pytest.approx(old_abs, rel=1e-6)
+
+    def test_shifted_lowers_midline(self):
+        band = SpeedBand(make_pwl(100.0), 0.2)
+        shifted = band.shifted(5.0)
+        assert float(shifted.midline.speed(1e4)) == pytest.approx(
+            float(band.midline.speed(1e4)) - 5.0, rel=1e-6
+        )
+
+    def test_shifted_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            SpeedBand(make_pwl(100.0), 0.2).shifted(-1.0)
+
+    def test_max_size_inherited(self):
+        band = SpeedBand(make_pwl(100.0), 0.2)
+        assert band.max_size == make_pwl(100.0).max_size

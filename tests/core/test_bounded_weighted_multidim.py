@@ -1,0 +1,208 @@
+"""Tests for the general-problem variants: bounds, weights, two parameters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConfigurationError,
+    ConstantSpeedFunction,
+    InfeasiblePartitionError,
+    SpeedSurface,
+    partition,
+    partition_2d_fixed,
+    partition_bounded,
+    partition_weighted,
+)
+from repro.core.bounded import TruncatedSpeedFunction
+from tests.conftest import make_pwl
+
+
+class TestTruncatedSpeedFunction:
+    def test_speed_matches_base_inside(self):
+        base = make_pwl(100.0)
+        t = TruncatedSpeedFunction(base, 1e5)
+        assert t.speed(5e4) == pytest.approx(base.speed(5e4))
+
+    def test_max_size_is_min(self):
+        base = make_pwl(100.0)  # max 2e6
+        assert TruncatedSpeedFunction(base, 1e5).max_size == 1e5
+        assert TruncatedSpeedFunction(base, 1e9).max_size == 2e6
+
+    def test_intersect_clamped(self):
+        base = make_pwl(100.0)
+        t = TruncatedSpeedFunction(base, 1e4)
+        assert t.intersect_ray(1e-9) == pytest.approx(1e4)
+
+    def test_rejects_bad_bound(self):
+        with pytest.raises(InfeasiblePartitionError):
+            TruncatedSpeedFunction(make_pwl(10.0), 0.0)
+
+
+class TestPartitionBounded:
+    def test_respects_bounds(self, heterogeneous_trio):
+        bounds = [50_000, 1e9, 1e9]
+        r = partition_bounded(500_000, heterogeneous_trio, bounds)
+        assert r.allocation[0] <= 50_000
+        assert int(r.allocation.sum()) == 500_000
+
+    def test_bound_binds_only_when_needed(self, heterogeneous_trio):
+        loose = partition_bounded(100_000, heterogeneous_trio, [1e9, 1e9, 1e9])
+        free = partition(100_000, heterogeneous_trio)
+        assert loose.makespan == pytest.approx(free.makespan, rel=1e-9)
+
+    def test_infeasible(self, heterogeneous_trio):
+        with pytest.raises(InfeasiblePartitionError):
+            partition_bounded(500_000, heterogeneous_trio, [10, 10, 10])
+
+    def test_mismatched_bounds(self, heterogeneous_trio):
+        with pytest.raises(InfeasiblePartitionError):
+            partition_bounded(100, heterogeneous_trio, [10])
+
+    def test_inf_bound_allowed(self, heterogeneous_trio):
+        r = partition_bounded(
+            100_000, heterogeneous_trio, [float("inf")] * 3
+        )
+        assert int(r.allocation.sum()) == 100_000
+
+    def test_algorithm_tag(self, heterogeneous_trio):
+        r = partition_bounded(1000, heterogeneous_trio, [1e9] * 3)
+        assert r.algorithm.endswith("+bounded")
+
+    def test_tight_bounds_force_slow_processor(self):
+        fast = ConstantSpeedFunction(100.0)
+        slow = ConstantSpeedFunction(1.0)
+        r = partition_bounded(100, [fast, slow], [60, 1000])
+        assert r.allocation[0] == 60
+        assert r.allocation[1] == 40
+
+
+class TestPartitionWeighted:
+    def test_unit_weights_match_cardinality_balance(self):
+        sfs = [ConstantSpeedFunction(2.0), ConstantSpeedFunction(6.0)]
+        res = partition_weighted(np.ones(80), sfs)
+        # Constant speeds and unit weights: loads proportional to speeds.
+        assert res.counts[1] == pytest.approx(60, abs=2)
+        assert res.counts.sum() == 80
+
+    def test_assignment_consistent_with_counts(self, rng):
+        sfs = [make_pwl(50.0), make_pwl(150.0)]
+        w = rng.uniform(0.5, 2.0, 120)
+        res = partition_weighted(w, sfs)
+        for i in range(2):
+            assert (res.assignment == i).sum() == res.counts[i]
+            assert res.loads[i] == pytest.approx(w[res.assignment == i].sum())
+
+    def test_makespan_definition(self, rng):
+        sfs = [make_pwl(50.0), make_pwl(150.0)]
+        w = rng.uniform(0.5, 2.0, 60)
+        res = partition_weighted(w, sfs)
+        times = [
+            res.loads[i] / sfs[i].speed(int(res.counts[i]))
+            for i in range(2)
+            if res.counts[i]
+        ]
+        assert res.makespan == pytest.approx(max(times))
+
+    def test_heavy_element_to_fast_processor(self):
+        sfs = [ConstantSpeedFunction(1.0), ConstantSpeedFunction(100.0)]
+        res = partition_weighted([1000.0, 1.0, 1.0], sfs)
+        assert res.assignment[0] == 1
+
+    def test_rejects_nonpositive_weights(self):
+        with pytest.raises(InfeasiblePartitionError):
+            partition_weighted([1.0, -1.0], [ConstantSpeedFunction(1.0)])
+
+    def test_rejects_no_processors(self):
+        with pytest.raises(InfeasiblePartitionError):
+            partition_weighted([1.0], [])
+
+    def test_respects_element_bounds(self):
+        sfs = [
+            ConstantSpeedFunction(100.0, max_size=2),
+            ConstantSpeedFunction(1.0, max_size=100),
+        ]
+        res = partition_weighted(np.ones(10), sfs)
+        assert res.counts[0] <= 2
+        assert res.counts.sum() == 10
+
+    def test_infeasible_bounds(self):
+        sfs = [ConstantSpeedFunction(1.0, max_size=1)] * 2
+        with pytest.raises(InfeasiblePartitionError):
+            partition_weighted(np.ones(5), sfs)
+
+    def test_local_search_never_worsens(self, rng):
+        sfs = [make_pwl(30.0), make_pwl(90.0), make_pwl(160.0)]
+        w = rng.uniform(0.1, 5.0, 200)
+        base = partition_weighted(w, sfs, local_search_passes=0)
+        improved = partition_weighted(w, sfs, local_search_passes=8)
+        assert improved.makespan <= base.makespan * (1 + 1e-12)
+
+
+def _flat_surface(value: float) -> SpeedSurface:
+    g = np.array([10.0, 100.0, 1000.0])
+    return SpeedSurface(g, g, np.full((3, 3), value))
+
+
+class TestSpeedSurface:
+    def test_bilinear_exact_at_grid(self):
+        g = np.array([10.0, 100.0])
+        sp = np.array([[40.0, 30.0], [20.0, 10.0]])
+        surf = SpeedSurface(g, g, sp)
+        assert surf.speed(10, 10) == pytest.approx(40.0)
+        assert surf.speed(100, 100) == pytest.approx(10.0)
+
+    def test_bilinear_midpoint(self):
+        g = np.array([0.5, 1.5])
+        sp = np.array([[4.0, 2.0], [2.0, 0.0]])
+        surf = SpeedSurface(g, g, sp)
+        assert surf.speed(1.0, 1.0) == pytest.approx(2.0)
+
+    def test_clamping_outside_grid(self):
+        surf = _flat_surface(5.0)
+        assert surf.speed(1e9, 1e9) == pytest.approx(5.0)
+
+    def test_shape_validation(self):
+        g = np.array([1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            SpeedSurface(g, g, np.zeros((3, 2)))
+
+    def test_grid_validation(self):
+        bad = np.array([2.0, 1.0])
+        with pytest.raises(ConfigurationError):
+            SpeedSurface(bad, bad, np.ones((2, 2)))
+
+    def test_slices_are_valid_speed_functions(self):
+        g = np.array([10.0, 100.0, 1000.0])
+        sp = np.array([[50.0, 45.0, 40.0], [48.0, 42.0, 30.0], [40.0, 30.0, 10.0]])
+        surf = SpeedSurface(g, g, sp)
+        surf.slice_fixed_n2(100.0).check_single_intersection()
+        surf.slice_fixed_n1(100.0).check_single_intersection()
+
+    def test_slice_size_axis_is_elements(self):
+        surf = _flat_surface(7.0)
+        sf = surf.slice_fixed_n2(100.0)
+        # n1 grid 10..1000 with n2=100 -> element axis 1e3..1e5.
+        assert sf.max_size == pytest.approx(1000.0 * 100.0)
+
+
+class TestPartition2DFixed:
+    def test_equal_surfaces_split_evenly(self):
+        surfs = [_flat_surface(5.0), _flat_surface(5.0)]
+        r = partition_2d_fixed(100 * 100, surfs, 100.0)
+        assert abs(int(r.allocation[0]) - int(r.allocation[1])) <= 1
+
+    def test_faster_surface_gets_more(self):
+        surfs = [_flat_surface(5.0), _flat_surface(20.0)]
+        r = partition_2d_fixed(100 * 100, surfs, 100.0)
+        assert r.allocation[1] > 3 * r.allocation[0] * 0.9
+
+    def test_fixed_param_n1(self):
+        surfs = [_flat_surface(5.0), _flat_surface(10.0)]
+        r = partition_2d_fixed(50 * 100, surfs, 50.0, fixed_param="n1")
+        assert int(r.allocation.sum()) == 5000
+
+    def test_unknown_param(self):
+        with pytest.raises(ConfigurationError):
+            partition_2d_fixed(100, [_flat_surface(1.0)], 10.0, fixed_param="n3")

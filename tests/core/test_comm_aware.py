@@ -1,0 +1,137 @@
+"""Tests for communication-aware effective speed functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    CommAwareSpeedFunction,
+    ConfigurationError,
+    ConstantSpeedFunction,
+    partition,
+    partition_exact,
+)
+from tests.conftest import make_pwl
+
+
+class TestTotalTime:
+    def test_formula(self):
+        base = ConstantSpeedFunction(10.0)
+        sf = CommAwareSpeedFunction(base, startup_s=2.0, seconds_per_element=0.5)
+        # t(x) = x/10 + 2 + 0.5x
+        assert sf.total_time(20) == pytest.approx(20 / 10 + 2 + 10)
+        assert sf.time(20) == pytest.approx(sf.total_time(20))
+
+    def test_zero_allocation_free(self):
+        sf = CommAwareSpeedFunction(
+            ConstantSpeedFunction(10.0), startup_s=5.0, seconds_per_element=1.0
+        )
+        assert sf.total_time(0) == 0.0
+        assert sf.time(0) == 0.0
+
+    def test_no_comm_reduces_to_base(self):
+        base = make_pwl(100.0)
+        sf = CommAwareSpeedFunction(base)
+        xs = np.array([1e3, 1e5, 1e6])
+        np.testing.assert_allclose(sf.time(xs), base.time(xs))
+        np.testing.assert_allclose(sf.speed(xs), base.speed(xs))
+
+    def test_rejects_negative_params(self):
+        with pytest.raises(ConfigurationError):
+            CommAwareSpeedFunction(make_pwl(10.0), startup_s=-1.0)
+
+    def test_time_inf_beyond_bound(self):
+        sf = CommAwareSpeedFunction(make_pwl(10.0), startup_s=1.0)
+        assert sf.time(1e12) == float("inf")
+
+
+class TestGeometry:
+    def test_g_strictly_decreasing(self):
+        sf = CommAwareSpeedFunction(
+            make_pwl(100.0), startup_s=0.1, seconds_per_element=1e-6
+        )
+        xs = np.geomspace(1.0, sf.max_size, 300)
+        gs = sf.g(xs)
+        assert np.all(np.diff(gs) < 0)
+
+    def test_g_bounded_by_inverse_startup(self):
+        sf = CommAwareSpeedFunction(make_pwl(100.0), startup_s=0.5)
+        assert sf.g(1e-6) <= 2.0 + 1e-9
+
+    def test_intersect_solves_time_equation(self):
+        sf = CommAwareSpeedFunction(
+            make_pwl(100.0), startup_s=0.2, seconds_per_element=1e-5
+        )
+        for slope in [1e-5, 1e-4, 1e-3]:
+            x = sf.intersect_ray(slope)
+            if 0 < x < sf.max_size:
+                assert sf.total_time(x) == pytest.approx(1.0 / slope, rel=1e-6)
+
+    def test_priced_out_returns_zero(self):
+        sf = CommAwareSpeedFunction(make_pwl(100.0), startup_s=10.0)
+        # A ray implying a 1-second budget cannot afford the 10s startup.
+        assert sf.intersect_ray(1.0) == 0.0
+
+    def test_clamps_at_bound(self):
+        sf = CommAwareSpeedFunction(make_pwl(100.0), startup_s=0.1)
+        assert sf.intersect_ray(1e-12) == pytest.approx(sf.max_size)
+
+
+class TestCommAwarePartitioning:
+    def test_algorithms_agree(self):
+        sfs = [
+            CommAwareSpeedFunction(
+                make_pwl(100.0), startup_s=0.5, seconds_per_element=2e-6
+            ),
+            CommAwareSpeedFunction(
+                make_pwl(250.0), startup_s=0.1, seconds_per_element=1e-6
+            ),
+        ]
+        n = 700_000
+        exact = partition_exact(n, sfs).makespan
+        for algo in ("bisection", "modified", "combined"):
+            r = partition(n, sfs, algorithm=algo)
+            assert int(r.allocation.sum()) == n
+            assert r.makespan == pytest.approx(exact, rel=1e-6)
+
+    def test_slow_link_shifts_work_away(self):
+        fast_link = CommAwareSpeedFunction(
+            make_pwl(100.0), seconds_per_element=1e-7
+        )
+        slow_link = CommAwareSpeedFunction(
+            make_pwl(100.0), seconds_per_element=5e-4
+        )
+        r = partition(500_000, [fast_link, slow_link])
+        assert r.allocation[0] > r.allocation[1]
+
+    def test_startup_starves_tiny_shares(self):
+        # With a huge startup on one machine and a small problem, the
+        # optimal allocation gives that machine nothing at all.
+        costly = CommAwareSpeedFunction(
+            ConstantSpeedFunction(1000.0, max_size=1e7), startup_s=1e6
+        )
+        cheap = CommAwareSpeedFunction(ConstantSpeedFunction(10.0, max_size=1e7))
+        r = partition_exact(1_000, [costly, cheap])
+        assert r.allocation[0] == 0
+        assert r.allocation[1] == 1_000
+
+    def test_comm_aware_beats_compute_only_under_comm(self):
+        """The point of the extension: account for links when they differ."""
+        bases = [make_pwl(100.0), make_pwl(100.0)]
+        betas = [1e-7, 3e-4]  # identical compute, wildly different links
+        aware = [
+            CommAwareSpeedFunction(b, seconds_per_element=bt)
+            for b, bt in zip(bases, betas)
+        ]
+        n = 800_000
+        alloc_aware = partition(n, aware).allocation
+        alloc_blind = partition(n, bases).allocation
+
+        def realized(alloc):
+            return max(
+                float(b.time(int(x))) + bt * int(x)
+                for b, bt, x in zip(bases, betas, alloc)
+            )
+
+        assert realized(alloc_aware) < realized(alloc_blind)

@@ -1,0 +1,113 @@
+"""Tests for the single-number baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import InfeasiblePartitionError, partition_constant, partition_even
+from repro.core.constant_model import partition_constant_naive, single_number_speeds
+from tests.conftest import make_pwl
+
+
+class TestPartitionConstant:
+    def test_proportional_exact(self):
+        r = partition_constant(1000, [100.0, 300.0])
+        np.testing.assert_array_equal(r.allocation, [250, 750])
+
+    def test_sums_to_n(self):
+        r = partition_constant(1001, [3.0, 5.0, 7.0])
+        assert r.allocation.sum() == 1001
+
+    def test_zero_elements(self):
+        r = partition_constant(0, [1.0, 2.0])
+        np.testing.assert_array_equal(r.allocation, [0, 0])
+        assert r.makespan == 0.0
+
+    def test_single_processor(self):
+        r = partition_constant(42, [7.0])
+        np.testing.assert_array_equal(r.allocation, [42])
+
+    def test_remainder_goes_to_fastest(self):
+        # 10 over speeds (1, 1, 8): shares 1, 1, 8 exactly; 11 gives the
+        # extra to the fast processor (its finish time grows least).
+        r = partition_constant(11, [1.0, 1.0, 8.0])
+        assert r.allocation[2] == 9
+
+    def test_makespan_is_max_time(self):
+        r = partition_constant(100, [10.0, 30.0])
+        times = r.allocation / np.array([10.0, 30.0])
+        assert r.makespan == pytest.approx(times.max())
+
+    def test_rejects_negative_n(self):
+        with pytest.raises(InfeasiblePartitionError):
+            partition_constant(-1, [1.0])
+
+    def test_rejects_nonpositive_speed(self):
+        with pytest.raises(InfeasiblePartitionError):
+            partition_constant(10, [1.0, 0.0])
+
+    def test_rejects_empty_speeds(self):
+        with pytest.raises(InfeasiblePartitionError):
+            partition_constant(10, [])
+
+    def test_makespan_optimal_vs_bruteforce(self):
+        speeds = [2.0, 3.0, 5.0]
+        n = 17
+        best = min(
+            max(a / 2.0, b / 3.0, (n - a - b) / 5.0)
+            for a in range(n + 1)
+            for b in range(n + 1 - a)
+        )
+        r = partition_constant(n, speeds)
+        assert r.makespan == pytest.approx(best)
+
+
+class TestPartitionConstantNaive:
+    @pytest.mark.parametrize("n", [0, 1, 7, 100, 999])
+    def test_matches_heap_version(self, n):
+        speeds = [2.0, 3.0, 5.0, 11.0]
+        a = partition_constant(n, speeds)
+        b = partition_constant_naive(n, speeds)
+        assert a.makespan == pytest.approx(b.makespan)
+        assert b.allocation.sum() == n
+
+
+class TestPartitionEven:
+    def test_even_split(self):
+        r = partition_even(10, 5)
+        np.testing.assert_array_equal(r.allocation, [2, 2, 2, 2, 2])
+
+    def test_remainder_spread(self):
+        r = partition_even(11, 3)
+        assert sorted(r.allocation.tolist()) == [3, 4, 4]
+        assert r.allocation.sum() == 11
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(InfeasiblePartitionError):
+            partition_even(10, 0)
+
+    def test_rejects_negative_n(self):
+        with pytest.raises(InfeasiblePartitionError):
+            partition_even(-5, 2)
+
+
+class TestSingleNumberSpeeds:
+    def test_probes_at_size(self):
+        sfs = [make_pwl(100.0), make_pwl(200.0)]
+        s = single_number_speeds(sfs, 1e3)
+        np.testing.assert_allclose(s, [100.0, 200.0])
+
+    def test_probe_beyond_bound_clamps(self):
+        sfs = [make_pwl(100.0)]
+        s = single_number_speeds(sfs, 1e12)
+        assert s[0] == pytest.approx(sfs[0].speed(sfs[0].max_size))
+
+    def test_probe_size_changes_relative_speeds(self):
+        # The core failure mode of the single-number model: relative speeds
+        # measured at different sizes disagree.
+        fast_small = make_pwl(100.0, scale=0.1)  # small memory, pages early
+        steady = make_pwl(60.0, scale=10.0)
+        small = single_number_speeds([fast_small, steady], 1e3)
+        large = single_number_speeds([fast_small, steady], 1e6)
+        assert small[0] / small[1] > large[0] / large[1]

@@ -1,0 +1,113 @@
+"""Tests for ray-graph geometry and initial bracketing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ConstantSpeedFunction, InfeasiblePartitionError
+from repro.core.geometry import (
+    SlopeRegion,
+    allocations,
+    initial_bracket,
+    total_allocation,
+)
+from tests.conftest import make_hump_pwl, make_increasing_pwl, make_pwl
+
+
+class TestAllocations:
+    def test_matches_individual_intersections(self, heterogeneous_trio):
+        slope = 1e-4
+        out = allocations(heterogeneous_trio, slope)
+        expected = [sf.intersect_ray(slope) for sf in heterogeneous_trio]
+        np.testing.assert_allclose(out, expected)
+
+    def test_total_is_sum(self, heterogeneous_trio):
+        slope = 2e-4
+        assert total_allocation(heterogeneous_trio, slope) == pytest.approx(
+            float(allocations(heterogeneous_trio, slope).sum())
+        )
+
+    def test_total_monotone_nonincreasing_in_slope(self, heterogeneous_trio):
+        slopes = np.geomspace(1e-6, 1e-1, 60)
+        totals = [total_allocation(heterogeneous_trio, float(c)) for c in slopes]
+        assert all(a >= b - 1e-9 for a, b in zip(totals, totals[1:]))
+
+
+class TestInitialBracket:
+    def test_brackets_the_target(self, heterogeneous_trio):
+        n = 1_000_000
+        region = initial_bracket(heterogeneous_trio, n)
+        assert total_allocation(heterogeneous_trio, region.upper) <= n
+        assert total_allocation(heterogeneous_trio, region.lower) >= n
+
+    def test_constant_speeds_bracket_collapses(self):
+        sfs = [ConstantSpeedFunction(100.0), ConstantSpeedFunction(100.0)]
+        region = initial_bracket(sfs, 1000)
+        # Equal speeds at n/p: both probe lines coincide.
+        assert region.upper == pytest.approx(region.lower)
+
+    def test_infeasible_raises(self):
+        sfs = [make_pwl(100.0)]  # max_size = 2e6
+        with pytest.raises(InfeasiblePartitionError):
+            initial_bracket(sfs, 3_000_000)
+
+    def test_feasible_at_capacity_boundary(self):
+        sfs = [make_pwl(100.0), make_pwl(50.0)]
+        region = initial_bracket(sfs, int(2e6 + 2e6) - 1)
+        assert region.lower > 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(InfeasiblePartitionError):
+            initial_bracket([], 10)
+
+    def test_rejects_nonpositive_n(self, two_processors):
+        with pytest.raises(InfeasiblePartitionError):
+            initial_bracket(two_processors, 0)
+
+    @pytest.mark.parametrize("factory", [make_pwl, make_increasing_pwl, make_hump_pwl])
+    def test_all_shapes_bracket(self, factory):
+        sfs = [factory(100.0), factory(40.0)]
+        n = 500_000
+        region = initial_bracket(sfs, n)
+        assert total_allocation(sfs, region.upper) <= n
+        assert total_allocation(sfs, region.lower) >= n
+
+
+class TestSlopeRegion:
+    def test_tangent_midpoint(self):
+        r = SlopeRegion(upper=4.0, lower=2.0)
+        assert r.midpoint("tangent") == pytest.approx(3.0)
+
+    def test_angle_midpoint_between_bounds(self):
+        r = SlopeRegion(upper=4.0, lower=0.5)
+        mid = r.midpoint("angle")
+        assert 0.5 < mid < 4.0
+        # Angle bisection differs from tangent bisection for wide regions.
+        assert mid != pytest.approx(r.midpoint("tangent"))
+
+    def test_angle_midpoint_exact(self):
+        import math
+
+        r = SlopeRegion(upper=math.tan(1.0), lower=math.tan(0.5))
+        assert r.midpoint("angle") == pytest.approx(math.tan(0.75))
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            SlopeRegion(upper=2.0, lower=1.0).midpoint("golden")
+
+    def test_width(self):
+        assert SlopeRegion(upper=5.0, lower=2.0).width() == pytest.approx(3.0)
+
+    def test_replace_bounds(self):
+        r = SlopeRegion(upper=5.0, lower=2.0)
+        assert r.replace_upper(4.0).upper == 4.0
+        assert r.replace_lower(3.0).lower == 3.0
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            SlopeRegion(upper=1.0, lower=2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            SlopeRegion(upper=1.0, lower=0.0)

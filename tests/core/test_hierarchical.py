@@ -1,0 +1,107 @@
+"""Tests for composite group speed functions and two-level partitioning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConstantSpeedFunction,
+    InfeasiblePartitionError,
+    group_speed_function,
+    partition,
+    partition_hierarchical,
+)
+from tests.conftest import make_hump_pwl, make_increasing_pwl, make_pwl
+
+
+class TestGroupSpeedFunction:
+    def test_single_member_reproduces_member(self):
+        sf = make_pwl(100.0)
+        comp = group_speed_function([sf], num=200)
+        xs = np.geomspace(1e4, sf.max_size * 0.9, 30)
+        np.testing.assert_allclose(comp.speed(xs), sf.speed(xs), rtol=0.05)
+
+    def test_composite_valid(self):
+        comp = group_speed_function([make_pwl(100.0), make_hump_pwl(250.0)])
+        comp.check_single_intersection()
+
+    def test_composite_of_constants_adds_speeds(self):
+        members = [
+            ConstantSpeedFunction(10.0, max_size=1e6),
+            ConstantSpeedFunction(30.0, max_size=1e6),
+        ]
+        comp = group_speed_function(members)
+        # Optimal split over constant speeds: group speed = sum of speeds.
+        assert float(comp.speed(5e5)) == pytest.approx(40.0, rel=0.01)
+
+    def test_capacity_is_sum(self):
+        comp = group_speed_function([make_pwl(10.0), make_pwl(20.0)])
+        assert comp.max_size == pytest.approx(4e6, rel=0.01)
+
+    def test_rejects_empty_group(self):
+        with pytest.raises(InfeasiblePartitionError):
+            group_speed_function([])
+
+    def test_rejects_unbounded_member(self):
+        with pytest.raises(InfeasiblePartitionError):
+            group_speed_function([ConstantSpeedFunction(5.0)])
+
+    def test_rejects_tiny_num(self):
+        with pytest.raises(InfeasiblePartitionError):
+            group_speed_function([make_pwl(1.0)], num=1)
+
+    def test_composite_time_matches_inner_optimum(self):
+        members = [make_pwl(100.0), make_pwl(250.0)]
+        comp = group_speed_function(members, num=200)
+        x = 1_500_000
+        inner = partition(x, members)
+        assert float(comp.time(x)) == pytest.approx(inner.makespan, rel=0.02)
+
+
+class TestPartitionHierarchical:
+    def test_totals_sum_to_n(self):
+        groups = [[make_pwl(100.0)], [make_pwl(50.0), make_pwl(75.0)]]
+        h = partition_hierarchical(1_000_000, groups)
+        assert int(h.group_totals.sum()) == 1_000_000
+        for total, alloc in zip(h.group_totals, h.allocations):
+            assert int(alloc.sum()) == int(total)
+
+    def test_matches_flat_partition(self):
+        g1 = [make_pwl(100.0), make_pwl(250.0)]
+        g2 = [make_hump_pwl(150.0), make_increasing_pwl(80.0)]
+        n = 1_500_000
+        h = partition_hierarchical(n, [g1, g2])
+        flat = partition(n, g1 + g2)
+        assert h.makespan == pytest.approx(flat.makespan, rel=0.02)
+
+    def test_three_levels_of_heterogeneity(self):
+        groups = [
+            [make_pwl(300.0), make_pwl(280.0)],   # fast site
+            [make_pwl(60.0)],                     # lone slow box
+            [make_pwl(120.0), make_pwl(90.0), make_pwl(100.0)],
+        ]
+        n = 3_000_000
+        h = partition_hierarchical(n, groups)
+        # The fast site carries the most work.
+        assert int(np.argmax(h.group_totals)) == 0
+        assert int(h.flat_allocation().sum()) == n
+
+    def test_empty_group_total_allowed(self):
+        # A uselessly slow site may legitimately receive ~nothing.
+        fast = [make_pwl(1000.0, scale=10.0)]
+        slow = [make_pwl(0.001)]
+        h = partition_hierarchical(100_000, [fast, slow])
+        assert int(h.group_totals.sum()) == 100_000
+        assert h.group_totals[0] > h.group_totals[1]
+
+    def test_rejects_no_groups(self):
+        with pytest.raises(InfeasiblePartitionError):
+            partition_hierarchical(10, [])
+
+    def test_flat_allocation_order(self):
+        groups = [[make_pwl(10.0)], [make_pwl(20.0), make_pwl(30.0)]]
+        h = partition_hierarchical(90_000, groups)
+        flat = h.flat_allocation()
+        assert flat.size == 3
+        assert flat[0] == h.allocations[0][0]

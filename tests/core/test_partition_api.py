@@ -1,0 +1,70 @@
+"""Tests for the high-level partition() dispatcher and PartitionResult."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ALGORITHMS,
+    ConfigurationError,
+    InvalidSpeedFunctionError,
+    PartitionResult,
+    partition,
+)
+from tests.conftest import make_pwl
+
+
+class TestPartitionDispatcher:
+    def test_default_algorithm_is_combined(self, heterogeneous_trio):
+        r = partition(10_000, heterogeneous_trio)
+        assert r.algorithm == "combined"
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_every_registered_algorithm_runs(self, name, heterogeneous_trio):
+        r = partition(5_000, heterogeneous_trio, algorithm=name)
+        assert int(r.allocation.sum()) == 5_000
+
+    def test_unknown_algorithm(self, heterogeneous_trio):
+        with pytest.raises(ConfigurationError):
+            partition(10, heterogeneous_trio, algorithm="quantum")
+
+    def test_kwargs_forwarded(self, heterogeneous_trio):
+        r = partition(
+            10_000, heterogeneous_trio, algorithm="bisection", keep_trace=True
+        )
+        assert len(r.trace) == r.iterations
+
+    def test_validate_flag(self):
+        class Liar(make_pwl(10.0).__class__):
+            pass
+
+        # A function violating g-monotonicity via validate=False sneaks in;
+        # partition(validate=True) must catch it.
+        bad = make_pwl(10.0).__class__(
+            [10.0, 11.0], [50.0, 100.0], validate=False
+        )
+        with pytest.raises(InvalidSpeedFunctionError):
+            partition(100, [bad], validate=True)
+
+
+class TestPartitionResult:
+    def test_n_and_p(self):
+        r = PartitionResult(
+            allocation=np.array([3, 4]), makespan=1.0, algorithm="test"
+        )
+        assert r.n == 7
+        assert r.p == 2
+
+    def test_allocation_coerced_to_int64(self):
+        r = PartitionResult(
+            allocation=[1.0, 2.0], makespan=0.5, algorithm="test"
+        )
+        assert r.allocation.dtype == np.int64
+
+    def test_summary_mentions_algorithm(self):
+        r = PartitionResult(
+            allocation=np.array([1]), makespan=2.5, algorithm="bisection"
+        )
+        assert "bisection" in r.summary()
+        assert "n=1" in r.summary()

@@ -1,0 +1,178 @@
+"""Property-based tests (hypothesis) for the core invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    ConstantSpeedFunction,
+    PiecewiseLinearSpeedFunction,
+    makespan,
+    partition_bisection,
+    partition_combined,
+    partition_constant,
+    partition_exact,
+    partition_modified,
+)
+from repro.core.refine import refine_greedy
+
+
+@st.composite
+def valid_pwl(draw, max_knots: int = 6):
+    """Random piecewise-linear speed function with strictly decreasing g.
+
+    Built constructively: pick decreasing ray slopes g_k at increasing
+    sizes x_k and set s_k = g_k * x_k, which satisfies the invariant by
+    construction.
+    """
+    k = draw(st.integers(min_value=2, max_value=max_knots))
+    # Strictly increasing sizes on a coarse lattice.
+    xs = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=1, max_value=10_000),
+                min_size=k,
+                max_size=k,
+                unique=True,
+            )
+        )
+    )
+    # Strictly decreasing g values.
+    gs = sorted(
+        draw(
+            st.lists(
+                st.floats(
+                    min_value=1e-4,
+                    max_value=1e3,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+                min_size=k,
+                max_size=k,
+                unique=True,
+            )
+        ),
+        reverse=True,
+    )
+    xs_arr = np.array(xs, dtype=float)
+    ss_arr = np.array(gs, dtype=float) * xs_arr
+    # Nearly-equal g values can collide after the s = g*x round trip;
+    # discard such draws rather than constructing an invalid function.
+    assume(np.all(np.diff(ss_arr / xs_arr) < 0))
+    return PiecewiseLinearSpeedFunction(xs_arr, ss_arr)
+
+
+@st.composite
+def processor_set(draw, max_p: int = 4):
+    p = draw(st.integers(min_value=1, max_value=max_p))
+    return [draw(valid_pwl()) for _ in range(p)]
+
+
+@settings(max_examples=60, deadline=None)
+@given(sfs=processor_set(), frac=st.floats(min_value=0.01, max_value=0.95))
+def test_partition_sums_and_bounds(sfs, frac):
+    capacity = int(sum(sf.max_size for sf in sfs))
+    n = max(1, int(frac * capacity))
+    r = partition_combined(n, sfs)
+    assert int(r.allocation.sum()) == n
+    assert np.all(r.allocation >= 0)
+    for x, sf in zip(r.allocation, sfs):
+        assert x <= sf.max_size
+
+
+@settings(max_examples=40, deadline=None)
+@given(sfs=processor_set(), frac=st.floats(min_value=0.05, max_value=0.9))
+def test_algorithms_agree_on_makespan(sfs, frac):
+    capacity = int(sum(sf.max_size for sf in sfs))
+    n = max(1, int(frac * capacity))
+    results = [
+        fn(n, sfs).makespan
+        for fn in (partition_bisection, partition_modified, partition_combined)
+    ]
+    exact = partition_exact(n, sfs).makespan
+    for t in results:
+        # Geometric algorithms with greedy refinement are optimal.
+        assert t == pytest.approx(exact, rel=1e-9, abs=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    speeds=st.lists(
+        st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=6,
+    ),
+    n=st.integers(min_value=0, max_value=10_000),
+)
+def test_constant_partition_properties(speeds, n):
+    r = partition_constant(n, speeds)
+    assert int(r.allocation.sum()) == n
+    assert np.all(r.allocation >= 0)
+    if n > 0:
+        s = np.asarray(speeds)
+        # Proportionality within one element of the fractional share.
+        shares = n * s / s.sum()
+        assert np.all(np.abs(r.allocation - shares) < len(speeds))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    speeds=st.lists(
+        st.integers(min_value=1, max_value=9), min_size=2, max_size=3
+    ),
+    n=st.integers(min_value=1, max_value=25),
+)
+def test_greedy_refinement_optimal_bruteforce(speeds, n):
+    import itertools
+
+    sfs = [ConstantSpeedFunction(float(s), max_size=100) for s in speeds]
+    alloc = refine_greedy(n, sfs, [0.0] * len(sfs))
+    best = min(
+        makespan(sfs, combo + (n - sum(combo),))
+        for combo in itertools.product(range(n + 1), repeat=len(sfs) - 1)
+        if sum(combo) <= n
+    )
+    assert makespan(sfs, alloc) == pytest.approx(best, rel=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(sfs=processor_set(max_p=3), n=st.integers(min_value=1, max_value=40))
+def test_exact_matches_bruteforce_small(sfs, n):
+    import itertools
+
+    assume(sum(sf.max_size for sf in sfs) >= n)
+    p = len(sfs)
+    best = float("inf")
+    for combo in itertools.product(range(n + 1), repeat=p - 1):
+        if sum(combo) > n:
+            continue
+        alloc = list(combo) + [n - sum(combo)]
+        if any(a > sf.max_size for a, sf in zip(alloc, sfs)):
+            continue
+        best = min(best, makespan(sfs, alloc))
+    r = partition_exact(n, sfs)
+    assert r.makespan == pytest.approx(best, rel=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(sf=valid_pwl(), slope=st.floats(min_value=1e-6, max_value=1e4))
+def test_intersect_ray_invariants(sf, slope):
+    x = sf.intersect_ray(slope)
+    assert 0 < x <= sf.max_size
+    if x < sf.max_size:
+        # On the graph: s(x) == slope * x (up to float error).
+        assert float(sf.speed(x)) == pytest.approx(slope * x, rel=1e-6, abs=1e-9)
+    else:
+        # Clamped: the ray passes below the graph end.
+        assert slope <= sf.g(sf.max_size) * (1 + 1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(sf=valid_pwl())
+def test_g_monotone_on_random_functions(sf):
+    xs = np.linspace(1.0, sf.max_size, 100)
+    gs = sf.g(xs)
+    assert np.all(np.diff(gs) <= 1e-12)

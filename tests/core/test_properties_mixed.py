@@ -1,0 +1,136 @@
+"""Property tests over mixed speed-function families.
+
+The geometric algorithms must not care which concrete representation a
+processor uses — piecewise linear, constant, step, comm-wrapped, or a
+composite group.  These tests draw heterogeneous collections and check the
+universal invariants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CommAwareSpeedFunction,
+    ConstantSpeedFunction,
+    PiecewiseLinearSpeedFunction,
+    StepSpeedFunction,
+    makespan,
+    partition_combined,
+    partition_exact,
+)
+
+
+@st.composite
+def any_speed_function(draw):
+    kind = draw(st.sampled_from(["constant", "pwl", "step", "comm"]))
+    if kind == "constant":
+        return ConstantSpeedFunction(
+            draw(st.floats(min_value=0.1, max_value=1e3)),
+            max_size=draw(st.integers(min_value=50, max_value=10_000)),
+        )
+    if kind == "step":
+        k = draw(st.integers(min_value=1, max_value=4))
+        bs = sorted(
+            draw(
+                st.lists(
+                    st.integers(min_value=10, max_value=10_000),
+                    min_size=k,
+                    max_size=k,
+                    unique=True,
+                )
+            )
+        )
+        ss = sorted(
+            draw(
+                st.lists(
+                    st.floats(min_value=0.1, max_value=1e3),
+                    min_size=k,
+                    max_size=k,
+                    unique=True,
+                )
+            ),
+            reverse=True,
+        )
+        return StepSpeedFunction(bs, ss)
+    # piecewise linear via decreasing-g construction
+    k = draw(st.integers(min_value=2, max_value=5))
+    xs = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=1, max_value=10_000),
+                min_size=k,
+                max_size=k,
+                unique=True,
+            )
+        )
+    )
+    gs = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=1e-3, max_value=1e2),
+                min_size=k,
+                max_size=k,
+                unique=True,
+            )
+        ),
+        reverse=True,
+    )
+    pwl = PiecewiseLinearSpeedFunction(
+        np.array(xs, dtype=float), np.array(gs) * np.array(xs, dtype=float)
+    )
+    if kind == "comm":
+        return CommAwareSpeedFunction(
+            pwl,
+            startup_s=draw(st.floats(min_value=0.0, max_value=1.0)),
+            seconds_per_element=draw(st.floats(min_value=0.0, max_value=0.01)),
+        )
+    return pwl
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    sfs=st.lists(any_speed_function(), min_size=1, max_size=4),
+    frac=st.floats(min_value=0.05, max_value=0.9),
+)
+def test_mixed_families_partition_invariants(sfs, frac):
+    capacity = int(sum(sf.max_size for sf in sfs))
+    n = max(1, int(frac * capacity))
+    r = partition_combined(n, sfs)
+    assert int(r.allocation.sum()) == n
+    assert np.all(r.allocation >= 0)
+    for x, sf in zip(r.allocation, sfs):
+        assert x <= sf.max_size
+    assert r.makespan == pytest.approx(makespan(sfs, r.allocation))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    sfs=st.lists(any_speed_function(), min_size=1, max_size=3),
+    frac=st.floats(min_value=0.1, max_value=0.8),
+)
+def test_mixed_families_near_optimal(sfs, frac):
+    capacity = int(sum(sf.max_size for sf in sfs))
+    n = max(1, int(frac * capacity))
+    combined = partition_combined(n, sfs).makespan
+    exact = partition_exact(n, sfs).makespan
+    # Combined matches the optimal reference (ray-aligned step segments can
+    # produce families of equivalent optima; compare times, not allocations).
+    assert combined == pytest.approx(exact, rel=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(sf=any_speed_function(), slope=st.floats(min_value=1e-6, max_value=1e3))
+def test_mixed_families_intersect_semantics(sf, slope):
+    x = sf.intersect_ray(slope)
+    assert 0 <= x <= sf.max_size
+    if x > 0:
+        # sup semantics: the graph is on or above the ray at the point...
+        assert sf.g(x) >= slope * (1 - 1e-6) or x == sf.max_size
+    # ...and below just beyond it.
+    beyond = min(x * 1.01 + 1e-9, sf.max_size)
+    if beyond > x:
+        assert sf.g(beyond) <= slope * (1 + 1e-6)

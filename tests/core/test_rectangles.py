@@ -1,0 +1,102 @@
+"""Tests for the 2-D rectangle partitioning extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    ConstantSpeedFunction,
+    InfeasiblePartitionError,
+    Rectangle,
+    partition_rectangles,
+)
+from tests.conftest import make_pwl
+
+
+class TestRectangle:
+    def test_geometry(self):
+        r = Rectangle(2, 5, 10, 14)
+        assert r.height == 3
+        assert r.width == 4
+        assert r.area == 12
+        assert r.half_perimeter == 7
+
+
+class TestPartitionRectangles:
+    def test_tiles_exactly(self):
+        sfs = [make_pwl(s) for s in (50.0, 120.0, 200.0, 80.0)]
+        rp = partition_rectangles(200, sfs)
+        rp.verify_cover()
+        assert int(rp.areas.sum()) == 200 * 200
+
+    def test_single_processor_whole_matrix(self):
+        rp = partition_rectangles(50, [make_pwl(10.0)])
+        assert rp.rectangles[0] == Rectangle(0, 50, 0, 50)
+
+    def test_constant_speeds_proportional_areas(self):
+        sfs = [ConstantSpeedFunction(1.0), ConstantSpeedFunction(3.0)]
+        rp = partition_rectangles(120, sfs, columns=1)
+        rp.verify_cover()
+        assert rp.areas[1] == pytest.approx(3 * rp.areas[0], rel=0.05)
+
+    def test_columns_default_sqrt(self):
+        sfs = [ConstantSpeedFunction(1.0)] * 9
+        rp = partition_rectangles(90, sfs)
+        rp.verify_cover()
+        # 9 equal processors in a 3x3 grid: all areas equal.
+        assert rp.areas.max() == rp.areas.min()
+
+    def test_explicit_columns(self):
+        sfs = [ConstantSpeedFunction(1.0)] * 4
+        rp = partition_rectangles(64, sfs, columns=4)
+        rp.verify_cover()
+        # 4 columns: every rectangle is a full-height stripe.
+        for r in rp.rectangles:
+            assert r.height == 64
+
+    def test_functional_speeds_shrink_paging_processor(self):
+        pager = make_pwl(300.0, scale=0.01)  # fast, collapses ~2e4 elements
+        steady = make_pwl(100.0, scale=10.0)
+        rp = partition_rectangles(300, [pager, steady], columns=1)
+        rp.verify_cover()
+        # Despite its 3x peak speed, the paging processor must get the
+        # smaller rectangle (its speed at a large area would collapse).
+        assert rp.areas[0] < rp.areas[1]
+
+    def test_makespan_consistent(self):
+        sfs = [make_pwl(60.0), make_pwl(140.0)]
+        rp = partition_rectangles(150, sfs, columns=1)
+        times = [sf.time(int(a)) for sf, a in zip(sfs, rp.areas)]
+        assert rp.makespan == pytest.approx(max(times))
+
+    def test_2d_beats_1d_on_communication(self):
+        sfs = [make_pwl(100.0)] * 16
+        two_d = partition_rectangles(160, sfs)
+        one_d = partition_rectangles(160, sfs, columns=1)
+        two_d.verify_cover()
+        one_d.verify_cover()
+        assert two_d.half_perimeter_sum < one_d.half_perimeter_sum
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(InfeasiblePartitionError):
+            partition_rectangles(0, [make_pwl(10.0)])
+        with pytest.raises(InfeasiblePartitionError):
+            partition_rectangles(10, [])
+        with pytest.raises(InfeasiblePartitionError):
+            partition_rectangles(10, [make_pwl(10.0)], columns=2)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=120),
+        peaks=st.lists(
+            st.floats(min_value=1.0, max_value=500.0), min_size=1, max_size=7
+        ),
+    )
+    def test_property_cover_and_total(self, n, peaks):
+        sfs = [ConstantSpeedFunction(s) for s in peaks]
+        rp = partition_rectangles(n, sfs)
+        rp.verify_cover()
+        assert int(rp.areas.sum()) == n * n

@@ -1,0 +1,257 @@
+"""Unit tests for the speed-function representations."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    AnalyticSpeedFunction,
+    ConstantSpeedFunction,
+    InvalidSpeedFunctionError,
+    PiecewiseLinearSpeedFunction,
+    validate_speed_functions,
+)
+from tests.conftest import make_hump_pwl, make_increasing_pwl, make_pwl
+
+
+class TestConstantSpeedFunction:
+    def test_speed_is_constant(self):
+        sf = ConstantSpeedFunction(42.0)
+        assert sf.speed(1) == 42.0
+        assert sf.speed(1e9) == 42.0
+
+    def test_speed_vectorised(self):
+        sf = ConstantSpeedFunction(5.0)
+        out = sf.speed(np.array([1.0, 10.0, 100.0]))
+        np.testing.assert_allclose(out, [5.0, 5.0, 5.0])
+
+    def test_time_linear(self):
+        sf = ConstantSpeedFunction(10.0)
+        assert sf.time(100) == pytest.approx(10.0)
+        assert sf.time(0) == 0.0
+
+    def test_intersect_ray(self):
+        sf = ConstantSpeedFunction(50.0)
+        # 50 = c * x  =>  x = 50 / c
+        assert sf.intersect_ray(2.0) == pytest.approx(25.0)
+
+    def test_intersect_ray_clamps_to_max_size(self):
+        sf = ConstantSpeedFunction(50.0, max_size=10.0)
+        assert sf.intersect_ray(0.001) == pytest.approx(10.0)
+
+    def test_g_decreasing(self):
+        sf = ConstantSpeedFunction(7.0)
+        assert sf.g(10) > sf.g(20) > sf.g(40)
+
+    def test_rejects_nonpositive_speed(self):
+        with pytest.raises(InvalidSpeedFunctionError):
+            ConstantSpeedFunction(0.0)
+        with pytest.raises(InvalidSpeedFunctionError):
+            ConstantSpeedFunction(-3.0)
+
+    def test_rejects_infinite_speed(self):
+        with pytest.raises(InvalidSpeedFunctionError):
+            ConstantSpeedFunction(math.inf)
+
+    def test_rejects_bad_max_size(self):
+        with pytest.raises(InvalidSpeedFunctionError):
+            ConstantSpeedFunction(1.0, max_size=0.0)
+
+    def test_scaled(self):
+        sf = ConstantSpeedFunction(10.0).scaled(3.0)
+        assert sf.speed(5) == pytest.approx(30.0)
+        assert sf.intersect_ray(1.0) == pytest.approx(30.0)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(InvalidSpeedFunctionError):
+            ConstantSpeedFunction(10.0).scaled(0.0)
+
+    def test_intersect_ray_rejects_nonpositive_slope(self):
+        with pytest.raises(ValueError):
+            ConstantSpeedFunction(10.0).intersect_ray(0.0)
+
+
+class TestPiecewiseLinearSpeedFunction:
+    def test_interpolates_knots(self):
+        sf = PiecewiseLinearSpeedFunction([10.0, 100.0], [50.0, 20.0])
+        assert sf.speed(10) == pytest.approx(50.0)
+        assert sf.speed(100) == pytest.approx(20.0)
+        assert sf.speed(55) == pytest.approx(35.0)
+
+    def test_constant_extension_below_first_knot(self):
+        sf = PiecewiseLinearSpeedFunction([10.0, 100.0], [50.0, 20.0])
+        assert sf.speed(1) == pytest.approx(50.0)
+        assert sf.speed(0) == pytest.approx(50.0)
+
+    def test_max_size_is_last_knot(self):
+        sf = make_pwl(100.0)
+        assert sf.max_size == pytest.approx(2e6)
+
+    def test_time_inf_beyond_bound(self):
+        sf = PiecewiseLinearSpeedFunction([10.0, 100.0], [50.0, 20.0])
+        assert sf.time(101) == math.inf
+        assert sf.time(100) == pytest.approx(5.0)
+
+    def test_time_zero_at_zero(self):
+        assert make_pwl(10.0).time(0) == 0.0
+
+    def test_time_vectorised_matches_scalar(self):
+        sf = make_pwl(100.0)
+        xs = np.array([0.0, 1e3, 1e5, 2e6])
+        vec = sf.time(xs)
+        for x, t in zip(xs, vec):
+            assert sf.time(float(x)) == pytest.approx(t)
+
+    @pytest.mark.parametrize(
+        "factory", [make_pwl, make_increasing_pwl, make_hump_pwl]
+    )
+    def test_intersect_ray_solves_equation(self, factory):
+        sf = factory(100.0)
+        for slope in [1e-5, 1e-4, 1e-3, 1e-2]:
+            x = sf.intersect_ray(slope)
+            if x < sf.max_size:  # not clamped
+                assert slope * x == pytest.approx(sf.speed(x), rel=1e-9)
+
+    def test_intersect_ray_clamps_shallow_rays(self):
+        sf = make_pwl(100.0)
+        shallow = 0.5 * sf.g(sf.max_size)
+        assert sf.intersect_ray(shallow) == pytest.approx(sf.max_size)
+
+    def test_intersect_ray_steep_hits_constant_extension(self):
+        sf = PiecewiseLinearSpeedFunction([10.0, 100.0], [50.0, 20.0])
+        # Steeper than g(10)=5: intersects the constant extension s=50.
+        assert sf.intersect_ray(10.0) == pytest.approx(5.0)
+
+    def test_intersect_ray_monotone_in_slope(self):
+        sf = make_hump_pwl(100.0)
+        slopes = np.geomspace(1e-6, 1.0, 50)
+        xs = [sf.intersect_ray(float(c)) for c in slopes]
+        assert all(a >= b for a, b in zip(xs, xs[1:]))
+
+    def test_rejects_unsorted_sizes(self):
+        with pytest.raises(InvalidSpeedFunctionError):
+            PiecewiseLinearSpeedFunction([100.0, 10.0], [20.0, 50.0])
+
+    def test_rejects_duplicate_sizes(self):
+        with pytest.raises(InvalidSpeedFunctionError):
+            PiecewiseLinearSpeedFunction([10.0, 10.0], [50.0, 20.0])
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(InvalidSpeedFunctionError):
+            PiecewiseLinearSpeedFunction([0.0, 10.0], [50.0, 20.0])
+
+    def test_rejects_negative_speed(self):
+        with pytest.raises(InvalidSpeedFunctionError):
+            PiecewiseLinearSpeedFunction([10.0, 20.0], [50.0, -1.0])
+
+    def test_rejects_zero_interior_speed(self):
+        with pytest.raises(InvalidSpeedFunctionError):
+            PiecewiseLinearSpeedFunction([10.0, 20.0, 30.0], [50.0, 0.0, 0.0])
+
+    def test_last_knot_speed_may_be_zero(self):
+        sf = PiecewiseLinearSpeedFunction([10.0, 20.0], [50.0, 0.0])
+        assert sf.speed(20) == 0.0
+
+    def test_rejects_increasing_g(self):
+        # Speed doubling while size grows only 10%: g increases.
+        with pytest.raises(InvalidSpeedFunctionError):
+            PiecewiseLinearSpeedFunction([10.0, 11.0], [50.0, 100.0])
+
+    def test_accepts_sublinear_increase(self):
+        # Speed rising slower than size keeps g decreasing.
+        sf = PiecewiseLinearSpeedFunction([10.0, 100.0], [50.0, 80.0])
+        assert sf.g(10) > sf.g(100)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(InvalidSpeedFunctionError):
+            PiecewiseLinearSpeedFunction([10.0, 20.0], [50.0])
+
+    def test_from_points_sorts(self):
+        sf = PiecewiseLinearSpeedFunction.from_points([(100.0, 20.0), (10.0, 50.0)])
+        np.testing.assert_allclose(sf.knot_sizes, [10.0, 100.0])
+
+    def test_from_points_empty(self):
+        with pytest.raises(InvalidSpeedFunctionError):
+            PiecewiseLinearSpeedFunction.from_points([])
+
+    def test_knot_views_readonly(self):
+        sf = make_pwl(10.0)
+        with pytest.raises(ValueError):
+            sf.knot_sizes[0] = 1.0
+
+    def test_num_knots(self):
+        assert make_pwl(10.0).num_knots == 6
+
+    def test_check_single_intersection_passes(self):
+        make_pwl(10.0).check_single_intersection()
+
+    def test_g_strictly_decreasing_everywhere(self):
+        sf = make_hump_pwl(100.0)
+        xs = np.geomspace(1.0, sf.max_size, 300)
+        gs = sf.g(xs)
+        assert np.all(np.diff(gs) < 0)
+
+    def test_scaled_preserves_intersections(self):
+        sf = make_pwl(100.0)
+        scaled = sf.scaled(2.0)
+        # Doubling speeds doubles the intersection slope for the same x.
+        x = sf.intersect_ray(1e-4)
+        assert scaled.intersect_ray(2e-4) == pytest.approx(x, rel=1e-9)
+
+
+class TestAnalyticSpeedFunction:
+    def test_speed_matches_callable(self, analytic_processor):
+        assert analytic_processor.speed(1000.0) == pytest.approx(
+            200.0 * (1000.0 / 1500.0) / (1.0 + (1000.0 / 8e5) ** 2)
+        )
+
+    def test_intersect_ray_solves_equation(self, analytic_processor):
+        for slope in [1e-4, 1e-3, 1e-2]:
+            x = analytic_processor.intersect_ray(slope)
+            assert slope * x == pytest.approx(
+                analytic_processor.speed(x), rel=1e-6
+            )
+
+    def test_intersect_ray_clamps(self, analytic_processor):
+        g_end = analytic_processor.g(analytic_processor.max_size)
+        assert analytic_processor.intersect_ray(0.5 * g_end) == pytest.approx(
+            analytic_processor.max_size
+        )
+
+    def test_requires_finite_max_size(self):
+        with pytest.raises(InvalidSpeedFunctionError):
+            AnalyticSpeedFunction(lambda x: np.ones_like(x), max_size=math.inf)
+
+    def test_validation_grid(self):
+        def bad(x):
+            return np.asarray(x, dtype=float) ** 2  # superlinear: g increases
+
+        with pytest.raises(InvalidSpeedFunctionError):
+            AnalyticSpeedFunction(bad, max_size=100.0, validate_sizes=[1, 10, 100])
+
+    def test_tabulate_matches(self, analytic_processor):
+        tab = analytic_processor.tabulate(np.geomspace(10, 5e6, 160))
+        # Compare where the curve is still meaningfully fast; linear
+        # interpolation of the deep collapse is relatively poor by design.
+        xs = np.geomspace(20, 8e5, 17)
+        np.testing.assert_allclose(
+            tab.speed(xs), analytic_processor.speed(xs), rtol=0.05
+        )
+
+
+class TestValidateSpeedFunctions:
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidSpeedFunctionError):
+            validate_speed_functions([])
+
+    def test_non_speed_function_rejected(self):
+        with pytest.raises(InvalidSpeedFunctionError):
+            validate_speed_functions([lambda x: x])  # type: ignore[list-item]
+
+    def test_valid_collection(self, heterogeneous_trio):
+        validate_speed_functions(
+            heterogeneous_trio, sample_sizes=np.geomspace(10, 1e6, 50)
+        )

@@ -1,0 +1,149 @@
+"""Tests for the piecewise-constant (Drozdowski-Wolniewicz) speed model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    InvalidSpeedFunctionError,
+    StepSpeedFunction,
+    partition,
+    partition_exact,
+)
+
+
+@pytest.fixture
+def step():
+    # Cache / RAM / swap regimes.
+    return StepSpeedFunction([1_000, 100_000, 1_000_000], [80.0, 50.0, 4.0])
+
+
+class TestConstruction:
+    def test_segment_lookup(self, step):
+        assert step.speed(500) == 80.0
+        assert step.speed(1_000) == 80.0  # boundary belongs to the left
+        assert step.speed(1_001) == 50.0
+        assert step.speed(1_000_000) == 4.0
+
+    def test_vectorised(self, step):
+        np.testing.assert_allclose(
+            step.speed(np.array([1.0, 5e4, 5e5])), [80.0, 50.0, 4.0]
+        )
+
+    def test_max_size(self, step):
+        assert step.max_size == 1_000_000
+
+    def test_rejects_increasing_speeds(self):
+        with pytest.raises(InvalidSpeedFunctionError):
+            StepSpeedFunction([10, 20], [5.0, 6.0])
+
+    def test_rejects_equal_speeds(self):
+        with pytest.raises(InvalidSpeedFunctionError):
+            StepSpeedFunction([10, 20], [5.0, 5.0])
+
+    def test_rejects_unsorted_boundaries(self):
+        with pytest.raises(InvalidSpeedFunctionError):
+            StepSpeedFunction([20, 10], [5.0, 2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidSpeedFunctionError):
+            StepSpeedFunction([], [])
+
+    def test_from_memory_levels(self):
+        sf = StepSpeedFunction.from_memory_levels([100, 1000], [60.0, 30.0, 1.0], 5000)
+        assert sf.num_segments == 3
+        assert sf.max_size == 5000
+
+    def test_check_single_intersection(self, step):
+        step.check_single_intersection()
+
+
+class TestIntersectRay:
+    def test_on_flat_segment(self, step):
+        # Ray hits the middle plateau: 50 = c * x -> x = 50 / c.
+        x = step.intersect_ray(50.0 / 50_000.0)
+        assert x == pytest.approx(50_000.0)
+
+    def test_through_a_drop(self, step):
+        # A ray passing between g just-right-of-boundary and just-left lands
+        # exactly on the boundary.
+        # Slope between g just left of the RAM/swap boundary (50/1e5) and
+        # just right of it (4/1e5): the intersection is the boundary itself.
+        slope = 1e-4
+        x = step.intersect_ray(slope)
+        assert x == pytest.approx(100_000.0)
+
+    def test_clamps_at_capacity(self, step):
+        assert step.intersect_ray(1e-9) == pytest.approx(step.max_size)
+
+    def test_steep_ray_first_plateau(self, step):
+        assert step.intersect_ray(80.0) == pytest.approx(1.0)
+
+    def test_rejects_bad_slope(self, step):
+        with pytest.raises(ValueError):
+            step.intersect_ray(0.0)
+
+    def test_sup_semantics(self, step):
+        # For every slope, s(x) >= slope*x at the returned point (within
+        # float tolerance) and fails just beyond it.
+        for slope in [1e-5, 1e-4, 5e-4, 1e-3, 0.01, 1.0]:
+            x = step.intersect_ray(slope)
+            assert step.speed(x) >= slope * x * (1 - 1e-12)
+            beyond = min(x * 1.01, step.max_size)
+            if beyond > x:
+                assert step.speed(beyond) < slope * beyond * (1 + 1e-9)
+
+
+class TestPartitioningWithSteps:
+    def test_all_algorithms_accept_steps(self, step):
+        other = StepSpeedFunction([2_000, 500_000, 2_000_000], [120.0, 90.0, 10.0])
+        n = 1_500_000
+        results = {}
+        for algo in ["bisection", "modified", "combined", "exact"]:
+            r = partition(n, [step, other], algorithm=algo)
+            assert int(r.allocation.sum()) == n
+            results[algo] = r.makespan
+        vals = list(results.values())
+        assert max(vals) / min(vals) < 1 + 1e-9
+
+    def test_mixed_with_linear(self, step):
+        from tests.conftest import make_pwl
+
+        sfs = [step, make_pwl(150.0)]
+        n = 1_200_000
+        r = partition(n, sfs)
+        assert r.makespan == pytest.approx(
+            partition_exact(n, sfs).makespan, rel=1e-9
+        )
+
+    def test_to_piecewise_linear_agrees(self, step):
+        pwl = step.to_piecewise_linear()
+        xs = np.array([500.0, 5e4, 5e5])
+        np.testing.assert_allclose(pwl.speed(xs), step.speed(xs), rtol=1e-3)
+        pwl.check_single_intersection()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=st.lists(
+        st.tuples(
+            st.floats(min_value=1.0, max_value=1e6),
+            st.floats(min_value=0.1, max_value=1e3),
+        ),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_property_g_monotone(data):
+    bs = sorted(set(b for b, _ in data))
+    ss = sorted(set(s for _, s in data), reverse=True)
+    k = min(len(bs), len(ss))
+    if k == 0:
+        return
+    sf = StepSpeedFunction(bs[:k], ss[:k])
+    xs = np.linspace(bs[0] * 0.5, sf.max_size, 200)
+    gs = sf.g(xs)
+    assert np.all(np.diff(gs) <= 1e-12)

@@ -1,0 +1,192 @@
+"""Tests for the experiment drivers (reduced-scale where heavy)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ascii_table,
+    aspect_ladder,
+    build_network_models,
+    detect_paging_onsets,
+    fig1_curves,
+    fig2_bands,
+    format_float,
+    format_series,
+    lu_invariance,
+    lu_speedup_experiment,
+    mm_invariance,
+    mm_speedup_experiment,
+    paging_point,
+    partition_cost,
+    tile_speed_functions,
+)
+from repro.machines import table1_network, table2_network
+
+
+@pytest.fixture(scope="module")
+def net1():
+    return table1_network()
+
+
+@pytest.fixture(scope="module")
+def net2():
+    return table2_network()
+
+
+@pytest.fixture(scope="module")
+def mm_models(net2):
+    return build_network_models(net2, "matmul")
+
+
+@pytest.fixture(scope="module")
+def lu_models(net2):
+    return build_network_models(net2, "lu")
+
+
+class TestFig1Curves:
+    def test_all_machines_all_kernels(self, net1):
+        curves = fig1_curves(net1)
+        assert set(curves) == {"arrayops", "matmul_atlas", "matmul_naive"}
+        for series in curves.values():
+            assert [c.machine for c in series] == list(net1.names)
+
+    def test_atlas_flat_then_cliff(self, net1):
+        curves = fig1_curves(net1)["matmul_atlas"]
+        c = curves[0]
+        pre = c.speeds[(c.sizes > c.paging_onset * 0.05) & (c.sizes < c.paging_onset * 0.8)]
+        post = c.speeds[c.sizes > c.paging_onset * 2.5]
+        # Flat plateau (within ~15 %) before P, collapse after.
+        assert pre.max() / pre.min() < 1.2
+        assert post.max() < 0.3 * pre.min()
+
+    def test_naive_smoothly_decreasing(self, net1):
+        c = fig1_curves(net1)["matmul_naive"][0]
+        mid = c.speeds[(c.sizes > c.sizes[0] * 100) & (c.sizes < c.paging_onset)]
+        # Poor reference patterns: clearly below peak well before paging.
+        assert mid.min() < 0.75 * c.peak
+
+    def test_paging_onset_within_domain(self, net1):
+        for series in fig1_curves(net1).values():
+            for c in series:
+                assert 0 < c.paging_onset <= c.sizes[-1]
+
+
+class TestFig2Bands:
+    def test_high_integration_width_declines(self, net1):
+        bands = fig2_bands(net1)
+        comp1 = bands[0]
+        assert comp1.machine == "Comp1"
+        # Relative width: ~40% at the small end, ~6% at the large end.
+        assert comp1.relative_width_percent[0] == pytest.approx(40.0, abs=3.0)
+        assert comp1.relative_width_percent[-1] == pytest.approx(6.0, abs=2.0)
+
+    def test_envelopes_ordered(self, net1):
+        for band in fig2_bands(net1):
+            assert np.all(band.upper >= band.lower)
+
+
+class TestPagingDetection:
+    def test_detected_close_to_published(self, net2):
+        for row in detect_paging_onsets(net2):
+            assert row.mm_error < 0.25, row.machine
+            assert row.lu_error < 0.25, row.machine
+
+    def test_paging_point_helper(self, net2):
+        p = paging_point(net2["X5"], "matmul")
+        assert 3 * 4500**2 < p < 3 * 12000**2
+
+
+class TestInvariance:
+    def test_aspect_ladder(self):
+        assert aspect_ladder(256, 4) == [
+            (256, 256),
+            (128, 512),
+            (64, 1024),
+            (32, 2048),
+        ]
+
+    def test_aspect_ladder_divisibility(self):
+        from repro import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            aspect_ladder(100, 4)
+
+    def test_mm_rows_small(self):
+        rows = mm_invariance(base_sizes=(128,), steps=3, repeats=1)
+        assert len(rows) == 1
+        assert len(rows[0].speeds) == 3
+        assert all(s > 0 for s in rows[0].speeds)
+
+    def test_lu_rows_small(self):
+        rows = lu_invariance(base_sizes=(128,), steps=3, repeats=1)
+        assert rows[0].elements == 128 * 128
+        assert rows[0].spread >= 0
+
+
+class TestCost:
+    def test_tile(self, mm_models):
+        tiled = tile_speed_functions(mm_models, 30)
+        assert len(tiled) == 30
+        assert tiled[12] is mm_models[0]
+
+    def test_cost_point(self, mm_models):
+        cp = partition_cost(
+            100_000_000, tile_speed_functions(mm_models, 36), repeats=1
+        )
+        assert cp.seconds > 0
+        assert cp.p == 36
+        # Negligible compared to application run times (paper's point).
+        assert cp.seconds < 2.0
+
+
+class TestSpeedup:
+    def test_mm_speedup_above_one_at_scale(self, net2, mm_models):
+        pts = mm_speedup_experiment(
+            net2, sizes=[17_000, 25_000], probe=500, models=mm_models
+        )
+        assert [p.n for p in pts] == [17_000, 25_000]
+        assert all(p.speedup > 0.95 for p in pts)
+        assert pts[1].speedup > 1.3  # paging regime: functional model wins
+
+    def test_mm_speedup_grows_with_n(self, net2, mm_models):
+        pts = mm_speedup_experiment(
+            net2, sizes=[15_000, 29_000], probe=500, models=mm_models
+        )
+        assert pts[1].speedup > pts[0].speedup
+
+    def test_lu_speedup_above_one_at_scale(self, net2, lu_models):
+        pts = lu_speedup_experiment(
+            net2, sizes=[30_000], probe=2000, block=64, models=lu_models
+        )
+        assert pts[0].speedup > 1.2
+
+    def test_speedup_point_property(self):
+        from repro.experiments import SpeedupPoint
+
+        p = SpeedupPoint(n=10, functional_seconds=2.0, single_seconds=5.0, probe=500)
+        assert p.speedup == pytest.approx(2.5)
+
+
+class TestReport:
+    def test_ascii_table_alignment(self):
+        out = ascii_table(["a", "bb"], [[1, 2.5], ["x", "yy"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_ascii_table_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            ascii_table(["a"], [[1, 2]])
+
+    def test_format_float(self):
+        assert format_float(0.0) == "0"
+        assert "e" in format_float(1.23e9)
+        assert format_float(3.14159, 3) == "3.14"
+
+    def test_format_series(self):
+        out = format_series("s", [1.0, 2.0], [3.0, 4.0], unit="MFlops")
+        assert "MFlops" in out
+        assert len(out.splitlines()) == 3

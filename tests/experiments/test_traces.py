@@ -1,0 +1,65 @@
+"""Tests for the geometric-trace experiment drivers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.traces import (
+    algorithm_step_comparison,
+    bisection_trace,
+    optimal_line_demo,
+)
+from tests.conftest import make_hump_pwl, make_increasing_pwl, make_pwl
+
+
+@pytest.fixture
+def sfs():
+    return [make_pwl(120.0), make_hump_pwl(250.0), make_increasing_pwl(80.0)]
+
+
+class TestOptimalLineDemo:
+    def test_points_share_a_ray(self, sfs):
+        demo = optimal_line_demo(900_000, sfs)
+        assert demo.point_slopes.max() / demo.point_slopes.min() < 1.001
+
+    def test_perturbation_never_faster(self, sfs):
+        demo = optimal_line_demo(900_000, sfs)
+        assert demo.perturbed_makespan >= demo.optimal_makespan
+
+    def test_explicit_shift(self, sfs):
+        demo = optimal_line_demo(500_000, sfs, shift=10_000)
+        assert demo.perturbed_makespan > demo.optimal_makespan
+
+    def test_single_processor_no_perturbation(self):
+        demo = optimal_line_demo(100_000, [make_pwl(50.0)])
+        assert demo.perturbed_makespan == demo.optimal_makespan
+
+
+class TestBisectionTrace:
+    def test_initial_lines_bracket(self, sfs):
+        trace = bisection_trace(700_000, sfs)
+        assert trace.initial_upper[1] <= 700_000 <= trace.initial_lower[1]
+
+    def test_slopes_inside_wedge(self, sfs):
+        trace = bisection_trace(700_000, sfs)
+        for slope, _ in trace.steps:
+            assert trace.initial_lower[0] <= slope <= trace.initial_upper[0]
+
+    def test_step_count_matches_result(self, sfs):
+        from repro import partition_bisection
+
+        trace = bisection_trace(321_321, sfs)
+        result = partition_bisection(321_321, sfs)
+        assert trace.num_steps == result.iterations
+
+
+class TestStepComparison:
+    def test_returns_both_counts(self, sfs):
+        counts = algorithm_step_comparison(400_000, sfs)
+        assert set(counts) == {"bisection", "modified"}
+        assert all(isinstance(v, int) and v >= 0 for v in counts.values())
+
+    def test_modified_bound(self, sfs):
+        counts = algorithm_step_comparison(1_000_000, sfs)
+        assert counts["modified"] <= len(sfs) * np.log2(1_000_000) + len(sfs)

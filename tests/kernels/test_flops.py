@@ -1,0 +1,86 @@
+"""Tests for flop and element accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ConfigurationError
+from repro.kernels import (
+    LU_MF,
+    MM_MF,
+    arrayops_flops,
+    lu_elements,
+    lu_flops,
+    lu_flops_rect,
+    mflops,
+    mm_elements,
+    mm_flops,
+    mm_flops_rect,
+    mm_slice_flops,
+)
+
+
+class TestMMAccounting:
+    def test_mm_flops(self):
+        assert mm_flops(100) == 2 * 100**3
+        assert MM_MF == 2.0
+
+    def test_mm_elements(self):
+        assert mm_elements(100) == 3 * 100 * 100
+
+    def test_rect_reduces_to_square(self):
+        assert mm_flops_rect(64, 64) == mm_flops(64)
+
+    def test_rect_formula(self):
+        assert mm_flops_rect(10, 40) == 2 * 100 * 40
+
+    def test_slice_flops_linear_in_elements(self):
+        n = 1000
+        assert mm_slice_flops(3 * 5 * n, n) == pytest.approx(2 * 5 * n**2)
+        assert mm_slice_flops(0, n) == 0.0
+
+    def test_slice_flops_total_consistency(self):
+        # Summing all stripes' flops recovers the full product cost.
+        n = 128
+        assert mm_slice_flops(mm_elements(n), n) == pytest.approx(mm_flops(n))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            mm_flops(0)
+        with pytest.raises(ConfigurationError):
+            mm_slice_flops(-1, 10)
+
+
+class TestLUAccounting:
+    def test_lu_flops(self):
+        assert lu_flops(30) == pytest.approx((2 / 3) * 30**3)
+        assert LU_MF == pytest.approx(2 / 3)
+
+    def test_lu_elements(self):
+        assert lu_elements(30) == 900
+
+    def test_rect_reduces_to_square(self):
+        assert lu_flops_rect(50, 50) == pytest.approx(lu_flops(50))
+
+    def test_rect_transpose_symmetric(self):
+        assert lu_flops_rect(100, 30) == lu_flops_rect(30, 100)
+
+    def test_rect_formula(self):
+        assert lu_flops_rect(100, 30) == pytest.approx(30**2 * (100 - 10))
+
+
+class TestMisc:
+    def test_arrayops_flops(self):
+        assert arrayops_flops(1000) == 4000.0
+        assert arrayops_flops(1000, passes=2) == 2000.0
+
+    def test_mflops(self):
+        assert mflops(2e9, 2.0) == pytest.approx(1000.0)
+
+    def test_mflops_rejects_bad_time(self):
+        with pytest.raises(ConfigurationError):
+            mflops(1e6, 0.0)
+
+    def test_mflops_rejects_negative_flops(self):
+        with pytest.raises(ConfigurationError):
+            mflops(-1.0, 1.0)

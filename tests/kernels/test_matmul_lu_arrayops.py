@@ -1,0 +1,139 @@
+"""Correctness tests for the real NumPy kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError
+from repro.kernels import (
+    apply_pivots,
+    array_ops,
+    lu_factor,
+    lu_reconstruct,
+    matmul_abt,
+    matmul_blocked,
+    matmul_poor,
+    matmul_reference,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(13)
+
+
+class TestMatmulKernels:
+    @pytest.mark.parametrize("shape", [(5, 7, 6), (32, 32, 32), (65, 33, 17)])
+    def test_blocked_matches_reference(self, rng, shape):
+        m, k, n = shape
+        a, b = rng.standard_normal((m, k)), rng.standard_normal((k, n))
+        np.testing.assert_allclose(
+            matmul_blocked(a, b, block=16), a @ b, atol=1e-10
+        )
+
+    def test_blocked_block_larger_than_matrix(self, rng):
+        a, b = rng.standard_normal((5, 5)), rng.standard_normal((5, 5))
+        np.testing.assert_allclose(matmul_blocked(a, b, block=64), a @ b, atol=1e-12)
+
+    @pytest.mark.parametrize("shape", [(4, 6, 5), (20, 10, 30)])
+    def test_poor_matches_reference(self, rng, shape):
+        m, k, n = shape
+        a, b = rng.standard_normal((m, k)), rng.standard_normal((k, n))
+        np.testing.assert_allclose(matmul_poor(a, b), a @ b, atol=1e-10)
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ConfigurationError):
+            matmul_reference(rng.standard_normal((3, 4)), rng.standard_normal((3, 4)))
+
+    def test_blocked_rejects_bad_block(self, rng):
+        a = rng.standard_normal((4, 4))
+        with pytest.raises(ConfigurationError):
+            matmul_blocked(a, a, block=0)
+
+    @pytest.mark.parametrize("kernel", ["reference", "blocked", "poor"])
+    def test_abt_all_kernels(self, rng, kernel):
+        a = rng.standard_normal((12, 9))
+        b = rng.standard_normal((15, 9))
+        np.testing.assert_allclose(
+            matmul_abt(a, b, kernel=kernel), a @ b.T, atol=1e-10
+        )
+
+    def test_abt_shape_check(self, rng):
+        with pytest.raises(ConfigurationError):
+            matmul_abt(rng.standard_normal((3, 4)), rng.standard_normal((3, 5)))
+
+    def test_abt_unknown_kernel(self, rng):
+        a = rng.standard_normal((3, 4))
+        with pytest.raises(ConfigurationError):
+            matmul_abt(a, a, kernel="warp")
+
+
+class TestLUFactor:
+    @pytest.mark.parametrize("n", [1, 2, 17, 64, 130])
+    def test_square_reconstruction(self, rng, n):
+        a = rng.standard_normal((n, n))
+        lu, piv = lu_factor(a, block=32)
+        np.testing.assert_allclose(
+            lu_reconstruct(lu, piv), apply_pivots(a, piv), atol=1e-9 * max(n, 10)
+        )
+
+    @pytest.mark.parametrize("shape", [(50, 20), (20, 50), (65, 64)])
+    def test_rectangular_reconstruction(self, rng, shape):
+        a = rng.standard_normal(shape)
+        lu, piv = lu_factor(a, block=16)
+        np.testing.assert_allclose(
+            lu_reconstruct(lu, piv), apply_pivots(a, piv), atol=1e-9
+        )
+
+    def test_matches_scipy(self, rng):
+        import scipy.linalg
+
+        a = rng.standard_normal((40, 40))
+        lu_ours, _ = lu_factor(a, block=8)
+        lu_scipy, _ = scipy.linalg.lu_factor(a)
+        # Same pivoting strategy (partial, by max magnitude) => same factors.
+        np.testing.assert_allclose(lu_ours, lu_scipy, atol=1e-9)
+
+    def test_pivoting_stability(self):
+        # Without pivoting this matrix explodes.
+        a = np.array([[1e-20, 1.0], [1.0, 1.0]])
+        lu, piv = lu_factor(a)
+        np.testing.assert_allclose(
+            lu_reconstruct(lu, piv), apply_pivots(a, piv), atol=1e-12
+        )
+
+    def test_singular_rejected(self):
+        with pytest.raises(ConfigurationError):
+            lu_factor(np.zeros((3, 3)))
+
+    def test_input_not_modified(self, rng):
+        a = rng.standard_normal((10, 10))
+        before = a.copy()
+        lu_factor(a)
+        np.testing.assert_array_equal(a, before)
+
+    def test_rejects_bad_block(self, rng):
+        with pytest.raises(ConfigurationError):
+            lu_factor(rng.standard_normal((4, 4)), block=0)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ConfigurationError):
+            lu_factor(np.ones(5))
+
+
+class TestArrayOps:
+    def test_values(self):
+        a = np.array([1.0, 2.0])
+        out = array_ops(a)
+        expected = (a * 1.000001 + 0.5) ** 2 + a
+        np.testing.assert_allclose(out, expected)
+
+    def test_input_untouched(self):
+        a = np.ones(10)
+        array_ops(a)
+        np.testing.assert_array_equal(a, np.ones(10))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ConfigurationError):
+            array_ops(np.ones((2, 2)))

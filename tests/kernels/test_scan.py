@@ -1,0 +1,97 @@
+"""Tests for the pattern-scanning kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ConfigurationError
+from repro.kernels.scan import chunk_offsets, count_pattern, scan_chunks
+
+
+class TestCountPattern:
+    def test_simple(self):
+        assert count_pattern(b"abcabcab", b"abc") == 2
+        assert count_pattern(b"abcabcab", b"ab") == 3
+
+    def test_overlapping_matches(self):
+        assert count_pattern(b"aaaa", b"aa") == 3
+
+    def test_no_match(self):
+        assert count_pattern(b"abcdef", b"xyz") == 0
+
+    def test_pattern_longer_than_data(self):
+        assert count_pattern(b"ab", b"abc") == 0
+
+    def test_single_byte_pattern(self):
+        assert count_pattern(b"banana", b"a") == 3
+
+    def test_full_match(self):
+        assert count_pattern(b"hello", b"hello") == 1
+
+    def test_uint8_array_input(self):
+        data = np.frombuffer(b"xyxyxy", dtype=np.uint8)
+        assert count_pattern(data, b"xy") == 3
+
+    def test_rejects_empty_pattern(self):
+        with pytest.raises(ConfigurationError):
+            count_pattern(b"abc", b"")
+
+    def test_rejects_bad_array(self):
+        with pytest.raises(ConfigurationError):
+            count_pattern(np.zeros(4, dtype=np.float64), b"a")
+
+    def test_matches_python_reference(self):
+        rng = np.random.default_rng(0)
+        data = bytes(rng.integers(97, 100, 5000, dtype=np.uint8))
+        pattern = b"ab"
+        expected = sum(
+            1 for i in range(len(data) - 1) if data[i : i + 2] == pattern
+        )
+        assert count_pattern(data, pattern) == expected
+
+
+class TestChunkOffsets:
+    def test_contiguous(self):
+        assert chunk_offsets(10, [3, 0, 7]) == [(0, 3), (3, 3), (3, 10)]
+
+    def test_rejects_wrong_total(self):
+        with pytest.raises(ConfigurationError):
+            chunk_offsets(10, [3, 3])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            chunk_offsets(2, [3, -1])
+
+
+class TestScanChunks:
+    def test_total_matches_whole_buffer(self):
+        data = b"aabaaabaabaa" * 11
+        total, counts = scan_chunks(data, b"aab", [40, 52, 40])
+        assert total == count_pattern(data, b"aab")
+        assert len(counts) == 3
+
+    def test_boundary_straddling_match_attributed_once(self):
+        data = b"xxabxx"
+        # "ab" straddles the 3|3 boundary start at index 2 (inside chunk 1).
+        total, counts = scan_chunks(data, b"ab", [3, 3])
+        assert total == 1
+        assert counts == [1, 0]
+
+    def test_empty_chunk(self):
+        total, counts = scan_chunks(b"abab", b"ab", [0, 4])
+        assert total == 2
+        assert counts == [0, 2]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        data=st.binary(min_size=0, max_size=300),
+        pattern=st.binary(min_size=1, max_size=4),
+        cut=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_property_chunking_invariant(self, data, pattern, cut):
+        k = int(len(data) * cut)
+        total, _ = scan_chunks(data, pattern, [k, len(data) - k])
+        assert total == count_pattern(data, pattern)

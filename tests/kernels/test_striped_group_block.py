@@ -1,0 +1,208 @@
+"""Tests for the striped and Variable Group Block distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    ConfigurationError,
+    ConstantSpeedFunction,
+    InfeasiblePartitionError,
+    partition,
+)
+from repro.kernels import (
+    elements_from_rows,
+    row_slices,
+    rows_from_elements,
+    stripe_matrix,
+    variable_group_block,
+)
+from tests.conftest import make_pwl
+
+
+class TestRowsFromElements:
+    def test_exact_shares(self):
+        n = 100
+        alloc = [3 * 25 * n, 3 * 75 * n]
+        rows = rows_from_elements(alloc, n)
+        np.testing.assert_array_equal(rows, [25, 75])
+
+    def test_sums_to_n_with_rounding(self):
+        n = 100
+        total = 3 * n * n
+        alloc = [total // 3 + 1, total // 3, total // 3 - 1]
+        rows = rows_from_elements(alloc, n)
+        assert rows.sum() == n
+
+    def test_largest_remainder_wins(self):
+        n = 10
+        # Shares 3.9 and 6.1 rows -> 4 and 6.
+        alloc = [3 * 39, 3 * 61]
+        rows = rows_from_elements(alloc, n)
+        np.testing.assert_array_equal(rows, [4, 6])
+
+    def test_rejects_wrong_total(self):
+        with pytest.raises(InfeasiblePartitionError):
+            rows_from_elements([10, 10], 100)
+
+    def test_roundtrip(self):
+        n = 64
+        rows = np.array([10, 20, 34])
+        np.testing.assert_array_equal(
+            rows_from_elements(elements_from_rows(rows, n), n), rows
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=500),
+        weights=st.lists(
+            st.floats(min_value=0.01, max_value=1.0), min_size=1, max_size=8
+        ),
+    )
+    def test_property_sum_and_fairness(self, n, weights):
+        w = np.asarray(weights)
+        shares = w / w.sum() * (3 * n * n)
+        # Fix float drift so the total is exact.
+        shares[-1] += 3 * n * n - shares.sum()
+        rows = rows_from_elements(shares, n)
+        assert rows.sum() == n
+        assert np.all(np.abs(rows - shares / (3 * n)) <= 1.0 + 1e-9)
+
+
+class TestRowSlicesAndStripes:
+    def test_slices_contiguous(self):
+        s = row_slices([2, 3, 0, 5])
+        assert s == [slice(0, 2), slice(2, 5), slice(5, 5), slice(5, 10)]
+
+    def test_stripe_matrix_views(self):
+        a = np.arange(20).reshape(10, 2)
+        stripes = stripe_matrix(a, [4, 6])
+        assert np.shares_memory(stripes[0], a)  # a view, not a copy
+        np.testing.assert_array_equal(np.vstack(stripes), a)
+
+    def test_stripe_matrix_total_checked(self):
+        with pytest.raises(InfeasiblePartitionError):
+            stripe_matrix(np.ones((5, 2)), [2, 2])
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            row_slices([2, -1])
+
+
+class TestVariableGroupBlock:
+    def _sfs(self):
+        return [make_pwl(100.0), make_pwl(250.0), make_pwl(40.0)]
+
+    def test_covers_all_blocks(self):
+        dist = variable_group_block(576, 32, self._sfs())
+        assert dist.block_owners.size == 18
+        assert dist.num_blocks == 18
+
+    def test_partial_last_block(self):
+        dist = variable_group_block(100, 32, self._sfs())
+        assert dist.num_blocks == 4  # ceil(100/32)
+        assert dist.block_owners.size == 4
+
+    def test_owner_ids_valid(self):
+        dist = variable_group_block(576, 32, self._sfs())
+        assert set(np.unique(dist.block_owners)) <= {0, 1, 2}
+
+    def test_group_counts_proportional_to_speed(self):
+        sfs = [ConstantSpeedFunction(1.0), ConstantSpeedFunction(3.0)]
+        dist = variable_group_block(640, 32, sfs)
+        g0 = dist.groups[0]
+        counts = np.bincount(g0, minlength=2)
+        # 1:3 speed ratio -> roughly 1:3 blocks in the group.
+        assert counts[1] >= 2 * counts[0]
+
+    def test_first_group_fastest_first(self):
+        sfs = [ConstantSpeedFunction(1.0), ConstantSpeedFunction(5.0)]
+        dist = variable_group_block(960, 32, sfs)
+        first = dist.groups[0]
+        # Fastest processor (1) owns the leading blocks.
+        assert first[0] == 1
+
+    def test_last_group_fastest_last(self):
+        sfs = [ConstantSpeedFunction(1.0), ConstantSpeedFunction(5.0)]
+        dist = variable_group_block(960, 32, sfs)
+        last = dist.groups[-1]
+        assert last[-1] == 1  # the fastest processor keeps the final blocks
+
+    def test_group_size_rule_constant_speeds(self):
+        # Paper: g = sum(s)/min(s), doubled if g/p < 2.  For speeds (1, 3):
+        # g = 4, p = 2, g/p = 2 -> kept at 4.
+        sfs = [ConstantSpeedFunction(1.0), ConstantSpeedFunction(3.0)]
+        dist = variable_group_block(3200, 32, sfs)
+        assert dist.group_sizes()[0] == 4
+
+    def test_group_size_doubles_when_small(self):
+        # Speeds (1, 1): g = 2, g/p = 1 < 2 -> doubled to 4.
+        sfs = [ConstantSpeedFunction(1.0), ConstantSpeedFunction(1.0)]
+        dist = variable_group_block(3200, 32, sfs)
+        assert dist.group_sizes()[0] == 4
+
+    def test_counts_from_start_block(self):
+        dist = variable_group_block(576, 32, self._sfs())
+        p = 3
+        full = dist.counts(p)
+        assert full.sum() == 18
+        tail = dist.counts(p, start_block=17)
+        assert tail.sum() == 1
+
+    def test_column_owner(self):
+        dist = variable_group_block(576, 32, self._sfs())
+        assert dist.column_owner(0) == dist.owner(0)
+        assert dist.column_owner(33) == dist.owner(1)
+        with pytest.raises(ConfigurationError):
+            dist.column_owner(576)
+
+    def test_owner_out_of_range(self):
+        dist = variable_group_block(64, 32, self._sfs())
+        with pytest.raises(ConfigurationError):
+            dist.owner(99)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ConfigurationError):
+            variable_group_block(0, 32, self._sfs())
+        with pytest.raises(ConfigurationError):
+            variable_group_block(100, 0, self._sfs())
+
+    def test_rejects_no_processors(self):
+        with pytest.raises(InfeasiblePartitionError):
+            variable_group_block(100, 32, [])
+
+    def test_paper_example_structure(self):
+        # Figure 17(b): n=576, b=32, p=3, group sizes {6, 5, 7} with the
+        # last group starting with the slowest processors.  We cannot match
+        # the authors' machine speeds, but with a 3:2:1 speed profile the
+        # structural invariants must hold: multiple groups, each group's
+        # per-processor counts ordered like the speeds, reversed last group.
+        sfs = [
+            ConstantSpeedFunction(3.0),
+            ConstantSpeedFunction(2.0),
+            ConstantSpeedFunction(1.0),
+        ]
+        dist = variable_group_block(576, 32, sfs)
+        assert len(dist.groups) >= 2
+        for g in dist.groups[:-1]:
+            counts = np.bincount(g, minlength=3)
+            assert counts[0] >= counts[1] >= counts[2]
+            # Fastest first within a non-final group.
+            assert g[0] == 0
+        assert dist.groups[-1][-1] == 0  # fastest processor last
+
+    def test_functional_speeds_shift_distribution(self):
+        # A processor that pages early gets fewer blocks in early (large)
+        # groups than in late (small) groups.
+        pager = make_pwl(300.0, scale=0.02)  # fast but tiny memory
+        steady = make_pwl(100.0, scale=50.0)
+        n, b = 2048, 32
+        dist = variable_group_block(n, b, [pager, steady])
+        first = np.bincount(dist.groups[0], minlength=2)
+        last = np.bincount(dist.groups[-1], minlength=2)
+        frac_first = first[0] / max(first.sum(), 1)
+        frac_last = last[0] / max(last.sum(), 1)
+        assert frac_last > frac_first

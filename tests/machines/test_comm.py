@@ -1,0 +1,80 @@
+"""Tests for the two-parameter communication model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ConfigurationError
+from repro.machines import CommLink, CommModel
+
+
+class TestCommLink:
+    def test_time_formula(self):
+        link = CommLink(startup_s=1e-3, rate_bytes_per_s=1e6)
+        assert link.time(1e6) == pytest.approx(1.001)
+
+    def test_zero_bytes_free(self):
+        assert CommLink(1e-3, 1e6).time(0) == 0.0
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ConfigurationError):
+            CommLink(1e-3, 1e6).time(-1)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            CommLink(-1.0, 1e6)
+        with pytest.raises(ConfigurationError):
+            CommLink(0.0, 0.0)
+
+
+class TestCommModel:
+    def test_ethernet_rate(self):
+        m = CommModel.ethernet(4, startup_s=0.0, bandwidth_bits_per_s=100e6)
+        # 100 Mbit/s = 12.5 MB/s.
+        assert m.point_to_point(0, 1, 12.5e6) == pytest.approx(1.0)
+
+    def test_serialised_sums(self):
+        m = CommModel.ethernet(3, startup_s=0.0, bandwidth_bits_per_s=8e6)
+        msgs = [(0, 1, 1e6), (1, 2, 1e6)]
+        assert m.message_set(msgs) == pytest.approx(2.0)
+
+    def test_parallel_takes_max(self):
+        m = CommModel.ethernet(
+            3, startup_s=0.0, bandwidth_bits_per_s=8e6, serialised=False
+        )
+        msgs = [(0, 1, 1e6), (1, 2, 2e6)]
+        assert m.message_set(msgs) == pytest.approx(2.0)
+
+    def test_broadcast_counts_receivers(self):
+        m = CommModel.ethernet(4, startup_s=1.0, bandwidth_bits_per_s=8e9)
+        t = m.broadcast(0, 8)  # startup-dominated
+        assert t == pytest.approx(3.0, rel=0.01)
+
+    def test_scatter_skips_root_and_empty(self):
+        m = CommModel.ethernet(3, startup_s=1.0, bandwidth_bits_per_s=8e9)
+        t = m.scatter(0, [5.0, 0.0, 10.0])
+        assert t == pytest.approx(1.0, rel=0.01)  # only 0 -> 2
+
+    def test_scatter_length_checked(self):
+        m = CommModel.ethernet(3)
+        with pytest.raises(ConfigurationError):
+            m.scatter(0, [1.0, 2.0])
+
+    def test_allgather_message_count(self):
+        m = CommModel.ethernet(3, startup_s=1.0, bandwidth_bits_per_s=8e12)
+        # 3 sources x 2 destinations = 6 startups.
+        assert m.allgather([1.0, 1.0, 1.0]) == pytest.approx(6.0, rel=0.01)
+
+    def test_no_self_link(self):
+        m = CommModel.ethernet(2)
+        with pytest.raises(ConfigurationError):
+            m.link(1, 1)
+
+    def test_rejects_non_square(self):
+        link = CommLink(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            CommModel([[link], [link, link]])
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ConfigurationError):
+            CommModel.ethernet(0)

@@ -1,0 +1,110 @@
+"""Tests for the time-varying (Ornstein-Uhlenbeck) load model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError, ConstantSpeedFunction
+from repro.machines.dynamic import dynamic_task_time, effective_speed, ou_load_trace
+from tests.conftest import make_pwl
+
+
+class TestOULoadTrace:
+    def test_within_bounds(self, rng):
+        lam = ou_load_trace(rng, 2000, 0.1, mean=0.2, sigma=0.3)
+        assert np.all(lam >= 0.0) and np.all(lam <= 0.95)
+
+    def test_mean_reversion(self, rng):
+        lam = ou_load_trace(rng, 50_000, 0.1, mean=0.25, sigma=0.05, tau=2.0)
+        assert lam.mean() == pytest.approx(0.25, abs=0.02)
+
+    def test_correlation_decays(self, rng):
+        lam = ou_load_trace(rng, 50_000, 0.1, mean=0.2, sigma=0.1, tau=5.0)
+        centered = lam - lam.mean()
+        var = float(np.mean(centered**2))
+        lag = int(5.0 / 0.1)  # one time constant
+        autocorr = float(np.mean(centered[:-lag] * centered[lag:])) / var
+        assert autocorr == pytest.approx(np.exp(-1.0), abs=0.12)
+
+    def test_deterministic_with_seed(self):
+        a = ou_load_trace(np.random.default_rng(5), 100, 0.1)
+        b = ou_load_trace(np.random.default_rng(5), 100, 0.1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_zero_sigma_constant(self, rng):
+        lam = ou_load_trace(rng, 100, 0.1, mean=0.3, sigma=0.0)
+        np.testing.assert_allclose(lam[10:], 0.3, atol=1e-12)
+
+    def test_rejects_bad_params(self, rng):
+        with pytest.raises(ConfigurationError):
+            ou_load_trace(rng, 0, 0.1)
+        with pytest.raises(ConfigurationError):
+            ou_load_trace(rng, 10, 0.1, tau=0.0)
+        with pytest.raises(ConfigurationError):
+            ou_load_trace(rng, 10, 0.1, clip=(0.5, 0.2))
+
+
+class TestDynamicTaskTime:
+    def test_no_load_matches_static(self):
+        sf = ConstantSpeedFunction(50.0, max_size=1e9)
+        trace = np.zeros(10_000)
+        t = dynamic_task_time(sf, 1000.0, trace, dt=0.01)
+        assert t == pytest.approx(1000.0 / 50.0, rel=1e-3)
+
+    def test_constant_load_scales_time(self):
+        sf = ConstantSpeedFunction(50.0, max_size=1e9)
+        trace = np.full(100_000, 0.5)
+        t = dynamic_task_time(sf, 1000.0, trace, dt=0.01)
+        assert t == pytest.approx(2.0 * 1000.0 / 50.0, rel=1e-3)
+
+    def test_zero_task_free(self):
+        sf = ConstantSpeedFunction(5.0)
+        assert dynamic_task_time(sf, 0.0, np.zeros(10), 0.1) == 0.0
+
+    def test_trace_too_short(self):
+        sf = ConstantSpeedFunction(1.0, max_size=1e9)
+        with pytest.raises(ConfigurationError):
+            dynamic_task_time(sf, 1e6, np.zeros(10), 0.1)
+
+    def test_task_beyond_bound(self):
+        sf = make_pwl(10.0)
+        with pytest.raises(ConfigurationError):
+            dynamic_task_time(sf, 1e12, np.zeros(10), 0.1)
+
+    def test_functional_speed_used_at_size(self):
+        sf = make_pwl(100.0)
+        trace = np.zeros(100_000)
+        x = 1e6  # deep in the declining region
+        t = dynamic_task_time(sf, x, trace, dt=1.0)
+        assert t == pytest.approx(float(sf.time(x)), rel=1e-3)
+
+
+class TestEffectiveSpeed:
+    def test_bounded_by_base(self, rng):
+        sf = ConstantSpeedFunction(80.0, max_size=1e9)
+        trace = ou_load_trace(rng, 50_000, 0.1, mean=0.2, sigma=0.1)
+        s = effective_speed(sf, 5000.0, trace, dt=0.1)
+        assert 0 < s <= 80.0
+
+    def test_longer_tasks_concentrate(self):
+        # The core claim: effective-speed spread falls with task length.
+        sf = ConstantSpeedFunction(100.0, max_size=1e12)
+        rng = np.random.default_rng(11)
+
+        def spread(seconds):
+            x = 85.0 * seconds
+            steps = int(seconds * 30 / 0.25) + 100
+            speeds = [
+                effective_speed(
+                    sf,
+                    x,
+                    ou_load_trace(rng, steps, 0.25, mean=0.15, sigma=0.1, tau=5.0),
+                    0.25,
+                )
+                for _ in range(30)
+            ]
+            arr = np.asarray(speeds)
+            return float(arr.std() / arr.mean())
+
+        assert spread(256.0) < spread(2.0)

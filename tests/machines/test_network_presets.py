@@ -1,0 +1,152 @@
+"""Tests for Machine/HeterogeneousNetwork containers and the table presets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError
+from repro.machines import (
+    HeterogeneousNetwork,
+    Machine,
+    TABLE1_SPECS,
+    TABLE2_PAGING_LU,
+    TABLE2_PAGING_MM,
+    TABLE2_SPECS,
+    build_machine,
+    table1_network,
+    table2_network,
+)
+from repro.machines.presets import KernelModel
+
+
+@pytest.fixture(scope="module")
+def net1():
+    return table1_network()
+
+
+@pytest.fixture(scope="module")
+def net2():
+    return table2_network()
+
+
+class TestMachine:
+    def test_kernels_listed(self, net1):
+        m = net1["Comp1"]
+        assert set(m.kernels) == {"arrayops", "matmul_atlas", "matmul_naive"}
+
+    def test_unknown_kernel(self, net1):
+        with pytest.raises(ConfigurationError):
+            net1["Comp1"].band("fft")
+
+    def test_requires_bands(self):
+        with pytest.raises(ConfigurationError):
+            Machine(TABLE1_SPECS[0], {})
+
+    def test_sample_speed_function_within_band(self, net1, rng):
+        m = net1["Comp1"]
+        band = m.band("matmul_atlas")
+        sf = m.sample_speed_function("matmul_atlas", rng)
+        # Compare at the sample's own knots: between knots the piecewise
+        # tabulation may overshoot the analytic envelope near the paging
+        # cliff by interpolation error, which is expected.
+        xs = np.asarray(sf.knot_sizes)
+        assert np.all(sf.speed(xs) <= band.upper_speed(xs) + 1e-9)
+        assert np.all(sf.speed(xs) >= band.lower_speed(xs) - 1e-9)
+
+
+class TestNetwork:
+    def test_len_and_iteration(self, net2):
+        assert len(net2) == 12
+        assert [m.name for m in net2] == list(net2.names)
+
+    def test_lookup_by_name_and_index(self, net2):
+        assert net2["X5"].name == "X5"
+        assert net2[0].name == "X1"
+
+    def test_unknown_name(self, net2):
+        with pytest.raises(KeyError):
+            net2["X99"]
+
+    def test_duplicate_names_rejected(self, net2):
+        with pytest.raises(ConfigurationError):
+            HeterogeneousNetwork([net2["X1"], net2["X1"]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HeterogeneousNetwork([])
+
+    def test_speed_functions_order(self, net2):
+        sfs = net2.speed_functions("matmul")
+        assert len(sfs) == 12
+        assert sfs[0] is net2["X1"].speed_function("matmul")
+
+    def test_subset(self, net2):
+        sub = net2.subset(["X3", "X10"])
+        assert sub.names == ("X3", "X10")
+
+    def test_replicated(self, net2):
+        rep = net2.replicated(3)
+        assert len(rep) == 36
+        assert rep.names.count("X1") == 1 and "X1.2" in rep.names
+
+    def test_replicated_rejects_zero(self, net2):
+        with pytest.raises(ConfigurationError):
+            net2.replicated(0)
+
+    def test_sample_deterministic(self, net2):
+        a = net2.sample_speed_functions("lu", np.random.default_rng(9))
+        b = net2.sample_speed_functions("lu", np.random.default_rng(9))
+        xs = np.geomspace(1e4, 1e7, 10)
+        for sa, sb in zip(a, b):
+            np.testing.assert_allclose(sa.speed(xs), sb.speed(xs))
+
+
+class TestTablePresets:
+    def test_table1_rows(self):
+        assert [s.name for s in TABLE1_SPECS] == ["Comp1", "Comp2", "Comp3", "Comp4"]
+        comp2 = TABLE1_SPECS[1]
+        assert comp2.cpu_mhz == 440 and comp2.cache_kb == 2048
+
+    def test_table2_rows(self):
+        assert len(TABLE2_SPECS) == 12
+        x3 = TABLE2_SPECS[2]
+        assert x3.main_memory_kb == 7_933_500
+        assert x3.free_memory_kb == 2_221_436
+
+    def test_paging_columns_complete(self):
+        names = {s.name for s in TABLE2_SPECS}
+        assert set(TABLE2_PAGING_MM) == names
+        assert set(TABLE2_PAGING_LU) == names
+
+    def test_lu_paging_later_than_mm(self):
+        # LU stores one matrix vs MM's three: paging starts later (Table 2).
+        for name in TABLE2_PAGING_MM:
+            assert TABLE2_PAGING_LU[name] >= TABLE2_PAGING_MM[name]
+
+    def test_mm_heterogeneity_ratio(self, net2):
+        # Section 3.1: fastest/slowest ~ 8 for MM at 4500x4500.
+        x = 3 * 4500**2
+        speeds = [float(m.speed_function("matmul").speed(x)) for m in net2]
+        ratio = max(speeds) / min(speeds)
+        assert 5.0 < ratio < 12.0
+
+    def test_lu_calibration_anchors(self, net2):
+        # X6 ~ 130 MFlops at 8500^2; X1 ~ 19 MFlops at 4500^2.
+        s_x6 = float(net2["X6"].speed_function("lu").speed(8500**2))
+        s_x1 = float(net2["X1"].speed_function("lu").speed(4500**2))
+        assert s_x6 == pytest.approx(130.0, rel=0.15)
+        assert s_x1 == pytest.approx(19.0, rel=0.15)
+
+    def test_mm_calibration_anchors(self, net2):
+        s_x5 = float(net2["X5"].speed_function("matmul").speed(3 * 4500**2))
+        s_x10 = float(net2["X10"].speed_function("matmul").speed(3 * 4500**2))
+        assert s_x5 == pytest.approx(250.0, rel=0.15)
+        assert s_x10 == pytest.approx(31.0, rel=0.15)
+
+    def test_build_machine_custom(self):
+        m = build_machine(
+            TABLE1_SPECS[0],
+            {"mm": KernelModel("matmul_atlas", 100.0, paging_matrix_size=3000, matrices=3)},
+        )
+        assert m.kernels == ("mm",)

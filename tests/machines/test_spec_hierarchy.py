@@ -1,0 +1,134 @@
+"""Tests for machine specs and the memory-hierarchy efficiency model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError
+from repro.machines import Integration, MachineSpec, PROFILES, efficiency
+from repro.machines.hierarchy import KernelProfile
+
+
+def spec(**over):
+    base = dict(
+        name="T",
+        os="Linux",
+        arch="TestArch",
+        cpu_mhz=1000,
+        main_memory_kb=1_000_000,
+        free_memory_kb=700_000,
+        cache_kb=512,
+    )
+    base.update(over)
+    return MachineSpec(**base)
+
+
+class TestMachineSpec:
+    def test_cache_elements(self):
+        assert spec(cache_kb=512).cache_elements == 512 * 1024 // 8
+
+    def test_free_memory_elements(self):
+        assert spec().free_memory_elements == 700_000 * 1024 // 8
+
+    def test_swap_defaults_to_main(self):
+        s = spec()
+        assert s.swap_kb == s.main_memory_kb
+
+    def test_capacity_includes_swap(self):
+        s = spec(swap_kb=500_000)
+        assert s.capacity_elements == (700_000 + 500_000) * 1024 // 8
+
+    def test_matrix_size_for_elements(self):
+        assert spec().matrix_size_for_elements(300, matrices=3) == pytest.approx(10.0)
+
+    def test_rejects_bad_mhz(self):
+        with pytest.raises(ConfigurationError):
+            spec(cpu_mhz=0)
+
+    def test_rejects_free_over_main(self):
+        with pytest.raises(ConfigurationError):
+            spec(free_memory_kb=2_000_000)
+
+    def test_rejects_negative_swap(self):
+        with pytest.raises(ConfigurationError):
+            spec(swap_kb=-1)
+
+    def test_str_mentions_name(self):
+        assert "T" in str(spec())
+
+    def test_frozen(self):
+        s = spec()
+        with pytest.raises(AttributeError):
+            s.cpu_mhz = 5  # type: ignore[misc]
+
+
+class TestKernelProfiles:
+    def test_registered_profiles(self):
+        assert {"arrayops", "matmul_atlas", "matmul_naive", "lu"} <= set(PROFILES)
+
+    def test_naive_smoother_than_atlas(self):
+        assert (
+            PROFILES["matmul_naive"].cache_smoothness
+            > PROFILES["matmul_atlas"].cache_smoothness
+        )
+
+    def test_naive_drops_more(self):
+        assert PROFILES["matmul_naive"].cache_drop > PROFILES["matmul_atlas"].cache_drop
+
+    def test_rejects_bad_cache_drop(self):
+        with pytest.raises(ConfigurationError):
+            KernelProfile("x", 1.5, 1.0, 2.0, 0.2, "matmul")
+
+    def test_rejects_bad_paging(self):
+        with pytest.raises(ConfigurationError):
+            KernelProfile("x", 0.1, 1.0, 0.0, 0.2, "matmul")
+
+
+class TestEfficiency:
+    def _eff(self, x, profile="matmul_atlas"):
+        return efficiency(
+            x,
+            cache_elements=65_536,
+            paging_elements=10_000_000,
+            profile=PROFILES[profile],
+        )
+
+    def test_in_unit_interval(self):
+        xs = np.geomspace(1.0, 1e8, 200)
+        e = self._eff(xs)
+        assert np.all(e > 0) and np.all(e <= 1)
+
+    def test_near_peak_in_cache(self):
+        # Comfortably in cache, past the start-up ramp.
+        assert float(self._eff(60_000)) > 0.85
+
+    def test_paging_collapse(self):
+        pre = float(self._eff(9_000_000))
+        post = float(self._eff(40_000_000))
+        assert post < 0.2 * pre
+
+    def test_g_strictly_decreasing(self):
+        xs = np.geomspace(1.0, 4e7, 400)
+        e = self._eff(xs)
+        g = e / xs
+        assert np.all(np.diff(g) < 0)
+
+    def test_naive_declines_smoothly(self):
+        # The poor-pattern kernel loses speed before paging too.
+        mid_cacheish = float(self._eff(100_000, "matmul_naive"))
+        big = float(self._eff(5_000_000, "matmul_naive"))
+        assert big < mid_cacheish
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigurationError):
+            efficiency(
+                10.0,
+                cache_elements=0,
+                paging_elements=100,
+                profile=PROFILES["lu"],
+            )
+
+    def test_floor_keeps_speed_positive(self):
+        deep = float(self._eff(1e9))
+        assert deep > 0

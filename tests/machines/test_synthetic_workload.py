@@ -1,0 +1,149 @@
+"""Tests for synthetic speed functions and workload bands."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError, InvalidSpeedFunctionError
+from repro.machines import (
+    Integration,
+    MachineSpec,
+    build_speed_function,
+    fluctuation_band,
+    ground_truth_grid,
+    paging_onset_elements,
+)
+from repro.machines.workload import (
+    HIGH_INTEGRATION_WIDTH_LARGE,
+    HIGH_INTEGRATION_WIDTH_SMALL,
+    LOW_INTEGRATION_WIDTH,
+)
+
+
+@pytest.fixture
+def spec():
+    return MachineSpec(
+        name="S",
+        os="Linux",
+        arch="Test",
+        cpu_mhz=2000,
+        main_memory_kb=1_000_000,
+        free_memory_kb=500_000,
+        cache_kb=512,
+    )
+
+
+class TestPagingOnset:
+    def test_published_matrix_size_wins(self, spec):
+        assert paging_onset_elements(spec, 4500, matrices=3) == pytest.approx(
+            3 * 4500**2
+        )
+
+    def test_derived_from_free_memory(self, spec):
+        x = paging_onset_elements(spec, None, matrices=1)
+        assert x == pytest.approx(0.85 * spec.free_memory_elements)
+
+    def test_rejects_bad_size(self, spec):
+        with pytest.raises(ConfigurationError):
+            paging_onset_elements(spec, -5, matrices=1)
+
+
+class TestBuildSpeedFunction:
+    def test_plateau_near_peak(self, spec):
+        sf = build_speed_function(
+            spec, peak_mflops=200.0, profile="matmul_atlas", paging_matrix_size=5000, matrices=3
+        )
+        assert float(sf.speed(3 * 2000**2)) > 0.85 * 200.0
+
+    def test_collapse_past_paging(self, spec):
+        sf = build_speed_function(
+            spec, peak_mflops=200.0, profile="matmul_atlas", paging_matrix_size=5000, matrices=3
+        )
+        pre = float(sf.speed(3 * 4500**2))
+        post = float(sf.speed(3 * 9000**2))
+        assert post < 0.2 * pre
+
+    def test_max_size_is_capacity_factor(self, spec):
+        sf = build_speed_function(
+            spec,
+            peak_mflops=100.0,
+            profile="lu",
+            paging_matrix_size=4000,
+            capacity_factor=3.0,
+        )
+        assert sf.max_size == pytest.approx(3.0 * 4000**2)
+
+    def test_profile_object_accepted(self, spec):
+        from repro.machines import PROFILES
+
+        sf = build_speed_function(
+            spec, peak_mflops=100.0, profile=PROFILES["lu"], paging_matrix_size=4000
+        )
+        assert sf.max_size > 0
+
+    def test_unknown_profile(self, spec):
+        with pytest.raises(ConfigurationError):
+            build_speed_function(spec, peak_mflops=100.0, profile="gpu")
+
+    def test_rejects_bad_peak(self, spec):
+        with pytest.raises(ConfigurationError):
+            build_speed_function(spec, peak_mflops=0.0, profile="lu")
+
+    def test_rejects_bad_capacity_factor(self, spec):
+        with pytest.raises(ConfigurationError):
+            build_speed_function(
+                spec, peak_mflops=10.0, profile="lu", capacity_factor=0.5
+            )
+
+    def test_single_intersection_invariant(self, spec):
+        sf = build_speed_function(
+            spec, peak_mflops=150.0, profile="matmul_naive", paging_matrix_size=4500, matrices=3
+        )
+        sf.check_single_intersection(np.geomspace(10, sf.max_size, 500))
+
+    def test_ground_truth_grid(self, spec):
+        sf = build_speed_function(
+            spec, peak_mflops=150.0, profile="lu", paging_matrix_size=4500
+        )
+        grid = ground_truth_grid(sf, num=48)
+        assert grid.num_knots == 48
+        # Exact at the knots; close before the paging collapse (linear
+        # interpolation across the cliff is intentionally coarse).
+        np.testing.assert_allclose(
+            grid.speed(grid.knot_sizes), sf.speed(grid.knot_sizes), rtol=1e-9
+        )
+        xs = np.geomspace(1e4, 4500**2 * 0.8, 20)
+        np.testing.assert_allclose(grid.speed(xs), sf.speed(xs), rtol=0.1)
+
+
+class TestFluctuationBand:
+    def _sf(self, spec):
+        return build_speed_function(
+            spec, peak_mflops=100.0, profile="matmul_atlas", paging_matrix_size=5000, matrices=3
+        )
+
+    def test_low_integration_constant_width(self, spec):
+        band = fluctuation_band(self._sf(spec), Integration.LOW)
+        xs = np.array([1e4, 1e7])
+        np.testing.assert_allclose(
+            np.asarray(band.width_at(xs)), LOW_INTEGRATION_WIDTH
+        )
+
+    def test_high_integration_width_declines(self, spec):
+        sf = self._sf(spec)
+        band = fluctuation_band(sf, Integration.HIGH)
+        w_small = float(np.asarray(band.width_at(sf.max_size * 1e-4)))
+        w_large = float(np.asarray(band.width_at(sf.max_size)))
+        assert w_small == pytest.approx(HIGH_INTEGRATION_WIDTH_SMALL)
+        assert w_large == pytest.approx(HIGH_INTEGRATION_WIDTH_LARGE)
+        # Close-to-linear decline in between.
+        mid = float(np.asarray(band.width_at(sf.max_size * 0.5)))
+        assert w_large < mid < w_small
+
+    def test_custom_widths(self, spec):
+        band = fluctuation_band(
+            self._sf(spec), Integration.HIGH, width_small=0.3, width_large=0.1
+        )
+        w = float(np.asarray(band.width_at(1.0)))
+        assert w == pytest.approx(0.3)

@@ -1,0 +1,124 @@
+"""Tests for online model maintenance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError, PiecewiseLinearSpeedFunction
+from repro.model import AdaptiveModel, simplify_model
+from tests.conftest import make_pwl
+
+
+class TestSimplifyModel:
+    def test_removes_collinear_knots(self):
+        # Middle knot lies exactly on the chord: removable.
+        sf = PiecewiseLinearSpeedFunction([10.0, 55.0, 100.0], [50.0, 35.0, 20.0])
+        out = simplify_model(sf, eps=0.01)
+        assert out.num_knots == 2
+        np.testing.assert_allclose(out.speed(55.0), 35.0)
+
+    def test_keeps_structural_knots(self):
+        sf = make_pwl(100.0)  # has a genuine knee
+        out = simplify_model(sf, eps=0.02)
+        xs = np.geomspace(1e3, 2e6, 60)
+        np.testing.assert_allclose(out.speed(xs), sf.speed(xs), rtol=0.06)
+        assert out.num_knots <= sf.num_knots
+
+    def test_endpoints_survive(self):
+        sf = make_pwl(10.0)
+        out = simplify_model(sf, eps=0.5)
+        assert out.knot_sizes[0] == sf.knot_sizes[0]
+        assert out.knot_sizes[-1] == sf.knot_sizes[-1]
+
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ConfigurationError):
+            simplify_model(make_pwl(1.0), eps=0.0)
+
+    def test_output_valid(self):
+        out = simplify_model(make_pwl(77.0), eps=0.3)
+        out.check_single_intersection()
+
+
+class TestAdaptiveModel:
+    def test_in_band_observation_ignored(self):
+        model = AdaptiveModel(make_pwl(100.0), tolerance=0.10)
+        changed = model.observe(1e4, float(make_pwl(100.0).speed(1e4)) * 1.05)
+        assert not changed
+        assert model.updates == 0
+        assert model.drift_streak == 0
+
+    def test_out_of_band_updates_toward_observation(self):
+        base = make_pwl(100.0)
+        model = AdaptiveModel(base, tolerance=0.05, smoothing=0.5)
+        x = 2e5
+        before = float(base.speed(x))
+        observed = before * 0.5
+        assert model.observe(x, observed)
+        after = float(model.function.speed(x))
+        assert observed < after < before
+
+    def test_full_trust_smoothing(self):
+        base = make_pwl(100.0)
+        model = AdaptiveModel(base, smoothing=1.0)
+        x = 3e5
+        model.observe(x, float(base.speed(x)) * 0.6)
+        assert float(model.function.speed(x)) == pytest.approx(
+            float(base.speed(x)) * 0.6, rel=1e-6
+        )
+
+    def test_updates_keep_model_valid(self, rng):
+        model = AdaptiveModel(make_pwl(100.0), smoothing=0.8)
+        for _ in range(40):
+            x = float(rng.uniform(2e3, 1.9e6))
+            noise = float(rng.uniform(0.5, 1.2))
+            model.observe(x, float(make_pwl(100.0).speed(x)) * noise)
+        model.function.check_single_intersection()
+
+    def test_nearest_knot_adjusted_not_duplicated(self):
+        base = make_pwl(100.0)
+        model = AdaptiveModel(base, smoothing=1.0)
+        x = float(base.knot_sizes[2]) * 1.001  # within 1% of an existing knot
+        model.observe(x, float(base.speed(x)) * 0.5)
+        assert model.function.num_knots == base.num_knots
+
+    def test_drift_detection(self):
+        base = make_pwl(100.0)
+        model = AdaptiveModel(base, tolerance=0.01, drift_limit=3, smoothing=0.01)
+        for k in range(3):
+            assert not model.needs_rebuild
+            model.observe(5e5 + k, float(base.speed(5e5)) * 2.0)
+        assert model.needs_rebuild
+        model.reset_drift()
+        assert not model.needs_rebuild
+
+    def test_in_band_resets_streak(self):
+        base = make_pwl(100.0)
+        model = AdaptiveModel(base, tolerance=0.05, drift_limit=2, smoothing=0.01)
+        model.observe(5e5, float(base.speed(5e5)) * 2.0)
+        model.observe(6e5, float(model.function.speed(6e5)))
+        assert model.drift_streak == 0
+
+    def test_knot_budget_enforced(self, rng):
+        model = AdaptiveModel(make_pwl(100.0), max_knots=10, smoothing=1.0, tolerance=0.01)
+        for _ in range(60):
+            x = float(rng.uniform(2e3, 1.9e6))
+            model.observe(x, float(model.function.speed(x)) * 0.8)
+        assert model.function.num_knots <= 12  # budget plus simplify slack
+
+    def test_rejects_bad_observations(self):
+        model = AdaptiveModel(make_pwl(100.0))
+        with pytest.raises(ConfigurationError):
+            model.observe(0.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            model.observe(1e4, float("nan"))
+        with pytest.raises(ConfigurationError):
+            model.observe(1e12, 10.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveModel(make_pwl(1.0), tolerance=0.0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveModel(make_pwl(1.0), smoothing=0.0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveModel(make_pwl(1.0), drift_limit=0)

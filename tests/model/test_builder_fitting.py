@@ -1,0 +1,184 @@
+"""Tests for the section-3.1 model builder and band fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError, MeasurementError, SpeedBand
+from repro.model import (
+    SimulatedBenchmark,
+    build_piecewise_model,
+    estimate_band,
+    max_relative_deviation,
+    relative_deviation,
+    repair_monotone_g,
+)
+from repro.machines import MachineSpec, build_speed_function
+from tests.conftest import make_pwl
+
+
+@pytest.fixture
+def truth():
+    """A realistic analytic ground truth to fit against."""
+    spec = MachineSpec(
+        name="B",
+        os="Linux",
+        arch="Test",
+        cpu_mhz=2000,
+        main_memory_kb=1_000_000,
+        free_memory_kb=500_000,
+        cache_kb=512,
+    )
+    return build_speed_function(
+        spec, peak_mflops=200.0, profile="matmul_atlas", paging_matrix_size=4000, matrices=3
+    )
+
+
+class TestRepairMonotoneG:
+    def test_no_change_when_valid(self):
+        xs = np.array([10.0, 100.0, 1000.0])
+        ss = np.array([50.0, 40.0, 10.0])
+        _, out = repair_monotone_g(xs, ss)
+        np.testing.assert_allclose(out, ss)
+
+    def test_clips_violation_down(self):
+        xs = np.array([10.0, 11.0])
+        ss = np.array([50.0, 100.0])  # g rises: invalid
+        _, out = repair_monotone_g(xs, ss)
+        assert out[1] < 50.0 / 10.0 * 11.0
+        from repro import PiecewiseLinearSpeedFunction
+
+        PiecewiseLinearSpeedFunction(xs, out)  # now constructible
+
+    def test_cascading_repair(self):
+        xs = np.array([10.0, 20.0, 21.0])
+        ss = np.array([50.0, 120.0, 130.0])
+        xs2, out = repair_monotone_g(xs, ss)
+        g = out / xs2
+        assert np.all(np.diff(g) < 0)
+
+
+class TestBuildPiecewiseModel:
+    def test_fits_noise_free_truth(self, truth, rng):
+        bench = SimulatedBenchmark(truth, rng)
+        built = build_piecewise_model(
+            bench, a=truth.max_size * 1e-4, b=truth.max_size
+        )
+        # Accurate where the machine is usable (up to ~1.5x the paging knee).
+        grid = np.geomspace(truth.max_size * 1e-4, 3 * 4000**2 * 1.5, 120)
+        assert max_relative_deviation(built.function, truth, grid) < 0.15
+
+    def test_output_is_valid_speed_function(self, truth, rng):
+        bench = SimulatedBenchmark(truth, rng)
+        built = build_piecewise_model(
+            bench, a=truth.max_size * 1e-4, b=truth.max_size
+        )
+        built.function.check_single_intersection()
+
+    def test_linear_truth_needs_two_probes_only(self):
+        # A truth the initial band already explains: the procedure stops
+        # after the first trisection (3 experiments total: a + two probes).
+        def linear(x):
+            return 100.0 * (1.0 - x / 1000.0)
+
+        built = build_piecewise_model(lambda x: max(linear(x), 0.0), a=1.0, b=1000.0)
+        assert built.experiments <= 3
+        assert built.function.num_knots == 2
+
+    def test_experiment_count_reported(self, truth, rng):
+        bench = SimulatedBenchmark(truth, rng)
+        built = build_piecewise_model(
+            bench, a=truth.max_size * 1e-4, b=truth.max_size
+        )
+        assert built.experiments == bench.experiments
+        assert built.experiments >= 3
+
+    def test_band_wraps_function(self, truth, rng):
+        bench = SimulatedBenchmark(truth, rng)
+        built = build_piecewise_model(
+            bench, a=truth.max_size * 1e-4, b=truth.max_size, eps=0.05
+        )
+        assert isinstance(built.band, SpeedBand)
+        assert float(np.asarray(built.band.width_at(1e5))) == pytest.approx(0.10)
+
+    def test_noisy_measurements_still_valid(self, truth):
+        band = SpeedBand(truth, 0.10)
+        bench = SimulatedBenchmark(band, np.random.default_rng(11))
+        built = build_piecewise_model(
+            bench, a=truth.max_size * 1e-4, b=truth.max_size
+        )
+        built.function.check_single_intersection()
+        grid = np.geomspace(truth.max_size * 1e-4, 3 * 4000**2, 60)
+        assert max_relative_deviation(built.function, truth, grid) < 0.3
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ConfigurationError):
+            build_piecewise_model(lambda x: 1.0, a=10.0, b=10.0)
+
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ConfigurationError):
+            build_piecewise_model(lambda x: 1.0, a=1.0, b=10.0, eps=0.0)
+
+    def test_rejects_invalid_benchmark_output(self):
+        with pytest.raises(MeasurementError):
+            build_piecewise_model(lambda x: float("nan"), a=1.0, b=10.0)
+
+    def test_rejects_zero_speed_at_a(self):
+        with pytest.raises(MeasurementError):
+            build_piecewise_model(lambda x: 0.0, a=1.0, b=10.0)
+
+    def test_min_gap_limits_experiments(self, truth, rng):
+        coarse = build_piecewise_model(
+            SimulatedBenchmark(truth, np.random.default_rng(1)),
+            a=truth.max_size * 1e-4,
+            b=truth.max_size,
+            min_gap=truth.max_size / 9.0,
+        )
+        fine = build_piecewise_model(
+            SimulatedBenchmark(truth, np.random.default_rng(1)),
+            a=truth.max_size * 1e-4,
+            b=truth.max_size,
+            min_gap=truth.max_size / 2000.0,
+        )
+        assert coarse.experiments <= fine.experiments
+
+
+class TestEstimateBand:
+    def test_recovers_width_order(self, truth):
+        band = SpeedBand(truth, 0.30)
+        bench = SimulatedBenchmark(band, np.random.default_rng(2))
+        sizes = np.geomspace(truth.max_size * 1e-4, truth.max_size * 0.4, 6)
+        est = estimate_band(bench, sizes, repeats=40)
+        w = float(np.asarray(est.width_at(sizes[2])))
+        # Uniform noise: observed peak-to-peak approaches the true width.
+        assert 0.15 < w < 0.35
+
+    def test_midline_close_to_truth(self, truth):
+        band = SpeedBand(truth, 0.10)
+        bench = SimulatedBenchmark(band, np.random.default_rng(4))
+        sizes = np.geomspace(truth.max_size * 1e-4, truth.max_size * 0.3, 8)
+        est = estimate_band(bench, sizes, repeats=30)
+        dev = relative_deviation(est.midline, truth, sizes[1:-1])
+        assert float(dev.max()) < 0.15
+
+    def test_needs_two_sizes(self, truth, rng):
+        with pytest.raises(ConfigurationError):
+            estimate_band(SimulatedBenchmark(truth, rng), [100.0])
+
+    def test_needs_two_repeats(self, truth, rng):
+        with pytest.raises(ConfigurationError):
+            estimate_band(SimulatedBenchmark(truth, rng), [1e3, 1e4], repeats=1)
+
+
+class TestDeviationHelpers:
+    def test_zero_for_identical(self):
+        sf = make_pwl(100.0)
+        grid = np.geomspace(1e3, 2e6, 20)
+        assert max_relative_deviation(sf, sf, grid) == 0.0
+
+    def test_scaled_deviation(self):
+        sf = make_pwl(100.0)
+        assert max_relative_deviation(
+            sf.scaled(1.1), sf, [1e4, 1e5]
+        ) == pytest.approx(0.1)

@@ -1,0 +1,70 @@
+"""Figure 19(c): why the builder trisects instead of bisecting.
+
+The paper's argument: with *bisection*, the single interior experiment can
+land on the chord between the endpoints "just by accident" even though the
+curve bulges away from it elsewhere — the approximation is accepted
+erroneously.  With *trisection*, under the paper's shape assumption (a
+straight line crosses the real curve at most once between its endpoints),
+two interior points cannot both sit on the chord of a curve that deviates
+from it.
+
+This test constructs exactly the adversarial curve: a smooth bump that
+returns to the chord at the midpoint.  A naive bisection acceptance rule
+(implemented inline) accepts the bad chord; the library's trisection
+procedure keeps probing and captures the bump.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model import build_piecewise_model, max_relative_deviation
+from repro import AnalyticSpeedFunction
+
+A, B = 100.0, 1000.0
+CHORD_LEFT, CHORD_RIGHT = 90.0, 30.0
+
+
+def chord(x):
+    return CHORD_LEFT + (CHORD_RIGHT - CHORD_LEFT) * (x - A) / (B - A)
+
+
+def adversarial(x):
+    """On the chord at a, (a+b)/2 and b; bulging +20% in between."""
+    x = np.asarray(x, dtype=float)
+    phase = (x - A) / (B - A)  # 0..1
+    bump = 0.20 * np.abs(np.sin(2.0 * np.pi * phase))  # zero at 0, 1/2, 1
+    return chord(x) * (1.0 + bump)
+
+
+def test_bisection_rule_is_fooled():
+    mid = 0.5 * (A + B)
+    measured = float(adversarial(mid))
+    predicted = chord(mid)
+    # The single bisection probe lands on the chord: a midpoint-only
+    # acceptance test (within 5%) wrongly accepts the straight-line model.
+    assert abs(measured - predicted) <= 0.05 * predicted
+    # ...even though the curve is 20% off the chord elsewhere.
+    worst = float(np.max(np.abs(adversarial(np.linspace(A, B, 200)) - chord(np.linspace(A, B, 200))) / chord(np.linspace(A, B, 200))))
+    assert worst > 0.15
+
+
+def test_trisection_captures_the_bump():
+    truth = AnalyticSpeedFunction(adversarial, max_size=B)
+    built = build_piecewise_model(
+        lambda x: float(adversarial(x)), a=A, b=B, eps=0.05, pin_zero_at_b=False
+    )
+    # Trisection probed inside the bulge and inserted knots there.
+    assert built.function.num_knots > 2
+    grid = np.linspace(A * 1.01, B * 0.99, 150)
+    assert max_relative_deviation(built.function, truth, grid) < 0.10
+
+
+def test_trisection_cost_stays_small_on_honest_curves():
+    honest = AnalyticSpeedFunction(lambda x: chord(np.asarray(x, dtype=float)), max_size=B)
+    built = build_piecewise_model(
+        lambda x: float(honest.speed(x)), a=A, b=B, eps=0.05, pin_zero_at_b=False
+    )
+    # A genuinely linear curve costs the minimum: two endpoints + two probes.
+    assert built.experiments <= 4
+    assert built.function.num_knots == 2

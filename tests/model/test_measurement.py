@@ -1,0 +1,106 @@
+"""Tests for the benchmark measurement harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError, MeasurementError, SpeedBand
+from repro.model import (
+    SimulatedBenchmark,
+    measure_arrayops_speed,
+    measure_lu_speed,
+    measure_mm_speed,
+    time_callable,
+)
+from tests.conftest import make_pwl
+
+
+class TestTimeCallable:
+    def test_returns_positive_time(self):
+        t = time_callable(lambda: sum(range(2000)), repeats=2, warmup=0)
+        assert t > 0
+
+    def test_warmup_runs(self):
+        calls = []
+        time_callable(lambda: calls.append(1), repeats=2, warmup=3)
+        assert len(calls) == 5
+
+    def test_rejects_bad_repeats(self):
+        with pytest.raises(ConfigurationError):
+            time_callable(lambda: None, repeats=0)
+
+
+class TestRealMeasurements:
+    def test_mm_speed_positive(self):
+        m = measure_mm_speed(96, repeats=1)
+        assert m.speed > 0
+        assert m.size == 96 * 96
+
+    def test_mm_rect(self):
+        m = measure_mm_speed(48, 192, repeats=1)
+        assert m.size == 48 * 192
+
+    def test_mm_unknown_kernel(self):
+        with pytest.raises(ConfigurationError):
+            measure_mm_speed(16, kernel="tensor")
+
+    def test_mm_bad_dims(self):
+        with pytest.raises(ConfigurationError):
+            measure_mm_speed(0)
+
+    @pytest.mark.parametrize("kernel", ["reference", "blocked", "poor"])
+    def test_mm_all_kernels_run(self, kernel):
+        assert measure_mm_speed(48, kernel=kernel, repeats=1).speed > 0
+
+    def test_lu_speed_positive(self):
+        m = measure_lu_speed(96, repeats=1)
+        assert m.speed > 0 and m.seconds > 0
+
+    def test_lu_rect(self):
+        m = measure_lu_speed(128, 64, repeats=1)
+        assert m.size == 128 * 64
+
+    def test_arrayops_speed(self):
+        m = measure_arrayops_speed(100_000, repeats=1)
+        assert m.speed > 0
+
+    def test_arrayops_bad_n(self):
+        with pytest.raises(ConfigurationError):
+            measure_arrayops_speed(0)
+
+
+class TestSimulatedBenchmark:
+    def test_noise_free_midline(self, rng):
+        sf = make_pwl(100.0)
+        bench = SimulatedBenchmark(sf, rng)
+        assert bench.measure(1e4) == pytest.approx(float(sf.speed(1e4)))
+
+    def test_band_noise_within_band(self, rng):
+        band = SpeedBand(make_pwl(100.0), 0.4)
+        bench = SimulatedBenchmark(band, rng)
+        for _ in range(50):
+            s = bench.measure(1e4)
+            assert band.contains(1e4, s, slack=1e-9)
+
+    def test_experiment_counter(self, rng):
+        bench = SimulatedBenchmark(make_pwl(10.0), rng)
+        for _ in range(7):
+            bench(1e4)
+        assert bench.experiments == 7
+
+    def test_rejects_out_of_range(self, rng):
+        bench = SimulatedBenchmark(make_pwl(10.0), rng)
+        with pytest.raises(MeasurementError):
+            bench.measure(1e12)
+        with pytest.raises(MeasurementError):
+            bench.measure(0)
+
+    def test_deterministic_given_seed(self):
+        band = SpeedBand(make_pwl(100.0), 0.4)
+        a = SimulatedBenchmark(band, np.random.default_rng(3)).measure(1e4)
+        b = SimulatedBenchmark(band, np.random.default_rng(3)).measure(1e4)
+        assert a == b
+
+    def test_max_size_exposed(self, rng):
+        assert SimulatedBenchmark(make_pwl(10.0), rng).max_size == pytest.approx(2e6)

@@ -1,0 +1,118 @@
+"""Tests for the emulated heterogeneous cluster runtime."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError
+from repro.runtime import EmulatedCluster, StripedRunResult
+from repro.runtime.tasks import arrayops_task, benchmark_task, mm_stripe_task
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with EmulatedCluster([1, 2]) as c:
+        yield c
+
+
+class TestTasks:
+    def test_mm_stripe_correct(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((8, 12))
+        b = rng.standard_normal((10, 12))
+        out, seconds = mm_stripe_task(a, b, repetitions=3)
+        np.testing.assert_allclose(out, a @ b.T, atol=1e-12)
+        assert seconds > 0
+
+    def test_mm_stripe_rejects_bad_reps(self):
+        a = np.ones((2, 2))
+        with pytest.raises(ConfigurationError):
+            mm_stripe_task(a, a, repetitions=0)
+
+    def test_arrayops_task(self):
+        data = np.ones(16)
+        out, seconds = arrayops_task(data, repetitions=1)
+        expected = (data * 1.000001 + 0.5) ** 2 + data
+        np.testing.assert_allclose(out, expected)
+        assert seconds >= 0
+
+    def test_benchmark_task_positive(self):
+        assert benchmark_task(32, repetitions=1, repeats=1) > 0
+
+    def test_benchmark_task_rejects_tiny(self):
+        with pytest.raises(ConfigurationError):
+            benchmark_task(1, repetitions=1)
+
+
+class TestEmulatedCluster:
+    def test_size_and_factors(self, cluster):
+        assert cluster.size == 2
+        assert cluster.repetitions == (1, 2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            EmulatedCluster([])
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ConfigurationError):
+            EmulatedCluster([1, 0])
+
+    def test_benchmark_runs_in_worker(self, cluster):
+        speed = cluster.benchmark(0, 48, repeats=1)
+        assert speed > 0
+
+    def test_benchmark_bad_machine(self, cluster):
+        with pytest.raises(ConfigurationError):
+            cluster.benchmark(5, 32)
+
+    def test_inflated_machine_slower(self, cluster):
+        # Timing-based but with a 2x designed gap and best-of-3: the
+        # inflated machine should measure clearly slower.
+        fast = cluster.benchmark(0, 256, repeats=3)
+        slow = cluster.benchmark(1, 256, repeats=3)
+        assert slow < fast * 0.9
+
+    def test_striped_matmul_correct(self, cluster):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((40, 24))
+        b = rng.standard_normal((30, 24))
+        run = cluster.run_striped_matmul(a, b, [25, 15])
+        assert isinstance(run, StripedRunResult)
+        np.testing.assert_allclose(run.result, a @ b.T, atol=1e-10)
+        assert run.worker_seconds.shape == (2,)
+        assert run.makespan > 0
+
+    def test_striped_matmul_empty_stripe(self, cluster):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((10, 6))
+        b = rng.standard_normal((8, 6))
+        run = cluster.run_striped_matmul(a, b, [10, 0])
+        np.testing.assert_allclose(run.result, a @ b.T, atol=1e-10)
+        assert run.worker_seconds[1] == 0.0
+
+    def test_striped_matmul_validates_rows(self, cluster):
+        a = np.ones((10, 4))
+        with pytest.raises(ConfigurationError):
+            cluster.run_striped_matmul(a, a, [4, 4])
+        with pytest.raises(ConfigurationError):
+            cluster.run_striped_matmul(a, a, [10])
+
+    def test_build_models_valid_functions(self, cluster):
+        models = cluster.build_models(a_dim=16, b_dim=96)
+        assert len(models) == 2
+        for m in models:
+            m.function.check_single_intersection()
+            assert m.function.max_size == pytest.approx(96 * 96)
+
+    def test_shutdown_idempotent(self):
+        c = EmulatedCluster([1])
+        c.shutdown()
+        c.shutdown()
+        with pytest.raises(ConfigurationError):
+            c.benchmark(0, 16)
+
+    def test_imbalance_metric(self):
+        run = StripedRunResult(np.zeros((0, 1)), np.array([2.0, 1.0, 0.0]))
+        assert run.imbalance == pytest.approx(2.0 / 1.5)
+        assert run.makespan == 2.0

@@ -1,0 +1,101 @@
+"""Tests for the real process-parallel LU factorisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError, ConstantSpeedFunction
+from repro.kernels import GroupBlockDistribution, variable_group_block
+from repro.runtime import EmulatedCluster, run_parallel_lu
+
+
+def dominant(n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    a[np.arange(n), np.arange(n)] += n
+    return a
+
+
+def reconstruct(lu: np.ndarray) -> np.ndarray:
+    n = lu.shape[0]
+    return (np.tril(lu, -1) + np.eye(n)) @ np.triu(lu)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with EmulatedCluster([1, 2, 3]) as c:
+        yield c
+
+
+class TestRunParallelLU:
+    def test_factorisation_exact(self, cluster):
+        n, b = 160, 32
+        a = dominant(n)
+        dist = variable_group_block(
+            n, b, [ConstantSpeedFunction(s) for s in (3.0, 2.0, 1.0)]
+        )
+        res = run_parallel_lu(cluster, a, dist)
+        assert np.max(np.abs(reconstruct(res.lu) - a)) < 1e-9
+
+    def test_matches_serial_blocked_lu(self, cluster):
+        from repro.kernels import lu_factor
+
+        n, b = 128, 32
+        a = dominant(n, seed=3)
+        dist = variable_group_block(
+            n, b, [ConstantSpeedFunction(s) for s in (1.0, 1.0, 1.0)]
+        )
+        res = run_parallel_lu(cluster, a, dist)
+        serial, piv = lu_factor(a, block=b)
+        # Diagonal dominance makes partial pivoting a no-op: identical LU.
+        assert np.all(piv == np.arange(n))
+        np.testing.assert_allclose(res.lu, serial, atol=1e-9)
+
+    def test_step_accounting(self, cluster):
+        n, b = 96, 32
+        a = dominant(n, seed=5)
+        dist = variable_group_block(
+            n, b, [ConstantSpeedFunction(s) for s in (2.0, 1.0, 1.0)]
+        )
+        res = run_parallel_lu(cluster, a, dist)
+        assert len(res.step_seconds) == dist.num_blocks
+        assert res.total_seconds == pytest.approx(sum(res.step_seconds))
+        assert res.worker_update_seconds.shape == (3,)
+
+    def test_partial_last_block(self, cluster):
+        n, b = 100, 32  # 4 blocks, last of width 4
+        a = dominant(n, seed=7)
+        dist = variable_group_block(
+            n, b, [ConstantSpeedFunction(s) for s in (1.0, 2.0, 1.5)]
+        )
+        res = run_parallel_lu(cluster, a, dist)
+        assert np.max(np.abs(reconstruct(res.lu) - a)) < 1e-9
+
+    def test_single_owner_distribution(self, cluster):
+        n, b = 64, 32
+        a = dominant(n, seed=9)
+        dist = GroupBlockDistribution(
+            n=n, b=b, groups=[np.zeros(2, dtype=np.int64)]
+        )
+        res = run_parallel_lu(cluster, a, dist)
+        assert np.max(np.abs(reconstruct(res.lu) - a)) < 1e-9
+        # Workers 1 and 2 never updated anything.
+        assert res.worker_update_seconds[1] == 0.0
+        assert res.worker_update_seconds[2] == 0.0
+
+    def test_rejects_non_square(self, cluster):
+        dist = variable_group_block(64, 32, [ConstantSpeedFunction(1.0)] * 3)
+        with pytest.raises(ConfigurationError):
+            run_parallel_lu(cluster, np.ones((64, 32)), dist)
+
+    def test_rejects_dimension_mismatch(self, cluster):
+        dist = variable_group_block(64, 32, [ConstantSpeedFunction(1.0)] * 3)
+        with pytest.raises(ConfigurationError):
+            run_parallel_lu(cluster, dominant(96), dist)
+
+    def test_rejects_too_many_processors(self, cluster):
+        dist = variable_group_block(64, 32, [ConstantSpeedFunction(1.0)] * 5)
+        if int(dist.block_owners.max()) >= 3:
+            with pytest.raises(ConfigurationError):
+                run_parallel_lu(cluster, dominant(64), dist)

@@ -1,0 +1,95 @@
+"""Tests for the dynamic-load striped MM simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError, ConstantSpeedFunction, partition_constant
+from repro.kernels import mm_elements, mm_flops
+from repro.simulate import simulate_striped_matmul, simulate_striped_matmul_dynamic
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+class TestDynamicSimulator:
+    def test_zero_load_matches_static(self, rng):
+        n = 120
+        sfs = [ConstantSpeedFunction(20.0), ConstantSpeedFunction(40.0)]
+        alloc = partition_constant(mm_elements(n), [20.0, 40.0]).allocation
+        static = simulate_striped_matmul(n, alloc, sfs)
+        dyn = simulate_striped_matmul_dynamic(
+            n, alloc, sfs, rng, dt=0.01, mean_load=0.0, sigma=0.0
+        )
+        np.testing.assert_allclose(
+            dyn.compute_seconds, static.compute_seconds, rtol=0.02
+        )
+
+    def test_constant_load_scales(self, rng):
+        n = 100
+        sfs = [ConstantSpeedFunction(50.0)]
+        alloc = [mm_elements(n)]
+        dyn = simulate_striped_matmul_dynamic(
+            n, alloc, sfs, rng, dt=0.01, mean_load=0.5, sigma=0.0
+        )
+        expected = mm_flops(n) / (1e6 * 50.0) * 2.0
+        assert dyn.makespan == pytest.approx(expected, rel=0.02)
+
+    def test_mean_load_reported(self, rng):
+        n = 100
+        sfs = [ConstantSpeedFunction(50.0)]
+        dyn = simulate_striped_matmul_dynamic(
+            n, [mm_elements(n)], sfs, rng, dt=0.01, mean_load=0.3, sigma=0.0
+        )
+        assert dyn.mean_load[0] == pytest.approx(0.3, abs=0.02)
+
+    def test_stochastic_runs_vary_but_bracket_static(self, rng):
+        n = 150
+        sfs = [ConstantSpeedFunction(30.0), ConstantSpeedFunction(60.0)]
+        alloc = partition_constant(mm_elements(n), [30.0, 60.0]).allocation
+        static = simulate_striped_matmul(n, alloc, sfs).makespan
+        runs = [
+            simulate_striped_matmul_dynamic(
+                n, alloc, sfs, rng, dt=0.005, mean_load=0.15, sigma=0.1, tau=0.1
+            ).makespan
+            for _ in range(6)
+        ]
+        # Load only slows things down; the mean sits near static/(1-mean).
+        assert min(runs) > static
+        assert np.mean(runs) == pytest.approx(static / 0.85, rel=0.15)
+
+    def test_zero_allocation_processor_idle(self, rng):
+        n = 60
+        sfs = [ConstantSpeedFunction(10.0), ConstantSpeedFunction(10.0)]
+        dyn = simulate_striped_matmul_dynamic(
+            n, [0, mm_elements(n)], sfs, rng, dt=0.01
+        )
+        assert dyn.compute_seconds[0] == 0.0
+
+    def test_rejects_bad_mean_load(self, rng):
+        sfs = [ConstantSpeedFunction(10.0)]
+        with pytest.raises(ConfigurationError):
+            simulate_striped_matmul_dynamic(
+                10, [mm_elements(10)], sfs, rng, mean_load=1.0
+            )
+
+    def test_rejects_wrong_length(self, rng):
+        with pytest.raises(ConfigurationError):
+            simulate_striped_matmul_dynamic(
+                10, [1, 2], [ConstantSpeedFunction(1.0)], rng
+            )
+
+    def test_deterministic_given_seed(self):
+        n = 90
+        sfs = [ConstantSpeedFunction(25.0)]
+        alloc = [mm_elements(n)]
+        a = simulate_striped_matmul_dynamic(
+            n, alloc, sfs, np.random.default_rng(3), dt=0.01
+        ).makespan
+        b = simulate_striped_matmul_dynamic(
+            n, alloc, sfs, np.random.default_rng(3), dt=0.01
+        ).makespan
+        assert a == b

@@ -1,0 +1,179 @@
+"""Tests for the MM and LU execution simulators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError, ConstantSpeedFunction, partition, partition_constant
+from repro.kernels import mm_elements, mm_flops, variable_group_block
+from repro.machines import CommModel
+from repro.simulate import (
+    LUStepRecord,
+    SimulationTrace,
+    simulate_lu,
+    simulate_striped_matmul,
+)
+from tests.conftest import make_pwl
+
+
+class TestSimulateStripedMatmul:
+    def test_constant_speed_exact_time(self):
+        # One processor at s MFlops: time = 2 n^3 / (1e6 s).
+        n = 100
+        sfs = [ConstantSpeedFunction(50.0)]
+        sim = simulate_striped_matmul(n, [mm_elements(n)], sfs)
+        assert sim.makespan == pytest.approx(mm_flops(n) / (1e6 * 50.0))
+
+    def test_rows_sum_to_n(self, heterogeneous_trio):
+        n = 120
+        r = partition(mm_elements(n), heterogeneous_trio)
+        sim = simulate_striped_matmul(n, r.allocation, heterogeneous_trio)
+        assert sim.rows.sum() == n
+
+    def test_makespan_is_max_plus_comm(self):
+        n = 60
+        sfs = [ConstantSpeedFunction(10.0), ConstantSpeedFunction(20.0)]
+        alloc = partition_constant(mm_elements(n), [10.0, 20.0]).allocation
+        sim = simulate_striped_matmul(n, alloc, sfs)
+        assert sim.makespan == pytest.approx(float(sim.compute_seconds.max()))
+
+    def test_comm_charged(self):
+        n = 64
+        sfs = [ConstantSpeedFunction(10.0), ConstantSpeedFunction(10.0)]
+        comm = CommModel.ethernet(2)
+        alloc = [mm_elements(n) // 2, mm_elements(n) - mm_elements(n) // 2]
+        with_comm = simulate_striped_matmul(n, alloc, sfs, comm=comm)
+        without = simulate_striped_matmul(n, alloc, sfs)
+        assert with_comm.comm_seconds > 0
+        assert with_comm.makespan > without.makespan
+
+    def test_balanced_beats_skewed(self):
+        n = 90
+        sfs = [ConstantSpeedFunction(10.0), ConstantSpeedFunction(10.0)]
+        total = mm_elements(n)
+        balanced = simulate_striped_matmul(n, [total // 2, total - total // 2], sfs)
+        skewed = simulate_striped_matmul(n, [total - 3 * n, 3 * n], sfs)
+        assert balanced.makespan < skewed.makespan
+
+    def test_paging_allocation_pays(self):
+        # A stripe pushed past the paging knee runs at collapsed speed.
+        pager = make_pwl(100.0, scale=0.01)  # collapses around 1e4 elements
+        big = make_pwl(100.0, scale=100.0)
+        n = 100  # total 3e4 elements
+        total = mm_elements(n)
+        fair = simulate_striped_matmul(n, [total // 10, total - total // 10], [pager, big])
+        greedy = simulate_striped_matmul(
+            n, [total // 2, total - total // 2], [pager, big]
+        )
+        assert greedy.makespan > fair.makespan
+
+    def test_wrong_length_rejected(self, heterogeneous_trio):
+        with pytest.raises(ConfigurationError):
+            simulate_striped_matmul(10, [100], heterogeneous_trio)
+
+    def test_zero_allocation_processor_idle(self):
+        n = 30
+        sfs = [ConstantSpeedFunction(10.0), ConstantSpeedFunction(10.0)]
+        sim = simulate_striped_matmul(n, [0, mm_elements(n)], sfs)
+        assert sim.compute_seconds[0] == 0.0
+
+
+class TestSimulateLU:
+    def _dist(self, n=256, b=32, speeds=(1.0, 3.0)):
+        sfs = [ConstantSpeedFunction(s) for s in speeds]
+        return variable_group_block(n, b, sfs), sfs
+
+    def test_step_count(self):
+        dist, sfs = self._dist()
+        sim = simulate_lu(dist, sfs)
+        assert sim.steps == dist.num_blocks
+
+    def test_total_is_sum_of_steps(self):
+        dist, sfs = self._dist()
+        sim = simulate_lu(dist, sfs)
+        assert sim.total_seconds == pytest.approx(sim.trace.total_seconds())
+
+    def test_remaining_shrinks(self):
+        dist, sfs = self._dist()
+        sim = simulate_lu(dist, sfs)
+        rems = [s.remaining for s in sim.trace.steps]
+        assert rems == sorted(rems, reverse=True)
+        assert rems[0] == 256
+
+    def test_last_step_no_update(self):
+        dist, sfs = self._dist()
+        sim = simulate_lu(dist, sfs)
+        assert sim.trace.steps[-1].update_seconds == 0.0
+
+    def test_flop_total_matches_theory_single_proc(self):
+        # One processor, constant speed: the simulated total must equal
+        # (2/3) n^3 / rate up to the block-algorithm's lower-order terms.
+        n, b = 512, 32
+        sfs = [ConstantSpeedFunction(100.0)]
+        dist = variable_group_block(n, b, sfs)
+        sim = simulate_lu(dist, sfs)
+        expected = (2.0 / 3.0) * n**3 / (1e6 * 100.0)
+        assert sim.total_seconds == pytest.approx(expected, rel=0.15)
+
+    def test_comm_charged(self):
+        dist, sfs = self._dist(n=128, b=32)
+        comm = CommModel.ethernet(2)
+        with_comm = simulate_lu(dist, sfs, comm=comm)
+        without = simulate_lu(dist, sfs)
+        assert with_comm.comm_seconds > 0
+        assert with_comm.total_seconds > without.total_seconds
+
+    def test_trace_disabled(self):
+        dist, sfs = self._dist(n=128)
+        sim = simulate_lu(dist, sfs, keep_trace=False)
+        assert sim.steps == 0 and sim.total_seconds > 0
+
+    def test_distribution_processor_mismatch(self):
+        dist, _ = self._dist(n=128, speeds=(1.0, 2.0, 3.0))
+        with pytest.raises(ConfigurationError):
+            simulate_lu(dist, [ConstantSpeedFunction(1.0)])
+
+    def test_faster_distribution_wins(self):
+        # Giving all columns to the slow processor must be worse than the
+        # speed-proportional Variable Group Block distribution.
+        n, b = 256, 32
+        sfs = [ConstantSpeedFunction(1.0), ConstantSpeedFunction(10.0)]
+        good = variable_group_block(n, b, sfs)
+        from repro.kernels import GroupBlockDistribution
+
+        bad = GroupBlockDistribution(
+            n=n, b=b, groups=[np.zeros(n // b, dtype=np.int64)]
+        )
+        assert (
+            simulate_lu(good, sfs).total_seconds
+            < simulate_lu(bad, sfs).total_seconds
+        )
+
+
+class TestTrace:
+    def test_busy_fraction_bounds(self):
+        dist = variable_group_block(
+            256, 32, [ConstantSpeedFunction(1.0), ConstantSpeedFunction(2.0)]
+        )
+        sfs = [ConstantSpeedFunction(1.0), ConstantSpeedFunction(2.0)]
+        sim = simulate_lu(dist, sfs)
+        busy = sim.trace.busy_fraction(2)
+        assert np.all(busy >= 0) and np.all(busy <= 1 + 1e-9)
+
+    def test_step_record_seconds(self):
+        rec = LUStepRecord(
+            step=0,
+            remaining=10,
+            owner=0,
+            panel_seconds=1.0,
+            comm_seconds=0.5,
+            update_seconds=2.0,
+            update_per_processor=(2.0,),
+        )
+        assert rec.seconds == pytest.approx(3.5)
+
+    def test_empty_trace(self):
+        t = SimulationTrace()
+        assert t.total_seconds() == 0.0
+        assert np.all(t.busy_fraction(3) == 0.0)

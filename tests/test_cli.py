@@ -1,0 +1,69 @@
+"""Tests for the command-line experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_experiments(self):
+        parser = build_parser()
+        for name in ["fig1", "fig2", "table2", "table3", "table4", "fig21",
+                     "fig22a", "fig22b", "all"]:
+            args = parser.parse_args([name])
+            assert args.experiment == name
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_options(self):
+        args = build_parser().parse_args(["fig21", "--repeats", "5", "--block", "32"])
+        assert args.repeats == 5
+        assert args.block == 32
+
+
+class TestCommands:
+    def test_fig1_prints_tables(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Comp1" in out
+        assert "matmul_atlas" in out
+
+    def test_fig2_prints_bands(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "width % of midline" in out
+
+    def test_table2_prints_paging(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "X12" in out
+        assert "Paging" in out
+
+    def test_table3_runs_real_kernel(self, capsys):
+        assert main(["table3", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "256x256" in out and "32x2048" in out
+
+    def test_fig21_cost(self, capsys):
+        assert main(["fig21", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "1080" in out
+        assert "2000000000" in out
+
+
+class TestReportCommand:
+    def test_report_generates_markdown(self, tmp_path, capsys):
+        out = tmp_path / "r.md"
+        assert main(["report", "--out", str(out)]) == 0
+        text = out.read_text()
+        assert "# Reproduction report" in text
+        assert "Figure 22(a)" in text and "Figure 22(b)" in text
+        assert "Figure 21" in text
+        assert "one ray" in text
+        assert "report written" in capsys.readouterr().out

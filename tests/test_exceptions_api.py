@@ -1,0 +1,72 @@
+"""Tests for the exception hierarchy and the public API surface."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+from repro import exceptions as exc
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in exc.__all__:
+            cls = getattr(exc, name)
+            if cls is exc.ReproError:
+                continue
+            assert issubclass(cls, exc.ReproError), name
+
+    def test_value_error_compatibility(self):
+        # Callers catching ValueError keep working for validation errors.
+        assert issubclass(exc.InvalidSpeedFunctionError, ValueError)
+        assert issubclass(exc.InfeasiblePartitionError, ValueError)
+        assert issubclass(exc.ConfigurationError, ValueError)
+
+    def test_runtime_error_compatibility(self):
+        assert issubclass(exc.ConvergenceError, RuntimeError)
+        assert issubclass(exc.MeasurementError, RuntimeError)
+
+    def test_convergence_error_iterations(self):
+        e = exc.ConvergenceError("stuck", iterations=42)
+        assert e.iterations == 42
+        assert "stuck" in str(e)
+
+    def test_convergence_error_default(self):
+        assert exc.ConvergenceError("x").iterations is None
+
+
+class TestPublicAPI:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.model",
+            "repro.machines",
+            "repro.kernels",
+            "repro.simulate",
+            "repro.experiments",
+            "repro.runtime",
+            "repro.io",
+            "repro.cli",
+        ],
+    )
+    def test_submodule_all_exports_resolve(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_py_typed_marker_shipped(self):
+        from pathlib import Path
+
+        assert (Path(repro.__file__).parent / "py.typed").exists()

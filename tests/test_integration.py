@@ -1,0 +1,143 @@
+"""End-to-end integration tests: the full paper pipeline at reduced scale."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConstantSpeedFunction,
+    partition,
+    partition_constant,
+    single_number_speeds,
+)
+from repro.experiments import build_network_models
+from repro.kernels import (
+    matmul_abt,
+    mm_elements,
+    rows_from_elements,
+    stripe_matrix,
+    variable_group_block,
+)
+from repro.machines import CommModel, table2_network
+from repro.model import SimulatedBenchmark, build_piecewise_model
+from repro.simulate import simulate_lu, simulate_striped_matmul
+
+
+@pytest.fixture(scope="module")
+def net():
+    return table2_network()
+
+
+@pytest.fixture(scope="module")
+def mm_models(net):
+    return build_network_models(net, "matmul")
+
+
+class TestFullMMPipeline:
+    def test_benchmark_to_distribution_to_simulation(self, net, mm_models):
+        n = 21_000
+        truth = net.speed_functions("matmul")
+        r = partition(mm_elements(n), mm_models)
+        sim = simulate_striped_matmul(n, r.allocation, truth)
+        assert sim.rows.sum() == n
+        # The distribution must beat the even split on the true machines.
+        even = np.full(12, mm_elements(n) // 12, dtype=np.int64)
+        even[0] += mm_elements(n) - even.sum()
+        sim_even = simulate_striped_matmul(n, even, truth)
+        assert sim.makespan < sim_even.makespan
+
+    def test_functional_beats_single_in_paging_regime(self, net, mm_models):
+        n = 23_000
+        truth = net.speed_functions("matmul")
+        func = partition(mm_elements(n), mm_models).allocation
+        single = partition_constant(
+            mm_elements(n), single_number_speeds(truth, mm_elements(500))
+        ).allocation
+        t_func = simulate_striped_matmul(n, func, truth).makespan
+        t_single = simulate_striped_matmul(n, single, truth).makespan
+        assert t_single > 1.5 * t_func
+
+    def test_with_communication_model(self, net, mm_models):
+        n = 20_000
+        truth = net.speed_functions("matmul")
+        alloc = partition(mm_elements(n), mm_models).allocation
+        comm = CommModel.ethernet(12)
+        sim = simulate_striped_matmul(n, alloc, truth, comm=comm)
+        assert sim.comm_seconds > 0
+        # At this scale compute dominates a 100 Mbit LAN's transfer time.
+        assert sim.comm_seconds < sim.makespan
+
+
+class TestFullLUPipeline:
+    def test_group_block_to_simulation(self, net):
+        models = build_network_models(net, "lu")
+        truth = net.speed_functions("lu")
+        dist = variable_group_block(8_192, 64, models)
+        sim = simulate_lu(dist, truth)
+        assert sim.steps == 128
+        assert sim.total_seconds > 0
+        # Every processor owns at least one block somewhere.
+        assert set(np.unique(dist.block_owners)) == set(range(12))
+
+
+class TestModelQualityLoop:
+    def test_builder_model_reproduces_distribution(self, net):
+        """A distribution from the fitted model is near-optimal on the truth.
+
+        Partition with the built model, partition with the (normally
+        unknowable) ground truth, and compare makespans on the truth: the
+        model-driven distribution should be within a few per cent.
+        """
+        truth = net.speed_functions("matmul")
+        models = build_network_models(net, "matmul")
+        n = mm_elements(19_000)
+        alloc_model = partition(n, models).allocation
+        alloc_truth = partition(n, truth).allocation
+        t_model = simulate_striped_matmul(19_000, alloc_model, truth).makespan
+        t_truth = simulate_striped_matmul(19_000, alloc_truth, truth).makespan
+        assert t_model <= 1.10 * t_truth
+
+    def test_noisy_models_still_useful(self, net):
+        models = build_network_models(net, "matmul", noisy=True, seed=77)
+        truth = net.speed_functions("matmul")
+        n = mm_elements(21_000)
+        alloc = partition(n, models).allocation
+        t_noisy = simulate_striped_matmul(21_000, alloc, truth).makespan
+        alloc_ideal = partition(n, truth).allocation
+        t_ideal = simulate_striped_matmul(21_000, alloc_ideal, truth).makespan
+        # Band-noise-fitted models stay within ~25% of the ideal balance.
+        assert t_noisy <= 1.25 * t_ideal
+
+
+class TestRealKernelRoundtrip:
+    def test_striped_multiply_with_functional_distribution(self):
+        """Distribute a real (small) multiply with piecewise speeds."""
+        from tests.conftest import make_pwl
+
+        n = 120
+        sfs = [make_pwl(60.0), make_pwl(200.0), make_pwl(110.0)]
+        alloc = partition(mm_elements(n), sfs).allocation
+        rows = rows_from_elements(alloc, n)
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        c = np.vstack([matmul_abt(s, b) for s in stripe_matrix(a, rows)])
+        np.testing.assert_allclose(c, a @ b.T, atol=1e-9)
+
+    def test_section31_on_real_host_kernel(self):
+        """The builder drives real measurements end to end."""
+        import math
+
+        from repro.model import measure_mm_speed
+
+        def bench(elements: float) -> float:
+            n = max(int(math.sqrt(elements)), 2)
+            return measure_mm_speed(n, repeats=1).speed
+
+        built = build_piecewise_model(
+            bench, a=16 * 16, b=160 * 160, eps=0.5, spacing="log",
+            pin_zero_at_b=False,
+        )
+        built.function.check_single_intersection()
+        assert built.function.num_knots >= 2

@@ -1,0 +1,188 @@
+"""Tests for model persistence and ASCII plotting."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    AnalyticSpeedFunction,
+    ConfigurationError,
+    ConstantSpeedFunction,
+    PiecewiseLinearSpeedFunction,
+    StepSpeedFunction,
+)
+from repro.experiments.plot import ascii_plot
+from repro.io import (
+    load_models,
+    save_models,
+    speed_function_from_dict,
+    speed_function_to_dict,
+)
+from tests.conftest import make_pwl
+
+
+class TestSerialisation:
+    def test_piecewise_roundtrip(self):
+        sf = make_pwl(123.0)
+        back = speed_function_from_dict(speed_function_to_dict(sf))
+        xs = np.geomspace(1e3, 2e6, 25)
+        np.testing.assert_allclose(back.speed(xs), sf.speed(xs))
+        assert back.max_size == sf.max_size
+
+    def test_constant_roundtrip(self):
+        sf = ConstantSpeedFunction(7.5, max_size=100.0)
+        back = speed_function_from_dict(speed_function_to_dict(sf))
+        assert back.speed(3) == 7.5
+        assert back.max_size == 100.0
+
+    def test_constant_unbounded_roundtrip(self):
+        sf = ConstantSpeedFunction(2.0)
+        back = speed_function_from_dict(speed_function_to_dict(sf))
+        assert math.isinf(back.max_size)
+
+    def test_step_roundtrip(self):
+        sf = StepSpeedFunction([10, 100], [9.0, 3.0])
+        back = speed_function_from_dict(speed_function_to_dict(sf))
+        assert back.speed(5) == 9.0
+        assert back.speed(50) == 3.0
+
+    def test_analytic_rejected(self):
+        sf = AnalyticSpeedFunction(lambda x: 10.0 / (1 + x / 100), max_size=1e4)
+        with pytest.raises(ConfigurationError):
+            speed_function_to_dict(sf)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            speed_function_from_dict({"kind": "magic"})
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            speed_function_from_dict("nope")
+
+
+class TestSaveLoad:
+    def test_roundtrip_collection(self, tmp_path):
+        path = tmp_path / "models.json"
+        models = {"X1": make_pwl(50.0), "X2": ConstantSpeedFunction(9.0)}
+        save_models(path, models, kernel="matmul")
+        loaded = load_models(path)
+        assert set(loaded) == {"X1", "X2"}
+        assert loaded["X2"].speed(1) == 9.0
+        assert json.loads(path.read_text())["kernel"] == "matmul"
+
+    def test_loaded_models_partition(self, tmp_path):
+        from repro import partition
+
+        path = tmp_path / "m.json"
+        save_models(path, {"a": make_pwl(100.0), "b": make_pwl(300.0)})
+        sfs = [loaded for _, loaded in sorted(load_models(path).items())]
+        r = partition(500_000, sfs)
+        assert int(r.allocation.sum()) == 500_000
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_models(tmp_path / "nope.json")
+
+    def test_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "other"}')
+        with pytest.raises(ConfigurationError):
+            load_models(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            '{"format": "repro.speed-functions", "version": 99, "machines": {}}'
+        )
+        with pytest.raises(ConfigurationError):
+            load_models(path)
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        out = ascii_plot(
+            [("a", [0, 1, 2], [0, 1, 4]), ("b", [0, 1, 2], [4, 1, 0])],
+            width=30,
+            height=8,
+            title="T",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "*" in out and "o" in out
+        assert "a" in lines[-1] and "b" in lines[-1]
+
+    def test_log_axes_marked(self):
+        out = ascii_plot(
+            [("c", [1, 10, 100], [1, 10, 100])], log_x=True, log_y=True
+        )
+        assert "log x" in out and "log y" in out
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot([])
+
+    def test_rejects_mismatched_series(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot([("a", [1, 2], [1])])
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot([("a", [1], [1])], width=5, height=2)
+
+    def test_flat_series_ok(self):
+        out = ascii_plot([("flat", [0, 1, 2], [3, 3, 3])])
+        assert "*" in out
+
+    def test_points_land_within_canvas(self):
+        rng = np.random.default_rng(0)
+        xs = rng.uniform(1, 100, 50)
+        ys = rng.uniform(1, 100, 50)
+        out = ascii_plot([("s", xs, ys)], width=40, height=10)
+        assert len(out.splitlines()) == 13  # 10 rows + axis + labels + legend
+
+
+class TestDistributionSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        from repro import ConstantSpeedFunction
+        from repro.io import load_distribution, save_distribution
+        from repro.kernels import variable_group_block
+
+        dist = variable_group_block(
+            256, 32, [ConstantSpeedFunction(1.0), ConstantSpeedFunction(3.0)]
+        )
+        path = tmp_path / "dist.json"
+        save_distribution(path, dist)
+        back = load_distribution(path)
+        assert back.n == dist.n and back.b == dist.b
+        np.testing.assert_array_equal(back.block_owners, dist.block_owners)
+
+    def test_rejects_non_distribution(self, tmp_path):
+        from repro import ConfigurationError
+        from repro.io import save_distribution
+
+        with pytest.raises(ConfigurationError):
+            save_distribution(tmp_path / "x.json", {"not": "a distribution"})
+
+    def test_rejects_wrong_format(self, tmp_path):
+        from repro import ConfigurationError
+        from repro.io import load_distribution
+
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "other"}')
+        with pytest.raises(ConfigurationError):
+            load_distribution(path)
+
+    def test_rejects_malformed(self, tmp_path):
+        from repro import ConfigurationError
+        from repro.io import load_distribution
+
+        path = tmp_path / "bad.json"
+        path.write_text(
+            '{"format": "repro.group-block-distribution", "version": 1, "n": 10}'
+        )
+        with pytest.raises(ConfigurationError):
+            load_distribution(path)
