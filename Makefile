@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples experiments lint-docs all clean
+.PHONY: install test bench bench-smoke check examples experiments lint-docs all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,14 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Fast perf regression gate: the allocator/planner micro-benchmarks only,
+# GC off and few rounds so it finishes in minutes, not hours.
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_perf_allocator.py --benchmark-only \
+		--benchmark-disable-gc --benchmark-min-rounds=3 -q
+
+check: test bench-smoke
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done

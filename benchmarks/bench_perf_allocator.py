@@ -60,3 +60,84 @@ def test_perf_partition_p1080(functions_1080, benchmark):
     n = 2_000_000_000
     result = benchmark(lambda: partition(n, functions_1080))
     assert int(result.allocation.sum()) == n
+
+
+# ---------------------------------------------------------------------------
+# Planner: cold vs warm-started vs cached vs batched queries (ISSUE: the
+# plan_many sweep must beat 64 independent cold solves by >= 3x, and a
+# cache hit must be >= 100x faster than a cold solve).
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fleet_1080(mm_models):
+    from repro.planner import Fleet
+
+    return Fleet(tile_speed_functions(mm_models, 1080), name="bench-p1080")
+
+
+def _sweep_sizes(k: int = 64) -> list[int]:
+    return [int(n) for n in np.linspace(2e8, 2e9, k)]
+
+
+def test_perf_plan_cold_p1080(fleet_1080, benchmark):
+    from repro.core.bisection import partition_bisection
+
+    n = 2_000_000_000
+    result = benchmark(
+        lambda: partition_bisection(n, fleet_1080.speed_functions)
+    )
+    assert int(result.allocation.sum()) == n
+
+
+def test_perf_plan_warm_p1080(fleet_1080, benchmark):
+    from repro.core.bisection import partition_bisection
+    from repro.planner import Planner
+
+    planner = Planner(fleet_1080)
+    n = 2_000_000_000
+    planner.plan(n - 1_000_000)  # neighbouring plan to warm-start from
+
+    def warm():
+        planner.cache.clear()  # hit the warm path, not the cache
+        return planner.plan(n)
+
+    result = benchmark(warm)
+    cold = partition_bisection(n, fleet_1080.speed_functions)
+    assert np.array_equal(result.allocation, cold.allocation)
+
+
+def test_perf_plan_cache_hit_p1080(fleet_1080, benchmark):
+    from repro.planner import Planner
+
+    planner = Planner(fleet_1080)
+    n = 2_000_000_000
+    expected = planner.plan(n)
+    result = benchmark(lambda: planner.plan(n))
+    assert result is expected
+
+
+def test_perf_plan_many_sweep64_p1080(fleet_1080, benchmark):
+    from repro.planner import Planner
+
+    sizes = _sweep_sizes(64)
+
+    def sweep():
+        planner = Planner(fleet_1080)  # fresh cache: all 64 actually solved
+        return planner.plan_many(sizes)
+
+    results = benchmark(sweep)
+    assert [int(r.allocation.sum()) for r in results] == sizes
+
+
+def test_perf_plan_many_cold_baseline64_p1080(fleet_1080, benchmark):
+    from repro.core.bisection import partition_bisection
+
+    sizes = _sweep_sizes(64)
+    sfs = fleet_1080.speed_functions
+
+    def baseline():
+        return [partition_bisection(n, sfs) for n in sizes]
+
+    results = benchmark.pedantic(baseline, rounds=1, iterations=1)
+    assert [int(r.allocation.sum()) for r in results] == sizes

@@ -44,6 +44,7 @@ from .core import (
     partition,
     partition_2d_fixed,
     partition_bisection,
+    partition_bisection_many,
     partition_bounded,
     partition_combined,
     partition_constant,
@@ -64,21 +65,27 @@ from .exceptions import (
     MeasurementError,
     ReproError,
 )
+from .planner import CacheStats, Fleet, PlanCache, Planner, PlannerStats
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ALGORITHMS",
     "AnalyticSpeedFunction",
+    "CacheStats",
     "CommAwareSpeedFunction",
     "HierarchicalResult",
     "ConfigurationError",
     "ConstantSpeedFunction",
     "ConvergenceError",
+    "Fleet",
     "InfeasiblePartitionError",
     "InvalidSpeedFunctionError",
     "MeasurementError",
     "PartitionResult",
+    "PlanCache",
+    "Planner",
+    "PlannerStats",
     "PiecewiseLinearSpeedFunction",
     "Rectangle",
     "RectanglePartition",
@@ -94,6 +101,7 @@ __all__ = [
     "partition",
     "partition_2d_fixed",
     "partition_bisection",
+    "partition_bisection_many",
     "partition_bounded",
     "partition_combined",
     "partition_constant",

@@ -9,6 +9,7 @@ touching pytest::
     repro fig21           # partitioner cost sweep
     repro fig22a          # MM speedup sweep
     repro fig22b          # LU speedup sweep
+    repro plan            # cached/warm-started partition planner queries
     repro all             # everything above
 
 ``repro table3`` / ``repro table4`` run the *real* NumPy kernels on this
@@ -222,6 +223,47 @@ def _cmd_traces(args: argparse.Namespace) -> None:
     )
 
 
+def _cmd_plan(args: argparse.Namespace) -> None:
+    from .experiments import tile_speed_functions
+    from .planner import Fleet, Planner
+
+    net = table2_network()
+    models = build_network_models(net, args.kernel)
+    p = args.p if args.p is not None else len(models)
+    sfs = tile_speed_functions(models, p) if p != len(models) else models
+    fleet = Fleet(sfs, name=f"table2-{args.kernel}-p{p}")
+    planner = Planner(fleet, algorithm=args.algorithm)
+
+    if args.sizes:
+        sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+    else:
+        step = max(1, int(fleet.capacity) // 8)
+        sizes = [step * k for k in range(1, 7)]
+    results = planner.plan_many(sizes)
+    # Replay the same queries to show the cache at work.
+    for n in sizes:
+        planner.plan(n)
+    print(
+        ascii_table(
+            ["n", "makespan (s)", "min alloc", "max alloc", "bisection steps"],
+            [
+                (
+                    n,
+                    float(r.makespan),
+                    int(r.allocation.min()),
+                    int(r.allocation.max()),
+                    r.iterations,
+                )
+                for n, r in zip(sizes, results)
+            ],
+            title=f"Partition plans — {fleet.name} ({args.algorithm})",
+        )
+    )
+    stats = planner.stats()
+    print(f"\nfleet fingerprint {fleet.fingerprint}")
+    print(f"planner: {stats}")
+
+
 _COMMANDS: dict[str, Callable[[argparse.Namespace], None]] = {
     "fig1": _cmd_fig1,
     "fig2": _cmd_fig2,
@@ -233,6 +275,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], None]] = {
     "fig22b": _cmd_fig22b,
     "traces": _cmd_traces,
     "report": _cmd_report,
+    "plan": _cmd_plan,
 }
 
 
@@ -262,6 +305,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--full", action="store_true",
         help="run the full figure-22 sweeps in `repro report`",
+    )
+    parser.add_argument(
+        "--sizes", default="",
+        help="comma-separated problem sizes for `repro plan` "
+        "(default: six sizes spread over the fleet capacity)",
+    )
+    parser.add_argument(
+        "--p", type=int, default=None,
+        help="fleet size for `repro plan` (tiles the testbed models; "
+        "default: the testbed itself)",
+    )
+    parser.add_argument(
+        "--kernel", default="matmul", choices=["matmul", "lu"],
+        help="speed-function kernel for `repro plan`",
+    )
+    parser.add_argument(
+        "--algorithm", default="bisection",
+        choices=["bisection", "combined", "modified"],
+        help="partitioning algorithm for `repro plan`",
     )
     return parser
 

@@ -3,7 +3,7 @@ geometric set-partitioning algorithms of Lastovetsky & Reddy (IPPS 2004).
 """
 
 from .band import SpeedBand
-from .bisection import partition_bisection
+from .bisection import partition_bisection, partition_bisection_many
 from .bounded import partition_bounded
 from .combined import partition_combined
 from .comm_aware import CommAwareSpeedFunction
@@ -14,7 +14,13 @@ from .constant_model import (
     single_number_speeds,
 )
 from .exact import partition_exact
-from .geometry import SlopeRegion, allocations, initial_bracket, total_allocation
+from .geometry import (
+    SlopeRegion,
+    allocations,
+    ensure_bracket,
+    initial_bracket,
+    total_allocation,
+)
 from .hierarchical import HierarchicalResult, group_speed_function, partition_hierarchical
 from .modified import partition_modified
 from .multidim import SpeedSurface, partition_2d_fixed
@@ -30,6 +36,7 @@ from .speed_function import (
     SpeedFunction,
     validate_speed_functions,
 )
+from .vectorized import PiecewiseLinearSet, make_allocator, pack_speed_functions
 from .weighted import WeightedPartitionResult, partition_weighted
 
 __all__ = [
@@ -39,6 +46,7 @@ __all__ = [
     "HierarchicalResult",
     "ConstantSpeedFunction",
     "PartitionResult",
+    "PiecewiseLinearSet",
     "PiecewiseLinearSpeedFunction",
     "Rectangle",
     "RectanglePartition",
@@ -49,12 +57,16 @@ __all__ = [
     "StepSpeedFunction",
     "WeightedPartitionResult",
     "allocations",
+    "ensure_bracket",
     "group_speed_function",
     "initial_bracket",
+    "make_allocator",
     "makespan",
+    "pack_speed_functions",
     "partition",
     "partition_2d_fixed",
     "partition_bisection",
+    "partition_bisection_many",
     "partition_bounded",
     "partition_combined",
     "partition_constant",

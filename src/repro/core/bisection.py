@@ -22,13 +22,13 @@ from typing import Sequence
 import numpy as np
 
 from ..exceptions import ConvergenceError
-from .geometry import SlopeRegion, allocations, initial_bracket
-from .vectorized import make_allocator
+from .geometry import SlopeRegion, allocations, ensure_bracket, initial_bracket
+from .vectorized import PiecewiseLinearSet, pack_speed_functions
 from .refine import makespan, refine_greedy, refine_paper
 from .result import PartitionResult
 from .speed_function import SpeedFunction
 
-__all__ = ["partition_bisection"]
+__all__ = ["partition_bisection", "partition_bisection_many"]
 
 #: Hard iteration cap; generous enough for n up to ~2**10000 with tangent
 #: bisection, only ever reached by adversarial inputs.
@@ -47,6 +47,7 @@ def partition_bisection(
     max_iterations: int = _DEFAULT_MAX_ITERATIONS,
     keep_trace: bool = False,
     region: SlopeRegion | None = None,
+    pack: PiecewiseLinearSet | None = None,
 ) -> PartitionResult:
     """Partition ``n`` elements with the basic bisection algorithm.
 
@@ -68,13 +69,23 @@ def partition_bisection(
     keep_trace:
         Record ``(slope, total_allocation)`` per step in the result.
     region:
-        Optional pre-computed starting region (used by the combined
-        algorithm); computed by
+        Optional starting region.  It does not have to bracket the optimal
+        line for this ``n``: a stale region (e.g. the converged
+        ``result.region`` of a nearby problem size) is first repaired by
+        :func:`~repro.core.geometry.ensure_bracket`, which is how
+        warm-started queries skip most of the cold search.  Computed by
         :func:`~repro.core.geometry.initial_bracket` when omitted.
+    pack:
+        Optional pre-built :class:`~repro.core.vectorized.PiecewiseLinearSet`
+        for the same ``speed_functions`` (see
+        :func:`~repro.core.vectorized.pack_speed_functions`).  Callers
+        answering many queries over one fleet should pack once and pass it
+        here; when omitted, a pack is built per call if possible.
 
     Returns
     -------
     PartitionResult
+        ``result.region`` holds the final converged bracket for reuse.
     """
     p = len(speed_functions)
     if n == 0:
@@ -83,12 +94,23 @@ def partition_bisection(
             makespan=0.0,
             algorithm="bisection",
         )
-    alloc_at = make_allocator(speed_functions)
+    if pack is None:
+        pack = pack_speed_functions(speed_functions)
+    alloc_at = (
+        pack.allocations
+        if pack is not None
+        else (lambda c: allocations(speed_functions, c))
+    )
     if region is None:
         region = initial_bracket(speed_functions, n, allocator=alloc_at)
+        probes = 1  # the figure-18 bracket probe
+    else:
+        region, probes = ensure_bracket(
+            region, n, speed_functions, allocator=alloc_at
+        )
     low_alloc = alloc_at(region.upper)
     high_alloc = alloc_at(region.lower)
-    intersections = 3 * p  # bracket probe + the two initial lines
+    intersections = (probes + 2) * p  # bracket probes + the two initial lines
     iterations = 0
     trace: list[tuple[float, float]] = []
 
@@ -119,17 +141,162 @@ def partition_bisection(
         iterations += 1
 
     if refine == "greedy":
-        alloc = refine_greedy(n, speed_functions, low_alloc)
+        alloc = refine_greedy(n, speed_functions, low_alloc, pack=pack)
     elif refine == "paper":
-        alloc = refine_paper(n, speed_functions, low_alloc, high_alloc)
+        alloc = refine_paper(n, speed_functions, low_alloc, high_alloc, pack=pack)
     else:
         raise ValueError(f"unknown refine procedure {refine!r}")
     return PartitionResult(
         allocation=alloc,
-        makespan=makespan(speed_functions, alloc),
+        makespan=makespan(speed_functions, alloc, pack=pack),
         algorithm="bisection",
         iterations=iterations,
         intersections=intersections,
         slope=region.midpoint(mode),
         trace=trace,
+        region=region,
     )
+
+
+def partition_bisection_many(
+    ns: Sequence[int],
+    speed_functions: Sequence[SpeedFunction],
+    *,
+    mode: str = "tangent",
+    refine: str = "greedy",
+    max_iterations: int = _DEFAULT_MAX_ITERATIONS,
+    region: SlopeRegion | None = None,
+    pack: PiecewiseLinearSet | None = None,
+) -> list[PartitionResult]:
+    """Solve a whole batch of problem sizes in one lockstep sweep.
+
+    Equivalent to ``[partition_bisection(n, ...) for n in ns]`` — each
+    returned plan is bit-identical to its one-shot counterpart — but far
+    cheaper for packed fleets, by two structural tricks:
+
+    * **monotone bracketing**: sizes are processed in ascending order, so
+      the optimal slope only moves downward; each size's starting bracket
+      is repaired from its predecessor's in a few geometric probes instead
+      of an independent figure-18 doubling search;
+    * **lockstep bisection**: all still-unconverged sizes advance
+      together, and their midpoint rays are intersected with the ``p``
+      graphs in a single :meth:`PiecewiseLinearSet.allocations_many` call
+      per step, paying the NumPy dispatch cost once per step instead of
+      once per size per step.
+
+    Results are returned in the order the sizes were given.  ``region``
+    optionally seeds the smallest size's bracket (a converged region from
+    a previous query); ``pack`` as in :func:`partition_bisection`.  Falls
+    back to sequential solves when the fleet cannot be packed.
+    """
+    sizes = [int(n) for n in ns]
+    if pack is None:
+        pack = pack_speed_functions(speed_functions)
+    if pack is None:  # generic fleet: no batched evaluator to exploit
+        seq: dict[int, PartitionResult] = {}
+        for n in sorted(set(sizes)):
+            seq[n] = partition_bisection(
+                n, speed_functions, mode=mode, refine=refine,
+                max_iterations=max_iterations, region=region,
+            )
+            region = seq[n].region or region
+        return [seq[n] for n in sizes]
+
+    p = len(speed_functions)
+    alloc_at = pack.allocations
+    order = sorted(range(len(sizes)), key=lambda i: sizes[i])
+    solved: dict[int, PartitionResult] = {}
+
+    # Phase 1 — chained brackets, ascending (monotone slope sweep).
+    pending: list[int] = []  # distinct sizes, ascending
+    seen: set[int] = set()
+    regions: list[SlopeRegion] = []
+    probe_counts: list[int] = []
+    prev = region
+    for idx in order:
+        n = sizes[idx]
+        if n in seen:
+            continue
+        seen.add(n)
+        if n <= 0:
+            solved[n] = partition_bisection(
+                n, speed_functions, mode=mode, refine=refine, pack=pack
+            )
+            continue
+        if prev is None:
+            r = initial_bracket(speed_functions, n, allocator=alloc_at)
+            probes = 1
+        else:
+            # The previous (smaller) size's bracket: its steep bound stays
+            # valid because totals only grow as the slope falls; only the
+            # shallow bound may need geometric expansion.
+            r, probes = ensure_bracket(
+                prev, n, speed_functions, allocator=alloc_at
+            )
+        pending.append(n)
+        regions.append(r)
+        probe_counts.append(probes)
+        prev = r
+
+    # Phase 2 — lockstep bisection over all pending sizes.
+    if pending:
+        q = len(pending)
+        uppers = np.array([r.upper for r in regions])
+        lowers = np.array([r.lower for r in regions])
+        low_allocs = pack.allocations_many(uppers)
+        high_allocs = pack.allocations_many(lowers)
+        iterations = [0] * q
+        intersections = [(probe_counts[i] + 2) * p for i in range(q)]
+        active = [
+            i
+            for i in range(q)
+            if np.any(high_allocs[i] - low_allocs[i] >= 1.0)
+            and regions[i].width() > _MIN_RELATIVE_WIDTH * regions[i].upper
+        ]
+        while active:
+            mids = np.array([regions[i].midpoint(mode) for i in active])
+            mid_allocs = pack.allocations_many(mids)
+            still = []
+            for row, i in enumerate(active):
+                if iterations[i] >= max_iterations:
+                    raise ConvergenceError(
+                        f"basic bisection did not converge within "
+                        f"{max_iterations} steps; consider partition_modified()",
+                        iterations=iterations[i],
+                    )
+                ma = mid_allocs[row]
+                if float(ma.sum()) >= pending[i]:
+                    regions[i] = regions[i].replace_lower(float(mids[row]))
+                    high_allocs[i] = ma
+                else:
+                    regions[i] = regions[i].replace_upper(float(mids[row]))
+                    low_allocs[i] = ma
+                iterations[i] += 1
+                intersections[i] += p
+                if np.any(high_allocs[i] - low_allocs[i] >= 1.0) and (
+                    regions[i].width() > _MIN_RELATIVE_WIDTH * regions[i].upper
+                ):
+                    still.append(i)
+            active = still
+
+        # Phase 3 — fine-tune each converged size (identical to one-shot).
+        for i, n in enumerate(pending):
+            if refine == "greedy":
+                alloc = refine_greedy(n, speed_functions, low_allocs[i], pack=pack)
+            elif refine == "paper":
+                alloc = refine_paper(
+                    n, speed_functions, low_allocs[i], high_allocs[i], pack=pack
+                )
+            else:
+                raise ValueError(f"unknown refine procedure {refine!r}")
+            solved[n] = PartitionResult(
+                allocation=alloc,
+                makespan=makespan(speed_functions, alloc, pack=pack),
+                algorithm="bisection",
+                iterations=iterations[i],
+                intersections=intersections[i],
+                slope=regions[i].midpoint(mode),
+                region=regions[i],
+            )
+
+    return [solved[n] for n in sizes]

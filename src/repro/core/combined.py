@@ -30,8 +30,8 @@ from typing import Sequence
 import numpy as np
 
 from ..exceptions import ConvergenceError
-from .geometry import SlopeRegion, allocations, initial_bracket
-from .vectorized import make_allocator
+from .geometry import SlopeRegion, allocations, ensure_bracket, initial_bracket
+from .vectorized import PiecewiseLinearSet, pack_speed_functions
 from .modified import partition_modified
 from .refine import makespan, refine_greedy, refine_paper
 from .result import PartitionResult
@@ -71,11 +71,14 @@ def partition_combined(
     flat_tol: float = 1e-3,
     stall_limit: int = 8,
     stall_factor: float = 0.75,
+    region: SlopeRegion | None = None,
+    pack: PiecewiseLinearSet | None = None,
 ) -> PartitionResult:
     """Partition ``n`` elements, switching basic -> modified when useful.
 
     See :func:`~repro.core.bisection.partition_bisection` for the common
-    parameters.  ``flat_tol``, ``stall_limit`` and ``stall_factor`` tune
+    parameters (including the warm-start ``region`` and the reusable
+    ``pack``).  ``flat_tol``, ``stall_limit`` and ``stall_factor`` tune
     the switch heuristics described in the module docstring.
     """
     p = len(speed_functions)
@@ -85,11 +88,23 @@ def partition_combined(
             makespan=0.0,
             algorithm="combined",
         )
-    alloc_at = make_allocator(speed_functions)
-    region = initial_bracket(speed_functions, n, allocator=alloc_at)
+    if pack is None:
+        pack = pack_speed_functions(speed_functions)
+    alloc_at = (
+        pack.allocations
+        if pack is not None
+        else (lambda c: allocations(speed_functions, c))
+    )
+    if region is None:
+        region = initial_bracket(speed_functions, n, allocator=alloc_at)
+        probes = 1
+    else:
+        region, probes = ensure_bracket(
+            region, n, speed_functions, allocator=alloc_at
+        )
     low_alloc = alloc_at(region.upper)
     high_alloc = alloc_at(region.lower)
-    intersections = 3 * p
+    intersections = (probes + 2) * p
     iterations = 0
     stalled = 0
     trace: list[tuple[float, float]] = []
@@ -142,6 +157,7 @@ def partition_combined(
             refine=refine,
             keep_trace=keep_trace,
             region=region,
+            pack=pack,
         )
         return PartitionResult(
             allocation=sub.allocation,
@@ -151,20 +167,22 @@ def partition_combined(
             intersections=intersections + sub.intersections - 3 * p,
             slope=sub.slope,
             trace=trace + sub.trace,
+            region=sub.region,
         )
 
     if refine == "greedy":
-        alloc = refine_greedy(n, speed_functions, low_alloc)
+        alloc = refine_greedy(n, speed_functions, low_alloc, pack=pack)
     elif refine == "paper":
-        alloc = refine_paper(n, speed_functions, low_alloc, high_alloc)
+        alloc = refine_paper(n, speed_functions, low_alloc, high_alloc, pack=pack)
     else:
         raise ValueError(f"unknown refine procedure {refine!r}")
     return PartitionResult(
         allocation=alloc,
-        makespan=makespan(speed_functions, alloc),
+        makespan=makespan(speed_functions, alloc, pack=pack),
         algorithm="combined",
         iterations=iterations,
         intersections=intersections,
         slope=region.midpoint(mode),
         trace=trace,
+        region=region,
     )

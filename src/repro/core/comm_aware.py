@@ -137,9 +137,12 @@ class CommAwareSpeedFunction(SpeedFunction):
                 lo = mid
             else:
                 hi = mid
-            if hi - lo <= 1e-9 * max(hi, 1.0):
+            if hi - lo <= 1e-12 * max(hi, 1.0):
                 break
-        return float(0.5 * (lo + hi))
+        # Return the inner endpoint: t(lo) <= target holds by construction,
+        # so g(lo) >= slope exactly (sup semantics), whereas the midpoint
+        # can overshoot by half the final bracket width.
+        return float(lo)
 
     def __repr__(self) -> str:
         return (

@@ -29,6 +29,7 @@ __all__ = [
     "allocations",
     "total_allocation",
     "initial_bracket",
+    "ensure_bracket",
     "SlopeRegion",
 ]
 
@@ -132,6 +133,71 @@ def initial_bracket(
             "shallow lines; processors saturate at their memory bounds"
         )
     return SlopeRegion(upper=upper, lower=lower)
+
+
+def ensure_bracket(
+    region: "SlopeRegion",
+    n: int,
+    speed_functions: Sequence[SpeedFunction],
+    *,
+    max_expansions: int = 200,
+    allocator=None,
+) -> tuple["SlopeRegion", int]:
+    """Expand a stale region until it brackets the optimal line for ``n``.
+
+    This is the warm-start primitive: a converged :class:`SlopeRegion`
+    cached from a nearby problem size ``n0`` almost brackets the optimal
+    slope for ``n`` (the optimal slope is monotone non-increasing in the
+    problem size), so restoring the bisection invariant
+    ``total(upper) <= n <= total(lower)`` takes a handful of geometric
+    expansions — ``O(log(n/n0))`` total-allocation probes — instead of the
+    full figure-18 initial-bracket search.
+
+    ``allocator`` optionally supplies a vectorised ``slope -> allocations``
+    callable (see :func:`repro.core.vectorized.make_allocator`).
+
+    Returns ``(region, probes)`` where ``probes`` counts the
+    total-allocation evaluations performed (each costs ``p`` ray-graph
+    intersections); a region that already brackets ``n`` costs 2 probes.
+    """
+    total = (
+        (lambda c: float(allocator(c).sum()))
+        if allocator is not None
+        else (lambda c: total_allocation(speed_functions, c))
+    )
+    if n <= 0:
+        raise InfeasiblePartitionError(f"problem size must be positive, got {n}")
+    capacity = sum(sf.max_size for sf in speed_functions)
+    if capacity < n:
+        raise InfeasiblePartitionError(
+            f"problem of size {n} exceeds the combined memory bound "
+            f"{capacity:g} of the {len(speed_functions)} processors"
+        )
+    upper = region.upper
+    lower = region.lower
+    probes = 2
+    # Steepen the upper line until it allocates at most n elements.
+    for _ in range(max_expansions):
+        if total(upper) <= n:
+            break
+        upper *= 2.0
+        probes += 1
+    else:  # pragma: no cover - requires a pathological speed function
+        raise InfeasiblePartitionError(
+            "could not find a steep line allocating fewer than n elements"
+        )
+    # Flatten the lower line until it allocates at least n elements.
+    for _ in range(max_expansions):
+        if total(lower) >= n:
+            break
+        lower *= 0.5
+        probes += 1
+    else:
+        raise InfeasiblePartitionError(
+            f"problem of size {n} cannot be allocated even with arbitrarily "
+            "shallow lines; processors saturate at their memory bounds"
+        )
+    return SlopeRegion(upper=upper, lower=lower), probes
 
 
 @dataclass

@@ -30,8 +30,8 @@ from typing import Sequence
 import numpy as np
 
 from ..exceptions import ConvergenceError
-from .geometry import SlopeRegion, allocations, initial_bracket
-from .vectorized import make_allocator
+from .geometry import SlopeRegion, allocations, ensure_bracket, initial_bracket
+from .vectorized import PiecewiseLinearSet, pack_speed_functions
 from .refine import makespan, refine_greedy, refine_paper
 from .result import PartitionResult
 from .speed_function import SpeedFunction
@@ -61,10 +61,12 @@ def partition_modified(
     max_iterations: int = _DEFAULT_MAX_ITERATIONS,
     keep_trace: bool = False,
     region: SlopeRegion | None = None,
+    pack: PiecewiseLinearSet | None = None,
 ) -> PartitionResult:
     """Partition ``n`` elements with the modified bisection algorithm.
 
-    Parameters mirror :func:`~repro.core.bisection.partition_bisection`;
+    Parameters mirror :func:`~repro.core.bisection.partition_bisection`
+    (including warm-start ``region`` repair and the reusable ``pack``);
     there is no ``mode`` because the split point is chosen on a speed graph
     rather than in slope space.
     """
@@ -75,12 +77,23 @@ def partition_modified(
             makespan=0.0,
             algorithm="modified",
         )
-    alloc_at = make_allocator(speed_functions)
+    if pack is None:
+        pack = pack_speed_functions(speed_functions)
+    alloc_at = (
+        pack.allocations
+        if pack is not None
+        else (lambda c: allocations(speed_functions, c))
+    )
     if region is None:
         region = initial_bracket(speed_functions, n, allocator=alloc_at)
+        probes = 1
+    else:
+        region, probes = ensure_bracket(
+            region, n, speed_functions, allocator=alloc_at
+        )
     low_alloc = alloc_at(region.upper)
     high_alloc = alloc_at(region.lower)
-    intersections = 3 * p
+    intersections = (probes + 2) * p
     iterations = 0
     trace: list[tuple[float, float]] = []
 
@@ -123,17 +136,18 @@ def partition_modified(
         iterations += 1
 
     if refine == "greedy":
-        alloc = refine_greedy(n, speed_functions, low_alloc)
+        alloc = refine_greedy(n, speed_functions, low_alloc, pack=pack)
     elif refine == "paper":
-        alloc = refine_paper(n, speed_functions, low_alloc, high_alloc)
+        alloc = refine_paper(n, speed_functions, low_alloc, high_alloc, pack=pack)
     else:
         raise ValueError(f"unknown refine procedure {refine!r}")
     return PartitionResult(
         allocation=alloc,
-        makespan=makespan(speed_functions, alloc),
+        makespan=makespan(speed_functions, alloc, pack=pack),
         algorithm="modified",
         iterations=iterations,
         intersections=intersections,
         slope=region.midpoint("tangent"),
         trace=trace,
+        region=region,
     )

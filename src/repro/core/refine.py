@@ -32,20 +32,36 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from ..exceptions import InfeasiblePartitionError
 from .speed_function import SpeedFunction
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .vectorized import PiecewiseLinearSet
+
 __all__ = ["makespan", "refine_greedy", "refine_paper"]
 
 
 def makespan(
-    speed_functions: Sequence[SpeedFunction], allocation: Sequence[int]
+    speed_functions: Sequence[SpeedFunction],
+    allocation: Sequence[int],
+    *,
+    pack: "PiecewiseLinearSet | None" = None,
 ) -> float:
-    """Parallel execution time of an allocation: ``max_i t_i(x_i)``."""
+    """Parallel execution time of an allocation: ``max_i t_i(x_i)``.
+
+    ``pack`` optionally supplies the shared
+    :class:`~repro.core.vectorized.PiecewiseLinearSet` of the same
+    functions, replacing the ``p`` per-object time evaluations with one
+    vectorised pass (bit-identical results).
+    """
+    if pack is not None:
+        return float(
+            pack.times(np.asarray(allocation, dtype=np.int64).astype(float)).max()
+        )
     return float(
         max(
             sf.time(int(x))
@@ -71,6 +87,8 @@ def refine_greedy(
     n: int,
     speed_functions: Sequence[SpeedFunction],
     base_allocation: Sequence[float],
+    *,
+    pack: "PiecewiseLinearSet | None" = None,
 ) -> np.ndarray:
     """Optimal integer completion of a fractional under-allocation.
 
@@ -84,6 +102,12 @@ def refine_greedy(
         Fractional allocations whose floors sum to at most ``n`` (typically
         the intersections with the steeper bounding line).  Values are
         floored and clipped to each processor's memory bound.
+    pack:
+        Optional shared :class:`~repro.core.vectorized.PiecewiseLinearSet`
+        of the same functions.  When given, the initial floor/heap build
+        evaluates all ``p`` finish times in one vectorised pass instead of
+        ``p`` per-object Python calls; the result is bit-identical (the
+        heap pops in strict ``(time, index)`` order either way).
 
     Returns
     -------
@@ -97,7 +121,12 @@ def refine_greedy(
         total unreachable.
     """
     base = np.floor(np.asarray(base_allocation, dtype=float))
-    base = _clip_to_bounds(speed_functions, base)
+    if pack is not None:
+        bounds = pack.max_sizes
+        base = np.minimum(base, np.floor(bounds))
+    else:
+        bounds = np.array([sf.max_size for sf in speed_functions], dtype=float)
+        base = _clip_to_bounds(speed_functions, base)
     base = np.maximum(base, 0.0)
     alloc = base.astype(np.int64)
     deficit = int(n) - int(alloc.sum())
@@ -107,13 +136,19 @@ def refine_greedy(
         )
     if deficit == 0:
         return alloc
-    bounds = np.array([sf.max_size for sf in speed_functions], dtype=float)
+    if pack is not None:
+        return _handout_batched(n, alloc, deficit, bounds, pack, speed_functions)
     # Min-heap keyed by the finish time each processor would have *after*
     # receiving one more element.
-    heap: list[tuple[float, int]] = []
+    heap = []
     for i, sf in enumerate(speed_functions):
         if alloc[i] + 1 <= bounds[i]:
             heapq.heappush(heap, (float(sf.time(alloc[i] + 1)), i))
+    return _handout_heap(n, alloc, deficit, bounds, heap, speed_functions)
+
+
+def _handout_heap(n, alloc, deficit, bounds, heap, speed_functions):
+    """The classic one-element-at-a-time greedy handout (reference path)."""
     for _ in range(deficit):
         if not heap:
             raise InfeasiblePartitionError(
@@ -128,11 +163,74 @@ def refine_greedy(
     return alloc
 
 
+#: Give up on round batching once this many rounds made little progress.
+_MAX_SLOW_ROUNDS = 4
+
+
+def _handout_batched(n, alloc, deficit, bounds, pack, speed_functions):
+    """Exact batched simulation of the greedy heap handout.
+
+    The heap pops candidates in ``(finish time, index)`` order, where each
+    processor contributes the increasing sequence ``t_i(a_i+1), t_i(a_i+2),
+    ...`` — a k-way merge.  A whole *prefix* of the sorted first candidates
+    can therefore be handed one element each in a single vectorised round,
+    as long as no selected processor's **second** candidate is cheaper than
+    a later first candidate in the prefix: the prefix of length ``j`` is
+    popped one-each by the heap iff ``u[s+1] >= min(second[0..s])`` never
+    fails for ``s < j`` (tuples compared lexicographically; we use the
+    strict float comparison, which is conservative on exact time ties and
+    therefore never batches more than the heap would pop).
+
+    Each round costs two vectorised time evaluations regardless of ``p``;
+    in the common post-bisection state (all processors within one element
+    of optimal) one or two rounds finish the whole deficit.  Pathological
+    tie patterns fall back to the reference heap, so the result is always
+    exactly the heap's.
+    """
+    slow_rounds = 0
+    while deficit > 0:
+        candidate = alloc + 1
+        eligible = candidate <= bounds
+        if not eligible.any():
+            raise InfeasiblePartitionError(
+                f"memory bounds prevent allocating all {n} elements"
+            )
+        t1 = np.where(eligible, pack.times(candidate.astype(float)), np.inf)
+        order = np.argsort(t1, kind="stable")  # value ties fall back to index
+        m = min(deficit, int(eligible.sum()))
+        sel = order[:m]
+        # times() is inf beyond the bound, so a processor with no second
+        # candidate never constrains the prefix — exactly like the heap,
+        # which simply has nothing to push for it.
+        second = pack.times((alloc + 2).astype(float))[sel]
+        u = t1[sel]
+        good = u[1:] < np.minimum.accumulate(second)[:-1]
+        j = 1 + (int(np.argmin(good)) if not good.all() else good.size)
+        alloc[sel[:j]] += 1
+        deficit -= j
+        if j < max(1, m // 4):
+            slow_rounds += 1
+            if slow_rounds >= _MAX_SLOW_ROUNDS and deficit > 0:
+                # Tie-heavy instance: finish with the reference heap.
+                t_next = pack.times((alloc + 1).astype(float))
+                heap = [
+                    (float(t_next[i]), int(i))
+                    for i in np.nonzero(alloc + 1 <= bounds)[0]
+                ]
+                heapq.heapify(heap)
+                return _handout_heap(
+                    n, alloc, deficit, bounds, heap, speed_functions
+                )
+    return alloc
+
+
 def refine_paper(
     n: int,
     speed_functions: Sequence[SpeedFunction],
     lower_allocation: Sequence[float],
     upper_allocation: Sequence[float],
+    *,
+    pack: "PiecewiseLinearSet | None" = None,
 ) -> np.ndarray:
     """The paper's 2p-candidate fine-tuning (figure 9).
 
@@ -142,26 +240,41 @@ def refine_paper(
     former and ``ceil`` of the latter; the procedure upgrades the cheapest
     processors (by execution time at the upgraded size, mirroring the
     paper's sort of the ``2p`` times) until the total reaches ``n``.
+    ``pack`` batches the initial finish-time evaluations as in
+    :func:`refine_greedy`.
     """
-    low = np.floor(np.asarray(lower_allocation, dtype=float))
-    low = np.maximum(_clip_to_bounds(speed_functions, low), 0.0).astype(np.int64)
-    high = np.ceil(np.asarray(upper_allocation, dtype=float))
-    high = np.maximum(_clip_to_bounds(speed_functions, high), 0.0).astype(np.int64)
+    if pack is not None:
+        bounds_floor = np.floor(pack.max_sizes)
+        low = np.floor(np.asarray(lower_allocation, dtype=float))
+        low = np.maximum(np.minimum(low, bounds_floor), 0.0).astype(np.int64)
+        high = np.ceil(np.asarray(upper_allocation, dtype=float))
+        high = np.maximum(np.minimum(high, bounds_floor), 0.0).astype(np.int64)
+    else:
+        low = np.floor(np.asarray(lower_allocation, dtype=float))
+        low = np.maximum(_clip_to_bounds(speed_functions, low), 0.0).astype(np.int64)
+        high = np.ceil(np.asarray(upper_allocation, dtype=float))
+        high = np.maximum(_clip_to_bounds(speed_functions, high), 0.0).astype(np.int64)
     high = np.maximum(high, low)
     total_low = int(low.sum())
     total_high = int(high.sum())
     if not (total_low <= n <= total_high):
         # The candidate lattice cannot express the target total (possible
         # with clamped bounds); defer to the always-correct greedy.
-        return refine_greedy(n, speed_functions, low)
+        return refine_greedy(n, speed_functions, low, pack=pack)
     # Upgrade processors from low to high one unit at a time, cheapest
     # resulting execution time first — the "choose the p best of the 2p
     # execution times" step expressed as a heap.
     alloc = low.copy()
-    heap: list[tuple[float, int]] = []
-    for i, sf in enumerate(speed_functions):
-        if alloc[i] < high[i]:
-            heapq.heappush(heap, (float(sf.time(alloc[i] + 1)), i))
+    if pack is not None:
+        upgradeable = np.nonzero(alloc < high)[0]
+        times = pack.times((alloc + 1).astype(float))
+        heap = [(float(times[i]), int(i)) for i in upgradeable]
+        heapq.heapify(heap)
+    else:
+        heap = []
+        for i, sf in enumerate(speed_functions):
+            if alloc[i] < high[i]:
+                heapq.heappush(heap, (float(sf.time(alloc[i] + 1)), i))
     deficit = n - total_low
     for _ in range(deficit):
         _, i = heapq.heappop(heap)

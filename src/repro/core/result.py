@@ -3,8 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .geometry import SlopeRegion
 
 __all__ = ["PartitionResult"]
 
@@ -38,6 +42,12 @@ class PartitionResult:
         pairs, populated when the algorithm is run with ``keep_trace=True``.
         Used by the ablation benchmarks to reproduce the behaviour shown in
         figures 8, 10 and 11 of the paper.
+    region:
+        Final converged :class:`~repro.core.geometry.SlopeRegion` of the
+        line-based algorithms — the reusable bracket a later query for a
+        nearby problem size can warm-start from (see
+        :func:`~repro.core.geometry.ensure_bracket` and
+        :mod:`repro.planner`); ``None`` for non-line-based algorithms.
     """
 
     allocation: np.ndarray
@@ -47,6 +57,7 @@ class PartitionResult:
     intersections: int = 0
     slope: float | None = None
     trace: list[tuple[float, float]] = field(default_factory=list)
+    region: "SlopeRegion | None" = None
 
     @property
     def n(self) -> int:

@@ -462,16 +462,18 @@ class AnalyticSpeedFunction(SpeedFunction):
                 "could not bracket the ray intersection; speed function "
                 "appears to vanish near the origin"
             )
-        # Bisection on the monotone g.
+        # Bisection on the monotone g.  Return the inner endpoint: it keeps
+        # g(lo) >= slope by construction (sup semantics), while the midpoint
+        # can overshoot by half the final bracket width.
         for _ in range(200):
             mid = 0.5 * (lo + hi)
             if self.g(mid) >= slope:
                 lo = mid
             else:
                 hi = mid
-            if hi - lo <= 1e-9 * max(1.0, hi):
+            if hi - lo <= 1e-12 * max(1.0, hi):
                 break
-        return float(0.5 * (lo + hi))
+        return float(lo)
 
     def tabulate(self, sizes: Sequence[float]) -> PiecewiseLinearSpeedFunction:
         """Sample this function into a piecewise-linear approximation."""

@@ -8,21 +8,33 @@ modelled by a :class:`~repro.core.speed_function.PiecewiseLinearSpeedFunction`
 padded 2-D arrays and resolves the whole ray in a handful of NumPy
 operations (a fixed-depth branchless binary search over the knot slopes).
 
-:func:`make_allocator` is the internal entry point: it returns the
+:func:`pack_speed_functions` builds the shared pack (or returns ``None``
+when the fast path does not apply); callers that answer many queries over
+the same fleet — most notably :mod:`repro.planner` — construct it once and
+hand it to every algorithm call through their ``pack=`` parameter.
+:func:`make_allocator` remains the one-shot entry point: it returns the
 vectorised fast path when it applies and the plain loop otherwise, so the
 algorithms stay representation-agnostic.  The figure-21 cost benchmark
 exercises this path at ``p = 1080``.
+
+Besides ray intersections the pack also evaluates per-processor speeds and
+execution times for whole allocation vectors (:meth:`PiecewiseLinearSet.speeds`
+/ :meth:`PiecewiseLinearSet.times`), bit-compatible with the per-object
+``np.interp`` path, which lets the fine-tuning step batch its finish-time
+evaluations.  :attr:`PiecewiseLinearSet.fingerprint` is a stable content
+hash of the knot arrays used as a cache key by the planner.
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import Callable, Sequence
 
 import numpy as np
 
 from .speed_function import PiecewiseLinearSpeedFunction, SpeedFunction
 
-__all__ = ["PiecewiseLinearSet", "make_allocator"]
+__all__ = ["PiecewiseLinearSet", "make_allocator", "pack_speed_functions"]
 
 
 class PiecewiseLinearSet:
@@ -48,6 +60,7 @@ class PiecewiseLinearSet:
             ss[i, k:] = sf.knot_speeds[-1]
         self._xs = xs
         self._ss = ss
+        self._widths = np.asarray(widths, dtype=np.int64)
         with np.errstate(divide="ignore"):
             gs = ss / xs
         # Make padded slots unreachable: strictly below every real slope.
@@ -58,6 +71,7 @@ class PiecewiseLinearSet:
         self._g_last = np.array([sf._gs[-1] for sf in functions])
         self._x_last = np.array([sf.knot_sizes[-1] for sf in functions])
         self._s_first = ss[:, 0]
+        self._s_last = ss[:, -1]
         # Per-segment line parameters s = a + b*x (column j: segment j->j+1).
         dx = np.diff(xs, axis=1)
         with np.errstate(divide="ignore", invalid="ignore"):
@@ -67,10 +81,35 @@ class PiecewiseLinearSet:
         self._depth = max(int(np.ceil(np.log2(max(m, 2)))) + 1, 1)
         self._m = m
         self._rows = np.arange(p)
+        self._fingerprint: str | None = None
 
     @property
     def p(self) -> int:
         return int(self._rows.size)
+
+    @property
+    def max_sizes(self) -> np.ndarray:
+        """Per-processor memory bounds (the last knot sizes); read-only."""
+        v = self._x_last.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable content hash of the packed knot arrays.
+
+        Two packs built from speed functions with identical knots produce
+        the same fingerprint, so it can key plan caches across fleet
+        reconstructions.  Computed lazily and memoised.
+        """
+        if self._fingerprint is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(np.asarray(self._xs.shape, dtype=np.int64).tobytes())
+            h.update(self._widths.tobytes())
+            h.update(np.ascontiguousarray(self._xs).tobytes())
+            h.update(np.ascontiguousarray(self._ss).tobytes())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     def allocations(self, slope: float) -> np.ndarray:
         """Size coordinates of the ray's intersection with every graph."""
@@ -100,8 +139,120 @@ class PiecewiseLinearSet:
         x = np.where(shallow, self._x_last, x)
         return x
 
+    def allocations_many(self, slopes: np.ndarray) -> np.ndarray:
+        """Ray intersections for a whole batch of slopes at once.
+
+        Returns a ``(len(slopes), p)`` array whose row ``r`` is bit-identical
+        to ``allocations(slopes[r])`` — the arithmetic is the same expression
+        broadcast over the batch axis, so batched solvers (the planner's
+        lockstep sweep) produce exactly the per-query results while paying
+        the NumPy dispatch overhead once per step instead of once per query.
+        """
+        c = np.asarray(slopes, dtype=float)[:, None]  # (q, 1)
+        q = c.shape[0]
+        gs = self._gs
+        rows = self._rows
+        if q * self.p * self._m <= 32_000_000:
+            # Each row of ``gs`` is non-increasing (the strict-decrease
+            # invariant, -inf padding), so the searched index is just the
+            # count of entries at/above the slope, minus one — two large
+            # vector operations instead of a dispatch-heavy search loop.
+            # Identical k to the binary search, hence bit-identical output.
+            count = (gs[None, :, :] >= c[:, :, None]).sum(axis=2)
+            k = np.minimum(np.maximum(count - 1, 0), self._m - 2)
+        else:
+            lo = np.zeros((q, self.p), dtype=np.int64)
+            hi = np.full((q, self.p), self._m - 1, dtype=np.int64)
+            for _ in range(self._depth):
+                mid = (lo + hi + 1) >> 1
+                cond = gs[rows, mid] >= c
+                lo = np.where(cond, mid, lo)
+                hi = np.where(cond, hi, mid - 1)
+            k = np.minimum(lo, self._m - 2)
+        a = self._seg_intercept[rows, k]
+        b = self._seg_slope[rows, k]
+        denom = c - b
+        with np.errstate(divide="ignore", invalid="ignore"):
+            x = np.where(denom > 0, a / np.where(denom > 0, denom, 1.0), np.inf)
+        x0 = self._xs[rows, k]
+        x1 = self._xs[rows, np.minimum(k + 1, self._m - 1)]
+        x = np.clip(x, x0, x1)
+        x = np.where(c >= self._g_first, self._s_first / c, x)
+        x = np.where(c <= self._g_last, self._x_last, x)
+        return x
+
     def total(self, slope: float) -> float:
         return float(self.allocations(slope).sum())
+
+    def speeds(self, x: np.ndarray) -> np.ndarray:
+        """Per-processor speeds at per-processor sizes ``x`` (one pass).
+
+        ``x[i]`` is evaluated on row ``i``.  Bit-compatible with the scalar
+        path ``np.interp(x[i], knot_sizes, knot_speeds)`` used by
+        :meth:`PiecewiseLinearSpeedFunction.speed`: the same segment is
+        selected and the same ``s0 + (x-x0) * (s1-s0)/(x1-x0)`` arithmetic
+        is applied, with the same clamping to the first/last knot speeds
+        outside the knot range.
+        """
+        x = np.asarray(x, dtype=float)
+        xs, ss, rows = self._xs, self._ss, self._rows
+        # Branchless binary search for j = max{col : xs[col] <= x} per row.
+        # Padded columns repeat the last knot size, so for x below the bound
+        # they are never selected; x at/above the bound is masked below.
+        lo = np.zeros(self.p, dtype=np.int64)
+        hi = np.full(self.p, self._m - 1, dtype=np.int64)
+        for _ in range(self._depth):
+            mid = (lo + hi + 1) >> 1
+            cond = xs[rows, mid] <= x
+            lo = np.where(cond, mid, lo)
+            hi = np.where(cond, hi, mid - 1)
+        j = np.minimum(lo, self._m - 2)
+        dx = xs[rows, j + 1] - xs[rows, j]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            slope = np.where(
+                dx > 0,
+                (ss[rows, j + 1] - ss[rows, j]) / np.where(dx > 0, dx, 1.0),
+                0.0,
+            )
+        out = slope * (x - xs[rows, j]) + ss[rows, j]
+        out = np.where(x <= xs[rows, 0], self._s_first, out)
+        out = np.where(x >= self._x_last, self._s_last, out)
+        return out
+
+    def times(self, x: np.ndarray) -> np.ndarray:
+        """Per-processor execution times ``x_i / s_i(x_i)`` (one pass).
+
+        Matches :meth:`SpeedFunction.time` semantics element-wise:
+        ``times(0) == 0`` and ``times(x) == inf`` beyond the memory bound.
+        """
+        x = np.asarray(x, dtype=float)
+        s = self.speeds(np.minimum(x, self._x_last))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t = np.where(x > 0, x / s, 0.0)
+        return np.where(x > self._x_last, np.inf, t)
+
+
+def pack_speed_functions(
+    speed_functions: Sequence[SpeedFunction],
+) -> PiecewiseLinearSet | None:
+    """Pack a fleet into a shared :class:`PiecewiseLinearSet`, if possible.
+
+    Returns ``None`` when the fast path does not apply: fewer than two
+    processors, any non-piecewise-linear member (subclasses may override
+    behaviour, so only exact :class:`PiecewiseLinearSpeedFunction` members
+    qualify), or a degenerate fleet where every function has a single knot
+    (no segments to search).
+
+    This is the hook that lets callers pack **once** per fleet and reuse
+    the arrays across many partition calls through the algorithms'
+    ``pack=`` parameter, instead of re-packing on every call.
+    """
+    if len(speed_functions) >= 2 and all(
+        type(sf) is PiecewiseLinearSpeedFunction for sf in speed_functions
+    ):
+        if max(sf.num_knots for sf in speed_functions) >= 2:
+            return PiecewiseLinearSet(speed_functions)  # type: ignore[arg-type]
+    return None
 
 
 def make_allocator(
@@ -111,12 +262,11 @@ def make_allocator(
 
     Uses :class:`PiecewiseLinearSet` when every function is exactly a
     piecewise-linear one (subclasses may override behaviour and fall back
-    to the generic loop).
+    to the generic loop).  One-shot convenience around
+    :func:`pack_speed_functions`; repeated callers should pack once.
     """
-    if len(speed_functions) >= 2 and all(
-        type(sf) is PiecewiseLinearSpeedFunction for sf in speed_functions
-    ):
-        packed = PiecewiseLinearSet(speed_functions)  # type: ignore[arg-type]
+    packed = pack_speed_functions(speed_functions)
+    if packed is not None:
         return packed.allocations
 
     def generic(slope: float) -> np.ndarray:

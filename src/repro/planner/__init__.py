@@ -1,0 +1,28 @@
+"""High-throughput partition planning over stable fleets.
+
+This package turns the one-shot geometric algorithms of
+:mod:`repro.core` into a query layer for repeated use:
+
+* :class:`~repro.planner.fleet.Fleet` — packs a set of speed functions
+  once (shared :class:`~repro.core.vectorized.PiecewiseLinearSet`) and
+  fingerprints their content for cache keying;
+* :class:`~repro.planner.cache.PlanCache` — thread-safe LRU of computed
+  plans with hit/miss/eviction counters;
+* :class:`~repro.planner.planner.Planner` — cached, warm-started
+  single queries (:meth:`~repro.planner.planner.Planner.plan`) and
+  batched monotone slope sweeps
+  (:meth:`~repro.planner.planner.Planner.plan_many`), all bit-identical
+  to cold :func:`~repro.core.bisection.partition_bisection` runs.
+"""
+
+from .cache import CacheStats, PlanCache
+from .fleet import Fleet
+from .planner import Planner, PlannerStats
+
+__all__ = [
+    "CacheStats",
+    "Fleet",
+    "PlanCache",
+    "Planner",
+    "PlannerStats",
+]

@@ -1,0 +1,110 @@
+"""Thread-safe LRU cache for partition plans.
+
+A plan is a pure function of ``(fleet fingerprint, n, algorithm, refine,
+mode)``; the cache therefore never needs invalidation — a fleet whose
+models change gets a new fingerprint and thereby a fresh key space, and
+stale entries for the old fingerprint simply age out of the LRU order.
+
+The implementation is a classic ``OrderedDict`` LRU under a single lock
+(every operation is O(1) and holds the lock for nanoseconds, so one lock
+beats sharding at any realistic query rate) with hit/miss/eviction
+counters exposed as an immutable :class:`CacheStats` snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+__all__ = ["CacheStats", "PlanCache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Immutable snapshot of a cache's counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when idle)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"hits={self.hits} misses={self.misses} evictions={self.evictions} "
+            f"size={self.size}/{self.maxsize} hit_rate={self.hit_rate:.1%}"
+        )
+
+
+class PlanCache:
+    """Bounded LRU mapping plan keys to cached results (thread-safe)."""
+
+    def __init__(self, maxsize: int = 1024):
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self._maxsize = int(maxsize)
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Hashable) -> Any | None:
+        """Return the cached value (refreshing recency) or ``None``."""
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self._misses += 1
+                return None
+            self._data.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) an entry, evicting the LRU entry if full."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self._data[key] = value
+                return
+            self._data[key] = value
+            while len(self._data) > self._maxsize:
+                self._data.popitem(last=False)
+                self._evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def clear(self) -> None:
+        """Drop all entries (counters are preserved)."""
+        with self._lock:
+            self._data.clear()
+
+    @property
+    def maxsize(self) -> int:
+        return self._maxsize
+
+    def stats(self) -> CacheStats:
+        """Consistent snapshot of the counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._data),
+                maxsize=self._maxsize,
+            )

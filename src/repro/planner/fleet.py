@@ -1,0 +1,167 @@
+"""Fleet: a pack-once, share-everywhere view of a set of processors.
+
+The one-shot algorithms in :mod:`repro.core` accept a plain sequence of
+speed functions and (re)build their vectorised representation on every
+call.  That is the right interface for a single partitioning problem, but
+the planner answers *many* queries over a fleet whose composition changes
+rarely; :class:`Fleet` front-loads everything that depends only on the
+fleet:
+
+* the padded-array :class:`~repro.core.vectorized.PiecewiseLinearSet`
+  (built exactly once, shared by every query);
+* a stable **content fingerprint** — a hash of the knot arrays — used to
+  key plan caches, so two fleets with identical models share cached plans
+  even across reconstructions;
+* the combined memory capacity (the feasibility bound for any ``n``).
+
+A :class:`Fleet` is immutable: model updates (e.g. from
+:class:`repro.model.AdaptiveModel` drift detection) are expressed by
+building a new fleet, which naturally gets a new fingerprint and therefore
+a disjoint cache key space.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.speed_function import (
+    ConstantSpeedFunction,
+    PiecewiseLinearSpeedFunction,
+    SpeedFunction,
+)
+from ..core.vectorized import PiecewiseLinearSet, pack_speed_functions
+from ..exceptions import InvalidSpeedFunctionError
+
+__all__ = ["Fleet"]
+
+
+def _describe(sf: SpeedFunction) -> bytes:
+    """Content bytes of one speed function for fingerprinting.
+
+    Exact knot/parameter bytes for the representations whose content is
+    fully observable; for opaque representations (analytic callables,
+    wrappers) the object identity is used instead, which is *safe* (no
+    false cache sharing) at the cost of not deduplicating equal-content
+    fleets built from distinct objects.
+    """
+    if type(sf) is PiecewiseLinearSpeedFunction:
+        return (
+            b"pwl:"
+            + np.ascontiguousarray(sf.knot_sizes).tobytes()
+            + b"/"
+            + np.ascontiguousarray(sf.knot_speeds).tobytes()
+        )
+    if type(sf) is ConstantSpeedFunction:
+        return f"const:{sf.value!r}:{sf.max_size!r}".encode()
+    return f"opaque:{type(sf).__name__}:{id(sf)}".encode()
+
+
+class Fleet:
+    """An immutable set of processors packed once for repeated queries.
+
+    Parameters
+    ----------
+    speed_functions:
+        One :class:`~repro.core.speed_function.SpeedFunction` per
+        processor.  When every member is a
+        :class:`~repro.core.speed_function.PiecewiseLinearSpeedFunction`
+        the vectorised pack is built here, once, and reused by every
+        partition call made through the planner.
+    name:
+        Optional human-readable label (shown in CLI output).
+    """
+
+    __slots__ = ("_sfs", "_pack", "_fingerprint", "_capacity", "_name")
+
+    def __init__(
+        self,
+        speed_functions: Sequence[SpeedFunction],
+        *,
+        name: str | None = None,
+    ):
+        sfs = tuple(speed_functions)
+        if not sfs:
+            raise InvalidSpeedFunctionError(
+                "a fleet needs at least one speed function"
+            )
+        for i, sf in enumerate(sfs):
+            if not isinstance(sf, SpeedFunction):
+                raise InvalidSpeedFunctionError(
+                    f"speed_functions[{i}] is not a SpeedFunction: {sf!r}"
+                )
+        self._sfs = sfs
+        self._pack: PiecewiseLinearSet | None = pack_speed_functions(sfs)
+        self._capacity = float(sum(sf.max_size for sf in sfs))
+        self._name = name
+        if self._pack is not None:
+            self._fingerprint = self._pack.fingerprint
+        else:
+            h = hashlib.blake2b(digest_size=16)
+            for sf in sfs:
+                h.update(_describe(sf))
+                h.update(b"|")
+            self._fingerprint = h.hexdigest()
+
+    # -- accessors ------------------------------------------------------
+    @property
+    def speed_functions(self) -> tuple[SpeedFunction, ...]:
+        """The member speed functions, in processor order."""
+        return self._sfs
+
+    @property
+    def pack(self) -> PiecewiseLinearSet | None:
+        """The shared vectorised pack (``None`` for non-packable fleets)."""
+        return self._pack
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable content hash identifying this fleet in plan-cache keys."""
+        return self._fingerprint
+
+    @property
+    def p(self) -> int:
+        """Number of processors."""
+        return len(self._sfs)
+
+    @property
+    def capacity(self) -> float:
+        """Combined memory bound: the largest feasible problem size."""
+        return self._capacity
+
+    @property
+    def name(self) -> str:
+        return self._name or f"fleet-p{self.p}"
+
+    def __len__(self) -> int:
+        return len(self._sfs)
+
+    def __repr__(self) -> str:
+        kind = "packed" if self._pack is not None else "generic"
+        return (
+            f"Fleet({self.name}, p={self.p}, {kind}, "
+            f"fingerprint={self._fingerprint[:8]}...)"
+        )
+
+    # -- evaluation helpers ---------------------------------------------
+    def allocator(self) -> Callable[[float], np.ndarray]:
+        """``slope -> allocations`` callable backed by the shared pack."""
+        if self._pack is not None:
+            return self._pack.allocations
+
+        sfs = self._sfs
+
+        def generic(slope: float) -> np.ndarray:
+            return np.array([sf.intersect_ray(slope) for sf in sfs], dtype=float)
+
+        return generic
+
+    def allocations(self, slope: float) -> np.ndarray:
+        """Ray intersections of ``y = slope*x`` with every member graph."""
+        return self.allocator()(slope)
+
+    def total(self, slope: float) -> float:
+        """Total allocation of the ray with the given slope."""
+        return float(self.allocations(slope).sum())

@@ -1,0 +1,298 @@
+"""The partition planner: cached, warm-started, batched plan queries.
+
+The geometric algorithms in :mod:`repro.core` solve one problem from
+scratch in ``O(p log n)``.  Production fleets answer a *stream* of
+partition queries over largely-stable models, which wastes almost all of
+that work: the optimal slope is monotone non-increasing in the problem
+size ``n``, so consecutive queries share most of their bisection
+trajectory.  :class:`Planner` exploits this three ways, in order of
+increasing savings:
+
+1. **plan cache** — an exact repeat of ``(fleet, n, algorithm, refine,
+   mode)`` is a dictionary lookup (:class:`~repro.planner.cache.PlanCache`);
+2. **warm-started bisection** — a query for ``n'`` near a previously
+   solved ``n`` starts from that plan's converged
+   :class:`~repro.core.geometry.SlopeRegion` (repaired by
+   :func:`~repro.core.geometry.ensure_bracket` in ``O(log(n'/n))``
+   probes) instead of the cold figure-18 bracket;
+3. **batched slope sweep** — :meth:`Planner.plan_many` sorts the queried
+   sizes and sweeps the slope monotonically downward, so each query
+   warm-starts from its immediate predecessor and the whole batch is
+   resolved in one pass over the packed arrays.
+
+All three paths return **bit-identical** allocations and makespans to a
+cold :func:`~repro.core.bisection.partition_bisection` run — warm starts
+change only *where the search starts*, never the refinement semantics —
+which the planner test-suite asserts property-style over random fleets.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.bisection import partition_bisection, partition_bisection_many
+from ..core.combined import partition_combined
+from ..core.geometry import SlopeRegion
+from ..core.modified import partition_modified
+from ..core.result import PartitionResult
+from ..exceptions import ConfigurationError
+from .cache import CacheStats, PlanCache
+from .fleet import Fleet
+
+__all__ = ["Planner", "PlannerStats"]
+
+#: Algorithms the planner can drive (they accept ``region=`` and ``pack=``).
+_PLANNER_ALGORITHMS = ("bisection", "combined", "modified")
+
+
+@dataclass(frozen=True)
+class PlannerStats:
+    """Immutable snapshot of a planner's activity counters.
+
+    ``cold_plans`` solved from the figure-18 initial bracket,
+    ``warm_plans`` from a reused bracket; ``cache`` aggregates the
+    underlying :class:`~repro.planner.cache.PlanCache` counters.
+    """
+
+    cold_plans: int
+    warm_plans: int
+    cache: CacheStats
+
+    @property
+    def plans_computed(self) -> int:
+        return self.cold_plans + self.warm_plans
+
+    def __str__(self) -> str:
+        return (
+            f"cold={self.cold_plans} warm={self.warm_plans} cache[{self.cache}]"
+        )
+
+
+class _WarmIndex:
+    """Small LRU map ``n -> converged SlopeRegion`` with nearest lookup.
+
+    Deliberately independent from the plan cache: evicting a *plan* does
+    not invalidate its *bracket* — any converged region remains a valid
+    warm-start seed for ever (``ensure_bracket`` repairs whatever distance
+    remains), so the index keeps the most recently touched brackets even
+    for sizes whose full plans have been evicted.
+    """
+
+    def __init__(self, maxsize: int):
+        self._regions: OrderedDict[int, SlopeRegion] = OrderedDict()
+        self._maxsize = maxsize
+
+    def add(self, n: int, region: SlopeRegion | None) -> None:
+        if region is None:
+            return
+        if n in self._regions:
+            self._regions.move_to_end(n)
+        self._regions[n] = region
+        while len(self._regions) > self._maxsize:
+            self._regions.popitem(last=False)
+
+    def nearest(self, n: int) -> SlopeRegion | None:
+        if not self._regions:
+            return None
+        # The optimal slope decays roughly polynomially in n (the paper's
+        # common case), so "nearest" is measured in log-size space.
+        best = min(self._regions, key=lambda m: abs(np.log(m) - np.log(n)))
+        self._regions.move_to_end(best)
+        return self._regions[best]
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+
+class Planner:
+    """High-throughput partition-query layer over a fixed :class:`Fleet`.
+
+    Parameters
+    ----------
+    fleet:
+        The (packed-once) fleet to answer queries for.
+    algorithm:
+        ``"bisection"`` (default — the planner's equivalence guarantees
+        are stated against it), ``"combined"`` or ``"modified"``.
+    mode / refine:
+        Forwarded to the algorithm (see
+        :func:`~repro.core.bisection.partition_bisection`).
+    cache_size:
+        Capacity of the LRU plan cache.
+    warm_candidates:
+        Number of converged brackets retained for warm-starting.
+
+    Thread safety: :meth:`plan` and :meth:`plan_many` may be called
+    concurrently; the cache and the warm index are lock-protected, and the
+    solvers themselves are pure.  Two racing misses for the same key both
+    solve and both store the same (bit-identical) plan.
+    """
+
+    def __init__(
+        self,
+        fleet: Fleet,
+        *,
+        algorithm: str = "bisection",
+        mode: str = "tangent",
+        refine: str = "greedy",
+        cache_size: int = 1024,
+        warm_candidates: int = 64,
+    ):
+        if algorithm not in _PLANNER_ALGORITHMS:
+            raise ConfigurationError(
+                f"unknown planner algorithm {algorithm!r}; expected one of "
+                f"{sorted(_PLANNER_ALGORITHMS)}"
+            )
+        self._fleet = fleet
+        self._algorithm = algorithm
+        self._mode = mode
+        self._refine = refine
+        self._cache = PlanCache(cache_size)
+        self._warm = _WarmIndex(warm_candidates)
+        self._lock = threading.Lock()
+        self._cold_plans = 0
+        self._warm_plans = 0
+
+    # -- accessors ------------------------------------------------------
+    @property
+    def fleet(self) -> Fleet:
+        return self._fleet
+
+    @property
+    def algorithm(self) -> str:
+        return self._algorithm
+
+    @property
+    def cache(self) -> PlanCache:
+        return self._cache
+
+    def stats(self) -> PlannerStats:
+        with self._lock:
+            cold, warm = self._cold_plans, self._warm_plans
+        return PlannerStats(
+            cold_plans=cold, warm_plans=warm, cache=self._cache.stats()
+        )
+
+    # -- internals ------------------------------------------------------
+    def _key(self, n: int) -> tuple:
+        return (
+            self._fleet.fingerprint,
+            n,
+            self._algorithm,
+            self._refine,
+            self._mode,
+        )
+
+    def _solve(self, n: int, region: SlopeRegion | None) -> PartitionResult:
+        sfs = self._fleet.speed_functions
+        pack = self._fleet.pack
+        if self._algorithm == "bisection":
+            result = partition_bisection(
+                n, sfs, mode=self._mode, refine=self._refine,
+                region=region, pack=pack,
+            )
+        elif self._algorithm == "combined":
+            result = partition_combined(
+                n, sfs, mode=self._mode, refine=self._refine,
+                region=region, pack=pack,
+            )
+        else:
+            result = partition_modified(
+                n, sfs, refine=self._refine, region=region, pack=pack,
+            )
+        with self._lock:
+            if region is None:
+                self._cold_plans += 1
+            else:
+                self._warm_plans += 1
+        return result
+
+    def _record(self, n: int, result: PartitionResult) -> None:
+        self._cache.put(self._key(n), result)
+        with self._lock:
+            self._warm.add(n, result.region)
+
+    # -- queries --------------------------------------------------------
+    def plan(self, n: int) -> PartitionResult:
+        """Answer one partition query, as cheaply as the history allows.
+
+        Cache hit → stored plan (treat it as immutable).  Miss → solve,
+        warm-started from the nearest previously converged bracket when
+        one exists, and remember both the plan and its bracket.
+        """
+        n = int(n)
+        cached = self._cache.get(self._key(n))
+        if cached is not None:
+            return cached
+        if n <= 0:
+            # Degenerate queries skip the warm machinery entirely.
+            result = self._solve(n, None)
+            self._cache.put(self._key(n), result)
+            return result
+        with self._lock:
+            region = self._warm.nearest(n)
+        result = self._solve(n, region)
+        self._record(n, result)
+        return result
+
+    def plan_many(self, ns: Iterable[int]) -> list[PartitionResult]:
+        """Answer a batch of queries in one monotone slope sweep.
+
+        Uncached sizes are handed to
+        :func:`~repro.core.bisection.partition_bisection_many`, which solves
+        them ascending (the slope only moves downward, so each size's
+        bracket is repaired from its predecessor's) and advances all of
+        them in lockstep, intersecting every pending midpoint ray with the
+        packed graphs in a single vectorised call per bisection step.
+        Results come back in the order the sizes were given; duplicates
+        and previously planned sizes are served from the cache.  For
+        non-bisection algorithms the batch degrades to sequential
+        warm-started solves.
+        """
+        sizes = [int(n) for n in ns]
+        results: list[PartitionResult | None] = [None] * len(sizes)
+        missing: list[int] = []
+        for idx, n in enumerate(sizes):
+            cached = self._cache.get(self._key(n))
+            if cached is not None:
+                results[idx] = cached
+            else:
+                missing.append(idx)
+        if not missing:
+            return results  # type: ignore[return-value]
+
+        todo = sorted({sizes[idx] for idx in missing})
+        with self._lock:
+            seed = self._warm.nearest(todo[0]) if todo[0] > 0 else None
+
+        if self._algorithm == "bisection":
+            batch = partition_bisection_many(
+                todo,
+                self._fleet.speed_functions,
+                mode=self._mode,
+                refine=self._refine,
+                region=seed,
+                pack=self._fleet.pack,
+            )
+            by_size = dict(zip(todo, batch))
+            with self._lock:
+                self._cold_plans += 1 if seed is None else 0
+                self._warm_plans += len(todo) - (1 if seed is None else 0)
+        else:
+            by_size = {}
+            region = seed
+            for n in todo:
+                result = self._solve(n, region if n > 0 else None)
+                by_size[n] = result
+                if result.region is not None:
+                    region = result.region
+        for n, result in by_size.items():
+            self._record(n, result)
+        for idx in missing:
+            results[idx] = by_size[sizes[idx]]
+        return results  # type: ignore[return-value]

@@ -9,6 +9,7 @@ from repro import ConstantSpeedFunction, InfeasiblePartitionError
 from repro.core.geometry import (
     SlopeRegion,
     allocations,
+    ensure_bracket,
     initial_bracket,
     total_allocation,
 )
@@ -111,3 +112,56 @@ class TestSlopeRegion:
     def test_rejects_nonpositive(self):
         with pytest.raises(ValueError):
             SlopeRegion(upper=1.0, lower=0.0)
+
+
+class TestEnsureBracket:
+    def test_valid_region_untouched(self, heterogeneous_trio):
+        n = 1_000_000
+        region = initial_bracket(heterogeneous_trio, n)
+        repaired, probes = ensure_bracket(region, n, heterogeneous_trio)
+        assert repaired == region
+        assert probes == 2
+
+    def test_repairs_region_for_larger_n(self, heterogeneous_trio):
+        small = initial_bracket(heterogeneous_trio, 10_000)
+        big_n = 3_000_000
+        repaired, probes = ensure_bracket(small, big_n, heterogeneous_trio)
+        assert total_allocation(heterogeneous_trio, repaired.upper) <= big_n
+        assert total_allocation(heterogeneous_trio, repaired.lower) >= big_n
+        assert probes >= 2
+
+    def test_repairs_region_for_smaller_n(self, heterogeneous_trio):
+        big = initial_bracket(heterogeneous_trio, 3_000_000)
+        small_n = 10_000
+        repaired, _ = ensure_bracket(big, small_n, heterogeneous_trio)
+        assert total_allocation(heterogeneous_trio, repaired.upper) <= small_n
+        assert total_allocation(heterogeneous_trio, repaired.lower) >= small_n
+
+    def test_probe_count_scales_logarithmically(self, heterogeneous_trio):
+        near = initial_bracket(heterogeneous_trio, 1_000_000)
+        _, probes_near = ensure_bracket(near, 1_100_000, heterogeneous_trio)
+        _, probes_far = ensure_bracket(near, 4_500_000, heterogeneous_trio)
+        cold_probes = 2 + 60  # the figure-18 doubling search is much longer
+        assert probes_near <= probes_far <= cold_probes
+
+    def test_nonpositive_n_rejected(self, heterogeneous_trio):
+        region = initial_bracket(heterogeneous_trio, 1000)
+        with pytest.raises(InfeasiblePartitionError):
+            ensure_bracket(region, 0, heterogeneous_trio)
+
+    def test_over_capacity_rejected(self):
+        sfs = [ConstantSpeedFunction(10.0, max_size=100) for _ in range(2)]
+        region = initial_bracket(sfs, 100)
+        with pytest.raises(InfeasiblePartitionError):
+            ensure_bracket(region, 10_000, sfs)
+
+    def test_custom_allocator_used(self, heterogeneous_trio):
+        from repro.core.vectorized import pack_speed_functions
+
+        pack = pack_speed_functions(heterogeneous_trio)
+        region = initial_bracket(heterogeneous_trio, 50_000)
+        via_pack, _ = ensure_bracket(
+            region, 2_000_000, heterogeneous_trio, allocator=pack.allocations
+        )
+        via_scalar, _ = ensure_bracket(region, 2_000_000, heterogeneous_trio)
+        assert via_pack == via_scalar

@@ -106,3 +106,45 @@ class TestRefinePaper:
         # be marginally worse but never by more than one element's worth.
         assert t_paper >= t_greedy * (1 - 1e-12)
         assert t_paper <= t_greedy * 1.01
+
+
+class TestPackPathEquality:
+    """The pack= fast path must be bit-identical to the scalar path."""
+
+    def test_makespan_identical(self, heterogeneous_trio):
+        from repro.core.vectorized import pack_speed_functions
+
+        pack = pack_speed_functions(heterogeneous_trio)
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            alloc = rng.integers(0, 2_000_000, size=3)
+            assert makespan(heterogeneous_trio, alloc, pack=pack) == makespan(
+                heterogeneous_trio, alloc
+            )
+
+    def test_refine_greedy_identical(self, heterogeneous_trio):
+        from repro.core.vectorized import pack_speed_functions
+
+        pack = pack_speed_functions(heterogeneous_trio)
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            n = int(rng.integers(10, 30_000))
+            region = initial_bracket(heterogeneous_trio, n)
+            base = allocations(heterogeneous_trio, region.upper)
+            a = refine_greedy(n, heterogeneous_trio, base)
+            b = refine_greedy(n, heterogeneous_trio, base, pack=pack)
+            np.testing.assert_array_equal(a, b)
+
+    def test_refine_paper_identical(self, heterogeneous_trio):
+        from repro.core.vectorized import pack_speed_functions
+
+        pack = pack_speed_functions(heterogeneous_trio)
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            n = int(rng.integers(10, 30_000))
+            region = initial_bracket(heterogeneous_trio, n)
+            low = allocations(heterogeneous_trio, region.upper)
+            high = allocations(heterogeneous_trio, region.lower)
+            a = refine_paper(n, heterogeneous_trio, low, high)
+            b = refine_paper(n, heterogeneous_trio, low, high, pack=pack)
+            np.testing.assert_array_equal(a, b)

@@ -1,0 +1,98 @@
+"""Tests for the thread-safe LRU plan cache."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import PlanCache
+
+
+class TestBasics:
+    def test_get_miss_then_hit(self):
+        c = PlanCache(4)
+        assert c.get("k") is None
+        c.put("k", 42)
+        assert c.get("k") == 42
+        s = c.stats()
+        assert (s.hits, s.misses, s.size) == (1, 1, 1)
+
+    def test_put_refreshes_value(self):
+        c = PlanCache(4)
+        c.put("k", 1)
+        c.put("k", 2)
+        assert c.get("k") == 2
+        assert len(c) == 1
+
+    def test_contains_and_clear(self):
+        c = PlanCache(4)
+        c.put("k", 1)
+        assert "k" in c and "z" not in c
+        c.get("k")
+        c.clear()
+        assert len(c) == 0
+        # clear() preserves the counters
+        assert c.stats().hits == 1
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError):
+            PlanCache(0)
+
+
+class TestLRU:
+    def test_eviction_order_is_least_recently_used(self):
+        c = PlanCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.get("a")          # refresh a -> b is now LRU
+        c.put("c", 3)       # evicts b
+        assert c.get("b") is None
+        assert c.get("a") == 1 and c.get("c") == 3
+        assert c.stats().evictions == 1
+
+    def test_put_refresh_counts_no_eviction(self):
+        c = PlanCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.put("a", 10)      # refresh, not insert
+        assert c.stats().evictions == 0
+        assert len(c) == 2
+
+    def test_hit_rate(self):
+        c = PlanCache(2)
+        assert c.stats().hit_rate == 0.0
+        c.put("a", 1)
+        c.get("a")
+        c.get("a")
+        c.get("missing")
+        assert c.stats().hit_rate == pytest.approx(2 / 3)
+        assert "hit_rate" in str(c.stats())
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_operations(self):
+        c = PlanCache(64)
+        errors = []
+
+        def worker(seed: int) -> None:
+            try:
+                for i in range(500):
+                    k = (seed * 31 + i) % 100
+                    if i % 3 == 0:
+                        c.put(k, k)
+                    else:
+                        v = c.get(k)
+                        assert v is None or v == k
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        s = c.stats()
+        assert len(c) <= 64
+        assert s.hits + s.misses > 0

@@ -11,7 +11,7 @@ class TestParser:
     def test_known_experiments(self):
         parser = build_parser()
         for name in ["fig1", "fig2", "table2", "table3", "table4", "fig21",
-                     "fig22a", "fig22b", "all"]:
+                     "fig22a", "fig22b", "plan", "all"]:
             args = parser.parse_args([name])
             assert args.experiment == name
 
@@ -55,6 +55,26 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "1080" in out
         assert "2000000000" in out
+
+    def test_plan_defaults(self, capsys):
+        assert main(["plan"]) == 0
+        out = capsys.readouterr().out
+        assert "Partition plans" in out
+        assert "fleet fingerprint" in out
+        assert "hit_rate" in out
+        # Replaying the six default queries makes them all cache hits.
+        assert "hits=6" in out
+
+    def test_plan_custom_sizes_and_fleet(self, capsys):
+        assert main([
+            "plan", "--sizes", "1000,50000", "--p", "24",
+            "--kernel", "lu", "--algorithm", "combined",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "table2-lu-p24" in out
+        assert "combined" in out
+        assert "1000" in out and "50000" in out
+        assert "cold=1 warm=1" in out
 
 
 class TestReportCommand:
