@@ -13,11 +13,16 @@ test:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# Fast perf regression gate: the allocator/planner micro-benchmarks only,
-# GC off and few rounds so it finishes in minutes, not hours.
+# Fast perf regression gate: the allocator/planner/telemetry
+# micro-benchmarks only, GC off and few rounds so it finishes in minutes,
+# not hours.  perf_guard additionally emits benchmarks/out/metrics.json
+# and fails on a >10% regression of the p=1080 solve vs the recorded
+# baseline (seeded on the first run).
 bench-smoke:
-	$(PYTHON) -m pytest benchmarks/bench_perf_allocator.py --benchmark-only \
+	$(PYTHON) -m pytest benchmarks/bench_perf_allocator.py \
+		benchmarks/bench_obs_overhead.py --benchmark-only \
 		--benchmark-disable-gc --benchmark-min-rounds=3 -q
+	$(PYTHON) benchmarks/perf_guard.py --out benchmarks/out/metrics.json
 
 check: test bench-smoke
 

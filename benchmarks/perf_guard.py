@@ -1,0 +1,233 @@
+#!/usr/bin/env python
+"""Perf regression guard for the instrumented hot paths.
+
+Runs the figure-21 p=1080 planner workload with telemetry ENABLED, writes
+the metrics snapshot to ``benchmarks/out/metrics.json`` (the artifact
+``make bench-smoke`` publishes), and compares the measured p=1080 solve
+cost against the recorded baseline in ``benchmarks/out/baseline.json``:
+
+* no baseline yet  -> record one and pass (first run seeds the gate);
+* within tolerance -> pass (and tighten the baseline if we got faster);
+* > 10% slower     -> exit 1.
+
+The guarded number is not raw wall-clock: on shared machines the available
+CPU swings far more than the 10% tolerance between runs.  Each run also
+times a fixed synthetic *calibration* workload (numpy + interpreter mix,
+no repro code) and guards the dimensionless ratio ``solve / calibration``
+— machine-speed drift multiplies both sides and cancels, so the gate
+only trips when the *solver* got slower relative to the machine.
+
+Stdlib + repro only; runs from a source checkout without installation.
+
+Usage::
+
+    python benchmarks/perf_guard.py [--out PATH] [--update-baseline]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import obs  # noqa: E402
+from repro.core.bisection import partition_bisection  # noqa: E402
+from repro.experiments import build_network_models, tile_speed_functions  # noqa: E402
+from repro.machines import table2_network  # noqa: E402
+from repro.obs.export import format_seconds, write_json  # noqa: E402
+from repro.planner import Fleet, Planner  # noqa: E402
+
+#: Fail if the p=1080 solve is more than this much slower than baseline.
+DEFAULT_TOLERANCE = 0.10
+
+P = 1080
+N = 2_000_000_000
+SWEEP = [int(2e8 + i * (1.8e9 / 15)) for i in range(16)]
+
+
+def _best_of(fn, *, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = perf_counter()
+        fn()
+        best = min(best, perf_counter() - t0)
+    return best
+
+
+def _calibration() -> None:
+    """Fixed synthetic workload with a solver-like instruction mix.
+
+    Interpreter-level loop over numpy vector ops on p-sized arrays —
+    roughly what a bisection solve does — but touching no repro code, so
+    a regression in the library cannot hide inside the calibration.
+    Sized to take the same order of magnitude as the guarded solve.
+    """
+    x = np.arange(1.0, P + 1.0)
+    acc = 0.0
+    for i in range(400):
+        y = np.sqrt(x * (1.0 + 1e-4 * i)) + 3.0
+        np.minimum(y, x, out=y)
+        acc += float(y.sum())
+        idx = int(np.searchsorted(x, acc % P))
+        acc += x[idx]
+
+
+def run_workload(out_path: Path) -> tuple[float, float]:
+    """Instrumented p=1080 workload; returns (solve_seconds, calib_seconds).
+
+    Solve and calibration timings alternate within the run so a load
+    spike hits both sides; best-of per side then estimates each
+    unloaded speed, and their ratio is the guarded number.
+    """
+    mm_models = build_network_models(table2_network(), "matmul")
+    sfs = tile_speed_functions(mm_models, P)
+    fleet = Fleet(sfs, name=f"perf-guard-p{P}")
+
+    obs.clear_all()
+    obs.enable()
+    try:
+        # The guarded numbers: interleaved best-of-3 instrumented cold
+        # bisection solves at p=1080 and calibration passes.
+        solve_s = calib_s = float("inf")
+        for _ in range(3):
+            t0 = perf_counter()
+            _calibration()
+            calib_s = min(calib_s, perf_counter() - t0)
+            t0 = perf_counter()
+            partition_bisection(N, sfs)
+            solve_s = min(solve_s, perf_counter() - t0)
+
+        # Exercise the planner layers so the artifact carries cache,
+        # warm-start and batch metrics alongside the solver counters.
+        planner = Planner(fleet)
+        planner.plan(N)
+        planner.plan(N)                  # cache hit
+        planner.plan(N - 1_000_000)      # warm start
+        planner.plan_many(SWEEP)         # lockstep batch
+
+        reg = obs.get_registry()
+        reg.gauge("perf_guard.solve_seconds", help="guarded p=1080 solve").set(solve_s)
+        reg.gauge(
+            "perf_guard.calibration_seconds",
+            help="synthetic machine-speed calibration",
+        ).set(calib_s)
+        reg.gauge(
+            "perf_guard.solve_units",
+            help="solve / calibration — machine-speed normalized",
+        ).set(solve_s / calib_s)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        write_json(str(out_path), include_spans=True)
+    finally:
+        obs.disable()
+    return solve_s, calib_s
+
+
+def _write_baseline(baseline_path: Path, solve_s: float, calib_s: float) -> None:
+    baseline_path.parent.mkdir(parents=True, exist_ok=True)
+    baseline_path.write_text(
+        json.dumps(
+            {
+                "p": P,
+                "n": N,
+                "solve_seconds": solve_s,
+                "calibration_seconds": calib_s,
+                "solve_units": solve_s / calib_s,
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+
+def check_baseline(
+    solve_s: float,
+    calib_s: float,
+    baseline_path: Path,
+    *,
+    tolerance: float,
+    update: bool,
+) -> int:
+    units = solve_s / calib_s
+    baseline = None
+    if baseline_path.exists() and not update:
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+        if "solve_units" not in baseline:
+            print("perf-guard: baseline predates calibration — reseeding")
+            baseline = None
+    if baseline is not None:
+        base_units = float(baseline["solve_units"])
+        ratio = units / base_units
+        print(
+            f"perf-guard: p={P} solve {format_seconds(solve_s)} / "
+            f"calibration {format_seconds(calib_s)} = {units:.3f} units "
+            f"(baseline {base_units:.3f}, x{ratio:.2f})"
+        )
+        if ratio > 1.0 + tolerance:
+            print(
+                f"perf-guard: FAIL — {ratio - 1.0:.1%} slower than baseline "
+                f"(tolerance {tolerance:.0%}, machine-speed normalized); "
+                f"if intentional, rerun with --update-baseline",
+                file=sys.stderr,
+            )
+            return 1
+        if units < base_units:
+            _write_baseline(baseline_path, solve_s, calib_s)
+            print("perf-guard: improved — baseline tightened")
+        return 0
+    _write_baseline(baseline_path, solve_s, calib_s)
+    print(
+        f"perf-guard: baseline recorded — p={P} solve {format_seconds(solve_s)} "
+        f"/ calibration {format_seconds(calib_s)} = {units:.3f} units"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    here = Path(__file__).resolve().parent
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=here / "out" / "metrics.json",
+        help="where to write the metrics snapshot",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=here / "out" / "baseline.json",
+        help="baseline timing file (created on first run)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("REPRO_PERF_TOLERANCE", DEFAULT_TOLERANCE)),
+        help="allowed slowdown ratio before failing (default 0.10)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="overwrite the baseline with this run's timing",
+    )
+    args = parser.parse_args(argv)
+
+    solve_s, calib_s = run_workload(args.out)
+    print(f"perf-guard: metrics snapshot -> {args.out}")
+    return check_baseline(
+        solve_s,
+        calib_s,
+        args.baseline,
+        tolerance=args.tolerance,
+        update=args.update_baseline,
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,9 +21,12 @@ The package layers:
 * :mod:`repro.simulate` — the parallel-execution simulator used by the
   evaluation;
 * :mod:`repro.experiments` — drivers regenerating every table and figure
-  of the paper's evaluation.
+  of the paper's evaluation;
+* :mod:`repro.obs` — dependency-free metrics registry, span tracing,
+  exporters and structured logging shared by all of the above.
 """
 
+from . import obs
 from .core import (
     ALGORITHMS,
     AnalyticSpeedFunction,
@@ -98,6 +101,7 @@ __all__ = [
     "__version__",
     "group_speed_function",
     "makespan",
+    "obs",
     "partition",
     "partition_2d_fixed",
     "partition_bisection",

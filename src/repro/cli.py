@@ -10,10 +10,15 @@ touching pytest::
     repro fig22a          # MM speedup sweep
     repro fig22b          # LU speedup sweep
     repro plan            # cached/warm-started partition planner queries
-    repro all             # everything above
+    repro stats           # run a workload, dump the collected telemetry
+    repro trace           # run a workload, pretty-print the span tree
+    repro all             # every paper artefact above
 
 ``repro table3`` / ``repro table4`` run the *real* NumPy kernels on this
-host, so their absolute MFlops depend on where you run them.
+host, so their absolute MFlops depend on where you run them.  ``repro
+stats`` / ``repro trace`` enable the :mod:`repro.obs` telemetry layer for
+the duration of their workload; ``-v`` / ``--log-level`` switch on
+structured (key=value) logging for any command.
 """
 
 from __future__ import annotations
@@ -21,6 +26,8 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Callable
+
+from . import obs
 
 from .experiments import (
     FIG22A_PROBES,
@@ -223,7 +230,8 @@ def _cmd_traces(args: argparse.Namespace) -> None:
     )
 
 
-def _cmd_plan(args: argparse.Namespace) -> None:
+def _build_planner(args: argparse.Namespace):
+    """Fleet + planner + query sizes shared by plan/stats/trace."""
     from .experiments import tile_speed_functions
     from .planner import Fleet, Planner
 
@@ -233,12 +241,17 @@ def _cmd_plan(args: argparse.Namespace) -> None:
     sfs = tile_speed_functions(models, p) if p != len(models) else models
     fleet = Fleet(sfs, name=f"table2-{args.kernel}-p{p}")
     planner = Planner(fleet, algorithm=args.algorithm)
-
     if args.sizes:
-        sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+        # float() first so scientific notation ("2e8") works on the CLI.
+        sizes = [int(float(s)) for s in args.sizes.split(",") if s.strip()]
     else:
         step = max(1, int(fleet.capacity) // 8)
         sizes = [step * k for k in range(1, 7)]
+    return fleet, planner, sizes
+
+
+def _cmd_plan(args: argparse.Namespace) -> None:
+    fleet, planner, sizes = _build_planner(args)
     results = planner.plan_many(sizes)
     # Replay the same queries to show the cache at work.
     for n in sizes:
@@ -264,6 +277,96 @@ def _cmd_plan(args: argparse.Namespace) -> None:
     print(f"planner: {stats}")
 
 
+def _run_stats_workload(args: argparse.Namespace):
+    """The instrumented workload behind ``repro stats`` / ``repro trace``.
+
+    A planner batch query, a cache replay and a small simulated LU run —
+    enough to populate solver counters, cache hit rates, per-plan latency
+    histograms and a nested span tree.
+    """
+    from .kernels.group_block import variable_group_block
+    from .simulate.lu_executor import simulate_lu
+
+    fleet, planner, sizes = _build_planner(args)
+    with obs.span("repro.workload", kernel=args.kernel, p=fleet.p):
+        for n in sizes:  # individual solves: per-plan latency spans
+            planner.plan(n)
+        planner.plan_many(sizes)  # replay: all served from the plan cache
+        offset = max(1, min(sizes) // 2)
+        planner.plan_many([n + offset for n in sizes])  # lockstep batch sweep
+        net = table2_network()
+        lu_models = build_network_models(net, "lu")
+        dist = variable_group_block(args.trace_n, args.block, lu_models)
+        sim = simulate_lu(dist, lu_models)
+    return planner, sim
+
+
+def _cmd_stats(args: argparse.Namespace) -> None:
+    obs.clear_all()
+    obs.enable()
+    try:
+        planner, _sim = _run_stats_workload(args)
+    finally:
+        obs.disable()
+    if args.format == "json":
+        print(obs.to_json())
+    elif args.format == "prom":
+        print(obs.to_prometheus(), end="")
+    else:
+        registry = obs.get_registry()
+        scalars = [
+            (m.name, " ".join(f"{k}={v}" for k, v in m.labels), m.value)
+            for m in registry.metrics()
+            if m.kind in ("counter", "gauge")
+        ]
+        print(ascii_table(["metric", "labels", "value"], scalars, title="Counters"))
+        print()
+        hists = [
+            (
+                m.name,
+                " ".join(f"{k}={v}" for k, v in m.labels),
+                m.count,
+                f"{m.mean:.3g}",
+                f"{m.quantile(0.5):.3g}",
+                f"{m.quantile(0.9):.3g}",
+            )
+            for m in registry.metrics()
+            if m.kind == "histogram" and m.count
+        ]
+        print(
+            ascii_table(
+                ["histogram", "labels", "count", "mean", "~p50", "~p90"],
+                hists,
+                title="Histograms (bucketed)",
+            )
+        )
+        print(f"\nplanner: {planner.stats()}")
+    if args.metrics_out:
+        obs.write_json(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+
+
+def _cmd_trace(args: argparse.Namespace) -> None:
+    obs.clear_all()
+    obs.enable()
+    try:
+        _planner, sim = _run_stats_workload(args)
+    finally:
+        obs.disable()
+    print(obs.render_spans(max_children=12))
+    recorded = sum(
+        1
+        for root in obs.get_tracer().roots()
+        for s in root.walk()
+        if s.name == "simulate.lu.step"
+    )
+    print(
+        f"\nsimulated LU: {recorded} step spans, "
+        f"{len(sim.trace)} SimulationTrace records, "
+        f"modelled total {sim.total_seconds:.6g}s"
+    )
+
+
 _COMMANDS: dict[str, Callable[[argparse.Namespace], None]] = {
     "fig1": _cmd_fig1,
     "fig2": _cmd_fig2,
@@ -276,7 +379,12 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], None]] = {
     "traces": _cmd_traces,
     "report": _cmd_report,
     "plan": _cmd_plan,
+    "stats": _cmd_stats,
+    "trace": _cmd_trace,
 }
+
+#: Telemetry tooling, not paper artefacts: excluded from ``repro all``.
+_TELEMETRY_COMMANDS = frozenset({"stats", "trace"})
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -325,13 +433,40 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["bisection", "combined", "modified"],
         help="partitioning algorithm for `repro plan`",
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="structured logging: -v for INFO, -vv for DEBUG",
+    )
+    parser.add_argument(
+        "--log-level", default=None,
+        choices=["debug", "info", "warning", "error"],
+        help="explicit log level (overrides -v)",
+    )
+    parser.add_argument(
+        "--format", default="table", choices=["table", "json", "prom"],
+        help="output format for `repro stats`",
+    )
+    parser.add_argument(
+        "--metrics-out", default="",
+        help="also write the JSON metrics snapshot here (`repro stats`)",
+    )
+    parser.add_argument(
+        "--trace-n", type=int, default=1024,
+        help="matrix dimension of the simulated LU in `repro stats/trace`",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.log_level is not None:
+        obs.configure_logging(args.log_level)
+    elif args.verbose:
+        obs.configure_logging(obs.verbosity_to_level(args.verbose))
     if args.experiment == "all":
         for name in sorted(_COMMANDS):
+            if name in _TELEMETRY_COMMANDS:
+                continue
             print(f"\n===== {name} =====")
             _COMMANDS[name](args)
     else:

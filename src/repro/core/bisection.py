@@ -21,6 +21,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import obs
 from ..exceptions import ConvergenceError
 from .geometry import SlopeRegion, allocations, ensure_bracket, initial_bracket
 from .vectorized import PiecewiseLinearSet, pack_speed_functions
@@ -101,6 +102,7 @@ def partition_bisection(
         if pack is not None
         else (lambda c: allocations(speed_functions, c))
     )
+    warm = region is not None
     if region is None:
         region = initial_bracket(speed_functions, n, allocator=alloc_at)
         probes = 1  # the figure-18 bracket probe
@@ -146,6 +148,14 @@ def partition_bisection(
         alloc = refine_paper(n, speed_functions, low_alloc, high_alloc, pack=pack)
     else:
         raise ValueError(f"unknown refine procedure {refine!r}")
+    if obs.is_enabled():
+        obs.record_solver(
+            "bisection",
+            iterations=iterations,
+            intersections=intersections,
+            probes=probes,
+            warm=warm,
+        )
     return PartitionResult(
         allocation=alloc,
         makespan=makespan(speed_functions, alloc, pack=pack),
@@ -212,6 +222,7 @@ def partition_bisection_many(
     seen: set[int] = set()
     regions: list[SlopeRegion] = []
     probe_counts: list[int] = []
+    warm_flags: list[bool] = []
     prev = region
     for idx in order:
         n = sizes[idx]
@@ -223,6 +234,7 @@ def partition_bisection_many(
                 n, speed_functions, mode=mode, refine=refine, pack=pack
             )
             continue
+        warm_flags.append(prev is not None)
         if prev is None:
             r = initial_bracket(speed_functions, n, allocator=alloc_at)
             probes = 1
@@ -247,6 +259,7 @@ def partition_bisection_many(
         high_allocs = pack.allocations_many(lowers)
         iterations = [0] * q
         intersections = [(probe_counts[i] + 2) * p for i in range(q)]
+        batch_steps = 0
         active = [
             i
             for i in range(q)
@@ -254,6 +267,7 @@ def partition_bisection_many(
             and regions[i].width() > _MIN_RELATIVE_WIDTH * regions[i].upper
         ]
         while active:
+            batch_steps += 1
             mids = np.array([regions[i].midpoint(mode) for i in active])
             mid_allocs = pack.allocations_many(mids)
             still = []
@@ -298,5 +312,15 @@ def partition_bisection_many(
                 slope=regions[i].midpoint(mode),
                 region=regions[i],
             )
+        if obs.is_enabled():
+            obs.record_batch(sizes=len(pending), steps=batch_steps)
+            for i in range(len(pending)):
+                obs.record_solver(
+                    "bisection",
+                    iterations=iterations[i],
+                    intersections=intersections[i],
+                    probes=probe_counts[i],
+                    warm=warm_flags[i],
+                )
 
     return [solved[n] for n in sizes]

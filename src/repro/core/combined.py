@@ -29,6 +29,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import obs
 from ..exceptions import ConvergenceError
 from .geometry import SlopeRegion, allocations, ensure_bracket, initial_bracket
 from .vectorized import PiecewiseLinearSet, pack_speed_functions
@@ -95,6 +96,7 @@ def partition_combined(
         if pack is not None
         else (lambda c: allocations(speed_functions, c))
     )
+    warm = region is not None
     if region is None:
         region = initial_bracket(speed_functions, n, allocator=alloc_at)
         probes = 1
@@ -151,6 +153,15 @@ def partition_combined(
             break
 
     if switch and np.any(high_alloc - low_alloc >= 1.0):
+        if obs.is_enabled():
+            obs.record_solver(
+                "combined",
+                iterations=iterations,
+                intersections=intersections,
+                probes=probes,
+                warm=warm,
+                switched=True,
+            )
         sub = partition_modified(
             n,
             speed_functions,
@@ -176,6 +187,14 @@ def partition_combined(
         alloc = refine_paper(n, speed_functions, low_alloc, high_alloc, pack=pack)
     else:
         raise ValueError(f"unknown refine procedure {refine!r}")
+    if obs.is_enabled():
+        obs.record_solver(
+            "combined",
+            iterations=iterations,
+            intersections=intersections,
+            probes=probes,
+            warm=warm,
+        )
     return PartitionResult(
         allocation=alloc,
         makespan=makespan(speed_functions, alloc, pack=pack),

@@ -29,6 +29,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import obs
 from ..exceptions import ConvergenceError
 from .geometry import SlopeRegion, allocations, ensure_bracket, initial_bracket
 from .vectorized import PiecewiseLinearSet, pack_speed_functions
@@ -84,6 +85,7 @@ def partition_modified(
         if pack is not None
         else (lambda c: allocations(speed_functions, c))
     )
+    warm = region is not None
     if region is None:
         region = initial_bracket(speed_functions, n, allocator=alloc_at)
         probes = 1
@@ -141,6 +143,14 @@ def partition_modified(
         alloc = refine_paper(n, speed_functions, low_alloc, high_alloc, pack=pack)
     else:
         raise ValueError(f"unknown refine procedure {refine!r}")
+    if obs.is_enabled():
+        obs.record_solver(
+            "modified",
+            iterations=iterations,
+            intersections=intersections,
+            probes=probes,
+            warm=warm,
+        )
     return PartitionResult(
         allocation=alloc,
         makespan=makespan(speed_functions, alloc, pack=pack),

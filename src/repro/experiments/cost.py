@@ -9,12 +9,13 @@ twelve-machine testbed.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Sequence
 
 from ..core.partition import partition
 from ..core.speed_function import SpeedFunction
+from ..obs import span
+from ..obs.timing import best_of
 
 __all__ = ["CostPoint", "tile_speed_functions", "partition_cost", "fig21_sweep"]
 
@@ -52,19 +53,25 @@ def partition_cost(
     algorithm: str = "combined",
     repeats: int = 3,
 ) -> CostPoint:
-    """Best-of-``repeats`` wall time of one partitioning call."""
-    best = float("inf")
-    result = None
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        result = partition(n, speed_functions, algorithm=algorithm)
-        best = min(best, time.perf_counter() - t0)
-    assert result is not None
+    """Best-of-``repeats`` wall time of one partitioning call.
+
+    Timing goes through the shared :func:`repro.obs.timing.best_of`
+    helper; the whole measurement is wrapped in a span so figure-21
+    sweeps show up in ``repro trace``.
+    """
+    with span(
+        "experiments.partition_cost",
+        p=len(speed_functions), n=n, algorithm=algorithm,
+    ):
+        timed = best_of(
+            lambda: partition(n, speed_functions, algorithm=algorithm),
+            repeats=repeats,
+        )
     return CostPoint(
         p=len(speed_functions),
         n=n,
-        seconds=best,
-        iterations=result.iterations,
+        seconds=timed.seconds,
+        iterations=timed.result.iterations,
         algorithm=algorithm,
     )
 

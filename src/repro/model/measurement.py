@@ -14,13 +14,12 @@ Two measurement paths feed the model builder:
 
 from __future__ import annotations
 
-import math
-import time
 from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
+from ..obs.timing import best_of
 from ..core.band import SpeedBand
 from ..core.speed_function import SpeedFunction
 from ..exceptions import ConfigurationError, MeasurementError
@@ -64,18 +63,13 @@ def time_callable(
     """Best-of-``repeats`` wall time of ``fn`` after ``warmup`` calls.
 
     The minimum is the standard robust estimator for compute kernels (any
-    positive noise only ever slows a run down).
+    positive noise only ever slows a run down).  The timing loop itself is
+    :func:`repro.obs.timing.best_of` — the one shared implementation —
+    wrapped here in the measurement-harness error semantics.
     """
     if repeats < 1:
         raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
-    for _ in range(warmup):
-        fn()
-    best = math.inf
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        t1 = time.perf_counter()
-        best = min(best, t1 - t0)
+    best = best_of(fn, repeats=repeats, warmup=warmup).seconds
     if best <= 0:
         raise MeasurementError("kernel ran faster than the clock resolution")
     return best

@@ -1,0 +1,214 @@
+"""Exporters: JSON snapshots, Prometheus text format, span-tree rendering.
+
+All exporters read consistent snapshots (each metric locks only itself,
+so a snapshot taken under load is per-metric consistent) and are pure
+functions of the registry/tracer handed in — the CLI and the benchmark
+harness call them with the process-wide defaults.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Sequence
+
+from .registry import MetricsRegistry, get_registry
+from .spans import Span, Tracer, get_tracer
+
+__all__ = [
+    "snapshot",
+    "to_json",
+    "write_json",
+    "to_prometheus",
+    "render_spans",
+    "format_seconds",
+]
+
+_PROM_NAME = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def snapshot(
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+    *,
+    include_spans: bool = True,
+) -> dict:
+    """One JSON-serialisable view of the metrics (and optionally spans)."""
+    registry = registry if registry is not None else get_registry()
+    out = {"metrics": registry.snapshot()}
+    if include_spans:
+        tracer = tracer if tracer is not None else get_tracer()
+        out["spans"] = [s.to_dict() for s in tracer.roots()]
+    return out
+
+
+def to_json(
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+    *,
+    include_spans: bool = True,
+    indent: int | None = 2,
+) -> str:
+    """The snapshot as a JSON document."""
+    return json.dumps(
+        snapshot(registry, tracer, include_spans=include_spans),
+        indent=indent,
+        sort_keys=True,
+    )
+
+
+def write_json(
+    path: str,
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+    *,
+    include_spans: bool = True,
+) -> str:
+    """Write the JSON snapshot to ``path`` (returns the path)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_json(registry, tracer, include_spans=include_spans))
+        fh.write("\n")
+    return path
+
+
+def _prom_name(name: str) -> str:
+    return _PROM_NAME.sub("_", name)
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _prom_labels(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{_prom_name(k)}="{_escape_label(v)}"' for k, v in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def _prom_value(v: float) -> str:
+    if isinstance(v, float) and math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    return repr(v) if isinstance(v, float) else str(v)
+
+
+def to_prometheus(registry: MetricsRegistry | None = None) -> str:
+    """The registry in the Prometheus text exposition format.
+
+    Counters get a ``_total`` suffix, histograms emit cumulative
+    ``_bucket{le=...}`` series plus ``_sum`` / ``_count`` — the standard
+    shapes every Prometheus scraper understands.
+    """
+    registry = registry if registry is not None else get_registry()
+    lines: list[str] = []
+    seen_types: set[str] = set()
+
+    def _header(name: str, kind: str, help_text: str) -> None:
+        if name in seen_types:
+            return
+        seen_types.add(name)
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    for m in registry.metrics():
+        if m.kind == "counter":
+            name = _prom_name(m.name)
+            if not name.endswith("_total"):
+                name += "_total"
+            _header(name, "counter", m.help)
+            lines.append(f"{name}{_prom_labels(m.label_dict)} {_prom_value(m.value)}")
+        elif m.kind == "gauge":
+            name = _prom_name(m.name)
+            _header(name, "gauge", m.help)
+            lines.append(f"{name}{_prom_labels(m.label_dict)} {_prom_value(m.value)}")
+        elif m.kind == "histogram":
+            name = _prom_name(m.name)
+            _header(name, "histogram", m.help)
+            cumulative = 0
+            counts = m.counts
+            for bound, c in zip(m.buckets, counts):
+                cumulative += c
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_prom_labels(m.label_dict, {'le': _prom_value(float(bound))})}"
+                    f" {cumulative}"
+                )
+            cumulative += counts[-1]
+            lines.append(
+                f"{name}_bucket{_prom_labels(m.label_dict, {'le': '+Inf'})} {cumulative}"
+            )
+            lines.append(f"{name}_sum{_prom_labels(m.label_dict)} {_prom_value(m.sum)}")
+            lines.append(f"{name}_count{_prom_labels(m.label_dict)} {m.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def format_seconds(seconds: float) -> str:
+    """Human duration: picks ns/µs/ms/s to keep 3 significant digits."""
+    if seconds >= 1.0:
+        return f"{seconds:.3g}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3g}ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.3g}µs"
+    return f"{seconds * 1e9:.3g}ns"
+
+
+def _render_span(span: Span, prefix: str, is_last: bool, lines: list[str]) -> None:
+    connector = "" if not prefix and is_last is None else ("└─ " if is_last else "├─ ")
+    attrs = " ".join(
+        f"{k}={v}" for k, v in span.attrs.items() if k != "error"
+    )
+    status = "" if span.status == "ok" else f" [{span.status}: {span.attrs.get('error', '?')}]"
+    kind = "" if span.kind == "wall" else " (sim)"
+    line = f"{prefix}{connector}{span.name}  {format_seconds(span.seconds)}{kind}"
+    if attrs:
+        line += f"  {attrs}"
+    lines.append(line + status)
+    child_prefix = prefix + ("" if is_last is None else ("   " if is_last else "│  "))
+    for i, child in enumerate(span.children):
+        _render_span(child, child_prefix, i == len(span.children) - 1, lines)
+
+
+def render_spans(spans: Sequence[Span] | None = None, *, max_children: int = 0) -> str:
+    """Pretty-print a span forest as an indented tree.
+
+    ``max_children`` > 0 elides the middle of long sibling runs (keeps
+    the first/last few), which keeps a 500-step LU trace readable.
+    """
+    if spans is None:
+        spans = get_tracer().roots()
+    rendered: list[str] = []
+    for root in spans:
+        root = _elide(root, max_children) if max_children > 0 else root
+        _render_span(root, "", None, rendered)
+    return "\n".join(rendered)
+
+
+def _elide(span: Span, max_children: int) -> Span:
+    children = [_elide(c, max_children) for c in span.children]
+    if len(children) > max_children:
+        head = max_children // 2
+        tail = max_children - head - 1
+        skipped = len(children) - head - tail
+        marker = Span(
+            name=f"... {skipped} more siblings elided ...", seconds=0.0, kind=span.kind
+        )
+        children = children[:head] + [marker] + (children[-tail:] if tail else [])
+    clone = Span(
+        name=span.name,
+        seconds=span.seconds,
+        kind=span.kind,
+        status=span.status,
+        attrs=dict(span.attrs),
+    )
+    clone.children = children
+    return clone

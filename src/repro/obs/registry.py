@@ -1,0 +1,389 @@
+"""Thread-safe metrics primitives and the global on/off switch.
+
+The registry is the single place all telemetry lands: counters (monotone),
+gauges (last value wins) and histograms (fixed bucket boundaries, the
+Prometheus convention of upper-inclusive bounds).  Every metric is
+identified by a ``(name, labels)`` pair; :meth:`MetricsRegistry.counter`
+and friends are get-or-create, so two call sites asking for the same
+identity share the same object — which is precisely how
+:class:`~repro.planner.cache.PlanCache` keeps its ``CacheStats`` and the
+``repro stats`` output reading from one source of truth.
+
+Instrumentation in hot paths is gated by the process-wide switch:
+
+* :func:`is_enabled` is a single attribute read (~tens of ns), cheap
+  enough to guard any call-granular instrumentation;
+* the disabled default means un-enabled programs pay nothing beyond that
+  read — verified by ``benchmarks/bench_obs_overhead.py``.
+
+Metrics that back *structural* counters (the plan cache's hit/miss
+bookkeeping) are incremented unconditionally: they existed before the
+observability layer and their cost is already part of the operation they
+count.  The switch gates only the optional telemetry.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS",
+    "DEFAULT_COUNT_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "enable",
+    "disable",
+    "is_enabled",
+    "enabled",
+]
+
+#: Latency bucket upper bounds in seconds (log-spaced, 1 µs .. 10 s).
+DEFAULT_TIME_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+
+#: Bucket upper bounds for small integer quantities (iterations, steps).
+DEFAULT_COUNT_BUCKETS: tuple[float, ...] = (
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1000,
+)
+
+
+class _State:
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = False
+
+
+_STATE = _State()
+
+
+def enable() -> None:
+    """Turn telemetry collection on, process-wide."""
+    _STATE.enabled = True
+
+
+def disable() -> None:
+    """Turn telemetry collection off (the default)."""
+    _STATE.enabled = False
+
+
+def is_enabled() -> bool:
+    """Whether gated instrumentation should record (one attribute read)."""
+    return _STATE.enabled
+
+
+@contextmanager
+def enabled(flag: bool = True) -> Iterator[None]:
+    """Context manager scoping the global switch (restores on exit)."""
+    previous = _STATE.enabled
+    _STATE.enabled = bool(flag)
+    try:
+        yield
+    finally:
+        _STATE.enabled = previous
+
+
+def _freeze_labels(labels: Mapping[str, str] | None) -> tuple[tuple[str, str], ...]:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Metric:
+    """Common identity plumbing for all metric kinds."""
+
+    __slots__ = ("name", "labels", "help", "_lock")
+
+    kind = "metric"
+
+    def __init__(
+        self,
+        name: str,
+        labels: tuple[tuple[str, str], ...] = (),
+        help: str = "",
+    ):
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self._lock = threading.Lock()
+
+    @property
+    def label_dict(self) -> dict[str, str]:
+        return dict(self.labels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lbl = ", ".join(f"{k}={v}" for k, v in self.labels)
+        return f"{type(self).__name__}({self.name}{{{lbl}}})"
+
+
+class Counter(_Metric):
+    """Monotonically increasing count (thread-safe)."""
+
+    __slots__ = ("_value",)
+
+    kind = "counter"
+
+    def __init__(self, name, labels=(), help=""):
+        super().__init__(name, labels, help)
+        self._value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount!r}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int | float:
+        with self._lock:
+            return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+    def _snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "labels": self.label_dict,
+            "value": self.value,
+        }
+
+
+class Gauge(_Metric):
+    """Last-value-wins instantaneous measurement (thread-safe)."""
+
+    __slots__ = ("_value",)
+
+    kind = "gauge"
+
+    def __init__(self, name, labels=(), help=""):
+        super().__init__(name, labels, help)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, amount: float) -> None:
+        with self._lock:
+            self._value += float(amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    def _snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "labels": self.label_dict,
+            "value": self.value,
+        }
+
+
+class Histogram(_Metric):
+    """Fixed-boundary histogram (upper-inclusive buckets, plus +Inf).
+
+    ``observe(x)`` lands in the first bucket whose upper bound is
+    ``>= x`` (the Prometheus ``le`` convention); values above the last
+    boundary land in the implicit ``+Inf`` overflow bucket.  ``sum`` and
+    ``count`` accumulate alongside, so means survive any bucketing.
+    """
+
+    __slots__ = ("buckets", "_counts", "_sum", "_count")
+
+    kind = "histogram"
+
+    def __init__(self, name, labels=(), help="", buckets: Sequence[float] | None = None):
+        super().__init__(name, labels, help)
+        bounds = tuple(
+            float(b) for b in (DEFAULT_TIME_BUCKETS if buckets is None else buckets)
+        )
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket boundary")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket boundaries must increase: {bounds}")
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # trailing slot is +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def counts(self) -> tuple[int, ...]:
+        """Per-bucket counts; the final entry is the +Inf overflow bucket."""
+        with self._lock:
+            return tuple(self._counts)
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Crude q-quantile estimate: the upper bound of the q-th bucket.
+
+        Good enough for dashboards; the +Inf bucket reports the last
+        finite boundary (there is nothing better to say about overflow).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            target = q * self._count
+            running = 0
+            for idx, c in enumerate(self._counts):
+                running += c
+                if running >= target:
+                    return self.buckets[min(idx, len(self.buckets) - 1)]
+        return self.buckets[-1]
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (len(self.buckets) + 1)
+            self._sum = 0.0
+            self._count = 0
+
+    def _snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "name": self.name,
+                "labels": self.label_dict,
+                "buckets": list(self.buckets),
+                "counts": list(self._counts),
+                "sum": self._sum,
+                "count": self._count,
+            }
+
+
+class MetricsRegistry:
+    """Named, labelled collection of metrics (thread-safe, get-or-create).
+
+    A ``(name, labels)`` identity maps to exactly one metric object;
+    asking again returns the same object, asking with a different kind
+    for an existing identity raises.  ``snapshot()`` is the JSON-ready
+    view the exporters build on.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, tuple[tuple[str, str], ...]], _Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, labels, help: str, **kwargs) -> _Metric:
+        key = (str(name), _freeze_labels(labels))
+        with self._lock:
+            existing = self._metrics.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                return existing
+            metric = cls(key[0], key[1], help, **kwargs)
+            self._metrics[key] = metric
+            return metric
+
+    def counter(
+        self, name: str, *, help: str = "", labels: Mapping[str, str] | None = None
+    ) -> Counter:
+        return self._get_or_create(Counter, name, labels, help)
+
+    def gauge(
+        self, name: str, *, help: str = "", labels: Mapping[str, str] | None = None
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, labels, help)
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        buckets: Sequence[float] | None = None,
+        help: str = "",
+        labels: Mapping[str, str] | None = None,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, labels, help, buckets=buckets)
+
+    def metrics(self) -> list[_Metric]:
+        """All registered metrics, sorted by (name, labels)."""
+        with self._lock:
+            return [self._metrics[k] for k in sorted(self._metrics)]
+
+    def get(
+        self, name: str, labels: Mapping[str, str] | None = None
+    ) -> _Metric | None:
+        with self._lock:
+            return self._metrics.get((str(name), _freeze_labels(labels)))
+
+    def snapshot(self) -> dict:
+        """JSON-serialisable view: metrics grouped by kind."""
+        out: dict[str, list[dict]] = {"counters": [], "gauges": [], "histograms": []}
+        for m in self.metrics():
+            out[m.kind + "s"].append(m._snapshot())
+        return out
+
+    def reset(self) -> None:
+        """Zero every metric in place (identities survive).
+
+        Objects handed out earlier keep working and stay exported, which
+        is what long-lived holders like the plan cache rely on.
+        """
+        for m in self.metrics():
+            m._reset()
+
+    def clear(self) -> None:
+        """Drop all metrics.  Objects handed out earlier keep counting but
+        are no longer exported; use :meth:`reset` to keep them visible."""
+        with self._lock:
+            self._metrics.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry (returns the previous one; for tests)."""
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = registry
+    return previous

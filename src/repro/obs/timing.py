@@ -1,0 +1,68 @@
+"""Canonical wall-clock timing helpers.
+
+One implementation of the best-of-``repeats`` pattern that
+``repro.model.measurement`` and ``repro.experiments.cost`` used to each
+hand-roll: run ``fn`` a few times, keep the minimum wall time (any
+positive noise only ever slows a run down, so the minimum is the robust
+estimator for compute kernels) and hand back the duration together with
+the function's result.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["TimedResult", "Timer", "best_of"]
+
+
+@dataclass(frozen=True)
+class TimedResult:
+    """Outcome of a :func:`best_of` run.
+
+    ``seconds`` is the minimum over the repeats; ``result`` is the return
+    value of the final repeat (identical across repeats for the pure
+    functions this is used on).
+    """
+
+    seconds: float
+    result: Any
+
+
+class Timer:
+    """Context manager capturing the wall time of a block in ``seconds``."""
+
+    __slots__ = ("seconds", "_t0")
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.seconds = time.perf_counter() - self._t0
+        return False
+
+
+def best_of(
+    fn: Callable[[], Any], *, repeats: int = 3, warmup: int = 0
+) -> TimedResult:
+    """Best-of-``repeats`` wall time of ``fn`` after ``warmup`` calls."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    for _ in range(warmup):
+        fn()
+    best = math.inf
+    result: Any = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return TimedResult(seconds=best, result=result)

@@ -7,18 +7,28 @@ stale entries for the old fingerprint simply age out of the LRU order.
 
 The implementation is a classic ``OrderedDict`` LRU under a single lock
 (every operation is O(1) and holds the lock for nanoseconds, so one lock
-beats sharding at any realistic query rate) with hit/miss/eviction
-counters exposed as an immutable :class:`CacheStats` snapshot.
+beats sharding at any realistic query rate).  The hit/miss/eviction
+counters are :class:`repro.obs.Counter` objects registered in the global
+:class:`~repro.obs.MetricsRegistry` under a per-instance ``cache`` label
+— :meth:`stats` and ``repro stats`` read the *same* objects, so the
+:class:`CacheStats` snapshot and the exported telemetry can never
+disagree.
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Hashable
 
+from .. import obs
+
 __all__ = ["CacheStats", "PlanCache"]
+
+#: Distinguishes auto-named cache instances in the metrics registry.
+_CACHE_SEQ = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -45,17 +55,31 @@ class CacheStats:
 
 
 class PlanCache:
-    """Bounded LRU mapping plan keys to cached results (thread-safe)."""
+    """Bounded LRU mapping plan keys to cached results (thread-safe).
 
-    def __init__(self, maxsize: int = 1024):
+    ``name`` labels this instance's counters in the metrics registry
+    (auto-generated when omitted; instances sharing an explicit name
+    share counters, so give distinct caches distinct names).
+    """
+
+    def __init__(self, maxsize: int = 1024, *, name: str | None = None):
         if maxsize <= 0:
             raise ValueError(f"maxsize must be positive, got {maxsize}")
         self._maxsize = int(maxsize)
+        self._name = name or f"plancache-{next(_CACHE_SEQ)}"
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
         self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        labels = {"cache": self._name}
+        registry = obs.get_registry()
+        self._hits = registry.counter(
+            "planner.cache.hits", labels=labels, help="plan-cache lookup hits"
+        )
+        self._misses = registry.counter(
+            "planner.cache.misses", labels=labels, help="plan-cache lookup misses"
+        )
+        self._evictions = registry.counter(
+            "planner.cache.evictions", labels=labels, help="LRU evictions"
+        )
 
     def get(self, key: Hashable) -> Any | None:
         """Return the cached value (refreshing recency) or ``None``."""
@@ -63,10 +87,10 @@ class PlanCache:
             try:
                 value = self._data[key]
             except KeyError:
-                self._misses += 1
+                self._misses.inc()
                 return None
             self._data.move_to_end(key)
-            self._hits += 1
+            self._hits.inc()
             return value
 
     def put(self, key: Hashable, value: Any) -> None:
@@ -79,7 +103,7 @@ class PlanCache:
             self._data[key] = value
             while len(self._data) > self._maxsize:
                 self._data.popitem(last=False)
-                self._evictions += 1
+                self._evictions.inc()
 
     def __len__(self) -> int:
         with self._lock:
@@ -98,13 +122,18 @@ class PlanCache:
     def maxsize(self) -> int:
         return self._maxsize
 
+    @property
+    def name(self) -> str:
+        """The instance label under which counters are registered."""
+        return self._name
+
     def stats(self) -> CacheStats:
         """Consistent snapshot of the counters."""
         with self._lock:
             return CacheStats(
-                hits=self._hits,
-                misses=self._misses,
-                evictions=self._evictions,
+                hits=self._hits.value,
+                misses=self._misses.value,
+                evictions=self._evictions.value,
                 size=len(self._data),
                 maxsize=self._maxsize,
             )

@@ -28,6 +28,8 @@ which the planner test-suite asserts property-style over random fleets.
 
 from __future__ import annotations
 
+import itertools
+import logging
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -35,6 +37,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..core.bisection import partition_bisection, partition_bisection_many
 from ..core.combined import partition_combined
 from ..core.geometry import SlopeRegion
@@ -46,8 +49,13 @@ from .fleet import Fleet
 
 __all__ = ["Planner", "PlannerStats"]
 
+logger = logging.getLogger(__name__)
+
 #: Algorithms the planner can drive (they accept ``region=`` and ``pack=``).
 _PLANNER_ALGORITHMS = ("bisection", "combined", "modified")
+
+#: Distinguishes planner instances in the metrics registry.
+_PLANNER_SEQ = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -66,6 +74,12 @@ class PlannerStats:
     @property
     def plans_computed(self) -> int:
         return self.cold_plans + self.warm_plans
+
+    @property
+    def warm_rate(self) -> float:
+        """Fraction of computed plans that reused a converged bracket."""
+        total = self.plans_computed
+        return self.warm_plans / total if total else 0.0
 
     def __str__(self) -> str:
         return (
@@ -152,11 +166,26 @@ class Planner:
         self._algorithm = algorithm
         self._mode = mode
         self._refine = refine
-        self._cache = PlanCache(cache_size)
+        instance = f"{fleet.name}#{next(_PLANNER_SEQ)}"
+        self._cache = PlanCache(cache_size, name=instance)
         self._warm = _WarmIndex(warm_candidates)
         self._lock = threading.Lock()
-        self._cold_plans = 0
-        self._warm_plans = 0
+        labels = {"planner": instance}
+        registry = obs.get_registry()
+        self._cold_plans = registry.counter(
+            "planner.plans.cold", labels=labels,
+            help="plans solved from the figure-18 initial bracket",
+        )
+        self._warm_plans = registry.counter(
+            "planner.plans.warm", labels=labels,
+            help="plans solved from a reused converged bracket",
+        )
+        logger.debug(
+            "planner created", extra={
+                "fleet": fleet.name, "p": fleet.p, "algorithm": algorithm,
+                "cache_size": cache_size, "warm_candidates": warm_candidates,
+            },
+        )
 
     # -- accessors ------------------------------------------------------
     @property
@@ -172,10 +201,10 @@ class Planner:
         return self._cache
 
     def stats(self) -> PlannerStats:
-        with self._lock:
-            cold, warm = self._cold_plans, self._warm_plans
         return PlannerStats(
-            cold_plans=cold, warm_plans=warm, cache=self._cache.stats()
+            cold_plans=self._cold_plans.value,
+            warm_plans=self._warm_plans.value,
+            cache=self._cache.stats(),
         )
 
     # -- internals ------------------------------------------------------
@@ -191,25 +220,29 @@ class Planner:
     def _solve(self, n: int, region: SlopeRegion | None) -> PartitionResult:
         sfs = self._fleet.speed_functions
         pack = self._fleet.pack
-        if self._algorithm == "bisection":
-            result = partition_bisection(
-                n, sfs, mode=self._mode, refine=self._refine,
-                region=region, pack=pack,
-            )
-        elif self._algorithm == "combined":
-            result = partition_combined(
-                n, sfs, mode=self._mode, refine=self._refine,
-                region=region, pack=pack,
-            )
-        else:
-            result = partition_modified(
-                n, sfs, refine=self._refine, region=region, pack=pack,
-            )
-        with self._lock:
-            if region is None:
-                self._cold_plans += 1
+        warm = region is not None
+        with obs.span(
+            "planner.solve", n=n, algorithm=self._algorithm, warm=warm
+        ):
+            if self._algorithm == "bisection":
+                result = partition_bisection(
+                    n, sfs, mode=self._mode, refine=self._refine,
+                    region=region, pack=pack,
+                )
+            elif self._algorithm == "combined":
+                result = partition_combined(
+                    n, sfs, mode=self._mode, refine=self._refine,
+                    region=region, pack=pack,
+                )
             else:
-                self._warm_plans += 1
+                result = partition_modified(
+                    n, sfs, refine=self._refine, region=region, pack=pack,
+                )
+        (self._warm_plans if warm else self._cold_plans).inc()
+        logger.debug(
+            "plan solved",
+            extra={"n": n, "warm": warm, "iterations": result.iterations},
+        )
         return result
 
     def _record(self, n: int, result: PartitionResult) -> None:
@@ -271,18 +304,26 @@ class Planner:
             seed = self._warm.nearest(todo[0]) if todo[0] > 0 else None
 
         if self._algorithm == "bisection":
-            batch = partition_bisection_many(
-                todo,
-                self._fleet.speed_functions,
-                mode=self._mode,
-                refine=self._refine,
-                region=seed,
-                pack=self._fleet.pack,
-            )
+            with obs.span(
+                "planner.plan_many", sizes=len(sizes), solved=len(todo)
+            ):
+                batch = partition_bisection_many(
+                    todo,
+                    self._fleet.speed_functions,
+                    mode=self._mode,
+                    refine=self._refine,
+                    region=seed,
+                    pack=self._fleet.pack,
+                )
             by_size = dict(zip(todo, batch))
-            with self._lock:
-                self._cold_plans += 1 if seed is None else 0
-                self._warm_plans += len(todo) - (1 if seed is None else 0)
+            cold = 1 if seed is None else 0
+            if cold:
+                self._cold_plans.inc(cold)
+            self._warm_plans.inc(len(todo) - cold)
+            logger.debug(
+                "batch solved",
+                extra={"sizes": len(sizes), "solved": len(todo), "seeded": not cold},
+            )
         else:
             by_size = {}
             region = seed

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..exceptions import ConfigurationError
 from ..kernels.group_block import GroupBlockDistribution
 from .cluster import EmulatedCluster
@@ -103,22 +104,38 @@ def run_parallel_lu(
     step_seconds: list[float] = []
     worker_update = np.zeros(cluster.size)
     total = 0.0
-    for k in range(dist.num_blocks):
-        owner = int(owners[k])
-        panel, panel_s = pools[owner].submit(
-            lu_factor_panel, session, k
-        ).result()
-        # Broadcast + concurrent updates on trailing columns.
-        update_futs = {
-            w: pools[w].submit(lu_apply_update, session, k, panel)
-            for w in range(cluster.size)
-        }
-        update_times = {w: f.result() for w, f in update_futs.items()}
-        for w, t in update_times.items():
-            worker_update[w] += t
-        step = panel_s + max(update_times.values(), default=0.0)
-        step_seconds.append(step)
-        total += step
+    telemetry = obs.is_enabled()
+    with obs.span("runtime.lu", n=n, b=b, workers=cluster.size):
+        for k in range(dist.num_blocks):
+            owner = int(owners[k])
+            panel, panel_s = pools[owner].submit(
+                lu_factor_panel, session, k
+            ).result()
+            # Broadcast + concurrent updates on trailing columns.
+            update_futs = {
+                w: pools[w].submit(lu_apply_update, session, k, panel)
+                for w in range(cluster.size)
+            }
+            update_times = {w: f.result() for w, f in update_futs.items()}
+            for w, t in update_times.items():
+                worker_update[w] += t
+            update_s = max(update_times.values(), default=0.0)
+            step = panel_s + update_s
+            step_seconds.append(step)
+            total += step
+            if telemetry:
+                obs.record(
+                    "runtime.lu.step",
+                    step,
+                    kind="wall",
+                    attrs={"step": k, "owner": owner},
+                    children=[
+                        ("runtime.lu.panel", panel_s),
+                        ("runtime.lu.update", update_s),
+                    ],
+                )
+    if telemetry:
+        obs.get_registry().counter("runtime.lu.calls").inc()
 
     # Gather the factored columns back into global order.
     lu = np.empty_like(a, dtype=float)

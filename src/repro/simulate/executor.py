@@ -24,6 +24,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import obs
 from ..exceptions import ConfigurationError
 from ..core.speed_function import SpeedFunction
 from ..kernels.flops import mm_slice_flops
@@ -118,6 +119,18 @@ def simulate_striped_matmul(
     if comm is not None:
         stripe_bytes = rows.astype(float) * n * _ELEMENT_BYTES
         comm_s = comm.allgather(stripe_bytes.tolist())
+    if obs.is_enabled():
+        compute_max = float(compute.max()) if p else 0.0
+        obs.record(
+            "simulate.mm",
+            compute_max + comm_s,
+            attrs={"n": n, "p": p},
+            children=[
+                ("simulate.mm.compute", compute_max),
+                ("simulate.mm.comm", comm_s),
+            ],
+        )
+        obs.get_registry().counter("simulate.mm.calls").inc()
     return MMSimulation(
         n=n,
         rows=rows,

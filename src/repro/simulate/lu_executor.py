@@ -22,6 +22,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import obs
 from ..core.speed_function import SpeedFunction
 from ..exceptions import ConfigurationError
 from ..kernels.group_block import GroupBlockDistribution
@@ -103,47 +104,64 @@ def simulate_lu(
     total = 0.0
     comm_total = 0.0
     num_blocks = dist.num_blocks
-    for k in range(num_blocks):
-        rem = n - k * b
-        width = min(b, rem)
-        owner = int(owners[k])
-        # Panel factorisation: LU of a rem x width panel.
-        panel_flops = float(width) ** 2 * (float(rem) - float(width) / 3.0)
-        panel_speed = _speed_at(truth_speed_functions[owner], float(rem) * width)
-        panel_s = panel_flops / (1e6 * panel_speed)
-        # Panel broadcast.
-        comm_s = 0.0
-        if comm is not None and p > 1:
-            comm_s = comm.broadcast(owner, float(rem) * width * _ELEMENT_BYTES)
-        # Trailing update: processor i updates its c_i trailing blocks.
-        counts = dist.counts(p, start_block=k + 1)
-        trailing_rows = rem - width
-        updates = np.zeros(p, dtype=float)
-        if trailing_rows > 0:
-            for i in range(p):
-                cols = float(counts[i]) * b
-                if cols == 0:
-                    continue
-                flops = 2.0 * trailing_rows * width * cols
-                # The problem size this processor faces at this step: its
-                # share of the active matrix (functional-model evaluation).
-                x = float(rem) * cols
-                updates[i] = flops / (1e6 * _speed_at(truth_speed_functions[i], x))
-        update_s = float(updates.max()) if p else 0.0
-        total += panel_s + comm_s + update_s
-        comm_total += comm_s
-        if keep_trace:
-            trace.append(
-                LUStepRecord(
-                    step=k,
-                    remaining=rem,
-                    owner=owner,
-                    panel_seconds=panel_s,
-                    comm_seconds=comm_s,
-                    update_seconds=update_s,
-                    update_per_processor=tuple(float(u) for u in updates),
+    telemetry = obs.is_enabled()
+    with obs.span("simulate.lu", n=n, b=b, p=p, steps=num_blocks):
+        for k in range(num_blocks):
+            rem = n - k * b
+            width = min(b, rem)
+            owner = int(owners[k])
+            # Panel factorisation: LU of a rem x width panel.
+            panel_flops = float(width) ** 2 * (float(rem) - float(width) / 3.0)
+            panel_speed = _speed_at(truth_speed_functions[owner], float(rem) * width)
+            panel_s = panel_flops / (1e6 * panel_speed)
+            # Panel broadcast.
+            comm_s = 0.0
+            if comm is not None and p > 1:
+                comm_s = comm.broadcast(owner, float(rem) * width * _ELEMENT_BYTES)
+            # Trailing update: processor i updates its c_i trailing blocks.
+            counts = dist.counts(p, start_block=k + 1)
+            trailing_rows = rem - width
+            updates = np.zeros(p, dtype=float)
+            if trailing_rows > 0:
+                for i in range(p):
+                    cols = float(counts[i]) * b
+                    if cols == 0:
+                        continue
+                    flops = 2.0 * trailing_rows * width * cols
+                    # The problem size this processor faces at this step: its
+                    # share of the active matrix (functional-model evaluation).
+                    x = float(rem) * cols
+                    updates[i] = flops / (1e6 * _speed_at(truth_speed_functions[i], x))
+            update_s = float(updates.max()) if p else 0.0
+            total += panel_s + comm_s + update_s
+            comm_total += comm_s
+            if keep_trace:
+                trace.append(
+                    LUStepRecord(
+                        step=k,
+                        remaining=rem,
+                        owner=owner,
+                        panel_seconds=panel_s,
+                        comm_seconds=comm_s,
+                        update_seconds=update_s,
+                        update_per_processor=tuple(float(u) for u in updates),
+                    )
                 )
-            )
+            if telemetry:
+                obs.record(
+                    "simulate.lu.step",
+                    panel_s + comm_s + update_s,
+                    attrs={"step": k, "owner": owner, "remaining": rem},
+                    children=[
+                        ("simulate.lu.panel", panel_s),
+                        ("simulate.lu.comm", comm_s),
+                        ("simulate.lu.update", update_s),
+                    ],
+                )
+    if telemetry:
+        reg = obs.get_registry()
+        reg.counter("simulate.lu.calls").inc()
+        reg.counter("simulate.lu.steps.total").inc(num_blocks)
     return LUSimulation(
         n=n, b=b, total_seconds=total, comm_seconds=comm_total, trace=trace
     )

@@ -1,0 +1,25 @@
+"""Fixtures isolating the process-wide obs state per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture
+def fresh_obs():
+    """Swap in a fresh registry + tracer, disabled; restore afterwards.
+
+    Tests that enable telemetry do so against throwaway state, so they
+    never leak metrics into (or inherit metrics from) other tests.
+    """
+    previous_registry = obs.set_registry(obs.MetricsRegistry())
+    previous_tracer = obs.set_tracer(obs.Tracer())
+    obs.disable()
+    try:
+        yield obs
+    finally:
+        obs.disable()
+        obs.set_registry(previous_registry)
+        obs.set_tracer(previous_tracer)

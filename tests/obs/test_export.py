@@ -1,0 +1,132 @@
+"""Exporters: JSON round-trip, Prometheus text format, tree rendering."""
+
+from __future__ import annotations
+
+import json
+
+from repro import obs
+from repro.obs.export import format_seconds, render_spans, to_prometheus
+
+
+def _populate(o):
+    reg = o.get_registry()
+    reg.counter("planner.cache.hits", labels={"cache": "c1"}).inc(3)
+    reg.counter("core.batch.sizes.total").inc(12)  # already ends in .total
+    reg.gauge("fleet.capacity").set(2.5e9)
+    reg.histogram("plan.seconds", buckets=(0.001, 0.01, 0.1)).observe(0.005)
+    reg.histogram("plan.seconds", buckets=(0.001, 0.01, 0.1)).observe(5.0)
+    return reg
+
+
+class TestJson:
+    def test_round_trip(self, fresh_obs):
+        _populate(fresh_obs)
+        obs.enable()
+        with obs.span("root"):
+            obs.record("child", 0.5)
+        doc = json.loads(obs.to_json())
+        counters = {c["name"]: c["value"] for c in doc["metrics"]["counters"]}
+        assert counters["planner.cache.hits"] == 3
+        hist = next(
+            h for h in doc["metrics"]["histograms"] if h["name"] == "plan.seconds"
+        )
+        assert hist["count"] == 2
+        assert hist["counts"][-1] == 1  # the 5.0 landed in +Inf
+        (root,) = doc["spans"]
+        assert root["name"] == "root"
+        assert root["children"][0]["name"] == "child"
+
+    def test_write_json(self, fresh_obs, tmp_path):
+        _populate(fresh_obs)
+        path = tmp_path / "metrics.json"
+        assert obs.write_json(str(path)) == str(path)
+        doc = json.loads(path.read_text())
+        assert doc["metrics"]["gauges"][0]["name"] == "fleet.capacity"
+
+    def test_snapshot_without_spans(self, fresh_obs):
+        _populate(fresh_obs)
+        doc = obs.snapshot(include_spans=False)
+        assert "spans" not in doc
+
+
+class TestPrometheus:
+    def test_counter_gets_total_suffix_once(self, fresh_obs):
+        _populate(fresh_obs)
+        text = to_prometheus()
+        assert 'planner_cache_hits_total{cache="c1"} 3' in text
+        # Names already ending in _total must not be doubled.
+        assert "core_batch_sizes_total 12" in text
+        assert "total_total" not in text
+
+    def test_histogram_series(self, fresh_obs):
+        _populate(fresh_obs)
+        text = to_prometheus()
+        assert '# TYPE plan_seconds histogram' in text
+        assert 'plan_seconds_bucket{le="0.001"} 0' in text
+        assert 'plan_seconds_bucket{le="0.01"} 1' in text   # cumulative
+        assert 'plan_seconds_bucket{le="0.1"} 1' in text
+        assert 'plan_seconds_bucket{le="+Inf"} 2' in text
+        assert "plan_seconds_count 2" in text
+        assert "plan_seconds_sum 5.005" in text
+
+    def test_gauge_and_headers(self, fresh_obs):
+        _populate(fresh_obs)
+        text = to_prometheus()
+        assert "# TYPE fleet_capacity gauge" in text
+        assert "fleet_capacity 2500000000.0" in text
+
+    def test_label_escaping(self, fresh_obs):
+        fresh_obs.get_registry().counter("c", labels={"k": 'sa"id\n'}).inc()
+        text = to_prometheus()
+        assert r'c_total{k="sa\"id\n"} 1' in text
+
+
+class TestFormatSeconds:
+    def test_units(self):
+        assert format_seconds(2.5) == "2.5s"
+        assert format_seconds(0.0025) == "2.5ms"
+        assert format_seconds(2.5e-6) == "2.5µs"
+        assert format_seconds(2.5e-9) == "2.5ns"
+
+
+class TestRenderSpans:
+    def test_tree_shape(self, fresh_obs):
+        obs.enable()
+        with obs.span("outer", n=4):
+            with obs.span("inner"):
+                pass
+            obs.record("step", 0.5, attrs={"k": 0})
+        text = render_spans()
+        lines = text.splitlines()
+        assert lines[0].startswith("outer")
+        assert "n=4" in lines[0]
+        assert any(line.startswith("├─ inner") or line.startswith("└─ inner")
+                   for line in lines)
+        assert any("step" in line and "(sim)" in line for line in lines)
+
+    def test_error_status_is_shown(self, fresh_obs):
+        obs.enable()
+        try:
+            with obs.span("bad"):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert "[error: RuntimeError]" in render_spans()
+
+    def test_elision_keeps_head_and_tail(self, fresh_obs):
+        obs.enable()
+        with obs.span("root"):
+            for k in range(20):
+                obs.record(f"step{k}", 0.001)
+        text = render_spans(max_children=5)
+        assert "step0" in text
+        assert "step19" in text
+        assert "16 more siblings elided" in text
+        assert "step7" not in text
+
+    def test_no_elision_by_default(self, fresh_obs):
+        obs.enable()
+        with obs.span("root"):
+            for k in range(20):
+                obs.record(f"step{k}", 0.001)
+        assert "elided" not in render_spans()

@@ -1,0 +1,92 @@
+"""Structured key=value logging."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+import pytest
+
+from repro.obs.logconfig import (
+    KeyValueFormatter,
+    configure_logging,
+    verbosity_to_level,
+)
+
+
+@pytest.fixture
+def repro_logger():
+    """Hand out the 'repro' logger; strip our handlers afterwards."""
+    logger = logging.getLogger("repro")
+    before = list(logger.handlers)
+    before_level = logger.level
+    try:
+        yield logger
+    finally:
+        for h in list(logger.handlers):
+            if h not in before:
+                logger.removeHandler(h)
+        logger.setLevel(before_level)
+
+
+def _format(msg="hello", level=logging.INFO, extra=None, name="repro.test"):
+    record = logging.getLogger(name).makeRecord(
+        name, level, "f.py", 1, msg, (), None, extra=extra or {}
+    )
+    return KeyValueFormatter().format(record)
+
+
+class TestKeyValueFormatter:
+    def test_core_fields(self):
+        line = _format("plan solved")
+        assert "level=info" in line
+        assert "logger=repro.test" in line
+        assert 'msg="plan solved"' in line
+        assert line.startswith("ts=")
+
+    def test_extra_fields_appended(self):
+        line = _format("solved", extra={"n": 1000, "warm": True})
+        assert "n=1000" in line
+        assert "warm=True" in line
+
+    def test_values_needing_quotes(self):
+        line = _format("x", extra={"k": 'a "b"=c'})
+        assert r'k="a \"b\"=c"' in line
+
+    def test_unquoted_simple_message(self):
+        assert "msg=solved" in _format("solved")
+
+
+class TestVerbosity:
+    def test_mapping(self):
+        assert verbosity_to_level(0) == logging.WARNING
+        assert verbosity_to_level(1) == logging.INFO
+        assert verbosity_to_level(2) == logging.DEBUG
+        assert verbosity_to_level(7) == logging.DEBUG
+
+
+class TestConfigureLogging:
+    def test_emits_structured_lines(self, repro_logger):
+        stream = io.StringIO()
+        configure_logging(logging.DEBUG, stream=stream)
+        logging.getLogger("repro.planner.test").debug(
+            "plan solved", extra={"n": 42}
+        )
+        line = stream.getvalue()
+        assert "level=debug" in line
+        assert "n=42" in line
+
+    def test_idempotent(self, repro_logger):
+        configure_logging(logging.INFO, stream=io.StringIO())
+        configure_logging(logging.INFO, stream=io.StringIO())
+        marked = [
+            h for h in repro_logger.handlers
+            if getattr(h, "_repro_obs_handler", False)
+        ]
+        assert len(marked) == 1
+
+    def test_string_levels(self, repro_logger):
+        logger = configure_logging("debug", stream=io.StringIO())
+        assert logger.level == logging.DEBUG
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging("chatty")

@@ -1,0 +1,196 @@
+"""Metrics primitives: counters, gauges, histograms, registry identity."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import registry as reg_mod
+from repro.obs.registry import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_negative_increment_rejected(self):
+        c = Counter("x")
+        with pytest.raises(ValueError, match="only go up"):
+            c.inc(-1)
+        assert c.value == 0
+
+    def test_concurrent_increments(self):
+        c = Counter("x")
+        threads = [
+            threading.Thread(target=lambda: [c.inc() for _ in range(10_000)])
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 80_000
+
+
+class TestGauge:
+    def test_set_and_add(self, fresh_obs):
+        g = fresh_obs.get_registry().gauge("g")
+        g.set(3.5)
+        assert g.value == 3.5
+        g.add(-1.5)
+        assert g.value == 2.0
+        g.set(0.25)  # last value wins
+        assert g.value == 0.25
+
+
+class TestHistogram:
+    def test_bucket_edges_are_upper_inclusive(self):
+        h = Histogram("h", buckets=(1, 2, 5))
+        h.observe(1)      # == first bound  -> bucket le=1
+        h.observe(1.5)    # between         -> bucket le=2
+        h.observe(2)      # == second bound -> bucket le=2
+        h.observe(5)      # == last bound   -> bucket le=5
+        h.observe(5.0001)  # above          -> +Inf overflow
+        assert h.counts == (1, 2, 1, 1)
+        assert h.count == 5
+        assert h.sum == pytest.approx(1 + 1.5 + 2 + 5 + 5.0001)
+
+    def test_mean_and_quantile(self):
+        h = Histogram("h", buckets=(1, 10, 100))
+        for v in (0.5, 0.5, 50, 50, 50, 50, 50, 50, 50, 50):
+            h.observe(v)
+        assert h.mean == pytest.approx(40.1)
+        assert h.quantile(0.1) == 1       # 2/10 observations in le=1
+        assert h.quantile(0.9) == 100
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_empty_histogram(self):
+        h = Histogram("h", buckets=(1, 2))
+        assert h.mean == 0.0
+        assert h.quantile(0.5) == 0.0
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ValueError, match="increase"):
+            Histogram("h", buckets=(1, 1, 2))
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("h", buckets=())
+
+    def test_default_buckets_are_time_buckets(self):
+        assert Histogram("h").buckets == DEFAULT_TIME_BUCKETS
+
+    def test_concurrent_observes(self):
+        h = Histogram("h", buckets=(10, 1000, 100000))
+        threads = [
+            threading.Thread(target=lambda: [h.observe(3) for _ in range(5_000)])
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert h.count == 40_000
+        assert h.counts[0] == 40_000
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        a = reg.counter("planner.hits", labels={"cache": "c1"})
+        b = reg.counter("planner.hits", labels={"cache": "c1"})
+        assert a is b
+        assert len(reg) == 1
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        a = reg.counter("m", labels={"a": "1", "b": "2"})
+        b = reg.counter("m", labels={"b": "2", "a": "1"})
+        assert a is b
+
+    def test_distinct_labels_are_distinct_metrics(self):
+        reg = MetricsRegistry()
+        a = reg.counter("m", labels={"cache": "c1"})
+        b = reg.counter("m", labels={"cache": "c2"})
+        assert a is not b
+        a.inc()
+        assert b.value == 0
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("m")
+
+    def test_get(self):
+        reg = MetricsRegistry()
+        c = reg.counter("m", labels={"x": "1"})
+        assert reg.get("m", {"x": "1"}) is c
+        assert reg.get("m") is None
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", buckets=(1, 2)).observe(1)
+        snap = reg.snapshot()
+        assert {c["name"]: c["value"] for c in snap["counters"]} == {"c": 2}
+        assert snap["gauges"][0]["value"] == 1.5
+        hist = snap["histograms"][0]
+        assert hist["buckets"] == [1.0, 2.0]
+        assert hist["counts"] == [1, 0, 0]
+        assert hist["count"] == 1
+
+    def test_reset_keeps_identity(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        c.inc(7)
+        reg.reset()
+        assert c.value == 0
+        assert reg.get("c") is c  # still exported
+        c.inc()
+        assert reg.snapshot()["counters"][0]["value"] == 1
+
+    def test_clear_drops_metrics(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        reg.clear()
+        assert len(reg) == 0
+        c.inc()  # previously handed-out objects keep working
+        assert reg.get("c") is None
+
+
+class TestSwitch:
+    def test_default_is_disabled(self):
+        assert reg_mod.is_enabled() is False
+
+    def test_enable_disable(self):
+        reg_mod.enable()
+        try:
+            assert reg_mod.is_enabled() is True
+        finally:
+            reg_mod.disable()
+        assert reg_mod.is_enabled() is False
+
+    def test_enabled_context_restores(self):
+        with reg_mod.enabled(True):
+            assert reg_mod.is_enabled() is True
+            with reg_mod.enabled(False):
+                assert reg_mod.is_enabled() is False
+            assert reg_mod.is_enabled() is True
+        assert reg_mod.is_enabled() is False
+
+    def test_enabled_context_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with reg_mod.enabled(True):
+                raise RuntimeError("boom")
+        assert reg_mod.is_enabled() is False

@@ -1,0 +1,164 @@
+"""Span tree: nesting, exception safety, gating, recorded durations."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.spans import _NOOP
+
+
+class TestNesting:
+    def test_children_nest_under_open_parent(self, fresh_obs):
+        obs.enable()
+        with obs.span("outer", n=3):
+            with obs.span("inner.a"):
+                pass
+            with obs.span("inner.b"):
+                pass
+        roots = obs.get_tracer().roots()
+        assert [r.name for r in roots] == ["outer"]
+        outer = roots[0]
+        assert [c.name for c in outer.children] == ["inner.a", "inner.b"]
+        assert outer.attrs == {"n": 3}
+        assert outer.seconds >= 0.0
+        assert outer.status == "ok"
+
+    def test_walk_is_depth_first(self, fresh_obs):
+        obs.enable()
+        with obs.span("a"):
+            with obs.span("b"):
+                with obs.span("c"):
+                    pass
+            with obs.span("d"):
+                pass
+        (root,) = obs.get_tracer().roots()
+        assert [s.name for s in root.walk()] == ["a", "b", "c", "d"]
+
+    def test_sibling_roots(self, fresh_obs):
+        obs.enable()
+        with obs.span("first"):
+            pass
+        with obs.span("second"):
+            pass
+        assert [r.name for r in obs.get_tracer().roots()] == ["first", "second"]
+
+    def test_threads_do_not_nest_into_each_other(self, fresh_obs):
+        obs.enable()
+        barrier = threading.Barrier(2)
+
+        def work(name):
+            with obs.span(name):
+                barrier.wait()  # both spans provably open at once
+
+        threads = [threading.Thread(target=work, args=(f"t{i}",)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        roots = obs.get_tracer().roots()
+        assert sorted(r.name for r in roots) == ["t0", "t1"]
+        assert all(not r.children for r in roots)
+
+
+class TestExceptionSafety:
+    def test_span_marks_error_and_propagates(self, fresh_obs):
+        obs.enable()
+        with pytest.raises(KeyError):
+            with obs.span("failing"):
+                raise KeyError("nope")
+        (root,) = obs.get_tracer().roots()
+        assert root.status == "error"
+        assert root.attrs["error"] == "KeyError"
+
+    def test_stack_recovers_after_error(self, fresh_obs):
+        obs.enable()
+        with pytest.raises(ValueError):
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    raise ValueError
+        with obs.span("after"):
+            pass
+        names = [r.name for r in obs.get_tracer().roots()]
+        assert names == ["outer", "after"]  # "after" is NOT a child of outer
+
+
+class TestGating:
+    def test_disabled_span_is_shared_noop(self, fresh_obs):
+        assert not obs.is_enabled()
+        assert obs.span("x") is _NOOP
+        assert obs.span("y", n=1) is obs.span("z")
+        with obs.span("x"):
+            pass
+        assert obs.get_tracer().roots() == []
+        assert len(obs.get_registry()) == 0
+
+    def test_disabled_record_returns_none(self, fresh_obs):
+        assert obs.record("x", 1.0) is None
+        assert obs.get_tracer().roots() == []
+
+    def test_enabled_span_yields_span_object(self, fresh_obs):
+        obs.enable()
+        with obs.span("x") as sp:
+            assert sp.name == "x"
+
+
+class TestRecord:
+    def test_record_with_children(self, fresh_obs):
+        obs.enable()
+        sp = obs.record(
+            "sim.step",
+            1.25,
+            attrs={"step": 3},
+            children=[("panel", 0.25), ("update", 1.0)],
+        )
+        assert sp.kind == "sim"
+        assert sp.seconds == 1.25
+        assert [(c.name, c.seconds, c.kind) for c in sp.children] == [
+            ("panel", 0.25, "sim"),
+            ("update", 1.0, "sim"),
+        ]
+        assert obs.get_tracer().roots() == [sp]
+
+    def test_record_nests_under_open_span(self, fresh_obs):
+        obs.enable()
+        with obs.span("wall.outer"):
+            obs.record("sim.inner", 0.5)
+        (root,) = obs.get_tracer().roots()
+        assert root.kind == "wall"
+        assert [c.name for c in root.children] == ["sim.inner"]
+        assert root.children[0].kind == "sim"
+
+
+class TestAutoHistograms:
+    def test_completed_span_observes_seconds_histogram(self, fresh_obs):
+        obs.enable()
+        with obs.span("planner.solve"):
+            pass
+        obs.record("planner.solve", 0.002)
+        h = obs.get_registry().get("planner.solve.seconds")
+        assert h is not None
+        assert h.count == 2
+
+    def test_to_dict_round_trip(self, fresh_obs):
+        obs.enable()
+        with obs.span("outer", n=1):
+            obs.record("inner", 0.1)
+        d = obs.get_tracer().roots()[0].to_dict()
+        assert d["name"] == "outer"
+        assert d["attrs"] == {"n": 1}
+        assert d["children"][0]["name"] == "inner"
+        assert d["children"][0]["kind"] == "sim"
+
+
+class TestClear:
+    def test_clear_drops_roots(self, fresh_obs):
+        obs.enable()
+        with obs.span("x"):
+            pass
+        tracer = obs.get_tracer()
+        assert len(tracer) == 1
+        tracer.clear()
+        assert tracer.roots() == []

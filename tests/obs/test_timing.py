@@ -1,0 +1,46 @@
+"""The shared best-of-repeats wall timer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.timing import TimedResult, Timer, best_of
+
+
+class TestBestOf:
+    def test_returns_result_and_positive_time(self):
+        timed = best_of(lambda: 42, repeats=3)
+        assert isinstance(timed, TimedResult)
+        assert timed.result == 42
+        assert timed.seconds >= 0.0
+
+    def test_warmup_calls_happen(self):
+        calls = []
+        best_of(lambda: calls.append(1), repeats=2, warmup=3)
+        assert len(calls) == 5
+
+    def test_minimum_is_taken(self):
+        import time
+
+        delays = iter([0.02, 0.0, 0.02])
+        timed = best_of(lambda: time.sleep(next(delays)), repeats=3)
+        assert timed.seconds < 0.015
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(ValueError):
+            best_of(lambda: None, repeats=0)
+        with pytest.raises(ValueError):
+            best_of(lambda: None, repeats=1, warmup=-1)
+
+
+class TestTimer:
+    def test_times_a_block(self):
+        with Timer() as t:
+            sum(range(1000))
+        assert t.seconds > 0.0
+
+    def test_exception_still_stops_clock(self):
+        with pytest.raises(RuntimeError):
+            with Timer() as t:
+                raise RuntimeError
+        assert t.seconds >= 0.0

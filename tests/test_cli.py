@@ -2,9 +2,16 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+
+#: Small, fast workload arguments shared by the telemetry-command tests.
+FAST_WORKLOAD = [
+    "--sizes", "1000000,2000000", "--p", "4", "--trace-n", "256", "--block", "64",
+]
 
 
 class TestParser:
@@ -75,6 +82,77 @@ class TestCommands:
         assert "combined" in out
         assert "1000" in out and "50000" in out
         assert "cold=1 warm=1" in out
+
+
+class TestTelemetryFlags:
+    def test_verbose_counts(self):
+        args = build_parser().parse_args(["-vv", "plan"])
+        assert args.verbose == 2
+
+    def test_log_level_choices(self):
+        args = build_parser().parse_args(["plan", "--log-level", "debug"])
+        assert args.log_level == "debug"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan", "--log-level", "chatty"])
+
+    def test_format_choices(self):
+        args = build_parser().parse_args(["stats", "--format", "prom"])
+        assert args.format == "prom"
+
+
+class TestStatsCommand:
+    def test_stats_table(self, capsys):
+        assert main(["stats", *FAST_WORKLOAD]) == 0
+        out = capsys.readouterr().out
+        assert "core.solve.calls" in out
+        assert "planner.cache.hits" in out
+        assert "planner.solve.seconds" in out  # per-plan latency histogram
+        assert "planner:" in out
+
+    def test_stats_json(self, capsys):
+        assert main(["stats", "--format", "json", *FAST_WORKLOAD]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        counters = {
+            (c["name"], c["labels"].get("algorithm", "")): c["value"]
+            for c in doc["metrics"]["counters"]
+        }
+        assert counters[("core.solve.calls", "bisection")] >= 2
+        assert any(s["name"] == "repro.workload" for s in doc["spans"])
+
+    def test_stats_prometheus(self, capsys):
+        assert main(["stats", "--format", "prom", *FAST_WORKLOAD]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE core_solve_calls_total counter" in out
+        assert 'le="+Inf"' in out
+
+    def test_stats_metrics_out(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        assert main(["stats", "--metrics-out", str(path), *FAST_WORKLOAD]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["metrics"]["counters"]
+        assert f"metrics written to {path}" in capsys.readouterr().out
+
+    def test_telemetry_disabled_after_run(self):
+        from repro import obs
+
+        assert main(["stats", *FAST_WORKLOAD]) == 0
+        assert not obs.is_enabled()
+
+
+class TestTraceCommand:
+    def test_trace_prints_span_tree(self, capsys):
+        assert main(["trace", *FAST_WORKLOAD]) == 0
+        out = capsys.readouterr().out
+        assert "repro.workload" in out
+        assert "planner.solve" in out
+        assert "simulate.lu" in out
+        assert "(sim)" in out
+
+    def test_trace_consistency_footer(self, capsys):
+        assert main(["trace", *FAST_WORKLOAD]) == 0
+        out = capsys.readouterr().out
+        # 256/64 = 4 simulated steps, and span count == trace records.
+        assert "simulated LU: 4 step spans, 4 SimulationTrace records" in out
 
 
 class TestReportCommand:
