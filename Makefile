@@ -14,14 +14,19 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Fast perf regression gate: the allocator/planner/telemetry
-# micro-benchmarks only, GC off and few rounds so it finishes in minutes,
-# not hours.  perf_guard additionally emits benchmarks/out/metrics.json
-# and fails on a >10% regression of the p=1080 solve vs the recorded
-# baseline (seeded on the first run).
+# micro-benchmarks plus the adaptive-vs-static ablation at smoke sizes,
+# GC off and few rounds so it finishes in minutes, not hours.
+# perf_guard additionally emits benchmarks/out/metrics.json, fails on a
+# >10% regression of the p=1080 solve vs the recorded baseline (seeded
+# on the first run), and fails if the disabled-adaptation simulators add
+# >2% over the plain executors.
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_perf_allocator.py \
 		benchmarks/bench_obs_overhead.py --benchmark-only \
 		--benchmark-disable-gc --benchmark-min-rounds=3 -q
+	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/bench_ablation_adaptive.py --benchmark-only \
+		--benchmark-disable-gc -q -s
 	$(PYTHON) benchmarks/perf_guard.py --out benchmarks/out/metrics.json
 
 check: test bench-smoke

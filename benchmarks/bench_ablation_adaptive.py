@@ -1,0 +1,156 @@
+"""Ablation: adaptive versus static execution under drift and failure.
+
+The adaptive layer (``repro.adapt``) only earns its complexity if it
+beats the static plan when the environment actually changes.  Two
+scenarios, both in the striped-MM and the LU simulators:
+
+* **load shift** — the fastest machine permanently loses most of its
+  speed mid-run (the paper's "permanently shifted band"), on top of a
+  stochastic OU background load;
+* **dropout** — a machine dies mid-run; the static baseline fails over
+  naively to the model-fastest survivor, the adaptive path redistributes
+  with the functional model over residual capacity.
+
+The tables report the makespan margin; the assertions are the
+acceptance gate ("adaptive beats static by a reported margin").  With
+``REPRO_BENCH_SMOKE=1`` (the ``make bench-smoke`` path) the problem
+sizes shrink so the whole file runs in seconds.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import partition
+from repro.adapt import (
+    AdaptivePolicy,
+    Dropout,
+    FaultScript,
+    LoadShift,
+    simulate_lu_adaptive,
+    simulate_striped_matmul_adaptive,
+)
+from repro.adapt.replanner import DISABLED
+from repro.core.speed_function import PiecewiseLinearSpeedFunction
+from repro.experiments import ascii_table
+from repro.kernels.group_block import variable_group_block
+
+SMOKE = bool(int(os.environ.get("REPRO_BENCH_SMOKE", "0")))
+
+#: Matrix dimensions (smoke keeps the scenarios but shrinks the sizes;
+#: the LU size must stay large enough to amortise block migration).
+N_MM = 300 if SMOKE else 600
+N_LU = 1152 if SMOKE else 2304
+B_LU = 32
+
+POLICY = AdaptivePolicy(patience=2)
+SEED = 20040426
+
+
+def _pwl(peak: float, scale: float = 1.0) -> PiecewiseLinearSpeedFunction:
+    xs = [x * scale for x in (1e3, 1e4, 1e5, 5e5, 1e6, 2e6)]
+    ss = [peak * s for s in (1.00, 0.98, 0.92, 0.70, 0.20, 0.02)]
+    return PiecewiseLinearSpeedFunction(xs, ss)
+
+
+def _mm_fleet():
+    return [_pwl(800.0), _pwl(400.0), _pwl(200.0)]
+
+
+def _lu_fleet():
+    scale = 2.0 if N_LU <= 1152 else 4.0
+    return [_pwl(700.0, scale), _pwl(420.0, scale), _pwl(260.0, scale)]
+
+
+def _margin(static: float, adaptive: float) -> str:
+    return f"{(static - adaptive) / static:+.1%}"
+
+
+def test_mm_adaptive_vs_static(benchmark):
+    sfs = _mm_fleet()
+    alloc = partition(3 * N_MM * N_MM, sfs).allocation
+    t0 = simulate_striped_matmul_adaptive(
+        N_MM, alloc, sfs, policy=DISABLED
+    ).makespan
+
+    scenarios = {
+        "load shift": FaultScript(
+            events=(LoadShift(machine=0, at_time=0.2 * t0, factor=0.4),)
+        ),
+        "dropout": FaultScript(events=(Dropout(machine=1, at_time=0.25 * t0),)),
+    }
+
+    def run():
+        rows = []
+        for name, script in scenarios.items():
+            static = simulate_striped_matmul_adaptive(
+                N_MM, alloc, sfs, policy=DISABLED, script=script,
+                seed=SEED, load_mean=0.1, load_sigma=0.05,
+            )
+            adaptive = simulate_striped_matmul_adaptive(
+                N_MM, alloc, sfs, policy=POLICY, script=script,
+                seed=SEED, load_mean=0.1, load_sigma=0.05,
+            )
+            rows.append((name, static.makespan, adaptive.makespan,
+                         adaptive.replans, adaptive.migrated_elements))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        ascii_table(
+            ["scenario", "static (s)", "adaptive (s)", "margin",
+             "replans", "moved elements"],
+            [
+                (name, f"{st:.4f}", f"{ad:.4f}", _margin(st, ad), rp, mv)
+                for name, st, ad, rp, mv in rows
+            ],
+            title=f"Striped MM n={N_MM}: adaptive vs static under faults",
+        )
+    )
+    for name, static_s, adaptive_s, _, _ in rows:
+        assert adaptive_s < static_s, f"adaptive lost the {name} scenario"
+
+
+def test_lu_adaptive_vs_static(benchmark):
+    sfs = _lu_fleet()
+    dist = variable_group_block(N_LU, B_LU, sfs)
+    t0 = simulate_lu_adaptive(dist, sfs, policy=DISABLED).total_seconds
+
+    scenarios = {
+        "load shift": FaultScript(
+            events=(LoadShift(machine=0, at_time=0.05 * t0, factor=0.35),)
+        ),
+        "dropout": FaultScript(events=(Dropout(machine=0, at_time=0.1 * t0),)),
+    }
+
+    def run():
+        rows = []
+        for name, script in scenarios.items():
+            static = simulate_lu_adaptive(
+                dist, sfs, policy=DISABLED, script=script,
+                seed=SEED, keep_trace=False,
+            )
+            adaptive = simulate_lu_adaptive(
+                dist, sfs, policy=POLICY, script=script,
+                seed=SEED, keep_trace=False,
+            )
+            rows.append((name, static.makespan, adaptive.makespan,
+                         adaptive.replans, adaptive.migrated_blocks))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        ascii_table(
+            ["scenario", "static (s)", "adaptive (s)", "margin",
+             "replans", "moved blocks"],
+            [
+                (name, f"{st:.4f}", f"{ad:.4f}", _margin(st, ad), rp, mv)
+                for name, st, ad, rp, mv in rows
+            ],
+            title=f"LU n={N_LU}, b={B_LU}: adaptive vs static under faults",
+        )
+    )
+    for name, static_s, adaptive_s, _, _ in rows:
+        assert adaptive_s < static_s, f"adaptive lost the {name} scenario"

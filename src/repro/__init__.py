@@ -23,16 +23,31 @@ The package layers:
 * :mod:`repro.experiments` — drivers regenerating every table and figure
   of the paper's evaluation;
 * :mod:`repro.obs` — dependency-free metrics registry, span tracing,
-  exporters and structured logging shared by all of the above.
+  exporters and structured logging shared by all of the above;
+* :mod:`repro.adapt` — fault-tolerant adaptive execution: drift
+  detection against the speed bands, migration-cost-aware replanning,
+  scripted faults, and retrying dispatch for the runtime.
 """
 
-from . import obs
+from . import adapt, obs
+from .adapt import (
+    AdaptivePolicy,
+    DriftDetector,
+    FaultScript,
+    MigrationPlan,
+    Replanner,
+    RetryPolicy,
+    simulate_lu_adaptive,
+    simulate_striped_matmul_adaptive,
+)
 from .core import (
     ALGORITHMS,
+    SUPPORTED_OPTIONS,
     AnalyticSpeedFunction,
     CommAwareSpeedFunction,
     HierarchicalResult,
     ConstantSpeedFunction,
+    PartitionOptions,
     PartitionResult,
     PiecewiseLinearSpeedFunction,
     Rectangle,
@@ -74,6 +89,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ALGORITHMS",
+    "SUPPORTED_OPTIONS",
+    "AdaptivePolicy",
     "AnalyticSpeedFunction",
     "CacheStats",
     "CommAwareSpeedFunction",
@@ -81,10 +98,14 @@ __all__ = [
     "ConfigurationError",
     "ConstantSpeedFunction",
     "ConvergenceError",
+    "DriftDetector",
+    "FaultScript",
     "Fleet",
     "InfeasiblePartitionError",
     "InvalidSpeedFunctionError",
     "MeasurementError",
+    "MigrationPlan",
+    "PartitionOptions",
     "PartitionResult",
     "PlanCache",
     "Planner",
@@ -92,13 +113,16 @@ __all__ = [
     "PiecewiseLinearSpeedFunction",
     "Rectangle",
     "RectanglePartition",
+    "Replanner",
     "ReproError",
+    "RetryPolicy",
     "SpeedBand",
     "SpeedFunction",
     "SpeedSurface",
     "StepSpeedFunction",
     "WeightedPartitionResult",
     "__version__",
+    "adapt",
     "group_speed_function",
     "makespan",
     "obs",
@@ -115,6 +139,8 @@ __all__ = [
     "partition_modified",
     "partition_rectangles",
     "partition_weighted",
+    "simulate_lu_adaptive",
+    "simulate_striped_matmul_adaptive",
     "single_number_speeds",
     "validate_speed_functions",
 ]

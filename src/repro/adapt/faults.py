@@ -1,0 +1,174 @@
+"""Deterministic fault and load-scenario scripts.
+
+The adaptive layer is exercised against *scripted* scenarios: every
+dropout, communication fault and permanent load shift is declared up
+front, so a run is a pure function of ``(plan, script, seed)`` and the
+replanning determinism tests can assert bit-identical migration plans
+across repeated runs.
+
+Three event kinds cover the failure modes of section 1 and the related
+fault-tolerance literature:
+
+* :class:`Dropout` — a machine permanently disappears at a given
+  simulated time (worker crash, network partition);
+* :class:`LoadShift` — a machine's effective speed is permanently
+  multiplied by a factor at a given time (the paper's "permanently
+  shifted band": a new resident workload);
+* :class:`CommFault` — the next ``failures`` dispatch attempts to a
+  machine fail (transient network errors exercised by the runtime's
+  retry path).
+
+:class:`FaultScript` bundles events; :class:`FaultInjector` is its
+mutable per-run cursor used by the emulated-cluster runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "CommFault",
+    "Dropout",
+    "FaultInjector",
+    "FaultScript",
+    "InjectedCommError",
+    "LoadShift",
+]
+
+
+class InjectedCommError(RuntimeError):
+    """A scripted communication fault raised at dispatch time."""
+
+
+@dataclass(frozen=True)
+class Dropout:
+    """Machine ``machine`` dies permanently at simulated time ``at_time``."""
+
+    machine: int
+    at_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.machine < 0 or self.at_time < 0:
+            raise ConfigurationError(f"invalid dropout event {self!r}")
+
+
+@dataclass(frozen=True)
+class LoadShift:
+    """Machine ``machine``'s speed is multiplied by ``factor`` from ``at_time`` on.
+
+    ``factor`` in ``(0, 1)`` models a new permanent background workload
+    (the paper's shifted band); ``factor > 1`` models load *removal*.
+    """
+
+    machine: int
+    at_time: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.machine < 0 or self.at_time < 0 or self.factor <= 0:
+            raise ConfigurationError(f"invalid load-shift event {self!r}")
+
+
+@dataclass(frozen=True)
+class CommFault:
+    """The next ``failures`` dispatches to ``machine`` fail, from ``at_dispatch``.
+
+    ``at_dispatch`` counts dispatch attempts to that machine (0-based),
+    so a script is deterministic regardless of wall-clock timing.
+    """
+
+    machine: int
+    failures: int = 1
+    at_dispatch: int = 0
+
+    def __post_init__(self) -> None:
+        if self.machine < 0 or self.failures < 1 or self.at_dispatch < 0:
+            raise ConfigurationError(f"invalid comm-fault event {self!r}")
+
+
+@dataclass(frozen=True)
+class FaultScript:
+    """An immutable, ordered collection of scripted events."""
+
+    events: tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        for e in self.events:
+            if not isinstance(e, (Dropout, LoadShift, CommFault)):
+                raise ConfigurationError(f"unknown fault event {e!r}")
+
+    def dropouts(self) -> list[Dropout]:
+        """Dropout events, ordered by time."""
+        out = [e for e in self.events if isinstance(e, Dropout)]
+        return sorted(out, key=lambda e: (e.at_time, e.machine))
+
+    def load_shifts(self) -> list[LoadShift]:
+        """Load-shift events, ordered by time."""
+        out = [e for e in self.events if isinstance(e, LoadShift)]
+        return sorted(out, key=lambda e: (e.at_time, e.machine))
+
+    def comm_faults(self) -> list[CommFault]:
+        """Communication faults in declaration order."""
+        return [e for e in self.events if isinstance(e, CommFault)]
+
+    def __iter__(self) -> Iterator:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class FaultInjector:
+    """Mutable dispatch-time cursor over a script's communication faults.
+
+    The runtime consults :meth:`check_dispatch` immediately before every
+    task dispatch; a scripted fault surfaces as
+    :class:`InjectedCommError`, which the retry machinery treats exactly
+    like a real transport error.  Machines listed in :class:`Dropout`
+    events (with any ``at_time``) fail *every* dispatch from their
+    ``at_dispatch``-th onward — for the runtime, a dropout is simply a
+    comm fault that never heals.
+    """
+
+    def __init__(self, script: FaultScript | Sequence | None = None):
+        if script is None:
+            script = FaultScript()
+        elif not isinstance(script, FaultScript):
+            script = FaultScript(tuple(script))
+        self._script = script
+        self._dispatches: dict[int, int] = {}
+        self._dead: set[int] = set()
+
+    @property
+    def script(self) -> FaultScript:
+        return self._script
+
+    @property
+    def dead_machines(self) -> frozenset[int]:
+        """Machines that have permanently dropped out so far."""
+        return frozenset(self._dead)
+
+    def check_dispatch(self, machine: int) -> None:
+        """Raise :class:`InjectedCommError` if this dispatch is scripted to fail."""
+        attempt = self._dispatches.get(machine, 0)
+        self._dispatches[machine] = attempt + 1
+        if machine in self._dead:
+            raise InjectedCommError(f"machine {machine} has dropped out")
+        for e in self._script.comm_faults():
+            if e.machine == machine and e.at_dispatch <= attempt < e.at_dispatch + e.failures:
+                raise InjectedCommError(
+                    f"scripted comm fault on machine {machine} "
+                    f"(dispatch {attempt})"
+                )
+        for d in self._script.dropouts():
+            if d.machine == machine:
+                self._dead.add(machine)
+                raise InjectedCommError(f"machine {machine} has dropped out")
+
+    def dispatches(self, machine: int) -> int:
+        """Dispatch attempts seen for a machine so far."""
+        return self._dispatches.get(machine, 0)

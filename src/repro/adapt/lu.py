@@ -1,0 +1,463 @@
+"""Adaptive simulated execution of the parallel LU factorisation.
+
+LU factorisation has a natural observation grain — the elimination step —
+so the adaptive variant needs no artificial time quantum: every step
+yields one effective-speed observation per participating machine, judged
+against the model bands by the :class:`~repro.adapt.detector.DriftDetector`.
+On a confirmed drift (or a dropout) the distribution of the *remaining*
+column blocks is rebuilt with
+:func:`~repro.kernels.group_block.variable_group_block` over the
+observed-speed-rescaled model; the rebuild is applied only when a dry run
+of the remaining steps projects savings exceeding the modelled cost of
+moving the reassigned column blocks.
+
+With ``policy=DISABLED``, no background load and an empty fault script
+the function delegates to :func:`~repro.simulate.lu_executor.simulate_lu`
+verbatim — the static path's output is bit-identical to today's executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from .. import obs
+from ..core.band import SpeedBand
+from ..core.speed_function import SpeedFunction
+from ..exceptions import ConfigurationError, InfeasiblePartitionError
+from ..kernels.group_block import GroupBlockDistribution, variable_group_block
+from ..machines.comm import CommModel
+from ..machines.dynamic import ou_load_trace
+from ..simulate.events import LUStepRecord, SimulationTrace
+from ..simulate.lu_executor import LUSimulation, simulate_lu
+from .detector import DriftDetector
+from .faults import FaultScript
+from .replanner import AdaptivePolicy, scale_speed_function
+
+__all__ = ["AdaptiveLUSimulation", "simulate_lu_adaptive"]
+
+_ELEMENT_BYTES = 8
+
+#: Default transfer rate pricing block moves when no CommModel is given.
+_DEFAULT_BYTES_PER_S = 100e6 / 8.0
+
+#: OU streams are generated in chunks of this many steps per machine.
+_CHUNK = 256
+
+#: Shared empty script so the hot disabled path allocates nothing.
+_EMPTY_SCRIPT = FaultScript()
+
+
+@dataclass
+class AdaptiveLUSimulation:
+    """Result of one adaptive (or statically degraded) LU run.
+
+    ``owners_final`` is the block-to-processor map actually executed
+    (diverging from the input distribution after replans or dropouts);
+    ``base`` carries the plain
+    :class:`~repro.simulate.lu_executor.LUSimulation` when the run took
+    the bit-identical delegation path.
+    """
+
+    n: int
+    b: int
+    total_seconds: float
+    comm_seconds: float
+    stall_seconds: float
+    drifts: int
+    replans: int
+    migrated_blocks: int
+    dropouts_survived: int
+    owners_final: np.ndarray
+    trace: SimulationTrace
+    events: list[str] = field(default_factory=list)
+    base: LUSimulation | None = None
+
+    @property
+    def makespan(self) -> float:
+        return self.total_seconds
+
+    @property
+    def steps(self) -> int:
+        return len(self.trace)
+
+
+def _speed_at(sf: SpeedFunction, x: float) -> float:
+    s = float(sf.speed(min(x, sf.max_size)))
+    if s <= 0:
+        raise ConfigurationError(f"non-positive speed at problem size {x:g}")
+    return s
+
+
+def _counts_from(owners: np.ndarray, p: int, start: int) -> np.ndarray:
+    return np.bincount(owners[start:], minlength=p).astype(np.int64)
+
+
+def _project_remaining(
+    owners: np.ndarray,
+    start: int,
+    n: int,
+    b: int,
+    speed_functions: Sequence[SpeedFunction],
+    alive: np.ndarray,
+) -> float:
+    """Dry-run the remaining steps at the given (effective) speeds."""
+    p = len(speed_functions)
+    total = 0.0
+    num_blocks = owners.size
+    for k in range(start, num_blocks):
+        rem = n - k * b
+        width = min(b, rem)
+        owner = int(owners[k])
+        if not alive[owner]:
+            return float("inf")
+        panel_flops = float(width) ** 2 * (float(rem) - float(width) / 3.0)
+        total += panel_flops / (
+            1e6 * _speed_at(speed_functions[owner], float(rem) * width)
+        )
+        counts = _counts_from(owners, p, k + 1)
+        trailing_rows = rem - width
+        if trailing_rows > 0:
+            worst = 0.0
+            for i in range(p):
+                cols = float(counts[i]) * b
+                if cols == 0:
+                    continue
+                flops = 2.0 * trailing_rows * width * cols
+                x = float(rem) * cols
+                worst = max(
+                    worst, flops / (1e6 * _speed_at(speed_functions[i], x))
+                )
+            total += worst
+    return total
+
+
+def _move_cost(
+    old_owners: np.ndarray,
+    new_owners: np.ndarray,
+    start: int,
+    n: int,
+    b: int,
+    comm: CommModel | None,
+) -> tuple[int, float]:
+    """Blocks changing owner from ``start`` on, and the transfer cost.
+
+    Each moved block column carries its remaining ``rem x width`` panel.
+    """
+    moved = 0
+    messages: list[tuple[int, int, float]] = []
+    volume = 0.0
+    for k in range(start, old_owners.size):
+        if old_owners[k] == new_owners[k]:
+            continue
+        moved += 1
+        rem = n - k * b
+        width = min(b, rem)
+        nbytes = float(rem) * width * _ELEMENT_BYTES
+        volume += nbytes
+        messages.append((int(old_owners[k]), int(new_owners[k]), nbytes))
+    if comm is not None:
+        cost = comm.message_set(messages)
+    else:
+        cost = volume / _DEFAULT_BYTES_PER_S
+    return moved, float(cost)
+
+
+class _StepLoads:
+    """Chunked per-machine OU load samples, one per elimination step."""
+
+    def __init__(self, p: int, seed: int, mean: float, sigma: float, tau: float):
+        self._active = mean > 0 or sigma > 0
+        self._mean, self._sigma, self._tau = mean, sigma, tau
+        self._rngs = [np.random.default_rng([int(seed), 104729, i]) for i in range(p)]
+        self._chunks: list[np.ndarray] = [np.zeros(0) for _ in range(p)]
+        self._offset = [0] * p
+
+    def load(self, machine: int, step: int) -> float:
+        if not self._active:
+            return 0.0
+        chunk = self._chunks[machine]
+        while step >= self._offset[machine] + chunk.size:
+            self._offset[machine] += chunk.size
+            chunk = ou_load_trace(
+                self._rngs[machine], _CHUNK, 1.0,
+                mean=self._mean, sigma=self._sigma, tau=self._tau,
+            )
+            self._chunks[machine] = chunk
+        return float(chunk[step - self._offset[machine]])
+
+
+def simulate_lu_adaptive(
+    dist: GroupBlockDistribution,
+    truth_speed_functions: Sequence[SpeedFunction],
+    *,
+    model_speed_functions: Sequence[SpeedFunction] | None = None,
+    bands: Sequence[SpeedBand] | None = None,
+    policy: AdaptivePolicy | None = None,
+    script: FaultScript | None = None,
+    seed: int = 0,
+    load_mean: float = 0.0,
+    load_sigma: float = 0.0,
+    load_tau: float = 8.0,
+    comm: CommModel | None = None,
+    keep_trace: bool = True,
+) -> AdaptiveLUSimulation:
+    """Simulate the parallel LU factorisation under faults and drifting load.
+
+    Parameters mirror :func:`~repro.simulate.lu_executor.simulate_lu`,
+    plus the adaptive environment: ``model_speed_functions`` (the model
+    the distribution was built from; drift is judged against it),
+    ``policy``, a :class:`~repro.adapt.faults.FaultScript` whose event
+    times are in simulated seconds, the seeded per-machine OU background
+    load (``load_tau`` in *steps*), and optional ``bands`` overriding the
+    default ``policy.band_width`` envelopes.
+    """
+    policy = policy if policy is not None else AdaptivePolicy()
+    script = script if script is not None else _EMPTY_SCRIPT
+    p = len(truth_speed_functions)
+    if model_speed_functions is not None and len(model_speed_functions) != p:
+        raise ConfigurationError(
+            f"got {len(model_speed_functions)} model functions for {p} processors"
+        )
+    clean = len(script) == 0 and load_mean == 0.0 and load_sigma == 0.0
+    if not policy.enabled and clean:
+        base = simulate_lu(
+            dist, truth_speed_functions, comm=comm, keep_trace=keep_trace
+        )
+        return AdaptiveLUSimulation(
+            n=base.n, b=base.b,
+            total_seconds=base.total_seconds,
+            comm_seconds=base.comm_seconds,
+            stall_seconds=0.0,
+            drifts=0, replans=0, migrated_blocks=0, dropouts_survived=0,
+            owners_final=dist.block_owners,
+            trace=base.trace,
+            base=base,
+        )
+
+    model = (
+        tuple(model_speed_functions)
+        if model_speed_functions is not None
+        else tuple(truth_speed_functions)
+    )
+    n, b = dist.n, dist.b
+    owners = dist.block_owners.copy()
+    num_blocks = owners.size
+    if owners.size and int(owners.max()) >= p:
+        raise ConfigurationError(
+            f"distribution references processor {int(owners.max())} but only "
+            f"{p} speed functions were given"
+        )
+    detector = DriftDetector(
+        bands if bands is not None else model,
+        slack=policy.slack,
+        patience=policy.patience,
+        smoothing=policy.smoothing,
+        default_width=policy.band_width,
+    )
+    loads = _StepLoads(p, seed, load_mean, load_sigma, load_tau)
+    dropouts = list(script.dropouts())
+    shifts = list(script.load_shifts())
+
+    shift_factor = np.ones(p, dtype=float)
+    alive = np.ones(p, dtype=bool)
+    trace = SimulationTrace()
+    events: list[str] = []
+    total = 0.0
+    comm_total = 0.0
+    stall_total = 0.0
+    replans = 0
+    migrated_blocks = 0
+    dropouts_survived = 0
+    cooldown_until_step = 0
+
+    def effective(i: int, step: int) -> float:
+        """Multiplier on machine ``i``'s truth speed at this step."""
+        return (1.0 - loads.load(i, step)) * float(shift_factor[i])
+
+    def scaled_model(factors: np.ndarray) -> list[SpeedFunction]:
+        return [
+            scale_speed_function(sf, max(float(f), 1e-9))
+            for sf, f in zip(model, factors)
+        ]
+
+    def rebuild(start: int, factors: np.ndarray, reason: str) -> None:
+        """Rebuild the remaining blocks' owners; apply if it pays off."""
+        nonlocal owners, replans, migrated_blocks, stall_total, total
+        nonlocal cooldown_until_step
+        remaining_blocks = num_blocks - start
+        if remaining_blocks <= 0:
+            return
+        rem_cols = n - start * b
+        survivors = [i for i in range(p) if alive[i]]
+        if not survivors:
+            raise InfeasiblePartitionError(
+                "every machine has dropped out with blocks remaining"
+            )
+        observed = scaled_model(factors)
+        forced = "dropout" in reason
+        if policy.enabled:
+            sub = variable_group_block(
+                rem_cols, b, [observed[i] for i in survivors]
+            )
+            new_owners = owners.copy()
+            new_owners[start:] = np.asarray(
+                [survivors[j] for j in sub.block_owners], dtype=np.int64
+            )
+        else:
+            # Static failover: hand every dead machine's remaining blocks
+            # to the survivor the model calls fastest, leave the rest.
+            ref = max(float(rem_cols) * b, 1.0)
+            best = max(survivors, key=lambda j: _speed_at(model[j], ref))
+            new_owners = owners.copy()
+            mask = ~alive[new_owners[start:]]
+            new_owners[start:][mask] = best
+        moved, cost = _move_cost(owners, new_owners, start, n, b, comm)
+        if not forced:
+            # Drift-triggered: apply only when the projected savings of a
+            # dry run at the observed speeds beat the migration cost.
+            keep = _project_remaining(owners, start, n, b, observed, alive)
+            switch = _project_remaining(new_owners, start, n, b, observed, alive)
+            savings = keep - switch
+            if moved == 0 or savings <= policy.min_savings_factor * cost:
+                events.append(
+                    f"step {start}: {reason}; rebuild not applied "
+                    f"(savings {savings:.3g}s, cost {cost:.3g}s)"
+                )
+                return
+            if replans >= policy.max_replans:
+                events.append(f"step {start}: {reason}; replan budget exhausted")
+                return
+        owners = new_owners
+        replans += 1
+        migrated_blocks += moved
+        stall_total += cost
+        total += cost
+        cooldown_until_step = start + policy.cooldown_steps
+        if obs.is_enabled():
+            obs.record_adapt(replans=1)
+        events.append(
+            f"step {start}: {reason}; rebuilt remaining {remaining_blocks} "
+            f"blocks, moved {moved} ({cost:.4g}s migration)"
+        )
+
+    telemetry = obs.is_enabled()
+    with obs.span("adapt.lu", n=n, b=b, p=p, steps=num_blocks):
+        for k in range(num_blocks):
+            t = total
+            # -- scripted permanent load shifts ----------------------------
+            while shifts and shifts[0].at_time <= t:
+                ev = shifts.pop(0)
+                if ev.machine < p:
+                    shift_factor[ev.machine] *= ev.factor
+                    events.append(
+                        f"step {k}: load shift x{ev.factor:g} on machine "
+                        f"{ev.machine}"
+                    )
+            # -- scripted dropouts -----------------------------------------
+            dropped = []
+            while dropouts and dropouts[0].at_time <= t:
+                ev = dropouts.pop(0)
+                if ev.machine < p and alive[ev.machine]:
+                    alive[ev.machine] = False
+                    dropped.append(ev.machine)
+            if dropped:
+                owned_ahead = int(np.isin(owners[k:], dropped).sum())
+                events.append(
+                    f"step {k}: machine(s) {dropped} dropped out "
+                    f"({owned_ahead} remaining blocks orphaned)"
+                )
+                if owned_ahead:
+                    rebuild(k, detector.factors(), f"dropout of {dropped}")
+                    dropouts_survived += len(dropped)
+                    if obs.is_enabled():
+                        obs.record_adapt(dropouts=len(dropped))
+            # -- one elimination step --------------------------------------
+            rem = n - k * b
+            width = min(b, rem)
+            owner = int(owners[k])
+            if not alive[owner]:
+                raise InfeasiblePartitionError(
+                    f"block {k} owned by dead machine {owner} after recovery"
+                )
+            eff_owner = effective(owner, k)
+            if eff_owner <= 0:
+                raise ConfigurationError(
+                    f"machine {owner} has non-positive effective speed"
+                )
+            panel_flops = float(width) ** 2 * (float(rem) - float(width) / 3.0)
+            panel_speed = (
+                _speed_at(truth_speed_functions[owner], float(rem) * width)
+                * eff_owner
+            )
+            panel_s = panel_flops / (1e6 * panel_speed)
+            comm_s = 0.0
+            if comm is not None and p > 1:
+                comm_s = comm.broadcast(owner, float(rem) * width * _ELEMENT_BYTES)
+            counts = _counts_from(owners, p, k + 1)
+            trailing_rows = rem - width
+            updates = np.zeros(p, dtype=float)
+            drift_event = None
+            if trailing_rows > 0:
+                for i in range(p):
+                    cols = float(counts[i]) * b
+                    if cols == 0 or not alive[i]:
+                        continue
+                    eff = effective(i, k)
+                    x = float(rem) * cols
+                    speed = _speed_at(truth_speed_functions[i], x) * eff
+                    flops = 2.0 * trailing_rows * width * cols
+                    updates[i] = flops / (1e6 * speed)
+                    if policy.enabled and k >= cooldown_until_step:
+                        ev = detector.observe(i, x, speed, time=total)
+                        if ev is not None and drift_event is None:
+                            drift_event = ev
+            update_s = float(updates.max()) if p else 0.0
+            total += panel_s + comm_s + update_s
+            comm_total += comm_s
+            if keep_trace:
+                trace.append(
+                    LUStepRecord(
+                        step=k,
+                        remaining=rem,
+                        owner=owner,
+                        panel_seconds=panel_s,
+                        comm_seconds=comm_s,
+                        update_seconds=update_s,
+                        update_per_processor=tuple(float(u) for u in updates),
+                    )
+                )
+            if telemetry:
+                obs.record(
+                    "adapt.lu.step",
+                    panel_s + comm_s + update_s,
+                    attrs={"step": k, "owner": owner, "remaining": rem},
+                )
+            # -- drift-triggered rebuild of the remaining blocks -----------
+            if drift_event is not None and k + 1 < num_blocks:
+                rebuild(
+                    k + 1,
+                    detector.factors(),
+                    f"drift on machine {drift_event.machine} "
+                    f"(factor {drift_event.factor:.3f})",
+                )
+                detector.reset_streaks()
+    if telemetry:
+        reg = obs.get_registry()
+        reg.counter("adapt.lu.calls").inc()
+        reg.counter("adapt.lu.steps.total").inc(num_blocks)
+    return AdaptiveLUSimulation(
+        n=n, b=b,
+        total_seconds=total,
+        comm_seconds=comm_total,
+        stall_seconds=stall_total,
+        drifts=detector.drifts,
+        replans=replans,
+        migrated_blocks=migrated_blocks,
+        dropouts_survived=dropouts_survived,
+        owners_final=owners,
+        trace=trace,
+        events=events,
+    )

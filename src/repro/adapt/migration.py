@@ -1,0 +1,150 @@
+"""Bounded migration plans between two allocations.
+
+A replan is only worth applying when the projected makespan savings
+exceed the cost of *moving the data*: redistributing stripe elements
+between machines is real communication.  :func:`plan_migration` turns an
+``(old, new)`` allocation pair into the minimal set of element moves —
+the total volume ``sum(max(new - old, 0))`` is the information-theoretic
+minimum, and surpluses are matched to deficits greedily in processor
+order so the move list (and therefore the modelled cost) is a pure,
+deterministic function of the two allocations.
+
+The cost model reuses the two-parameter links of
+:class:`~repro.machines.comm.CommModel` when one is given; otherwise a
+flat per-byte rate stands in, so a replan decision can still weigh
+savings against volume without a full link matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..machines.comm import CommModel
+
+__all__ = ["MigrationPlan", "Move", "apply_migration", "plan_migration"]
+
+#: Bytes per double-precision element (matches the simulators).
+_ELEMENT_BYTES = 8
+
+#: Fallback transfer rate when no CommModel is given: 100 Mbit Ethernet.
+_DEFAULT_BYTES_PER_S = 100e6 / 8.0
+
+
+@dataclass(frozen=True)
+class Move:
+    """``elements`` elements travel from processor ``source`` to ``dest``."""
+
+    source: int
+    dest: int
+    elements: int
+
+    def __post_init__(self) -> None:
+        if self.source < 0 or self.dest < 0 or self.source == self.dest:
+            raise ConfigurationError(f"invalid move endpoints {self!r}")
+        if self.elements <= 0:
+            raise ConfigurationError(f"moves must carry elements, got {self!r}")
+
+
+@dataclass(frozen=True)
+class MigrationPlan:
+    """An ordered, deterministic set of moves plus its modelled cost."""
+
+    moves: tuple[Move, ...]
+    cost_seconds: float
+
+    @property
+    def total_elements(self) -> int:
+        """Total volume moved — the minimum for the allocation change."""
+        return sum(m.elements for m in self.moves)
+
+    @property
+    def empty(self) -> bool:
+        return not self.moves
+
+    def __len__(self) -> int:
+        return len(self.moves)
+
+
+#: The do-nothing plan.
+EMPTY_PLAN = MigrationPlan(moves=(), cost_seconds=0.0)
+
+
+def plan_migration(
+    old_allocation: Sequence[int],
+    new_allocation: Sequence[int],
+    *,
+    comm: CommModel | None = None,
+    element_bytes: int = _ELEMENT_BYTES,
+) -> MigrationPlan:
+    """The minimal element moves taking ``old_allocation`` to ``new_allocation``.
+
+    Surplus processors (``old > new``) are matched to deficit processors
+    (``new > old``) by ascending index with two cursors; each pairing
+    moves ``min(surplus, deficit)`` elements.  The moved volume equals
+    ``sum(max(new - old, 0))`` (no plan can move less) and at most
+    ``p - 1`` messages are emitted.  The modelled cost charges each move
+    over the corresponding :class:`~repro.machines.comm.CommModel` link
+    (serialised or parallel per the model) or, without a model, the flat
+    default Ethernet rate.
+    """
+    old = np.asarray(old_allocation, dtype=np.int64)
+    new = np.asarray(new_allocation, dtype=np.int64)
+    if old.shape != new.shape or old.ndim != 1:
+        raise ConfigurationError(
+            f"allocation shapes differ: {old.shape} vs {new.shape}"
+        )
+    if np.any(old < 0) or np.any(new < 0):
+        raise ConfigurationError("allocations must be non-negative")
+    if int(old.sum()) != int(new.sum()):
+        raise ConfigurationError(
+            f"allocations must conserve elements: {int(old.sum())} vs "
+            f"{int(new.sum())}"
+        )
+    diff = new - old
+    sources = [int(i) for i in np.nonzero(diff < 0)[0]]
+    dests = [int(i) for i in np.nonzero(diff > 0)[0]]
+    moves: list[Move] = []
+    si = di = 0
+    surplus = -int(diff[sources[si]]) if sources else 0
+    deficit = int(diff[dests[di]]) if dests else 0
+    while si < len(sources) and di < len(dests):
+        amount = min(surplus, deficit)
+        moves.append(Move(source=sources[si], dest=dests[di], elements=amount))
+        surplus -= amount
+        deficit -= amount
+        if surplus == 0:
+            si += 1
+            if si < len(sources):
+                surplus = -int(diff[sources[si]])
+        if deficit == 0:
+            di += 1
+            if di < len(dests):
+                deficit = int(diff[dests[di]])
+    if comm is not None:
+        cost = comm.message_set(
+            [(m.source, m.dest, float(m.elements) * element_bytes) for m in moves]
+        )
+    else:
+        volume = sum(m.elements for m in moves)
+        cost = volume * element_bytes / _DEFAULT_BYTES_PER_S
+    return MigrationPlan(moves=tuple(moves), cost_seconds=float(cost))
+
+
+def apply_migration(
+    allocation: Sequence[int], plan: MigrationPlan
+) -> np.ndarray:
+    """The allocation after executing a plan (pure; returns a new array)."""
+    out = np.asarray(allocation, dtype=np.int64).copy()
+    for m in plan.moves:
+        if out[m.source] < m.elements:
+            raise ConfigurationError(
+                f"move {m!r} exceeds the {int(out[m.source])} elements held "
+                f"by processor {m.source}"
+            )
+        out[m.source] -= m.elements
+        out[m.dest] += m.elements
+    return out

@@ -1,0 +1,116 @@
+"""Retry with exponential backoff and timeouts for task dispatch.
+
+The emulated-cluster runtime dispatches real work to worker processes;
+transient failures (scripted comm faults, worker hiccups) are absorbed
+by retrying with exponential backoff, and a hung worker is bounded by a
+per-attempt timeout.  The policy is a frozen dataclass so fault
+scenarios are reproducible, and the backoff schedule is deterministic
+(no jitter) for the same reason.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from .. import obs
+from ..exceptions import ConfigurationError
+
+__all__ = ["RetryPolicy", "RetryExhaustedError", "call_with_retry"]
+
+T = TypeVar("T")
+
+
+class RetryExhaustedError(RuntimeError):
+    """Every attempt allowed by a :class:`RetryPolicy` failed.
+
+    ``last`` carries the final attempt's exception; ``attempts`` the
+    number of attempts made.
+    """
+
+    def __init__(self, message: str, *, attempts: int, last: BaseException):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last = last
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential-backoff retry schedule for one dispatch.
+
+    Attributes
+    ----------
+    retries:
+        Retries *after* the first attempt (``retries=3`` means up to 4
+        attempts in total).
+    base_delay:
+        Backoff before the first retry (seconds).
+    factor:
+        Multiplier applied per retry (``delay_k = base_delay * factor**k``).
+    max_delay:
+        Cap on any single backoff.
+    timeout:
+        Per-attempt timeout (seconds) handed to future ``.result()``
+        calls; ``None`` waits for ever.
+    """
+
+    retries: int = 3
+    base_delay: float = 0.05
+    factor: float = 2.0
+    max_delay: float = 2.0
+    timeout: float | None = 30.0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0 or self.base_delay < 0 or self.max_delay < 0:
+            raise ConfigurationError(f"invalid retry policy {self!r}")
+        if self.factor < 1.0:
+            raise ConfigurationError(f"backoff factor must be >= 1, got {self.factor!r}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigurationError(f"timeout must be positive, got {self.timeout!r}")
+
+    def delays(self) -> list[float]:
+        """The deterministic backoff schedule, one entry per retry."""
+        return [
+            min(self.base_delay * self.factor**k, self.max_delay)
+            for k in range(self.retries)
+        ]
+
+
+#: A policy that never retries and never waits — for tests and tight loops.
+NO_RETRY = RetryPolicy(retries=0, base_delay=0.0, timeout=None)
+
+
+def call_with_retry(
+    fn: Callable[[], T],
+    *,
+    policy: RetryPolicy,
+    description: str = "task",
+    sleep: Callable[[float], None] = time.sleep,
+    retryable: tuple[type[BaseException], ...] = (Exception,),
+) -> T:
+    """Run ``fn`` under the policy; return its value or raise after exhaustion.
+
+    Every failed attempt is counted on the ``adapt.retries`` metric; when
+    the budget is exhausted a :class:`RetryExhaustedError` wrapping the
+    last exception is raised, which callers treat as a permanent failure
+    of the target (worker dead → graceful degradation).
+    """
+    delays = policy.delays()
+    attempts = 0
+    while True:
+        try:
+            return fn()
+        except retryable as exc:
+            attempts += 1
+            if obs.is_enabled():
+                obs.record_adapt(retries=1)
+            if attempts > len(delays):
+                raise RetryExhaustedError(
+                    f"{description} failed after {attempts} attempt(s): {exc}",
+                    attempts=attempts,
+                    last=exc,
+                ) from exc
+            backoff = delays[attempts - 1]
+            if backoff > 0:
+                sleep(backoff)

@@ -24,7 +24,8 @@ from .geometry import (
 from .hierarchical import HierarchicalResult, group_speed_function, partition_hierarchical
 from .modified import partition_modified
 from .multidim import SpeedSurface, partition_2d_fixed
-from .partition import ALGORITHMS, partition
+from .options import PartitionOptions
+from .partition import ALGORITHMS, SUPPORTED_OPTIONS, partition
 from .rectangles import Rectangle, RectanglePartition, partition_rectangles
 from .refine import makespan, refine_greedy, refine_paper
 from .result import PartitionResult
@@ -41,10 +42,12 @@ from .weighted import WeightedPartitionResult, partition_weighted
 
 __all__ = [
     "ALGORITHMS",
+    "SUPPORTED_OPTIONS",
     "AnalyticSpeedFunction",
     "CommAwareSpeedFunction",
     "HierarchicalResult",
     "ConstantSpeedFunction",
+    "PartitionOptions",
     "PartitionResult",
     "PiecewiseLinearSet",
     "PiecewiseLinearSpeedFunction",

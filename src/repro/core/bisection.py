@@ -22,8 +22,9 @@ from typing import Sequence
 import numpy as np
 
 from .. import obs
-from ..exceptions import ConvergenceError
+from ..exceptions import ConfigurationError, ConvergenceError
 from .geometry import SlopeRegion, allocations, ensure_bracket, initial_bracket
+from .options import reject_unknown_options
 from .vectorized import PiecewiseLinearSet, pack_speed_functions
 from .refine import makespan, refine_greedy, refine_paper
 from .result import PartitionResult
@@ -49,6 +50,7 @@ def partition_bisection(
     keep_trace: bool = False,
     region: SlopeRegion | None = None,
     pack: PiecewiseLinearSet | None = None,
+    **extra,
 ) -> PartitionResult:
     """Partition ``n`` elements with the basic bisection algorithm.
 
@@ -88,6 +90,7 @@ def partition_bisection(
     PartitionResult
         ``result.region`` holds the final converged bracket for reuse.
     """
+    reject_unknown_options("bisection", extra)
     p = len(speed_functions)
     if n == 0:
         return PartitionResult(
@@ -147,7 +150,7 @@ def partition_bisection(
     elif refine == "paper":
         alloc = refine_paper(n, speed_functions, low_alloc, high_alloc, pack=pack)
     else:
-        raise ValueError(f"unknown refine procedure {refine!r}")
+        raise ConfigurationError(f"unknown refine procedure {refine!r}")
     if obs.is_enabled():
         obs.record_solver(
             "bisection",
@@ -302,7 +305,7 @@ def partition_bisection_many(
                     n, speed_functions, low_allocs[i], high_allocs[i], pack=pack
                 )
             else:
-                raise ValueError(f"unknown refine procedure {refine!r}")
+                raise ConfigurationError(f"unknown refine procedure {refine!r}")
             solved[n] = PartitionResult(
                 allocation=alloc,
                 makespan=makespan(speed_functions, alloc, pack=pack),

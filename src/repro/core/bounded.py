@@ -9,12 +9,12 @@ module provides the truncation wrapper and a convenience front-end.
 
 from __future__ import annotations
 
-import math
 from typing import Sequence
 
 import numpy as np
 
 from ..exceptions import InfeasiblePartitionError
+from .options import PartitionOptions
 from .partition import partition
 from .result import PartitionResult
 from .speed_function import SpeedFunction
@@ -61,6 +61,7 @@ def partition_bounded(
     bounds: Sequence[float],
     *,
     algorithm: str = "combined",
+    options: PartitionOptions | None = None,
     **kwargs,
 ) -> PartitionResult:
     """Partition ``n`` elements subject to per-processor element bounds.
@@ -75,26 +76,16 @@ def partition_bounded(
         Upper bound ``b_i`` on the elements each processor may store.
         ``math.inf`` disables the bound for a processor (its own
         ``max_size`` still applies).
-    algorithm, **kwargs:
-        Forwarded to :func:`~repro.core.partition.partition`.
+    algorithm, options, **kwargs:
+        Forwarded to :func:`~repro.core.partition.partition`; ``bounds``
+        overrides any bounds carried by ``options``.
 
     Raises
     ------
     InfeasiblePartitionError
         When ``sum(min(b_i, max_size_i)) < n``.
     """
-    if len(bounds) != len(speed_functions):
-        raise InfeasiblePartitionError(
-            f"got {len(bounds)} bounds for {len(speed_functions)} processors"
-        )
-    truncated: list[SpeedFunction] = []
-    for sf, b in zip(speed_functions, bounds):
-        truncated.append(sf if math.isinf(b) else TruncatedSpeedFunction(sf, b))
-    capacity = sum(sf.max_size for sf in truncated)
-    if capacity < n:
-        raise InfeasiblePartitionError(
-            f"combined bounds ({capacity:g}) cannot store {n} elements"
-        )
-    result = partition(n, truncated, algorithm=algorithm, **kwargs)
-    result.algorithm = f"{result.algorithm}+bounded"
-    return result
+    options = (options or PartitionOptions()).replace(bounds=tuple(bounds))
+    return partition(
+        n, speed_functions, algorithm=algorithm, options=options, **kwargs
+    )

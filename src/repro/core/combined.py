@@ -30,7 +30,8 @@ from typing import Sequence
 import numpy as np
 
 from .. import obs
-from ..exceptions import ConvergenceError
+from ..exceptions import ConfigurationError, ConvergenceError
+from .options import reject_unknown_options
 from .geometry import SlopeRegion, allocations, ensure_bracket, initial_bracket
 from .vectorized import PiecewiseLinearSet, pack_speed_functions
 from .modified import partition_modified
@@ -74,6 +75,7 @@ def partition_combined(
     stall_factor: float = 0.75,
     region: SlopeRegion | None = None,
     pack: PiecewiseLinearSet | None = None,
+    **extra,
 ) -> PartitionResult:
     """Partition ``n`` elements, switching basic -> modified when useful.
 
@@ -82,6 +84,7 @@ def partition_combined(
     ``pack``).  ``flat_tol``, ``stall_limit`` and ``stall_factor`` tune
     the switch heuristics described in the module docstring.
     """
+    reject_unknown_options("combined", extra)
     p = len(speed_functions)
     if n == 0:
         return PartitionResult(
@@ -186,7 +189,7 @@ def partition_combined(
     elif refine == "paper":
         alloc = refine_paper(n, speed_functions, low_alloc, high_alloc, pack=pack)
     else:
-        raise ValueError(f"unknown refine procedure {refine!r}")
+        raise ConfigurationError(f"unknown refine procedure {refine!r}")
     if obs.is_enabled():
         obs.record_solver(
             "combined",

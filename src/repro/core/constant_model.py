@@ -28,6 +28,7 @@ from typing import Sequence
 import numpy as np
 
 from ..exceptions import InfeasiblePartitionError
+from .options import reject_unknown_options
 from .result import PartitionResult
 from .speed_function import SpeedFunction
 
@@ -39,10 +40,39 @@ __all__ = [
 ]
 
 
-def _check_inputs(n: int, speeds: Sequence[float]) -> np.ndarray:
+def _as_number(entry, n: int, p: int, probe_size: float | None) -> float:
+    """One speed entry as a plain number.
+
+    :class:`~repro.core.speed_function.SpeedFunction` entries are sampled
+    at ``probe_size`` (default: the even share ``n / p``, the size a
+    homogeneous distribution would assign) — exactly how the paper's
+    experiments derive the single numbers from one fixed benchmark run.
+    """
+    if isinstance(entry, SpeedFunction):
+        probe = float(probe_size) if probe_size is not None else n / max(p, 1)
+        probe = min(max(probe, 1.0), entry.max_size)
+        return float(entry.speed(probe))
+    return float(entry)
+
+
+def _check_inputs(
+    n: int,
+    speeds: "Sequence[float | SpeedFunction]",
+    probe_size: float | None = None,
+) -> np.ndarray:
     if n < 0:
         raise InfeasiblePartitionError(f"problem size must be non-negative, got {n}")
-    s = np.asarray(speeds, dtype=float)
+    if len(speeds) == 0:
+        raise InfeasiblePartitionError("speeds must be a non-empty 1-D sequence")
+    try:
+        s = np.array(
+            [_as_number(entry, n, len(speeds), probe_size) for entry in speeds],
+            dtype=float,
+        )
+    except TypeError:
+        raise InfeasiblePartitionError(
+            "speeds must be a 1-D sequence of numbers or SpeedFunctions"
+        ) from None
     if s.ndim != 1 or s.size == 0:
         raise InfeasiblePartitionError("speeds must be a non-empty 1-D sequence")
     if np.any(s <= 0) or not np.all(np.isfinite(s)):
@@ -50,7 +80,13 @@ def _check_inputs(n: int, speeds: Sequence[float]) -> np.ndarray:
     return s
 
 
-def partition_constant(n: int, speeds: Sequence[float]) -> PartitionResult:
+def partition_constant(
+    n: int,
+    speeds: "Sequence[float | SpeedFunction]",
+    *,
+    probe_size: float | None = None,
+    **extra,
+) -> PartitionResult:
     """Distribute ``n`` elements proportionally to constant speeds.
 
     Allocates ``floor(n * s_i / sum(s))`` to each processor, then assigns the
@@ -58,8 +94,15 @@ def partition_constant(n: int, speeds: Sequence[float]) -> PartitionResult:
     finish soonest after receiving it (a min-heap on ``(x_i+1)/s_i``).  This
     is the ``O(p log p)`` variant and produces a makespan-optimal integer
     allocation for the constant model.
+
+    ``speeds`` entries may be plain positive numbers or
+    :class:`~repro.core.speed_function.SpeedFunction` objects; the latter
+    are sampled at ``probe_size`` (default: the even share ``n/p``), so
+    the constant-model partitioners accept the same input type as the
+    functional-model ones.
     """
-    s = _check_inputs(n, speeds)
+    reject_unknown_options("constant", extra)
+    s = _check_inputs(n, speeds, probe_size)
     share = n * s / s.sum()
     alloc = np.floor(share).astype(np.int64)
     deficit = int(n - alloc.sum())
@@ -78,14 +121,22 @@ def partition_constant(n: int, speeds: Sequence[float]) -> PartitionResult:
     )
 
 
-def partition_constant_naive(n: int, speeds: Sequence[float]) -> PartitionResult:
+def partition_constant_naive(
+    n: int,
+    speeds: "Sequence[float | SpeedFunction]",
+    *,
+    probe_size: float | None = None,
+    **extra,
+) -> PartitionResult:
     """The naive ``O(p^2)`` proportional algorithm of [6].
 
-    Identical output to :func:`partition_constant`; kept as a faithful
-    baseline implementation (each leftover element triggers a linear scan
-    over all processors).
+    Identical output to :func:`partition_constant` (including the
+    number-or-:class:`~repro.core.speed_function.SpeedFunction` input
+    overload); kept as a faithful baseline implementation (each leftover
+    element triggers a linear scan over all processors).
     """
-    s = _check_inputs(n, speeds)
+    reject_unknown_options("constant-naive", extra)
+    s = _check_inputs(n, speeds, probe_size)
     alloc = np.floor(n * s / s.sum()).astype(np.int64)
     for _ in range(int(n - alloc.sum())):
         # Linear scan: the processor finishing soonest after one more element.

@@ -25,6 +25,7 @@ from typing import Sequence
 import numpy as np
 
 from ..exceptions import ConvergenceError, InfeasiblePartitionError
+from .options import reject_unknown_options
 from .geometry import initial_bracket
 from .vectorized import make_allocator
 from .refine import makespan
@@ -45,12 +46,14 @@ def partition_exact(
     speed_functions: Sequence[SpeedFunction],
     *,
     slope_iterations: int = _SLOPE_ITERATIONS,
+    **extra,
 ) -> PartitionResult:
     """Makespan-optimal integer partition of ``n`` elements.
 
     Raises :class:`~repro.exceptions.InfeasiblePartitionError` when ``n``
     exceeds the combined memory bounds.
     """
+    reject_unknown_options("exact", extra)
     p = len(speed_functions)
     if n == 0:
         return PartitionResult(

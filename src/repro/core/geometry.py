@@ -22,7 +22,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..exceptions import InfeasiblePartitionError
+from ..exceptions import ConfigurationError, InfeasiblePartitionError
 from .speed_function import SpeedFunction
 
 __all__ = [
@@ -237,7 +237,7 @@ class SlopeRegion:
             return 0.5 * (self.upper + self.lower)
         if mode == "angle":
             return math.tan(0.5 * (math.atan(self.upper) + math.atan(self.lower)))
-        raise ValueError(f"unknown bisection mode {mode!r}")
+        raise ConfigurationError(f"unknown bisection mode {mode!r}")
 
     def width(self) -> float:
         """Tangent-slope width of the region."""

@@ -26,6 +26,7 @@ from typing import Sequence
 import numpy as np
 
 from ..exceptions import InfeasiblePartitionError
+from .options import reject_unknown_options
 from .geometry import total_allocation
 from .partition import partition
 from .result import PartitionResult
@@ -123,6 +124,7 @@ def partition_hierarchical(
     *,
     algorithm: str = "combined",
     samples_per_group: int = 96,
+    **extra,
 ) -> HierarchicalResult:
     """Two-level partition: across groups, then within each group.
 
@@ -137,6 +139,7 @@ def partition_hierarchical(
     samples_per_group:
         Sampling resolution of each composite function.
     """
+    reject_unknown_options("hierarchical", extra)
     if not groups:
         raise InfeasiblePartitionError("at least one group is required")
     composites = [

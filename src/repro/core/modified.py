@@ -30,7 +30,8 @@ from typing import Sequence
 import numpy as np
 
 from .. import obs
-from ..exceptions import ConvergenceError
+from ..exceptions import ConfigurationError, ConvergenceError
+from .options import reject_unknown_options
 from .geometry import SlopeRegion, allocations, ensure_bracket, initial_bracket
 from .vectorized import PiecewiseLinearSet, pack_speed_functions
 from .refine import makespan, refine_greedy, refine_paper
@@ -63,6 +64,7 @@ def partition_modified(
     keep_trace: bool = False,
     region: SlopeRegion | None = None,
     pack: PiecewiseLinearSet | None = None,
+    **extra,
 ) -> PartitionResult:
     """Partition ``n`` elements with the modified bisection algorithm.
 
@@ -71,6 +73,7 @@ def partition_modified(
     there is no ``mode`` because the split point is chosen on a speed graph
     rather than in slope space.
     """
+    reject_unknown_options("modified", extra)
     p = len(speed_functions)
     if n == 0:
         return PartitionResult(
@@ -142,7 +145,7 @@ def partition_modified(
     elif refine == "paper":
         alloc = refine_paper(n, speed_functions, low_alloc, high_alloc, pack=pack)
     else:
-        raise ValueError(f"unknown refine procedure {refine!r}")
+        raise ConfigurationError(f"unknown refine procedure {refine!r}")
     if obs.is_enabled():
         obs.record_solver(
             "modified",

@@ -2,7 +2,7 @@
 
 Most users should call :func:`partition`::
 
-    from repro import PiecewiseLinearSpeedFunction, partition
+    from repro import PartitionOptions, PiecewiseLinearSpeedFunction, partition
 
     sfs = [PiecewiseLinearSpeedFunction([1e4, 1e6, 1e8], [120.0, 100.0, 5.0]),
            PiecewiseLinearSpeedFunction([1e4, 1e6, 1e8], [300.0, 280.0, 90.0])]
@@ -12,21 +12,28 @@ Most users should call :func:`partition`::
 
 ``algorithm`` selects between the paper's algorithms; the default
 ``"combined"`` matches the paper's recommendation for real-life problems.
+Options are typed: pass a :class:`~repro.core.options.PartitionOptions`
+(or the equivalent loose keywords) and the front door forwards exactly
+the subset the selected algorithm supports, raising a
+:class:`~repro.exceptions.ConfigurationError` that names the algorithm
+when an option cannot be honoured.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+import math
+from typing import Any, Callable, Sequence
 
-from ..exceptions import ConfigurationError
+from ..exceptions import ConfigurationError, InfeasiblePartitionError
 from .bisection import partition_bisection
 from .combined import partition_combined
 from .exact import partition_exact
 from .modified import partition_modified
+from .options import PartitionOptions
 from .result import PartitionResult
 from .speed_function import SpeedFunction, validate_speed_functions
 
-__all__ = ["partition", "ALGORITHMS"]
+__all__ = ["partition", "ALGORITHMS", "SUPPORTED_OPTIONS"]
 
 #: Registry of algorithm names accepted by :func:`partition`.
 ALGORITHMS: dict[str, Callable[..., PartitionResult]] = {
@@ -36,14 +43,52 @@ ALGORITHMS: dict[str, Callable[..., PartitionResult]] = {
     "exact": partition_exact,
 }
 
+#: Core :class:`PartitionOptions` fields each algorithm can honour.
+SUPPORTED_OPTIONS: dict[str, frozenset[str]] = {
+    "bisection": frozenset(
+        {"mode", "refine", "max_iterations", "keep_trace", "region", "pack"}
+    ),
+    "combined": frozenset(
+        {"mode", "refine", "max_iterations", "keep_trace", "region", "pack"}
+    ),
+    "modified": frozenset(
+        {"refine", "max_iterations", "keep_trace", "region", "pack"}
+    ),
+    "exact": frozenset(),
+}
+
+
+def apply_bounds(
+    speed_functions: Sequence[SpeedFunction], bounds: Sequence[float]
+) -> list[SpeedFunction]:
+    """Truncate speed graphs at per-processor element bounds ``b_i``.
+
+    Implements the general problem statement's memory bounds by wrapping
+    each function in a :class:`~repro.core.bounded.TruncatedSpeedFunction`
+    (``math.inf`` disables a bound).  Raises
+    :class:`~repro.exceptions.InfeasiblePartitionError` when the bounds
+    are malformed.
+    """
+    from .bounded import TruncatedSpeedFunction  # deferred: bounded imports us
+
+    if len(bounds) != len(speed_functions):
+        raise InfeasiblePartitionError(
+            f"got {len(bounds)} bounds for {len(speed_functions)} processors"
+        )
+    out: list[SpeedFunction] = []
+    for sf, b in zip(speed_functions, bounds):
+        out.append(sf if math.isinf(b) else TruncatedSpeedFunction(sf, b))
+    return out
+
 
 def partition(
     n: int,
     speed_functions: Sequence[SpeedFunction],
     *,
     algorithm: str = "combined",
+    options: PartitionOptions | None = None,
     validate: bool = False,
-    **kwargs,
+    **kwargs: Any,
 ) -> PartitionResult:
     """Partition an ``n``-element set over heterogeneous processors.
 
@@ -60,12 +105,20 @@ def partition(
     algorithm:
         One of ``"combined"`` (default), ``"bisection"``, ``"modified"``,
         ``"exact"``.
+    options:
+        Typed :class:`~repro.core.options.PartitionOptions`.  The core
+        options (``mode``, ``refine``, ``region``, ``pack``, ...) may
+        equally be given as loose keywords — but not both at once.  An
+        option the selected algorithm cannot honour raises a
+        :class:`~repro.exceptions.ConfigurationError` naming it.
     validate:
         When true, re-check the single-intersection invariant of every
-        speed function before partitioning.
+        speed function before partitioning (``options.validate`` does the
+        same).
     **kwargs:
-        Forwarded to the selected algorithm (``mode=``, ``refine=``,
-        ``keep_trace=``, ...).
+        Algorithm-specific extras (e.g. ``flat_tol=`` for ``"combined"``,
+        ``slope_iterations=`` for ``"exact"``); unknown keywords are
+        rejected by the algorithm with a uniform ``ConfigurationError``.
 
     Returns
     -------
@@ -78,6 +131,30 @@ def partition(
         raise ConfigurationError(
             f"unknown algorithm {algorithm!r}; expected one of {sorted(ALGORITHMS)}"
         ) from None
-    if validate:
+    option_fields = PartitionOptions.field_names()
+    if options is None:
+        core = {k: kwargs.pop(k) for k in list(kwargs) if k in option_fields}
+        options = PartitionOptions(**core)
+    else:
+        overlap = sorted(set(kwargs) & option_fields)
+        if overlap:
+            raise ConfigurationError(
+                "core options were given both via options= and as keywords: "
+                + ", ".join(overlap)
+            )
+    if validate or options.validate:
         validate_speed_functions(speed_functions)
-    return algo(n, speed_functions, **kwargs)
+    sfs: Sequence[SpeedFunction] = speed_functions
+    bounded = options.bounds is not None
+    if bounded:
+        sfs = apply_bounds(speed_functions, options.bounds)
+        capacity = sum(sf.max_size for sf in sfs)
+        if capacity < n:
+            raise InfeasiblePartitionError(
+                f"combined bounds ({capacity:g}) cannot store {n} elements"
+            )
+    call_kwargs = options.algorithm_kwargs(algorithm, SUPPORTED_OPTIONS[algorithm])
+    result = algo(n, sfs, **call_kwargs, **kwargs)
+    if bounded:
+        result.algorithm = f"{result.algorithm}+bounded"
+    return result

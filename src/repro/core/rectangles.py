@@ -31,6 +31,7 @@ from typing import Sequence
 import numpy as np
 
 from ..exceptions import InfeasiblePartitionError
+from .options import reject_unknown_options
 from .constant_model import partition_constant
 from .speed_function import SpeedFunction
 
@@ -135,6 +136,7 @@ def partition_rectangles(
     columns: int | None = None,
     max_iterations: int = 12,
     tolerance: float = 0.01,
+    **extra,
 ) -> RectanglePartition:
     """Partition an ``n x n`` matrix into processor rectangles.
 
@@ -152,6 +154,7 @@ def partition_rectangles(
         Stop early once no processor's area moves by more than this
         fraction between iterations.
     """
+    reject_unknown_options("rectangles", extra)
     p = len(speed_functions)
     if p == 0:
         raise InfeasiblePartitionError("no processors")

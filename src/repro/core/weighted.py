@@ -30,6 +30,7 @@ from typing import Sequence
 import numpy as np
 
 from ..exceptions import InfeasiblePartitionError
+from .options import reject_unknown_options
 from .speed_function import SpeedFunction
 
 __all__ = ["WeightedPartitionResult", "partition_weighted"]
@@ -74,6 +75,7 @@ def partition_weighted(
     speed_functions: Sequence[SpeedFunction],
     *,
     local_search_passes: int = 4,
+    **extra,
 ) -> WeightedPartitionResult:
     """Partition weighted elements over processors with functional speeds.
 
@@ -87,6 +89,7 @@ def partition_weighted(
     local_search_passes:
         Upper bound on improvement sweeps after the LPT seeding.
     """
+    reject_unknown_options("weighted", extra)
     w = np.asarray(weights, dtype=float)
     if w.ndim != 1:
         raise InfeasiblePartitionError("weights must be a 1-D sequence")

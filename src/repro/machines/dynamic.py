@@ -27,7 +27,12 @@ import numpy as np
 from ..core.speed_function import SpeedFunction
 from ..exceptions import ConfigurationError
 
-__all__ = ["ou_load_trace", "dynamic_task_time", "effective_speed"]
+__all__ = [
+    "ou_load_trace",
+    "ou_load_trace_shifted",
+    "dynamic_task_time",
+    "effective_speed",
+]
 
 
 def ou_load_trace(
@@ -71,6 +76,50 @@ def ou_load_trace(
     lam = np.empty(steps)
     x = mean + sigma * float(rng.standard_normal())
     for k in range(steps):
+        x = mean + alpha * (x - mean) + noise_scale * float(rng.standard_normal())
+        lam[k] = x
+    return np.clip(lam, clip[0], clip[1])
+
+
+def ou_load_trace_shifted(
+    rng: np.random.Generator,
+    steps: int,
+    dt: float,
+    *,
+    shift_step: int,
+    mean_before: float = 0.15,
+    mean_after: float = 0.60,
+    sigma: float = 0.10,
+    tau: float = 5.0,
+    clip: tuple[float, float] = (0.0, 0.95),
+) -> np.ndarray:
+    """An OU load trace whose long-run mean steps permanently mid-run.
+
+    This is the paper's "permanently shifted band" scenario — a new
+    resident workload arrives at ``shift_step`` and never leaves — as a
+    single continuous process: the same exact OU discretisation as
+    :func:`ou_load_trace`, but reverting to ``mean_before`` up to the
+    shift and to ``mean_after`` from it on (the state carries over, so
+    the load *relaxes* toward the new mean over ~``tau`` rather than
+    jumping).  The adaptive-execution ablation drives its drift scenario
+    with this trace.
+    """
+    if steps < 1 or dt <= 0:
+        raise ConfigurationError("steps must be >= 1 and dt positive")
+    if not (0 <= shift_step <= steps):
+        raise ConfigurationError(
+            f"shift_step must be within [0, {steps}], got {shift_step}"
+        )
+    if tau <= 0 or sigma < 0:
+        raise ConfigurationError("tau must be positive and sigma non-negative")
+    if not (0 <= clip[0] < clip[1] < 1):
+        raise ConfigurationError(f"invalid clip bounds {clip!r}")
+    alpha = math.exp(-dt / tau)
+    noise_scale = sigma * math.sqrt(1.0 - alpha * alpha)
+    lam = np.empty(steps)
+    x = mean_before + sigma * float(rng.standard_normal())
+    for k in range(steps):
+        mean = mean_before if k < shift_step else mean_after
         x = mean + alpha * (x - mean) + noise_scale * float(rng.standard_normal())
         lam[k] = x
     return np.clip(lam, clip[0], clip[1])

@@ -85,6 +85,7 @@ __all__ = [
     "is_enabled",
     "logconfig",
     "record",
+    "record_adapt",
     "record_batch",
     "record_solver",
     "registry",
@@ -153,6 +154,32 @@ def record_solver(
     reg.histogram(
         "core.solve.iterations", buckets=_SOLVER_ITERATION_BUCKETS, labels=labels
     ).observe(int(iterations))
+
+
+def record_adapt(
+    *,
+    drifts: int = 0,
+    replans: int = 0,
+    migrated_elements: int = 0,
+    retries: int = 0,
+    dropouts: int = 0,
+) -> None:
+    """Account adaptive-execution events (``repro.adapt``).
+
+    Counters: confirmed drifts, applied replans, migrated elements,
+    dispatch retries, and dropouts survived via redistribution.
+    """
+    reg = get_registry()
+    if drifts:
+        reg.counter("adapt.drifts").inc(int(drifts))
+    if replans:
+        reg.counter("adapt.replans").inc(int(replans))
+    if migrated_elements:
+        reg.counter("adapt.migrated.elements").inc(int(migrated_elements))
+    if retries:
+        reg.counter("adapt.retries").inc(int(retries))
+    if dropouts:
+        reg.counter("adapt.dropouts.survived").inc(int(dropouts))
 
 
 def record_batch(*, sizes: int, steps: int) -> None:

@@ -27,12 +27,16 @@ from __future__ import annotations
 
 import math
 from concurrent.futures import ProcessPoolExecutor
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
-from ..core.speed_function import PiecewiseLinearSpeedFunction
-from ..exceptions import ConfigurationError
+from .. import obs
+from ..adapt.faults import FaultInjector, FaultScript
+from ..adapt.retry import RetryExhaustedError, RetryPolicy, call_with_retry
+from ..core.bounded import partition_bounded
+from ..core.speed_function import PiecewiseLinearSpeedFunction, SpeedFunction
+from ..exceptions import ConfigurationError, InfeasiblePartitionError
 from ..kernels.striped import row_slices
 from ..model.builder import BuiltModel, build_piecewise_model
 from .tasks import benchmark_task, mm_stripe_task
@@ -71,15 +75,43 @@ class StripedRunResult:
 
 
 class EmulatedCluster:
-    """A set of pinned worker processes with per-worker slowdown factors."""
+    """A set of pinned worker processes with per-worker slowdown factors.
 
-    def __init__(self, repetitions: Sequence[int]):
+    Parameters
+    ----------
+    repetitions:
+        Per-machine work-inflation factors (``r`` = ``r`` times slower).
+    faults:
+        Optional scripted fault scenario (a
+        :class:`~repro.adapt.faults.FaultScript` or a live
+        :class:`~repro.adapt.faults.FaultInjector`); scripted comm faults
+        and dropouts surface as dispatch errors, exercised through the
+        retry path.
+    retry:
+        Optional :class:`~repro.adapt.retry.RetryPolicy` applied to every
+        task dispatch (exponential backoff plus a per-attempt timeout on
+        the future).  ``None`` keeps the historical behaviour: one
+        attempt, wait for ever.
+    """
+
+    def __init__(
+        self,
+        repetitions: Sequence[int],
+        *,
+        faults: FaultScript | FaultInjector | None = None,
+        retry: RetryPolicy | None = None,
+    ):
         if len(repetitions) == 0:
             raise ConfigurationError("at least one machine is required")
         reps = [int(r) for r in repetitions]
         if any(r < 1 for r in reps):
             raise ConfigurationError("repetition factors must be >= 1")
         self._reps = reps
+        if faults is None or isinstance(faults, FaultInjector):
+            self._injector = faults
+        else:
+            self._injector = FaultInjector(faults)
+        self._retry = retry
         self._pools: list[ProcessPoolExecutor] | None = [
             ProcessPoolExecutor(max_workers=1) for _ in reps
         ]
@@ -103,6 +135,43 @@ class EmulatedCluster:
             raise ConfigurationError("cluster has been shut down")
         return self._pools
 
+    # -- guarded dispatch ----------------------------------------------------
+    @property
+    def fault_injector(self) -> FaultInjector | None:
+        return self._injector
+
+    @property
+    def retry_policy(self) -> RetryPolicy | None:
+        return self._retry
+
+    def dispatch(self, machine: int, fn: Callable, /, *args):
+        """Run ``fn(*args)`` in a machine's worker under faults and retry.
+
+        Every attempt first consults the fault injector (scripted comm
+        faults and dropouts surface here), then submits and waits with
+        the policy's per-attempt timeout.  Without a retry policy this is
+        a single attempt with no timeout — the historical behaviour.
+        """
+        pools = self._require_pools()
+        if not (0 <= machine < self.size):
+            raise ConfigurationError(
+                f"no machine {machine} in a {self.size}-node cluster"
+            )
+        timeout = self._retry.timeout if self._retry is not None else None
+
+        def attempt():
+            if self._injector is not None:
+                self._injector.check_dispatch(machine)
+            return pools[machine].submit(fn, *args).result(timeout=timeout)
+
+        if self._retry is None:
+            return attempt()
+        return call_with_retry(
+            attempt,
+            policy=self._retry,
+            description=f"task on machine {machine}",
+        )
+
     # -- introspection -------------------------------------------------------
     @property
     def size(self) -> int:
@@ -117,11 +186,13 @@ class EmulatedCluster:
     # -- benchmarking / model building ----------------------------------------
     def benchmark(self, machine: int, n: int, *, repeats: int = 2) -> float:
         """Measure one machine's square-MM speed (MFlops) at dimension ``n``."""
-        pools = self._require_pools()
         if not (0 <= machine < self.size):
-            raise ConfigurationError(f"no machine {machine} in a {self.size}-node cluster")
-        fut = pools[machine].submit(benchmark_task, n, self._reps[machine], repeats)
-        return float(fut.result())
+            raise ConfigurationError(
+                f"no machine {machine} in a {self.size}-node cluster"
+            )
+        return float(
+            self.dispatch(machine, benchmark_task, n, self._reps[machine], repeats)
+        )
 
     def build_models(
         self,
@@ -165,13 +236,27 @@ class EmulatedCluster:
 
     # -- parallel execution -----------------------------------------------------
     def run_striped_matmul(
-        self, a: np.ndarray, b: np.ndarray, rows: Sequence[int]
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        rows: Sequence[int],
+        *,
+        recovery_models: Sequence[SpeedFunction] | None = None,
     ) -> StripedRunResult:
         """Execute ``C = A @ B.T`` in parallel with the given row stripes.
 
         ``rows`` has one stripe height per machine and must sum to
         ``a.shape[0]``.  Every machine computes its stripe concurrently
         (with its inflation factor); the stripes are reassembled in order.
+
+        Failure handling: transient dispatch errors are retried under the
+        cluster's :class:`~repro.adapt.retry.RetryPolicy`.  A machine
+        whose retries are exhausted is treated as dead; when
+        ``recovery_models`` (per-machine speed functions) are given, its
+        rows are redistributed over the survivors with
+        :func:`~repro.core.bounded.partition_bounded` (each survivor's
+        residual memory as its bound) and recomputed — otherwise the
+        failure propagates.
         """
         pools = self._require_pools()
         rows_arr = np.asarray(rows, dtype=np.int64)
@@ -183,27 +268,155 @@ class EmulatedCluster:
             raise ConfigurationError(
                 f"stripes sum to {rows_arr.sum()}, matrix has {a.shape[0]} rows"
             )
-        futures = []
-        for machine, sl in enumerate(row_slices(rows_arr)):
+        slices = list(row_slices(rows_arr))
+        timeout = self._retry.timeout if self._retry is not None else None
+        futures: list = [None] * self.size
+        needs_retry: list[int] = []
+        for machine, sl in enumerate(slices):
             if sl.stop == sl.start:
-                futures.append(None)
                 continue
-            futures.append(
-                pools[machine].submit(
+            try:
+                if self._injector is not None:
+                    self._injector.check_dispatch(machine)
+                futures[machine] = pools[machine].submit(
                     mm_stripe_task, a[sl, :], b, self._reps[machine]
                 )
-            )
-        stripes: list[np.ndarray] = []
+            except Exception:
+                if self._retry is None and recovery_models is None:
+                    raise
+                needs_retry.append(machine)
+        # pieces: (first_row, stripe) so recovered chunks interleave correctly.
+        pieces: list[tuple[int, np.ndarray]] = []
         seconds = np.zeros(self.size, dtype=float)
         for machine, fut in enumerate(futures):
             if fut is None:
                 continue
-            stripe, elapsed = fut.result()
-            stripes.append(stripe)
+            try:
+                stripe, elapsed = fut.result(timeout=timeout)
+            except Exception:
+                if self._retry is None and recovery_models is None:
+                    raise
+                needs_retry.append(machine)
+                continue
+            pieces.append((slices[machine].start, stripe))
             seconds[machine] = elapsed
+        dead: list[int] = []
+        for machine in sorted(needs_retry):
+            sl = slices[machine]
+            if self._retry is not None:
+                try:
+                    stripe, elapsed = call_with_retry(
+                        lambda m=machine, s=sl: self._stripe_attempt(a, b, m, s),
+                        policy=self._retry,
+                        description=f"stripe on machine {machine}",
+                    )
+                except RetryExhaustedError:
+                    dead.append(machine)
+                    continue
+                pieces.append((sl.start, stripe))
+                seconds[machine] += elapsed
+            else:
+                dead.append(machine)
+        if dead:
+            if recovery_models is None:
+                raise InfeasiblePartitionError(
+                    f"machine(s) {dead} failed permanently and no recovery "
+                    "models were given"
+                )
+            self._recover_dead_stripes(
+                a, b, dead, slices, rows_arr, recovery_models, pieces, seconds
+            )
+        pieces.sort(key=lambda item: item[0])
+        stripes = [s for _, s in pieces]
         result = (
             np.vstack(stripes)
             if stripes
             else np.zeros((0, b.shape[0]), dtype=float)
         )
         return StripedRunResult(result, seconds)
+
+    def _stripe_attempt(
+        self, a: np.ndarray, b: np.ndarray, machine: int, sl: slice
+    ):
+        """One guarded stripe dispatch (used by the retry path)."""
+        if self._injector is not None:
+            self._injector.check_dispatch(machine)
+        timeout = self._retry.timeout if self._retry is not None else None
+        fut = self._require_pools()[machine].submit(
+            mm_stripe_task, a[sl, :], b, self._reps[machine]
+        )
+        return fut.result(timeout=timeout)
+
+    def _recover_dead_stripes(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        dead: Sequence[int],
+        slices: Sequence[slice],
+        rows_arr: np.ndarray,
+        recovery_models: Sequence[SpeedFunction],
+        pieces: list[tuple[int, np.ndarray]],
+        seconds: np.ndarray,
+    ) -> None:
+        """Recompute dead machines' stripes on the survivors, in place.
+
+        The dead rows are split over the survivors by
+        :func:`~repro.core.bounded.partition_bounded` in element units
+        (``3 * rows * n`` per the striped layout), bounded by each
+        survivor's residual memory given what it already computed.
+        """
+        if len(recovery_models) != self.size:
+            raise ConfigurationError(
+                f"got {len(recovery_models)} recovery models for "
+                f"{self.size} machines"
+            )
+        dead_set = set(int(d) for d in dead)
+        survivors = [i for i in range(self.size) if i not in dead_set]
+        if not survivors:
+            raise InfeasiblePartitionError(
+                "every machine failed; nothing left to recover on"
+            )
+        n = a.shape[1]
+        elements_per_row = 3.0 * n
+        migrated = 0
+        for machine in sorted(dead_set):
+            sl = slices[machine]
+            dead_rows = int(rows_arr[machine])
+            if dead_rows == 0:
+                continue
+            survivor_sfs = [recovery_models[i] for i in survivors]
+            bounds = [
+                max(
+                    recovery_models[i].max_size
+                    - float(rows_arr[i]) * elements_per_row,
+                    0.0,
+                )
+                for i in survivors
+            ]
+            extra = partition_bounded(
+                int(dead_rows * elements_per_row), survivor_sfs, bounds
+            ).allocation
+            # Largest-remainder rounding back to whole rows of the stripe.
+            raw = extra / elements_per_row
+            chunk_rows = np.floor(raw).astype(np.int64)
+            short = dead_rows - int(chunk_rows.sum())
+            order = np.argsort(-(raw - chunk_rows), kind="stable")
+            for j in order[:short]:
+                chunk_rows[j] += 1
+            start = sl.start
+            for j, survivor in enumerate(survivors):
+                r = int(chunk_rows[j])
+                if r == 0:
+                    continue
+                chunk = slice(start, start + r)
+                stripe, elapsed = call_with_retry(
+                    lambda m=survivor, s=chunk: self._stripe_attempt(a, b, m, s),
+                    policy=self._retry if self._retry is not None else RetryPolicy(),
+                    description=f"recovery stripe on machine {survivor}",
+                )
+                pieces.append((chunk.start, stripe))
+                seconds[survivor] += elapsed
+                start += r
+            migrated += int(dead_rows * elements_per_row)
+        if obs.is_enabled():
+            obs.record_adapt(dropouts=len(dead_set), migrated_elements=migrated)

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .. import obs
+from ..adapt.faults import InjectedCommError
 from ..exceptions import ConfigurationError
 from ..kernels.group_block import GroupBlockDistribution
 from .cluster import EmulatedCluster
@@ -63,7 +64,15 @@ def run_parallel_lu(
     a: np.ndarray,
     dist: GroupBlockDistribution,
 ) -> ParallelLUResult:
-    """Factorise ``a`` on the cluster under the given column distribution."""
+    """Factorise ``a`` on the cluster under the given column distribution.
+
+    Dispatches honour the cluster's fault injector and retry policy:
+    scripted communication faults are retried with exponential backoff
+    and each attempt is bounded by the policy's timeout.  A permanent
+    worker loss is unrecoverable here — the factored columns live in the
+    dead worker — so exhausted retries propagate as
+    :class:`~repro.adapt.retry.RetryExhaustedError`.
+    """
     n = a.shape[0]
     if a.ndim != 2 or a.shape[1] != n:
         raise ConfigurationError("parallel LU expects a square matrix")
@@ -80,25 +89,25 @@ def run_parallel_lu(
     pools = cluster._require_pools()  # driver is a friend of the cluster
     session = uuid.uuid4().hex
     b = dist.b
+    injector = cluster.fault_injector
+    timeout = (
+        cluster.retry_policy.timeout if cluster.retry_policy is not None else None
+    )
 
-    # Scatter columns to their owners.
+    # Scatter columns to their owners (guarded, sequential: init is cheap).
     col_owner = np.repeat(owners, b)[:n]
-    futures = []
     for w in range(cluster.size):
         mine = np.nonzero(col_owner == w)[0]
-        futures.append(
-            pools[w].submit(
-                lu_worker_init,
-                session,
-                np.ascontiguousarray(a[:, mine]),
-                mine,
-                n,
-                b,
-                cluster.repetitions[w],
-            )
+        got = cluster.dispatch(
+            w,
+            lu_worker_init,
+            session,
+            np.ascontiguousarray(a[:, mine]),
+            mine,
+            n,
+            b,
+            cluster.repetitions[w],
         )
-    for w, fut in enumerate(futures):
-        got = fut.result()
         assert got == int((col_owner == w).sum())
 
     step_seconds: list[float] = []
@@ -108,15 +117,31 @@ def run_parallel_lu(
     with obs.span("runtime.lu", n=n, b=b, workers=cluster.size):
         for k in range(dist.num_blocks):
             owner = int(owners[k])
-            panel, panel_s = pools[owner].submit(
-                lu_factor_panel, session, k
-            ).result()
-            # Broadcast + concurrent updates on trailing columns.
-            update_futs = {
-                w: pools[w].submit(lu_apply_update, session, k, panel)
-                for w in range(cluster.size)
+            panel, panel_s = cluster.dispatch(owner, lu_factor_panel, session, k)
+            # Broadcast + concurrent updates on trailing columns.  Scripted
+            # comm faults surface at submit time and are re-dispatched
+            # through the guarded (retrying) path; updates that made it
+            # into a worker stay concurrent.
+            update_futs = {}
+            faulted = []
+            for w in range(cluster.size):
+                try:
+                    if injector is not None:
+                        injector.check_dispatch(w)
+                    update_futs[w] = pools[w].submit(
+                        lu_apply_update, session, k, panel
+                    )
+                except InjectedCommError:
+                    if cluster.retry_policy is None:
+                        raise
+                    faulted.append(w)
+            update_times = {
+                w: f.result(timeout=timeout) for w, f in update_futs.items()
             }
-            update_times = {w: f.result() for w, f in update_futs.items()}
+            for w in faulted:
+                update_times[w] = cluster.dispatch(
+                    w, lu_apply_update, session, k, panel
+                )
             for w, t in update_times.items():
                 worker_update[w] += t
             update_s = max(update_times.values(), default=0.0)
@@ -137,10 +162,10 @@ def run_parallel_lu(
     if telemetry:
         obs.get_registry().counter("runtime.lu.calls").inc()
 
-    # Gather the factored columns back into global order.
+    # Gather the factored columns back into global order (guarded).
     lu = np.empty_like(a, dtype=float)
     for w in range(cluster.size):
-        cols, block = pools[w].submit(lu_collect_columns, session).result()
+        cols, block = cluster.dispatch(w, lu_collect_columns, session)
         lu[:, cols] = block
     return ParallelLUResult(
         lu=lu,

@@ -77,6 +77,7 @@ def simulate_striped_matmul(
     truth_speed_functions: Sequence[SpeedFunction],
     *,
     comm: CommModel | None = None,
+    speed_scale: Sequence[float] | None = None,
 ) -> MMSimulation:
     """Simulate C = A * B^T with the given element allocation.
 
@@ -95,11 +96,20 @@ def simulate_striped_matmul(
     comm:
         Optional link model; when given, the B-stripe allgather that the
         1-D algorithm needs is charged.
+    speed_scale:
+        Optional per-processor multipliers on the ground-truth speeds —
+        scenario injection for "what actually happened" runs (a machine
+        under a permanent external load executes the *whole* run at the
+        scaled speed; ``0 < scale``).  ``None`` leaves the truth exact.
     """
     p = len(truth_speed_functions)
     if len(allocation) != p:
         raise ConfigurationError(
             f"allocation has {len(allocation)} entries for {p} processors"
+        )
+    if speed_scale is not None and len(speed_scale) != p:
+        raise ConfigurationError(
+            f"got {len(speed_scale)} speed scales for {p} processors"
         )
     rows = rows_from_elements(allocation, n)
     elements = elements_from_rows(rows, n)
@@ -110,6 +120,8 @@ def simulate_striped_matmul(
         # Ground-truth speed at the assigned size; sizes beyond the domain
         # are clamped to the (collapsed) boundary speed — thrashing.
         speed = float(sf.speed(min(float(x), sf.max_size)))
+        if speed_scale is not None:
+            speed *= float(speed_scale[i])
         if speed <= 0:
             raise ConfigurationError(
                 f"processor {i} has non-positive ground-truth speed at {x} elements"

@@ -75,6 +75,7 @@ def simulate_lu(
     *,
     comm: CommModel | None = None,
     keep_trace: bool = True,
+    speed_scale: Sequence[float] | None = None,
 ) -> LUSimulation:
     """Simulate the parallel LU factorisation under a column distribution.
 
@@ -91,9 +92,20 @@ def simulate_lu(
         Optional link model charging the per-step panel broadcast.
     keep_trace:
         Record per-step details (cheap; disable only for huge sweeps).
+    speed_scale:
+        Optional per-processor multipliers on the ground-truth speeds —
+        scenario injection for whole-run permanent load (see
+        :func:`~repro.simulate.executor.simulate_striped_matmul`).
     """
     n, b = dist.n, dist.b
     p = len(truth_speed_functions)
+    if speed_scale is not None and len(speed_scale) != p:
+        raise ConfigurationError(
+            f"got {len(speed_scale)} speed scales for {p} processors"
+        )
+    scale = (
+        np.ones(p) if speed_scale is None else np.asarray(speed_scale, dtype=float)
+    )
     owners = dist.block_owners
     if owners.size and int(owners.max()) >= p:
         raise ConfigurationError(
@@ -112,7 +124,9 @@ def simulate_lu(
             owner = int(owners[k])
             # Panel factorisation: LU of a rem x width panel.
             panel_flops = float(width) ** 2 * (float(rem) - float(width) / 3.0)
-            panel_speed = _speed_at(truth_speed_functions[owner], float(rem) * width)
+            panel_speed = _speed_at(
+                truth_speed_functions[owner], float(rem) * width
+            ) * float(scale[owner])
             panel_s = panel_flops / (1e6 * panel_speed)
             # Panel broadcast.
             comm_s = 0.0
@@ -131,7 +145,11 @@ def simulate_lu(
                     # The problem size this processor faces at this step: its
                     # share of the active matrix (functional-model evaluation).
                     x = float(rem) * cols
-                    updates[i] = flops / (1e6 * _speed_at(truth_speed_functions[i], x))
+                    updates[i] = flops / (
+                        1e6
+                        * _speed_at(truth_speed_functions[i], x)
+                        * float(scale[i])
+                    )
             update_s = float(updates.max()) if p else 0.0
             total += panel_s + comm_s + update_s
             comm_total += comm_s

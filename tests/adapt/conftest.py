@@ -1,0 +1,42 @@
+"""Shared fixtures for the adaptive-execution tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.speed_function import PiecewiseLinearSpeedFunction
+
+
+def make_pwl(peak: float, scale: float = 1.0) -> PiecewiseLinearSpeedFunction:
+    """The standard decreasing curve (plateau, decline, paging collapse)."""
+    xs = np.array([1e3, 1e4, 1e5, 5e5, 1e6, 2e6]) * scale
+    ss = np.array([1.00, 0.98, 0.92, 0.70, 0.20, 0.02]) * peak
+    return PiecewiseLinearSpeedFunction(xs, ss)
+
+
+@pytest.fixture
+def trio() -> list[PiecewiseLinearSpeedFunction]:
+    """Three heterogeneous machines for the MM scenarios."""
+    return [make_pwl(800.0), make_pwl(400.0), make_pwl(200.0)]
+
+
+@pytest.fixture
+def lu_trio() -> list[PiecewiseLinearSpeedFunction]:
+    """Larger-domain trio so the LU scenarios can amortise migrations."""
+    return [make_pwl(700.0, 2.0), make_pwl(420.0, 2.0), make_pwl(260.0, 2.0)]
+
+
+@pytest.fixture
+def fresh_obs():
+    """Swap in a fresh, disabled registry + tracer; restore afterwards."""
+    previous_registry = obs.set_registry(obs.MetricsRegistry())
+    previous_tracer = obs.set_tracer(obs.Tracer())
+    obs.disable()
+    try:
+        yield obs
+    finally:
+        obs.disable()
+        obs.set_registry(previous_registry)
+        obs.set_tracer(previous_tracer)

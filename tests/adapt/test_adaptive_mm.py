@@ -1,0 +1,152 @@
+"""Adaptive striped-MM simulation: delegation, wins, determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import partition
+from repro.adapt import (
+    AdaptivePolicy,
+    Dropout,
+    FaultScript,
+    LoadShift,
+    simulate_striped_matmul_adaptive,
+)
+from repro.adapt.replanner import DISABLED
+from repro.exceptions import ConfigurationError
+from repro.machines.comm import CommModel
+from repro.simulate.executor import simulate_striped_matmul
+
+N = 300
+
+
+@pytest.fixture
+def alloc(trio):
+    return partition(3 * N * N, trio).allocation
+
+
+def _clean_makespan(trio, alloc):
+    return simulate_striped_matmul_adaptive(N, alloc, trio, policy=DISABLED).makespan
+
+
+class TestDisabledDelegation:
+    def test_bit_identical_to_the_static_simulator(self, trio, alloc):
+        plain = simulate_striped_matmul(N, alloc, trio)
+        adaptive = simulate_striped_matmul_adaptive(N, alloc, trio, policy=DISABLED)
+        assert adaptive.base is not None
+        assert adaptive.makespan == plain.makespan
+        assert np.array_equal(adaptive.finish_seconds, plain.compute_seconds)
+        assert np.array_equal(adaptive.initial_elements, plain.elements)
+        assert np.array_equal(adaptive.final_elements, plain.elements)
+        assert adaptive.drifts == 0
+        assert adaptive.replans == 0
+
+    def test_delegation_carries_the_comm_model(self, trio, alloc):
+        comm = CommModel.ethernet(3)
+        plain = simulate_striped_matmul(N, alloc, trio, comm=comm)
+        adaptive = simulate_striped_matmul_adaptive(
+            N, alloc, trio, policy=DISABLED, comm=comm
+        )
+        assert adaptive.comm_seconds == plain.comm_seconds
+        assert adaptive.makespan == plain.makespan
+
+
+class TestAdaptiveWins:
+    def test_beats_static_under_a_permanent_load_shift(self, trio, alloc):
+        t0 = _clean_makespan(trio, alloc)
+        script = FaultScript(
+            events=(LoadShift(machine=0, at_time=0.2 * t0, factor=0.4),)
+        )
+        static = simulate_striped_matmul_adaptive(
+            N, alloc, trio, policy=DISABLED, script=script, seed=3
+        )
+        adaptive = simulate_striped_matmul_adaptive(
+            N, alloc, trio, policy=AdaptivePolicy(patience=2), script=script, seed=3
+        )
+        assert adaptive.drifts > 0
+        assert adaptive.replans > 0
+        assert adaptive.migrated_elements > 0
+        assert adaptive.makespan < static.makespan
+
+    def test_beats_static_failover_on_a_dropout(self, trio, alloc):
+        t0 = _clean_makespan(trio, alloc)
+        script = FaultScript(events=(Dropout(machine=1, at_time=0.25 * t0),))
+        static = simulate_striped_matmul_adaptive(
+            N, alloc, trio, policy=DISABLED, script=script, seed=3
+        )
+        adaptive = simulate_striped_matmul_adaptive(
+            N, alloc, trio, policy=AdaptivePolicy(patience=2), script=script, seed=3
+        )
+        assert adaptive.dropouts_survived == 1
+        assert static.dropouts_survived == 1
+        assert adaptive.final_elements[1] == 0
+        assert static.final_elements[1] == 0
+        assert adaptive.makespan < static.makespan
+
+    def test_dropout_before_start_redistributes_everything(self, trio, alloc):
+        script = FaultScript(events=(Dropout(machine=2, at_time=0.0),))
+        out = simulate_striped_matmul_adaptive(
+            N, alloc, trio, policy=AdaptivePolicy(), script=script, seed=0
+        )
+        assert out.final_elements[2] == 0
+        assert out.dropouts_survived == 1
+        assert int(out.final_elements.sum()) >= int(alloc.sum())
+
+
+class TestDeterminism:
+    def test_identical_runs_are_bit_identical(self, trio, alloc):
+        t0 = _clean_makespan(trio, alloc)
+        script = FaultScript(
+            events=(
+                LoadShift(machine=0, at_time=0.2 * t0, factor=0.4),
+                Dropout(machine=2, at_time=0.5 * t0),
+            )
+        )
+
+        def run():
+            return simulate_striped_matmul_adaptive(
+                N,
+                alloc,
+                trio,
+                policy=AdaptivePolicy(patience=2),
+                script=script,
+                seed=11,
+                load_mean=0.1,
+                load_sigma=0.05,
+            )
+
+        a, b = run(), run()
+        assert a.makespan == b.makespan
+        assert np.array_equal(a.final_elements, b.final_elements)
+        assert np.array_equal(a.finish_seconds, b.finish_seconds)
+        assert a.events == b.events
+        assert a.migrated_elements == b.migrated_elements
+        assert (a.drifts, a.replans) == (b.drifts, b.replans)
+
+    def test_different_seeds_sample_different_loads(self, trio, alloc):
+        def run(seed):
+            return simulate_striped_matmul_adaptive(
+                N, alloc, trio, policy=DISABLED, seed=seed,
+                load_mean=0.2, load_sigma=0.1,
+            )
+
+        assert run(1).makespan != run(2).makespan
+
+
+class TestValidation:
+    def test_allocation_length_mismatch(self, trio):
+        with pytest.raises(ConfigurationError):
+            simulate_striped_matmul_adaptive(N, [10, 10], trio)
+
+    def test_model_length_mismatch(self, trio, alloc):
+        with pytest.raises(ConfigurationError):
+            simulate_striped_matmul_adaptive(
+                N, alloc, trio, model_speed_functions=trio[:2]
+            )
+
+    def test_non_positive_dt(self, trio, alloc):
+        with pytest.raises(ConfigurationError):
+            simulate_striped_matmul_adaptive(
+                N, alloc, trio, dt=0.0, load_mean=0.1
+            )

@@ -1,0 +1,171 @@
+"""Fault scripts, the dispatch-time injector, and retry with backoff."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adapt import (
+    CommFault,
+    Dropout,
+    FaultInjector,
+    FaultScript,
+    InjectedCommError,
+    LoadShift,
+    RetryExhaustedError,
+    RetryPolicy,
+    call_with_retry,
+)
+from repro.adapt.retry import NO_RETRY
+from repro.exceptions import ConfigurationError
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule_is_exponential_and_capped(self):
+        policy = RetryPolicy(retries=5, base_delay=0.1, factor=2.0, max_delay=0.5)
+        assert policy.delays() == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_no_retry_constant(self):
+        assert NO_RETRY.retries == 0
+        assert NO_RETRY.delays() == []
+        assert NO_RETRY.timeout is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"retries": -1},
+            {"base_delay": -0.1},
+            {"factor": 0.5},
+            {"max_delay": -1.0},
+            {"timeout": 0.0},
+        ],
+    )
+    def test_invalid_policies_raise(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**kwargs)
+
+
+class TestCallWithRetry:
+    def test_success_needs_no_sleep(self):
+        slept = []
+        out = call_with_retry(
+            lambda: 42, policy=RetryPolicy(retries=3), sleep=slept.append
+        )
+        assert out == 42
+        assert slept == []
+
+    def test_recovers_after_transient_failures(self):
+        slept = []
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise InjectedCommError("transient")
+            return "ok"
+
+        policy = RetryPolicy(retries=3, base_delay=0.1, factor=2.0)
+        out = call_with_retry(flaky, policy=policy, sleep=slept.append)
+        assert out == "ok"
+        assert calls["n"] == 3
+        # Backoffs follow the deterministic schedule prefix.
+        assert slept == [0.1, 0.2]
+
+    def test_exhaustion_raises_with_attempt_count_and_cause(self):
+        def always_fails():
+            raise InjectedCommError("down")
+
+        policy = RetryPolicy(retries=2, base_delay=0.0)
+        with pytest.raises(RetryExhaustedError) as exc_info:
+            call_with_retry(
+                always_fails, policy=policy, description="probe", sleep=lambda _: None
+            )
+        err = exc_info.value
+        assert err.attempts == 3  # first attempt + 2 retries
+        assert isinstance(err.last, InjectedCommError)
+        assert "probe" in str(err)
+
+    def test_non_retryable_exceptions_propagate(self):
+        def boom():
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            call_with_retry(
+                boom, policy=RetryPolicy(retries=3), sleep=lambda _: None
+            )
+
+    def test_failed_attempts_are_counted_on_the_metrics(self, fresh_obs):
+        fresh_obs.enable()
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise InjectedCommError("transient")
+            return None
+
+        call_with_retry(
+            flaky, policy=RetryPolicy(retries=2, base_delay=0.0), sleep=lambda _: None
+        )
+        assert fresh_obs.get_registry().counter("adapt.retries").value == 1
+
+
+class TestFaultScript:
+    def test_events_are_partitioned_by_kind_and_ordered(self):
+        script = FaultScript(
+            events=(
+                LoadShift(machine=1, at_time=5.0, factor=0.5),
+                Dropout(machine=0, at_time=2.0),
+                CommFault(machine=2, failures=2),
+                LoadShift(machine=0, at_time=1.0, factor=0.8),
+            )
+        )
+        assert [e.machine for e in script.dropouts()] == [0]
+        assert [e.at_time for e in script.load_shifts()] == [1.0, 5.0]
+        assert len(script.comm_faults()) == 1
+        assert len(script) == 4
+
+    def test_unknown_event_types_are_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultScript(events=("not-an-event",))
+
+    def test_event_validation(self):
+        with pytest.raises(ConfigurationError):
+            Dropout(machine=-1)
+        with pytest.raises(ConfigurationError):
+            LoadShift(machine=0, at_time=1.0, factor=0.0)
+        with pytest.raises(ConfigurationError):
+            CommFault(machine=0, failures=0)
+
+
+class TestFaultInjector:
+    def test_comm_fault_window(self):
+        injector = FaultInjector(
+            FaultScript(events=(CommFault(machine=0, failures=2, at_dispatch=1),))
+        )
+        injector.check_dispatch(0)  # dispatch 0: clean
+        with pytest.raises(InjectedCommError):
+            injector.check_dispatch(0)  # dispatch 1: faulted
+        with pytest.raises(InjectedCommError):
+            injector.check_dispatch(0)  # dispatch 2: faulted
+        injector.check_dispatch(0)  # dispatch 3: healed
+        assert injector.dispatches(0) == 4
+
+    def test_dropout_never_heals(self):
+        injector = FaultInjector(FaultScript(events=(Dropout(machine=1),)))
+        injector.check_dispatch(0)
+        for _ in range(3):
+            with pytest.raises(InjectedCommError):
+                injector.check_dispatch(1)
+        assert injector.dead_machines == frozenset({1})
+
+    def test_empty_injector_never_faults(self):
+        injector = FaultInjector()
+        for machine in range(4):
+            injector.check_dispatch(machine)
+        assert injector.dead_machines == frozenset()
+
+    def test_accepts_a_bare_event_sequence(self):
+        injector = FaultInjector([CommFault(machine=0, failures=1)])
+        with pytest.raises(InjectedCommError):
+            injector.check_dispatch(0)
+        injector.check_dispatch(0)

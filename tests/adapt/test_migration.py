@@ -1,0 +1,97 @@
+"""Migration plans: minimality, determinism, cost models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adapt import MigrationPlan, Move, apply_migration, plan_migration
+from repro.adapt.migration import EMPTY_PLAN
+from repro.exceptions import ConfigurationError
+from repro.machines.comm import CommModel
+
+
+def test_identical_allocations_need_no_moves():
+    plan = plan_migration([10, 20, 30], [10, 20, 30])
+    assert plan.empty
+    assert plan.total_elements == 0
+    assert plan.cost_seconds == 0.0
+    assert len(plan) == 0
+
+
+def test_volume_is_the_information_theoretic_minimum():
+    old = [50, 30, 20]
+    new = [20, 45, 35]
+    plan = plan_migration(old, new)
+    minimum = sum(max(b - a, 0) for a, b in zip(old, new))
+    assert plan.total_elements == minimum
+    assert len(plan.moves) <= len(old) - 1
+
+
+def test_moves_apply_back_to_the_new_allocation():
+    old = np.array([50, 30, 20, 0])
+    new = np.array([10, 40, 25, 25])
+    plan = plan_migration(old, new)
+    assert apply_migration(old, plan).tolist() == new.tolist()
+
+
+def test_plan_is_deterministic():
+    old, new = [70, 10, 5, 15], [25, 25, 25, 25]
+    a = plan_migration(old, new)
+    b = plan_migration(old, new)
+    assert a == b
+
+
+def test_greedy_two_cursor_matching_order():
+    # Surpluses (0, 2) feed deficits (1, 3) in ascending index order.
+    plan = plan_migration([30, 0, 30, 0], [10, 25, 10, 15])
+    assert plan.moves == (
+        Move(source=0, dest=1, elements=20),
+        Move(source=2, dest=1, elements=5),
+        Move(source=2, dest=3, elements=15),
+    )
+
+
+def test_flat_rate_cost_without_a_comm_model():
+    plan = plan_migration([100, 0], [0, 100])
+    # 100 elements * 8 bytes over 100 Mbit/s.
+    assert plan.cost_seconds == pytest.approx(100 * 8 / (100e6 / 8))
+
+
+def test_comm_model_prices_the_move_set():
+    comm = CommModel.ethernet(3)
+    old, new = [60, 20, 20], [20, 40, 40]
+    plan = plan_migration(old, new, comm=comm)
+    expected = comm.message_set(
+        [(m.source, m.dest, m.elements * 8.0) for m in plan.moves]
+    )
+    assert plan.cost_seconds == pytest.approx(expected)
+
+
+def test_conservation_and_shape_are_enforced():
+    with pytest.raises(ConfigurationError):
+        plan_migration([10, 10], [10, 11])
+    with pytest.raises(ConfigurationError):
+        plan_migration([10, 10], [10, 5, 5])
+    with pytest.raises(ConfigurationError):
+        plan_migration([-1, 21], [10, 10])
+
+
+def test_move_validation():
+    with pytest.raises(ConfigurationError):
+        Move(source=1, dest=1, elements=5)
+    with pytest.raises(ConfigurationError):
+        Move(source=0, dest=1, elements=0)
+    with pytest.raises(ConfigurationError):
+        Move(source=-1, dest=1, elements=5)
+
+
+def test_apply_migration_rejects_overdrawn_moves():
+    plan = MigrationPlan(moves=(Move(source=0, dest=1, elements=10),), cost_seconds=0.0)
+    with pytest.raises(ConfigurationError):
+        apply_migration([5, 0], plan)
+
+
+def test_empty_plan_constant():
+    assert EMPTY_PLAN.empty
+    assert apply_migration([3, 4], EMPTY_PLAN).tolist() == [3, 4]

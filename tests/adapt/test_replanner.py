@@ -1,0 +1,198 @@
+"""Replanner: fleet rescaling, the savings-versus-cost rule, dropout recovery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import partition
+from repro.adapt import AdaptivePolicy, Replanner
+from repro.adapt.replanner import DISABLED, scale_speed_function
+from repro.core.speed_function import (
+    ConstantSpeedFunction,
+    PiecewiseLinearSpeedFunction,
+)
+from repro.exceptions import ConfigurationError, InfeasiblePartitionError
+
+from .conftest import make_pwl
+
+
+class TestScaleSpeedFunction:
+    def test_piecewise_is_rebuilt_exactly(self):
+        sf = make_pwl(100.0)
+        scaled = scale_speed_function(sf, 0.5)
+        assert type(scaled) is PiecewiseLinearSpeedFunction
+        assert np.array_equal(scaled.knot_sizes, sf.knot_sizes)
+        assert np.array_equal(scaled.knot_speeds, sf.knot_speeds * 0.5)
+
+    def test_constant_is_rebuilt_exactly(self):
+        sf = ConstantSpeedFunction(200.0, 1e6)
+        scaled = scale_speed_function(sf, 2.0)
+        assert type(scaled) is ConstantSpeedFunction
+        assert scaled.value == 400.0
+        assert scaled.max_size == 1e6
+
+    def test_unit_factor_returns_the_same_object(self):
+        sf = make_pwl(100.0)
+        assert scale_speed_function(sf, 1.0) is sf
+
+    @pytest.mark.parametrize("factor", [0.0, -1.0, float("inf"), float("nan")])
+    def test_invalid_factors_raise(self, factor):
+        with pytest.raises(ConfigurationError):
+            scale_speed_function(make_pwl(100.0), factor)
+
+
+class TestPolicy:
+    def test_disabled_constant(self):
+        assert DISABLED.enabled is False
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"slack": -0.1},
+            {"patience": 0},
+            {"smoothing": 0.0},
+            {"band_width": 1.0},
+            {"min_savings_factor": -1.0},
+            {"max_replans": -1},
+            {"cooldown_steps": -1},
+        ],
+    )
+    def test_invalid_policies_raise(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            AdaptivePolicy(**kwargs)
+
+
+class TestReplanner:
+    def test_plan_matches_partition_of_the_scaled_fleet(self, trio):
+        rp = Replanner(trio)
+        factors = [0.5, 1.0, 1.0]
+        scaled = rp.scaled_speed_functions(factors)
+        got = rp.plan(100_000, factors)
+        want = partition(100_000, scaled, algorithm="bisection")
+        assert got.allocation.tolist() == want.allocation.tolist()
+
+    def test_planners_are_cached_per_factor_regime(self, trio):
+        rp = Replanner(trio)
+        a = rp.planner_for([0.5, 1.0, 1.0])
+        b = rp.planner_for([0.5, 1.0, 1.0])
+        assert a is b
+        # Sub-rounding jitter maps to the same cached planner.
+        c = rp.planner_for([0.5 + 1e-9, 1.0, 1.0])
+        assert c is a
+
+    def test_planner_cache_is_bounded(self, trio):
+        rp = Replanner(trio, max_fleets=1)
+        a = rp.planner_for([0.5, 1.0, 1.0])
+        rp.planner_for([0.25, 1.0, 1.0])  # evicts the first regime
+        assert rp.planner_for([0.5, 1.0, 1.0]) is not a
+
+    def test_mismatched_factor_count_raises(self, trio):
+        rp = Replanner(trio)
+        with pytest.raises(ConfigurationError):
+            rp.plan(1000, [1.0, 1.0])
+
+    def test_consider_applies_on_a_large_drift(self, trio):
+        # The MM work function (2n/3 flops per element at n=300), so the
+        # projected seconds are on the same scale as the migration cost.
+        rp = Replanner(trio, work=lambda x: 200.0 * x)
+        current = partition(3 * 300 * 300, trio).allocation
+        # Machine 0 (the fastest) lost most of its speed.
+        decision = rp.consider(current, [0.2, 1.0, 1.0])
+        assert decision.apply
+        assert decision.allocation is not None
+        assert int(decision.allocation.sum()) == int(current.sum())
+        assert decision.savings > 0
+        assert not decision.migration.empty
+        # The new plan moves work off the drifted machine.
+        assert decision.allocation[0] < current[0]
+        assert rp.replans_applied == 1
+
+    def test_consider_keeps_the_plan_when_nothing_changed(self, trio):
+        rp = Replanner(trio)
+        current = partition(3 * 300 * 300, trio, algorithm="bisection").allocation
+        decision = rp.consider(current, [1.0, 1.0, 1.0])
+        assert not decision.apply
+        assert decision.allocation is None
+        assert rp.replans_applied == 0
+
+    def test_consider_respects_the_replan_budget(self, trio):
+        rp = Replanner(
+            trio, policy=AdaptivePolicy(max_replans=0), work=lambda x: 200.0 * x
+        )
+        current = partition(3 * 300 * 300, trio).allocation
+        decision = rp.consider(current, [0.2, 1.0, 1.0])
+        assert not decision.apply
+        assert "budget" in decision.reason
+
+    def test_consider_with_nothing_remaining(self, trio):
+        rp = Replanner(trio)
+        decision = rp.consider([0, 0, 0], [0.5, 1.0, 1.0])
+        assert not decision.apply
+        assert decision.migration.empty
+
+    def test_savings_rule_blocks_marginal_migrations(self, trio):
+        # An enormous reluctance factor blocks any migration.
+        rp = Replanner(
+            trio,
+            policy=AdaptivePolicy(min_savings_factor=1e12),
+            work=lambda x: 200.0 * x,
+        )
+        current = partition(3 * 300 * 300, trio).allocation
+        decision = rp.consider(current, [0.2, 1.0, 1.0])
+        assert not decision.apply
+        assert "below threshold" in decision.reason
+
+    def test_applied_replans_are_counted_on_the_metrics(self, trio, fresh_obs):
+        fresh_obs.enable()
+        rp = Replanner(trio, work=lambda x: 200.0 * x)
+        current = partition(3 * 300 * 300, trio).allocation
+        decision = rp.consider(current, [0.2, 1.0, 1.0])
+        assert decision.apply
+        reg = fresh_obs.get_registry()
+        assert reg.counter("adapt.replans").value == 1
+        assert (
+            reg.counter("adapt.migrated.elements").value
+            == decision.migration.total_elements
+        )
+
+
+class TestRecoverDropout:
+    def test_survivors_keep_their_holdings(self, trio):
+        rp = Replanner(trio)
+        current = np.array([120_000, 80_000, 40_000])
+        decision = rp.recover_dropout(current, [0])
+        assert decision.apply
+        new = decision.allocation
+        assert new[0] == 0
+        assert new[1] >= current[1]
+        assert new[2] >= current[2]
+        assert int(new.sum()) == int(current.sum())
+        # Only the dead machine's elements moved.
+        assert decision.migration.total_elements == current[0]
+        assert decision.projected_current == float("inf")
+
+    def test_dead_machine_with_nothing_left_is_free(self, trio):
+        rp = Replanner(trio)
+        decision = rp.recover_dropout([0, 500, 500], [0])
+        assert decision.apply
+        assert decision.migration.empty
+
+    def test_no_survivors_raises(self, trio):
+        rp = Replanner(trio)
+        with pytest.raises(InfeasiblePartitionError):
+            rp.recover_dropout([10, 10, 10], [0, 1, 2])
+
+    def test_unknown_processor_raises(self, trio):
+        rp = Replanner(trio)
+        with pytest.raises(ConfigurationError):
+            rp.recover_dropout([10, 10, 10], [7])
+
+    def test_dropout_is_counted_on_the_metrics(self, trio, fresh_obs):
+        fresh_obs.enable()
+        rp = Replanner(trio)
+        rp.recover_dropout([9000, 3000, 3000], [0])
+        reg = fresh_obs.get_registry()
+        assert reg.counter("adapt.dropouts.survived").value == 1
+        assert reg.counter("adapt.replans").value == 1
+        assert reg.counter("adapt.migrated.elements").value == 9000

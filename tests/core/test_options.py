@@ -1,0 +1,180 @@
+"""PartitionOptions and the uniform unsupported-option rejection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ALGORITHMS,
+    SUPPORTED_OPTIONS,
+    ConfigurationError,
+    PartitionOptions,
+    partition,
+    partition_bisection,
+    partition_combined,
+    partition_constant,
+    partition_exact,
+    partition_hierarchical,
+    partition_modified,
+    partition_weighted,
+)
+from repro.core.constant_model import partition_constant_naive
+from repro.core.options import reject_unknown_options
+from repro.core.speed_function import ConstantSpeedFunction
+
+from ..conftest import make_pwl
+
+
+@pytest.fixture
+def trio():
+    return [make_pwl(100.0), make_pwl(300.0), make_pwl(200.0)]
+
+
+class TestPartitionOptionsDataclass:
+    def test_defaults(self):
+        opts = PartitionOptions()
+        assert opts.mode == "tangent"
+        assert opts.refine == "greedy"
+        assert opts.non_default() == {}
+
+    def test_replace_returns_a_modified_copy(self):
+        opts = PartitionOptions()
+        other = opts.replace(mode="angle", keep_trace=True)
+        assert other.mode == "angle"
+        assert other.keep_trace is True
+        assert opts.mode == "tangent"  # original untouched (frozen)
+
+    def test_non_default_lists_only_changed_fields(self):
+        opts = PartitionOptions(refine="paper", max_iterations=9)
+        assert opts.non_default() == {"refine": "paper", "max_iterations": 9}
+
+    def test_field_names_cover_the_documented_surface(self):
+        assert PartitionOptions.field_names() >= {
+            "mode", "refine", "max_iterations", "keep_trace",
+            "region", "pack", "bounds", "validate",
+        }
+
+    def test_algorithm_kwargs_forwards_supported_fields(self):
+        opts = PartitionOptions(mode="angle", refine="paper")
+        kwargs = opts.algorithm_kwargs(
+            "bisection", SUPPORTED_OPTIONS["bisection"]
+        )
+        assert kwargs == {"mode": "angle", "refine": "paper"}
+
+    def test_algorithm_kwargs_rejects_unsupported_naming_the_algorithm(self):
+        opts = PartitionOptions(mode="angle")
+        with pytest.raises(ConfigurationError, match="'modified'"):
+            opts.algorithm_kwargs("modified", SUPPORTED_OPTIONS["modified"])
+
+    def test_front_door_options_are_never_forwarded(self):
+        opts = PartitionOptions(bounds=[100.0, 100.0], validate=True)
+        assert opts.algorithm_kwargs("exact", SUPPORTED_OPTIONS["exact"]) == {}
+
+
+class TestPartitionFrontDoor:
+    def test_options_equal_loose_keywords(self, trio):
+        n = 30_000
+        via_options = partition(
+            n, trio, algorithm="bisection",
+            options=PartitionOptions(mode="angle", refine="paper"),
+        )
+        via_keywords = partition(
+            n, trio, algorithm="bisection", mode="angle", refine="paper"
+        )
+        assert via_options.allocation.tolist() == via_keywords.allocation.tolist()
+
+    def test_mixing_options_and_keywords_is_rejected(self, trio):
+        with pytest.raises(ConfigurationError, match="both"):
+            partition(
+                1000, trio, options=PartitionOptions(mode="angle"), mode="angle"
+            )
+
+    def test_unsupported_core_option_names_the_algorithm(self, trio):
+        with pytest.raises(ConfigurationError, match="'modified'"):
+            partition(1000, trio, algorithm="modified", mode="angle")
+
+    def test_unknown_algorithm(self, trio):
+        with pytest.raises(ConfigurationError, match="unknown algorithm"):
+            partition(1000, trio, algorithm="nope")
+
+    def test_bounds_via_options(self, trio):
+        n = 30_000
+        bounds = [8_000.0, float("inf"), float("inf")]
+        out = partition(n, trio, options=PartitionOptions(bounds=bounds))
+        assert out.allocation[0] <= 8_000
+        assert int(out.allocation.sum()) == n
+        assert out.algorithm.endswith("+bounded")
+
+    def test_every_registered_algorithm_has_an_option_surface(self):
+        assert set(SUPPORTED_OPTIONS) == set(ALGORITHMS)
+
+
+class TestUniformRejection:
+    """Every partition_* rejects unknown keywords the same way."""
+
+    @pytest.mark.parametrize(
+        "fn, name",
+        [
+            (partition_bisection, "bisection"),
+            (partition_combined, "combined"),
+            (partition_modified, "modified"),
+            (partition_exact, "exact"),
+        ],
+    )
+    def test_functional_partitioners(self, fn, name, trio):
+        with pytest.raises(ConfigurationError, match=f"'{name}'"):
+            fn(1000, trio, definitely_not_an_option=1)
+
+    def test_constant_partitioners(self):
+        with pytest.raises(ConfigurationError, match="'constant'"):
+            partition_constant(100, [1.0, 2.0], definitely_not_an_option=1)
+        with pytest.raises(ConfigurationError, match="'constant-naive'"):
+            partition_constant_naive(100, [1.0, 2.0], definitely_not_an_option=1)
+
+    def test_weighted_partitioner(self, trio):
+        with pytest.raises(ConfigurationError, match="'weighted'"):
+            partition_weighted([1.0, 1.0, 1.0], trio, definitely_not_an_option=1)
+
+    def test_hierarchical_partitioner(self, trio):
+        with pytest.raises(ConfigurationError, match="'hierarchical'"):
+            partition_hierarchical(
+                1000, [trio[:2], trio[2:]], definitely_not_an_option=1
+            )
+
+    def test_reject_unknown_options_helper(self):
+        reject_unknown_options("anything", {})  # empty extras pass
+        with pytest.raises(ConfigurationError) as exc_info:
+            reject_unknown_options("myalgo", {"b_opt": 1, "a_opt": 2})
+        # Sorted names, algorithm named.
+        assert "a_opt, b_opt" in str(exc_info.value)
+        assert "'myalgo'" in str(exc_info.value)
+
+
+class TestConstantModelSpeedFunctions:
+    """Constant partitioners accept SpeedFunctions sampled at a probe size."""
+
+    def test_speed_functions_are_sampled_at_the_even_share(self):
+        sfs = [ConstantSpeedFunction(100.0, 1e6), ConstantSpeedFunction(300.0, 1e6)]
+        via_functions = partition_constant(10_000, sfs)
+        via_numbers = partition_constant(10_000, [100.0, 300.0])
+        assert via_functions.allocation.tolist() == via_numbers.allocation.tolist()
+
+    def test_probe_size_controls_the_sampling_point(self):
+        sfs = [make_pwl(100.0), make_pwl(300.0)]
+        n = 100_000
+        at_small = partition_constant(n, sfs, probe_size=1e3)
+        expected = partition_constant(
+            n, [float(sf.speed(1e3)) for sf in sfs]
+        )
+        assert at_small.allocation.tolist() == expected.allocation.tolist()
+
+    def test_mixed_numbers_and_functions(self):
+        out = partition_constant(9_000, [ConstantSpeedFunction(200.0, 1e6), 100.0])
+        assert int(out.allocation.sum()) == 9_000
+        assert out.allocation[0] == 2 * out.allocation[1]
+
+    def test_naive_variant_accepts_functions_too(self):
+        sfs = [ConstantSpeedFunction(100.0, 1e6), ConstantSpeedFunction(300.0, 1e6)]
+        out = partition_constant_naive(10_000, sfs)
+        assert int(out.allocation.sum()) == 10_000

@@ -1,0 +1,99 @@
+"""Fault injection, retry, and dropout recovery on the emulated cluster."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adapt import (
+    CommFault,
+    Dropout,
+    FaultScript,
+    InjectedCommError,
+    RetryExhaustedError,
+    RetryPolicy,
+)
+from repro.exceptions import InfeasiblePartitionError
+from repro.kernels.group_block import variable_group_block
+from repro.runtime import EmulatedCluster
+from repro.runtime.lu_parallel import run_parallel_lu
+from repro.runtime.tasks import benchmark_task
+
+from ..adapt.conftest import make_pwl
+
+FAST_RETRY = RetryPolicy(retries=2, base_delay=0.01, timeout=60.0)
+
+
+@pytest.fixture
+def mats():
+    rng = np.random.default_rng(42)
+    a = rng.standard_normal((9, 12))
+    b = rng.standard_normal((10, 12))
+    return a, b
+
+
+def test_dispatch_retries_a_transient_comm_fault():
+    script = FaultScript(events=(CommFault(machine=0, failures=1),))
+    with EmulatedCluster([1], faults=script, retry=FAST_RETRY) as cluster:
+        speed = cluster.dispatch(0, benchmark_task, 32, 1, 1)
+        assert speed > 0
+        assert cluster.fault_injector.dispatches(0) == 2
+
+
+def test_dispatch_without_retry_propagates_the_fault():
+    script = FaultScript(events=(CommFault(machine=0, failures=1),))
+    with EmulatedCluster([1], faults=script) as cluster:
+        with pytest.raises(InjectedCommError):
+            cluster.dispatch(0, benchmark_task, 32, 1, 1)
+
+
+def test_dispatch_exhaustion_raises_retry_exhausted():
+    script = FaultScript(events=(Dropout(machine=0),))
+    with EmulatedCluster([1], faults=script, retry=FAST_RETRY) as cluster:
+        with pytest.raises(RetryExhaustedError) as exc_info:
+            cluster.dispatch(0, benchmark_task, 32, 1, 1)
+        assert exc_info.value.attempts == 3
+
+
+def test_striped_run_survives_a_transient_comm_fault(mats):
+    a, b = mats
+    script = FaultScript(events=(CommFault(machine=1, failures=1),))
+    with EmulatedCluster([1, 1, 1], faults=script, retry=FAST_RETRY) as cluster:
+        out = cluster.run_striped_matmul(a, b, [3, 3, 3])
+    np.testing.assert_allclose(out.result, a @ b.T, atol=1e-10)
+
+
+def test_striped_run_redistributes_a_dead_machine(mats):
+    a, b = mats
+    models = [make_pwl(800.0), make_pwl(400.0), make_pwl(200.0)]
+    script = FaultScript(events=(Dropout(machine=2),))
+    with EmulatedCluster([1, 1, 1], faults=script, retry=FAST_RETRY) as cluster:
+        out = cluster.run_striped_matmul(
+            a, b, [3, 3, 3], recovery_models=models
+        )
+    np.testing.assert_allclose(out.result, a @ b.T, atol=1e-10)
+    # The dead machine never produced a stripe; survivors absorbed it.
+    assert out.worker_seconds[2] == 0.0
+    assert out.worker_seconds[[0, 1]].sum() > 0
+
+
+def test_striped_run_without_recovery_models_fails_permanently(mats):
+    a, b = mats
+    script = FaultScript(events=(Dropout(machine=0),))
+    with EmulatedCluster([1, 1, 1], faults=script, retry=FAST_RETRY) as cluster:
+        with pytest.raises(InfeasiblePartitionError):
+            cluster.run_striped_matmul(a, b, [3, 3, 3])
+
+
+def test_parallel_lu_retries_transient_comm_faults():
+    n, blk = 24, 4
+    rng = np.random.default_rng(7)
+    a = rng.standard_normal((n, n)) + n * np.eye(n)
+    models = [make_pwl(400.0), make_pwl(200.0)]
+    dist = variable_group_block(n, blk, models)
+    script = FaultScript(events=(CommFault(machine=1, failures=1, at_dispatch=2),))
+    with EmulatedCluster([1, 1], faults=script, retry=FAST_RETRY) as cluster:
+        out = run_parallel_lu(cluster, a, dist)
+    lower = np.tril(out.lu, -1) + np.eye(n)
+    upper = np.triu(out.lu)
+    np.testing.assert_allclose(lower @ upper, a, atol=1e-8 * n)
