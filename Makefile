@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke check examples experiments lint-docs all clean
+.PHONY: install test bench bench-smoke serve-smoke check examples experiments lint-docs all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -29,7 +29,14 @@ bench-smoke:
 		--benchmark-disable-gc -q -s
 	$(PYTHON) benchmarks/perf_guard.py --out benchmarks/out/metrics.json
 
-check: test bench-smoke
+# End-to-end serving smoke: boots the TCP+HTTP server in-process,
+# registers a fleet over the wire, bit-checks served plans against a
+# direct Planner, runs a small concurrent load, and scrapes /health and
+# /metrics.  Exits non-zero on any failure, shed request, or mismatch.
+serve-smoke:
+	$(PYTHON) -m repro.serve.smoke
+
+check: test bench-smoke serve-smoke
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done

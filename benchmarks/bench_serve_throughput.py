@@ -1,0 +1,106 @@
+"""Serving throughput: the batched, sharded service vs a naive loop.
+
+The acceptance gate for :mod:`repro.serve`: on the p=1080 synthetic
+fleet (the testbed's 12 machines tiled, as in figure 21), the serving
+path — plan-cache hits, warm-started bisection and micro-batched
+``plan_many`` sweeps behind one TCP front-end — must sustain at least
+**5x** the plans/sec of a naive one-request-one-solve loop that calls
+the paper's partitioner cold for every request, at client concurrency
+32, with zero shed requests (the offered load sits below the admission
+limit) and zero errors.
+
+The workload repeats ``DISTINCT`` problem sizes across ``REQUESTS``
+requests — the realistic shape for a scheduler asking about the same
+fleet all day — which is exactly what the plan cache and the batcher
+exploit.  ``REPRO_BENCH_SMOKE=1`` shrinks the fleet and the request
+count so the file runs in seconds.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core.partition import partition
+from repro.experiments import ascii_table, tile_speed_functions
+from repro.planner import Fleet
+from repro.serve import ServeClient, ServeConfig, run_load, start_in_thread
+
+SMOKE = bool(int(os.environ.get("REPRO_BENCH_SMOKE", "0")))
+
+P = 120 if SMOKE else 1080
+REQUESTS = 96 if SMOKE else 512
+DISTINCT = 16 if SMOKE else 64
+CONCURRENCY = 32
+SPEEDUP_GATE = 5.0
+
+
+def _workload(capacity: int) -> list[int]:
+    """REQUESTS sizes cycling over DISTINCT distinct values, shuffled
+    deterministically by a coprime stride so batches mix sizes."""
+    pool = [capacity // (DISTINCT + 2) * (k + 1) for k in range(DISTINCT)]
+    return [pool[(k * 7) % DISTINCT] for k in range(REQUESTS)]
+
+
+def test_serve_throughput_vs_naive_loop(mm_models, benchmark):
+    sfs = tile_speed_functions(mm_models, P)
+    fleet = Fleet(sfs, name=f"bench-p{P}")
+    sizes = _workload(int(fleet.capacity))
+
+    def run():
+        # -- naive baseline: one cold paper-partitioner solve per request
+        begin = time.perf_counter()
+        for n in sizes:
+            partition(n, sfs)
+        naive_seconds = time.perf_counter() - begin
+        naive_rate = len(sizes) / naive_seconds
+
+        # -- the serving path: same workload, concurrency 32, one server
+        config = ServeConfig(
+            shards=2, batch_window=0.002, max_batch=64, queue_depth=128
+        )
+        with start_in_thread(config) as handle:
+            with ServeClient(handle.host, handle.port) as client:
+                info = client.register_fleet(sfs, name=fleet.name)
+                report = run_load(
+                    handle.host,
+                    handle.port,
+                    info["fingerprint"],
+                    sizes,
+                    concurrency=CONCURRENCY,
+                    connections=8,
+                    allocation=False,
+                )
+                stats = client.stats()
+        return naive_rate, report, stats
+
+    naive_rate, report, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = report.plans_per_second / naive_rate
+
+    print()
+    print(
+        ascii_table(
+            ["path", "plans/s", "p50 (ms)", "p99 (ms)", "errors"],
+            [
+                (f"naive cold loop (p={P})", round(naive_rate, 1), "-", "-", 0),
+                (
+                    f"repro.serve (conc={CONCURRENCY})",
+                    round(report.plans_per_second, 1),
+                    round(report.p50 * 1e3, 2),
+                    round(report.p99 * 1e3, 2),
+                    report.error_count,
+                ),
+            ],
+            title=f"Serving throughput — {REQUESTS} requests, "
+            f"{DISTINCT} distinct sizes (speedup {speedup:.1f}x)",
+        )
+    )
+
+    # The acceptance gates: throughput, zero drops, zero errors.
+    assert report.ok == REQUESTS, f"missing responses: {report.summary()}"
+    assert report.errors == {}, f"request errors: {report.errors}"
+    assert stats["shed"] == 0, f"{stats['shed']} requests shed below the limit"
+    assert speedup >= SPEEDUP_GATE, (
+        f"serving must beat the naive loop {SPEEDUP_GATE}x, got {speedup:.2f}x "
+        f"({report.plans_per_second:.0f} vs {naive_rate:.0f} plans/s)"
+    )

@@ -12,6 +12,7 @@ touching pytest::
     repro plan            # cached/warm-started partition planner queries
     repro stats           # run a workload, dump the collected telemetry
     repro trace           # run a workload, pretty-print the span tree
+    repro serve           # run the concurrent planning service (repro.serve)
     repro all             # every paper artefact above
 
 ``repro table3`` / ``repro table4`` run the *real* NumPy kernels on this
@@ -367,6 +368,68 @@ def _cmd_trace(args: argparse.Namespace) -> None:
     )
 
 
+def _serve_config(args: argparse.Namespace):
+    """A :class:`~repro.serve.ServeConfig` from the CLI flags."""
+    from .serve import ServeConfig
+
+    return ServeConfig(
+        shards=args.shards,
+        worker_mode=args.workers,
+        batch_window=args.batch_window_ms / 1000.0,
+        max_batch=args.max_batch,
+        queue_depth=args.queue_depth,
+        host=args.host,
+        port=args.port,
+        http_port=None if args.http_port < 0 else args.http_port,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> None:
+    """Boot the planning service, pre-register the testbed fleet, serve.
+
+    ``--once`` answers a single self-issued query and exits (a built-in
+    sanity check, also used by the CLI tests); without it the server
+    runs until interrupted and drains in-flight requests on Ctrl-C.
+    """
+    import time as _time
+
+    from .experiments import tile_speed_functions
+    from .serve import ServeClient, start_in_thread
+
+    net = table2_network()
+    models = build_network_models(net, args.kernel)
+    p = args.p if args.p is not None else len(models)
+    sfs = tile_speed_functions(models, p) if p != len(models) else models
+    handle = start_in_thread(_serve_config(args))
+    try:
+        with ServeClient(handle.host, handle.port) as client:
+            info = client.register_fleet(
+                sfs, name=f"table2-{args.kernel}-p{p}", algorithm=args.algorithm
+            )
+            http = "disabled" if handle.http_port is None else handle.http_port
+            print(f"serving on {handle.host}:{handle.port} (http {http})")
+            print(
+                f"fleet {info['name']} registered: fingerprint "
+                f"{info['fingerprint']} (p={info['p']}, shard {info['shard']})"
+            )
+            if args.once:
+                n = max(1, int(info["capacity"]) // 2)
+                result = client.plan(info["fingerprint"], n, allocation=False)
+                print(
+                    f"self-check plan n={n}: makespan {result['makespan']:.6g}s "
+                    f"in {result['iterations']} iterations"
+                )
+                print("draining")
+                return
+            print("press Ctrl-C to drain and stop")
+            while True:  # pragma: no cover - interactive loop
+                _time.sleep(1.0)
+    except KeyboardInterrupt:  # pragma: no cover - interactive loop
+        print("draining")
+    finally:
+        handle.stop()
+
+
 _COMMANDS: dict[str, Callable[[argparse.Namespace], None]] = {
     "fig1": _cmd_fig1,
     "fig2": _cmd_fig2,
@@ -381,10 +444,11 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], None]] = {
     "plan": _cmd_plan,
     "stats": _cmd_stats,
     "trace": _cmd_trace,
+    "serve": _cmd_serve,
 }
 
-#: Telemetry tooling, not paper artefacts: excluded from ``repro all``.
-_TELEMETRY_COMMANDS = frozenset({"stats", "trace"})
+#: Telemetry/serving tooling, not paper artefacts: excluded from ``repro all``.
+_TELEMETRY_COMMANDS = frozenset({"stats", "trace", "serve"})
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -453,6 +517,43 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--trace-n", type=int, default=1024,
         help="matrix dimension of the simulated LU in `repro stats/trace`",
+    )
+    serve = parser.add_argument_group("serve", "options for `repro serve`")
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address for `repro serve`"
+    )
+    serve.add_argument(
+        "--port", type=int, default=7077,
+        help="TCP port for the NDJSON protocol (0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--http-port", type=int, default=0,
+        help="HTTP port for /metrics, /health, /stats "
+        "(0 = ephemeral, negative disables HTTP)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=2, help="number of planner worker shards"
+    )
+    serve.add_argument(
+        "--workers", default="thread", choices=["thread", "process"],
+        help="shard worker mode",
+    )
+    serve.add_argument(
+        "--batch-window-ms", type=float, default=2.0,
+        help="micro-batching window in milliseconds",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=64,
+        help="flush a micro-batch early once it reaches this many requests",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=128,
+        help="per-shard admission queue depth (beyond this, requests "
+        "are shed with an `overloaded` response)",
+    )
+    serve.add_argument(
+        "--once", action="store_true",
+        help="answer one self-issued plan request, then drain and exit",
     )
     return parser
 

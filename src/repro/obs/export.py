@@ -82,6 +82,12 @@ def _escape_label(value: str) -> str:
     )
 
 
+def _escape_help(text: str) -> str:
+    # HELP lines escape backslash and newline only (not the double quote),
+    # per the Prometheus text exposition format.
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _prom_labels(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
     merged = dict(labels)
     if extra:
@@ -116,7 +122,7 @@ def to_prometheus(registry: MetricsRegistry | None = None) -> str:
             return
         seen_types.add(name)
         if help_text:
-            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
         lines.append(f"# TYPE {name} {kind}")
 
     for m in registry.metrics():

@@ -1,0 +1,414 @@
+"""The planning service's versioned JSON request/response protocol.
+
+One request or response per frame; a frame is one JSON object encoded in
+UTF-8 and terminated by ``\\n`` (newline-delimited JSON).  The same
+objects travel over the raw TCP listener, the HTTP ``POST /v1/rpc``
+endpoint and straight into :meth:`~repro.serve.service.PlanningService.handle`
+in tests — the protocol layer is transport-agnostic.
+
+Requests::
+
+    {"v": 1, "id": 7, "op": "plan", "fleet": "<fingerprint>", "n": 1000000,
+     "timeout_ms": 50, "allocation": false}
+    {"v": 1, "id": 8, "op": "plan_many", "fleet": "<fp>", "ns": [1, 2, 3]}
+    {"v": 1, "id": 9, "op": "register_fleet", "name": "testbed",
+     "speed_functions": [...], "algorithm": "bisection",
+     "options": {"mode": "tangent", "refine": "greedy"}}
+    {"v": 1, "id": 10, "op": "health"}
+    {"v": 1, "id": 11, "op": "stats"}
+
+Responses echo ``v`` and ``id`` and carry either ``"ok": true`` plus a
+``result`` object, or ``"ok": false`` plus an ``error`` object with a
+machine-readable ``code`` (one of :data:`ERROR_CODES`) and a human
+``message``.  Speed functions ride in the same JSON records as the
+:mod:`repro.io` model files, so a fleet registered over the wire gets the
+**same fingerprint** as one built locally from the same models — cache
+keys survive service restarts (covered by the fingerprint-stability
+tests).
+
+Validation reuses the library's option typing: ``options`` keys must be
+:class:`~repro.core.options.PartitionOptions` fields, and violations
+raise :class:`ProtocolError`, a :class:`~repro.exceptions.ConfigurationError`
+subtype carrying the wire-level error code.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from ..core.options import PartitionOptions
+from ..exceptions import (
+    ConfigurationError,
+    InfeasiblePartitionError,
+    InvalidSpeedFunctionError,
+)
+from ..io import speed_function_from_dict, speed_function_to_dict
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "ERROR_CODES",
+    "ProtocolError",
+    "PlanRequest",
+    "PlanManyRequest",
+    "RegisterFleetRequest",
+    "HealthRequest",
+    "StatsRequest",
+    "parse_request",
+    "encode_frame",
+    "decode_frame",
+    "ok_response",
+    "error_response",
+    "error_code_for",
+    "fleet_spec_from_speed_functions",
+    "speed_functions_from_fleet_spec",
+]
+
+#: Current wire protocol version.  Responses always carry the server's
+#: version; requests for other versions are rejected with
+#: ``unsupported_version``.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame (a p=10⁴ fleet registration is ~2 MB; 32 MB
+#: leaves headroom while still bounding a hostile client's allocation).
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+#: Machine-readable error codes a response may carry.
+ERROR_CODES = frozenset(
+    {
+        "invalid_request",  # malformed frame / bad fields / bad options
+        "unsupported_version",  # protocol version mismatch
+        "unknown_op",  # op not in the table below
+        "unknown_fleet",  # fingerprint never registered
+        "infeasible",  # n exceeds fleet capacity (or n < 0)
+        "overloaded",  # load shed: shard queue full
+        "deadline_exceeded",  # request expired before a worker reached it
+        "shutting_down",  # server draining; no new work accepted
+        "internal",  # unexpected failure inside a worker
+    }
+)
+
+#: Option fields a fleet registration may set (the serialisable subset
+#: of :class:`PartitionOptions` — rich objects like ``region``/``pack``
+#: are planner-internal and never cross the wire).
+_WIRE_OPTION_FIELDS = frozenset({"mode", "refine"})
+
+_PLANNER_ALGORITHMS = frozenset({"bisection", "combined", "modified"})
+
+
+class ProtocolError(ConfigurationError):
+    """A request that cannot be served, tagged with its wire error code."""
+
+    def __init__(self, code: str, message: str):
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown protocol error code {code!r}")
+        super().__init__(message)
+        self.code = code
+
+
+def error_code_for(exc: BaseException) -> str:
+    """The wire code describing a library exception."""
+    if isinstance(exc, ProtocolError):
+        return exc.code
+    if isinstance(exc, InfeasiblePartitionError):
+        return "infeasible"
+    if isinstance(exc, (ConfigurationError, InvalidSpeedFunctionError)):
+        return "invalid_request"
+    return "internal"
+
+
+# ---------------------------------------------------------------------------
+# Typed requests
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    id: Any
+    fleet: str
+    n: int
+    timeout_ms: float | None = None
+    allocation: bool = True
+
+    op = "plan"
+
+
+@dataclass(frozen=True)
+class PlanManyRequest:
+    id: Any
+    fleet: str
+    ns: tuple[int, ...]
+    timeout_ms: float | None = None
+    allocation: bool = True
+
+    op = "plan_many"
+
+
+@dataclass(frozen=True)
+class RegisterFleetRequest:
+    id: Any
+    name: str
+    speed_functions: tuple[Mapping, ...]
+    algorithm: str = "bisection"
+    options: PartitionOptions = field(default_factory=PartitionOptions)
+    cache_size: int = 1024
+
+    op = "register_fleet"
+
+
+@dataclass(frozen=True)
+class HealthRequest:
+    id: Any
+
+    op = "health"
+
+
+@dataclass(frozen=True)
+class StatsRequest:
+    id: Any
+
+    op = "stats"
+
+
+Request = PlanRequest | PlanManyRequest | RegisterFleetRequest | HealthRequest | StatsRequest
+
+
+def _require(raw: Mapping, key: str, kinds: type | tuple, what: str) -> Any:
+    try:
+        value = raw[key]
+    except KeyError:
+        raise ProtocolError(
+            "invalid_request", f"{what} request is missing the {key!r} field"
+        ) from None
+    if not isinstance(value, kinds):
+        raise ProtocolError(
+            "invalid_request",
+            f"{what} request field {key!r} must be "
+            f"{kinds if isinstance(kinds, type) else '/'.join(k.__name__ for k in kinds)}, "
+            f"got {type(value).__name__}",
+        )
+    return value
+
+
+def _as_size(value: Any, what: str) -> int:
+    # bool is an int subclass; a boolean problem size is always a bug.
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(
+            "invalid_request", f"{what} must be a number, got {type(value).__name__}"
+        )
+    return int(value)
+
+
+def _parse_timeout(raw: Mapping) -> float | None:
+    timeout = raw.get("timeout_ms")
+    if timeout is None:
+        return None
+    if isinstance(timeout, bool) or not isinstance(timeout, (int, float)):
+        raise ProtocolError(
+            "invalid_request",
+            f"timeout_ms must be a number, got {type(timeout).__name__}",
+        )
+    if timeout <= 0:
+        raise ProtocolError("invalid_request", f"timeout_ms must be positive, got {timeout}")
+    return float(timeout)
+
+
+def parse_options(raw_options: Any) -> PartitionOptions:
+    """A typed :class:`PartitionOptions` from a request's option mapping.
+
+    Keys must be option fields *and* members of the serialisable subset;
+    anything else raises a :class:`ProtocolError` naming the field, in
+    the spirit of :func:`~repro.core.options.reject_unknown_options`.
+    """
+    if raw_options is None:
+        return PartitionOptions()
+    if not isinstance(raw_options, Mapping):
+        raise ProtocolError(
+            "invalid_request",
+            f"options must be an object, got {type(raw_options).__name__}",
+        )
+    known = PartitionOptions.field_names()
+    for name in raw_options:
+        if name not in known:
+            raise ProtocolError(
+                "invalid_request", f"unknown partition option {name!r}"
+            )
+        if name not in _WIRE_OPTION_FIELDS:
+            raise ProtocolError(
+                "invalid_request",
+                f"partition option {name!r} cannot be set over the wire",
+            )
+    options = PartitionOptions(**dict(raw_options))
+    # Reject bad values at the front door: a typo'd mode/refine would
+    # otherwise surface per-item inside the first solved batch.
+    if options.mode not in ("tangent", "angle"):
+        raise ProtocolError(
+            "invalid_request", f"unknown bisection mode {options.mode!r}"
+        )
+    if options.refine not in ("greedy", "paper"):
+        raise ProtocolError(
+            "invalid_request", f"unknown refine procedure {options.refine!r}"
+        )
+    return options
+
+
+def parse_request(raw: Any) -> Request:
+    """Validate one decoded frame into a typed request.
+
+    Raises :class:`ProtocolError` (never a bare ``KeyError``/``TypeError``)
+    on anything malformed, so transports can turn any failure into a
+    well-formed error response.
+    """
+    if not isinstance(raw, Mapping):
+        raise ProtocolError(
+            "invalid_request", f"a request must be a JSON object, got {type(raw).__name__}"
+        )
+    version = raw.get("v", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            "unsupported_version",
+            f"protocol version {version!r} is not supported (server speaks "
+            f"{PROTOCOL_VERSION})",
+        )
+    req_id = raw.get("id")
+    op = raw.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("invalid_request", "request is missing the 'op' field")
+
+    if op == "plan":
+        return PlanRequest(
+            id=req_id,
+            fleet=_require(raw, "fleet", str, "plan"),
+            n=_as_size(_require(raw, "n", (int, float), "plan"), "n"),
+            timeout_ms=_parse_timeout(raw),
+            allocation=bool(raw.get("allocation", True)),
+        )
+    if op == "plan_many":
+        ns = _require(raw, "ns", (list, tuple), "plan_many")
+        return PlanManyRequest(
+            id=req_id,
+            fleet=_require(raw, "fleet", str, "plan_many"),
+            ns=tuple(_as_size(n, "ns entries") for n in ns),
+            timeout_ms=_parse_timeout(raw),
+            allocation=bool(raw.get("allocation", True)),
+        )
+    if op == "register_fleet":
+        sfs = _require(raw, "speed_functions", (list, tuple), "register_fleet")
+        if not sfs:
+            raise ProtocolError(
+                "invalid_request", "register_fleet needs at least one speed function"
+            )
+        for i, rec in enumerate(sfs):
+            if not isinstance(rec, Mapping):
+                raise ProtocolError(
+                    "invalid_request",
+                    f"speed_functions[{i}] must be an object, got {type(rec).__name__}",
+                )
+        algorithm = raw.get("algorithm", "bisection")
+        if algorithm not in _PLANNER_ALGORITHMS:
+            raise ProtocolError(
+                "invalid_request",
+                f"unknown planner algorithm {algorithm!r}; expected one of "
+                f"{sorted(_PLANNER_ALGORITHMS)}",
+            )
+        cache_size = raw.get("cache_size", 1024)
+        if isinstance(cache_size, bool) or not isinstance(cache_size, int) or cache_size <= 0:
+            raise ProtocolError(
+                "invalid_request", f"cache_size must be a positive integer, got {cache_size!r}"
+            )
+        name = raw.get("name", "")
+        if not isinstance(name, str):
+            raise ProtocolError(
+                "invalid_request", f"name must be a string, got {type(name).__name__}"
+            )
+        return RegisterFleetRequest(
+            id=req_id,
+            name=name,
+            speed_functions=tuple(sfs),
+            algorithm=algorithm,
+            options=parse_options(raw.get("options")),
+            cache_size=cache_size,
+        )
+    if op == "health":
+        return HealthRequest(id=req_id)
+    if op == "stats":
+        return StatsRequest(id=req_id)
+    raise ProtocolError("unknown_op", f"unknown operation {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Framing and response builders
+# ---------------------------------------------------------------------------
+
+
+def encode_frame(obj: Mapping) -> bytes:
+    """One JSON object as a newline-terminated UTF-8 frame."""
+    return json.dumps(obj, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_frame(line: bytes | str) -> dict:
+    """Decode one frame; malformed JSON raises :class:`ProtocolError`."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                "invalid_request", f"frame exceeds {MAX_FRAME_BYTES} bytes"
+            )
+        line = line.decode("utf-8", errors="replace")
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError("invalid_request", f"malformed JSON frame: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            "invalid_request", f"a frame must hold a JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+def ok_response(req_id: Any, result: Mapping) -> dict:
+    return {"v": PROTOCOL_VERSION, "id": req_id, "ok": True, "result": dict(result)}
+
+
+def error_response(req_id: Any, code: str, message: str) -> dict:
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown protocol error code {code!r}")
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": req_id,
+        "ok": False,
+        "error": {"code": code, "message": str(message)},
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fleet specs: how a fleet's models travel between client, front-end and
+# worker shards.  Reuses the repro.io JSON records verbatim, which is what
+# makes wire-registered fleets fingerprint-identical to locally built ones.
+# ---------------------------------------------------------------------------
+
+
+def fleet_spec_from_speed_functions(
+    speed_functions: Sequence,
+    *,
+    name: str = "",
+    algorithm: str = "bisection",
+    options: PartitionOptions | None = None,
+    cache_size: int = 1024,
+) -> dict:
+    """A picklable/JSON-able spec for shipping a fleet to workers."""
+    options = options or PartitionOptions()
+    return {
+        "name": name,
+        "algorithm": algorithm,
+        "mode": options.mode,
+        "refine": options.refine,
+        "cache_size": int(cache_size),
+        "speed_functions": [speed_function_to_dict(sf) for sf in speed_functions],
+    }
+
+
+def speed_functions_from_fleet_spec(spec: Mapping) -> list:
+    """Rebuild the speed-function objects named by a fleet spec."""
+    return [speed_function_from_dict(rec) for rec in spec["speed_functions"]]

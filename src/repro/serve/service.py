@@ -1,0 +1,522 @@
+"""The planning service: batching, admission control, op dispatch.
+
+:class:`PlanningService` is the transport-agnostic heart of
+:mod:`repro.serve`.  The TCP and HTTP listeners, the smoke target and the
+unit tests all feed decoded request objects into :meth:`PlanningService.handle`
+and get response dicts back; everything below that call is this module:
+
+**Micro-batching.**  Concurrent ``plan`` requests for the same fleet
+fingerprint are coalesced: the first arrival opens a batching window
+(``batch_window`` seconds, scheduled on the event loop), later arrivals
+append, and the window closing — or the batch reaching ``max_batch`` —
+flushes the whole group to the owning shard as *one*
+:meth:`~repro.planner.Planner.plan_many` job.  The planner solves the
+batch in a single monotone slope sweep, so a window of k concurrent
+queries costs roughly one warm solve plus k−1 bracket repairs instead of
+k independent solves.  ``plan_many`` requests are already batches and
+bypass the window.
+
+**Admission control.**  Shard inboxes are bounded; when the owning
+shard's queue is full the whole flushed batch is shed immediately with
+``overloaded`` item responses — queue depth, not latency, is the
+backpressure signal.  Requests carry optional deadlines which workers
+check at dequeue time, so a backlog never wastes solves on expired work.
+During drain, new requests are refused with ``shutting_down`` while
+every in-flight batch completes.
+
+All of it is observable: per-op request counters and latency histograms,
+batch-size histograms, shed counters and queue-depth gauges land in the
+global :mod:`repro.obs` registry and flow out of the HTTP ``/metrics``
+endpoint via the existing Prometheus exporter.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import logging
+import time
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from .. import obs
+from ..core.options import PartitionOptions
+from ..exceptions import ReproError
+from ..planner import Fleet
+from .protocol import (
+    HealthRequest,
+    PlanManyRequest,
+    PlanRequest,
+    ProtocolError,
+    RegisterFleetRequest,
+    StatsRequest,
+    error_code_for,
+    error_response,
+    fleet_spec_from_speed_functions,
+    ok_response,
+    parse_request,
+    speed_functions_from_fleet_spec,
+)
+from .shard import ShardPool
+
+__all__ = ["ServeConfig", "PlanningService"]
+
+logger = logging.getLogger(__name__)
+
+#: Batch-size histogram buckets (requests per flushed batch).
+_BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tuning knobs for the planning service (see ``docs/serving.md``).
+
+    Attributes
+    ----------
+    shards:
+        Worker count.  Each fleet lives on exactly one shard, so shards
+        scale *fleet* parallelism, not single-fleet throughput.
+    worker_mode:
+        ``"thread"`` or ``"process"`` shard workers.
+    batch_window:
+        Seconds the first request of a batch waits for company.  ``0``
+        still coalesces requests that arrive in the same event-loop
+        tick; larger windows trade p50 latency for throughput.
+    max_batch:
+        Flush early once a window holds this many requests.
+    queue_depth:
+        Per-shard inbox bound in jobs — the admission limit.
+    default_timeout_ms:
+        Deadline applied to requests that do not carry their own
+        ``timeout_ms`` (``None`` = no deadline).
+    host / port / http_port:
+        Listener addresses for :class:`~repro.serve.server.PlanServer`
+        (``port=0`` picks an ephemeral port; ``http_port=None`` disables
+        the HTTP listener).
+    """
+
+    shards: int = 2
+    worker_mode: str = "thread"
+    batch_window: float = 0.002
+    max_batch: int = 64
+    queue_depth: int = 128
+    default_timeout_ms: float | None = None
+    host: str = "127.0.0.1"
+    port: int = 0
+    http_port: int | None = None
+
+
+class _Pending:
+    """One plan request waiting inside a batching window."""
+
+    __slots__ = ("n", "deadline", "allocation", "future")
+
+    def __init__(self, n: int, deadline: float | None, allocation: bool, future):
+        self.n = n
+        self.deadline = deadline
+        self.allocation = allocation
+        self.future = future
+
+
+class _BatchState:
+    """The open batching window for one fleet fingerprint."""
+
+    __slots__ = ("items", "timer")
+
+    def __init__(self):
+        self.items: list[_Pending] = []
+        self.timer = None
+
+
+def _item_error(code: str, message: str) -> dict:
+    return {"ok": False, "code": code, "message": message}
+
+
+class PlanningService:
+    """Async service answering protocol requests over a shard pool.
+
+    Construct, then ``await start()`` from the event loop that will call
+    :meth:`handle`.  All batching state is touched only from that loop,
+    so it needs no locks; the shard pool does its own synchronisation.
+    """
+
+    def __init__(self, config: ServeConfig | None = None):
+        self._config = config or ServeConfig()
+        self._pool: ShardPool | None = None
+        self._fleets: dict[str, dict] = {}
+        self._batches: dict[str, _BatchState] = {}
+        self._inflight: set[asyncio.Task] = set()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._draining = False
+        self._started_at = time.time()
+
+        registry = obs.get_registry()
+        self._latency = {
+            op: registry.histogram(
+                "serve.request.seconds",
+                labels={"op": op},
+                help="front-end latency per request, by operation",
+            )
+            for op in (
+                "plan", "plan_many", "register_fleet", "health", "stats", "invalid",
+            )
+        }
+        self._requests = registry.counter(
+            "serve.requests", help="requests received, all operations"
+        )
+        self._responses_ok = registry.counter(
+            "serve.responses", labels={"status": "ok"}, help="responses by status"
+        )
+        self._responses_err = registry.counter(
+            "serve.responses", labels={"status": "error"}, help="responses by status"
+        )
+        self._shed = registry.counter(
+            "serve.shed", help="plan requests shed with an overloaded response"
+        )
+        self._batch_size = registry.histogram(
+            "serve.batch.size",
+            buckets=_BATCH_BUCKETS,
+            help="plan requests per flushed micro-batch",
+        )
+        self._batches_flushed = registry.counter(
+            "serve.batches", help="micro-batches flushed to shards"
+        )
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def config(self) -> ServeConfig:
+        return self._config
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def pool(self) -> ShardPool:
+        if self._pool is None:
+            raise RuntimeError("the service has not been started")
+        return self._pool
+
+    async def start(self) -> None:
+        """Spin up the shard pool; must run on the serving event loop."""
+        if self._pool is not None:
+            return
+        self._loop = asyncio.get_running_loop()
+        self._started_at = time.time()
+        cfg = self._config
+        self._pool = ShardPool(
+            cfg.shards, mode=cfg.worker_mode, queue_depth=cfg.queue_depth
+        )
+        logger.info(
+            "planning service started",
+            extra={
+                "shards": cfg.shards, "mode": cfg.worker_mode,
+                "batch_window": cfg.batch_window, "queue_depth": cfg.queue_depth,
+            },
+        )
+
+    async def drain(self) -> None:
+        """Graceful shutdown: refuse new work, finish in-flight batches.
+
+        Every request admitted before the drain started gets a real
+        response; the shard pool is then closed with ``drain=True`` so
+        queued jobs complete before the workers exit.
+        """
+        if self._pool is None or self._draining:
+            self._draining = True
+            return
+        self._draining = True
+        for fingerprint in list(self._batches):
+            self._flush(fingerprint)
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+        pool = self._pool
+        assert self._loop is not None
+        await self._loop.run_in_executor(
+            None, functools.partial(pool.close, drain=True)
+        )
+        logger.info("planning service drained")
+
+    # -- fleet registry -------------------------------------------------
+    async def register_fleet(
+        self,
+        speed_functions: Sequence | None = None,
+        *,
+        spec: Mapping | None = None,
+        name: str = "",
+        algorithm: str = "bisection",
+        options: PartitionOptions | None = None,
+        cache_size: int = 1024,
+    ) -> dict:
+        """Register a fleet (from objects or a wire spec) on its shard.
+
+        The fleet is built here first — validating the models and fixing
+        the content fingerprint — then shipped to the owning worker,
+        which must arrive at the *same* fingerprint (the protocol's JSON
+        records preserve knot content exactly).  Re-registering an
+        existing fingerprint is idempotent unless the planner options
+        changed, in which case the shard's planner is rebuilt.
+        """
+        if self._draining:
+            raise ProtocolError("shutting_down", "the service is draining")
+        if spec is None:
+            if speed_functions is None:
+                raise ProtocolError(
+                    "invalid_request", "register_fleet needs speed functions"
+                )
+            spec = fleet_spec_from_speed_functions(
+                speed_functions,
+                name=name,
+                algorithm=algorithm,
+                options=options,
+                cache_size=cache_size,
+            )
+        fleet = Fleet(
+            speed_functions_from_fleet_spec(spec), name=spec.get("name") or None
+        )
+        known = self._fleets.get(fleet.fingerprint)
+        if known is not None and known["spec"] == dict(spec):
+            return dict(known["info"])
+        future = self.pool.register(spec, fleet.fingerprint)
+        payload = await asyncio.wrap_future(future)
+        if not payload.get("ok"):
+            raise ProtocolError(
+                payload.get("code", "internal"),
+                payload.get("message", "fleet registration failed"),
+            )
+        if payload["fingerprint"] != fleet.fingerprint:  # pragma: no cover
+            raise ProtocolError(
+                "internal",
+                "worker fingerprint mismatch: "
+                f"{payload['fingerprint']} != {fleet.fingerprint}",
+            )
+        info = {
+            "fingerprint": fleet.fingerprint,
+            "name": fleet.name,
+            "p": fleet.p,
+            "capacity": fleet.capacity,
+            "algorithm": spec.get("algorithm", "bisection"),
+            "shard": self.pool.shard_for(fleet.fingerprint),
+        }
+        self._fleets[fleet.fingerprint] = {"spec": dict(spec), "info": info}
+        logger.info(
+            "fleet registered",
+            extra={"fingerprint": fleet.fingerprint, "p": fleet.p,
+                   "shard": info["shard"]},
+        )
+        return dict(info)
+
+    def _deadline_for(self, timeout_ms: float | None) -> float | None:
+        if timeout_ms is None:
+            timeout_ms = self._config.default_timeout_ms
+        if timeout_ms is None:
+            return None
+        return time.time() + timeout_ms / 1000.0
+
+    # -- plan paths -----------------------------------------------------
+    async def plan(
+        self,
+        fingerprint: str,
+        n: int,
+        *,
+        timeout_ms: float | None = None,
+        allocation: bool = True,
+    ) -> dict:
+        """One plan query through the micro-batcher (an item dict back)."""
+        if self._draining:
+            return _item_error("shutting_down", "the service is draining")
+        if fingerprint not in self._fleets:
+            return _item_error(
+                "unknown_fleet", f"fleet {fingerprint!r} is not registered"
+            )
+        assert self._loop is not None
+        pending = _Pending(
+            int(n), self._deadline_for(timeout_ms), allocation,
+            self._loop.create_future(),
+        )
+        state = self._batches.get(fingerprint)
+        if state is None:
+            state = _BatchState()
+            self._batches[fingerprint] = state
+            state.timer = self._loop.call_later(
+                self._config.batch_window, self._flush, fingerprint
+            )
+        state.items.append(pending)
+        if len(state.items) >= self._config.max_batch:
+            self._flush(fingerprint)
+        return await pending.future
+
+    async def plan_many(
+        self,
+        fingerprint: str,
+        ns: Sequence[int],
+        *,
+        timeout_ms: float | None = None,
+        allocation: bool = True,
+    ) -> list[dict]:
+        """A caller-assembled batch: dispatched directly, no window."""
+        if self._draining:
+            return [_item_error("shutting_down", "the service is draining")] * len(ns)
+        if fingerprint not in self._fleets:
+            return [
+                _item_error("unknown_fleet", f"fleet {fingerprint!r} is not registered")
+            ] * len(ns)
+        deadline = self._deadline_for(timeout_ms)
+        assert self._loop is not None
+        pendings = [
+            _Pending(int(n), deadline, allocation, self._loop.create_future())
+            for n in ns
+        ]
+        self._dispatch(fingerprint, pendings)
+        return list(await asyncio.gather(*(p.future for p in pendings)))
+
+    def _flush(self, fingerprint: str) -> None:
+        state = self._batches.pop(fingerprint, None)
+        if state is None:
+            return
+        if state.timer is not None:
+            state.timer.cancel()
+        self._dispatch(fingerprint, state.items)
+
+    def _dispatch(self, fingerprint: str, pendings: list[_Pending]) -> None:
+        """Hand one batch to the owning shard (or shed it, all at once)."""
+        if not pendings:
+            return
+        items = [
+            {"n": p.n, "deadline": p.deadline, "allocation": p.allocation}
+            for p in pendings
+        ]
+        try:
+            future = self.pool.submit_batch(fingerprint, items)
+        except ReproError as exc:
+            err = _item_error("shutting_down", str(exc))
+            for p in pendings:
+                if not p.future.done():
+                    p.future.set_result(dict(err))
+            return
+        if future is None:
+            self._shed.inc(len(pendings))
+            err = _item_error(
+                "overloaded",
+                f"shard {self.pool.shard_for(fingerprint)} queue is full "
+                f"(depth {self.pool.queue_depth})",
+            )
+            for p in pendings:
+                if not p.future.done():
+                    p.future.set_result(dict(err))
+            return
+        self._batches_flushed.inc()
+        self._batch_size.observe(len(pendings))
+        task = asyncio.ensure_future(self._deliver(future, pendings))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _deliver(self, future, pendings: list[_Pending]) -> None:
+        payload = await asyncio.wrap_future(future)
+        results = payload.get("results") if payload.get("ok") else None
+        if results is None or len(results) != len(pendings):
+            err = _item_error(
+                payload.get("code", "internal"),
+                payload.get("message", "malformed worker payload"),
+            )
+            results = [dict(err) for _ in pendings]
+        for p, result in zip(pendings, results):
+            if not p.future.done():
+                p.future.set_result(result)
+
+    # -- health / stats -------------------------------------------------
+    def health(self) -> dict:
+        """Cheap liveness summary (no worker round-trip)."""
+        pool = self._pool
+        return {
+            "status": "draining" if self._draining else "ok",
+            "shards": 0 if pool is None else pool.shards,
+            "worker_mode": self._config.worker_mode,
+            "fleets": len(self._fleets),
+            "queue_depths": [] if pool is None else pool.queue_depths(),
+            "uptime_seconds": max(0.0, time.time() - self._started_at),
+        }
+
+    async def stats(self) -> dict:
+        """Front-end counters plus per-shard planner/cache counters."""
+        shards = []
+        if self._pool is not None and not self._pool.closed:
+            payloads = await asyncio.gather(
+                *(asyncio.wrap_future(f) for f in self._pool.stats_all())
+            )
+            shards = [p for p in payloads if p.get("ok")]
+        return {
+            "requests": int(self._requests.value),
+            "responses_ok": int(self._responses_ok.value),
+            "responses_error": int(self._responses_err.value),
+            "shed": int(self._shed.value),
+            "batches": int(self._batches_flushed.value),
+            "fleets": {
+                fp: dict(entry["info"]) for fp, entry in self._fleets.items()
+            },
+            "shards": shards,
+            "queue_depths": [] if self._pool is None else self._pool.queue_depths(),
+        }
+
+    # -- protocol dispatch ----------------------------------------------
+    async def handle(self, raw: Any) -> dict:
+        """One decoded frame in, one response dict out (never raises)."""
+        self._requests.inc()
+        req_id = raw.get("id") if isinstance(raw, Mapping) else None
+        started = time.perf_counter()
+        op = "invalid"
+        try:
+            request = parse_request(raw)
+            op = request.op
+            if isinstance(request, PlanRequest):
+                item = await self.plan(
+                    request.fleet,
+                    request.n,
+                    timeout_ms=request.timeout_ms,
+                    allocation=request.allocation,
+                )
+                if item.get("ok"):
+                    response = ok_response(request.id, item)
+                else:
+                    response = error_response(
+                        request.id, item["code"], item["message"]
+                    )
+            elif isinstance(request, PlanManyRequest):
+                items = await self.plan_many(
+                    request.fleet,
+                    request.ns,
+                    timeout_ms=request.timeout_ms,
+                    allocation=request.allocation,
+                )
+                # Batch responses are always ok at the envelope level;
+                # each item carries its own verdict.
+                response = ok_response(request.id, {"results": items})
+            elif isinstance(request, RegisterFleetRequest):
+                info = await self.register_fleet(
+                    spec=fleet_spec_from_speed_functions(
+                        speed_functions_from_fleet_spec(
+                            {"speed_functions": request.speed_functions}
+                        ),
+                        name=request.name,
+                        algorithm=request.algorithm,
+                        options=request.options,
+                        cache_size=request.cache_size,
+                    )
+                )
+                response = ok_response(request.id, info)
+            elif isinstance(request, StatsRequest):
+                response = ok_response(request.id, await self.stats())
+            else:
+                assert isinstance(request, HealthRequest)
+                response = ok_response(request.id, self.health())
+        except ProtocolError as exc:
+            response = error_response(req_id, exc.code, str(exc))
+        except Exception as exc:  # noqa: BLE001 - the envelope must not leak
+            logger.exception("request handling failed")
+            response = error_response(req_id, error_code_for(exc), str(exc))
+        if obs.is_enabled():
+            self._latency[op if op in self._latency else "invalid"].observe(
+                time.perf_counter() - started
+            )
+        (self._responses_ok if response["ok"] else self._responses_err).inc()
+        return response

@@ -1,0 +1,451 @@
+"""The sharded worker pool: process-local planners, bounded inboxes.
+
+Each worker shard owns the :class:`~repro.planner.Planner` instances for
+the fleet fingerprints the :class:`~repro.serve.hashring.HashRing`
+assigns to it.  Ownership is exclusive, which is the whole point: a
+planner's LRU plan cache and warm-started slope regions are only useful
+when every query for a fleet lands on the *same* planner, and keeping
+each planner single-owner makes the hot path lock-free in practice (the
+planner's internal locks never contend).
+
+Two worker flavours share one loop (:func:`worker_loop`):
+
+* ``mode="thread"`` — shards are daemon threads with ``queue.Queue``
+  inboxes.  Planners live in the serving process; right for tests, the
+  smoke target and CPU-light deployments (NumPy releases the GIL for
+  the large-array work that dominates big fleets).
+* ``mode="process"`` — shards are ``multiprocessing`` processes with
+  ``mp.Queue`` inboxes.  Fleet models travel as the JSON-able specs of
+  :func:`~repro.serve.protocol.fleet_spec_from_speed_functions`; each
+  child rebuilds its fleets and keeps planners fully process-local.
+
+Admission control lives at the inbox: every shard's queue is bounded,
+:meth:`ShardPool.submit_batch` uses a non-blocking put, and a full queue
+returns ``None`` — the service layer turns that into explicit
+``overloaded`` responses instead of queueing without bound.  Each request
+carries its own deadline; a worker checks deadlines *when it dequeues* a
+job, so requests that sat in a backlog past their deadline are answered
+``deadline_exceeded`` without wasting a solve.  :meth:`ShardPool.close`
+with ``drain=True`` seals the inboxes, lets the workers finish every
+queued job, and joins them — in-flight work completes, nothing is lost.
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+import multiprocessing as mp
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Mapping, Sequence
+
+from .. import obs
+from ..exceptions import ConfigurationError
+from .hashring import HashRing
+from .protocol import error_code_for, speed_functions_from_fleet_spec
+
+__all__ = ["ShardPool", "worker_loop", "result_to_dict"]
+
+logger = logging.getLogger(__name__)
+
+#: Message kinds travelling through a shard inbox (tuples pickle cleanly
+#: across the multiprocessing boundary).
+_KIND_REGISTER = "register"
+_KIND_BATCH = "batch"
+_KIND_STATS = "stats"
+
+#: Collector-internal marker a worker emits as it exits.
+_SHARD_EXIT = "__shard_exit__"
+
+
+def result_to_dict(result, *, allocation: bool = True) -> dict:
+    """A :class:`~repro.core.result.PartitionResult` as a wire object."""
+    out = {
+        "ok": True,
+        "n": int(result.n),
+        "p": int(result.p),
+        "makespan": float(result.makespan),
+        "iterations": int(result.iterations),
+        "slope": None if result.slope is None else float(result.slope),
+    }
+    if allocation:
+        out["allocation"] = [int(x) for x in result.allocation]
+    return out
+
+
+def _item_error(code: str, message: str) -> dict:
+    return {"ok": False, "code": code, "message": message}
+
+
+def worker_loop(shard_id: int, inbox, outbox) -> None:
+    """One shard's request loop (runs in a thread or a child process).
+
+    Reads ``(kind, job_id, ...)`` tuples from ``inbox`` until the ``None``
+    sentinel, answering each with ``(job_id, payload)`` on ``outbox``.
+    All fleet state — planners, capacities — is local to this function
+    invocation, so nothing here needs a lock.
+    """
+    # Imported here (not at module top) so a spawned child pays the import
+    # once and fork-mode children reuse the parent's modules either way.
+    from ..planner import Fleet, Planner
+
+    planners: dict[str, Planner] = {}
+    capacities: dict[str, float] = {}
+    while True:
+        msg = inbox.get()
+        if msg is None:
+            outbox.put((_SHARD_EXIT, shard_id))
+            return
+        kind, job_id = msg[0], msg[1]
+        try:
+            if kind == _KIND_REGISTER:
+                spec: Mapping = msg[2]
+                sfs = speed_functions_from_fleet_spec(spec)
+                fleet = Fleet(sfs, name=spec.get("name") or None)
+                planner = Planner(
+                    fleet,
+                    algorithm=spec.get("algorithm", "bisection"),
+                    mode=spec.get("mode", "tangent"),
+                    refine=spec.get("refine", "greedy"),
+                    cache_size=int(spec.get("cache_size", 1024)),
+                )
+                planners[fleet.fingerprint] = planner
+                capacities[fleet.fingerprint] = fleet.capacity
+                outbox.put(
+                    (
+                        job_id,
+                        {
+                            "ok": True,
+                            "fingerprint": fleet.fingerprint,
+                            "name": fleet.name,
+                            "p": fleet.p,
+                            "capacity": fleet.capacity,
+                        },
+                    )
+                )
+            elif kind == _KIND_BATCH:
+                fingerprint, items = msg[2], msg[3]
+                outbox.put((job_id, _solve_batch(planners, capacities, fingerprint, items)))
+            elif kind == _KIND_STATS:
+                fleets = {}
+                for fp, planner in planners.items():
+                    stats = planner.stats()
+                    fleets[fp] = {
+                        "name": planner.fleet.name,
+                        "p": planner.fleet.p,
+                        "algorithm": planner.algorithm,
+                        "cold_plans": stats.cold_plans,
+                        "warm_plans": stats.warm_plans,
+                        "cache_hits": stats.cache.hits,
+                        "cache_misses": stats.cache.misses,
+                        "cache_evictions": stats.cache.evictions,
+                        "cache_size": stats.cache.size,
+                    }
+                outbox.put((job_id, {"ok": True, "shard": shard_id, "fleets": fleets}))
+            else:
+                outbox.put((job_id, _item_error("internal", f"unknown job kind {kind!r}")))
+        except Exception as exc:  # noqa: BLE001 - a shard must never die mid-serve
+            logger.exception("shard %d job failed", shard_id)
+            outbox.put((job_id, _item_error(error_code_for(exc), str(exc))))
+
+
+def _solve_batch(planners, capacities, fingerprint: str, items: Sequence[Mapping]) -> dict:
+    """Answer one coalesced batch; every item gets an independent verdict."""
+    planner = planners.get(fingerprint)
+    if planner is None:
+        err = _item_error("unknown_fleet", f"fleet {fingerprint!r} is not registered")
+        return {"ok": True, "results": [dict(err) for _ in items]}
+    capacity = capacities[fingerprint]
+    now = time.time()
+    results: list[dict | None] = [None] * len(items)
+    solvable: list[int] = []
+    for i, item in enumerate(items):
+        deadline = item.get("deadline")
+        n = item["n"]
+        if deadline is not None and now > deadline:
+            results[i] = _item_error(
+                "deadline_exceeded", f"request for n={n} expired in the shard queue"
+            )
+        elif n < 0 or n > capacity:
+            results[i] = _item_error(
+                "infeasible",
+                f"n={n} is outside the fleet's feasible range [0, {capacity:g}]",
+            )
+        else:
+            solvable.append(i)
+    if solvable:
+        # One monotone slope sweep answers the whole batch; items needing
+        # allocations keep them, the rest stay summary-only on the wire.
+        try:
+            plans = planner.plan_many([items[i]["n"] for i in solvable])
+        except Exception as exc:  # noqa: BLE001 - pre-validation should prevent this
+            code, message = error_code_for(exc), str(exc)
+            for i in solvable:
+                results[i] = _item_error(code, message)
+        else:
+            for i, plan in zip(solvable, plans):
+                results[i] = result_to_dict(
+                    plan, allocation=bool(items[i].get("allocation", True))
+                )
+    return {"ok": True, "results": results}
+
+
+class ShardPool:
+    """Fixed pool of worker shards behind bounded inboxes.
+
+    Parameters
+    ----------
+    shards:
+        Number of workers.  Fingerprints are assigned by consistent
+        hashing, so a future resize moves only ``~1/shards`` of them.
+    mode:
+        ``"thread"`` (default) or ``"process"`` — see the module notes.
+    queue_depth:
+        Per-shard inbox bound, in *jobs* (a job is one coalesced batch).
+        This is the admission limit: submissions beyond it are shed.
+    """
+
+    def __init__(self, shards: int = 2, *, mode: str = "thread", queue_depth: int = 128):
+        if shards <= 0:
+            raise ConfigurationError(f"shards must be positive, got {shards}")
+        if queue_depth <= 0:
+            raise ConfigurationError(f"queue_depth must be positive, got {queue_depth}")
+        if mode not in ("thread", "process"):
+            raise ConfigurationError(
+                f"unknown shard mode {mode!r}; expected 'thread' or 'process'"
+            )
+        self._mode = mode
+        self._shards = shards
+        self._queue_depth = queue_depth
+        self._ring = HashRing(range(shards))
+        self._job_seq = itertools.count(1)
+        self._futures: dict[int, Future] = {}
+        self._futures_lock = threading.Lock()
+        self._closed = False
+        self._submit_lock = threading.Lock()
+
+        registry = obs.get_registry()
+        self._depth_gauges = [
+            registry.gauge(
+                "serve.shard.queue_depth",
+                labels={"shard": str(i)},
+                help="jobs waiting in this shard's inbox",
+            )
+            for i in range(shards)
+        ]
+        self._jobs_counter = registry.counter(
+            "serve.shard.jobs", help="jobs accepted across all shards"
+        )
+
+        if mode == "thread":
+            self._inboxes: list[Any] = [queue.Queue(maxsize=queue_depth) for _ in range(shards)]
+            self._outbox: Any = queue.Queue()
+            self._workers: list[Any] = [
+                threading.Thread(
+                    target=worker_loop,
+                    args=(i, self._inboxes[i], self._outbox),
+                    name=f"repro-serve-shard-{i}",
+                    daemon=True,
+                )
+                for i in range(shards)
+            ]
+        else:
+            ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
+            self._inboxes = [ctx.Queue(maxsize=queue_depth) for _ in range(shards)]
+            self._outbox = ctx.Queue()
+            self._workers = [
+                ctx.Process(
+                    target=worker_loop,
+                    args=(i, self._inboxes[i], self._outbox),
+                    name=f"repro-serve-shard-{i}",
+                    daemon=True,
+                )
+                for i in range(shards)
+            ]
+        for w in self._workers:
+            w.start()
+        self._collector = threading.Thread(
+            target=self._collect, name="repro-serve-collector", daemon=True
+        )
+        self._collector.start()
+
+    # -- routing --------------------------------------------------------
+    @property
+    def shards(self) -> int:
+        return self._shards
+
+    @property
+    def mode(self) -> str:
+        return self._mode
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue_depth
+
+    def shard_for(self, fingerprint: str) -> int:
+        """The shard owning a fleet fingerprint (stable across restarts)."""
+        return int(self._ring.node_for(fingerprint))
+
+    def queue_depths(self) -> list[int]:
+        """Approximate jobs waiting per shard (for gauges and health)."""
+        depths = []
+        for i, inbox in enumerate(self._inboxes):
+            try:
+                depth = inbox.qsize()
+            except NotImplementedError:  # pragma: no cover - macOS mp.Queue
+                depth = -1
+            depths.append(depth)
+            self._depth_gauges[i].set(max(depth, 0))
+        return depths
+
+    # -- submission -----------------------------------------------------
+    def _new_job(self) -> tuple[int, Future]:
+        job_id = next(self._job_seq)
+        fut: Future = Future()
+        with self._futures_lock:
+            self._futures[job_id] = fut
+        return job_id, fut
+
+    def _drop_job(self, job_id: int) -> None:
+        with self._futures_lock:
+            self._futures.pop(job_id, None)
+
+    def submit_batch(self, fingerprint: str, items: Sequence[Mapping]) -> Future | None:
+        """Enqueue one coalesced batch on the owning shard.
+
+        Returns a :class:`concurrent.futures.Future` resolving to the
+        worker's batch payload, or ``None`` when the shard's inbox is
+        full — the caller sheds the batch with ``overloaded`` responses.
+        Raises :class:`ConfigurationError` once the pool is closed.
+        """
+        if self._closed:
+            raise ConfigurationError("the shard pool is closed")
+        shard = self.shard_for(fingerprint)
+        job_id, fut = self._new_job()
+        try:
+            self._inboxes[shard].put_nowait(
+                (_KIND_BATCH, job_id, fingerprint, [dict(it) for it in items])
+            )
+        except queue.Full:
+            self._drop_job(job_id)
+            return None
+        self._jobs_counter.inc()
+        self._depth_gauges[shard].set(max(self._safe_depth(shard), 0))
+        return fut
+
+    def register(self, spec: Mapping, fingerprint: str, *, timeout: float = 30.0) -> Future:
+        """Ship a fleet spec to the shard owning ``fingerprint``.
+
+        Registration is control-plane traffic: it blocks (up to
+        ``timeout``) instead of shedding, because losing a registration
+        would orphan every subsequent query for the fleet.
+        """
+        if self._closed:
+            raise ConfigurationError("the shard pool is closed")
+        shard = self.shard_for(fingerprint)
+        job_id, fut = self._new_job()
+        try:
+            self._inboxes[shard].put((_KIND_REGISTER, job_id, dict(spec)), timeout=timeout)
+        except queue.Full:
+            self._drop_job(job_id)
+            raise ConfigurationError(
+                f"shard {shard} did not accept a fleet registration within {timeout}s"
+            ) from None
+        return fut
+
+    def stats_all(self, *, timeout: float = 5.0) -> list[Future]:
+        """One stats future per shard (planner/cache counters, shard-local)."""
+        futures = []
+        for shard in range(self._shards):
+            job_id, fut = self._new_job()
+            try:
+                self._inboxes[shard].put((_KIND_STATS, job_id), timeout=timeout)
+            except queue.Full:
+                self._drop_job(job_id)
+                failed: Future = Future()
+                failed.set_result(
+                    _item_error("overloaded", f"shard {shard} queue full for stats")
+                )
+                fut = failed
+            futures.append(fut)
+        return futures
+
+    def _safe_depth(self, shard: int) -> int:
+        try:
+            return self._inboxes[shard].qsize()
+        except NotImplementedError:  # pragma: no cover - macOS mp.Queue
+            return 0
+
+    # -- response collection --------------------------------------------
+    def _collect(self) -> None:
+        exits = 0
+        while exits < self._shards:
+            job_id, payload = self._outbox.get()
+            if job_id == _SHARD_EXIT:
+                exits += 1
+                continue
+            with self._futures_lock:
+                fut = self._futures.pop(job_id, None)
+            if fut is not None and not fut.done():
+                fut.set_result(payload)
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self, *, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop the pool.
+
+        ``drain=True`` (the default) seals the inboxes, lets every queued
+        job finish and joins the workers — in-flight futures resolve
+        normally.  ``drain=False`` abandons queued work: pending futures
+        are failed with a ``shutting_down`` payload and process workers
+        are terminated.
+        """
+        with self._submit_lock:
+            if self._closed:
+                return
+            self._closed = True
+        if not drain:
+            self._abandon()
+        for inbox in self._inboxes:
+            # The blocking put waits for a full inbox to drain, which is
+            # exactly the graceful-drain contract.
+            inbox.put(None)
+        deadline = time.time() + timeout
+        for w in self._workers:
+            w.join(timeout=max(0.0, deadline - time.time()))
+        self._collector.join(timeout=max(0.1, deadline - time.time()))
+        if self._mode == "process":
+            for w in self._workers:
+                if w.is_alive():  # pragma: no cover - only on drain timeout
+                    w.terminate()
+        self._abandon()  # anything still unresolved (worker died) fails loudly
+
+    def _abandon(self) -> None:
+        with self._futures_lock:
+            pending = list(self._futures.values())
+            self._futures.clear()
+        for fut in pending:
+            if not fut.done():
+                fut.set_result(
+                    _item_error("shutting_down", "the shard pool was closed")
+                )
+        if self._mode == "thread":
+            # Failed-fast shutdown: clear queued jobs so the sentinel is
+            # reached immediately (their futures were just resolved).
+            for inbox in self._inboxes:
+                while True:
+                    try:
+                        inbox.get_nowait()
+                    except queue.Empty:
+                        break
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import re
 
 from repro import obs
 from repro.obs.export import format_seconds, render_spans, to_prometheus
@@ -16,6 +17,43 @@ def _populate(o):
     reg.histogram("plan.seconds", buckets=(0.001, 0.01, 0.1)).observe(0.005)
     reg.histogram("plan.seconds", buckets=(0.001, 0.01, 0.1)).observe(5.0)
     return reg
+
+
+def _parse_exposition(text: str) -> dict:
+    """A miniature parser for the Prometheus text exposition format.
+
+    Returns ``{(name, ((label, value), ...)): sample}`` with label values
+    *unescaped*, so asserting against it proves the escaping round-trips.
+    """
+    unescape = {"\\\\": "\\", '\\"': '"', "\\n": "\n"}
+
+    def _unescape(value: str) -> str:
+        out, i = [], 0
+        while i < len(value):
+            pair = value[i : i + 2]
+            if pair in unescape:
+                out.append(unescape[pair])
+                i += 2
+            else:
+                out.append(value[i])
+                i += 1
+        return "".join(out)
+
+    samples: dict = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        body, _, value = line.rpartition(" ")
+        if "{" in body:
+            name, _, rest = body.partition("{")
+            labels = []
+            for k, v in re.findall(r'(\w+)="((?:[^"\\]|\\.)*)"', rest):
+                labels.append((k, _unescape(v)))
+            key = (name, tuple(labels))
+        else:
+            key = (body, ())
+        samples[key] = float(value)
+    return samples
 
 
 class TestJson:
@@ -79,6 +117,41 @@ class TestPrometheus:
         fresh_obs.get_registry().counter("c", labels={"k": 'sa"id\n'}).inc()
         text = to_prometheus()
         assert r'c_total{k="sa\"id\n"} 1' in text
+
+    def test_label_backslash_escaping(self, fresh_obs):
+        fresh_obs.get_registry().counter("c", labels={"k": "a\\b"}).inc()
+        assert r'c_total{k="a\\b"} 1' in to_prometheus()
+
+    def test_help_escaping_keeps_one_line(self, fresh_obs):
+        reg = fresh_obs.get_registry()
+        reg.counter("c", help="first\nsecond \\ back").inc()
+        text = to_prometheus()
+        assert r"# HELP c_total first\nsecond \\ back" in text
+        # The escaped newline must not split the HELP comment in two.
+        assert all(
+            line.startswith(("#", "c_total")) for line in text.splitlines()
+        )
+
+    def test_headers_once_per_family(self, fresh_obs):
+        reg = fresh_obs.get_registry()
+        reg.counter("fam", help="h", labels={"shard": "0"}).inc()
+        reg.counter("fam", help="h", labels={"shard": "1"}).inc(2)
+        text = to_prometheus()
+        assert text.count("# TYPE fam_total counter") == 1
+        assert text.count("# HELP fam_total h") == 1
+
+    def test_round_trip_through_exposition_parser(self, fresh_obs):
+        reg = fresh_obs.get_registry()
+        nasty = 'path\\to "x"\nend'
+        reg.counter("req", labels={"op": nasty}).inc(7)
+        reg.gauge("depth", labels={"shard": "0"}).set(3.0)
+        reg.histogram("lat", buckets=(0.1,)).observe(0.05)
+        samples = _parse_exposition(to_prometheus())
+        assert samples[("req_total", (("op", nasty),))] == 7.0
+        assert samples[("depth", (("shard", "0"),))] == 3.0
+        assert samples[("lat_bucket", (("le", "0.1"),))] == 1.0
+        assert samples[("lat_bucket", (("le", "+Inf"),))] == 1.0
+        assert samples[("lat_count", ())] == 1.0
 
 
 class TestFormatSeconds:

@@ -1,0 +1,147 @@
+"""Threaded stress tests: Planner and PlanCache under concurrent load.
+
+The serving layer keeps each planner single-owner by design, but nothing
+in the Planner/PlanCache contract *requires* that — both are documented
+as thread-safe.  These tests hammer them from many threads and assert
+the two properties the service relies on:
+
+* **bit-identity** — a plan computed under contention equals the plan
+  the same planner produces serially, exactly (same float makespan,
+  same integer allocation);
+* **consistent accounting** — after the dust settles, the cache's
+  ``hits + misses`` equals the number of lookups issued, and the cache
+  never exceeds its bound.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro import Fleet, Planner
+from repro.planner import PlanCache
+from tests.conftest import make_pwl
+
+N_THREADS = 8
+SIZES = [1_000, 5_000, 25_000, 90_000, 240_000, 611_000, 1_000_000, 1_499_999]
+
+
+def _fleet() -> Fleet:
+    return Fleet(
+        [make_pwl(100.0), make_pwl(220.0), make_pwl(320.0, scale=1.5)],
+        name="stress",
+    )
+
+
+class TestPlannerUnderThreads:
+    def test_concurrent_plans_are_bit_identical_to_serial(self):
+        serial = {n: Planner(_fleet()).plan(n) for n in SIZES}
+        planner = Planner(_fleet())
+        barrier = threading.Barrier(N_THREADS)
+        failures: list[str] = []
+
+        def worker(seed: int) -> None:
+            barrier.wait()  # maximise interleaving on the first solves
+            order = SIZES[seed:] + SIZES[:seed]
+            for _ in range(5):
+                for n in order:
+                    got = planner.plan(n)
+                    want = serial[n]
+                    if float(got.makespan) != float(want.makespan) or list(
+                        got.allocation
+                    ) != list(want.allocation):
+                        failures.append(f"n={n} diverged under contention")
+
+        with ThreadPoolExecutor(N_THREADS) as pool:
+            list(pool.map(worker, range(N_THREADS)))
+        assert failures == []
+
+    def test_stats_accounting_is_consistent_after_contention(self):
+        planner = Planner(_fleet(), cache_size=len(SIZES) + 4)
+        lookups_per_thread = 5 * len(SIZES)
+
+        def worker(seed: int) -> None:
+            order = SIZES[seed % len(SIZES):] + SIZES[: seed % len(SIZES)]
+            for _ in range(5):
+                for n in order:
+                    planner.plan(n)
+
+        with ThreadPoolExecutor(N_THREADS) as pool:
+            list(pool.map(worker, range(N_THREADS)))
+        stats = planner.stats()
+        total_lookups = N_THREADS * lookups_per_thread
+        assert stats.cache.hits + stats.cache.misses == total_lookups
+        # Every distinct size is solved at least once and at most once
+        # per concurrent racer; the cache holds them all afterwards.
+        assert len(SIZES) <= stats.cache.misses <= N_THREADS * len(SIZES)
+        assert stats.cache.size == len(SIZES)
+        assert stats.cache.evictions == 0
+        assert stats.plans_computed == stats.cold_plans + stats.warm_plans
+        assert stats.plans_computed == stats.cache.misses  # one solve per miss
+
+    def test_plan_many_races_plan_without_divergence(self):
+        serial = {n: Planner(_fleet()).plan(n) for n in SIZES}
+        planner = Planner(_fleet())
+
+        def batch_worker(_: int) -> None:
+            for result, n in zip(planner.plan_many(SIZES), SIZES):
+                assert float(result.makespan) == float(serial[n].makespan)
+
+        def single_worker(seed: int) -> None:
+            for n in SIZES[seed:] + SIZES[:seed]:
+                got = planner.plan(n)
+                assert list(got.allocation) == list(serial[n].allocation)
+
+        with ThreadPoolExecutor(N_THREADS) as pool:
+            jobs = [
+                pool.submit(batch_worker if k % 2 else single_worker, k % len(SIZES))
+                for k in range(N_THREADS)
+            ]
+            for job in jobs:
+                job.result()  # re-raises worker assertions
+
+
+class TestPlanCacheUnderThreads:
+    def test_bounded_cache_accounting_under_contention(self):
+        cache = PlanCache(maxsize=32, name="stress")
+        keys = list(range(48))  # more keys than capacity: forces eviction
+        rounds = 40
+
+        def worker(seed: int) -> None:
+            local = keys[seed % len(keys):] + keys[: seed % len(keys)]
+            for _ in range(rounds):
+                for key in local:
+                    if cache.get(key) is None:
+                        cache.put(key, key * 2)
+
+        with ThreadPoolExecutor(N_THREADS) as pool:
+            list(pool.map(worker, range(N_THREADS)))
+
+        stats = cache.stats()
+        assert stats.hits + stats.misses == N_THREADS * rounds * len(keys)
+        assert stats.misses >= len(keys)  # every key missed at least once
+        assert len(cache) <= 32
+        assert stats.size == len(cache)
+        # Everything still cached must round-trip to the value written.
+        for key in keys:
+            value = cache.get(key)
+            assert value is None or value == key * 2
+
+    def test_cache_within_capacity_reaches_steady_state(self):
+        cache = PlanCache(maxsize=64, name="steady")
+        keys = list(range(48))
+
+        def worker(_: int) -> None:
+            for key in keys:
+                if cache.get(key) is None:
+                    cache.put(key, ("v", key))
+
+        with ThreadPoolExecutor(N_THREADS) as pool:
+            list(pool.map(worker, range(N_THREADS)))
+
+        stats = cache.stats()
+        assert stats.evictions == 0
+        assert len(cache) == len(keys)
+        assert all(cache.get(k) == ("v", k) for k in keys)
+        # With no evictions, each key misses at most once per racer.
+        assert len(keys) <= stats.misses <= N_THREADS * len(keys)

@@ -1,0 +1,96 @@
+"""Fleet fingerprints must survive serialisation round trips.
+
+The fingerprint is the plan-cache key *and* the serving layer's routing
+key: a fleet registered over the wire, or rebuilt after a restart from a
+model file, must land on the same caches as the original.  These tests
+pin that contract through every serialisation path the repo has —
+:func:`repro.io.save_models`/``load_models`` files, raw record dicts,
+and the serve protocol's fleet specs.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import ConstantSpeedFunction, Fleet
+from repro.io import (
+    load_models,
+    save_models,
+    speed_function_from_dict,
+    speed_function_to_dict,
+)
+from repro.serve.protocol import (
+    fleet_spec_from_speed_functions,
+    speed_functions_from_fleet_spec,
+)
+from tests.conftest import make_hump_pwl, make_increasing_pwl, make_pwl
+
+
+def _pwl_fleet() -> Fleet:
+    return Fleet(
+        [make_pwl(123.456), make_hump_pwl(250.0), make_increasing_pwl(80.125)],
+        name="mixed",
+    )
+
+
+class TestIoRoundTrip:
+    def test_save_load_models_preserves_fingerprint(self, tmp_path):
+        fleet = _pwl_fleet()
+        path = tmp_path / "models.json"
+        save_models(
+            path,
+            {f"m{i}": sf for i, sf in enumerate(fleet.speed_functions)},
+            kernel="matmul",
+        )
+        loaded = load_models(path)
+        rebuilt = Fleet([loaded[f"m{i}"] for i in range(fleet.p)], name="mixed")
+        assert rebuilt.fingerprint == fleet.fingerprint
+
+    def test_constant_models_round_trip(self, tmp_path):
+        fleet = Fleet(
+            [ConstantSpeedFunction(75.5), ConstantSpeedFunction(120.0)],
+            name="const",
+        )
+        path = tmp_path / "const.json"
+        save_models(path, {"a": fleet.speed_functions[0], "b": fleet.speed_functions[1]})
+        loaded = load_models(path)
+        rebuilt = Fleet([loaded["a"], loaded["b"]], name="const")
+        assert rebuilt.fingerprint == fleet.fingerprint
+
+    def test_double_round_trip_is_a_fixed_point(self, tmp_path):
+        fleet = _pwl_fleet()
+        once = [
+            speed_function_from_dict(speed_function_to_dict(sf))
+            for sf in fleet.speed_functions
+        ]
+        twice = [
+            speed_function_from_dict(speed_function_to_dict(sf)) for sf in once
+        ]
+        assert Fleet(twice, name="mixed").fingerprint == fleet.fingerprint
+
+    def test_order_changes_the_fingerprint(self):
+        sfs = [make_pwl(100.0), make_pwl(200.0)]
+        assert Fleet(sfs).fingerprint != Fleet(sfs[::-1]).fingerprint
+
+
+class TestServeSpecRoundTrip:
+    def test_wire_spec_matches_local_fingerprint(self):
+        fleet = _pwl_fleet()
+        spec = fleet_spec_from_speed_functions(fleet.speed_functions, name="mixed")
+        # ...including after a trip through actual JSON text, which is
+        # what the register_fleet frame really carries.
+        wired = json.loads(json.dumps(spec))
+        rebuilt = Fleet(speed_functions_from_fleet_spec(wired), name="mixed")
+        assert rebuilt.fingerprint == fleet.fingerprint
+
+    def test_spec_and_model_file_agree(self, tmp_path):
+        """A restart that reloads from disk re-registers under the same key."""
+        fleet = _pwl_fleet()
+        path = tmp_path / "models.json"
+        save_models(path, {f"m{i}": sf for i, sf in enumerate(fleet.speed_functions)})
+        loaded = load_models(path)
+        spec = fleet_spec_from_speed_functions(
+            [loaded[f"m{i}"] for i in range(fleet.p)], name="mixed"
+        )
+        rebuilt = Fleet(speed_functions_from_fleet_spec(spec), name="mixed")
+        assert rebuilt.fingerprint == fleet.fingerprint

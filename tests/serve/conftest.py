@@ -1,0 +1,77 @@
+"""Shared fixtures for the serving tests: small fleets, isolated obs."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.io import speed_function_to_dict
+from tests.conftest import make_pwl
+
+
+@pytest.fixture
+def trio_sfs():
+    """Three heterogeneous processors — a fast-to-solve fleet."""
+    return [make_pwl(100.0), make_pwl(220.0), make_pwl(320.0, scale=1.5)]
+
+
+@pytest.fixture
+def trio_spec(trio_sfs):
+    """The wire spec for :func:`trio_sfs` (a registered fleet's payload)."""
+    return {
+        "name": "trio",
+        "algorithm": "bisection",
+        "cache_size": 64,
+        "speed_functions": [speed_function_to_dict(sf) for sf in trio_sfs],
+    }
+
+
+@pytest.fixture(autouse=True)
+def serve_obs():
+    """Fresh registry per test: serve components create global metrics."""
+    previous = obs.set_registry(obs.MetricsRegistry())
+    obs.disable()
+    try:
+        yield obs
+    finally:
+        obs.disable()
+        obs.set_registry(previous)
+
+
+class WorkerGate:
+    """Blocks a shard worker deterministically, via a poisoned register.
+
+    The gate spec's first record stalls inside the worker's
+    ``speed_function_from_dict`` call until :meth:`release`, so the
+    worker sits busy while its (bounded) inbox fills — which is how the
+    admission-control and drain tests create backlog without sleeps.
+    Thread-mode only (the record must share the test's memory).
+    """
+
+    def __init__(self):
+        self._event = threading.Event()
+        self.entered = threading.Event()
+
+    def release(self) -> None:
+        self._event.set()
+
+    def spec(self) -> dict:
+        record = speed_function_to_dict(make_pwl(50.0))
+        gate = self
+
+        class _GatedRecord(dict):
+            def __getitem__(self, key):
+                gate.entered.set()
+                gate._event.wait(timeout=30.0)
+                return super().__getitem__(key)
+
+        return {"name": "gate", "speed_functions": [_GatedRecord(record)]}
+
+
+@pytest.fixture
+def worker_gate():
+    gate = WorkerGate()
+    yield gate
+    gate.release()  # never leave a worker stuck on test failure

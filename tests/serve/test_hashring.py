@@ -1,0 +1,82 @@
+"""Consistent-hash ring: stability, balance, minimal redistribution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.hashring import HashRing
+
+KEYS = [f"fingerprint-{i:04d}" for i in range(600)]
+
+
+class TestRouting:
+    def test_deterministic_across_instances(self):
+        a = HashRing(range(4))
+        b = HashRing(range(4))
+        assert [a.node_for(k) for k in KEYS] == [b.node_for(k) for k in KEYS]
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only"])
+        assert all(ring.node_for(k) == "only" for k in KEYS[:50])
+
+    def test_empty_ring_refuses_lookups(self):
+        with pytest.raises(ValueError, match="empty ring"):
+            HashRing().node_for("x")
+
+    def test_distribution_is_roughly_balanced(self):
+        ring = HashRing(range(4))
+        counts = ring.distribution(KEYS)
+        assert set(counts) == {0, 1, 2, 3}
+        # With 64 virtual points per node the split stays sane: no shard
+        # starves and none hoards a majority of the keyspace.
+        assert min(counts.values()) > len(KEYS) * 0.10
+        assert max(counts.values()) < len(KEYS) * 0.45
+
+
+class TestMembership:
+    def test_add_is_idempotent(self):
+        ring = HashRing(range(3))
+        before = [ring.node_for(k) for k in KEYS]
+        ring.add(1)
+        assert [ring.node_for(k) for k in KEYS] == before
+
+    def test_remove_then_add_restores_the_mapping(self):
+        ring = HashRing(range(3))
+        before = [ring.node_for(k) for k in KEYS]
+        ring.remove(2)
+        assert 2 not in ring
+        assert all(ring.node_for(k) != 2 for k in KEYS)
+        ring.add(2)
+        assert [ring.node_for(k) for k in KEYS] == before
+
+    def test_remove_missing_node_is_a_no_op(self):
+        ring = HashRing(range(3))
+        ring.remove("never-added")
+        assert len(ring) == 3
+
+    def test_adding_a_node_moves_only_a_fraction(self):
+        ring = HashRing(range(4))
+        before = {k: ring.node_for(k) for k in KEYS}
+        ring.add(4)
+        moved = sum(1 for k in KEYS if ring.node_for(k) != before[k])
+        # Consistent hashing moves ~1/(n+1) of the keys; modulo hashing
+        # would move ~80% of them.  Allow generous slack either way.
+        assert 0 < moved < len(KEYS) * 0.40
+        # ...and every moved key lands on the new node.
+        assert all(
+            ring.node_for(k) == 4 for k in KEYS if ring.node_for(k) != before[k]
+        )
+
+    def test_removing_a_node_strands_no_keys(self):
+        ring = HashRing(range(4))
+        before = {k: ring.node_for(k) for k in KEYS}
+        ring.remove(0)
+        for k in KEYS:
+            node = ring.node_for(k)
+            assert node != 0
+            if before[k] != 0:
+                assert node == before[k]  # survivors keep their keys
+
+    def test_replicas_must_be_positive(self):
+        with pytest.raises(ValueError, match="replicas"):
+            HashRing(replicas=0)
