@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke serve-smoke check examples experiments lint-docs all clean
+.PHONY: install test bench bench-smoke serve-smoke verify-smoke check examples experiments lint-docs all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -36,7 +36,15 @@ bench-smoke:
 serve-smoke:
 	$(PYTHON) -m repro.serve.smoke
 
-check: test bench-smoke serve-smoke
+# Seeded verification sweep (repro.verify): 200 differential conformance
+# cases across every partitioner, the planner fast paths and in-process
+# served plans; 500 mutated protocol frames against a live server; and a
+# handful of randomized fault-script runs of the adaptive simulator.
+# Every failure prints a one-line replay command with its seed.
+verify-smoke:
+	$(PYTHON) -m repro verify --cases 200 --fuzz-frames 500 --chaos-runs 4
+
+check: test bench-smoke serve-smoke verify-smoke
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done

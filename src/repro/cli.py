@@ -13,6 +13,7 @@ touching pytest::
     repro stats           # run a workload, dump the collected telemetry
     repro trace           # run a workload, pretty-print the span tree
     repro serve           # run the concurrent planning service (repro.serve)
+    repro verify          # certificates, differential conformance, fuzzing
     repro all             # every paper artefact above
 
 ``repro table3`` / ``repro table4`` run the *real* NumPy kernels on this
@@ -29,6 +30,7 @@ import sys
 from typing import Callable
 
 from . import obs
+from .exceptions import ReproError
 
 from .experiments import (
     FIG22A_PROBES,
@@ -430,6 +432,61 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         handle.stop()
 
 
+def _cmd_verify(args: argparse.Namespace) -> None:
+    """Run the :mod:`repro.verify` harness (see ``docs/testing.md``).
+
+    Three sweeps — differential conformance, protocol fuzzing, adapt
+    chaos — all seeded, all replayable.  The ``--only-*`` flags replay a
+    single case/frame/run and skip the other sweeps; any confirmed bug
+    makes the command exit non-zero after printing one replay line per
+    failure.
+    """
+    from .verify import fuzz_adapt, fuzz_protocol, run_differential
+
+    replaying = (
+        args.only_case is not None
+        or args.only_frame is not None
+        or args.only_run is not None
+    )
+    failures = 0
+
+    if args.only_case is not None or not replaying:
+        report = run_differential(
+            cases=args.cases, seed=args.seed, only_case=args.only_case,
+            log=print,
+        )
+        print(report.summary())
+        failures += len(report.bugs)
+
+    if args.only_frame is not None or not replaying:
+        frames = args.fuzz_frames if args.only_frame is None else 1
+        if frames > 0:
+            report = fuzz_protocol(
+                frames=args.fuzz_frames, seed=args.seed,
+                only_frame=args.only_frame, log=print,
+            )
+            print(report.summary())
+            failures += len(report.failures)
+
+    if args.only_run is not None or not replaying:
+        runs = args.chaos_runs if args.only_run is None else 1
+        if runs > 0:
+            report = fuzz_adapt(
+                runs=args.chaos_runs, seed=args.seed,
+                only_run=args.only_run, log=print,
+            )
+            print(report.summary())
+            failures += len(report.failures)
+
+    if failures:
+        raise CommandError(f"verification found {failures} failure(s)")
+    print("verify: all sweeps clean")
+
+
+class CommandError(RuntimeError):
+    """A command-level failure: report it and exit non-zero, no traceback."""
+
+
 _COMMANDS: dict[str, Callable[[argparse.Namespace], None]] = {
     "fig1": _cmd_fig1,
     "fig2": _cmd_fig2,
@@ -445,10 +502,11 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], None]] = {
     "stats": _cmd_stats,
     "trace": _cmd_trace,
     "serve": _cmd_serve,
+    "verify": _cmd_verify,
 }
 
 #: Telemetry/serving tooling, not paper artefacts: excluded from ``repro all``.
-_TELEMETRY_COMMANDS = frozenset({"stats", "trace", "serve"})
+_TELEMETRY_COMMANDS = frozenset({"stats", "trace", "serve", "verify"})
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -555,6 +613,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--once", action="store_true",
         help="answer one self-issued plan request, then drain and exit",
     )
+    verify = parser.add_argument_group("verify", "options for `repro verify`")
+    verify.add_argument(
+        "--cases", type=int, default=200,
+        help="differential conformance cases to generate",
+    )
+    verify.add_argument(
+        "--seed", type=int, default=0,
+        help="root seed; every case is a pure function of (seed, index)",
+    )
+    verify.add_argument(
+        "--fuzz-frames", type=int, default=500,
+        help="mutated protocol frames to throw at a live server "
+        "(0 skips the protocol fuzzer)",
+    )
+    verify.add_argument(
+        "--chaos-runs", type=int, default=6,
+        help="randomized fault-script runs of the adaptive simulator "
+        "(0 skips the chaos sweep)",
+    )
+    verify.add_argument(
+        "--only-case", type=int, default=None, metavar="K",
+        help="replay one differential case and skip the other sweeps",
+    )
+    verify.add_argument(
+        "--only-frame", type=int, default=None, metavar="K",
+        help="replay one fuzzed protocol frame and skip the other sweeps",
+    )
+    verify.add_argument(
+        "--only-run", type=int, default=None, metavar="K",
+        help="replay one chaos run and skip the other sweeps",
+    )
     return parser
 
 
@@ -564,14 +653,23 @@ def main(argv: list[str] | None = None) -> int:
         obs.configure_logging(args.log_level)
     elif args.verbose:
         obs.configure_logging(obs.verbosity_to_level(args.verbose))
-    if args.experiment == "all":
-        for name in sorted(_COMMANDS):
-            if name in _TELEMETRY_COMMANDS:
-                continue
-            print(f"\n===== {name} =====")
-            _COMMANDS[name](args)
-    else:
-        _COMMANDS[args.experiment](args)
+    try:
+        if args.experiment == "all":
+            for name in sorted(_COMMANDS):
+                if name in _TELEMETRY_COMMANDS:
+                    continue
+                print(f"\n===== {name} =====")
+                _COMMANDS[name](args)
+        else:
+            _COMMANDS[args.experiment](args)
+    except CommandError as exc:
+        print(f"repro {args.experiment}: {exc}", file=sys.stderr)
+        return 1
+    except (ReproError, ValueError) as exc:
+        # Bad flag values (unparseable --sizes, infeasible configs, ...)
+        # should read like argparse errors, not tracebacks.
+        print(f"repro {args.experiment}: error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

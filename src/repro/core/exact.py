@@ -37,8 +37,14 @@ __all__ = ["partition_exact"]
 _SLOPE_ITERATIONS = 120
 
 
-def _floor_allocations(alloc_at, slope: float) -> np.ndarray:
-    return np.floor(alloc_at(slope)).astype(np.int64)
+def _floor_allocations(alloc_at, slope: float, cap: float) -> np.ndarray:
+    # Clamp before flooring: a processor with an unbounded (or huge)
+    # memory limit can report a real allocation far beyond 2**63 at a
+    # shallow slope, and floor().astype(int64) would overflow to
+    # INT64_MIN — turning the integer feasibility predicate negative and
+    # mislabelling feasible instances infeasible.  No processor ever
+    # needs more than the n being partitioned, so n is an exact cap.
+    return np.floor(np.minimum(alloc_at(slope), cap)).astype(np.int64)
 
 
 def partition_exact(
@@ -67,8 +73,9 @@ def partition_exact(
     # Bracket in slope space for the *integer* feasibility predicate.
     c_hi = region.upper  # steep: sum of floors <= n (usually infeasible)
     c_lo = region.lower  # shallow: sum of reals >= n, floors may fall short
+    cap = float(n)
     for _ in range(200):
-        alloc_lo = _floor_allocations(alloc_at, c_lo)
+        alloc_lo = _floor_allocations(alloc_at, c_lo, cap)
         intersections += p
         if int(alloc_lo.sum()) >= n:
             break
@@ -82,7 +89,7 @@ def partition_exact(
         mid = 0.5 * (c_hi + c_lo)
         if not (c_lo < mid < c_hi):
             break
-        alloc_mid = _floor_allocations(alloc_at, mid)
+        alloc_mid = _floor_allocations(alloc_at, mid, cap)
         intersections += p
         iterations += 1
         if int(alloc_mid.sum()) >= n:

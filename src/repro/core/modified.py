@@ -52,7 +52,11 @@ def _integer_counts(low: np.ndarray, high: np.ndarray) -> np.ndarray:
     """
     lo = np.floor(low) + 1.0
     hi = np.ceil(high) - 1.0
-    return np.maximum(hi - lo + 1.0, 0.0).astype(np.int64)
+    # Cap below 2**53 so the float->int64 cast cannot overflow when an
+    # unbounded processor reports an astronomically wide interval (the
+    # cap only matters for the argmax over processors, where any two
+    # capped counts compare equal — and both are far past convergence).
+    return np.minimum(np.maximum(hi - lo + 1.0, 0.0), 2.0**53).astype(np.int64)
 
 
 def partition_modified(

@@ -360,6 +360,10 @@ def decode_frame(line: bytes | str) -> dict:
         obj = json.loads(line)
     except json.JSONDecodeError as exc:
         raise ProtocolError("invalid_request", f"malformed JSON frame: {exc}") from exc
+    except RecursionError as exc:
+        # Pathologically nested JSON overflows the parser's stack; answer
+        # with a typed error instead of letting the handler task die.
+        raise ProtocolError("invalid_request", "frame nests too deeply") from exc
     if not isinstance(obj, dict):
         raise ProtocolError(
             "invalid_request", f"a frame must hold a JSON object, got {type(obj).__name__}"

@@ -201,7 +201,20 @@ class PlanServer:
         try:
             request_line = await reader.readline()
             parts = request_line.decode("latin-1").split()
+            if not parts:
+                return  # client connected and hung up without a request
             if len(parts) < 2:
+                doc = error_response(
+                    None, "invalid_request", "malformed HTTP request line"
+                )
+                payload = json.dumps(doc).encode("utf-8")
+                writer.write(
+                    b"HTTP/1.1 400 Bad Request\r\n"
+                    b"Content-Type: application/json; charset=utf-8\r\n"
+                    + f"Content-Length: {len(payload)}\r\n".encode("latin-1")
+                    + b"Connection: close\r\n\r\n" + payload
+                )
+                await writer.drain()
                 return
             method, path = parts[0].upper(), parts[1]
             headers: dict[str, str] = {}
@@ -211,9 +224,23 @@ class PlanServer:
                     break
                 name, _, value = line.decode("latin-1").partition(":")
                 headers[name.strip().lower()] = value.strip()
-            length = int(headers.get("content-length", "0") or "0")
-            body = await reader.readexactly(length) if length else b""
-            status, content_type, payload = await self._route_http(method, path, body)
+            try:
+                length = int(headers.get("content-length", "0") or "0")
+            except ValueError:
+                length = -1
+            if 0 <= length <= MAX_FRAME_BYTES:
+                body = await reader.readexactly(length) if length else b""
+                status, content_type, payload = await self._route_http(
+                    method, path, body
+                )
+            else:
+                doc = error_response(
+                    None, "invalid_request",
+                    f"content-length must be an integer in [0, {MAX_FRAME_BYTES}]",
+                )
+                status = "400 Bad Request"
+                content_type = "application/json; charset=utf-8"
+                payload = json.dumps(doc).encode("utf-8")
             head = (
                 f"HTTP/1.1 {status}\r\n"
                 f"Content-Type: {content_type}\r\n"

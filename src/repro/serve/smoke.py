@@ -5,8 +5,10 @@ It boots a real server (TCP + HTTP listeners, threaded shards) on
 ephemeral ports, registers the testbed fleet over the wire, fires a mix
 of ``plan`` / ``plan_many`` / ``health`` / ``stats`` requests both
 through the blocking client and the concurrent load generator, checks
-every response against a directly computed plan, scrapes ``/metrics``,
-and drains.  Exit code 0 means zero errors and zero shed requests.
+every response against a directly computed plan *and* against the
+independent optimality certificate (:mod:`repro.verify.certificate`),
+scrapes ``/metrics``, and drains.  Exit code 0 means zero errors and
+zero shed requests.
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ import numpy as np
 from ..experiments import build_network_models, tile_speed_functions
 from ..machines import table2_network
 from ..planner import Fleet, Planner
+from ..verify import check_allocation
 from .client import ServeClient, run_load
 from .server import start_in_thread
 from .service import ServeConfig
@@ -62,11 +65,27 @@ def main(argv: list[str] | None = None) -> int:
                 ] != [int(x) for x in want.allocation]:
                     print(f"FAIL: plan({n}) differs from the direct planner")
                     failures += 1
+                # Independent optimality certificate for every served plan.
+                cert = check_allocation(
+                    got["allocation"], sfs, n=n, makespan=got["makespan"]
+                )
+                if not cert.ok:
+                    print(f"FAIL: plan({n}) certificate: {cert.summary()}")
+                    failures += 1
             batch = client.plan_many(fingerprint, sizes)
             bad = [item for item in batch if not item.get("ok")]
             if bad:
                 print(f"FAIL: plan_many returned {len(bad)} item errors: {bad[:2]}")
                 failures += 1
+            for n, item in zip(sizes, batch):
+                if not item.get("ok"):
+                    continue
+                cert = check_allocation(
+                    item["allocation"], sfs, n=n, makespan=item["makespan"]
+                )
+                if not cert.ok:
+                    print(f"FAIL: plan_many({n}) certificate: {cert.summary()}")
+                    failures += 1
             if client.health()["status"] != "ok":
                 print("FAIL: health is not ok")
                 failures += 1

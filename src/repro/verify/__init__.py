@@ -1,0 +1,47 @@
+"""Independent verification of partition plans and the serving stack.
+
+Three pillars (see ``docs/testing.md``):
+
+* :mod:`repro.verify.certificate` — re-derive the paper's optimal-ray
+  condition plus feasibility invariants for any plan, without trusting
+  the algorithm that produced it;
+* :mod:`repro.verify.differential` — seeded random fleets cross-checking
+  every partitioner, the planner's fast paths, and served plans, with
+  each disagreement classified bug vs documented tolerance;
+* :mod:`repro.verify.fuzz` — mutated protocol frames against a live
+  server and chaos scripts against the adaptive simulators.
+
+Everything is replayable from ``(seed, index)`` alone; the ``repro
+verify`` CLI subcommand and ``make verify-smoke`` drive all three.
+"""
+
+from .certificate import (
+    CertificateReport,
+    Violation,
+    check_allocation,
+    check_certificate,
+)
+from .differential import (
+    Disagreement,
+    DifferentialReport,
+    generate_case,
+    replay_command,
+    run_differential,
+)
+from .fuzz import FuzzFailure, FuzzReport, fuzz_adapt, fuzz_protocol
+
+__all__ = [
+    "CertificateReport",
+    "Violation",
+    "check_allocation",
+    "check_certificate",
+    "Disagreement",
+    "DifferentialReport",
+    "generate_case",
+    "replay_command",
+    "run_differential",
+    "FuzzFailure",
+    "FuzzReport",
+    "fuzz_adapt",
+    "fuzz_protocol",
+]

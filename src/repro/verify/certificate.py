@@ -1,0 +1,336 @@
+"""Optimality certificates for partition plans.
+
+The paper's geometric characterisation of the optimum — every point
+``(x_i, s_i(x_i))`` of the chosen allocation lies on *one* straight line
+through the origin — doubles as a checkable certificate: given any
+allocation and the fleet it was computed for, we can re-derive the
+condition without trusting the algorithm that produced the plan.  This
+module implements that re-derivation plus the bread-and-butter
+feasibility invariants, and reports everything machine-readably so the
+differential harness, the serve smoke and the CLI can all consume one
+format.
+
+Checks performed by :func:`check_certificate` /
+:func:`check_allocation`:
+
+``shape`` / ``integral`` / ``conservation`` / ``bounds``
+    The allocation has one entry per processor, entries are non-negative
+    integers, they sum to the requested ``n``, and no entry exceeds the
+    processor's memory bound ``floor(max_size)``.
+
+``makespan``
+    The reported makespan equals ``max_i t_i(x_i)`` recomputed from the
+    speed functions.
+
+``exchange``
+    No *profitable single-element exchange* exists: moving one element
+    off the (unique) bottleneck onto any other processor cannot strictly
+    reduce the makespan.  Because ``g(x) = s(x)/x`` strictly decreases,
+    ``t(x) = 1/g(x)`` strictly increases, so this reduces to an ``O(p)``
+    scan over the top-two finish times.
+
+``ray``
+    The discrete optimal-ray condition: there exists a slope ``c`` with
+    ``g_i(x_i + 1) <= c <= g_i(x_i - 1)`` for every processor (reading
+    ``g_i(0) = inf``, and dropping the lower constraint for processors
+    pinned at their memory bound).  Geometrically: one line through the
+    origin passes within one element of every point of the plan.
+
+``optimality``
+    The packing lower bound: for ``T' = T * (1 - rtol)`` the total
+    number of elements the fleet can finish within ``T'`` is < ``n``.
+    Since every ``t_i`` is strictly increasing this proves no feasible
+    allocation beats the reported makespan (up to the tolerance), which
+    makes the certificate *complete* — ties between processors that the
+    exchange/ray conditions treat conservatively cannot hide a genuinely
+    faster plan.
+
+Every call increments the ``verify.cases`` counter; every violation
+increments ``verify.violations`` (labelled by check), so verification
+runs are observable through :mod:`repro.obs` like everything else.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from .. import obs
+from ..core.result import PartitionResult
+from ..core.speed_function import SpeedFunction
+
+__all__ = [
+    "Violation",
+    "CertificateReport",
+    "check_allocation",
+    "check_certificate",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed certificate invariant, machine-readable."""
+
+    check: str
+    message: str
+    processor: int | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "check": self.check,
+            "message": self.message,
+            "processor": self.processor,
+        }
+
+
+@dataclass
+class CertificateReport:
+    """The verdict of one certificate check."""
+
+    n: int
+    p: int
+    makespan: float
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "p": self.p,
+            "makespan": self.makespan,
+            "ok": self.ok,
+            "violations": [v.as_dict() for v in self.violations],
+        }
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"certificate ok (n={self.n}, p={self.p})"
+        checks = ", ".join(sorted({v.check for v in self.violations}))
+        return (
+            f"certificate FAILED (n={self.n}, p={self.p}): "
+            f"{len(self.violations)} violation(s) [{checks}]"
+        )
+
+
+def _bound_elements(sf: SpeedFunction) -> float:
+    """Largest integer element count processor ``sf`` can hold."""
+    if math.isinf(sf.max_size):
+        return math.inf
+    return math.floor(sf.max_size + 1e-9)
+
+
+def _feasible_within(sf: SpeedFunction, deadline: float) -> float:
+    """How many elements ``sf`` can finish strictly within ``deadline``.
+
+    ``t`` is strictly increasing, so this is the largest integer ``x``
+    with ``t(x) <= deadline`` (bounded by the memory limit).  The ray
+    intersection gives the continuous answer; a short integer walk
+    absorbs the float noise of the two representations.
+    """
+    if deadline <= 0:
+        return 0
+    x = math.floor(sf.intersect_ray(1.0 / deadline) + 1e-9)
+    cap = _bound_elements(sf)
+    x = min(x, cap)
+    while x > 0 and sf.time(x) > deadline:
+        x -= 1
+    while x + 1 <= cap and sf.time(x + 1) <= deadline:
+        x += 1
+    return x
+
+
+def check_allocation(
+    allocation: Sequence[int],
+    speed_functions: Sequence[SpeedFunction],
+    *,
+    n: int | None = None,
+    makespan: float | None = None,
+    rtol: float = 1e-9,
+    check_optimality: bool = True,
+) -> CertificateReport:
+    """Certificate-check a raw allocation against its fleet.
+
+    Parameters
+    ----------
+    allocation:
+        Per-processor element counts (any integer sequence).
+    speed_functions:
+        The fleet the plan was computed for.
+    n:
+        The requested problem size; defaults to ``sum(allocation)``
+        (which makes the conservation check vacuous — pass the real
+        request when you have it).
+    makespan:
+        The makespan the producer reported, if any.
+    rtol:
+        Relative tolerance for all float comparisons.
+    check_optimality:
+        Set to ``False`` to run only the feasibility/conservation
+        checks — useful for plans that are *deliberately* not optimal
+        (e.g. the paper's refinement procedure, documented to land
+        within 1% of the optimum).
+    """
+    alloc = np.asarray(allocation)
+    sfs = list(speed_functions)
+    p = len(sfs)
+    report = CertificateReport(
+        n=int(n) if n is not None else int(np.sum(alloc)) if alloc.size else 0,
+        p=p,
+        makespan=float(makespan) if makespan is not None else float("nan"),
+    )
+
+    def fail(check: str, message: str, processor: int | None = None) -> None:
+        report.violations.append(Violation(check, message, processor))
+
+    # -- shape / integrality -------------------------------------------
+    if alloc.ndim != 1 or alloc.size != p:
+        fail("shape", f"allocation has shape {alloc.shape}, fleet has p={p}")
+        _record(report)
+        return report
+    if not np.issubdtype(alloc.dtype, np.integer):
+        if not np.all(alloc == np.floor(alloc)):
+            fail("integral", "allocation entries are not integers")
+            _record(report)
+            return report
+        alloc = alloc.astype(np.int64)
+    if np.any(alloc < 0):
+        i = int(np.argmin(alloc))
+        fail("integral", f"allocation[{i}] = {int(alloc[i])} is negative", i)
+        _record(report)
+        return report
+
+    # -- conservation ---------------------------------------------------
+    total = int(alloc.sum())
+    if total != report.n:
+        fail("conservation", f"allocation sums to {total}, expected n={report.n}")
+
+    # -- memory bounds --------------------------------------------------
+    for i, sf in enumerate(sfs):
+        cap = _bound_elements(sf)
+        if alloc[i] > cap:
+            fail(
+                "bounds",
+                f"allocation[{i}] = {int(alloc[i])} exceeds the memory bound "
+                f"floor(max_size) = {cap:g}",
+                i,
+            )
+
+    # -- makespan recomputation ----------------------------------------
+    times = np.array([sf.time(int(x)) for sf, x in zip(sfs, alloc)], dtype=float)
+    true_makespan = float(times.max()) if p else 0.0
+    if makespan is not None and not math.isclose(
+        true_makespan, float(makespan), rel_tol=rtol, abs_tol=rtol
+    ):
+        fail(
+            "makespan",
+            f"reported makespan {float(makespan):.17g} != recomputed "
+            f"{true_makespan:.17g}",
+        )
+
+    if not check_optimality or report.violations or total == 0 or p == 0:
+        _record(report)
+        return report
+
+    # -- no profitable single-element exchange -------------------------
+    order = np.argsort(times)
+    top = int(order[-1])
+    second = float(times[order[-2]]) if p > 1 else 0.0
+    t_max = float(times[top])
+    # Only a *unique* bottleneck can shed profitably: with ties, moving
+    # one element leaves the other tied processor at t_max.
+    if p > 1 and alloc[top] > 0 and second < t_max * (1.0 - rtol):
+        t_donor = float(sfs[top].time(int(alloc[top]) - 1))
+        ceiling = t_max * (1.0 - rtol)
+        for j, sf in enumerate(sfs):
+            if j == top or alloc[j] + 1 > _bound_elements(sf):
+                continue
+            t_recv = float(sf.time(int(alloc[j]) + 1))
+            if max(t_donor, t_recv, second) < ceiling:
+                fail(
+                    "exchange",
+                    f"moving one element from processor {top} to {j} drops the "
+                    f"makespan from {t_max:.17g} to "
+                    f"{max(t_donor, t_recv, second):.17g}",
+                    j,
+                )
+                break
+
+    # -- the optimal-ray condition --------------------------------------
+    # A slope c certifies the plan when g_i(x_i+1) <= c <= g_i(x_i-1)
+    # for every processor: the line y = c*x passes within one element of
+    # every point (x_i, s_i(x_i)).  g_i(0) = inf, and a processor pinned
+    # at its memory bound contributes no lower constraint (it cannot
+    # accept another element however profitable it looks).
+    lowers = np.full(p, -math.inf)
+    uppers = np.full(p, math.inf)
+    for i, sf in enumerate(sfs):
+        x = int(alloc[i])
+        if x + 1 <= _bound_elements(sf):
+            lowers[i] = sf.g(x + 1)
+        if x >= 2:
+            uppers[i] = sf.g(x - 1)
+    lo, hi = float(lowers.max()), float(uppers.min())
+    if lo > hi * (1.0 + rtol):
+        i, j = int(np.argmax(lowers)), int(np.argmin(uppers))
+        fail(
+            "ray",
+            "no line through the origin passes within one element of every "
+            f"point: processor {i} needs slope >= g_{i}({int(alloc[i]) + 1}) = "
+            f"{lo:.17g} but processor {j} allows at most "
+            f"g_{j}({int(alloc[j]) - 1}) = {hi:.17g}",
+        )
+
+    # -- packing lower bound (completeness) ------------------------------
+    deadline = true_makespan * (1.0 - max(rtol, 1e-12))
+    capacity = 0
+    for sf in sfs:
+        capacity += _feasible_within(sf, deadline)
+        if capacity >= total:
+            break
+    if capacity >= total:
+        fail(
+            "optimality",
+            f"the fleet can finish {capacity} >= n={total} elements within "
+            f"{deadline:.17g} s, strictly beating the reported makespan "
+            f"{true_makespan:.17g} s",
+        )
+
+    _record(report)
+    return report
+
+
+def check_certificate(
+    result: PartitionResult,
+    speed_functions: Sequence[SpeedFunction],
+    *,
+    n: int | None = None,
+    rtol: float = 1e-9,
+    check_optimality: bool = True,
+) -> CertificateReport:
+    """Certificate-check a :class:`~repro.core.result.PartitionResult`.
+
+    ``speed_functions`` may be the raw sequence or anything exposing a
+    ``speed_functions`` attribute (a :class:`~repro.planner.Fleet`).
+    """
+    sfs = getattr(speed_functions, "speed_functions", speed_functions)
+    return check_allocation(
+        result.allocation,
+        sfs,
+        n=n if n is not None else result.n,
+        makespan=result.makespan,
+        rtol=rtol,
+        check_optimality=check_optimality,
+    )
+
+
+def _record(report: CertificateReport) -> None:
+    registry = obs.get_registry()
+    registry.counter("verify.cases", labels={"layer": "certificate"}).inc()
+    for v in report.violations:
+        registry.counter("verify.violations", labels={"check": v.check}).inc()

@@ -1,0 +1,160 @@
+"""Edge cases for the exact reference partitioner and bounded partitions.
+
+Includes regression tests for two integer-overflow bugs found by the
+differential harness (``repro verify``): unbounded processors used to
+report real allocations past ``2**63`` at shallow slopes, and the
+``float -> int64`` cast wrapped to ``INT64_MIN`` — making ``exact``
+mislabel feasible instances infeasible and handing ``modified`` negative
+candidate counts.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.band import SpeedBand, constant_width_schedule
+from repro.core.bisection import partition_bisection
+from repro.core.bounded import partition_bounded
+from repro.core.exact import partition_exact
+from repro.core.modified import partition_modified
+from repro.core.speed_function import ConstantSpeedFunction
+from repro.exceptions import InfeasiblePartitionError
+from repro.verify import check_allocation
+from tests.conftest import make_pwl
+
+
+@pytest.fixture
+def trio():
+    return [make_pwl(100.0), make_pwl(220.0), make_pwl(320.0, scale=1.5)]
+
+
+class TestExactEdges:
+    def test_n_zero(self, trio):
+        result = partition_exact(0, trio)
+        assert result.makespan == 0.0
+        assert np.array_equal(result.allocation, np.zeros(3, dtype=np.int64))
+
+    def test_single_processor(self, trio):
+        result = partition_exact(123_456, trio[:1])
+        assert result.allocation.tolist() == [123_456]
+        assert result.makespan == pytest.approx(trio[0].time(123_456))
+
+    def test_fewer_elements_than_processors(self, trio):
+        result = partition_exact(2, trio)
+        assert int(result.allocation.sum()) == 2
+        assert np.all(result.allocation >= 0)
+        assert check_allocation(result.allocation, trio, n=2).ok
+
+    def test_all_equal_speeds_split_evenly(self):
+        fleet = [ConstantSpeedFunction(10.0) for _ in range(4)]
+        result = partition_exact(1001, fleet)
+        assert int(result.allocation.sum()) == 1001
+        assert int(result.allocation.max() - result.allocation.min()) <= 1
+
+    def test_single_dominant_processor(self):
+        fleet = [ConstantSpeedFunction(1000.0)] + [
+            ConstantSpeedFunction(1.0) for _ in range(3)
+        ]
+        result = partition_exact(10_000, fleet)
+        assert int(result.allocation[0]) > 9_000
+        assert result.makespan == pytest.approx(
+            partition_bisection(10_000, fleet).makespan, rel=1e-9
+        )
+
+    def test_matches_bisection_makespan(self, trio):
+        for n in (1, 17, 5_000, 1_700_000):
+            exact = partition_exact(n, trio)
+            bisect = partition_bisection(n, trio)
+            assert int(exact.allocation.sum()) == n
+            # exact is the reference optimum: never worse, and bisection
+            # is known-optimal on these fleets.
+            assert exact.makespan == pytest.approx(bisect.makespan, rel=1e-9)
+
+    def test_infeasible_past_total_capacity(self, trio):
+        capacity = int(sum(sf.max_size for sf in trio))
+        with pytest.raises(InfeasiblePartitionError):
+            partition_exact(capacity + 10, trio)
+
+
+class TestOverflowRegressions:
+    """An unbounded constant processor used to overflow int64 casts."""
+
+    @pytest.fixture
+    def with_unbounded(self):
+        return [
+            ConstantSpeedFunction(3.0),  # max_size = inf
+            make_pwl(250.0),
+            make_pwl(90.0, scale=0.5),
+        ]
+
+    def test_exact_solves_unbounded_fleet(self, with_unbounded):
+        n = 4_362_708  # found by `repro verify --seed 0`
+        result = partition_exact(n, with_unbounded)
+        assert int(result.allocation.sum()) == n
+        assert result.makespan == pytest.approx(
+            partition_bisection(n, with_unbounded).makespan, rel=1e-9
+        )
+
+    def test_modified_solves_unbounded_fleet(self, with_unbounded):
+        n = 4_362_708
+        result = partition_modified(n, with_unbounded)
+        assert int(result.allocation.sum()) == n
+        assert result.makespan == pytest.approx(
+            partition_bisection(n, with_unbounded).makespan, rel=1e-9
+        )
+
+
+class TestBoundedEdges:
+    def test_n_zero(self, trio):
+        result = partition_bounded(0, trio, [100, 100, 100])
+        assert int(result.allocation.sum()) == 0
+
+    def test_bounds_respected(self, trio):
+        bounds = [50_000, math.inf, 400_000]
+        result = partition_bounded(600_000, trio, bounds)
+        assert int(result.allocation.sum()) == 600_000
+        assert result.allocation[0] <= 50_000
+        assert result.allocation[2] <= 400_000
+
+    def test_tight_bounds_force_the_split(self, trio):
+        result = partition_bounded(30, trio, [10, 10, 10])
+        assert result.allocation.tolist() == [10, 10, 10]
+
+    def test_infeasible_bounds_raise(self, trio):
+        with pytest.raises(InfeasiblePartitionError):
+            partition_bounded(31, trio, [10, 10, 10])
+
+    def test_infinite_bounds_match_unbounded(self, trio):
+        plain = partition_bisection(900_000, trio)
+        bounded = partition_bounded(
+            900_000, trio, [math.inf] * 3, algorithm="bisection"
+        )
+        assert np.array_equal(bounded.allocation, plain.allocation)
+        assert bounded.makespan == plain.makespan
+
+    def test_single_processor_at_its_bound(self, trio):
+        result = partition_bounded(77, trio[:1], [77])
+        assert result.allocation.tolist() == [77]
+
+
+class TestZeroWidthBands:
+    def test_degenerate_band_collapses_to_midline(self, trio):
+        band = SpeedBand(trio[0], constant_width_schedule(0.0))
+        rng = np.random.default_rng(5)
+        sampled = band.sample(rng)
+        for x in (1.0, 1e4, 5e5, 1.9e6):
+            assert sampled.speed(x) == pytest.approx(trio[0].speed(x), rel=1e-12)
+
+    def test_partition_on_degenerate_band_samples(self, trio):
+        rng = np.random.default_rng(9)
+        fleet = [
+            SpeedBand(sf, constant_width_schedule(0.0)).sample(rng) for sf in trio
+        ]
+        n = 800_000
+        sampled = partition_exact(n, fleet)
+        midline = partition_exact(n, trio)
+        assert int(sampled.allocation.sum()) == n
+        assert sampled.makespan == pytest.approx(midline.makespan, rel=1e-6)

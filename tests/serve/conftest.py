@@ -1,14 +1,95 @@
-"""Shared fixtures for the serving tests: small fleets, isolated obs."""
+"""Shared fixtures for the serving tests: small fleets, isolated obs.
+
+Also the synchronization helpers that keep this suite flake-free:
+:func:`eventually` (async) and :func:`poll_until` (sync) replace fixed
+sleeps with bounded polling, and the :func:`start_server` factory
+guarantees every listener binds port 0 and is stopped even when a test
+fails mid-way.
+"""
 
 from __future__ import annotations
 
+import asyncio
+import inspect
 import threading
+import time
 
 import pytest
 
 from repro import obs
 from repro.io import speed_function_to_dict
 from tests.conftest import make_pwl
+
+
+async def eventually(
+    predicate,
+    *,
+    timeout: float = 10.0,
+    interval: float = 0.002,
+    message: str = "condition never became true",
+):
+    """Await a (sync or async) predicate until it returns truthy.
+
+    Poll-based synchronization for the event-loop tests: no fixed
+    sleeps, a hard ``timeout`` bound, and the winning value is returned
+    so callers can assert on it.
+    """
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while True:
+        result = predicate()
+        if inspect.isawaitable(result):
+            result = await result
+        if result:
+            return result
+        if loop.time() > deadline:
+            raise AssertionError(message)
+        await asyncio.sleep(interval)
+
+
+def poll_until(
+    predicate,
+    *,
+    timeout: float = 10.0,
+    interval: float = 0.005,
+    message: str = "condition never became true",
+):
+    """Blocking counterpart of :func:`eventually` for threaded tests."""
+    deadline = time.monotonic() + timeout
+    while True:
+        result = predicate()
+        if result:
+            return result
+        if time.monotonic() > deadline:
+            raise AssertionError(message)
+        time.sleep(interval)
+
+
+@pytest.fixture
+def start_server():
+    """Factory booting real servers on ephemeral ports, always stopped.
+
+    Every server in this suite must bind port 0 (no hard-coded ports, no
+    collisions under xdist) and must release its sockets even when the
+    test body raises — the factory owns both guarantees.
+    """
+    from repro.serve import ServeConfig, start_in_thread
+
+    handles = []
+
+    def _boot(**kwargs):
+        kwargs.setdefault("port", 0)
+        config = ServeConfig(**kwargs)
+        assert config.port == 0, "serve tests must bind ephemeral ports"
+        handle = start_in_thread(config)
+        handles.append(handle)
+        return handle
+
+    try:
+        yield _boot
+    finally:
+        for handle in reversed(handles):  # stop() is idempotent
+            handle.stop()
 
 
 @pytest.fixture

@@ -1,0 +1,82 @@
+"""Hypothesis properties of the consistent-hash ring.
+
+Two contracts back the shard router: the 64 virtual replicas keep the
+keyspace split balanced, and resizing the pool remaps only the keys that
+*must* move (to a new node, or off a removed one) — everything else
+keeps its owner, which is what preserves the warm planner caches.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.serve.hashring import HashRing
+
+#: Enough keys that shares concentrate near their expectation.
+_KEYS = 1000
+
+nodes_count = st.integers(min_value=2, max_value=10)
+salts = st.integers(min_value=0, max_value=10**6)
+
+
+def _keys(salt: int) -> list[str]:
+    return [f"key-{salt}-{i}" for i in range(_KEYS)]
+
+
+@settings(max_examples=25, deadline=None)
+@given(p=nodes_count, salt=salts)
+def test_balance_within_tolerance(p: int, salt: int) -> None:
+    ring = HashRing(range(p))  # default: 64 virtual replicas
+    dist = ring.distribution(_keys(salt))
+    ideal = _KEYS / p
+    assert max(dist.values()) <= 2.5 * ideal
+    assert min(dist.values()) >= 1  # no starved shard
+
+
+@settings(max_examples=25, deadline=None)
+@given(p=nodes_count, salt=salts)
+def test_adding_a_node_only_moves_keys_to_it(p: int, salt: int) -> None:
+    keys = _keys(salt)
+    ring = HashRing(range(p))
+    before = {k: ring.node_for(k) for k in keys}
+    ring.add("grown")
+    moved = [k for k in keys if ring.node_for(k) != before[k]]
+    assert all(ring.node_for(k) == "grown" for k in moved)
+    # Roughly 1/(p+1) of the keyspace lands on the new node.
+    assert len(moved) <= 2.5 * _KEYS / (p + 1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(p=nodes_count, salt=salts, victim=st.integers(min_value=0, max_value=9))
+def test_removing_a_node_only_moves_its_keys(p: int, salt: int, victim: int) -> None:
+    victim %= p
+    keys = _keys(salt)
+    ring = HashRing(range(p))
+    before = {k: ring.node_for(k) for k in keys}
+    ring.remove(victim)
+    for k in keys:
+        after = ring.node_for(k)
+        if before[k] == victim:
+            assert after != victim
+        else:
+            assert after == before[k]
+
+
+@settings(max_examples=10, deadline=None)
+@given(p=nodes_count, salt=salts)
+def test_add_then_remove_restores_every_owner(p: int, salt: int) -> None:
+    keys = _keys(salt)
+    ring = HashRing(range(p))
+    before = {k: ring.node_for(k) for k in keys}
+    ring.add("transient")
+    ring.remove("transient")
+    assert all(ring.node_for(k) == before[k] for k in keys)
+
+
+def test_membership_api_is_idempotent() -> None:
+    ring = HashRing([0, 1])
+    ring.add(1)
+    assert len(ring) == 2
+    ring.remove(7)  # absent: no-op
+    assert ring.nodes == frozenset({0, 1})
+    assert 0 in ring and 7 not in ring

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import json
 import socket
-import time
 import urllib.request
 
 import pytest
@@ -13,22 +12,15 @@ from repro import Fleet, Planner
 from repro.serve import (
     AsyncServeClient,
     ServeClient,
-    ServeConfig,
     ServeError,
     run_load,
-    start_in_thread,
 )
+from tests.serve.conftest import poll_until
 
 
 @pytest.fixture
-def server():
-    handle = start_in_thread(
-        ServeConfig(shards=2, batch_window=0.001, queue_depth=16, http_port=0)
-    )
-    try:
-        yield handle
-    finally:
-        handle.stop()
+def server(start_server):
+    return start_server(shards=2, batch_window=0.001, queue_depth=16, http_port=0)
 
 
 class TestTcp:
@@ -150,16 +142,13 @@ class TestLoadAndDrain:
         with ServeClient(server.host, server.port) as client:
             assert client.stats()["shed"] == 0
 
-    def test_stop_drains_in_flight_requests(self, trio_sfs):
+    def test_stop_drains_in_flight_requests(self, start_server, trio_sfs):
         # A wide-open batching window holds requests server-side; stop()
         # must flush and answer them rather than dropping the connection.
-        handle = start_in_thread(
-            ServeConfig(shards=1, batch_window=20.0, queue_depth=16)
-        )
-        try:
-            with ServeClient(handle.host, handle.port) as client:
-                fp = client.register_fleet(trio_sfs, name="trio")["fingerprint"]
-            sock = socket.create_connection((handle.host, handle.port), timeout=30)
+        handle = start_server(shards=1, batch_window=20.0, queue_depth=16)
+        with ServeClient(handle.host, handle.port) as client:
+            fp = client.register_fleet(trio_sfs, name="trio")["fingerprint"]
+        with socket.create_connection((handle.host, handle.port), timeout=30) as sock:
             reader = sock.makefile("rb")
             sock.sendall(
                 json.dumps({"v": 1, "id": 1, "op": "plan", "fleet": fp, "n": 1000}).encode()
@@ -172,19 +161,16 @@ class TestLoadAndDrain:
             async def _open_windows():
                 return len(handle.service._batches)
 
-            deadline = time.time() + 10
-            while handle.call(_open_windows()) == 0:
-                assert time.time() < deadline, "request never reached the batcher"
-                time.sleep(0.005)
+            poll_until(
+                lambda: handle.call(_open_windows()) > 0,
+                message="request never reached the batcher",
+            )
             handle.stop(drain=True)
             response = json.loads(reader.readline())
             assert response["ok"] and response["result"]["n"] == 1000
-            sock.close()
-        finally:
-            handle.stop()
 
-    def test_server_refuses_new_connections_after_stop(self, trio_sfs):
-        handle = start_in_thread(ServeConfig(shards=1, queue_depth=8))
+    def test_server_refuses_new_connections_after_stop(self, start_server):
+        handle = start_server(shards=1, queue_depth=8)
         host, port = handle.host, handle.port
         handle.stop()
         with pytest.raises(OSError):

@@ -17,6 +17,7 @@ import pytest
 from repro import Fleet, Planner
 from repro.serve.protocol import ProtocolError
 from repro.serve.service import PlanningService, ServeConfig
+from tests.serve.conftest import eventually
 
 
 def run_service(coro_fn, config=None):
@@ -107,6 +108,23 @@ class TestPlanning:
         assert first == second  # same spec: idempotent, no rebuild
 
 
+async def _wait_past_queued_deadline(service, timeout_s: float) -> None:
+    """Deadline sync without fixed sleeps: wait until the in-flight plan
+    is queued behind the gated worker, then poll the loop clock past its
+    deadline.  The deadline clock started *before* we observed the job in
+    the queue, so once ``timeout_s`` elapses from that observation the
+    request is guaranteed expired."""
+    loop = asyncio.get_running_loop()
+    # health() reads queue depths without a worker round-trip (stats()
+    # would block behind the gated worker).
+    await eventually(
+        lambda: sum(service.health()["queue_depths"]) >= 1,
+        message="the plan request was never queued",
+    )
+    observed = loop.time()
+    await eventually(lambda: loop.time() >= observed + timeout_s + 0.02)
+
+
 class TestBackpressure:
     def test_overload_sheds_and_below_limit_nothing_drops(self, trio_sfs, worker_gate):
         depth, extra = 3, 4
@@ -123,7 +141,13 @@ class TestBackpressure:
                 asyncio.ensure_future(service.plan_many(fp, [1000 + k]))
                 for k in range(depth + extra)
             ]
-            await asyncio.sleep(0.05)  # let every dispatch run
+
+            # The shed counter is loop-local (stats() itself would block
+            # behind the gated worker), so poll it directly.
+            await eventually(
+                lambda: int(service._shed.value) == extra,
+                message="overflow requests were never shed",
+            )
             worker_gate.release()
             results = [items[0] for items in await asyncio.gather(*tasks)]
             return results, await service.stats()
@@ -146,7 +170,7 @@ class TestBackpressure:
             task = asyncio.ensure_future(
                 service.plan(info["fingerprint"], 1000, timeout_ms=30)
             )
-            await asyncio.sleep(0.2)  # past the deadline while queued
+            await _wait_past_queued_deadline(service, 0.030)
             worker_gate.release()
             return await task
 
@@ -163,7 +187,7 @@ class TestBackpressure:
             service.pool.register(worker_gate.spec(), "gate-key")
             assert worker_gate.entered.wait(timeout=10)
             task = asyncio.ensure_future(service.plan(info["fingerprint"], 1000))
-            await asyncio.sleep(0.2)
+            await _wait_past_queued_deadline(service, 0.030)
             worker_gate.release()
             return await task
 
@@ -180,7 +204,10 @@ class TestDrain:
             # These sit in the 30 s batching window; only drain's flush
             # can answer them in time.
             tasks = [asyncio.ensure_future(service.plan(fp, n)) for n in (100, 200)]
-            await asyncio.sleep(0)
+            await eventually(
+                lambda: len(service._batches) >= 1,
+                message="requests never reached the batching window",
+            )
             await service.drain()
             answered = await asyncio.wait_for(asyncio.gather(*tasks), timeout=20)
             after = await service.plan(fp, 300)

@@ -165,3 +165,86 @@ class TestReportCommand:
         assert "Figure 21" in text
         assert "one ray" in text
         assert "report written" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_serve_once_self_check(self, capsys):
+        assert main([
+            "serve", "--once", "--port", "0", "--http-port", "-1",
+            "--p", "4", "--shards", "1", "--batch-window-ms", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "serving on" in out
+        assert "self-check plan" in out
+        assert "draining" in out
+
+    def test_serve_http_disabled_reported(self, capsys):
+        assert main([
+            "serve", "--once", "--port", "0", "--http-port", "-1",
+            "--p", "4", "--shards", "1",
+        ]) == 0
+        assert "(http disabled)" in capsys.readouterr().out
+
+
+class TestVerifyCommand:
+    def test_small_sweep_is_clean(self, capsys):
+        assert main([
+            "verify", "--cases", "4", "--fuzz-frames", "0", "--chaos-runs", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "differential ok" in out
+        assert "all sweeps clean" in out
+
+    def test_replay_one_case(self, capsys):
+        assert main(["verify", "--seed", "3", "--only-case", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "case 7:" in out
+        assert "differential ok: 1 cases" in out
+
+    def test_replay_one_chaos_run(self, capsys):
+        assert main(["verify", "--seed", "1", "--only-run", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "fuzz[adapt] ok: 1 cases" in out
+        # The other sweeps are skipped during a replay.
+        assert "differential" not in out
+
+
+class TestErrorPaths:
+    """Bad arguments exit non-zero with a message, never a traceback."""
+
+    def test_unparseable_sizes(self, capsys):
+        assert main(["plan", "--sizes", "abc"]) == 2
+        err = capsys.readouterr().err
+        assert "repro plan: error:" in err
+
+    def test_unknown_experiment_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["fig99"])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_bad_flag_value_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["plan", "--repeats", "two"])
+        assert exc.value.code == 2
+
+    def test_serve_invalid_shards(self, capsys):
+        assert main([
+            "serve", "--once", "--port", "0", "--http-port", "-1",
+            "--shards", "0",
+        ]) == 2
+        assert "repro serve: error:" in capsys.readouterr().err
+
+    def test_stats_invalid_trace_n(self, capsys):
+        assert main(["stats", "--trace-n", "0", *FAST_WORKLOAD[:4]]) == 2
+        assert "repro stats: error:" in capsys.readouterr().err
+
+    def test_trace_invalid_block(self, capsys):
+        assert main(["trace", "--block", "-1", *FAST_WORKLOAD[:4]]) == 2
+        assert "repro trace: error:" in capsys.readouterr().err
+
+    def test_verify_parser_flags(self):
+        args = build_parser().parse_args(
+            ["verify", "--cases", "7", "--seed", "3", "--only-frame", "2"]
+        )
+        assert args.cases == 7 and args.seed == 3 and args.only_frame == 2

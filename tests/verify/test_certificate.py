@@ -1,0 +1,120 @@
+"""The certificate checker: catches tampered plans, passes optimal ones."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import partition
+from repro.core.bisection import partition_bisection
+from repro.core.speed_function import ConstantSpeedFunction
+from repro.planner import Fleet
+from repro.verify import check_allocation, check_certificate
+from tests.conftest import make_pwl
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    previous = obs.set_registry(obs.MetricsRegistry())
+    try:
+        yield
+    finally:
+        obs.set_registry(previous)
+
+
+@pytest.fixture
+def trio():
+    return [make_pwl(100.0), make_pwl(220.0), make_pwl(320.0, scale=1.5)]
+
+
+def _checks(report):
+    return {v.check for v in report.violations}
+
+
+class TestOptimalPlansPass:
+    def test_bisection_plan_is_certified(self, trio):
+        result = partition_bisection(1_000_000, trio)
+        report = check_certificate(result, trio)
+        assert report.ok, report.summary()
+        assert report.n == 1_000_000 and report.p == 3
+
+    def test_every_algorithm_is_certified(self, trio):
+        for algorithm in ("bisection", "modified", "combined", "exact"):
+            result = partition(750_000, trio, algorithm=algorithm)
+            report = check_certificate(result, trio)
+            assert report.ok, f"{algorithm}: {report.summary()}"
+
+    def test_accepts_a_fleet_object(self, trio):
+        fleet = Fleet(trio, name="cert-trio")
+        result = partition_bisection(500_000, trio)
+        assert check_certificate(result, fleet).ok
+
+    def test_zero_elements(self, trio):
+        result = partition_bisection(0, trio)
+        report = check_certificate(result, trio)
+        assert report.ok and report.n == 0
+
+
+class TestViolationsAreCaught:
+    def test_conservation(self, trio):
+        result = partition_bisection(100_000, trio)
+        bad = result.allocation.copy()
+        bad[0] += 7
+        report = check_allocation(bad, trio, n=100_000)
+        assert "conservation" in _checks(report)
+
+    def test_wrong_reported_makespan(self, trio):
+        result = partition_bisection(100_000, trio)
+        report = check_allocation(
+            result.allocation, trio, n=100_000, makespan=result.makespan * 2.0
+        )
+        assert "makespan" in _checks(report)
+
+    def test_memory_bound(self, trio):
+        cap = int(trio[0].max_size)
+        report = check_allocation(
+            [cap + 10, 0, 0], trio, n=cap + 10, check_optimality=False
+        )
+        assert "bounds" in _checks(report)
+        assert report.violations[0].processor == 0
+
+    def test_negative_entry(self, trio):
+        report = check_allocation([-1, 50, 51], trio, n=100)
+        assert "integral" in _checks(report)
+
+    def test_wrong_shape(self, trio):
+        report = check_allocation([10, 20], trio, n=30)
+        assert "shape" in _checks(report)
+
+    def test_suboptimal_split_is_flagged(self):
+        pair = [ConstantSpeedFunction(1.0), ConstantSpeedFunction(1.0)]
+        report = check_allocation([7, 3], pair, n=10)
+        assert not report.ok
+        # Lopsided constants fail the exchange scan, the ray window and
+        # the packing bound all at once.
+        assert {"exchange", "ray", "optimality"} & _checks(report)
+
+    def test_check_optimality_false_accepts_suboptimal(self):
+        pair = [ConstantSpeedFunction(1.0), ConstantSpeedFunction(1.0)]
+        report = check_allocation([7, 3], pair, n=10, check_optimality=False)
+        assert report.ok
+
+    def test_machine_readable_dict(self, trio):
+        report = check_allocation([1, 2], trio, n=3)
+        doc = report.as_dict()
+        assert doc["ok"] is False
+        assert doc["violations"][0]["check"] == "shape"
+
+
+class TestObservability:
+    def test_counters_increment(self, trio):
+        registry = obs.get_registry()
+        cases = registry.counter("verify.cases", labels={"layer": "certificate"})
+        before = cases.value
+        result = partition_bisection(10_000, trio)
+        check_certificate(result, trio)
+        check_allocation([5, 5], trio[:2], n=11)  # conservation violation
+        assert cases.value == before + 2
+        bad = registry.counter("verify.violations", labels={"check": "conservation"})
+        assert bad.value >= 1

@@ -1,0 +1,78 @@
+"""The differential conformance engine: seeded, replayable, bug-free runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.verify import generate_case, replay_command, run_differential
+from repro.verify.differential import Disagreement
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    previous = obs.set_registry(obs.MetricsRegistry())
+    try:
+        yield
+    finally:
+        obs.set_registry(previous)
+
+
+class TestCaseGeneration:
+    def test_pure_function_of_seed_and_index(self):
+        a = generate_case(17, 4)
+        b = generate_case(17, 4)
+        assert a.describe() == b.describe()
+        assert a.sizes == b.sizes
+        assert a.bounds == b.bounds
+
+    def test_different_indices_differ(self):
+        descriptions = {generate_case(17, k).describe() for k in range(8)}
+        assert len(descriptions) > 1
+
+    def test_covers_empty_and_tiny_problems(self):
+        sizes = [n for k in range(40) for n in generate_case(0, k).sizes]
+        assert any(n <= 1 for n in sizes)
+        assert any(n < 0 for n in sizes)  # negative-n error paths
+        assert any(n > 100_000 for n in sizes)
+
+
+class TestSweep:
+    def test_small_sweep_finds_no_bugs(self):
+        report = run_differential(cases=12, seed=3, include_service=False)
+        assert report.cases == 12
+        assert report.solves > 50
+        assert report.comparisons > 50
+        assert not report.bugs, [d.line() for d in report.bugs]
+
+    def test_sweep_with_served_plans(self):
+        report = run_differential(cases=4, seed=11, include_service=True)
+        assert not report.bugs, [d.line() for d in report.bugs]
+        assert "differential" in report.summary()
+
+    def test_single_case_replay(self):
+        report = run_differential(cases=200, seed=3, only_case=7)
+        assert report.cases == 1
+        assert not report.bugs
+
+    def test_counter_increments(self):
+        run_differential(cases=3, seed=5, include_service=False)
+        counter = obs.get_registry().counter(
+            "verify.cases", labels={"layer": "differential"}
+        )
+        assert counter.value == 3
+
+
+class TestReplayLines:
+    def test_replay_command_format(self):
+        assert replay_command(9, 31) == (
+            "python -m repro verify --seed 9 --only-case 31"
+        )
+
+    def test_disagreement_line_carries_replay(self):
+        d = Disagreement(
+            seed=2, case=5, n=100, kind="allocation", severity="bug",
+            detail="x",
+        )
+        assert "--seed 2" in d.line()
+        assert "--only-case 5" in d.line()

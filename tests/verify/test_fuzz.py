@@ -1,0 +1,68 @@
+"""Protocol fuzzing and adapt chaos: seeded, deterministic, clean runs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.verify import fuzz_adapt, fuzz_protocol
+from repro.verify.fuzz import FuzzFailure, _mutate_tcp
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    previous = obs.set_registry(obs.MetricsRegistry())
+    try:
+        yield
+    finally:
+        obs.set_registry(previous)
+
+
+class TestProtocolFuzz:
+    def test_mutations_never_break_the_server(self):
+        report = fuzz_protocol(frames=60, seed=1)
+        assert report.cases == 60
+        assert report.ok, [f.line() for f in report.failures]
+
+    def test_single_frame_replay(self):
+        report = fuzz_protocol(frames=500, seed=1, only_frame=17)
+        assert report.cases == 1
+        assert report.ok, [f.line() for f in report.failures]
+
+    def test_mutations_are_deterministic(self):
+        frame = {"v": 1, "id": 1, "op": "plan", "fleet": "fp", "n": 10}
+        for k in range(12):
+            a = _mutate_tcp(frame, np.random.default_rng([3, 0xF00D, k]))
+            b = _mutate_tcp(frame, np.random.default_rng([3, 0xF00D, k]))
+            assert a == b
+
+    def test_counter_increments(self):
+        fuzz_protocol(frames=8, seed=2)
+        counter = obs.get_registry().counter(
+            "verify.cases", labels={"layer": "fuzz.protocol"}
+        )
+        assert counter.value == 1  # one sweep recorded
+
+
+class TestAdaptChaos:
+    def test_random_fault_scripts_hold_invariants(self):
+        report = fuzz_adapt(runs=3, seed=1)
+        assert report.cases == 3
+        assert report.ok, [f.line() for f in report.failures]
+
+    def test_single_run_replay(self):
+        report = fuzz_adapt(runs=6, seed=1, only_run=2)
+        assert report.cases == 1
+        assert report.ok, [f.line() for f in report.failures]
+
+
+class TestFailureReporting:
+    def test_protocol_replay_flag(self):
+        f = FuzzFailure("hang", 12, 7, "no answer", "protocol")
+        assert f.replay == "python -m repro verify --seed 7 --only-frame 12"
+
+    def test_adapt_replay_flag(self):
+        f = FuzzFailure("recovery", 3, 7, "stuck", "adapt")
+        assert f.replay == "python -m repro verify --seed 7 --only-run 3"
+        assert "--only-run 3" in f.line()
