@@ -18,8 +18,10 @@ bench:
 # GC off and few rounds so it finishes in minutes, not hours.
 # perf_guard additionally emits benchmarks/out/metrics.json, fails on a
 # >10% regression of the p=1080 solve vs the recorded baseline (seeded
-# on the first run), and fails if the disabled-adaptation simulators add
-# >2% over the plain executors.
+# on the first run), fails if the knot-compiled step/rescaled fleets
+# drop below 5x the per-object oracle (bench_core_vectorised), and
+# fails if the disabled-adaptation simulators add >2% over the plain
+# executors.
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_perf_allocator.py \
 		benchmarks/bench_obs_overhead.py --benchmark-only \
@@ -27,6 +29,7 @@ bench-smoke:
 	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
 		benchmarks/bench_ablation_adaptive.py --benchmark-only \
 		--benchmark-disable-gc -q -s
+	$(PYTHON) benchmarks/bench_core_vectorised.py
 	$(PYTHON) benchmarks/perf_guard.py --out benchmarks/out/metrics.json
 
 # End-to-end serving smoke: boots the TCP+HTTP server in-process,

@@ -38,6 +38,7 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from bench_core_vectorised import MIN_COMPILED_SPEEDUP, measure_speedups  # noqa: E402
 from repro import obs, partition  # noqa: E402
 from repro.adapt import simulate_lu_adaptive, simulate_striped_matmul_adaptive  # noqa: E402
 from repro.adapt.replanner import DISABLED  # noqa: E402
@@ -90,8 +91,8 @@ def _calibration() -> None:
         acc += x[idx]
 
 
-def run_workload(out_path: Path) -> tuple[float, float]:
-    """Instrumented p=1080 workload; returns (solve_seconds, calib_seconds).
+def run_workload(out_path: Path) -> tuple[float, float, dict]:
+    """Instrumented p=1080 workload; returns (solve_s, calib_s, speedups).
 
     Solve and calibration timings alternate within the run so a load
     spike hits both sides; best-of per side then estimates each
@@ -123,6 +124,10 @@ def run_workload(out_path: Path) -> tuple[float, float]:
         planner.plan(N - 1_000_000)      # warm start
         planner.plan_many(SWEEP)         # lockstep batch
 
+        # Compiled-vs-per-object speedups on the knot-compiled fleets
+        # (self-normalizing ratios; the gate lives in main below).
+        speedups = measure_speedups()
+
         reg = obs.get_registry()
         reg.gauge("perf_guard.solve_seconds", help="guarded p=1080 solve").set(solve_s)
         reg.gauge(
@@ -133,11 +138,17 @@ def run_workload(out_path: Path) -> tuple[float, float]:
             "perf_guard.solve_units",
             help="solve / calibration — machine-speed normalized",
         ).set(solve_s / calib_s)
+        for fleet_name, r in speedups.items():
+            reg.gauge(
+                "perf_guard.compiled_speedup",
+                labels={"fleet": fleet_name},
+                help="cold p=1080 solve: per-object / compiled",
+            ).set(r["speedup"])
         out_path.parent.mkdir(parents=True, exist_ok=True)
         write_json(str(out_path), include_spans=True)
     finally:
         obs.disable()
-    return solve_s, calib_s
+    return solve_s, calib_s, speedups
 
 
 def _adaptive_pwl(peak: float, scale: float) -> PiecewiseLinearSpeedFunction:
@@ -247,6 +258,36 @@ def check_adaptive_overhead(
     return status
 
 
+def check_compiled_speedups(speedups: dict) -> int:
+    """Gate the knot-compiled fast path against the per-object oracle.
+
+    The ratio is measured between two in-process runs, so it is already
+    machine-normalized; the newly compiled step and rescaled fleets must
+    clear ``MIN_COMPILED_SPEEDUP`` (the piecewise-linear fleet is
+    reported for context but gated only by the baseline above, which it
+    dominates).
+    """
+    status = 0
+    for name, r in speedups.items():
+        gated = name in ("step", "rescaled")
+        print(
+            f"perf-guard: compiled {name} fleet "
+            f"{format_seconds(r['compiled_seconds'])} vs per-object "
+            f"{format_seconds(r['per_object_seconds'])} = "
+            f"{r['speedup']:.1f}x"
+            + (f" (floor {MIN_COMPILED_SPEEDUP:.0f}x)" if gated else "")
+        )
+        if gated and r["speedup"] < MIN_COMPILED_SPEEDUP:
+            print(
+                f"perf-guard: FAIL — compiled {name} fleet is only "
+                f"{r['speedup']:.1f}x the per-object oracle "
+                f"(floor {MIN_COMPILED_SPEEDUP:.0f}x)",
+                file=sys.stderr,
+            )
+            status = 1
+    return status
+
+
 def _write_baseline(baseline_path: Path, solve_s: float, calib_s: float) -> None:
     baseline_path.parent.mkdir(parents=True, exist_ok=True)
     baseline_path.write_text(
@@ -336,7 +377,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    solve_s, calib_s = run_workload(args.out)
+    solve_s, calib_s, speedups = run_workload(args.out)
     print(f"perf-guard: metrics snapshot -> {args.out}")
     status = check_baseline(
         solve_s,
@@ -345,7 +386,11 @@ def main(argv: list[str] | None = None) -> int:
         tolerance=args.tolerance,
         update=args.update_baseline,
     )
-    return status | check_adaptive_overhead()
+    return (
+        status
+        | check_compiled_speedups(speedups)
+        | check_adaptive_overhead()
+    )
 
 
 if __name__ == "__main__":

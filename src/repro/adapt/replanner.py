@@ -203,6 +203,11 @@ class Replanner:
         self._comm = comm
         self._work = work if work is not None else (lambda x: x)
         self._max_fleets = max(int(max_fleets), 1)
+        #: The unit-factor fleet, packed once; every observed-speed regime
+        #: derives from it through :meth:`Fleet.rescaled` (an O(p)
+        #: scale-vector clone of the shared pack), so drift corrections
+        #: never pay the O(p*m) repack again.
+        self._base_fleet = Fleet(self._base, name="adapt")
         #: fleet-factor key -> warm-started Planner (LRU).
         self._planners: OrderedDict[tuple, Planner] = OrderedDict()
         self.replans_applied = 0
@@ -238,7 +243,10 @@ class Replanner:
         key = self._factor_key(factors, self.p)
         planner = self._planners.get(key)
         if planner is None:
-            fleet = Fleet(self.scaled_speed_functions(key), name="adapt")
+            if all(f == 1.0 for f in key):
+                fleet = self._base_fleet
+            else:
+                fleet = self._base_fleet.rescaled(np.asarray(key, dtype=float))
             planner = Planner(
                 fleet,
                 algorithm=self._algorithm,

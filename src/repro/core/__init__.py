@@ -33,6 +33,7 @@ from .step_model import StepSpeedFunction
 from .speed_function import (
     AnalyticSpeedFunction,
     ConstantSpeedFunction,
+    KnotRow,
     PiecewiseLinearSpeedFunction,
     SpeedFunction,
     validate_speed_functions,
@@ -47,6 +48,7 @@ __all__ = [
     "CommAwareSpeedFunction",
     "HierarchicalResult",
     "ConstantSpeedFunction",
+    "KnotRow",
     "PartitionOptions",
     "PartitionResult",
     "PiecewiseLinearSet",

@@ -107,11 +107,11 @@ def partition_bisection(
     )
     warm = region is not None
     if region is None:
-        region = initial_bracket(speed_functions, n, allocator=alloc_at)
+        region = initial_bracket(speed_functions, n, allocator=alloc_at, pack=pack)
         probes = 1  # the figure-18 bracket probe
     else:
         region, probes = ensure_bracket(
-            region, n, speed_functions, allocator=alloc_at
+            region, n, speed_functions, allocator=alloc_at, pack=pack
         )
     low_alloc = alloc_at(region.upper)
     high_alloc = alloc_at(region.lower)
@@ -239,14 +239,14 @@ def partition_bisection_many(
             continue
         warm_flags.append(prev is not None)
         if prev is None:
-            r = initial_bracket(speed_functions, n, allocator=alloc_at)
+            r = initial_bracket(speed_functions, n, allocator=alloc_at, pack=pack)
             probes = 1
         else:
             # The previous (smaller) size's bracket: its steep bound stays
             # valid because totals only grow as the slope falls; only the
             # shallow bound may need geometric expansion.
             r, probes = ensure_bracket(
-                prev, n, speed_functions, allocator=alloc_at
+                prev, n, speed_functions, allocator=alloc_at, pack=pack
             )
         pending.append(n)
         regions.append(r)

@@ -17,7 +17,7 @@ from ..exceptions import InfeasiblePartitionError
 from .options import PartitionOptions
 from .partition import partition
 from .result import PartitionResult
-from .speed_function import SpeedFunction
+from .speed_function import KnotRow, SpeedFunction
 
 __all__ = ["TruncatedSpeedFunction", "partition_bounded"]
 
@@ -50,6 +50,29 @@ class TruncatedSpeedFunction(SpeedFunction):
 
     def intersect_ray(self, slope: float) -> float:
         return float(min(self._base.intersect_ray(slope), self.max_size))
+
+    def as_knots(self) -> KnotRow | None:
+        """Compile by decorating the parent's row with a size cap.
+
+        The knots themselves are left untouched — re-interpolating a clipped
+        final segment would perturb its slope by an ulp and break
+        bit-identity — and the pack instead applies
+        ``min(answer, cap)`` after its segment solve, mirroring
+        :meth:`intersect_ray` exactly.  ``s_cap`` records the speed at the
+        cap for the clamped-speed semantics of :meth:`speed`.
+        """
+        from dataclasses import replace
+
+        row = self._base.as_knots()
+        if row is None:
+            return None
+        cap = self.max_size
+        if row.x_cap is not None and row.x_cap <= cap:
+            return row  # parent already at least as tight
+        if cap >= float(row.sizes[-1]) and row.x_cap is None:
+            return row  # bound is not binding
+        s_cap = float(np.interp(cap, row.sizes, row.speeds))
+        return replace(row, x_cap=cap, s_cap=s_cap)
 
     def __repr__(self) -> str:
         return f"TruncatedSpeedFunction({self._base!r}, bound={self.max_size:g})"

@@ -33,7 +33,7 @@ import math
 import numpy as np
 
 from ..exceptions import ConfigurationError
-from .speed_function import SpeedFunction
+from .speed_function import KnotRow, SpeedFunction
 
 __all__ = ["CommAwareSpeedFunction"]
 
@@ -143,6 +143,36 @@ class CommAwareSpeedFunction(SpeedFunction):
         # so g(lo) >= slope exactly (sup semantics), whereas the midpoint
         # can overshoot by half the final bracket width.
         return float(lo)
+
+    def as_knots(self) -> KnotRow | None:
+        """Compile by decorating the compute row with ``alpha``/``beta``.
+
+        The pack keeps the *compute* knots and solves the comm-adjusted
+        crossing ``x/s(x) + alpha + beta*x = 1/c`` per segment in closed
+        form (a quadratic), instead of this class's 200-iteration scalar
+        bisection — so compiled allocations agree with the per-object path
+        only to the bisection's 1e-12 relative tolerance, and the row is
+        flagged ``exact=False`` (the documented 1e-9 conformance class).
+        A scale carried by the compute row is folded into the knot speeds
+        here: comm terms do not commute with post-hoc rescaling, so a
+        comm row can never be rescaled in place.  Stacked comm decorations
+        fall back to the per-object path.
+        """
+        from dataclasses import replace
+
+        row = self._base.as_knots()
+        if row is None or row.alpha != 0.0 or row.beta != 0.0:
+            return None
+        if row.scale != 1.0:
+            row = replace(
+                row,
+                speeds=row.speeds * row.scale,
+                s_cap=None if row.s_cap is None else row.s_cap * row.scale,
+                scale=1.0,
+            )
+        return replace(
+            row, alpha=self._alpha, beta=self._beta, exact=False
+        )
 
     def __repr__(self) -> str:
         return (

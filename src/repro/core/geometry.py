@@ -58,12 +58,52 @@ def total_allocation(
     return float(sum(sf.intersect_ray(slope) for sf in speed_functions))
 
 
+#: Geometric-ladder slopes evaluated per batched probe (see _expand_batched).
+_EXPAND_CHUNK = 8
+
+
+def _expand_batched(pack, v0: float, factor: float, n: int, mode: str,
+                    max_expansions: int):
+    """Walk the geometric slope ladder ``v0 * factor**k`` on the pack.
+
+    Returns ``(value, expansions)`` for the first ``k`` (checking at most
+    ``max_expansions`` ladder points) whose total allocation satisfies the
+    bracket condition — ``total <= n`` for ``mode='upper'``, ``total >= n``
+    for ``'lower'`` — or ``None`` when the ladder is exhausted.
+
+    ``factor`` is a power of two, so the batch slopes are bitwise the
+    sequence the sequential ``v *= factor`` loop visits, and the reported
+    ``expansions`` is the sequential count (the first success index), not
+    the number of array evaluations performed.
+    """
+    def ok(total: float) -> bool:
+        return total <= n if mode == "upper" else total >= n
+
+    # The common case succeeds on the first check: pay one row, not a chunk.
+    if ok(float(pack.allocations(v0).sum())):
+        return v0, 0
+    k = 1
+    v = float(v0 * factor)
+    while k < max_expansions:
+        width = min(_EXPAND_CHUNK, max_expansions - k)
+        slopes = v * factor ** np.arange(width)
+        totals = pack.allocations_many(slopes).sum(axis=1)
+        hits = np.nonzero(totals <= n if mode == "upper" else totals >= n)[0]
+        if hits.size:
+            j = int(hits[0])
+            return float(slopes[j]), k + j
+        k += width
+        v = float(slopes[-1] * factor)
+    return None
+
+
 def initial_bracket(
     speed_functions: Sequence[SpeedFunction],
     n: int,
     *,
     max_expansions: int = 200,
     allocator=None,
+    pack=None,
 ) -> "SlopeRegion":
     """Find two lines bracketing the optimal one (the paper's figure 18).
 
@@ -80,12 +120,17 @@ def initial_bracket(
 
     ``allocator`` optionally supplies a vectorised ``slope -> allocations``
     callable (see :func:`repro.core.vectorized.make_allocator`); the
-    default evaluates the functions one by one.
+    default evaluates the functions one by one.  ``pack`` additionally
+    enables the batched expansion ladder and the one-pass probe-speed
+    evaluation (bit-identical to the sequential path — the ladder slopes
+    are exact powers of two times the seed).
 
     Returns a :class:`SlopeRegion` with ``total(upper) <= n <= total(lower)``.
     """
     total = (
-        (lambda c: float(allocator(c).sum()))
+        (lambda c: float(pack.allocations(c).sum()))
+        if pack is not None
+        else (lambda c: float(allocator(c).sum()))
         if allocator is not None
         else (lambda c: total_allocation(speed_functions, c))
     )
@@ -101,9 +146,13 @@ def initial_bracket(
             f"{capacity:g} of the {p} processors"
         )
     probe = n / p
-    speeds_at_probe = np.array(
-        [sf.speed(min(probe, sf.max_size)) for sf in speed_functions], dtype=float
-    )
+    if pack is not None:
+        speeds_at_probe = pack.speeds(np.minimum(probe, pack.max_sizes))
+    else:
+        speeds_at_probe = np.array(
+            [sf.speed(min(probe, sf.max_size)) for sf in speed_functions],
+            dtype=float,
+        )
     if np.any(speeds_at_probe <= 0):
         # A processor whose speed is exactly zero at n/p (e.g. at its paging
         # limit) still has positive speed at smaller sizes; fall back to a
@@ -111,6 +160,21 @@ def initial_bracket(
         speeds_at_probe = np.maximum(speeds_at_probe, 1e-30)
     upper = float(speeds_at_probe.max() / probe)
     lower = float(speeds_at_probe.min() / probe)
+
+    if pack is not None:
+        up = _expand_batched(pack, upper, 2.0, n, "upper", max_expansions)
+        if up is None:  # pragma: no cover - requires a pathological function
+            raise InfeasiblePartitionError(
+                "could not find a steep line allocating fewer than n elements"
+            )
+        down = _expand_batched(pack, lower, 0.5, n, "lower", max_expansions)
+        if down is None:
+            raise InfeasiblePartitionError(
+                f"problem of size {n} cannot be allocated even with "
+                "arbitrarily shallow lines; processors saturate at their "
+                "memory bounds"
+            )
+        return SlopeRegion(upper=up[0], lower=down[0])
 
     # Guarantee total(upper) <= n (expand upwards if a clamped or unusual
     # shape broke the textbook property).
@@ -142,6 +206,7 @@ def ensure_bracket(
     *,
     max_expansions: int = 200,
     allocator=None,
+    pack=None,
 ) -> tuple["SlopeRegion", int]:
     """Expand a stale region until it brackets the optimal line for ``n``.
 
@@ -154,14 +219,19 @@ def ensure_bracket(
     full figure-18 initial-bracket search.
 
     ``allocator`` optionally supplies a vectorised ``slope -> allocations``
-    callable (see :func:`repro.core.vectorized.make_allocator`).
+    callable (see :func:`repro.core.vectorized.make_allocator`); ``pack``
+    additionally batches the expansion ladder (bit-identical slopes —
+    exact powers of two off the cached bounds).
 
     Returns ``(region, probes)`` where ``probes`` counts the
-    total-allocation evaluations performed (each costs ``p`` ray-graph
-    intersections); a region that already brackets ``n`` costs 2 probes.
+    total-allocation evaluations the *sequential* procedure would perform
+    (each costs ``p`` ray-graph intersections); a region that already
+    brackets ``n`` costs 2 probes.
     """
     total = (
-        (lambda c: float(allocator(c).sum()))
+        (lambda c: float(pack.allocations(c).sum()))
+        if pack is not None
+        else (lambda c: float(allocator(c).sum()))
         if allocator is not None
         else (lambda c: total_allocation(speed_functions, c))
     )
@@ -173,6 +243,20 @@ def ensure_bracket(
             f"problem of size {n} exceeds the combined memory bound "
             f"{capacity:g} of the {len(speed_functions)} processors"
         )
+    if pack is not None:
+        up = _expand_batched(pack, region.upper, 2.0, n, "upper", max_expansions)
+        if up is None:  # pragma: no cover - requires a pathological function
+            raise InfeasiblePartitionError(
+                "could not find a steep line allocating fewer than n elements"
+            )
+        down = _expand_batched(pack, region.lower, 0.5, n, "lower", max_expansions)
+        if down is None:
+            raise InfeasiblePartitionError(
+                f"problem of size {n} cannot be allocated even with "
+                "arbitrarily shallow lines; processors saturate at their "
+                "memory bounds"
+            )
+        return SlopeRegion(upper=up[0], lower=down[0]), 2 + up[1] + down[1]
     upper = region.upper
     lower = region.lower
     probes = 2

@@ -94,11 +94,11 @@ def partition_modified(
     )
     warm = region is not None
     if region is None:
-        region = initial_bracket(speed_functions, n, allocator=alloc_at)
+        region = initial_bracket(speed_functions, n, allocator=alloc_at, pack=pack)
         probes = 1
     else:
         region, probes = ensure_bracket(
-            region, n, speed_functions, allocator=alloc_at
+            region, n, speed_functions, allocator=alloc_at, pack=pack
         )
     low_alloc = alloc_at(region.upper)
     high_alloc = alloc_at(region.lower)

@@ -147,7 +147,7 @@ def refine_greedy(
     return _handout_heap(n, alloc, deficit, bounds, heap, speed_functions)
 
 
-def _handout_heap(n, alloc, deficit, bounds, heap, speed_functions):
+def _handout_heap(n, alloc, deficit, bounds, heap, speed_functions, pack=None):
     """The classic one-element-at-a-time greedy handout (reference path)."""
     for _ in range(deficit):
         if not heap:
@@ -157,9 +157,12 @@ def _handout_heap(n, alloc, deficit, bounds, heap, speed_functions):
         _, i = heapq.heappop(heap)
         alloc[i] += 1
         if alloc[i] + 1 <= bounds[i]:
-            heapq.heappush(
-                heap, (float(speed_functions[i].time(alloc[i] + 1)), i)
+            t = (
+                pack.time_one(i, int(alloc[i]) + 1)
+                if pack is not None
+                else float(speed_functions[i].time(alloc[i] + 1))
             )
+            heapq.heappush(heap, (t, i))
     return alloc
 
 
@@ -219,7 +222,7 @@ def _handout_batched(n, alloc, deficit, bounds, pack, speed_functions):
                 ]
                 heapq.heapify(heap)
                 return _handout_heap(
-                    n, alloc, deficit, bounds, heap, speed_functions
+                    n, alloc, deficit, bounds, heap, speed_functions, pack=pack
                 )
     return alloc
 
@@ -280,7 +283,14 @@ def refine_paper(
         _, i = heapq.heappop(heap)
         alloc[i] += 1
         if alloc[i] < high[i]:
-            heapq.heappush(
-                heap, (float(speed_functions[i].time(alloc[i] + 1)), i)
+            # Candidate finish times come off the pack when one is
+            # available (one scalar interpolation, no object dispatch),
+            # keeping every heap key on the same evaluation path as the
+            # vectorised initial build.
+            t = (
+                pack.time_one(int(i), int(alloc[i]) + 1)
+                if pack is not None
+                else float(speed_functions[i].time(alloc[i] + 1))
             )
+            heapq.heappush(heap, (t, i))
     return alloc

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+from dataclasses import dataclass, replace
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -50,12 +51,58 @@ import numpy as np
 from ..exceptions import InvalidSpeedFunctionError
 
 __all__ = [
+    "KnotRow",
     "SpeedFunction",
     "ConstantSpeedFunction",
     "PiecewiseLinearSpeedFunction",
     "AnalyticSpeedFunction",
     "validate_speed_functions",
 ]
+
+
+@dataclass(frozen=True)
+class KnotRow:
+    """Lowered form of one speed function for the vectorised pack.
+
+    The compilation protocol (:meth:`SpeedFunction.as_knots`) reduces every
+    model to a piecewise-linear *compute* curve through ``(sizes, speeds)``
+    knots plus three orthogonal decorations the pack evaluates on top:
+
+    * ``scale`` — speeds multiplied by a constant.  Queried rays divide
+      their slope by it instead of touching the knot arrays, which is what
+      makes ``O(p)`` fleet rescaling possible.
+    * ``alpha`` / ``beta`` — a per-run start-up latency and per-element
+      transfer cost baked into the *effective* speed ``x / t(x)`` with
+      ``t(x) = x/s(x) + alpha + beta*x`` (the comm-aware model).
+    * ``x_cap`` / ``s_cap`` — a truncation of the domain at ``x_cap``
+      (strictly below the last knot), with ``s_cap`` the compute speed
+      there; ray intersections clamp to the cap and speeds freeze at it.
+
+    ``drops`` marks segments that represent a vertical speed drop of a
+    step model (the right knot sits one ulp past the left one); the pack
+    zeroes their line parameters so a ray crossing the drop lands exactly
+    on its left boundary.
+
+    ``exact`` declares that the pack's evaluation of this row is
+    bit-identical to the object's own ``speed``/``intersect_ray``/``time``;
+    rows with communication terms (closed-form segment solve versus the
+    object's bisection) or folded nested scalings are only identical to
+    within the verifier's 1e-9 class.
+    """
+
+    sizes: np.ndarray
+    speeds: np.ndarray
+    drops: np.ndarray | None = None
+    alpha: float = 0.0
+    beta: float = 0.0
+    scale: float = 1.0
+    x_cap: float | None = None
+    s_cap: float | None = None
+    exact: bool = True
+
+    @property
+    def num_knots(self) -> int:
+        return int(self.sizes.size)
 
 #: Relative tolerance used when validating the strict decrease of ``g``.
 _G_MONOTONE_RTOL = 1e-12
@@ -145,6 +192,20 @@ class SpeedFunction(ABC):
         return _ScaledSpeedFunction(self, factor)
 
     # ------------------------------------------------------------------
+    # Compilation protocol
+    # ------------------------------------------------------------------
+    def as_knots(self) -> KnotRow | None:
+        """Lower this model to a :class:`KnotRow` for the vectorised pack.
+
+        Returns ``None`` when the model cannot be compiled (the default:
+        opaque analytic callables and unknown subclasses), in which case
+        :func:`~repro.core.vectorized.pack_speed_functions` falls back to
+        the per-object path and records the blocking class on the
+        ``core.pack.fallback`` counter.
+        """
+        return None
+
+    # ------------------------------------------------------------------
     # Validation helpers
     # ------------------------------------------------------------------
     def check_single_intersection(self, sizes: Iterable[float]) -> None:
@@ -182,6 +243,18 @@ class _ScaledSpeedFunction(SpeedFunction):
     def intersect_ray(self, slope: float) -> float:
         # s_scaled(x) = f * s(x); f*s(x) = c*x  <=>  s(x) = (c/f)*x.
         return self._base.intersect_ray(slope / self._factor)
+
+    def as_knots(self) -> KnotRow | None:
+        row = self._base.as_knots()
+        if row is None:
+            return None
+        # Nested scalings fold into one product; the per-object path
+        # divides the query slope twice, so folding is only ulp-equal.
+        return replace(
+            row,
+            scale=row.scale * self._factor,
+            exact=row.exact and row.scale == 1.0,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{self._base!r}.scaled({self._factor:g})"
@@ -226,6 +299,19 @@ class ConstantSpeedFunction(SpeedFunction):
         if slope <= 0:
             raise ValueError(f"ray slope must be positive, got {slope!r}")
         return min(self._speed / slope, self.max_size)
+
+    def as_knots(self) -> KnotRow:
+        # A flat two-knot segment: rays steeper than the first knot use the
+        # constant extension s0/c, shallower ones clip to [x0, max_size] —
+        # together reproducing ``min(s0/c, max_size)`` exactly.  The first
+        # knot sits at max_size/2 (or 1.0 when unbounded) purely to give the
+        # segment positive width.
+        hi = self.max_size
+        lo = 1.0 if math.isinf(hi) else hi * 0.5
+        return KnotRow(
+            sizes=np.array([lo, hi]),
+            speeds=np.array([self._speed, self._speed]),
+        )
 
     def __repr__(self) -> str:
         if math.isinf(self.max_size):
@@ -392,6 +478,9 @@ class PiecewiseLinearSpeedFunction(SpeedFunction):
     def check_single_intersection(self, sizes: Iterable[float] = ()) -> None:
         """Exact validation using the knot structure (``sizes`` ignored)."""
         self._validate_knots(self._xs, self._ss)
+
+    def as_knots(self) -> KnotRow:
+        return KnotRow(sizes=self._xs, speeds=self._ss)
 
     def __repr__(self) -> str:
         return (

@@ -24,7 +24,7 @@ from typing import Sequence
 import numpy as np
 
 from ..exceptions import InvalidSpeedFunctionError
-from .speed_function import PiecewiseLinearSpeedFunction, SpeedFunction
+from .speed_function import KnotRow, PiecewiseLinearSpeedFunction, SpeedFunction
 
 __all__ = ["StepSpeedFunction"]
 
@@ -113,6 +113,37 @@ class StepSpeedFunction(SpeedFunction):
             # small size.  Return the exact crossing on the first plateau.
             best = self._ss[0] / slope
         return float(min(best, self.max_size))
+
+    def as_knots(self) -> KnotRow:
+        """Dense knot lowering: flat runs plus one-ulp-wide drop segments.
+
+        Each boundary ``b_i`` contributes the knot ``(b_i, s_i)`` (the
+        left-continuous ``sup`` value the per-object path reports) and,
+        when another segment follows, the knot ``(nextafter(b_i), s_{i+1})``
+        starting the next flat run one ulp later.  The connecting "drop"
+        segments are marked so the pack resolves rays crossing them to
+        exactly ``b_i`` instead of interpolating across the huge synthetic
+        slope.  ``g`` stays strictly decreasing across the interleaved
+        knots, so the row is a valid piecewise-linear curve.
+        """
+        bs, ss = self._bs, self._ss
+        if bs.size == 1:
+            # A single segment is a constant on (0, b]: use the two-knot
+            # constant lowering (exact ``min(s/c, b)`` semantics).
+            return KnotRow(
+                sizes=np.array([bs[0] * 0.5, bs[0]]),
+                speeds=np.array([ss[0], ss[0]]),
+            )
+        m = bs.size
+        sizes = np.empty(2 * m - 1)
+        speeds = np.empty(2 * m - 1)
+        sizes[0::2] = bs
+        speeds[0::2] = ss
+        sizes[1::2] = np.nextafter(bs[:-1], np.inf)
+        speeds[1::2] = ss[1:]
+        drops = np.zeros(2 * m - 2, dtype=bool)
+        drops[0::2] = True
+        return KnotRow(sizes=sizes, speeds=speeds, drops=drops)
 
     def check_single_intersection(self, sizes=()) -> None:
         """Exact validation from the construction invariants."""

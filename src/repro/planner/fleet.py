@@ -41,11 +41,12 @@ __all__ = ["Fleet"]
 def _describe(sf: SpeedFunction) -> bytes:
     """Content bytes of one speed function for fingerprinting.
 
-    Exact knot/parameter bytes for the representations whose content is
-    fully observable; for opaque representations (analytic callables,
-    wrappers) the object identity is used instead, which is *safe* (no
-    false cache sharing) at the cost of not deduplicating equal-content
-    fleets built from distinct objects.
+    Exact knot/parameter bytes for every representation that compiles
+    through the knot protocol (:meth:`SpeedFunction.as_knots` fully
+    determines such a model's behaviour); for genuinely opaque
+    representations (analytic callables) the object identity is used
+    instead, which is *safe* (no false cache sharing) at the cost of not
+    deduplicating equal-content fleets built from distinct objects.
     """
     if type(sf) is PiecewiseLinearSpeedFunction:
         return (
@@ -56,6 +57,16 @@ def _describe(sf: SpeedFunction) -> bytes:
         )
     if type(sf) is ConstantSpeedFunction:
         return f"const:{sf.value!r}:{sf.max_size!r}".encode()
+    row = sf.as_knots()
+    if row is not None:
+        return (
+            b"knots:"
+            + np.ascontiguousarray(row.sizes).tobytes()
+            + b"/"
+            + np.ascontiguousarray(row.speeds).tobytes()
+            + f":{row.alpha!r}:{row.beta!r}:{row.scale!r}"
+              f":{row.x_cap!r}:{row.s_cap!r}".encode()
+        )
     return f"opaque:{type(sf).__name__}:{id(sf)}".encode()
 
 
@@ -134,6 +145,44 @@ class Fleet:
     @property
     def name(self) -> str:
         return self._name or f"fleet-p{self.p}"
+
+    def rescaled(self, factors: Sequence[float]) -> "Fleet":
+        """A fleet with member speeds multiplied by per-processor ``factors``.
+
+        This is the drift-correction primitive: ``adapt``'s EWMA updates
+        produce one positive factor per processor, and the rescaled fleet
+        must be cheap because it is rebuilt on every correction.  For a
+        packed fleet the shared arrays are reused through
+        :meth:`~repro.core.vectorized.PiecewiseLinearSet.rescaled` — an
+        ``O(p)`` scale-vector clone, not an ``O(p*m)`` repack — and the
+        members become lazy ``scaled()`` wrappers over the originals.
+        Falls back to a full :class:`Fleet` construction when the pack is
+        absent or carries comm rows (whose scale cannot change in place).
+        """
+        f = np.asarray(factors, dtype=float)
+        if f.shape != (self.p,):
+            raise InvalidSpeedFunctionError(
+                f"factors must have shape ({self.p},), got {f.shape}"
+            )
+        if np.any(f <= 0):
+            raise InvalidSpeedFunctionError("scale factors must be positive")
+        sfs = tuple(
+            sf if fi == 1.0 else sf.scaled(float(fi))
+            for sf, fi in zip(self._sfs, f)
+        )
+        if self._pack is None:
+            return Fleet(sfs, name=self._name)
+        try:
+            pack = self._pack.rescaled(f)
+        except ValueError:  # comm rows: scale does not commute, rebuild
+            return Fleet(sfs, name=self._name)
+        fleet = object.__new__(Fleet)
+        fleet._sfs = sfs
+        fleet._pack = pack
+        fleet._capacity = self._capacity  # scaling speeds keeps max sizes
+        fleet._name = self._name
+        fleet._fingerprint = pack.fingerprint
+        return fleet
 
     def __len__(self) -> int:
         return len(self._sfs)

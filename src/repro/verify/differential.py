@@ -45,13 +45,17 @@ import numpy as np
 from .. import obs
 from ..core.bisection import partition_bisection, partition_bisection_many
 from ..core.band import SpeedBand, constant_width_schedule, linear_width_schedule
-from ..core.bounded import partition_bounded
+from ..core.bounded import TruncatedSpeedFunction, partition_bounded
+from ..core.comm_aware import CommAwareSpeedFunction
 from ..core.partition import partition
 from ..core.speed_function import (
+    AnalyticSpeedFunction,
     ConstantSpeedFunction,
     PiecewiseLinearSpeedFunction,
     SpeedFunction,
 )
+from ..core.step_model import StepSpeedFunction
+from ..core.vectorized import packing_disabled
 from ..exceptions import InfeasiblePartitionError
 from ..planner import Fleet, Planner
 from .certificate import check_allocation
@@ -201,14 +205,70 @@ def _banded_pwl(rng: np.random.Generator) -> PiecewiseLinearSpeedFunction:
     return SpeedBand(mid, schedule).sample(rng)
 
 
+def _step_model(rng: np.random.Generator) -> StepSpeedFunction:
+    """A cache/memory/swap staircase (the paper's reference [19] shape)."""
+    m = int(rng.integers(1, 5))
+    bs = 10.0 ** rng.uniform(2.5, 3.5) * np.cumprod(rng.uniform(1.8, 8.0, m))
+    peak = 10.0 ** rng.uniform(1.0, 3.0)
+    ss = peak * np.cumprod(rng.uniform(0.30, 0.95, m))
+    return StepSpeedFunction(bs, ss)
+
+
+def _truncated_model(rng: np.random.Generator) -> TruncatedSpeedFunction:
+    base = _step_model(rng) if rng.random() < 0.4 else _decreasing_pwl(rng)
+    bound = float(base.max_size * rng.uniform(0.15, 1.2))
+    return TruncatedSpeedFunction(base, max(bound, 1.0))
+
+
+def _comm_aware_model(rng: np.random.Generator) -> CommAwareSpeedFunction:
+    if rng.random() < 0.5:
+        base: SpeedFunction = _decreasing_pwl(rng)
+    else:
+        base = ConstantSpeedFunction(
+            10.0 ** rng.uniform(1.0, 3.0), max_size=10.0 ** rng.uniform(4.0, 6.5)
+        )
+    # Link costs sized so communication is noticeable but not dominant.
+    scale = 1.0 / float(base.speed(min(1e3, base.max_size)))
+    return CommAwareSpeedFunction(
+        base,
+        startup_s=float(rng.uniform(0.0, 50.0)) * scale,
+        seconds_per_element=float(rng.uniform(0.0, 0.5)) * scale,
+    )
+
+
+def _tabulated_analytic(rng: np.random.Generator) -> PiecewiseLinearSpeedFunction:
+    peak = 10.0 ** rng.uniform(1.0, 3.0)
+    half = 10.0 ** rng.uniform(3.5, 5.5)
+    cap = 10.0 ** rng.uniform(5.0, 6.5)
+
+    def f(x):
+        x = np.asarray(x, dtype=float)
+        return peak / (1.0 + x / half)
+
+    analytic = AnalyticSpeedFunction(f, max_size=cap)
+    knots = int(rng.integers(6, 24))
+    return analytic.tabulate(np.geomspace(10.0, cap, knots))
+
+
 def _random_speed_function(rng: np.random.Generator) -> SpeedFunction:
     roll = rng.random()
-    if roll < 0.40:
+    if roll < 0.25:
         return _decreasing_pwl(rng)
-    if roll < 0.60:
+    if roll < 0.38:
         return _sublinear_pwl(rng)
-    if roll < 0.85:
+    if roll < 0.55:
         return _banded_pwl(rng)
+    if roll < 0.64:
+        return _step_model(rng)
+    if roll < 0.72:
+        return _truncated_model(rng)
+    if roll < 0.79:
+        base = _step_model(rng) if rng.random() < 0.3 else _decreasing_pwl(rng)
+        return base.scaled(float(10.0 ** rng.uniform(-0.7, 0.7)))
+    if roll < 0.86:
+        return _comm_aware_model(rng)
+    if roll < 0.91:
+        return _tabulated_analytic(rng)
     speed = 10.0 ** rng.uniform(1.0, 3.0)
     if rng.random() < 0.7:
         return ConstantSpeedFunction(speed, max_size=10.0 ** rng.uniform(4.0, 6.5))
@@ -449,6 +509,23 @@ def _run_case(
             report.solves += 1
             checker.compare(n, "bisection-packed", ref, packed)
 
+            # Compiled-vs-pure oracle: rerun the reference with knot
+            # compilation suppressed, so every evaluation goes through
+            # the per-object code.  Packs whose rows all compile exactly
+            # (constants, steps, truncations, scaled/tabulated models)
+            # must agree bit for bit; comm-aware rows replace a
+            # per-object bisection with a closed-form segment solve and
+            # are documented to the 1e-9 class.
+            def _pure_solve():
+                with packing_disabled():
+                    return partition_bisection(n, sfs)
+
+            pure = _attempt(_pure_solve)
+            report.solves += 1
+            checker.compare(
+                n, "pure-oracle", ref, pure, bit_identical=fleet.pack.exact
+            )
+
         # -- planner: cold then cache hit (bit-identical guarantees) ----
         cold = _attempt(lambda: planner.plan(n))
         report.solves += 1
@@ -522,8 +599,28 @@ def _check_served_plans(
     report: DifferentialReport,
     log: Callable[[str], None] | None,
 ) -> None:
-    """Replay every case through an in-process planning service."""
+    """Replay every case through an in-process planning service.
+
+    Cases whose fleets contain models outside the wire format (truncated,
+    scaled, comm-aware wrappers) are skipped here — the local solver
+    paths already conformance-check them; the service only ever receives
+    serialisable fleets.
+    """
+    from ..exceptions import ConfigurationError
+    from ..io import speed_function_to_dict
     from ..serve.service import PlanningService, ServeConfig
+
+    def _serialisable(case: Case) -> bool:
+        try:
+            for sf in case.speed_functions:
+                speed_function_to_dict(sf)
+        except ConfigurationError:
+            return False
+        return True
+
+    served = [(case, refs) for case, refs in served if _serialisable(case)]
+    if not served:
+        return
 
     async def _run() -> None:
         service = PlanningService(

@@ -1,0 +1,346 @@
+"""Knot compilation: every model family lowers into the shared pack.
+
+The compilation protocol (``SpeedFunction.as_knots``) promises that a
+pack built from *any* mix of compilable models evaluates bit-identically
+to the per-object path — except comm-aware rows, whose closed-form
+segment solve replaces the per-object bisection and is documented to the
+1e-9 class.  These tests pin that contract per family, for every pack
+entry point (``allocations``, ``allocations_many``, ``speeds``,
+``times``, ``time_one``), plus the O(p) rescale clone and the
+fallback/fast-path counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AnalyticSpeedFunction,
+    ConstantSpeedFunction,
+    PiecewiseLinearSpeedFunction,
+)
+from repro.core.bounded import TruncatedSpeedFunction
+from repro.core.comm_aware import CommAwareSpeedFunction
+from repro.core.bisection import partition_bisection
+from repro.core.step_model import StepSpeedFunction
+from repro.core.vectorized import (
+    PiecewiseLinearSet,
+    pack_speed_functions,
+    packing_disabled,
+)
+from repro.planner import Fleet
+from tests.conftest import make_hump_pwl, make_pwl
+
+SLOPES = [1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 1e3]
+
+
+@pytest.fixture
+def fresh_obs():
+    """Throwaway obs registry/tracer so counter tests never leak state."""
+    from repro import obs
+
+    previous_registry = obs.set_registry(obs.MetricsRegistry())
+    previous_tracer = obs.set_tracer(obs.Tracer())
+    obs.disable()
+    try:
+        yield obs
+    finally:
+        obs.disable()
+        obs.set_registry(previous_registry)
+        obs.set_tracer(previous_tracer)
+
+
+def _reference_allocations(sfs, slope):
+    return np.array([sf.intersect_ray(slope) for sf in sfs], dtype=float)
+
+
+def _reference_speeds(sfs, xs):
+    return np.array([sf.speed(float(x)) for sf, x in zip(sfs, xs)], dtype=float)
+
+
+def _reference_times(sfs, xs):
+    return np.array([sf.time(float(x)) for sf, x in zip(sfs, xs)], dtype=float)
+
+
+def _probe_sizes(pack):
+    """Per-row probe sizes spanning zero, interior and the bound."""
+    caps = np.where(np.isfinite(pack.max_sizes), pack.max_sizes, 4e6)
+    return [
+        np.zeros(pack.p),
+        caps * 0.001,
+        caps * 0.37,
+        caps * 0.999,
+        np.floor(caps),
+    ]
+
+
+def assert_pack_matches(sfs, *, exact=True, rtol=0.0):
+    """The family contract: every pack entry point vs the object path."""
+    pack = pack_speed_functions(sfs)
+    assert pack is not None, "fleet unexpectedly failed to compile"
+    assert pack.exact == exact
+
+    for slope in SLOPES:
+        got = pack.allocations(slope)
+        want = _reference_allocations(sfs, slope)
+        if exact:
+            np.testing.assert_array_equal(got, want)
+        else:
+            np.testing.assert_allclose(got, want, rtol=rtol, atol=rtol)
+
+    # Batched rows are bitwise the sequential single-slope answers.
+    many = pack.allocations_many(np.asarray(SLOPES))
+    for i, slope in enumerate(SLOPES):
+        np.testing.assert_array_equal(many[i], pack.allocations(slope))
+
+    for xs in _probe_sizes(pack):
+        np.testing.assert_array_equal(pack.speeds(xs), _reference_speeds(sfs, xs))
+        got_t = pack.times(xs)
+        np.testing.assert_array_equal(got_t, _reference_times(sfs, xs))
+        for i in range(pack.p):
+            assert pack.time_one(i, float(xs[i])) == got_t[i]
+    return pack
+
+
+class TestPerFamilyConformance:
+    def test_constant(self):
+        assert_pack_matches([
+            make_pwl(100.0),
+            ConstantSpeedFunction(70.0, max_size=3e6),
+            ConstantSpeedFunction(55.0),  # unbounded memory
+        ])
+
+    def test_step(self):
+        assert_pack_matches([
+            make_pwl(90.0),
+            StepSpeedFunction([1e4, 1e5, 2e6], [120.0, 60.0, 6.0]),
+            StepSpeedFunction([5e5], [80.0]),  # single segment
+        ])
+
+    def test_analytic_tabulated(self):
+        def f(x):
+            x = np.asarray(x, dtype=float)
+            return 150.0 / (1.0 + x / 2e5)
+
+        analytic = AnalyticSpeedFunction(f, max_size=2e6)
+        tab = analytic.tabulate(np.geomspace(1e3, 2e6, 24))
+        assert_pack_matches([make_pwl(100.0), tab])
+
+    def test_truncated(self):
+        assert_pack_matches([
+            TruncatedSpeedFunction(make_pwl(100.0), 4.2e5),
+            TruncatedSpeedFunction(StepSpeedFunction([1e4, 1e6], [90.0, 9.0]), 7e5),
+            TruncatedSpeedFunction(ConstantSpeedFunction(60.0), 1e5),
+            make_hump_pwl(200.0),
+        ])
+
+    def test_truncated_nonbinding_bound_adds_no_cap(self):
+        sf = TruncatedSpeedFunction(make_pwl(100.0), 1e9)
+        row = sf.as_knots()
+        assert row.x_cap is None and row.s_cap is None and row.exact
+
+    def test_scaled(self):
+        assert_pack_matches([
+            make_pwl(100.0).scaled(1.75),
+            StepSpeedFunction([2e4, 5e5], [100.0, 20.0]).scaled(0.4),
+            ConstantSpeedFunction(80.0, max_size=1e6).scaled(3.0),
+        ])
+
+    def test_comm_aware_is_1e9_class(self):
+        sfs = [
+            CommAwareSpeedFunction(
+                make_pwl(100.0), startup_s=2e-4, seconds_per_element=3e-7
+            ),
+            CommAwareSpeedFunction(ConstantSpeedFunction(50.0, max_size=2e6),
+                                   seconds_per_element=1e-6),
+            make_pwl(150.0),
+        ]
+        pack = pack_speed_functions(sfs)
+        assert pack is not None and pack.exact is False
+        for slope in SLOPES:
+            np.testing.assert_allclose(
+                pack.allocations(slope),
+                _reference_allocations(sfs, slope),
+                rtol=1e-9, atol=1e-9,
+            )
+        many = pack.allocations_many(np.asarray(SLOPES))
+        for i, slope in enumerate(SLOPES):
+            np.testing.assert_array_equal(many[i], pack.allocations(slope))
+        for xs in _probe_sizes(pack):
+            np.testing.assert_allclose(
+                pack.speeds(xs), _reference_speeds(sfs, xs), rtol=1e-12
+            )
+            np.testing.assert_allclose(
+                pack.times(xs), _reference_times(sfs, xs), rtol=1e-12
+            )
+
+    def test_comm_over_comm_blocks_compilation(self):
+        inner = CommAwareSpeedFunction(make_pwl(100.0), startup_s=1e-4)
+        outer = CommAwareSpeedFunction(inner, seconds_per_element=1e-7)
+        assert outer.as_knots() is None
+        assert pack_speed_functions([outer, make_pwl(50.0)]) is None
+
+    def test_analytic_blocks_compilation(self):
+        analytic = AnalyticSpeedFunction(
+            lambda x: 100.0 / (1.0 + np.asarray(x, dtype=float) / 1e5),
+            max_size=1e6,
+        )
+        assert pack_speed_functions([analytic, make_pwl(50.0)]) is None
+
+
+class TestPropertyConformance:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_random_mixed_fleet_bit_identity(self, seed):
+        rng = np.random.default_rng(seed)
+        sfs = []
+        for _ in range(int(rng.integers(2, 7))):
+            roll = rng.random()
+            peak = float(10.0 ** rng.uniform(1.0, 2.5))
+            if roll < 0.25:
+                sfs.append(make_pwl(peak, scale=float(rng.uniform(0.5, 4.0))))
+            elif roll < 0.45:
+                m = int(rng.integers(1, 5))
+                bs = np.sort(10.0 ** rng.uniform(3.0, 6.5, m))
+                while np.any(np.diff(bs) <= 0):
+                    bs = np.sort(10.0 ** rng.uniform(3.0, 6.5, m))
+                ss = peak * np.sort(rng.uniform(0.05, 1.0, m))[::-1]
+                while np.any(np.diff(ss) >= 0):
+                    ss = peak * np.sort(rng.uniform(0.05, 1.0, m))[::-1]
+                sfs.append(StepSpeedFunction(bs, ss))
+            elif roll < 0.65:
+                base = make_pwl(peak)
+                sfs.append(
+                    TruncatedSpeedFunction(base, float(rng.uniform(2e3, 1.9e6)))
+                )
+            elif roll < 0.85:
+                sfs.append(make_pwl(peak).scaled(float(rng.uniform(0.2, 5.0))))
+            else:
+                cap = float(10.0 ** rng.uniform(4.0, 6.5)) if rng.random() < 0.7 else np.inf
+                sfs.append(
+                    ConstantSpeedFunction(peak, max_size=cap)
+                    if np.isfinite(cap)
+                    else ConstantSpeedFunction(peak)
+                )
+        pack = pack_speed_functions(sfs)
+        assert pack is not None
+        for slope in 10.0 ** rng.uniform(-7, 2, 8):
+            np.testing.assert_array_equal(
+                pack.allocations(float(slope)),
+                _reference_allocations(sfs, float(slope)),
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=1, max_value=3_000_000),
+    )
+    def test_end_to_end_solver_matches_per_object_oracle(self, seed, n):
+        rng = np.random.default_rng(seed)
+        sfs = [
+            make_pwl(float(rng.uniform(20.0, 200.0))),
+            StepSpeedFunction([1e4, 1e5, 2e6], [110.0, 55.0, 5.0]),
+            ConstantSpeedFunction(float(rng.uniform(10.0, 90.0)), max_size=3e6),
+            TruncatedSpeedFunction(make_hump_pwl(180.0), 9e5),
+        ]
+        packed = partition_bisection(n, sfs)
+        with packing_disabled():
+            pure = partition_bisection(n, sfs)
+        np.testing.assert_array_equal(packed.allocation, pure.allocation)
+        assert float(packed.makespan) == float(pure.makespan)
+
+
+class TestRescaleClone:
+    def test_rescaled_pack_matches_scaled_objects(self):
+        sfs = [make_pwl(100.0), StepSpeedFunction([1e5, 1e6], [90.0, 9.0]),
+               ConstantSpeedFunction(40.0, max_size=2e6)]
+        pack = pack_speed_functions(sfs)
+        factors = np.array([1.25, 0.8, 2.0])
+        clone = pack.rescaled(factors)
+        scaled = [sf.scaled(float(f)) for sf, f in zip(sfs, factors)]
+        for slope in SLOPES:
+            np.testing.assert_array_equal(
+                clone.allocations(slope), _reference_allocations(scaled, slope)
+            )
+        for xs in _probe_sizes(clone):
+            np.testing.assert_array_equal(
+                clone.speeds(xs), _reference_speeds(scaled, xs)
+            )
+            np.testing.assert_array_equal(
+                clone.times(xs), _reference_times(scaled, xs)
+            )
+
+    def test_rescaled_rejects_bad_factors(self):
+        pack = pack_speed_functions([make_pwl(100.0), make_pwl(50.0)])
+        with pytest.raises(ValueError):
+            pack.rescaled(np.array([1.0]))
+        with pytest.raises(ValueError):
+            pack.rescaled(np.array([1.0, -2.0]))
+
+    def test_rescaled_comm_rows_refuse(self):
+        sfs = [CommAwareSpeedFunction(make_pwl(100.0), startup_s=1e-4),
+               make_pwl(60.0)]
+        pack = pack_speed_functions(sfs)
+        with pytest.raises(ValueError):
+            pack.rescaled(np.array([2.0, 1.0]))
+
+    def test_fingerprint_changes_with_scale_only(self):
+        pack = pack_speed_functions([make_pwl(100.0), make_pwl(50.0)])
+        same = pack.rescaled(np.array([1.0, 1.0]))
+        other = pack.rescaled(np.array([2.0, 1.0]))
+        assert same.fingerprint == pack.fingerprint
+        assert other.fingerprint != pack.fingerprint
+
+
+class TestCounters:
+    def test_fast_path_and_fallback_labels(self, fresh_obs):
+        from repro import obs
+
+        obs.enable()
+        pack_speed_functions([make_pwl(100.0), StepSpeedFunction([1e5], [50.0])])
+        analytic = AnalyticSpeedFunction(
+            lambda x: 100.0 / (1.0 + np.asarray(x, dtype=float) / 1e5),
+            max_size=1e6,
+        )
+        pack_speed_functions([make_pwl(100.0), analytic])
+        pack_speed_functions([make_pwl(100.0)])  # fleet of one: fallback
+
+        reg = obs.get_registry()
+        assert reg.get("core.pack.fast_path", None).value == 1
+        assert reg.get(
+            "core.pack.fallback", {"blocked_by": "AnalyticSpeedFunction"}
+        ).value == 1
+        assert reg.get(
+            "core.pack.fallback", {"blocked_by": "fleet_too_small"}
+        ).value == 1
+
+    def test_drift_rescale_is_o_p_not_a_repack(self, fresh_obs):
+        """adapt-style drift correction must clone, never rebuild."""
+        from repro import obs
+        from repro.adapt.replanner import Replanner
+
+        sfs = [make_pwl(100.0), make_pwl(60.0), make_pwl(30.0)]
+        obs.enable()
+        rp = Replanner(sfs)  # builds the base fleet: exactly one pack build
+        reg = obs.get_registry()
+        builds_after_init = reg.get("core.pack.build", None).value
+        assert builds_after_init >= 1
+
+        rp.planner_for([1.1, 0.9, 1.0])
+        rp.planner_for([1.3, 0.7, 1.0])
+        rp.planner_for([1.1, 0.9, 1.0])  # LRU hit: no new fleet at all
+
+        assert reg.get("core.pack.build", None).value == builds_after_init
+        assert reg.get("core.pack.rescale", None).value == 2
+
+    def test_fleet_rescaled_reuses_pack(self):
+        fleet = Fleet([make_pwl(100.0), make_pwl(60.0)])
+        scaled = fleet.rescaled([2.0, 1.0])
+        assert scaled.pack is not None
+        assert scaled.pack is not fleet.pack
+        # The knot arrays are shared, only the scale vector is new.
+        assert scaled.pack._xs is fleet.pack._xs
+        np.testing.assert_array_equal(scaled.pack.scales, [2.0, 1.0])

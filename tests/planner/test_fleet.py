@@ -46,8 +46,21 @@ class TestConstruction:
         assert pwl_fleet.p == 3
         assert len(pwl_fleet) == 3
 
-    def test_mixed_fleet_is_generic(self):
+    def test_mixed_fleet_is_packed(self):
+        # Constants compile to two-knot rows, so a PWL+constant mix packs.
         fleet = Fleet([pwl([1, 10], [5, 4]), ConstantSpeedFunction(3.0, max_size=100)])
+        assert isinstance(fleet.pack, PiecewiseLinearSet)
+
+    def test_analytic_fleet_is_generic(self):
+        # Raw analytic callables have no knot lowering and block the pack.
+        fleet = Fleet(
+            [
+                pwl([1, 10], [5, 4]),
+                AnalyticSpeedFunction(
+                    lambda x: 10.0 / (1.0 + x / 100.0), max_size=1000
+                ),
+            ]
+        )
         assert fleet.pack is None
 
     def test_capacity_sums_max_sizes(self, pwl_fleet):
