@@ -10,6 +10,12 @@ measure both sides of that ratio and assert the budget directly, and
 additionally pin the primitive costs so a regression in the gate itself
 (say, a lock sneaking into ``is_enabled``) shows up even before it is
 multiplied into a hot loop.
+
+The serve-tracing gates at the bottom apply the same idiom to request
+tracing: the full per-request tracing budget (trace-context mint, span
+tree build, wire round-trip, flight-recorder write, exemplar) must stay
+under 5% of a served p=1080 request, and the tracing-disabled path —
+one branch plus a sampled-counter bump — under 2%.
 """
 
 from __future__ import annotations
@@ -21,10 +27,19 @@ import pytest
 from repro import obs
 from repro.core.bisection import partition_bisection
 from repro.experiments import tile_speed_functions
+from repro.obs import FleetTelemetrySink, FlightRecorder, RequestTrace, TraceContext
+from repro.obs.context import new_span_id
+from repro.obs.spans import Span
 from repro.planner import Fleet, Planner
+from repro.serve.client import ServeClient
+from repro.serve.server import start_in_thread
+from repro.serve.service import ServeConfig
 
 #: Acceptance bar from the ISSUE: disabled telemetry costs < 2%.
 MAX_DISABLED_OVERHEAD = 0.02
+
+#: Acceptance bar from the ISSUE: request tracing costs < 5% of a serve.
+MAX_TRACING_OVERHEAD = 0.05
 
 
 @pytest.fixture(autouse=True)
@@ -142,6 +157,121 @@ def test_disabled_overhead_planner_plan_under_2pct(fleet_1080, benchmark):
 # ---------------------------------------------------------------------------
 # Enabled mode still has to work (and stay sane) on the same hot path.
 # ---------------------------------------------------------------------------
+
+
+# ---------------------------------------------------------------------------
+# Serve tracing: the per-request tracing budget vs a measured served
+# request on the figure-21 p=1080 fleet.
+# ---------------------------------------------------------------------------
+
+
+def _measure_served_request(fleet, *, tracing: bool) -> float:
+    """Best-of mean per-request latency through a real server."""
+    config = ServeConfig(shards=2, batch_window=0.0005, tracing=tracing)
+    best = float("inf")
+    with start_in_thread(config) as handle:
+        with ServeClient(handle.host, handle.port) as client:
+            info = client.register_fleet(fleet.speed_functions, name=fleet.name)
+            fingerprint = info["fingerprint"]
+            client.plan(fingerprint, 2_000_000_000)  # warm the shard
+            for _ in range(3):
+                t0 = perf_counter()
+                for _ in range(20):
+                    client.plan(fingerprint, 2_000_000_000, allocation=False)
+                best = min(best, (perf_counter() - t0) / 20)
+    return best
+
+
+def _tracing_budget_once(hist, recorder, sink) -> None:
+    """Every tracing primitive one served ``plan`` request executes.
+
+    Mirrors the request lifecycle exactly: mint identity + root span
+    (listener ``_open_trace``), ship the context to the shard, build the
+    batch/solve/item span tree and serialize it back (worker), re-root
+    the subtree under the request span (``_deliver``), then observe the
+    latency with an exemplar, file the trace in the flight recorder and
+    feed the telemetry sink (``_close_trace``).
+    """
+    ctx = TraceContext.new()
+    root = Span(
+        name="serve.plan", trace_id=ctx.trace_id, span_id=ctx.span_id,
+        attrs={"n": 2_000_000_000},
+    )
+    wire = ctx.to_dict()
+    batch = Span(
+        name="serve.shard.batch", span_id=new_span_id(),
+        trace_id=str(wire["trace_id"]), parent_id=str(wire["span_id"]),
+        attrs={"shard": 0, "items": 1},
+    )
+    batch.children.append(
+        Span(
+            name="serve.shard.solve", seconds=1e-3, span_id=new_span_id(),
+            trace_id=batch.trace_id, parent_id=batch.span_id,
+            attrs={"sizes": 1},
+        )
+    )
+    batch.children.append(
+        Span(
+            name="serve.shard.item", span_id=new_span_id(),
+            trace_id=batch.trace_id, parent_id=batch.span_id,
+            attrs={"n": 2_000_000_000, "request_span_id": ctx.span_id},
+        )
+    )
+    subtree = Span.from_dict(batch.to_dict())
+    for node in subtree.walk():
+        node.trace_id = ctx.trace_id
+    subtree.parent_id = root.span_id
+    root.children.append(subtree)
+    hist.observe(1e-3, exemplar=ctx.trace_id)
+    root.seconds = 1e-3
+    recorder.record(
+        RequestTrace(
+            trace_id=ctx.trace_id, op="plan", fleet="bench", n=2_000_000_000,
+            started=0.0, seconds=1e-3, root=root,
+        )
+    )
+    sink.observe_solve("bench", n=2_000_000_000, seconds=1e-3)
+
+
+def test_serve_tracing_enabled_overhead_under_5pct(fleet_1080, benchmark):
+    hist = obs.get_registry().histogram("bench.trace.latency")
+    recorder = FlightRecorder(capacity=256)
+    sink = FleetTelemetrySink()
+
+    def check():
+        serve = _measure_served_request(fleet_1080, tracing=True)
+        budget = _per_call_seconds(
+            lambda: _tracing_budget_once(hist, recorder, sink),
+            number=2_000, repeats=5,
+        )
+        ratio = budget / serve
+        assert ratio < MAX_TRACING_OVERHEAD, (
+            f"request tracing costs {ratio:.3%} of a served p=1080 plan "
+            f"({budget * 1e6:.1f}µs vs {serve * 1e3:.2f}ms)"
+        )
+        return ratio
+
+    ratio = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert ratio < MAX_TRACING_OVERHEAD
+
+
+def test_serve_tracing_disabled_overhead_under_2pct(fleet_1080, benchmark):
+    recorder = FlightRecorder(capacity=256)
+
+    def check():
+        serve = _measure_served_request(fleet_1080, tracing=False)
+        # Tracing off executes exactly one branch plus the sampled
+        # counter bump in _open_trace; nothing else on the request path.
+        budget = _per_call_seconds(recorder.note_sampled)
+        ratio = budget / serve
+        assert ratio < MAX_DISABLED_OVERHEAD, (
+            f"disabled tracing costs {ratio:.3%} of a served p=1080 plan "
+            f"({budget * 1e9:.0f}ns vs {serve * 1e3:.2f}ms)"
+        )
+        return ratio
+
+    ratio = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert ratio < MAX_DISABLED_OVERHEAD
 
 
 def test_enabled_mode_records_solver_metrics(fleet_1080, benchmark):

@@ -258,6 +258,70 @@ def check_adaptive_overhead(
     return status
 
 
+def check_serve_tracing() -> int:
+    """Gate per-request tracing cost against a served p=1080 request.
+
+    Same budget-vs-measured idiom as the disabled-telemetry gates in
+    ``bench_obs_overhead``: the full tracing primitive sequence (context
+    mint, span tree, wire round-trip, exemplar, flight-recorder and sink
+    writes) is timed over thousands of calls and held under 5% of a real
+    served request; the tracing-off path — one branch and a sampled
+    counter bump — under 2%.  Both sides ride the same machine, so load
+    drift largely cancels.
+    """
+    from bench_obs_overhead import (  # noqa: E402
+        MAX_DISABLED_OVERHEAD,
+        MAX_TRACING_OVERHEAD,
+        _measure_served_request,
+        _per_call_seconds,
+        _tracing_budget_once,
+    )
+    from repro.obs import FleetTelemetrySink, FlightRecorder
+
+    mm_models = build_network_models(table2_network(), "matmul")
+    fleet = Fleet(tile_speed_functions(mm_models, P), name=f"perf-guard-p{P}")
+    hist = obs.get_registry().histogram("perf_guard.trace.latency")
+    recorder = FlightRecorder(capacity=256)
+    sink = FleetTelemetrySink()
+
+    status = 0
+    cases = [
+        (
+            "tracing-on",
+            True,
+            lambda: _per_call_seconds(
+                lambda: _tracing_budget_once(hist, recorder, sink),
+                number=2_000,
+                repeats=5,
+            ),
+            MAX_TRACING_OVERHEAD,
+        ),
+        (
+            "tracing-off",
+            False,
+            lambda: _per_call_seconds(recorder.note_sampled),
+            MAX_DISABLED_OVERHEAD,
+        ),
+    ]
+    for name, tracing, budget_fn, limit in cases:
+        serve_s = _measure_served_request(fleet, tracing=tracing)
+        budget_s = budget_fn()
+        ratio = budget_s / serve_s
+        print(
+            f"perf-guard: serve {name} budget {format_seconds(budget_s)} on a "
+            f"{format_seconds(serve_s)} served p={P} plan = "
+            f"{ratio:.2%} overhead (limit {limit:.0%})"
+        )
+        if ratio > limit:
+            print(
+                f"perf-guard: FAIL — serve {name} path costs {ratio:.1%} of "
+                f"a served request (limit {limit:.0%})",
+                file=sys.stderr,
+            )
+            status = 1
+    return status
+
+
 def check_compiled_speedups(speedups: dict) -> int:
     """Gate the knot-compiled fast path against the per-object oracle.
 
@@ -390,6 +454,7 @@ def main(argv: list[str] | None = None) -> int:
         status
         | check_compiled_speedups(speedups)
         | check_adaptive_overhead()
+        | check_serve_tracing()
     )
 
 

@@ -178,6 +178,31 @@ class DriftDetector:
             factor=float(self._factor[machine]),
         )
 
+    def ingest(self, observations) -> list[DriftEvent]:
+        """Feed a batch of step observations; return every confirmed drift.
+
+        ``observations`` is an iterable of
+        :class:`~repro.obs.sink.StepObservation`-shaped records (anything
+        with ``machine`` / ``size`` / ``speed`` / ``time`` attributes),
+        which is exactly what
+        :meth:`repro.obs.sink.FleetTelemetrySink.recent_steps` returns —
+        the bridge from live serving telemetry to drift confirmation.
+        Observations for machines this detector does not know are
+        skipped (a sink may aggregate a larger fleet than one detector
+        watches); malformed ones raise as :meth:`observe` would.
+        """
+        events: list[DriftEvent] = []
+        for rec in observations:
+            machine = int(rec.machine)
+            if not (0 <= machine < self.p):
+                continue
+            event = self.observe(
+                machine, float(rec.size), float(rec.speed), time=float(rec.time)
+            )
+            if event is not None:
+                events.append(event)
+        return events
+
     def reset_streaks(self) -> None:
         """Clear every streak but keep the learned speed factors.
 

@@ -304,7 +304,94 @@ def _run_stats_workload(args: argparse.Namespace):
     return planner, sim
 
 
+def _http_json(addr: str, path: str) -> dict:
+    """GET a JSON document from a running server's HTTP listener."""
+    import json as _json
+    import urllib.error
+    import urllib.request
+
+    url = f"http://{addr}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=10.0) as resp:
+            return _json.load(resp)
+    except urllib.error.HTTPError as exc:
+        if exc.code == 404:
+            raise CommandError(f"{url}: {exc.read().decode('utf-8', 'replace')}")
+        raise CommandError(f"{url}: HTTP {exc.code}")
+    except (urllib.error.URLError, OSError) as exc:
+        raise CommandError(f"cannot reach {url}: {exc}")
+
+
+def _watch_loop(render: Callable[[], None], interval: float | None) -> None:
+    """Run ``render`` once, or forever every ``interval`` seconds."""
+    import time as _time
+
+    if not interval:
+        render()
+        return
+    try:
+        while True:
+            print("\x1b[2J\x1b[H", end="")  # clear screen, home cursor
+            render()
+            print(f"\n(refreshing every {interval:g}s — Ctrl-C to stop)")
+            _time.sleep(interval)
+    except KeyboardInterrupt:
+        pass
+
+
+def _render_serve_stats(args: argparse.Namespace) -> None:
+    doc = _http_json(args.serve_addr, "/stats")
+    if args.format == "json":
+        import json as _json
+
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+        return
+    trace = doc.get("trace") or {}
+    rows = [
+        ("serve.requests", "", doc.get("requests", 0)),
+        ("serve.responses", "status=ok", doc.get("responses_ok", 0)),
+        ("serve.responses", "status=error", doc.get("responses_error", 0)),
+        ("serve.shed", "", doc.get("shed", 0)),
+        ("serve.batches", "", doc.get("batches", 0)),
+        ("serve.trace.recorded", "", trace.get("recorded", 0)),
+        ("serve.trace.retained", "", trace.get("retained", 0)),
+        ("serve.trace.evicted", "", trace.get("evicted", 0)),
+        ("serve.trace.sampled", "", trace.get("sampled", 0)),
+    ]
+    print(ascii_table(["metric", "labels", "value"], rows, title="Serve counters"))
+    recorder_rows = [
+        (k, trace.get(k, 0))
+        for k in ("ring_size", "error_store_size", "slow_store_size", "capacity")
+    ]
+    print()
+    print(ascii_table(["flight recorder", "value"], recorder_rows))
+    fleets = doc.get("fleets") or {}
+    if fleets:
+        print()
+        print(
+            ascii_table(
+                ["fleet", "name", "p", "shard"],
+                [
+                    (fp[:16], info.get("name", ""), info.get("p", ""),
+                     info.get("shard", ""))
+                    for fp, info in sorted(fleets.items())
+                ],
+                title="Registered fleets",
+            )
+        )
+
+
 def _cmd_stats(args: argparse.Namespace) -> None:
+    if args.serve_addr:
+        _watch_loop(lambda: _render_serve_stats(args), args.watch)
+        return
+    if args.watch:
+        _watch_loop(lambda: _cmd_stats_once(args), args.watch)
+        return
+    _cmd_stats_once(args)
+
+
+def _cmd_stats_once(args: argparse.Namespace) -> None:
     obs.clear_all()
     obs.enable()
     try:
@@ -349,7 +436,54 @@ def _cmd_stats(args: argparse.Namespace) -> None:
         print(f"metrics written to {args.metrics_out}")
 
 
+def _render_serve_traces(args: argparse.Namespace) -> None:
+    """Flight-recorder traces from a live server, rendered for humans."""
+    if args.trace_id:
+        doc = _http_json(args.serve_addr, f"/debug/traces?id={args.trace_id}")
+        print(
+            f"trace {doc['trace_id']}  op={doc['op']} status={doc['status']} "
+            f"n={doc.get('n')} {doc['seconds'] * 1e3:.3f}ms"
+        )
+        spans = doc.get("spans")
+        if spans:
+            print(obs.render_spans([obs.Span.from_dict(spans)], max_children=16))
+        return
+    query = f"/debug/traces?limit={args.limit}"
+    if args.errors_only:
+        query += "&errors=1"
+    if args.slow_only:
+        query += "&slow=1"
+    doc = _http_json(args.serve_addr, query)
+    rows = [
+        (
+            t["trace_id"],
+            t["op"],
+            t["status"],
+            t.get("n", ""),
+            f"{t['seconds'] * 1e3:.3f}",
+        )
+        for t in doc.get("traces", [])
+    ]
+    print(
+        ascii_table(
+            ["trace_id", "op", "status", "n", "ms"],
+            rows,
+            title="Flight recorder — retained traces",
+        )
+    )
+    st = doc.get("stats") or {}
+    print(
+        f"\nrecorded={st.get('recorded', 0)} retained={st.get('retained', 0)} "
+        f"evicted={st.get('evicted', 0)} sampled={st.get('sampled', 0)} "
+        f"(ring {st.get('ring_size', 0)}/{st.get('capacity', 0)})"
+    )
+    print("use --trace-id <id> for one full span tree")
+
+
 def _cmd_trace(args: argparse.Namespace) -> None:
+    if args.serve_addr:
+        _watch_loop(lambda: _render_serve_traces(args), args.watch)
+        return
     obs.clear_all()
     obs.enable()
     try:
@@ -575,6 +709,31 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--trace-n", type=int, default=1024,
         help="matrix dimension of the simulated LU in `repro stats/trace`",
+    )
+    parser.add_argument(
+        "--serve", dest="serve_addr", default=None, metavar="HOST:HTTP_PORT",
+        help="read `repro stats` / `repro trace` from a running server's "
+        "HTTP listener instead of running a local workload",
+    )
+    parser.add_argument(
+        "--watch", type=float, default=None, metavar="SECONDS",
+        help="refresh `repro stats` / `repro trace` output periodically",
+    )
+    parser.add_argument(
+        "--trace-id", default=None,
+        help="show one retained trace's full span tree (`repro trace --serve`)",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=20,
+        help="traces to list in `repro trace --serve`",
+    )
+    parser.add_argument(
+        "--errors-only", action="store_true",
+        help="list only error/shed/deadline traces (`repro trace --serve`)",
+    )
+    parser.add_argument(
+        "--slow-only", action="store_true",
+        help="list only the top-K slowest traces (`repro trace --serve`)",
     )
     serve = parser.add_argument_group("serve", "options for `repro serve`")
     serve.add_argument(

@@ -35,14 +35,19 @@ Quick tour::
 
 from __future__ import annotations
 
-from . import export, logconfig, registry, spans, timing
+from . import context, export, flight, logconfig, registry, sink, spans, timing
+from .context import TraceContext, new_span_id, new_trace_id
 from .export import (
+    OPENMETRICS_CONTENT_TYPE,
+    PROMETHEUS_CONTENT_TYPE,
     render_spans,
     snapshot,
     to_json,
     to_prometheus,
     write_json,
 )
+from .flight import FlightRecorder, RequestTrace
+from .sink import FleetTelemetrySink, StepObservation, size_band
 from .logconfig import KeyValueFormatter, configure_logging, verbosity_to_level
 from .registry import (
     DEFAULT_COUNT_BUCKETS,
@@ -65,25 +70,36 @@ __all__ = [
     "Counter",
     "DEFAULT_COUNT_BUCKETS",
     "DEFAULT_TIME_BUCKETS",
+    "FleetTelemetrySink",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "KeyValueFormatter",
     "MetricsRegistry",
+    "OPENMETRICS_CONTENT_TYPE",
+    "PROMETHEUS_CONTENT_TYPE",
+    "RequestTrace",
     "Span",
+    "StepObservation",
     "TimedResult",
     "Timer",
+    "TraceContext",
     "Tracer",
     "best_of",
     "clear_all",
     "configure_logging",
+    "context",
     "disable",
     "enable",
     "enabled",
     "export",
+    "flight",
     "get_registry",
     "get_tracer",
     "is_enabled",
     "logconfig",
+    "new_span_id",
+    "new_trace_id",
     "record",
     "record_adapt",
     "record_batch",
@@ -93,6 +109,8 @@ __all__ = [
     "reset_all",
     "set_registry",
     "set_tracer",
+    "sink",
+    "size_band",
     "snapshot",
     "span",
     "spans",

@@ -23,6 +23,8 @@ __all__ = [
     "to_prometheus",
     "render_spans",
     "format_seconds",
+    "PROMETHEUS_CONTENT_TYPE",
+    "OPENMETRICS_CONTENT_TYPE",
 ]
 
 _PROM_NAME = re.compile(r"[^a-zA-Z0-9_:]")
@@ -106,12 +108,41 @@ def _prom_value(v: float) -> str:
     return repr(v) if isinstance(v, float) else str(v)
 
 
-def to_prometheus(registry: MetricsRegistry | None = None) -> str:
-    """The registry in the Prometheus text exposition format.
+#: Content types for the two exposition dialects (HTTP negotiation).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+
+def _exemplar_suffix(exemplar: tuple[str, float, float] | None) -> str:
+    """The OpenMetrics exemplar clause for one bucket sample (or '')."""
+    if exemplar is None:
+        return ""
+    trace_id, value, ts = exemplar
+    return (
+        f' # {{trace_id="{_escape_label(trace_id)}"}}'
+        f" {_prom_value(float(value))} {ts:.3f}"
+    )
+
+
+def to_prometheus(
+    registry: MetricsRegistry | None = None, *, openmetrics: bool = False
+) -> str:
+    """The registry in the Prometheus / OpenMetrics text exposition format.
 
     Counters get a ``_total`` suffix, histograms emit cumulative
     ``_bucket{le=...}`` series plus ``_sum`` / ``_count`` — the standard
     shapes every Prometheus scraper understands.
+
+    With ``openmetrics=True`` the output follows the stricter OpenMetrics
+    1.0 dialect instead: metric *family* names drop the ``_total`` suffix
+    in ``# TYPE`` / ``# HELP`` lines (samples keep it), histogram bucket
+    samples carry recorded latency exemplars in ``# {trace_id="..."}``
+    syntax, and the exposition is terminated by the mandatory ``# EOF``
+    line.  Exemplar syntax and the terminator are **only** legal in the
+    OpenMetrics dialect, so emit it only when the scrape negotiated that
+    content type (see the ``/metrics`` handler).
     """
     registry = registry if registry is not None else get_registry()
     lines: list[str] = []
@@ -130,7 +161,9 @@ def to_prometheus(registry: MetricsRegistry | None = None) -> str:
             name = _prom_name(m.name)
             if not name.endswith("_total"):
                 name += "_total"
-            _header(name, "counter", m.help)
+            # OpenMetrics names the *family* without the suffix; the
+            # sample line keeps it either way.
+            _header(name[: -len("_total")] if openmetrics else name, "counter", m.help)
             lines.append(f"{name}{_prom_labels(m.label_dict)} {_prom_value(m.value)}")
         elif m.kind == "gauge":
             name = _prom_name(m.name)
@@ -141,19 +174,23 @@ def to_prometheus(registry: MetricsRegistry | None = None) -> str:
             _header(name, "histogram", m.help)
             cumulative = 0
             counts = m.counts
-            for bound, c in zip(m.buckets, counts):
+            exemplars = m.exemplars if openmetrics else (None,) * len(counts)
+            for bound, c, ex in zip(m.buckets, counts, exemplars):
                 cumulative += c
                 lines.append(
                     f"{name}_bucket"
                     f"{_prom_labels(m.label_dict, {'le': _prom_value(float(bound))})}"
-                    f" {cumulative}"
+                    f" {cumulative}{_exemplar_suffix(ex)}"
                 )
             cumulative += counts[-1]
             lines.append(
-                f"{name}_bucket{_prom_labels(m.label_dict, {'le': '+Inf'})} {cumulative}"
+                f"{name}_bucket{_prom_labels(m.label_dict, {'le': '+Inf'})}"
+                f" {cumulative}{_exemplar_suffix(exemplars[-1])}"
             )
             lines.append(f"{name}_sum{_prom_labels(m.label_dict)} {_prom_value(m.sum)}")
             lines.append(f"{name}_count{_prom_labels(m.label_dict)} {m.count}")
+    if openmetrics:
+        lines.append("# EOF")
     return "\n".join(lines) + ("\n" if lines else "")
 
 

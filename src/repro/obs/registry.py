@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import bisect
 import threading
+import time
 from contextlib import contextmanager
 from typing import Iterator, Mapping, Sequence
 
@@ -201,9 +202,17 @@ class Histogram(_Metric):
     ``>= x`` (the Prometheus ``le`` convention); values above the last
     boundary land in the implicit ``+Inf`` overflow bucket.  ``sum`` and
     ``count`` accumulate alongside, so means survive any bucketing.
+
+    ``observe(x, exemplar=trace_id)`` additionally pins a **latency
+    exemplar** to the bucket: the last trace id observed there, with the
+    exact value and an epoch timestamp.  Exemplars answer "show me a
+    request that was *this* slow" — the JSON exporter carries them
+    per-bucket and the OpenMetrics exporter emits them in exemplar
+    syntax, so a dashboard can jump from a p99 bucket straight to the
+    flight-recorder trace behind it.
     """
 
-    __slots__ = ("buckets", "_counts", "_sum", "_count")
+    __slots__ = ("buckets", "_counts", "_sum", "_count", "_exemplars")
 
     kind = "histogram"
 
@@ -220,14 +229,21 @@ class Histogram(_Metric):
         self._counts = [0] * (len(bounds) + 1)  # trailing slot is +Inf
         self._sum = 0.0
         self._count = 0
+        #: Per-bucket (trace_id, value, epoch_seconds) — last-write-wins,
+        #: bounded by construction at one exemplar per bucket.
+        self._exemplars: list[tuple[str, float, float] | None] = [None] * (
+            len(bounds) + 1
+        )
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, *, exemplar: str | None = None) -> None:
         value = float(value)
         idx = bisect.bisect_left(self.buckets, value)
         with self._lock:
             self._counts[idx] += 1
             self._sum += value
             self._count += 1
+            if exemplar:
+                self._exemplars[idx] = (str(exemplar), value, time.time())
 
     @property
     def count(self) -> int:
@@ -269,15 +285,22 @@ class Histogram(_Metric):
                     return self.buckets[min(idx, len(self.buckets) - 1)]
         return self.buckets[-1]
 
+    @property
+    def exemplars(self) -> tuple[tuple[str, float, float] | None, ...]:
+        """Per-bucket exemplars (trailing entry is the +Inf bucket)."""
+        with self._lock:
+            return tuple(self._exemplars)
+
     def _reset(self) -> None:
         with self._lock:
             self._counts = [0] * (len(self.buckets) + 1)
             self._sum = 0.0
             self._count = 0
+            self._exemplars = [None] * (len(self.buckets) + 1)
 
     def _snapshot(self) -> dict:
         with self._lock:
-            return {
+            out = {
                 "name": self.name,
                 "labels": self.label_dict,
                 "buckets": list(self.buckets),
@@ -285,6 +308,14 @@ class Histogram(_Metric):
                 "sum": self._sum,
                 "count": self._count,
             }
+            if any(self._exemplars):
+                out["exemplars"] = [
+                    None
+                    if e is None
+                    else {"trace_id": e[0], "value": e[1], "timestamp": e[2]}
+                    for e in self._exemplars
+                ]
+            return out
 
 
 class MetricsRegistry:

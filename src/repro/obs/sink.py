@@ -1,0 +1,193 @@
+"""Per-fleet telemetry sink: observed timings keyed for model re-fitting.
+
+The paper builds speed bands from *offline* benchmark points; the
+self-adaptability follow-on (Lastovetsky/Reddy/Rychkov/Clarke,
+arXiv:1109.3074) makes refinement part of execution.  This sink is the
+plumbing between the two: the serving layer (and the adaptive
+simulators) drop their observed solve and per-step timings here, keyed
+by **fleet fingerprint + problem-size band**, and the online-learning
+layer re-fits piecewise-linear bands from the aggregated table instead
+of re-benchmarking.
+
+Two observation kinds share the banding:
+
+* ``solve`` — end-to-end plan latency for one problem size on one fleet
+  (what the serve stack records per answered request);
+* ``step``  — a realised effective *speed* for one machine at one size
+  (what execution steps yield), which is exactly the shape
+  :meth:`repro.adapt.DriftDetector.observe` consumes — see
+  :meth:`DriftDetector.ingest`.
+
+Size bands are powers of two (``[2^k, 2^(k+1))``): coarse enough that a
+band accumulates statistics quickly, fine enough that a paging cliff
+lands in its own band.  Aggregates are exact (count/sum/min/max/last),
+bounded at one cell per (fingerprint, kind, machine, band); a small
+bounded deque of raw step observations per fleet feeds drift detection
+without unbounded growth.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import IO, NamedTuple
+
+from .registry import get_registry
+
+__all__ = ["FleetTelemetrySink", "StepObservation", "size_band"]
+
+
+def size_band(n: float) -> tuple[float, float]:
+    """The power-of-two band ``[lo, hi)`` containing ``n`` (``n >= 0``)."""
+    n = float(n)
+    if n < 1.0:
+        return (0.0, 1.0)
+    k = int(n).bit_length() - 1
+    return (float(2**k), float(2 ** (k + 1)))
+
+
+class StepObservation(NamedTuple):
+    """One raw per-step speed observation (DriftDetector's input shape)."""
+
+    machine: int
+    size: float
+    speed: float
+    time: float
+
+
+@dataclass
+class _Cell:
+    """Exact aggregates of one (fingerprint, kind, machine, band) key."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+    last: float = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        self.last = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class FleetTelemetrySink:
+    """Thread-safe aggregation of observed timings per fleet fingerprint."""
+
+    def __init__(self, *, recent_steps: int = 512):
+        if recent_steps < 0:
+            raise ValueError(f"recent_steps must be non-negative, got {recent_steps}")
+        # key: (fingerprint, kind, machine, band_lo, band_hi)
+        self._cells: dict[tuple[str, str, int, float, float], _Cell] = {}
+        self._recent: dict[str, deque[StepObservation]] = {}
+        self._recent_cap = int(recent_steps)
+        self._lock = threading.Lock()
+        self._observations = get_registry().counter(
+            "serve.telemetry.observations",
+            help="solve/step timings ingested by the per-fleet sink",
+        )
+
+    # -- ingest ---------------------------------------------------------
+    def observe_solve(self, fingerprint: str, *, n: float, seconds: float) -> None:
+        """One observed end-to-end solve latency for problem size ``n``."""
+        lo, hi = size_band(n)
+        key = (str(fingerprint), "solve", -1, lo, hi)
+        with self._lock:
+            cell = self._cells.get(key)
+            if cell is None:
+                cell = self._cells[key] = _Cell()
+            cell.add(float(seconds))
+            self._observations.inc()
+
+    def observe_step(
+        self,
+        fingerprint: str,
+        *,
+        machine: int,
+        size: float,
+        speed: float,
+        time: float = 0.0,
+    ) -> None:
+        """One realised per-machine effective speed at ``size`` elements."""
+        lo, hi = size_band(size)
+        key = (str(fingerprint), "step", int(machine), lo, hi)
+        obs = StepObservation(int(machine), float(size), float(speed), float(time))
+        with self._lock:
+            cell = self._cells.get(key)
+            if cell is None:
+                cell = self._cells[key] = _Cell()
+            cell.add(float(speed))
+            if self._recent_cap:
+                recent = self._recent.get(fingerprint)
+                if recent is None:
+                    recent = self._recent[fingerprint] = deque(maxlen=self._recent_cap)
+                recent.append(obs)
+            self._observations.inc()
+
+    # -- query ----------------------------------------------------------
+    def rows(self, fingerprint: str | None = None) -> list[dict]:
+        """The exportable table, one row per aggregation cell.
+
+        ``solve`` rows aggregate seconds, ``step`` rows aggregate MFlops
+        speeds; rows are sorted (fingerprint, kind, machine, band) so the
+        table is diff-stable across exports.
+        """
+        with self._lock:
+            items = sorted(self._cells.items())
+        out = []
+        for (fp, kind, machine, lo, hi), cell in items:
+            if fingerprint is not None and fp != fingerprint:
+                continue
+            out.append(
+                {
+                    "fingerprint": fp,
+                    "kind": kind,
+                    "machine": machine if machine >= 0 else None,
+                    "band_lo": lo,
+                    "band_hi": hi,
+                    "count": cell.count,
+                    "mean": cell.mean,
+                    "min": cell.min,
+                    "max": cell.max,
+                    "last": cell.last,
+                    "total": cell.total,
+                }
+            )
+        return out
+
+    def recent_steps(
+        self, fingerprint: str, *, limit: int | None = None
+    ) -> list[StepObservation]:
+        """Recent raw step observations for one fleet (oldest first)."""
+        with self._lock:
+            recent = list(self._recent.get(str(fingerprint), ()))
+        return recent[-limit:] if limit is not None else recent
+
+    def fingerprints(self) -> list[str]:
+        with self._lock:
+            return sorted({key[0] for key in self._cells})
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._cells)
+
+    # -- export ---------------------------------------------------------
+    def to_ndjson(self, fh: IO[str], fingerprint: str | None = None) -> int:
+        """One aggregation row per line; returns the row count."""
+        rows = self.rows(fingerprint)
+        for row in rows:
+            fh.write(json.dumps(row, separators=(",", ":")) + "\n")
+        return len(rows)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._cells.clear()
+            self._recent.clear()

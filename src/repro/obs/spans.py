@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Mapping
 
@@ -38,6 +39,13 @@ class Span:
     ``kind`` is ``"wall"`` for clock-timed spans and ``"sim"`` for
     recorded (modelled) durations; ``status`` is ``"ok"`` or ``"error"``
     (the exception type's name lands in ``attrs["error"]``).
+
+    Distributed-tracing identity is optional: ``trace_id`` / ``span_id``
+    / ``parent_id`` stay empty for ordinary in-process spans (zero cost)
+    and are filled by the serve stack, where a span may be serialized in
+    one thread or process and re-attached in another.  ``started`` is an
+    epoch timestamp (0.0 = unrecorded) so stitched trees keep absolute
+    ordering across machines.
     """
 
     name: str
@@ -46,6 +54,10 @@ class Span:
     status: str = "ok"
     attrs: dict[str, Any] = field(default_factory=dict)
     children: list["Span"] = field(default_factory=list)
+    trace_id: str = ""
+    span_id: str = ""
+    parent_id: str = ""
+    started: float = 0.0
 
     def walk(self) -> Iterator["Span"]:
         """Depth-first iteration over this span and its descendants."""
@@ -54,7 +66,7 @@ class Span:
             yield from child.walk()
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "name": self.name,
             "seconds": self.seconds,
             "kind": self.kind,
@@ -62,6 +74,40 @@ class Span:
             "attrs": dict(self.attrs),
             "children": [c.to_dict() for c in self.children],
         }
+        # Trace identity is emitted only when set, keeping the JSON shape
+        # of plain in-process spans unchanged.
+        if self.trace_id:
+            out["trace_id"] = self.trace_id
+        if self.span_id:
+            out["span_id"] = self.span_id
+        if self.parent_id:
+            out["parent_id"] = self.parent_id
+        if self.started:
+            out["started"] = self.started
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: Mapping) -> "Span":
+        """Rebuild a span tree from :meth:`to_dict` output.
+
+        The inverse of :meth:`to_dict`, tolerant of missing optional
+        fields — this is how a worker-side subtree shipped through a
+        queue (or pickled across a process boundary) is re-rooted into
+        the listener-side trace.
+        """
+        span = cls(
+            name=str(raw.get("name", "")),
+            seconds=float(raw.get("seconds", 0.0)),
+            kind=str(raw.get("kind", "wall")),
+            status=str(raw.get("status", "ok")),
+            attrs=dict(raw.get("attrs") or {}),
+            trace_id=str(raw.get("trace_id", "")),
+            span_id=str(raw.get("span_id", "")),
+            parent_id=str(raw.get("parent_id", "")),
+            started=float(raw.get("started", 0.0)),
+        )
+        span.children = [cls.from_dict(c) for c in raw.get("children") or ()]
+        return span
 
 
 class _NoopSpan:
@@ -153,6 +199,38 @@ class Tracer:
     def span(self, name: str, **attrs: Any) -> _SpanContext:
         """Open a wall-clock span (use as a context manager)."""
         return _SpanContext(self, Span(name=name, attrs=attrs))
+
+    @contextmanager
+    def capture(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Collect this thread's spans into a *detached* subtree.
+
+        Opens a wall-clock span like :meth:`span`, but on exit the
+        completed span is **not** attached to the tracer's roots (and no
+        histogram is observed) — it is handed back to the caller, who
+        owns where it goes.  This is the shard-worker primitive: spans
+        opened while a batch solves nest under the captured span, the
+        worker serializes it (:meth:`Span.to_dict`) into the response
+        payload, and the listener side re-roots it into the request's
+        trace — instead of the subtree dying as an orphan root in a
+        worker thread or being lost entirely across a process boundary.
+        """
+        span = Span(name=name, attrs=attrs, started=time.time())
+        self._push(span)
+        t0 = time.perf_counter()
+        try:
+            yield span
+        except BaseException as exc:
+            span.status = "error"
+            span.attrs["error"] = type(exc).__name__
+            raise
+        finally:
+            span.seconds = time.perf_counter() - t0
+            stack = self._stack()
+            if stack and stack[-1] is span:
+                stack.pop()
+            elif span in stack:  # tolerate out-of-order exits
+                stack.remove(span)
+            # Deliberately not attached: the caller owns the subtree.
 
     def record(
         self,

@@ -125,13 +125,22 @@ class ServeClient:
         *,
         timeout_ms: float | None = None,
         allocation: bool = True,
+        trace: Mapping | None = None,
     ) -> dict:
-        """One plan; returns the result item or raises :class:`ServeError`."""
+        """One plan; returns the result item or raises :class:`ServeError`.
+
+        ``trace`` is an optional client-supplied trace context
+        (``{"trace_id": ..., "span_id": ...}``, e.g. from
+        :meth:`repro.obs.TraceContext.to_dict`); the server threads it
+        through its span tree and files the request under that id.
+        """
         fields: dict[str, Any] = {
             "fleet": fingerprint, "n": int(n), "allocation": allocation,
         }
         if timeout_ms is not None:
             fields["timeout_ms"] = timeout_ms
+        if trace is not None:
+            fields["trace"] = dict(trace)
         return _unwrap(self.call("plan", **fields))
 
     def plan_many(
@@ -141,6 +150,7 @@ class ServeClient:
         *,
         timeout_ms: float | None = None,
         allocation: bool = True,
+        trace: Mapping | None = None,
     ) -> list[dict]:
         """A batch; returns per-item verdicts (ok or error dicts)."""
         fields: dict[str, Any] = {
@@ -150,6 +160,8 @@ class ServeClient:
         }
         if timeout_ms is not None:
             fields["timeout_ms"] = timeout_ms
+        if trace is not None:
+            fields["trace"] = dict(trace)
         return _unwrap(self.call("plan_many", **fields))["results"]
 
     def health(self) -> dict:
@@ -212,12 +224,15 @@ class AsyncServeClient:
         *,
         timeout_ms: float | None = None,
         allocation: bool = True,
+        trace: Mapping | None = None,
     ) -> dict:
         fields: dict[str, Any] = {
             "fleet": fingerprint, "n": int(n), "allocation": allocation,
         }
         if timeout_ms is not None:
             fields["timeout_ms"] = timeout_ms
+        if trace is not None:
+            fields["trace"] = dict(trace)
         return _unwrap(await self.call("plan", **fields))
 
     async def plan_many(

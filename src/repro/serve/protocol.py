@@ -17,6 +17,12 @@ Requests::
     {"v": 1, "id": 10, "op": "health"}
     {"v": 1, "id": 11, "op": "stats"}
 
+``plan`` and ``plan_many`` accept an optional ``trace`` object
+(``{"trace_id": "<hex>", "span_id": "<hex>"}``) carrying a
+client-supplied distributed-tracing identity; the response then echoes
+that ``trace_id`` and the flight recorder files the request under it.
+Requests without it get a server-generated trace id.
+
 Responses echo ``v`` and ``id`` and carry either ``"ok": true`` plus a
 ``result`` object, or ``"ok": false`` plus an ``error`` object with a
 machine-readable ``code`` (one of :data:`ERROR_CODES`) and a human
@@ -45,6 +51,7 @@ from ..exceptions import (
     InvalidSpeedFunctionError,
 )
 from ..io import speed_function_from_dict, speed_function_to_dict
+from ..obs.context import TraceContext
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -131,6 +138,7 @@ class PlanRequest:
     n: int
     timeout_ms: float | None = None
     allocation: bool = True
+    trace: TraceContext | None = None
 
     op = "plan"
 
@@ -142,6 +150,7 @@ class PlanManyRequest:
     ns: tuple[int, ...]
     timeout_ms: float | None = None
     allocation: bool = True
+    trace: TraceContext | None = None
 
     op = "plan_many"
 
@@ -199,6 +208,29 @@ def _as_size(value: Any, what: str) -> int:
             "invalid_request", f"{what} must be a number, got {type(value).__name__}"
         )
     return int(value)
+
+
+def _parse_trace(raw: Mapping) -> TraceContext | None:
+    """The request's optional ``trace`` object as a typed context.
+
+    ``{"trace": {"trace_id": "...", "span_id": "..."}}`` lets a client
+    (or an upstream proxy speaking another tracing system) thread its own
+    identity through the service — the response and the flight recorder
+    carry the client's trace id instead of a server-generated one.  The
+    field is new in protocol v1 and optional, so v1 clients that never
+    send it are unaffected.
+    """
+    rec = raw.get("trace")
+    if rec is None:
+        return None
+    if not isinstance(rec, Mapping):
+        raise ProtocolError(
+            "invalid_request", f"trace must be an object, got {type(rec).__name__}"
+        )
+    try:
+        return TraceContext.from_dict(rec)
+    except ValueError as exc:
+        raise ProtocolError("invalid_request", str(exc)) from exc
 
 
 def _parse_timeout(raw: Mapping) -> float | None:
@@ -284,6 +316,7 @@ def parse_request(raw: Any) -> Request:
             n=_as_size(_require(raw, "n", (int, float), "plan"), "n"),
             timeout_ms=_parse_timeout(raw),
             allocation=bool(raw.get("allocation", True)),
+            trace=_parse_trace(raw),
         )
     if op == "plan_many":
         ns = _require(raw, "ns", (list, tuple), "plan_many")
@@ -293,6 +326,7 @@ def parse_request(raw: Any) -> Request:
             ns=tuple(_as_size(n, "ns entries") for n in ns),
             timeout_ms=_parse_timeout(raw),
             allocation=bool(raw.get("allocation", True)),
+            trace=_parse_trace(raw),
         )
     if op == "register_fleet":
         sfs = _require(raw, "speed_functions", (list, tuple), "register_fleet")
@@ -371,19 +405,27 @@ def decode_frame(line: bytes | str) -> dict:
     return obj
 
 
-def ok_response(req_id: Any, result: Mapping) -> dict:
-    return {"v": PROTOCOL_VERSION, "id": req_id, "ok": True, "result": dict(result)}
+def ok_response(req_id: Any, result: Mapping, *, trace_id: str | None = None) -> dict:
+    out = {"v": PROTOCOL_VERSION, "id": req_id, "ok": True, "result": dict(result)}
+    if trace_id:
+        out["trace_id"] = trace_id
+    return out
 
 
-def error_response(req_id: Any, code: str, message: str) -> dict:
+def error_response(
+    req_id: Any, code: str, message: str, *, trace_id: str | None = None
+) -> dict:
     if code not in ERROR_CODES:
         raise ValueError(f"unknown protocol error code {code!r}")
-    return {
+    out = {
         "v": PROTOCOL_VERSION,
         "id": req_id,
         "ok": False,
         "error": {"code": code, "message": str(message)},
     }
+    if trace_id:
+        out["trace_id"] = trace_id
+    return out
 
 
 # ---------------------------------------------------------------------------

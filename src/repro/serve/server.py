@@ -11,8 +11,14 @@ id → future map).
 The optional HTTP listener exists for operability, stdlib-only:
 
 * ``GET /metrics`` — the process registry in Prometheus text format via
-  the existing :func:`repro.obs.to_prometheus` exporter;
+  the existing :func:`repro.obs.to_prometheus` exporter.  Scrapers that
+  negotiate ``application/openmetrics-text`` via the ``Accept`` header
+  get the OpenMetrics dialect instead — latency exemplars on histogram
+  buckets and the mandatory ``# EOF`` terminator;
 * ``GET /health`` / ``GET /stats`` — the service's JSON summaries;
+* ``GET /debug/traces`` — flight-recorder trace summaries
+  (``?errors=1`` / ``?slow=1`` / ``?limit=N`` filters), and
+  ``GET /debug/traces?id=<trace_id>`` for one full span tree;
 * ``POST /v1/rpc`` — one protocol request per POST body.
 
 :func:`start_in_thread` boots a whole server (service, shard pool and
@@ -27,7 +33,8 @@ import asyncio
 import json
 import logging
 import threading
-from typing import Any
+from typing import Any, Mapping
+from urllib.parse import parse_qs, urlsplit
 
 from .. import obs
 from .protocol import (
@@ -231,7 +238,7 @@ class PlanServer:
             if 0 <= length <= MAX_FRAME_BYTES:
                 body = await reader.readexactly(length) if length else b""
                 status, content_type, payload = await self._route_http(
-                    method, path, body
+                    method, path, body, headers
                 )
             else:
                 doc = error_response(
@@ -260,13 +267,28 @@ class PlanServer:
                 pass
 
     async def _route_http(
-        self, method: str, path: str, body: bytes
+        self, method: str, path: str, body: bytes,
+        headers: Mapping[str, str] | None = None,
     ) -> tuple[str, str, bytes]:
         json_type = "application/json; charset=utf-8"
+        headers = headers or {}
+        split = urlsplit(path)
+        path = split.path
+        query = parse_qs(split.query)
         if method == "GET" and path == "/metrics":
-            text = obs.to_prometheus()
-            return ("200 OK", "text/plain; version=0.0.4; charset=utf-8",
-                    text.encode("utf-8"))
+            # Exemplars and the # EOF terminator are only legal in the
+            # OpenMetrics dialect, so emit them only when the scraper
+            # asked for it.
+            accept = headers.get("accept", "")
+            openmetrics = "application/openmetrics-text" in accept
+            text = obs.to_prometheus(openmetrics=openmetrics)
+            content_type = (
+                obs.OPENMETRICS_CONTENT_TYPE if openmetrics
+                else obs.PROMETHEUS_CONTENT_TYPE
+            )
+            return ("200 OK", content_type, text.encode("utf-8"))
+        if method == "GET" and path == "/debug/traces":
+            return self._route_traces(query, json_type)
         if method == "GET" and path == "/health":
             doc = self._service.health()
             status = "200 OK" if doc["status"] == "ok" else "503 Service Unavailable"
@@ -287,6 +309,33 @@ class PlanServer:
             return (status, json_type, json.dumps(doc).encode("utf-8"))
         doc = {"error": f"no route for {method} {path}"}
         return ("404 Not Found", json_type, json.dumps(doc).encode("utf-8"))
+
+    def _route_traces(
+        self, query: Mapping[str, list], json_type: str
+    ) -> tuple[str, str, bytes]:
+        """The flight-recorder debug endpoint (summaries or one detail)."""
+        recorder = self._service.recorder
+        trace_id = (query.get("id") or [None])[0]
+        if trace_id:
+            trace = recorder.get(trace_id)
+            if trace is None:
+                doc = {"error": f"no retained trace with id {trace_id!r}"}
+                return ("404 Not Found", json_type, json.dumps(doc).encode("utf-8"))
+            return ("200 OK", json_type, json.dumps(trace.to_dict()).encode("utf-8"))
+        try:
+            limit = int((query.get("limit") or ["50"])[0])
+        except ValueError:
+            limit = 50
+        errors_only = (query.get("errors") or ["0"])[0] not in ("0", "", "false")
+        slow_only = (query.get("slow") or ["0"])[0] not in ("0", "", "false")
+        traces = recorder.traces(
+            errors_only=errors_only, slow_only=slow_only, limit=max(0, limit)
+        )
+        doc = {
+            "traces": [t.summary() for t in traces],
+            "stats": recorder.stats(),
+        }
+        return ("200 OK", json_type, json.dumps(doc).encode("utf-8"))
 
 
 class ServerHandle:

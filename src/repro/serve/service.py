@@ -42,6 +42,10 @@ from typing import Any, Mapping, Sequence
 from .. import obs
 from ..core.options import PartitionOptions
 from ..exceptions import ReproError
+from ..obs.context import TraceContext
+from ..obs.flight import FlightRecorder, RequestTrace
+from ..obs.sink import FleetTelemetrySink
+from ..obs.spans import Span
 from ..planner import Fleet
 from .protocol import (
     HealthRequest,
@@ -93,6 +97,16 @@ class ServeConfig:
         Listener addresses for :class:`~repro.serve.server.PlanServer`
         (``port=0`` picks an ephemeral port; ``http_port=None`` disables
         the HTTP listener).
+    tracing:
+        Per-request distributed tracing (independent of the global
+        :func:`repro.obs.enable` switch): every ``plan`` / ``plan_many``
+        request gets a trace id, a span tree stitched across the shard
+        boundary, a latency exemplar, and a flight-recorder entry.  Off,
+        requests are counted as *sampled* and only client-supplied trace
+        ids are echoed.
+    flight_capacity / flight_retain / flight_slow_k:
+        Flight-recorder bounds: recent-trace ring size, always-retain
+        (error/shed/deadline) store cap, and top-K-slowest store size.
     """
 
     shards: int = 2
@@ -104,18 +118,38 @@ class ServeConfig:
     host: str = "127.0.0.1"
     port: int = 0
     http_port: int | None = None
+    tracing: bool = True
+    flight_capacity: int = 256
+    flight_retain: int = 1024
+    flight_slow_k: int = 16
 
 
 class _Pending:
-    """One plan request waiting inside a batching window."""
+    """One plan request waiting inside a batching window.
 
-    __slots__ = ("n", "deadline", "allocation", "future")
+    ``trace`` / ``span`` are the request's distributed-tracing identity
+    and its listener-side root span; both are ``None`` when serve-level
+    tracing is off.  A whole ``plan_many`` request shares one span
+    object across its pendings (the batch subtree attaches once).
+    """
 
-    def __init__(self, n: int, deadline: float | None, allocation: bool, future):
+    __slots__ = ("n", "deadline", "allocation", "future", "trace", "span")
+
+    def __init__(
+        self,
+        n: int,
+        deadline: float | None,
+        allocation: bool,
+        future,
+        trace: TraceContext | None = None,
+        span: Span | None = None,
+    ):
         self.n = n
         self.deadline = deadline
         self.allocation = allocation
         self.future = future
+        self.trace = trace
+        self.span = span
 
 
 class _BatchState:
@@ -182,6 +216,18 @@ class PlanningService:
             "serve.batches", help="micro-batches flushed to shards"
         )
 
+        cfg = self._config
+        self._tracing = bool(cfg.tracing)
+        # The recorder and sink exist even with tracing off, so the
+        # /debug/traces route and the stats shape stay stable (the
+        # recorder then only counts sampled-away requests).
+        self._recorder = FlightRecorder(
+            cfg.flight_capacity,
+            retain_capacity=cfg.flight_retain,
+            slow_k=cfg.flight_slow_k,
+        )
+        self._sink = FleetTelemetrySink()
+
     # -- lifecycle ------------------------------------------------------
     @property
     def config(self) -> ServeConfig:
@@ -196,6 +242,16 @@ class PlanningService:
         if self._pool is None:
             raise RuntimeError("the service has not been started")
         return self._pool
+
+    @property
+    def recorder(self) -> FlightRecorder:
+        """The flight recorder holding recently completed request traces."""
+        return self._recorder
+
+    @property
+    def sink(self) -> FleetTelemetrySink:
+        """The per-fleet telemetry sink of observed solve timings."""
+        return self._sink
 
     async def start(self) -> None:
         """Spin up the shard pool; must run on the serving event loop."""
@@ -321,8 +377,15 @@ class PlanningService:
         *,
         timeout_ms: float | None = None,
         allocation: bool = True,
+        trace: TraceContext | None = None,
+        span: Span | None = None,
     ) -> dict:
-        """One plan query through the micro-batcher (an item dict back)."""
+        """One plan query through the micro-batcher (an item dict back).
+
+        ``trace`` / ``span`` carry the request's tracing identity and
+        listener-side root span through the batching window; the shard's
+        captured subtree is stitched under ``span`` on delivery.
+        """
         if self._draining:
             return _item_error("shutting_down", "the service is draining")
         if fingerprint not in self._fleets:
@@ -332,7 +395,7 @@ class PlanningService:
         assert self._loop is not None
         pending = _Pending(
             int(n), self._deadline_for(timeout_ms), allocation,
-            self._loop.create_future(),
+            self._loop.create_future(), trace, span,
         )
         state = self._batches.get(fingerprint)
         if state is None:
@@ -353,6 +416,8 @@ class PlanningService:
         *,
         timeout_ms: float | None = None,
         allocation: bool = True,
+        trace: TraceContext | None = None,
+        span: Span | None = None,
     ) -> list[dict]:
         """A caller-assembled batch: dispatched directly, no window."""
         if self._draining:
@@ -364,7 +429,8 @@ class PlanningService:
         deadline = self._deadline_for(timeout_ms)
         assert self._loop is not None
         pendings = [
-            _Pending(int(n), deadline, allocation, self._loop.create_future())
+            _Pending(int(n), deadline, allocation, self._loop.create_future(),
+                     trace, span)
             for n in ns
         ]
         self._dispatch(fingerprint, pendings)
@@ -382,12 +448,22 @@ class PlanningService:
         """Hand one batch to the owning shard (or shed it, all at once)."""
         if not pendings:
             return
-        items = [
-            {"n": p.n, "deadline": p.deadline, "allocation": p.allocation}
-            for p in pendings
-        ]
+        items = []
+        for p in pendings:
+            item = {"n": p.n, "deadline": p.deadline, "allocation": p.allocation}
+            if p.trace is not None:
+                item["span_id"] = p.trace.span_id
+            items.append(item)
+        # A micro-batch may coalesce requests from different traces; the
+        # first traced request's context rides on the wire and the batch
+        # subtree is re-tagged per request at fan-out (_deliver).
+        batch_trace = next((p.trace for p in pendings if p.trace is not None), None)
         try:
-            future = self.pool.submit_batch(fingerprint, items)
+            future = self.pool.submit_batch(
+                fingerprint,
+                items,
+                trace=None if batch_trace is None else batch_trace.to_dict(),
+            )
         except ReproError as exc:
             err = _item_error("shutting_down", str(exc))
             for p in pendings:
@@ -420,7 +496,21 @@ class PlanningService:
                 payload.get("message", "malformed worker payload"),
             )
             results = [dict(err) for _ in pendings]
+        spans = payload.get("spans")
+        attached: set[int] = set()
         for p, result in zip(pendings, results):
+            if p.span is not None and spans is not None and id(p.span) not in attached:
+                # Fan the shared batch subtree back out: every traced
+                # request gets its own copy, re-tagged with its trace id
+                # and re-rooted under its listener-side span (a
+                # plan_many's pendings share one span — attach once).
+                attached.add(id(p.span))
+                subtree = Span.from_dict(spans)
+                trace_id = p.trace.trace_id if p.trace is not None else p.span.trace_id
+                for node in subtree.walk():
+                    node.trace_id = trace_id
+                subtree.parent_id = p.span.span_id
+                p.span.children.append(subtree)
             if not p.future.done():
                 p.future.set_result(result)
 
@@ -456,7 +546,67 @@ class PlanningService:
             },
             "shards": shards,
             "queue_depths": [] if self._pool is None else self._pool.queue_depths(),
+            "trace": self._recorder.stats(),
+            "telemetry": {
+                "cells": len(self._sink),
+                "fingerprints": self._sink.fingerprints(),
+            },
         }
+
+    # -- tracing --------------------------------------------------------
+    def _open_trace(
+        self, client: TraceContext | None, name: str, **attrs: Any
+    ) -> tuple[TraceContext | None, Span | None]:
+        """The request's own trace identity and listener-side root span.
+
+        A client-supplied context stays the trace's identity (its span
+        becomes our parent); otherwise a fresh trace is started.  With
+        serve tracing off, no span is built — the request is counted as
+        sampled and a client trace id is merely echoed.
+        """
+        if not self._tracing:
+            self._recorder.note_sampled()
+            return client, None
+        ctx = client.child() if client is not None else TraceContext.new()
+        root = Span(
+            name=name,
+            attrs=attrs,
+            trace_id=ctx.trace_id,
+            span_id=ctx.span_id,
+            parent_id=ctx.parent_id or "",
+            started=time.time(),
+        )
+        return ctx, root
+
+    def _close_trace(
+        self,
+        root: Span,
+        op: str,
+        status: str,
+        fleet: str,
+        n: int | None,
+        started_wall: float,
+        seconds: float,
+    ) -> None:
+        """Finish the request's root span and file it with the recorder."""
+        root.seconds = seconds
+        if status != "ok":
+            root.status = "error"
+            root.attrs["code"] = status
+        self._recorder.record(
+            RequestTrace(
+                trace_id=root.trace_id,
+                op=op,
+                status=status,
+                fleet=fleet,
+                n=n,
+                started=started_wall,
+                seconds=seconds,
+                root=root,
+            )
+        )
+        if status == "ok" and fleet and n is not None:
+            self._sink.observe_solve(fleet, n=n, seconds=seconds)
 
     # -- protocol dispatch ----------------------------------------------
     async def handle(self, raw: Any) -> dict:
@@ -464,33 +614,57 @@ class PlanningService:
         self._requests.inc()
         req_id = raw.get("id") if isinstance(raw, Mapping) else None
         started = time.perf_counter()
+        started_wall = time.time()
         op = "invalid"
+        status = "ok"
+        fleet, size = "", None
+        trace_id: str | None = None
+        root: Span | None = None
         try:
             request = parse_request(raw)
             op = request.op
             if isinstance(request, PlanRequest):
+                fleet, size = request.fleet, request.n
+                ctx, root = self._open_trace(request.trace, "serve.plan", n=request.n)
+                trace_id = ctx.trace_id if ctx is not None else None
                 item = await self.plan(
                     request.fleet,
                     request.n,
                     timeout_ms=request.timeout_ms,
                     allocation=request.allocation,
+                    trace=ctx if root is not None else None,
+                    span=root,
                 )
                 if item.get("ok"):
-                    response = ok_response(request.id, item)
+                    response = ok_response(request.id, item, trace_id=trace_id)
                 else:
+                    status = item["code"]
                     response = error_response(
-                        request.id, item["code"], item["message"]
+                        request.id, item["code"], item["message"], trace_id=trace_id
                     )
             elif isinstance(request, PlanManyRequest):
+                fleet = request.fleet
+                ctx, root = self._open_trace(
+                    request.trace, "serve.plan_many", count=len(request.ns)
+                )
+                trace_id = ctx.trace_id if ctx is not None else None
                 items = await self.plan_many(
                     request.fleet,
                     request.ns,
                     timeout_ms=request.timeout_ms,
                     allocation=request.allocation,
+                    trace=ctx if root is not None else None,
+                    span=root,
                 )
-                # Batch responses are always ok at the envelope level;
-                # each item carries its own verdict.
-                response = ok_response(request.id, {"results": items})
+                # The envelope stays ok (each item carries its own
+                # verdict); the recorder files the worst item code so
+                # shed/expired batches land in the always-retain store.
+                bad = next((it for it in items if not it.get("ok", False)), None)
+                if bad is not None:
+                    status = bad.get("code", "internal")
+                response = ok_response(
+                    request.id, {"results": items}, trace_id=trace_id
+                )
             elif isinstance(request, RegisterFleetRequest):
                 info = await self.register_fleet(
                     spec=fleet_spec_from_speed_functions(
@@ -510,13 +684,18 @@ class PlanningService:
                 assert isinstance(request, HealthRequest)
                 response = ok_response(request.id, self.health())
         except ProtocolError as exc:
-            response = error_response(req_id, exc.code, str(exc))
+            status = exc.code
+            response = error_response(req_id, exc.code, str(exc), trace_id=trace_id)
         except Exception as exc:  # noqa: BLE001 - the envelope must not leak
             logger.exception("request handling failed")
-            response = error_response(req_id, error_code_for(exc), str(exc))
-        if obs.is_enabled():
+            status = error_code_for(exc)
+            response = error_response(req_id, status, str(exc), trace_id=trace_id)
+        elapsed = time.perf_counter() - started
+        if obs.is_enabled() or root is not None:
             self._latency[op if op in self._latency else "invalid"].observe(
-                time.perf_counter() - started
+                elapsed, exemplar=trace_id
             )
+        if root is not None:
+            self._close_trace(root, op, status, fleet, size, started_wall, elapsed)
         (self._responses_ok if response["ok"] else self._responses_err).inc()
         return response

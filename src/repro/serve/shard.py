@@ -43,6 +43,8 @@ from typing import Any, Mapping, Sequence
 
 from .. import obs
 from ..exceptions import ConfigurationError
+from ..obs.context import new_span_id
+from ..obs.spans import Span
 from .hashring import HashRing
 from .protocol import error_code_for, speed_functions_from_fleet_spec
 
@@ -127,7 +129,31 @@ def worker_loop(shard_id: int, inbox, outbox) -> None:
                 )
             elif kind == _KIND_BATCH:
                 fingerprint, items = msg[2], msg[3]
-                outbox.put((job_id, _solve_batch(planners, capacities, fingerprint, items)))
+                # Older 4-tuple messages (no trace element) stay valid.
+                trace = msg[4] if len(msg) > 4 else None
+                if trace is None:
+                    outbox.put(
+                        (job_id, _solve_batch(planners, capacities, fingerprint, items))
+                    )
+                else:
+                    # Capture a detached span subtree for this batch: the
+                    # worker runs in another thread (or process), so spans
+                    # attached to the local tracer would never reach the
+                    # listener — instead the subtree rides home inside the
+                    # response payload and is re-rooted per request.
+                    tracer = obs.get_tracer()
+                    with tracer.capture(
+                        "serve.shard.batch", shard=shard_id, items=len(items)
+                    ) as batch_span:
+                        batch_span.trace_id = str(trace.get("trace_id") or "")
+                        batch_span.parent_id = str(trace.get("span_id") or "")
+                        batch_span.span_id = new_span_id()
+                        payload = _solve_batch(
+                            planners, capacities, fingerprint, items,
+                            batch_span=batch_span,
+                        )
+                    payload["spans"] = batch_span.to_dict()
+                    outbox.put((job_id, payload))
             elif kind == _KIND_STATS:
                 fleets = {}
                 for fp, planner in planners.items():
@@ -151,12 +177,28 @@ def worker_loop(shard_id: int, inbox, outbox) -> None:
             outbox.put((job_id, _item_error(error_code_for(exc), str(exc))))
 
 
-def _solve_batch(planners, capacities, fingerprint: str, items: Sequence[Mapping]) -> dict:
-    """Answer one coalesced batch; every item gets an independent verdict."""
+def _solve_batch(
+    planners,
+    capacities,
+    fingerprint: str,
+    items: Sequence[Mapping],
+    *,
+    batch_span: Span | None = None,
+) -> dict:
+    """Answer one coalesced batch; every item gets an independent verdict.
+
+    With ``batch_span`` the worker also files one child span per item
+    (verdict, size, the request's own span id) plus a solve span timing
+    the shared sweep — the structure the listener fans back out to each
+    request's trace.
+    """
     planner = planners.get(fingerprint)
     if planner is None:
         err = _item_error("unknown_fleet", f"fleet {fingerprint!r} is not registered")
-        return {"ok": True, "results": [dict(err) for _ in items]}
+        results = [dict(err) for _ in items]
+        if batch_span is not None:
+            _add_item_spans(batch_span, items, results)
+        return {"ok": True, "results": results}
     capacity = capacities[fingerprint]
     now = time.time()
     results: list[dict | None] = [None] * len(items)
@@ -178,6 +220,7 @@ def _solve_batch(planners, capacities, fingerprint: str, items: Sequence[Mapping
     if solvable:
         # One monotone slope sweep answers the whole batch; items needing
         # allocations keep them, the rest stay summary-only on the wire.
+        t0 = time.perf_counter()
         try:
             plans = planner.plan_many([items[i]["n"] for i in solvable])
         except Exception as exc:  # noqa: BLE001 - pre-validation should prevent this
@@ -189,7 +232,44 @@ def _solve_batch(planners, capacities, fingerprint: str, items: Sequence[Mapping
                 results[i] = result_to_dict(
                     plan, allocation=bool(items[i].get("allocation", True))
                 )
+        if batch_span is not None:
+            batch_span.children.append(
+                Span(
+                    name="serve.shard.solve",
+                    seconds=time.perf_counter() - t0,
+                    attrs={"sizes": len(solvable)},
+                    span_id=new_span_id(),
+                    parent_id=batch_span.span_id,
+                    trace_id=batch_span.trace_id,
+                )
+            )
+    if batch_span is not None:
+        _add_item_spans(batch_span, items, results)
     return {"ok": True, "results": results}
+
+
+def _add_item_spans(batch_span: Span, items: Sequence[Mapping], results) -> None:
+    """One verdict span per batch item, tagged with the request's span id.
+
+    The listener uses ``request_span_id`` to fan the shared batch subtree
+    back out: each request keeps the whole batch context (queueing peers
+    explain latency) but can identify its own item at a glance.
+    """
+    for item, result in zip(items, results):
+        child = Span(
+            name="serve.shard.item",
+            attrs={"n": item.get("n")},
+            span_id=new_span_id(),
+            parent_id=batch_span.span_id,
+            trace_id=batch_span.trace_id,
+        )
+        rid = item.get("span_id")
+        if rid:
+            child.attrs["request_span_id"] = rid
+        if result and not result.get("ok", False):
+            child.status = "error"
+            child.attrs["code"] = result.get("code", "internal")
+        batch_span.children.append(child)
 
 
 class ShardPool:
@@ -312,22 +392,34 @@ class ShardPool:
         with self._futures_lock:
             self._futures.pop(job_id, None)
 
-    def submit_batch(self, fingerprint: str, items: Sequence[Mapping]) -> Future | None:
+    def submit_batch(
+        self,
+        fingerprint: str,
+        items: Sequence[Mapping],
+        *,
+        trace: Mapping | None = None,
+    ) -> Future | None:
         """Enqueue one coalesced batch on the owning shard.
 
         Returns a :class:`concurrent.futures.Future` resolving to the
         worker's batch payload, or ``None`` when the shard's inbox is
         full — the caller sheds the batch with ``overloaded`` responses.
         Raises :class:`ConfigurationError` once the pool is closed.
+
+        ``trace`` is an optional serialized trace context (the wire dict
+        of :class:`~repro.obs.context.TraceContext`); when set, the
+        worker captures its span subtree and ships it back inside the
+        batch payload under ``"spans"``.
         """
         if self._closed:
             raise ConfigurationError("the shard pool is closed")
         shard = self.shard_for(fingerprint)
         job_id, fut = self._new_job()
+        msg = (_KIND_BATCH, job_id, fingerprint, [dict(it) for it in items])
+        if trace is not None:
+            msg = msg + (dict(trace),)
         try:
-            self._inboxes[shard].put_nowait(
-                (_KIND_BATCH, job_id, fingerprint, [dict(it) for it in items])
-            )
+            self._inboxes[shard].put_nowait(msg)
         except queue.Full:
             self._drop_job(job_id)
             return None

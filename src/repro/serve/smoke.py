@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import urllib.request
 
@@ -35,6 +36,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--concurrency", type=int, default=8)
     parser.add_argument("--p", type=int, default=24)
     parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument(
+        "--flight-dump", default=os.environ.get("REPRO_FLIGHT_DUMP", ""),
+        help="on failure, dump the flight recorder's traces to this NDJSON "
+        "file (also read from $REPRO_FLIGHT_DUMP; CI uploads it as an "
+        "artifact)",
+    )
     args = parser.parse_args(argv)
 
     models = build_network_models(table2_network(), "matmul")
@@ -117,6 +124,41 @@ def main(argv: list[str] | None = None) -> int:
             if family not in metrics:
                 print(f"FAIL: /metrics is missing {family}")
                 failures += 1
+
+        # The tracing plane: every served request leaves a retained trace
+        # with a connected span tree reachable by id.
+        traces = json.loads(
+            urllib.request.urlopen(f"{base}/debug/traces?limit=1").read()
+        )
+        recorded = traces["stats"]["recorded"]
+        if recorded < args.requests:
+            print(f"FAIL: flight recorder saw {recorded} traces "
+                  f"< {args.requests} load requests")
+            failures += 1
+        if traces["traces"]:
+            tid = traces["traces"][0]["trace_id"]
+            detail = json.loads(
+                urllib.request.urlopen(f"{base}/debug/traces?id={tid}").read()
+            )
+            span_names = set()
+            stack = [detail.get("spans") or {}]
+            while stack:
+                node = stack.pop()
+                span_names.add(node.get("name"))
+                stack.extend(node.get("children", []))
+            if "serve.shard.batch" not in span_names:
+                print(f"FAIL: trace {tid} has no shard-side spans: {span_names}")
+                failures += 1
+        else:
+            print("FAIL: /debug/traces returned no traces")
+            failures += 1
+
+        if failures and args.flight_dump:
+            parent = os.path.dirname(args.flight_dump)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            count = handle.service.recorder.dump(args.flight_dump)
+            print(f"serve-smoke: dumped {count} traces to {args.flight_dump}")
 
     if failures:
         print(f"serve-smoke: FAILED ({failures} checks)")

@@ -149,3 +149,40 @@ def test_confirmed_drift_is_counted_on_the_adapt_metric(trio, fresh_obs):
     det.observe(0, x, 0.1 * float(trio[0].speed(x)))
     reg = fresh_obs.get_registry()
     assert reg.counter("adapt.drifts").value == 1
+
+
+def test_ingest_bridges_the_telemetry_sink_to_drift_events(trio, fresh_obs):
+    from repro.obs import FleetTelemetrySink
+
+    sink = FleetTelemetrySink()
+    x = 1e4
+    slow = 0.4 * float(trio[1].speed(x))
+    # Live serving telemetry: machine 1 drifts, machine 0 stays on model,
+    # and a machine this detector doesn't know (7) rides along.
+    for t in range(3):
+        sink.observe_step("fp", machine=1, size=x, speed=slow, time=float(t))
+    sink.observe_step("fp", machine=0, size=x, speed=float(trio[0].speed(x)))
+    sink.observe_step("fp", machine=7, size=x, speed=1.0)
+
+    det = DriftDetector(trio, patience=3, smoothing=1.0)
+    events = det.ingest(sink.recent_steps("fp"))
+
+    (ev,) = events
+    assert ev.machine == 1
+    assert ev.time == 2.0
+    assert ev.observed == pytest.approx(slow)
+    assert det.observations == 4  # the unknown machine was skipped
+    assert det.streaks()[0] == 0
+
+
+def test_ingest_empty_and_repeat_batches(trio):
+    from repro.obs.sink import StepObservation
+
+    det = DriftDetector(trio, patience=2)
+    assert det.ingest([]) == []
+    x = 1e4
+    slow = 0.3 * float(trio[0].speed(x))
+    batch = [StepObservation(0, x, slow, 1.0)]
+    assert det.ingest(batch) == []          # streak 1 of 2
+    events = det.ingest(batch)              # streak 2 confirms
+    assert len(events) == 1 and events[0].machine == 0

@@ -1,0 +1,84 @@
+"""TraceContext: identity minting, parent/child links, wire round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.context import TraceContext, new_span_id, new_trace_id
+
+
+class TestIds:
+    def test_trace_id_shape(self):
+        tid = new_trace_id()
+        assert len(tid) == 32
+        assert int(tid, 16) >= 0
+        assert tid == tid.lower()
+
+    def test_span_id_shape(self):
+        sid = new_span_id()
+        assert len(sid) == 16
+        assert int(sid, 16) >= 0
+
+    def test_ids_are_unique(self):
+        assert len({new_trace_id() for _ in range(100)}) == 100
+        assert len({new_span_id() for _ in range(100)}) == 100
+
+
+class TestContext:
+    def test_new_is_a_root(self):
+        ctx = TraceContext.new()
+        assert ctx.parent_id is None
+        assert len(ctx.trace_id) == 32
+        assert len(ctx.span_id) == 16
+
+    def test_child_keeps_trace_and_links_parent(self):
+        root = TraceContext.new()
+        child = root.child()
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert child.span_id != root.span_id
+        grandchild = child.child()
+        assert grandchild.trace_id == root.trace_id
+        assert grandchild.parent_id == child.span_id
+
+    def test_immutable(self):
+        ctx = TraceContext.new()
+        with pytest.raises(AttributeError):
+            ctx.trace_id = "deadbeef"
+
+
+class TestWireForm:
+    def test_round_trip(self):
+        ctx = TraceContext.new().child()
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+
+    def test_root_omits_parent(self):
+        assert "parent_id" not in TraceContext.new().to_dict()
+
+    def test_foreign_hex_ids_ride_through(self):
+        # Any 1..64-char lowercase hex is fine — other tracing systems'
+        # ids must interoperate, not just our widths.
+        ctx = TraceContext.from_dict({"trace_id": "a" * 64, "span_id": "f"})
+        assert ctx.trace_id == "a" * 64
+        assert ctx.span_id == "f"
+
+    def test_missing_span_id_gets_minted(self):
+        ctx = TraceContext.from_dict({"trace_id": "ab12"})
+        assert ctx.trace_id == "ab12"
+        assert len(ctx.span_id) == 16
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            {},
+            {"trace_id": "UPPER"},
+            {"trace_id": "xyz"},
+            {"trace_id": "a" * 65},
+            {"trace_id": 123},
+            {"trace_id": "ab", "span_id": "not hex"},
+            {"trace_id": "ab", "parent_id": ""},
+        ],
+    )
+    def test_malformed_raises_value_error(self, raw):
+        with pytest.raises(ValueError):
+            TraceContext.from_dict(raw)

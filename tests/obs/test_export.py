@@ -154,6 +154,119 @@ class TestPrometheus:
         assert samples[("lat_count", ())] == 1.0
 
 
+class TestOpenMetrics:
+    """The OpenMetrics 1.0 dialect, checked against a strict line parser."""
+
+    # One OpenMetrics sample line: name{labels} value [# {exemplar} value ts]
+    _SAMPLE = re.compile(
+        r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+        r"(?:\{(?P<labels>(?:\w+=\"(?:[^\"\\]|\\.)*\",?)*)\})?"
+        r" (?P<value>\S+)"
+        r"(?P<exemplar> # \{trace_id=\"[0-9a-f]+\"\} \S+ \d+\.\d+)?$"
+    )
+
+    def _strict_parse(self, text: str) -> dict:
+        """Validate every line; returns {family: kind} and sample names."""
+        lines = text.splitlines()
+        assert lines[-1] == "# EOF", "OpenMetrics requires a trailing # EOF"
+        families: dict[str, str] = {}
+        samples: list[re.Match] = []
+        for line in lines[:-1]:
+            if line.startswith("# TYPE "):
+                _, _, rest = line.partition("# TYPE ")
+                family, kind = rest.rsplit(" ", 1)
+                # Counter families must be named WITHOUT the _total suffix.
+                assert not (kind == "counter" and family.endswith("_total")), line
+                families[family] = kind
+            elif line.startswith("# HELP "):
+                continue
+            elif line.startswith("#"):
+                raise AssertionError(f"unexpected comment line: {line!r}")
+            else:
+                m = self._SAMPLE.match(line)
+                assert m, f"unparseable sample line: {line!r}"
+                samples.append(m)
+        return {"families": families, "samples": samples}
+
+    def test_round_trip_through_strict_parser(self, fresh_obs):
+        reg = fresh_obs.get_registry()
+        reg.counter("serve.requests", labels={"op": "plan"}).inc(3)
+        hist = reg.histogram("serve.seconds", buckets=(0.01, 0.1))
+        hist.observe(0.005, exemplar="ab12cd")
+        hist.observe(5.0, exemplar="feedface")
+        parsed = self._strict_parse(to_prometheus(openmetrics=True))
+        assert parsed["families"]["serve_requests"] == "counter"
+        assert parsed["families"]["serve_seconds"] == "histogram"
+        # The counter SAMPLE keeps its _total suffix even in OpenMetrics.
+        names = [m.group("name") for m in parsed["samples"]]
+        assert "serve_requests_total" in names
+        exemplars = [m for m in parsed["samples"] if m.group("exemplar")]
+        assert len(exemplars) == 2
+        assert 'trace_id="ab12cd"' in exemplars[0].group("exemplar")
+
+    def test_exemplar_lands_on_its_bucket(self, fresh_obs):
+        hist = fresh_obs.get_registry().histogram("lat", buckets=(0.01, 0.1))
+        hist.observe(0.5, exemplar="cafe")     # above the last bound -> +Inf
+        text = to_prometheus(openmetrics=True)
+        inf_line = next(
+            line for line in text.splitlines() if 'le="+Inf"' in line
+        )
+        assert 'trace_id="cafe"' in inf_line
+        assert "cafe" not in next(
+            line for line in text.splitlines() if 'le="0.01"' in line
+        )
+
+    def test_classic_exposition_never_carries_openmetrics_syntax(self, fresh_obs):
+        # Exemplars and `# EOF` are ONLY legal in OpenMetrics; a 0.0.4
+        # scrape must not see either even when exemplars were recorded.
+        reg = fresh_obs.get_registry()
+        reg.histogram("lat", buckets=(0.1,)).observe(0.05, exemplar="ab12")
+        text = to_prometheus()
+        assert "# EOF" not in text
+        assert "trace_id" not in text
+        om = to_prometheus(openmetrics=True)
+        assert "# EOF" in om
+        assert 'trace_id="ab12"' in om
+
+    def test_content_type_constants(self):
+        from repro.obs import OPENMETRICS_CONTENT_TYPE, PROMETHEUS_CONTENT_TYPE
+
+        assert "application/openmetrics-text" in OPENMETRICS_CONTENT_TYPE
+        assert PROMETHEUS_CONTENT_TYPE.startswith("text/plain")
+
+
+class TestExemplarsInJson:
+    def test_snapshot_carries_exemplars_only_when_recorded(self, fresh_obs):
+        reg = fresh_obs.get_registry()
+        plain = reg.histogram("plain.seconds", buckets=(0.1,))
+        plain.observe(0.05)
+        traced = reg.histogram("traced.seconds", buckets=(0.1,))
+        traced.observe(0.05, exemplar="ab12")
+        hists = {
+            h["name"]: h for h in reg.snapshot()["histograms"]
+        }
+        assert "exemplars" not in hists["plain.seconds"]
+        recorded = hists["traced.seconds"]["exemplars"]
+        assert recorded[0]["trace_id"] == "ab12"
+        assert recorded[0]["value"] == 0.05
+        assert recorded[1] is None   # the untouched +Inf bucket
+
+    def test_last_write_wins_per_bucket(self, fresh_obs):
+        hist = fresh_obs.get_registry().histogram("h", buckets=(1.0,))
+        hist.observe(0.5, exemplar="old")
+        hist.observe(0.7, exemplar="new")
+        (first, _inf) = hist.exemplars
+        assert first[0] == "new"
+        assert first[1] == 0.7
+
+    def test_reset_clears_exemplars(self, fresh_obs):
+        reg = fresh_obs.get_registry()
+        hist = reg.histogram("h", buckets=(1.0,))
+        hist.observe(0.5, exemplar="ab")
+        reg.reset()
+        assert hist.exemplars == (None, None)
+
+
 class TestFormatSeconds:
     def test_units(self):
         assert format_seconds(2.5) == "2.5s"

@@ -186,6 +186,53 @@ class TestServeCommand:
         assert "(http disabled)" in capsys.readouterr().out
 
 
+class TestServeFacingStatsAndTrace:
+    @pytest.fixture
+    def live_server(self):
+        from repro.experiments import build_network_models, tile_speed_functions
+        from repro.machines import table2_network
+        from repro.serve import ServeClient, ServeConfig, start_in_thread
+
+        config = ServeConfig(shards=1, http_port=0, batch_window=0.001)
+        with start_in_thread(config) as handle:
+            sfs = tile_speed_functions(
+                build_network_models(table2_network(), "matmul"), 4
+            )
+            with ServeClient(handle.host, handle.port) as client:
+                info = client.register_fleet(sfs, name="cli-test")
+                resp = client.call(
+                    "plan", fleet=info["fingerprint"], n=250_000, allocation=False
+                )
+            yield f"{handle.host}:{handle.http_port}", resp["trace_id"]
+
+    def test_stats_serve_renders_trace_counters(self, live_server, capsys):
+        addr, _ = live_server
+        assert main(["stats", "--serve", addr]) == 0
+        out = capsys.readouterr().out
+        assert "serve.trace.recorded" in out
+        assert "serve.trace.sampled" in out
+        assert "cli-test" in out
+
+    def test_stats_serve_json(self, live_server, capsys):
+        addr, _ = live_server
+        assert main(["stats", "--serve", addr, "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["trace"]["recorded"] >= 1
+
+    def test_trace_serve_lists_and_details(self, live_server, capsys):
+        addr, trace_id = live_server
+        assert main(["trace", "--serve", addr]) == 0
+        assert trace_id in capsys.readouterr().out
+        assert main(["trace", "--serve", addr, "--trace-id", trace_id]) == 0
+        out = capsys.readouterr().out
+        assert "serve.plan" in out
+        assert "serve.shard.batch" in out
+
+    def test_unreachable_server_fails_cleanly(self, capsys):
+        assert main(["stats", "--serve", "127.0.0.1:1"]) == 1
+        assert "repro stats:" in capsys.readouterr().err
+
+
 class TestVerifyCommand:
     def test_small_sweep_is_clean(self, capsys):
         assert main([
