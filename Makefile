@@ -19,9 +19,10 @@ bench:
 # perf_guard additionally emits benchmarks/out/metrics.json, fails on a
 # >10% regression of the p=1080 solve vs the recorded baseline (seeded
 # on the first run), fails if the knot-compiled step/rescaled fleets
-# drop below 5x the per-object oracle (bench_core_vectorised), and
-# fails if the disabled-adaptation simulators add >2% over the plain
-# executors.
+# drop below 5x the per-object oracle (bench_core_vectorised), fails if
+# the disabled-adaptation simulators add >2% over the plain executors,
+# and fails if the online refit loop (bench_online_refit) stops closing
+# a 2x band-shape drift to ±5% or costs >5% of serve throughput.
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_perf_allocator.py \
 		benchmarks/bench_obs_overhead.py --benchmark-only \
@@ -30,6 +31,7 @@ bench-smoke:
 		benchmarks/bench_ablation_adaptive.py --benchmark-only \
 		--benchmark-disable-gc -q -s
 	$(PYTHON) benchmarks/bench_core_vectorised.py
+	$(PYTHON) benchmarks/bench_online_refit.py
 	$(PYTHON) benchmarks/perf_guard.py --out benchmarks/out/metrics.json
 
 # End-to-end serving smoke: boots the TCP+HTTP server in-process,

@@ -1,0 +1,191 @@
+"""Online refit gates: drift closure accuracy and amortized serve cost.
+
+The ISSUE's acceptance bars for the online-learning loop:
+
+* **accuracy** — after a 2x band-shape drift (the classic "machine got
+  faster above a size threshold" load change the ±5% band cannot absorb),
+  one :class:`repro.model.OnlineBandRefitter` pass over a window of
+  observed ``(size, speed)`` points must bring the model back within
+  ±5% of the drifted truth at the observed sizes;
+* **cost** — a refit pass fires at most once per
+  ``OnlineRefitConfig.min_observations`` telemetry records, and in steady
+  state each served request contributes roughly one record, so the
+  amortized refit cost per served request is ``refit_seconds / window``.
+  That amortized cost must stay under 5% of a measured served p=1080
+  plan request (the same denominator the tracing gates use).
+
+Runs standalone (``python benchmarks/bench_online_refit.py``) and is
+imported by ``perf_guard.py`` so ``make bench-smoke`` trips on a
+regression in either bar.  Stdlib + repro only.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import Observation  # noqa: E402
+from repro.core.speed_function import PiecewiseLinearSpeedFunction  # noqa: E402
+from repro.model import OnlineBandRefitter  # noqa: E402
+from repro.serve import OnlineRefitConfig  # noqa: E402
+
+#: Acceptance bar: the refitted model tracks the drifted truth to ±5%.
+MAX_RESIDUAL_DEVIATION = 0.05
+
+#: Acceptance bar: amortized refit cost < 5% of a served p=1080 request.
+MAX_REFIT_OVERHEAD = 0.05
+
+#: One refit per this many observations (the serve layer's default).
+REFIT_WINDOW = OnlineRefitConfig().min_observations
+
+#: The injected band-shape drift: 2x speed at and above this size.
+DRIFT_FACTOR = 2.0
+DRIFT_EDGE = 5e5
+
+P = 1080
+
+
+def _pwl(peak: float) -> PiecewiseLinearSpeedFunction:
+    xs = (1e3, 1e4, 1e5, 5e5, 1e6, 2e6)
+    ss = (1.00, 0.98, 0.92, 0.70, 0.20, 0.02)
+    return PiecewiseLinearSpeedFunction(xs, [peak * s for s in ss])
+
+
+def _drifted(fn):
+    def speed(x: float) -> float:
+        s = float(fn.speed(x))
+        return s * DRIFT_FACTOR if x >= DRIFT_EDGE else s
+
+    return speed
+
+
+def _drift_window(machine: int, truth, count: int) -> list[Observation]:
+    return [
+        Observation.from_step(machine, float(x), float(truth(float(x))), time=float(i))
+        for i, x in enumerate(np.linspace(2e4, 2e6, count))
+    ]
+
+
+def measure_refit_accuracy() -> dict:
+    """Residual deviation from the drifted truth, before and after refit.
+
+    Judged at observed sizes past the drift edge: the injected shift is
+    discontinuous at ``DRIFT_EDGE`` and no piecewise-linear model can
+    track through the jump itself, so the band there is not meaningful.
+    """
+    fns = [_pwl(200.0)]
+    truth = _drifted(fns[0])
+    sizes = np.linspace(2e4, 2e6, 120)
+    recs = [
+        Observation.from_step(0, float(x), float(truth(float(x))), time=float(i))
+        for i, x in enumerate(sizes)
+    ]
+    refit = OnlineBandRefitter(fns, name="bench-online-refit").refit(recs)
+    probe = sizes[sizes >= 1.2 * DRIFT_EDGE]
+
+    def rel(fn) -> float:
+        return max(
+            abs(float(fn.speed(float(x))) - truth(float(x))) / truth(float(x))
+            for x in probe
+        )
+
+    return {
+        "shape_changed": refit.shape_changed,
+        "deviation_before": rel(fns[0]),
+        "deviation_after": rel(refit.functions[0]),
+    }
+
+
+def measure_refit_seconds() -> float:
+    """Best-of cost of one refit pass on a p=1080 fleet.
+
+    A realistic serving window: ``REFIT_WINDOW`` observations spread over
+    four machines, one of which drifted — so the pass pays the full
+    per-machine escape scan plus one actual trisection refinement.
+    """
+    fns = [_pwl(100.0 + 10.0 * (i % 40)) for i in range(P)]
+    per = REFIT_WINDOW // 4
+    recs: list[Observation] = []
+    for machine in range(4):
+        truth = _drifted(fns[machine]) if machine == 0 else fns[machine].speed
+        recs.extend(_drift_window(machine, truth, per))
+    refitter = OnlineBandRefitter(fns, name="bench-online-refit-cost")
+    best = float("inf")
+    for _ in range(5):
+        t0 = perf_counter()
+        refitter.refit(recs)
+        best = min(best, perf_counter() - t0)
+    return best
+
+
+def check_accuracy(*, prefix: str = "bench-online-refit") -> int:
+    acc = measure_refit_accuracy()
+    print(
+        f"{prefix}: {DRIFT_FACTOR:.0f}x band-shape drift residual "
+        f"{acc['deviation_before']:.1%} -> {acc['deviation_after']:.2%} "
+        f"after refit (limit {MAX_RESIDUAL_DEVIATION:.0%})"
+    )
+    if not acc["shape_changed"]:
+        print(
+            f"{prefix}: FAIL — refitter did not classify a "
+            f"{DRIFT_FACTOR:.0f}x banded drift as a shape change",
+            file=sys.stderr,
+        )
+        return 1
+    if acc["deviation_before"] <= MAX_RESIDUAL_DEVIATION:
+        print(
+            f"{prefix}: FAIL — injected drift is already within the band "
+            f"({acc['deviation_before']:.1%}); the gate is vacuous",
+            file=sys.stderr,
+        )
+        return 1
+    if acc["deviation_after"] > MAX_RESIDUAL_DEVIATION:
+        print(
+            f"{prefix}: FAIL — refit leaves {acc['deviation_after']:.1%} "
+            f"residual deviation (limit {MAX_RESIDUAL_DEVIATION:.0%})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def check_overhead(*, prefix: str = "bench-online-refit") -> int:
+    from bench_obs_overhead import _measure_served_request
+    from repro.experiments import build_network_models, tile_speed_functions
+    from repro.machines import table2_network
+    from repro.obs.export import format_seconds
+    from repro.planner import Fleet
+
+    mm_models = build_network_models(table2_network(), "matmul")
+    fleet = Fleet(tile_speed_functions(mm_models, P), name=f"refit-bench-p{P}")
+    serve_s = _measure_served_request(fleet, tracing=False)
+    refit_s = measure_refit_seconds()
+    amortized = refit_s / REFIT_WINDOW
+    ratio = amortized / serve_s
+    print(
+        f"{prefix}: refit {format_seconds(refit_s)} / window of "
+        f"{REFIT_WINDOW} = {format_seconds(amortized)} per request on a "
+        f"{format_seconds(serve_s)} served p={P} plan = "
+        f"{ratio:.2%} overhead (limit {MAX_REFIT_OVERHEAD:.0%})"
+    )
+    if ratio > MAX_REFIT_OVERHEAD:
+        print(
+            f"{prefix}: FAIL — amortized refit costs {ratio:.1%} of a "
+            f"served request (limit {MAX_REFIT_OVERHEAD:.0%})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main() -> int:
+    return check_accuracy() | check_overhead()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -322,6 +322,22 @@ def check_serve_tracing() -> int:
     return status
 
 
+def check_online_refit() -> int:
+    """Gate the online refit loop: drift closure and amortized cost.
+
+    Delegates to ``bench_online_refit``: one refit pass over a window of
+    observed points must pull a 2x band-shape drift back inside the ±5%
+    band, and a worst-case pass (a refit *applying* every window) must
+    cost under 5% of a served p=1080 request once amortized over the
+    window that triggers it.
+    """
+    from bench_online_refit import check_accuracy, check_overhead
+
+    return check_accuracy(prefix="perf-guard") | check_overhead(
+        prefix="perf-guard"
+    )
+
+
 def check_compiled_speedups(speedups: dict) -> int:
     """Gate the knot-compiled fast path against the per-object oracle.
 
@@ -455,6 +471,7 @@ def main(argv: list[str] | None = None) -> int:
         | check_compiled_speedups(speedups)
         | check_adaptive_overhead()
         | check_serve_tracing()
+        | check_online_refit()
     )
 
 

@@ -83,6 +83,8 @@ from .exceptions import (
     MeasurementError,
     ReproError,
 )
+from .model import ModelBuildOptions, OnlineBandRefitter
+from .obs import Observation
 from .planner import CacheStats, Fleet, PlanCache, Planner, PlannerStats
 
 __version__ = "1.0.0"
@@ -105,6 +107,9 @@ __all__ = [
     "InvalidSpeedFunctionError",
     "MeasurementError",
     "MigrationPlan",
+    "ModelBuildOptions",
+    "Observation",
+    "OnlineBandRefitter",
     "PartitionOptions",
     "PartitionResult",
     "PlanCache",

@@ -6,6 +6,9 @@ executions on real networks, where section 1's "constant and stochastic
 fluctuations in the workload" become permanent shifts and machines
 disappear altogether:
 
+* :mod:`repro.adapt.observation` — the frozen :class:`Observation`
+  record shared by telemetry ingest, drift detection and the online
+  band refitter (:class:`repro.model.OnlineBandRefitter`);
 * :mod:`repro.adapt.detector` — :class:`DriftDetector` judges per-step
   effective-speed observations against the model's
   :class:`~repro.core.band.SpeedBand` envelopes and confirms drifts
@@ -46,6 +49,7 @@ from .faults import (
 from .lu import AdaptiveLUSimulation, simulate_lu_adaptive
 from .migration import MigrationPlan, Move, apply_migration, plan_migration
 from .mm import AdaptiveMMSimulation, simulate_striped_matmul_adaptive
+from .observation import Observation
 from .replanner import (
     DISABLED,
     AdaptivePolicy,
@@ -71,6 +75,7 @@ __all__ = [
     "LoadShift",
     "MigrationPlan",
     "Move",
+    "Observation",
     "ReplanDecision",
     "Replanner",
     "RetryExhaustedError",

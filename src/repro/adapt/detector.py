@@ -181,15 +181,18 @@ class DriftDetector:
     def ingest(self, observations) -> list[DriftEvent]:
         """Feed a batch of step observations; return every confirmed drift.
 
-        ``observations`` is an iterable of
-        :class:`~repro.obs.sink.StepObservation`-shaped records (anything
-        with ``machine`` / ``size`` / ``speed`` / ``time`` attributes),
-        which is exactly what
-        :meth:`repro.obs.sink.FleetTelemetrySink.recent_steps` returns —
-        the bridge from live serving telemetry to drift confirmation.
-        Observations for machines this detector does not know are
-        skipped (a sink may aggregate a larger fleet than one detector
-        watches); malformed ones raise as :meth:`observe` would.
+        ``observations`` is an iterable of unified
+        :class:`~repro.adapt.Observation` records — what
+        :meth:`repro.obs.FleetTelemetrySink.recent` returns, the bridge
+        from live serving telemetry to drift confirmation.  Anything
+        observation-shaped (``machine`` / ``size`` / ``speed`` /
+        ``time`` attributes) is accepted, so the legacy
+        :class:`~repro.obs.sink.StepObservation` tuples from
+        ``recent_steps`` keep working.  Observations for machines this
+        detector does not know are skipped (a sink may aggregate a
+        larger fleet than one detector watches — and fleet-level
+        ``machine == -1`` solve records skip automatically); malformed
+        ones raise as :meth:`observe` would.
         """
         events: list[DriftEvent] = []
         for rec in observations:

@@ -61,15 +61,30 @@ class LoadShift:
 
     ``factor`` in ``(0, 1)`` models a new permanent background workload
     (the paper's shifted band); ``factor > 1`` models load *removal*.
+
+    ``above_size`` makes the shift a **band-shape** drift: the factor
+    applies only to problem sizes ``>= above_size`` (a resident workload
+    that evicts the large-problem working set — the paging region moves
+    — while cache-resident sizes are untouched).  The default ``0.0``
+    keeps the classic whole-band rescale, which an EWMA correction
+    factor can capture; a positive ``above_size`` cannot be expressed as
+    a rescale and requires the online refitter.
     """
 
     machine: int
     at_time: float
     factor: float
+    above_size: float = 0.0
 
     def __post_init__(self) -> None:
         if self.machine < 0 or self.at_time < 0 or self.factor <= 0:
             raise ConfigurationError(f"invalid load-shift event {self!r}")
+        if self.above_size < 0:
+            raise ConfigurationError(f"invalid load-shift event {self!r}")
+
+    def factor_at(self, size: float) -> float:
+        """The effective speed factor at problem size ``size``."""
+        return self.factor if size >= self.above_size else 1.0
 
 
 @dataclass(frozen=True)

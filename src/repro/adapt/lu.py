@@ -262,6 +262,7 @@ def simulate_lu_adaptive(
     shifts = list(script.load_shifts())
 
     shift_factor = np.ones(p, dtype=float)
+    size_shifts: list[list] = [[] for _ in range(p)]  # band-shape shifts
     alive = np.ones(p, dtype=bool)
     trace = SimulationTrace()
     events: list[str] = []
@@ -273,9 +274,12 @@ def simulate_lu_adaptive(
     dropouts_survived = 0
     cooldown_until_step = 0
 
-    def effective(i: int, step: int) -> float:
-        """Multiplier on machine ``i``'s truth speed at this step."""
-        return (1.0 - loads.load(i, step)) * float(shift_factor[i])
+    def effective(i: int, step: int, size: float) -> float:
+        """Multiplier on machine ``i``'s truth speed at this step/size."""
+        factor = float(shift_factor[i])
+        for ev in size_shifts[i]:
+            factor *= ev.factor_at(size)
+        return (1.0 - loads.load(i, step)) * factor
 
     def scaled_model(factors: np.ndarray) -> list[SpeedFunction]:
         return [
@@ -351,11 +355,19 @@ def simulate_lu_adaptive(
             while shifts and shifts[0].at_time <= t:
                 ev = shifts.pop(0)
                 if ev.machine < p:
-                    shift_factor[ev.machine] *= ev.factor
-                    events.append(
-                        f"step {k}: load shift x{ev.factor:g} on machine "
-                        f"{ev.machine}"
-                    )
+                    if ev.above_size > 0.0:
+                        # Band-shape shift: only sizes >= above_size slow.
+                        size_shifts[ev.machine].append(ev)
+                        events.append(
+                            f"step {k}: load shift x{ev.factor:g} on machine "
+                            f"{ev.machine} above size {ev.above_size:g}"
+                        )
+                    else:
+                        shift_factor[ev.machine] *= ev.factor
+                        events.append(
+                            f"step {k}: load shift x{ev.factor:g} on machine "
+                            f"{ev.machine}"
+                        )
             # -- scripted dropouts -----------------------------------------
             dropped = []
             while dropouts and dropouts[0].at_time <= t:
@@ -382,7 +394,7 @@ def simulate_lu_adaptive(
                 raise InfeasiblePartitionError(
                     f"block {k} owned by dead machine {owner} after recovery"
                 )
-            eff_owner = effective(owner, k)
+            eff_owner = effective(owner, k, float(rem) * width)
             if eff_owner <= 0:
                 raise ConfigurationError(
                     f"machine {owner} has non-positive effective speed"
@@ -405,8 +417,8 @@ def simulate_lu_adaptive(
                     cols = float(counts[i]) * b
                     if cols == 0 or not alive[i]:
                         continue
-                    eff = effective(i, k)
                     x = float(rem) * cols
+                    eff = effective(i, k, x)
                     speed = _speed_at(truth_speed_functions[i], x) * eff
                     flops = 2.0 * trailing_rows * width * cols
                     updates[i] = flops / (1e6 * speed)

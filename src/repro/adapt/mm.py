@@ -236,6 +236,7 @@ def simulate_striped_matmul_adaptive(
     held = elements.astype(np.int64)          # data each machine holds
     remaining = held.astype(float)            # elements left to compute
     shift_factor = np.ones(p, dtype=float)    # permanent scripted load shifts
+    size_shifts: list[list] = [[] for _ in range(p)]  # band-shape shifts
     alive = np.ones(p, dtype=bool)
     finish = np.zeros(p, dtype=float)
     stall_until = 0.0
@@ -266,10 +267,19 @@ def simulate_striped_matmul_adaptive(
         while shifts and shifts[0].at_time <= t:
             ev = shifts.pop(0)
             if ev.machine < p:
-                shift_factor[ev.machine] *= ev.factor
-                events.append(
-                    f"t={t:.4g}: load shift x{ev.factor:g} on machine {ev.machine}"
-                )
+                if ev.above_size > 0.0:
+                    # A band-*shape* shift: only sizes >= above_size slow
+                    # down, which no scalar factor can express.
+                    size_shifts[ev.machine].append(ev)
+                    events.append(
+                        f"t={t:.4g}: load shift x{ev.factor:g} on machine "
+                        f"{ev.machine} above size {ev.above_size:g}"
+                    )
+                else:
+                    shift_factor[ev.machine] *= ev.factor
+                    events.append(
+                        f"t={t:.4g}: load shift x{ev.factor:g} on machine {ev.machine}"
+                    )
         # -- scripted dropouts ---------------------------------------------
         while dropouts and dropouts[0].at_time <= t:
             ev = dropouts.pop(0)
@@ -333,7 +343,10 @@ def simulate_striped_matmul_adaptive(
                 sf = truth_speed_functions[i]
                 base_speed = float(sf.speed(min(size, sf.max_size)))
                 lam = streams.load(i, step)
-                observed = base_speed * (1.0 - lam) * shift_factor[i]
+                factor = float(shift_factor[i])
+                for ev in size_shifts[i]:
+                    factor *= ev.factor_at(size)
+                observed = base_speed * (1.0 - lam) * factor
                 if observed <= 0:
                     continue
                 rate = observed * 1e6 / flops_per_element  # elements/second

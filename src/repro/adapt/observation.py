@@ -1,0 +1,24 @@
+"""The unified observation record, re-exported for the adaptive layer.
+
+:class:`Observation` is *defined* in :mod:`repro.obs.sink` — the lowest
+layer of the stack — because both :mod:`repro.adapt` and
+:mod:`repro.serve` consume it and neither may import the other.  This
+module gives it its documented home in the adaptive API
+(``repro.adapt.Observation``): the one frozen record shared by
+:meth:`repro.obs.FleetTelemetrySink.observe`,
+:meth:`repro.adapt.DriftDetector.ingest` and
+:class:`repro.model.OnlineBandRefitter`.
+
+The older per-consumer shapes remain as thin adapters with deprecation
+notes: :class:`repro.obs.StepObservation` (and
+``FleetTelemetrySink.recent_steps`` / ``observe_step`` /
+``observe_solve``) for telemetry, and bare ``(machine, size, speed,
+time)`` attribute bags for :meth:`DriftDetector.ingest`, which accepts
+anything observation-shaped.
+"""
+
+from __future__ import annotations
+
+from ..obs.sink import Observation
+
+__all__ = ["Observation"]

@@ -212,6 +212,7 @@ class Replanner:
         self._planners: OrderedDict[tuple, Planner] = OrderedDict()
         self.replans_applied = 0
         self.replans_considered = 0
+        self.refits_applied = 0
 
     @property
     def p(self) -> int:
@@ -265,6 +266,32 @@ class Replanner:
     ) -> PartitionResult:
         """Optimal partition of ``n`` elements under the observed speeds."""
         return self.planner_for(factors).plan(n)
+
+    def apply_refit(self, refit) -> bool:
+        """Adopt an online band refit as the new base model.
+
+        ``refit`` is a :class:`repro.model.FleetRefit` (duck-typed: any
+        object with ``changed`` / ``shape_changed`` / ``functions`` /
+        ``fleet``).  The refit is adopted only when the band **shape**
+        drifted — a scale-only drift is already captured, cheaper, by
+        the EWMA correction factors feeding :meth:`planner_for`, so
+        swapping the base fleet (and dropping every warm planner) would
+        cost more than it buys.  Returns whether the refit was applied.
+        """
+        if not getattr(refit, "changed", False):
+            return False
+        if not getattr(refit, "shape_changed", True):
+            return False
+        functions = tuple(refit.functions)
+        if len(functions) != self.p:
+            raise ConfigurationError(
+                f"refit carries {len(functions)} functions for {self.p} processors"
+            )
+        self._base = functions
+        self._base_fleet = refit.fleet
+        self._planners.clear()
+        self.refits_applied += 1
+        return True
 
     # -- decisions ------------------------------------------------------
     def consider(

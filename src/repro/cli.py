@@ -358,6 +358,14 @@ def _render_serve_stats(args: argparse.Namespace) -> None:
         ("serve.trace.evicted", "", trace.get("evicted", 0)),
         ("serve.trace.sampled", "", trace.get("sampled", 0)),
     ]
+    refit = doc.get("refit") or {}
+    counters = refit.get("counters") or {}
+    rows.extend(
+        (f"model.refit.{name}", "", counters.get(name, 0)) for name in sorted(counters)
+    )
+    rows.append(
+        ("planner.cache.invalidations", "refit", refit.get("invalidated", 0))
+    )
     print(ascii_table(["metric", "labels", "value"], rows, title="Serve counters"))
     recorder_rows = [
         (k, trace.get(k, 0))
@@ -367,13 +375,15 @@ def _render_serve_stats(args: argparse.Namespace) -> None:
     print(ascii_table(["flight recorder", "value"], recorder_rows))
     fleets = doc.get("fleets") or {}
     if fleets:
+        per_fleet = refit.get("fleets") or {}
         print()
         print(
             ascii_table(
-                ["fleet", "name", "p", "shard"],
+                ["fleet", "name", "p", "shard", "refits"],
                 [
                     (fp[:16], info.get("name", ""), info.get("p", ""),
-                     info.get("shard", ""))
+                     info.get("shard", ""),
+                     per_fleet.get(fp, {}).get("refits", 0))
                     for fp, info in sorted(fleets.items())
                 ],
                 title="Registered fleets",

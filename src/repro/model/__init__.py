@@ -2,7 +2,15 @@
 
 from .adaptive import AdaptiveModel, simplify_model
 
-from .builder import DEFAULT_EPSILON, BuiltModel, build_piecewise_model, repair_monotone_g
+from .builder import (
+    DEFAULT_EPSILON,
+    BuiltModel,
+    ModelBuildOptions,
+    build_piecewise_model,
+    repair_monotone_g,
+    speeds_close,
+    within_band,
+)
 from .fitting import estimate_band, max_relative_deviation, relative_deviation
 from .measurement import (
     Measurement,
@@ -12,12 +20,17 @@ from .measurement import (
     measure_mm_speed,
     time_callable,
 )
+from .online import FleetRefit, MachineRefit, OnlineBandRefitter
 
 __all__ = [
     "AdaptiveModel",
     "BuiltModel",
     "DEFAULT_EPSILON",
+    "FleetRefit",
+    "MachineRefit",
     "Measurement",
+    "ModelBuildOptions",
+    "OnlineBandRefitter",
     "SimulatedBenchmark",
     "build_piecewise_model",
     "estimate_band",
@@ -28,5 +41,7 @@ __all__ = [
     "relative_deviation",
     "repair_monotone_g",
     "simplify_model",
+    "speeds_close",
     "time_callable",
+    "within_band",
 ]

@@ -22,11 +22,18 @@ The assembled knots are lightly repaired to restore the strict decrease of
 ``g(x) = s(x)/x`` that measurement noise can break (a knot's speed is at
 most clipped down by the noise amplitude; see :func:`repair_monotone_g`),
 because the partitioning algorithms require that invariant exactly.
+
+The knobs of the procedure live in the frozen :class:`ModelBuildOptions`
+dataclass (mirroring ``PartitionOptions``); the band's escape test is
+exposed as :func:`within_band` / :func:`speeds_close` and the recursion
+as a shared helper, so the *online* refitter
+(:class:`repro.model.OnlineBandRefitter`) applies the identical
+section-3.1 rules to observed telemetry instead of fresh benchmarks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace as _dc_replace
 from typing import Callable
 
 import numpy as np
@@ -35,10 +42,84 @@ from ..core.band import SpeedBand, constant_width_schedule
 from ..core.speed_function import PiecewiseLinearSpeedFunction
 from ..exceptions import ConfigurationError, MeasurementError
 
-__all__ = ["BuiltModel", "build_piecewise_model", "repair_monotone_g"]
+__all__ = [
+    "BuiltModel",
+    "ModelBuildOptions",
+    "build_piecewise_model",
+    "repair_monotone_g",
+    "speeds_close",
+    "within_band",
+]
 
 #: The paper's acceptable deviation between the approximation and reality.
 DEFAULT_EPSILON = 0.05
+
+
+@dataclass(frozen=True)
+class ModelBuildOptions:
+    """The section-3.1 procedure's knobs, validated once and frozen.
+
+    Mirrors the ``PartitionOptions`` pattern: one immutable bag shared by
+    the offline builder (:func:`build_piecewise_model`) and the online
+    refitter (:class:`repro.model.OnlineBandRefitter`), rejecting bad
+    values through the same :class:`~repro.exceptions.ConfigurationError`
+    paths.  All fields keep the keyword defaults
+    :func:`build_piecewise_model` has always had:
+
+    * ``eps`` — relative half-width of the acceptance band (paper's 5 %);
+    * ``min_gap`` — smallest sub-interval worth refining; ``None`` means
+      ``(b - a) / 729`` (six levels of trisection), see :meth:`gap_for`;
+    * ``max_depth`` — hard recursion bound;
+    * ``spacing`` — ``"linear"`` trisects at equal lengths (the paper's
+      literal procedure), ``"log"`` at equal ratios;
+    * ``min_ratio`` — with ``spacing="log"``: stop once ``x_r/x_l``
+      falls below this;
+    * ``pin_zero_at_b`` — pin ``s(b) = 0`` without measuring (the
+      paper's choice for a thrashing-size ``b``).
+    """
+
+    eps: float = DEFAULT_EPSILON
+    min_gap: float | None = None
+    max_depth: int = 24
+    spacing: str = "linear"
+    min_ratio: float = 1.02
+    pin_zero_at_b: bool = True
+
+    def __post_init__(self) -> None:
+        if not (0 < self.eps < 1):
+            raise ConfigurationError(f"eps must be in (0, 1), got {self.eps!r}")
+        if self.min_gap is not None and self.min_gap <= 0:
+            raise ConfigurationError(
+                f"min_gap must be positive, got {self.min_gap!r}"
+            )
+        if int(self.max_depth) < 1:
+            raise ConfigurationError(
+                f"max_depth must be at least 1, got {self.max_depth!r}"
+            )
+        if self.spacing not in ("linear", "log"):
+            raise ConfigurationError(
+                f"spacing must be 'linear' or 'log', got {self.spacing!r}"
+            )
+        if self.min_ratio <= 1.0:
+            raise ConfigurationError(
+                f"min_ratio must exceed 1, got {self.min_ratio!r}"
+            )
+
+    @classmethod
+    def field_names(cls) -> tuple[str, ...]:
+        return tuple(f.name for f in fields(cls))
+
+    def replace(self, **changes) -> "ModelBuildOptions":
+        """A copy with ``changes`` applied (re-validated)."""
+        unknown = set(changes) - set(self.field_names())
+        if unknown:
+            name = sorted(unknown)[0]
+            raise ConfigurationError(f"unknown model-build option {name!r}")
+        return _dc_replace(self, **changes)
+
+    def gap_for(self, a: float, b: float) -> float:
+        """The effective ``min_gap`` on the interval ``[a, b]``."""
+        return self.min_gap if self.min_gap is not None else (b - a) / 729.0
 
 
 @dataclass
@@ -84,17 +165,115 @@ def repair_monotone_g(
     return xs, ss
 
 
+def within_band(
+    x: float,
+    s: float,
+    xl: float,
+    sl: float,
+    xr: float,
+    sr: float,
+    *,
+    eps: float,
+    floor: float = 0.0,
+) -> bool:
+    """The section-3.1 escape test: is ``(x, s)`` inside the ``±eps`` band
+    of the linear piece through ``(xl, sl)-(xr, sr)``?
+
+    ``floor`` is the reference speed that keeps the tolerance from
+    degenerating where the interpolant approaches zero — the builder
+    passes ``s(a)``, the observed speed at the smallest size.
+    """
+    interp = sl + (sr - sl) * (x - xl) / (xr - xl)
+    tol = eps * max(abs(interp), eps * floor)
+    return abs(s - interp) <= tol
+
+
+def speeds_close(s1: float, s2: float, *, eps: float, floor: float = 0.0) -> bool:
+    """Are two speeds indistinguishable at the band's resolution?"""
+    return abs(s1 - s2) <= eps * max(abs(s1), abs(s2), eps * floor)
+
+
+def _trisect(
+    run: Callable[[float], float],
+    knots: dict[float, float],
+    xl: float,
+    sl: float,
+    xr: float,
+    sr: float,
+    depth: int,
+    *,
+    eps: float,
+    floor: float,
+    gap: float,
+    max_depth: int,
+    spacing: str,
+    min_ratio: float,
+) -> None:
+    """One section-3.1 trisection step, recursing into unexplained sides.
+
+    Shared verbatim by the offline builder and the online refitter:
+    ``run`` is whatever produces a speed at a probe size (a benchmark
+    call offline, an observation interpolant online) and ``knots``
+    collects the accepted points in place.
+    """
+    if depth >= max_depth:
+        return
+    if spacing == "linear":
+        if xr - xl <= gap:
+            return
+        xb1 = xl + (xr - xl) / 3.0
+        xb2 = xl + 2.0 * (xr - xl) / 3.0
+    else:
+        ratio = xr / xl
+        if ratio <= min_ratio or xr - xl <= 1.0:
+            return
+        # Geometric first probe: resolves decade-spanning structure
+        # near the left end (ramps, cache steps).  Linear second probe:
+        # sits in the bulk of the interval, so a collapse anywhere in
+        # the middle cannot hide under the chord (a pair of geometric
+        # probes would both crowd the left edge, where the chord is
+        # trivially close to s(x_l)).
+        xb1 = xl * ratio ** (1.0 / 3.0)
+        xb2 = xl + 2.0 * (xr - xl) / 3.0
+    sb1 = run(xb1)
+    sb2 = run(xb2)
+    ok1 = within_band(xb1, sb1, xl, sl, xr, sr, eps=eps, floor=floor)
+    ok2 = within_band(xb2, sb2, xl, sl, xr, sr, eps=eps, floor=floor)
+    if ok1 and ok2:
+        # Case 2a: the current band explains both experiments; this
+        # linear piece is final.
+        return
+    knots[float(xb1)] = sb1
+    knots[float(xb2)] = sb2
+    # Cases 2b-2d: recurse only into sub-intervals the band does not
+    # already explain.  An interior point matching its outer neighbour
+    # (to band resolution) closes that side.
+    if not (ok1 or speeds_close(sb1, sl, eps=eps, floor=floor)):
+        _trisect(
+            run, knots, xl, sl, xb1, sb1, depth + 1,
+            eps=eps, floor=floor, gap=gap, max_depth=max_depth,
+            spacing=spacing, min_ratio=min_ratio,
+        )
+    _trisect(
+        run, knots, xb1, sb1, xb2, sb2, depth + 1,
+        eps=eps, floor=floor, gap=gap, max_depth=max_depth,
+        spacing=spacing, min_ratio=min_ratio,
+    )
+    if not (ok2 or speeds_close(sb2, sr, eps=eps, floor=floor)):
+        _trisect(
+            run, knots, xb2, sb2, xr, sr, depth + 1,
+            eps=eps, floor=floor, gap=gap, max_depth=max_depth,
+            spacing=spacing, min_ratio=min_ratio,
+        )
+
+
 def build_piecewise_model(
     measure: Callable[[float], float],
     a: float,
     b: float,
     *,
-    eps: float = DEFAULT_EPSILON,
-    min_gap: float | None = None,
-    max_depth: int = 24,
-    spacing: str = "linear",
-    min_ratio: float = 1.02,
-    pin_zero_at_b: bool = True,
+    options: ModelBuildOptions | None = None,
+    **kwargs,
 ) -> BuiltModel:
     """Run the section-3.1 procedure against a benchmark callable.
 
@@ -110,40 +289,21 @@ def build_piecewise_model(
     b:
         Largest size; the speed there is *pinned to zero* per the paper,
         not measured (the machine would thrash for hours).
-    eps:
-        Relative half-width of the acceptance band (the paper's 5 %).
-    min_gap:
-        Smallest sub-interval worth refining; defaults to ``(b-a)/729``
-        (six levels of trisection).
-    max_depth:
-        Hard recursion bound.
-    spacing:
-        ``"linear"`` trisects intervals at equal *lengths* — the paper's
-        literal procedure.  ``"log"`` trisects at equal *ratios*, which
-        resolves features spanning decades (start-up ramps, early cache
-        steps) with far fewer experiments; a documented extension used by
-        the reproduction's experiment drivers.
-    min_ratio:
-        With ``spacing="log"``: stop refining once ``x_right/x_left``
-        falls below this ratio.
-    pin_zero_at_b:
-        The paper chooses ``b`` past the memory+swap limit and pins
-        ``s(b) = 0`` without measuring (the machine would thrash for
-        hours).  Pass ``False`` when ``b`` is a *solvable* size — e.g.
-        when benchmarking a real host over a modest range — to measure
-        the speed at ``b`` instead.
+    options:
+        A :class:`ModelBuildOptions` bag.  The individual knobs (``eps``,
+        ``min_gap``, ``max_depth``, ``spacing``, ``min_ratio``,
+        ``pin_zero_at_b``) are still accepted as keyword arguments for
+        backward compatibility and override the bag's fields; unknown
+        keywords raise :class:`~repro.exceptions.ConfigurationError`.
     """
     if not (0 < a < b):
         raise ConfigurationError(f"need 0 < a < b, got a={a!r}, b={b!r}")
-    if not (0 < eps < 1):
-        raise ConfigurationError(f"eps must be in (0, 1), got {eps!r}")
-    if spacing not in ("linear", "log"):
-        raise ConfigurationError(f"spacing must be 'linear' or 'log', got {spacing!r}")
-    if min_ratio <= 1.0:
-        raise ConfigurationError(f"min_ratio must exceed 1, got {min_ratio!r}")
-    gap = min_gap if min_gap is not None else (b - a) / 729.0
-    if gap <= 0:
-        raise ConfigurationError(f"min_gap must be positive, got {gap!r}")
+    if kwargs:
+        base = options if options is not None else ModelBuildOptions()
+        options = base.replace(**kwargs)
+    elif options is None:
+        options = ModelBuildOptions()
+    gap = options.gap_for(a, b)
 
     experiments = 0
 
@@ -158,65 +318,20 @@ def build_piecewise_model(
     s_a = run(a)
     if s_a <= 0:
         raise MeasurementError(f"speed at the smallest size must be positive, got {s_a!r}")
-    s_b = 0.0 if pin_zero_at_b else run(b)
+    s_b = 0.0 if options.pin_zero_at_b else run(b)
     knots: dict[float, float] = {float(a): s_a, float(b): s_b}
 
-    def within(x: float, s: float, xl: float, sl: float, xr: float, sr: float) -> bool:
-        """Is the observation inside the ``±eps`` band of the linear piece?"""
-        interp = sl + (sr - sl) * (x - xl) / (xr - xl)
-        tol = eps * max(abs(interp), eps * s_a)
-        return abs(s - interp) <= tol
-
-    def close(s1: float, s2: float) -> bool:
-        """Are two speeds indistinguishable at the band's resolution?"""
-        return abs(s1 - s2) <= eps * max(abs(s1), abs(s2), eps * s_a)
-
-    def refine(xl: float, sl: float, xr: float, sr: float, depth: int) -> None:
-        if depth >= max_depth:
-            return
-        if spacing == "linear":
-            if xr - xl <= gap:
-                return
-            xb1 = xl + (xr - xl) / 3.0
-            xb2 = xl + 2.0 * (xr - xl) / 3.0
-        else:
-            ratio = xr / xl
-            if ratio <= min_ratio or xr - xl <= 1.0:
-                return
-            # Geometric first probe: resolves decade-spanning structure
-            # near the left end (ramps, cache steps).  Linear second probe:
-            # sits in the bulk of the interval, so a collapse anywhere in
-            # the middle cannot hide under the chord (a pair of geometric
-            # probes would both crowd the left edge, where the chord is
-            # trivially close to s(x_l)).
-            xb1 = xl * ratio ** (1.0 / 3.0)
-            xb2 = xl + 2.0 * (xr - xl) / 3.0
-        sb1 = run(xb1)
-        sb2 = run(xb2)
-        ok1 = within(xb1, sb1, xl, sl, xr, sr)
-        ok2 = within(xb2, sb2, xl, sl, xr, sr)
-        if ok1 and ok2:
-            # Case 2a: the current band explains both experiments; this
-            # linear piece is final.
-            return
-        knots[float(xb1)] = sb1
-        knots[float(xb2)] = sb2
-        # Cases 2b-2d: recurse only into sub-intervals the band does not
-        # already explain.  An interior point matching its outer neighbour
-        # (to band resolution) closes that side.
-        if not (ok1 or close(sb1, sl)):
-            refine(xl, sl, xb1, sb1, depth + 1)
-        refine(xb1, sb1, xb2, sb2, depth + 1)
-        if not (ok2 or close(sb2, sr)):
-            refine(xb2, sb2, xr, sr, depth + 1)
-
-    refine(float(a), s_a, float(b), s_b, 0)
+    _trisect(
+        run, knots, float(a), s_a, float(b), s_b, 0,
+        eps=options.eps, floor=s_a, gap=gap, max_depth=options.max_depth,
+        spacing=options.spacing, min_ratio=options.min_ratio,
+    )
 
     xs = np.array(sorted(knots), dtype=float)
     ss = np.array([knots[x] for x in xs], dtype=float)
     xs, ss = repair_monotone_g(xs, ss)
     function = PiecewiseLinearSpeedFunction(xs, ss)
-    band = SpeedBand(function, constant_width_schedule(min(2 * eps, 0.99)))
+    band = SpeedBand(function, constant_width_schedule(min(2 * options.eps, 0.99)))
     points = [(float(x), float(s)) for x, s in zip(xs, ss)]
     return BuiltModel(
         function=function, band=band, points=points, experiments=experiments

@@ -47,7 +47,7 @@ from .export import (
     write_json,
 )
 from .flight import FlightRecorder, RequestTrace
-from .sink import FleetTelemetrySink, StepObservation, size_band
+from .sink import FleetTelemetrySink, Observation, StepObservation, size_band
 from .logconfig import KeyValueFormatter, configure_logging, verbosity_to_level
 from .registry import (
     DEFAULT_COUNT_BUCKETS,
@@ -77,6 +77,7 @@ __all__ = [
     "KeyValueFormatter",
     "MetricsRegistry",
     "OPENMETRICS_CONTENT_TYPE",
+    "Observation",
     "PROMETHEUS_CONTENT_TYPE",
     "RequestTrace",
     "Span",

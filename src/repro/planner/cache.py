@@ -1,9 +1,15 @@
 """Thread-safe LRU cache for partition plans.
 
 A plan is a pure function of ``(fleet fingerprint, n, algorithm, refine,
-mode)``; the cache therefore never needs invalidation — a fleet whose
-models change gets a new fingerprint and thereby a fresh key space, and
-stale entries for the old fingerprint simply age out of the LRU order.
+mode)``; correctness therefore never *requires* invalidation — a fleet
+whose models change gets a new fingerprint and thereby a fresh key
+space, and stale entries for the old fingerprint would simply age out
+of the LRU order.  Online re-fitting makes eager reclamation worth
+having, though: when :class:`repro.model.OnlineBandRefitter` retires a
+fingerprint the dead entries still occupy LRU slots that evict *live*
+plans, so :meth:`PlanCache.invalidate` drops exactly the retired
+fingerprint's entries (and nothing else — no blanket flush), counted by
+the ``planner.cache.invalidations`` metric.
 
 The implementation is a classic ``OrderedDict`` LRU under a single lock
 (every operation is O(1) and holds the lock for nanoseconds, so one lock
@@ -40,6 +46,7 @@ class CacheStats:
     evictions: int
     size: int
     maxsize: int
+    invalidations: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -50,6 +57,7 @@ class CacheStats:
     def __str__(self) -> str:
         return (
             f"hits={self.hits} misses={self.misses} evictions={self.evictions} "
+            f"invalidations={self.invalidations} "
             f"size={self.size}/{self.maxsize} hit_rate={self.hit_rate:.1%}"
         )
 
@@ -79,6 +87,11 @@ class PlanCache:
         )
         self._evictions = registry.counter(
             "planner.cache.evictions", labels=labels, help="LRU evictions"
+        )
+        self._invalidations = registry.counter(
+            "planner.cache.invalidations",
+            labels=labels,
+            help="entries dropped by explicit invalidation",
         )
 
     def get(self, key: Hashable) -> Any | None:
@@ -118,6 +131,34 @@ class PlanCache:
         with self._lock:
             self._data.clear()
 
+    def invalidate(self, fingerprint: Hashable) -> int:
+        """Drop exactly the entries belonging to one fleet fingerprint.
+
+        Matches keys that *are* the fingerprint or tuple keys whose first
+        element is the fingerprint (the :class:`~.planner.Planner` key
+        shape ``(fingerprint, n, algorithm, refine, mode)``).  Returns
+        the number of entries dropped; untouched fingerprints keep their
+        entries and their LRU positions.
+        """
+        return self.invalidate_where(
+            lambda key: key == fingerprint
+            or (isinstance(key, tuple) and bool(key) and key[0] == fingerprint)
+        )
+
+    def invalidate_where(self, predicate) -> int:
+        """Drop every entry whose key satisfies ``predicate``; return the count.
+
+        The predicate runs under the cache lock — keep it cheap and
+        side-effect free.
+        """
+        with self._lock:
+            doomed = [key for key in self._data if predicate(key)]
+            for key in doomed:
+                del self._data[key]
+            if doomed:
+                self._invalidations.inc(len(doomed))
+            return len(doomed)
+
     @property
     def maxsize(self) -> int:
         return self._maxsize
@@ -136,4 +177,5 @@ class PlanCache:
                 evictions=self._evictions.value,
                 size=len(self._data),
                 maxsize=self._maxsize,
+                invalidations=self._invalidations.value,
             )

@@ -83,6 +83,14 @@ class Fleet:
         partition call made through the planner.
     name:
         Optional human-readable label (shown in CLI output).
+    pack:
+        Optional precompiled
+        :class:`~repro.core.vectorized.PiecewiseLinearSet` for exactly
+        these functions, skipping the ``O(p*m)`` repack.  The online
+        refitter passes one built by re-lowering only the re-fitted
+        machines' rows on top of the previous pack's.  The caller is
+        responsible for the pack matching ``speed_functions`` knot for
+        knot; only the processor count is checked here.
     """
 
     __slots__ = ("_sfs", "_pack", "_fingerprint", "_capacity", "_name")
@@ -92,6 +100,7 @@ class Fleet:
         speed_functions: Sequence[SpeedFunction],
         *,
         name: str | None = None,
+        pack: PiecewiseLinearSet | None = None,
     ):
         sfs = tuple(speed_functions)
         if not sfs:
@@ -103,8 +112,14 @@ class Fleet:
                 raise InvalidSpeedFunctionError(
                     f"speed_functions[{i}] is not a SpeedFunction: {sf!r}"
                 )
+        if pack is not None and pack.p != len(sfs):
+            raise InvalidSpeedFunctionError(
+                f"pack covers {pack.p} processors, fleet has {len(sfs)}"
+            )
         self._sfs = sfs
-        self._pack: PiecewiseLinearSet | None = pack_speed_functions(sfs)
+        self._pack: PiecewiseLinearSet | None = (
+            pack if pack is not None else pack_speed_functions(sfs)
+        )
         self._capacity = float(sum(sf.max_size for sf in sfs))
         self._name = name
         if self._pack is not None:

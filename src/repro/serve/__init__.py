@@ -6,8 +6,8 @@ that question thousands of times per second, so this package wraps the
 :mod:`repro.planner` query layer in a production-shaped service:
 
 * :mod:`repro.serve.protocol` — a versioned JSON request/response
-  protocol (``plan``, ``plan_many``, ``register_fleet``, ``health``,
-  ``stats``) with typed validation reusing
+  protocol (``plan``, ``plan_many``, ``register_fleet``, ``observe``,
+  ``health``, ``stats``) with typed validation reusing
   :class:`~repro.core.options.PartitionOptions` and the library's
   :class:`~repro.exceptions.ConfigurationError` conventions;
 * :mod:`repro.serve.hashring` — the consistent-hash ring that pins each
@@ -54,7 +54,7 @@ from .protocol import (
     parse_request,
     speed_functions_from_fleet_spec,
 )
-from .service import PlanningService, ServeConfig
+from .service import OnlineRefitConfig, PlanningService, ServeConfig
 from .server import PlanServer, ServerHandle, start_in_thread
 from .shard import ShardPool
 
@@ -62,6 +62,7 @@ __all__ = [
     "AsyncServeClient",
     "HashRing",
     "LoadReport",
+    "OnlineRefitConfig",
     "PROTOCOL_VERSION",
     "PlanServer",
     "PlanningService",

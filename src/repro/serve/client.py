@@ -164,6 +164,22 @@ class ServeClient:
             fields["trace"] = dict(trace)
         return _unwrap(self.call("plan_many", **fields))["results"]
 
+    def observe(self, fingerprint: str, observations: Sequence) -> dict:
+        """Report observed ``(machine, size, speed)`` step timings.
+
+        Accepts :class:`repro.Observation` objects or ready-made wire
+        dicts.  Returns ``{"accepted": k, "refit": None | {...}}`` — the
+        ``refit`` document appears when this call tipped the server into
+        re-fitting the fleet's speed model (see
+        ``ServeConfig.online_refit``).
+        """
+        records = [
+            o.to_wire() if hasattr(o, "to_wire") else dict(o) for o in observations
+        ]
+        return _unwrap(
+            self.call("observe", fleet=fingerprint, observations=records)
+        )
+
     def health(self) -> dict:
         return _unwrap(self.call("health"))
 

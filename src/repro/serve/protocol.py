@@ -16,6 +16,9 @@ Requests::
      "options": {"mode": "tangent", "refine": "greedy"}}
     {"v": 1, "id": 10, "op": "health"}
     {"v": 1, "id": 11, "op": "stats"}
+    {"v": 1, "id": 12, "op": "observe", "fleet": "<fp>",
+     "observations": [{"machine": 0, "size": 1e6, "speed": 81.5,
+                       "timestamp": 12.5, "source": "step"}, ...]}
 
 ``plan`` and ``plan_many`` accept an optional ``trace`` object
 (``{"trace_id": "<hex>", "span_id": "<hex>"}``) carrying a
@@ -61,6 +64,7 @@ __all__ = [
     "PlanRequest",
     "PlanManyRequest",
     "RegisterFleetRequest",
+    "ObserveRequest",
     "HealthRequest",
     "StatsRequest",
     "parse_request",
@@ -168,6 +172,23 @@ class RegisterFleetRequest:
 
 
 @dataclass(frozen=True)
+class ObserveRequest:
+    """Feed observed ``(machine, size, speed)`` telemetry to one fleet.
+
+    Each observation is a wire mapping for
+    :class:`repro.adapt.Observation`; the service validates the values
+    (sizes positive, speeds finite, ...) so a malformed record answers
+    ``invalid_request`` instead of poisoning the sink.
+    """
+
+    id: Any
+    fleet: str
+    observations: tuple[Mapping, ...]
+
+    op = "observe"
+
+
+@dataclass(frozen=True)
 class HealthRequest:
     id: Any
 
@@ -181,7 +202,14 @@ class StatsRequest:
     op = "stats"
 
 
-Request = PlanRequest | PlanManyRequest | RegisterFleetRequest | HealthRequest | StatsRequest
+Request = (
+    PlanRequest
+    | PlanManyRequest
+    | RegisterFleetRequest
+    | ObserveRequest
+    | HealthRequest
+    | StatsRequest
+)
 
 
 def _require(raw: Mapping, key: str, kinds: type | tuple, what: str) -> Any:
@@ -364,6 +392,23 @@ def parse_request(raw: Any) -> Request:
             algorithm=algorithm,
             options=parse_options(raw.get("options")),
             cache_size=cache_size,
+        )
+    if op == "observe":
+        recs = _require(raw, "observations", (list, tuple), "observe")
+        if not recs:
+            raise ProtocolError(
+                "invalid_request", "observe needs at least one observation"
+            )
+        for i, rec in enumerate(recs):
+            if not isinstance(rec, Mapping):
+                raise ProtocolError(
+                    "invalid_request",
+                    f"observations[{i}] must be an object, got {type(rec).__name__}",
+                )
+        return ObserveRequest(
+            id=req_id,
+            fleet=_require(raw, "fleet", str, "observe"),
+            observations=tuple(recs),
         )
     if op == "health":
         return HealthRequest(id=req_id)

@@ -41,14 +41,17 @@ from typing import Any, Mapping, Sequence
 
 from .. import obs
 from ..core.options import PartitionOptions
-from ..exceptions import ReproError
+from ..exceptions import ConfigurationError, ReproError
+from ..model.builder import DEFAULT_EPSILON, ModelBuildOptions
+from ..model.online import OnlineBandRefitter
 from ..obs.context import TraceContext
 from ..obs.flight import FlightRecorder, RequestTrace
-from ..obs.sink import FleetTelemetrySink
+from ..obs.sink import FleetTelemetrySink, Observation
 from ..obs.spans import Span
 from ..planner import Fleet
 from .protocol import (
     HealthRequest,
+    ObserveRequest,
     PlanManyRequest,
     PlanRequest,
     ProtocolError,
@@ -63,12 +66,49 @@ from .protocol import (
 )
 from .shard import ShardPool
 
-__all__ = ["ServeConfig", "PlanningService"]
+__all__ = ["OnlineRefitConfig", "ServeConfig", "PlanningService"]
 
 logger = logging.getLogger(__name__)
 
 #: Batch-size histogram buckets (requests per flushed batch).
 _BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+@dataclass(frozen=True)
+class OnlineRefitConfig:
+    """Knobs of the serve layer's online band re-fitting.
+
+    Attributes
+    ----------
+    eps:
+        Half-width of the acceptance band observations are judged
+        against (the paper's 5 %).
+    min_observations:
+        A fleet's refit check runs once at least this many step
+        observations accumulated since the last check (amortises the
+        refit pass; the telemetry sink's recent deque bounds how many a
+        pass can see).
+    min_escaped:
+        A band segment is re-fitted only once at least this many
+        observations escaped it (noise patience, forwarded to
+        :class:`repro.model.OnlineBandRefitter`).
+    """
+
+    eps: float = DEFAULT_EPSILON
+    min_observations: int = 128
+    min_escaped: int = 3
+
+    def __post_init__(self) -> None:
+        if not (0 < self.eps < 1):
+            raise ConfigurationError(f"eps must be in (0, 1), got {self.eps!r}")
+        if self.min_observations < 1:
+            raise ConfigurationError(
+                f"min_observations must be at least 1, got {self.min_observations!r}"
+            )
+        if self.min_escaped < 1:
+            raise ConfigurationError(
+                f"min_escaped must be at least 1, got {self.min_escaped!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -107,6 +147,14 @@ class ServeConfig:
     flight_capacity / flight_retain / flight_slow_k:
         Flight-recorder bounds: recent-trace ring size, always-retain
         (error/shed/deadline) store cap, and top-K-slowest store size.
+    online_refit:
+        When set, ``observe`` requests feed an
+        :class:`repro.model.OnlineBandRefitter` per fleet: observed
+        ``(size, speed)`` points that escape a registered model's ±eps
+        band trigger a re-fit of exactly the escaped size intervals, the
+        owning shard swaps the refreshed model in, and only that fleet's
+        cached plans are invalidated.  ``None`` (the default) still
+        accepts ``observe`` requests but only records telemetry.
     """
 
     shards: int = 2
@@ -122,6 +170,7 @@ class ServeConfig:
     flight_capacity: int = 256
     flight_retain: int = 1024
     flight_slow_k: int = 16
+    online_refit: OnlineRefitConfig | None = None
 
 
 class _Pending:
@@ -162,6 +211,27 @@ class _BatchState:
         self.timer = None
 
 
+class _RefitState:
+    """Online-refit bookkeeping for one registered fleet.
+
+    The fleet keeps its *serving* fingerprint (clients and the shard
+    hash ring keep addressing it by the fingerprint it registered
+    under); ``model_fingerprint`` tracks the model actually planning,
+    and moves every time a refit lands.
+    """
+
+    __slots__ = ("refitter", "model_fingerprint", "pending", "busy",
+                 "refits", "invalidated")
+
+    def __init__(self, refitter: OnlineBandRefitter, model_fingerprint: str):
+        self.refitter = refitter
+        self.model_fingerprint = model_fingerprint
+        self.pending = 0          # observations since the last refit check
+        self.busy = False         # a refit check/swap is in flight
+        self.refits = 0           # refits applied to this fleet
+        self.invalidated = 0      # cached plans dropped by those refits
+
+
 def _item_error(code: str, message: str) -> dict:
     return {"ok": False, "code": code, "message": message}
 
@@ -178,6 +248,7 @@ class PlanningService:
         self._config = config or ServeConfig()
         self._pool: ShardPool | None = None
         self._fleets: dict[str, dict] = {}
+        self._refits: dict[str, _RefitState] = {}
         self._batches: dict[str, _BatchState] = {}
         self._inflight: set[asyncio.Task] = set()
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -192,7 +263,8 @@ class PlanningService:
                 help="front-end latency per request, by operation",
             )
             for op in (
-                "plan", "plan_many", "register_fleet", "health", "stats", "invalid",
+                "plan", "plan_many", "register_fleet", "observe", "health",
+                "stats", "invalid",
             )
         }
         self._requests = registry.counter(
@@ -353,8 +425,20 @@ class PlanningService:
             "capacity": fleet.capacity,
             "algorithm": spec.get("algorithm", "bisection"),
             "shard": self.pool.shard_for(fleet.fingerprint),
+            "model_fingerprint": fleet.fingerprint,
         }
         self._fleets[fleet.fingerprint] = {"spec": dict(spec), "info": info}
+        refit_cfg = self._config.online_refit
+        if refit_cfg is not None:
+            self._refits[fleet.fingerprint] = _RefitState(
+                OnlineBandRefitter(
+                    fleet.speed_functions,
+                    options=ModelBuildOptions(eps=refit_cfg.eps),
+                    min_escaped=refit_cfg.min_escaped,
+                    name=fleet.name or "online-refit",
+                ),
+                fleet.fingerprint,
+            )
         logger.info(
             "fleet registered",
             extra={"fingerprint": fleet.fingerprint, "p": fleet.p,
@@ -514,6 +598,122 @@ class PlanningService:
             if not p.future.done():
                 p.future.set_result(result)
 
+    # -- observe / online refit -----------------------------------------
+    async def observe(
+        self, fingerprint: str, observations: Sequence[Mapping]
+    ) -> dict:
+        """Ingest observed step timings for a fleet; maybe re-fit its model.
+
+        Every record lands in the telemetry sink regardless of
+        configuration.  With ``ServeConfig.online_refit`` set, once
+        enough observations accumulate a refit check runs: the recent
+        window is escape-tested against the fleet's current ±eps band
+        and, if the model drifted, the owning shard swaps in the
+        re-fitted model and drops exactly that fleet's cached plans.
+        The response reports ``accepted`` and, when a refit landed this
+        call, a ``refit`` document with the new model fingerprint.
+        """
+        if self._draining:
+            raise ProtocolError("shutting_down", "the service is draining")
+        if fingerprint not in self._fleets:
+            raise ProtocolError(
+                "unknown_fleet", f"fleet {fingerprint!r} is not registered"
+            )
+        parsed = []
+        for i, raw in enumerate(observations):
+            try:
+                parsed.append(Observation.from_wire(raw))
+            except (TypeError, ValueError) as exc:
+                raise ProtocolError(
+                    "invalid_request", f"observations[{i}]: {exc}"
+                ) from exc
+        for rec in parsed:
+            self._sink.observe(fingerprint, rec)
+        refit_doc = None
+        state = self._refits.get(fingerprint)
+        if state is not None:
+            state.pending += len(parsed)
+            cfg = self._config.online_refit
+            if cfg is not None and state.pending >= cfg.min_observations \
+                    and not state.busy:
+                refit_doc = await self._maybe_refit(fingerprint, state)
+        return {"accepted": len(parsed), "refit": refit_doc}
+
+    async def _maybe_refit(self, fingerprint: str, state: _RefitState) -> dict | None:
+        """One refit check; returns a summary document if a refit landed.
+
+        The escape test and trisection run off-loop (pure CPU over the
+        recent-observation window); the model swap is one control-plane
+        round-trip to the owning shard, which also invalidates exactly
+        this fleet's cached plans before rebuilding its planner.
+        """
+        state.busy = True
+        try:
+            recent = self._sink.recent(fingerprint)
+            state.pending = 0
+            assert self._loop is not None
+            refit = await self._loop.run_in_executor(
+                None, state.refitter.refit, recent
+            )
+            if not refit.changed:
+                return None
+            entry = self._fleets[fingerprint]
+            old_spec = entry["spec"]
+            spec = fleet_spec_from_speed_functions(
+                refit.functions,
+                name=old_spec.get("name", ""),
+                algorithm=old_spec.get("algorithm", "bisection"),
+                options=PartitionOptions(
+                    mode=old_spec.get("mode", PartitionOptions().mode),
+                    refine=old_spec.get("refine", PartitionOptions().refine),
+                ),
+                cache_size=int(old_spec.get("cache_size", 1024)),
+            )
+            future = self.pool.refit(
+                fingerprint, spec, old_fingerprint=state.model_fingerprint
+            )
+            payload = await asyncio.wrap_future(future)
+            if not payload.get("ok"):
+                raise ProtocolError(
+                    payload.get("code", "internal"),
+                    payload.get("message", "model refit failed"),
+                )
+            if payload["fingerprint"] != refit.fingerprint_after:  # pragma: no cover
+                raise ProtocolError(
+                    "internal",
+                    "worker refit fingerprint mismatch: "
+                    f"{payload['fingerprint']} != {refit.fingerprint_after}",
+                )
+            invalidated = int(payload.get("invalidated", 0))
+            state.model_fingerprint = refit.fingerprint_after
+            state.refits += 1
+            state.invalidated += invalidated
+            state.refitter = OnlineBandRefitter(
+                refit.functions,
+                options=state.refitter.options,
+                min_escaped=state.refitter.min_escaped,
+                name=entry["info"].get("name") or "online-refit",
+            )
+            entry["info"]["model_fingerprint"] = refit.fingerprint_after
+            entry["spec"] = dict(spec)
+            self._sink.clear_recent(fingerprint)
+            logger.info(
+                "fleet model refitted",
+                extra={
+                    "fingerprint": fingerprint,
+                    "model_fingerprint": refit.fingerprint_after,
+                    "machines": list(refit.refitted_machines),
+                    "invalidated": invalidated,
+                },
+            )
+            return {
+                "fingerprint": refit.fingerprint_after,
+                "machines": list(refit.refitted_machines),
+                "invalidated": invalidated,
+            }
+        finally:
+            state.busy = False
+
     # -- health / stats -------------------------------------------------
     def health(self) -> dict:
         """Cheap liveness summary (no worker round-trip)."""
@@ -550,6 +750,32 @@ class PlanningService:
             "telemetry": {
                 "cells": len(self._sink),
                 "fingerprints": self._sink.fingerprints(),
+            },
+            "refit": self._refit_stats(),
+        }
+
+    def _refit_stats(self) -> dict:
+        """The stats() "refit" section: registry counters + per-fleet state."""
+        registry = obs.get_registry()
+        counters = {
+            name: int(registry.counter(f"model.refit.{name}").value)
+            for name in (
+                "checks", "applied", "machines", "intervals",
+                "observations", "measurements",
+            )
+        }
+        return {
+            "enabled": self._config.online_refit is not None,
+            "counters": counters,
+            "invalidated": sum(s.invalidated for s in self._refits.values()),
+            "fleets": {
+                fp: {
+                    "refits": s.refits,
+                    "invalidated": s.invalidated,
+                    "model_fingerprint": s.model_fingerprint,
+                    "pending": s.pending,
+                }
+                for fp, s in self._refits.items()
             },
         }
 
@@ -678,6 +904,10 @@ class PlanningService:
                     )
                 )
                 response = ok_response(request.id, info)
+            elif isinstance(request, ObserveRequest):
+                fleet = request.fleet
+                doc = await self.observe(request.fleet, request.observations)
+                response = ok_response(request.id, doc)
             elif isinstance(request, StatsRequest):
                 response = ok_response(request.id, await self.stats())
             else:

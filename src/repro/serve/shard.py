@@ -57,6 +57,7 @@ logger = logging.getLogger(__name__)
 _KIND_REGISTER = "register"
 _KIND_BATCH = "batch"
 _KIND_STATS = "stats"
+_KIND_REFIT = "refit"
 
 #: Collector-internal marker a worker emits as it exits.
 _SHARD_EXIT = "__shard_exit__"
@@ -95,6 +96,10 @@ def worker_loop(shard_id: int, inbox, outbox) -> None:
 
     planners: dict[str, Planner] = {}
     capacities: dict[str, float] = {}
+    # Plans invalidated by refits, per serving fingerprint: a refit swaps
+    # in a fresh planner (and a fresh cache), so this is carried here to
+    # keep the fleet's lifetime invalidation count in its stats row.
+    refit_invalidations: dict[str, int] = {}
     while True:
         msg = inbox.get()
         if msg is None:
@@ -154,6 +159,52 @@ def worker_loop(shard_id: int, inbox, outbox) -> None:
                         )
                     payload["spans"] = batch_span.to_dict()
                     outbox.put((job_id, payload))
+            elif kind == _KIND_REFIT:
+                # An online refit retires a fleet's old model: invalidate
+                # exactly the stale fingerprint's plan-cache entries (via
+                # the public PlanCache.invalidate — no blanket flush) and
+                # rebuild the planner over the refitted spec, keeping the
+                # serving fingerprint clients address the fleet by.
+                serving_fp, spec, old_fp = msg[2], msg[3], msg[4]
+                old_planner = planners.get(serving_fp)
+                if old_planner is None:
+                    outbox.put(
+                        (
+                            job_id,
+                            _item_error(
+                                "unknown_fleet",
+                                f"fleet {serving_fp!r} is not registered",
+                            ),
+                        )
+                    )
+                    continue
+                invalidated = old_planner.cache.invalidate(old_fp)
+                refit_invalidations[serving_fp] = (
+                    refit_invalidations.get(serving_fp, 0) + invalidated
+                )
+                sfs = speed_functions_from_fleet_spec(spec)
+                fleet = Fleet(sfs, name=spec.get("name") or None)
+                planner = Planner(
+                    fleet,
+                    algorithm=spec.get("algorithm", "bisection"),
+                    mode=spec.get("mode", "tangent"),
+                    refine=spec.get("refine", "greedy"),
+                    cache_size=int(spec.get("cache_size", 1024)),
+                )
+                planners[serving_fp] = planner
+                capacities[serving_fp] = fleet.capacity
+                outbox.put(
+                    (
+                        job_id,
+                        {
+                            "ok": True,
+                            "fingerprint": fleet.fingerprint,
+                            "invalidated": invalidated,
+                            "p": fleet.p,
+                            "capacity": fleet.capacity,
+                        },
+                    )
+                )
             elif kind == _KIND_STATS:
                 fleets = {}
                 for fp, planner in planners.items():
@@ -162,11 +213,14 @@ def worker_loop(shard_id: int, inbox, outbox) -> None:
                         "name": planner.fleet.name,
                         "p": planner.fleet.p,
                         "algorithm": planner.algorithm,
+                        "model_fingerprint": planner.fleet.fingerprint,
                         "cold_plans": stats.cold_plans,
                         "warm_plans": stats.warm_plans,
                         "cache_hits": stats.cache.hits,
                         "cache_misses": stats.cache.misses,
                         "cache_evictions": stats.cache.evictions,
+                        "cache_invalidations": stats.cache.invalidations
+                        + refit_invalidations.get(fp, 0),
                         "cache_size": stats.cache.size,
                     }
                 outbox.put((job_id, {"ok": True, "shard": shard_id, "fleets": fleets}))
@@ -444,6 +498,38 @@ class ShardPool:
             self._drop_job(job_id)
             raise ConfigurationError(
                 f"shard {shard} did not accept a fleet registration within {timeout}s"
+            ) from None
+        return fut
+
+    def refit(
+        self,
+        fingerprint: str,
+        spec: Mapping,
+        *,
+        old_fingerprint: str,
+        timeout: float = 30.0,
+    ) -> Future:
+        """Swap a served fleet's model for a refitted spec, in place.
+
+        ``fingerprint`` is the *serving* fingerprint clients address the
+        fleet by (routing stays put on its shard); ``old_fingerprint``
+        names the retired model whose plan-cache entries the worker
+        invalidates — exactly those, nothing else.  Control-plane
+        traffic like :meth:`register`: blocks instead of shedding.
+        """
+        if self._closed:
+            raise ConfigurationError("the shard pool is closed")
+        shard = self.shard_for(fingerprint)
+        job_id, fut = self._new_job()
+        try:
+            self._inboxes[shard].put(
+                (_KIND_REFIT, job_id, str(fingerprint), dict(spec), str(old_fingerprint)),
+                timeout=timeout,
+            )
+        except queue.Full:
+            self._drop_job(job_id)
+            raise ConfigurationError(
+                f"shard {shard} did not accept a fleet refit within {timeout}s"
             ) from None
         return fut
 

@@ -134,3 +134,35 @@ class TestValidation:
     def test_owner_out_of_range(self, dist, lu_trio):
         with pytest.raises(ConfigurationError):
             simulate_lu_adaptive(dist, lu_trio[:2], load_mean=0.1)
+
+
+class TestBandShapeShift:
+    def test_shift_above_every_size_is_inert(self, dist, lu_trio):
+        clean = _clean_total(dist, lu_trio)
+        script = FaultScript(
+            events=(
+                LoadShift(machine=0, at_time=0.0, factor=0.3, above_size=1e15),
+            )
+        )
+        shifted = simulate_lu_adaptive(
+            dist, lu_trio, policy=DISABLED, script=script
+        )
+        assert shifted.total_seconds == clean
+        assert "above size" in " ".join(shifted.events)
+
+    def test_shift_above_tiny_size_matches_the_scalar_path(self, dist, lu_trio):
+        scalar = FaultScript(
+            events=(LoadShift(machine=0, at_time=0.0, factor=0.3),)
+        )
+        banded = FaultScript(
+            events=(
+                LoadShift(machine=0, at_time=0.0, factor=0.3, above_size=1.0),
+            )
+        )
+        a = simulate_lu_adaptive(
+            dist, lu_trio, policy=DISABLED, script=scalar, seed=5
+        )
+        b = simulate_lu_adaptive(
+            dist, lu_trio, policy=DISABLED, script=banded, seed=5
+        )
+        assert a.total_seconds == b.total_seconds

@@ -150,3 +150,39 @@ class TestValidation:
             simulate_striped_matmul_adaptive(
                 N, alloc, trio, dt=0.0, load_mean=0.1
             )
+
+
+class TestBandShapeShift:
+    """LoadShift(above_size=...) drifts the band *shape*, not its scale."""
+
+    def test_shift_above_every_size_is_inert(self, trio, alloc):
+        clean = _clean_makespan(trio, alloc)
+        script = FaultScript(
+            events=(
+                LoadShift(machine=0, at_time=0.0, factor=0.3, above_size=1e12),
+            )
+        )
+        shifted = simulate_striped_matmul_adaptive(
+            N, alloc, trio, policy=DISABLED, script=script
+        )
+        assert shifted.makespan == clean
+        assert "above size" in " ".join(shifted.events)
+
+    def test_shift_above_tiny_size_matches_the_scalar_path(self, trio, alloc):
+        """Sizes never dip below 1, so above_size=1 == the classic shift."""
+        scalar = FaultScript(
+            events=(LoadShift(machine=0, at_time=0.0, factor=0.3),)
+        )
+        banded = FaultScript(
+            events=(
+                LoadShift(machine=0, at_time=0.0, factor=0.3, above_size=1.0),
+            )
+        )
+        a = simulate_striped_matmul_adaptive(
+            N, alloc, trio, policy=DISABLED, script=scalar, seed=3
+        )
+        b = simulate_striped_matmul_adaptive(
+            N, alloc, trio, policy=DISABLED, script=banded, seed=3
+        )
+        assert a.makespan == b.makespan
+        assert np.array_equal(a.finish_seconds, b.finish_seconds)

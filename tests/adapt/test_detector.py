@@ -186,3 +186,34 @@ def test_ingest_empty_and_repeat_batches(trio):
     assert det.ingest(batch) == []          # streak 1 of 2
     events = det.ingest(batch)              # streak 2 confirms
     assert len(events) == 1 and events[0].machine == 0
+
+
+def test_ingest_accepts_unified_observations(trio, fresh_obs):
+    """sink.recent() Observation records drive the same confirmations."""
+    from repro.adapt import Observation
+    from repro.obs import FleetTelemetrySink
+
+    sink = FleetTelemetrySink()
+    x = 1e4
+    slow = 0.4 * float(trio[1].speed(x))
+    for t in range(3):
+        sink.observe(
+            "fp", Observation(machine=1, size=x, speed=slow, timestamp=float(t))
+        )
+
+    det = DriftDetector(trio, patience=3, smoothing=1.0)
+    events = det.ingest(sink.recent("fp"))
+    (ev,) = events
+    assert ev.machine == 1 and ev.time == 2.0
+
+
+def test_ingest_skips_solve_records(trio):
+    from repro.adapt import Observation
+
+    det = DriftDetector(trio, patience=1)
+    batch = [
+        Observation(machine=-1, size=1e4, duration=0.25, source="solve"),
+        Observation(machine=0, size=1e4, speed=float(trio[0].speed(1e4))),
+    ]
+    assert det.ingest(batch) == []
+    assert det.observations == 1

@@ -136,6 +136,21 @@ class TestFaultScript:
         with pytest.raises(ConfigurationError):
             CommFault(machine=0, failures=0)
 
+    def test_load_shift_above_size_validation(self):
+        with pytest.raises(ConfigurationError):
+            LoadShift(machine=0, at_time=1.0, factor=0.5, above_size=-1.0)
+
+    def test_load_shift_factor_at(self):
+        classic = LoadShift(machine=0, at_time=1.0, factor=0.5)
+        assert classic.above_size == 0.0
+        assert classic.factor_at(1.0) == 0.5
+        assert classic.factor_at(1e9) == 0.5
+
+        banded = LoadShift(machine=0, at_time=1.0, factor=2.0, above_size=5e5)
+        assert banded.factor_at(4.9e5) == 1.0
+        assert banded.factor_at(5e5) == 2.0
+        assert banded.factor_at(1e6) == 2.0
+
 
 class TestFaultInjector:
     def test_comm_fault_window(self):

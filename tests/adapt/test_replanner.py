@@ -196,3 +196,62 @@ class TestRecoverDropout:
         assert reg.counter("adapt.dropouts.survived").value == 1
         assert reg.counter("adapt.replans").value == 1
         assert reg.counter("adapt.migrated.elements").value == 9000
+
+
+class TestApplyRefit:
+    def _shape_refit(self, fns):
+        from repro import Observation
+        from repro.model import OnlineBandRefitter
+
+        truth = lambda x: fns[0].speed(x) * (2.0 if x >= 5e5 else 1.0)
+        sizes = np.linspace(2e4, 2e6, 100)
+        recs = [
+            Observation.from_step(0, float(x), float(truth(x)), time=float(i))
+            for i, x in enumerate(sizes)
+        ]
+        return OnlineBandRefitter(fns, min_escaped=3).refit(recs)
+
+    def test_shape_drift_refit_is_adopted(self, trio):
+        refit = self._shape_refit(trio)
+        assert refit.shape_changed
+        rp = Replanner(trio)
+        rp.plan(600_000)  # warm a planner against the stale base
+        assert rp.apply_refit(refit)
+        assert rp.refits_applied == 1
+        # Subsequent plans derive from the refitted fleet.
+        assert rp.planner_for().fleet.fingerprint == refit.fleet.fingerprint
+
+    def test_scale_only_refit_is_declined(self):
+        from repro import Observation
+        from repro.model import OnlineBandRefitter
+
+        fn = PiecewiseLinearSpeedFunction([1e3, 1e6], [100.0, 50.0])
+        recs = [
+            Observation.from_step(0, float(x), 1.2 * float(fn.speed(x)))
+            for x in np.linspace(1e3, 1e6, 30)
+        ]
+        refit = OnlineBandRefitter([fn], min_escaped=3).refit(recs)
+        assert refit.changed and refit.scale_only
+        rp = Replanner([fn])
+        assert not rp.apply_refit(refit)
+        assert rp.refits_applied == 0
+
+    def test_unchanged_refit_is_declined(self, trio):
+        from repro import Observation
+        from repro.model import OnlineBandRefitter
+
+        refitter = OnlineBandRefitter(trio)
+        recs = [
+            Observation.from_step(0, float(x), float(trio[0].speed(x)))
+            for x in np.linspace(2e4, 1.9e6, 30)
+        ]
+        refit = refitter.refit(recs)
+        assert not refit.changed
+        rp = Replanner(trio)
+        assert not rp.apply_refit(refit)
+
+    def test_processor_count_mismatch_raises(self, trio):
+        refit = self._shape_refit(trio)
+        rp = Replanner(trio[:2])
+        with pytest.raises(ConfigurationError):
+            rp.apply_refit(refit)

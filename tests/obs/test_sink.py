@@ -7,7 +7,7 @@ import json
 
 import pytest
 
-from repro.obs.sink import FleetTelemetrySink, StepObservation, size_band
+from repro.obs.sink import FleetTelemetrySink, Observation, StepObservation, size_band
 
 
 class TestSizeBand:
@@ -31,6 +31,90 @@ class TestSizeBand:
         for n in (1, 7, 100, 12345, 10**9):
             lo, hi = size_band(n)
             assert lo <= n < hi
+
+
+class TestObservation:
+    def test_kinds(self):
+        assert Observation(machine=-1, size=10, duration=0.5).kind == "solve"
+        assert Observation(machine=0, size=10, speed=1.0).kind == "step"
+
+    def test_coercion_and_time_alias(self):
+        o = Observation(machine="2", size="100", speed="5.5", timestamp="7")
+        assert o.machine == 2 and o.size == 100.0 and o.speed == 5.5
+        assert o.time == o.timestamp == 7.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"machine": -2, "size": 10},
+            {"machine": 0, "size": 0},
+            {"machine": 0, "size": float("nan")},
+            {"machine": 0, "size": 10, "duration": -1.0},
+            {"machine": 0, "size": 10, "speed": float("inf")},
+            {"machine": 0, "size": 10, "timestamp": float("nan")},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Observation(**kwargs)
+
+    def test_wire_roundtrip(self):
+        o = Observation(machine=3, size=1e5, speed=42.0, timestamp=9.0, source="sim")
+        assert Observation.from_wire(o.to_wire()) == o
+
+    def test_from_wire_accepts_legacy_time_key(self):
+        o = Observation.from_wire({"machine": 1, "size": 10, "speed": 2.0, "time": 5.0})
+        assert o.timestamp == 5.0
+
+    def test_from_step_adapter(self):
+        o = Observation.from_step(1, 100.0, 50.0, time=3.0)
+        assert (o.machine, o.size, o.speed, o.time) == (1, 100.0, 50.0, 3.0)
+        assert o.kind == "step" and o.source == "step"
+
+    def test_exported_at_top_level(self):
+        import repro
+        from repro.adapt import Observation as AdaptObservation
+
+        assert repro.Observation is Observation
+        assert AdaptObservation is Observation
+
+
+class TestUnifiedObserve:
+    def test_observe_routes_by_machine(self, fresh_obs):
+        sink = FleetTelemetrySink()
+        sink.observe("fp", Observation(machine=-1, size=1000, duration=0.01))
+        sink.observe("fp", Observation(machine=0, size=1000, speed=10.0))
+        kinds = [r["kind"] for r in sink.rows("fp")]
+        assert kinds == ["solve", "step"]
+
+    def test_solve_records_never_land_in_recent(self, fresh_obs):
+        sink = FleetTelemetrySink()
+        sink.observe("fp", Observation(machine=-1, size=1000, duration=0.01))
+        sink.observe("fp", Observation(machine=0, size=1000, speed=10.0))
+        recent = sink.recent("fp")
+        assert len(recent) == 1 and recent[0].machine == 0
+
+    def test_recent_returns_observations(self, fresh_obs):
+        sink = FleetTelemetrySink()
+        for i in range(4):
+            sink.observe_step("fp", machine=i, size=10, speed=1.0, time=float(i))
+        recent = sink.recent("fp", limit=2)
+        assert all(isinstance(o, Observation) for o in recent)
+        assert [o.machine for o in recent] == [2, 3]
+
+    def test_clear_recent_keeps_aggregates(self, fresh_obs):
+        sink = FleetTelemetrySink()
+        sink.observe_step("fp", machine=0, size=10, speed=1.0)
+        sink.clear_recent("fp")
+        assert sink.recent("fp") == []
+        assert len(sink) == 1
+        assert sink.rows("fp")[0]["count"] == 1
+
+    def test_legacy_adapters_share_the_pipeline(self, fresh_obs):
+        sink = FleetTelemetrySink()
+        sink.observe_step("fp", machine=0, size=10, speed=3.0, time=1.0)
+        assert sink.recent_steps("fp") == [StepObservation(0, 10.0, 3.0, 1.0)]
+        assert sink.recent("fp")[0].speed == 3.0
 
 
 class TestAggregation:

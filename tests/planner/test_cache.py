@@ -70,6 +70,56 @@ class TestLRU:
         assert "hit_rate" in str(c.stats())
 
 
+class TestInvalidation:
+    def test_invalidate_matches_bare_and_tuple_keys(self):
+        c = PlanCache(8)
+        c.put("fp-a", 0)
+        c.put(("fp-a", 100, "bisection"), 1)
+        c.put(("fp-a", 200, "bisection"), 2)
+        c.put(("fp-b", 100, "bisection"), 3)
+        assert c.invalidate("fp-a") == 3
+        assert len(c) == 1
+        assert c.get(("fp-b", 100, "bisection")) == 3
+
+    def test_invalidate_is_exact(self):
+        """Untouched fingerprints keep entries *and* their LRU position."""
+        c = PlanCache(3)
+        c.put(("keep-old", 1), "old")
+        c.put(("drop", 1), "x")
+        c.put(("keep-new", 1), "new")
+        assert c.invalidate("drop") == 1
+        # Two slots left; filling one more must evict keep-old (still the
+        # least recently used), not keep-new.
+        c.put(("fresh", 1), "y")
+        c.put(("fresh2", 1), "z")
+        assert c.get(("keep-old", 1)) is None
+        assert c.get(("keep-new", 1)) == "new"
+
+    def test_invalidate_missing_fingerprint_is_noop(self):
+        c = PlanCache(4)
+        c.put(("fp", 1), 1)
+        assert c.invalidate("other") == 0
+        assert len(c) == 1
+        assert c.stats().invalidations == 0
+
+    def test_invalidate_where_predicate(self):
+        c = PlanCache(8)
+        for n in (1, 2, 3, 4):
+            c.put(("fp", n), n)
+        assert c.invalidate_where(lambda key: key[1] % 2 == 0) == 2
+        assert c.get(("fp", 1)) == 1 and c.get(("fp", 3)) == 3
+        assert c.get(("fp", 2)) is None
+
+    def test_invalidations_counted_in_stats(self):
+        c = PlanCache(8)
+        c.put(("fp", 1), 1)
+        c.put(("fp", 2), 2)
+        c.invalidate("fp")
+        s = c.stats()
+        assert s.invalidations == 2
+        assert "invalidations" in str(s)
+
+
 class TestThreadSafety:
     def test_concurrent_mixed_operations(self):
         c = PlanCache(64)

@@ -71,6 +71,19 @@ class TestConstruction:
         assert Fleet([pwl([1, 10], [5, 4])], name="lab").name == "lab"
         assert "lab" in repr(Fleet([pwl([1, 10], [5, 4])], name="lab"))
 
+    def test_precompiled_pack_is_adopted(self, pwl_fleet):
+        # The online refitter swaps a few rows and hands the patched pack
+        # to Fleet; the fingerprint must equal a from-scratch build.
+        sfs = pwl_fleet.speed_functions
+        pack = PiecewiseLinearSet(sfs, rows=[sf.as_knots() for sf in sfs])
+        fleet = Fleet(sfs, pack=pack)
+        assert fleet.pack is pack
+        assert fleet.fingerprint == pwl_fleet.fingerprint
+
+    def test_precompiled_pack_size_mismatch_rejected(self, pwl_fleet):
+        with pytest.raises(InvalidSpeedFunctionError):
+            Fleet(pwl_fleet.speed_functions[:2], pack=pwl_fleet.pack)
+
 
 class TestFingerprint:
     def test_equal_content_equal_fingerprint(self):

@@ -31,6 +31,9 @@ EXPECTED_ALL = [
     "InvalidSpeedFunctionError",
     "MeasurementError",
     "MigrationPlan",
+    "ModelBuildOptions",
+    "Observation",
+    "OnlineBandRefitter",
     "PartitionOptions",
     "PartitionResult",
     "PlanCache",
@@ -87,6 +90,7 @@ EXPECTED_ADAPT_ALL = [
     "LoadShift",
     "MigrationPlan",
     "Move",
+    "Observation",
     "ReplanDecision",
     "Replanner",
     "RetryExhaustedError",
