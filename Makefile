@@ -2,7 +2,11 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke serve-smoke verify-smoke check examples experiments lint-docs all clean
+.PHONY: install test bench bench-smoke serve-smoke cluster-smoke verify-smoke check examples experiments lint-docs all clean
+
+# Where the cluster smoke dumps the router's flight recorder on failure
+# (CI uploads benchmarks/out/*.ndjson as a post-mortem artifact).
+CLUSTER_FLIGHT_DUMP ?= benchmarks/out/cluster-flight-traces.ndjson
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -41,15 +45,27 @@ bench-smoke:
 serve-smoke:
 	$(PYTHON) -m repro.serve.smoke
 
+# End-to-end cluster smoke: a router thread over two real node
+# processes — registers a fleet over the wire, bit-checks routed plans,
+# exercises cluster_status + aggregated /stats, SIGKILLs one member
+# mid-load (every request must still get a replica plan or a typed
+# error), and scrapes the router's HTTP plane.  On failure the router's
+# flight recorder is dumped to $(CLUSTER_FLIGHT_DUMP) for post-mortems.
+cluster-smoke:
+	$(PYTHON) -m repro.cluster.smoke --flight-dump $(CLUSTER_FLIGHT_DUMP)
+
 # Seeded verification sweep (repro.verify): 200 differential conformance
 # cases across every partitioner, the planner fast paths and in-process
-# served plans; 500 mutated protocol frames against a live server; and a
-# handful of randomized fault-script runs of the adaptive simulator.
+# served plans; 500 mutated protocol frames against a live server; a
+# handful of randomized fault-script runs of the adaptive simulator; and
+# one kill-a-node cluster chaos run (SIGKILL a member mid-load, audit
+# every answer for hangs, untyped errors, or non-bit-identical plans).
 # Every failure prints a one-line replay command with its seed.
 verify-smoke:
-	$(PYTHON) -m repro verify --cases 200 --fuzz-frames 500 --chaos-runs 4
+	$(PYTHON) -m repro verify --cases 200 --fuzz-frames 500 --chaos-runs 4 \
+		--cluster-runs 1
 
-check: test bench-smoke serve-smoke verify-smoke
+check: test bench-smoke serve-smoke cluster-smoke verify-smoke
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done

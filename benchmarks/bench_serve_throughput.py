@@ -19,6 +19,7 @@ count so the file runs in seconds.
 from __future__ import annotations
 
 import os
+import threading
 import time
 
 from repro.core.partition import partition
@@ -34,12 +35,182 @@ DISTINCT = 16 if SMOKE else 64
 CONCURRENCY = 32
 SPEEDUP_GATE = 5.0
 
+#: Cluster topology gates (see ``measure_cluster_throughput``): the
+#: router may cost at most this fraction of single-node throughput, and
+#: the routed 3-fleet aggregate must stay within this gap of the
+#: direct-to-nodes aggregate.
+ROUTER_OVERHEAD_LIMIT = 0.15
+AGGREGATE_GAP_LIMIT = 0.10
+CLUSTER_NODES = 3
+CLUSTER_REQUESTS = 48 if SMOKE else 192
+
 
 def _workload(capacity: int) -> list[int]:
     """REQUESTS sizes cycling over DISTINCT distinct values, shuffled
     deterministically by a coprime stride so batches mix sizes."""
     pool = [capacity // (DISTINCT + 2) * (k + 1) for k in range(DISTINCT)]
     return [pool[(k * 7) % DISTINCT] for k in range(REQUESTS)]
+
+
+#: Disjoint measurement phases per cluster run (see ``_phase_sizes``).
+_PHASES = 8
+
+
+def _phase_sizes(capacity: int, count: int, phase: int) -> list[int]:
+    """``count`` distinct sizes, disjoint across ``_PHASES`` phases.
+
+    Every request is a distinct size the server has never planned, so a
+    measured phase is pure solve work (warm-started ``plan_many`` sweeps,
+    no cache hits) — the same amount of it on both sides of each gate.
+    The per-phase sets are disjoint so an earlier phase cannot warm the
+    plan cache for a later one; the *bracket* pool still warms every
+    solve slightly, which is why the callers interleave direct/routed
+    passes and take best-of per side.
+    """
+    lo, span = capacity // 10, int(capacity * 0.8)
+    sizes = [
+        lo + (k * _PHASES + phase) * span // (_PHASES * count)
+        for k in range(count)
+    ]
+    return [sizes[(k * 7) % count] for k in range(count)]
+
+
+def measure_cluster_throughput(
+    *,
+    p: int = P,
+    requests: int = CLUSTER_REQUESTS,
+    concurrency: int = CONCURRENCY,
+) -> dict:
+    """Router + 3 node processes vs the same nodes driven directly.
+
+    Two comparisons, both empirical and interleaved on the same machine
+    so CPU-speed drift cancels:
+
+    * **single** — one fleet's workload straight at its primary node,
+      then the identical-shape workload through the router (the router
+      hop is the only difference);
+    * **aggregate** — all three fleets at once, one per node (distinct
+      ring primaries by construction), three concurrent loads straight
+      at the owning nodes vs the same three loads through the one
+      router (queue-based load leveling must not serialize them).
+
+    Returns the four plans/sec rates plus total error counts; the gates
+    live in the callers (the pytest test below and ``perf_guard.py``).
+    """
+    from repro.cluster import (
+        ClusterMembership,
+        RouterConfig,
+        start_process_node,
+        start_router_in_thread,
+    )
+    from repro.experiments import build_network_models
+    from repro.machines import table2_network
+
+    models = build_network_models(table2_network(), "matmul")
+    nodes = [start_process_node(f"bench-n{i}") for i in range(CLUSTER_NODES)]
+    router = start_router_in_thread(
+        RouterConfig(replication=2), [n.info for n in nodes]
+    )
+    try:
+        # Pick CLUSTER_NODES tiled fleets whose ring primaries are
+        # distinct nodes, mirroring the router's membership math locally
+        # (same blake2b ring, same vnode count).
+        ring = ClusterMembership(replication=1)
+        for node in nodes:
+            ring.add(node.info)
+        fleets = []
+        taken: set[str] = set()
+        q = p
+        while len(fleets) < CLUSTER_NODES:
+            sfs = tile_speed_functions(models, q)
+            fleet = Fleet(sfs, name=f"bench-cluster-p{q}")
+            primary = ring.replicas_for(fleet.fingerprint)[0]
+            if primary not in taken:
+                taken.add(primary)
+                owner = next(n for n in nodes if n.node_id == primary)
+                fleets.append((fleet, sfs, owner))
+            q += 1
+        with ServeClient(router.host, router.port) as client:
+            for fleet, sfs, _ in fleets:
+                client.register_fleet(sfs, name=fleet.name)
+
+        errors = 0
+
+        def load(host: str, port: int, fleet: Fleet, phase: int):
+            nonlocal errors
+            report = run_load(
+                host, port, fleet.fingerprint,
+                _phase_sizes(int(fleet.capacity), requests, phase),
+                concurrency=concurrency, connections=8, allocation=False,
+            )
+            errors += report.error_count
+            return report
+
+        fleet0, _, owner0 = fleets[0]
+
+        def aggregate(phase: int, *, use_router: bool) -> float:
+            reports: list = [None] * len(fleets)
+
+            def drive(i: int) -> None:
+                fleet, _, owner = fleets[i]
+                host, port = (
+                    (router.host, router.port) if use_router
+                    else (owner.host, owner.port)
+                )
+                reports[i] = load(host, port, fleet, phase)
+
+            threads = [
+                threading.Thread(target=drive, args=(i,))
+                for i in range(len(fleets))
+            ]
+            begin = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            wall = time.perf_counter() - begin
+            return sum(r.ok for r in reports) / wall
+
+        # Interleave direct/routed passes and keep the best rate per
+        # side: solver bracket pools warm monotonically across phases,
+        # so back-to-back one-shot measurements would systematically
+        # flatter whichever side ran second.  Interleaving hands the
+        # warming (and any machine-load drift) to both sides equally.
+        direct_single = routed_single = 0.0
+        for pass_no in range(2):
+            direct_single = max(
+                direct_single,
+                load(owner0.host, owner0.port, fleet0, pass_no * 2).plans_per_second,
+            )
+            routed_single = max(
+                routed_single,
+                load(router.host, router.port, fleet0, pass_no * 2 + 1).plans_per_second,
+            )
+        direct_aggregate = routed_aggregate = 0.0
+        for pass_no in range(2, 4):
+            direct_aggregate = max(
+                direct_aggregate, aggregate(pass_no * 2, use_router=False)
+            )
+            routed_aggregate = max(
+                routed_aggregate, aggregate(pass_no * 2 + 1, use_router=True)
+            )
+        return {
+            "p": p,
+            "requests": requests,
+            "concurrency": concurrency,
+            "direct_single": direct_single,
+            "routed_single": routed_single,
+            "direct_aggregate": direct_aggregate,
+            "routed_aggregate": routed_aggregate,
+            "errors": errors,
+        }
+    finally:
+        router.stop()
+        for node in nodes:
+            try:
+                node.stop()
+            except Exception:  # noqa: BLE001 - teardown best-effort
+                pass
 
 
 def test_serve_throughput_vs_naive_loop(mm_models, benchmark):
@@ -103,4 +274,44 @@ def test_serve_throughput_vs_naive_loop(mm_models, benchmark):
     assert speedup >= SPEEDUP_GATE, (
         f"serving must beat the naive loop {SPEEDUP_GATE}x, got {speedup:.2f}x "
         f"({report.plans_per_second:.0f} vs {naive_rate:.0f} plans/s)"
+    )
+
+
+def test_cluster_router_vs_direct_nodes(benchmark):
+    """The multi-process topology gates: router overhead and aggregate gap."""
+    r = benchmark.pedantic(measure_cluster_throughput, rounds=1, iterations=1)
+    overhead = 1.0 - r["routed_single"] / r["direct_single"]
+    gap = 1.0 - r["routed_aggregate"] / r["direct_aggregate"]
+
+    print()
+    print(
+        ascii_table(
+            ["topology", "direct plans/s", "routed plans/s", "loss"],
+            [
+                (
+                    f"single fleet (p={r['p']})",
+                    round(r["direct_single"], 1),
+                    round(r["routed_single"], 1),
+                    f"{overhead:.1%}",
+                ),
+                (
+                    f"{CLUSTER_NODES} fleets on {CLUSTER_NODES} nodes",
+                    round(r["direct_aggregate"], 1),
+                    round(r["routed_aggregate"], 1),
+                    f"{gap:.1%}",
+                ),
+            ],
+            title=f"Cluster routing — {r['requests']} distinct-size requests "
+            f"per fleet, concurrency {r['concurrency']}",
+        )
+    )
+
+    assert r["errors"] == 0, f"cluster loads saw {r['errors']} errors"
+    assert overhead < ROUTER_OVERHEAD_LIMIT, (
+        f"router costs {overhead:.1%} of single-node throughput "
+        f"(limit {ROUTER_OVERHEAD_LIMIT:.0%})"
+    )
+    assert gap < AGGREGATE_GAP_LIMIT, (
+        f"routed aggregate trails direct-to-nodes by {gap:.1%} "
+        f"(limit {AGGREGATE_GAP_LIMIT:.0%})"
     )

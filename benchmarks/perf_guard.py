@@ -338,6 +338,60 @@ def check_online_refit() -> int:
     )
 
 
+def check_cluster() -> int:
+    """Gate the cluster router against direct-to-node serving.
+
+    Delegates to ``bench_serve_throughput.measure_cluster_throughput``
+    (router + 3 planner node processes, all-distinct-size workloads so
+    both sides do identical solve work): the routed single-fleet rate
+    must keep router overhead under 15% of direct single-node
+    throughput, and the routed 3-fleet aggregate must land within 10%
+    of the direct-to-nodes aggregate.  Every number is a ratio of two
+    runs interleaved on this machine, so load drift largely cancels.
+    """
+    from bench_serve_throughput import (
+        AGGREGATE_GAP_LIMIT,
+        ROUTER_OVERHEAD_LIMIT,
+        measure_cluster_throughput,
+    )
+
+    r = measure_cluster_throughput()
+    overhead = 1.0 - r["routed_single"] / r["direct_single"]
+    gap = 1.0 - r["routed_aggregate"] / r["direct_aggregate"]
+    status = 0
+    print(
+        f"perf-guard: cluster single-fleet {r['routed_single']:.0f} routed vs "
+        f"{r['direct_single']:.0f} direct plans/s = {overhead:.1%} router "
+        f"overhead (limit {ROUTER_OVERHEAD_LIMIT:.0%})"
+    )
+    if overhead >= ROUTER_OVERHEAD_LIMIT:
+        print(
+            f"perf-guard: FAIL — router overhead {overhead:.1%} at p={r['p']} "
+            f"c={r['concurrency']} (limit {ROUTER_OVERHEAD_LIMIT:.0%})",
+            file=sys.stderr,
+        )
+        status = 1
+    print(
+        f"perf-guard: cluster aggregate {r['routed_aggregate']:.0f} routed vs "
+        f"{r['direct_aggregate']:.0f} direct plans/s = {gap:.1%} below "
+        f"aggregate node capacity (limit {AGGREGATE_GAP_LIMIT:.0%})"
+    )
+    if gap >= AGGREGATE_GAP_LIMIT:
+        print(
+            f"perf-guard: FAIL — routed aggregate trails the nodes' own "
+            f"capacity by {gap:.1%} (limit {AGGREGATE_GAP_LIMIT:.0%})",
+            file=sys.stderr,
+        )
+        status = 1
+    if r["errors"]:
+        print(
+            f"perf-guard: FAIL — cluster loads saw {r['errors']} errors",
+            file=sys.stderr,
+        )
+        status = 1
+    return status
+
+
 def check_compiled_speedups(speedups: dict) -> int:
     """Gate the knot-compiled fast path against the per-object oracle.
 
@@ -472,6 +526,7 @@ def main(argv: list[str] | None = None) -> int:
         | check_adaptive_overhead()
         | check_serve_tracing()
         | check_online_refit()
+        | check_cluster()
     )
 
 

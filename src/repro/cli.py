@@ -346,6 +346,11 @@ def _render_serve_stats(args: argparse.Namespace) -> None:
 
         print(_json.dumps(doc, indent=2, sort_keys=True))
         return
+    if "cluster" in doc:
+        # The address points at a cluster router: render the aggregated
+        # membership + per-node view instead of single-server counters.
+        _render_cluster_stats(doc)
+        return
     trace = doc.get("trace") or {}
     rows = [
         ("serve.requests", "", doc.get("requests", 0)),
@@ -387,6 +392,62 @@ def _render_serve_stats(args: argparse.Namespace) -> None:
                     for fp, info in sorted(fleets.items())
                 ],
                 title="Registered fleets",
+            )
+        )
+
+
+def _render_cluster_stats(doc: dict) -> None:
+    """`repro stats --serve` against a router: the whole cluster at once."""
+    router = doc.get("router") or {}
+    rows = [
+        ("cluster.requests", "", router.get("requests", 0)),
+        ("cluster.route", "path=primary", router.get("routed_primary", 0)),
+        ("cluster.route", "path=fallback", router.get("routed_fallback", 0)),
+        ("cluster.route", "path=unavailable", router.get("unavailable", 0)),
+        ("cluster.shed", "", router.get("shed", 0)),
+        ("cluster.reshards", "", router.get("reshards", 0)),
+        ("cluster.trace.recorded", "", (router.get("trace") or {}).get("recorded", 0)),
+    ]
+    print(ascii_table(["metric", "labels", "value"], rows, title="Router counters"))
+    breakers = router.get("breakers") or {}
+    nodes = doc.get("nodes") or {}
+    node_rows = []
+    for node_id in sorted(nodes):
+        nd = nodes[node_id]
+        if nd.get("ok"):
+            node_rows.append(
+                (node_id, breakers.get(node_id, "?"), nd.get("requests", 0),
+                 nd.get("responses_ok", 0), nd.get("responses_error", 0),
+                 nd.get("shed", 0), len(nd.get("fleets") or {}),
+                 (nd.get("trace") or {}).get("recorded", 0))
+            )
+        else:
+            node_rows.append(
+                (node_id, breakers.get(node_id, "?"),
+                 f"unreachable: {nd.get('error')}", "", "", "", "", "")
+            )
+    print()
+    print(
+        ascii_table(
+            ["node", "breaker", "requests", "ok", "error", "shed", "fleets",
+             "traces"],
+            node_rows,
+            title="Member nodes",
+        )
+    )
+    cluster = doc.get("cluster") or {}
+    fleets = cluster.get("fleets") or {}
+    if fleets:
+        print()
+        print(
+            ascii_table(
+                ["fleet", "name", "replicas"],
+                [
+                    (fp[:16], info.get("name", ""),
+                     " ".join(info.get("nodes") or []))
+                    for fp, info in sorted(fleets.items())
+                ],
+                title="Fleet placement",
             )
         )
 
@@ -446,8 +507,105 @@ def _cmd_stats_once(args: argparse.Namespace) -> None:
         print(f"metrics written to {args.metrics_out}")
 
 
+def _member_http_addrs(stats_doc: dict) -> dict[str, str]:
+    """``node_id -> host:http_port`` for a router's reachable members."""
+    out: dict[str, str] = {}
+    for info in (stats_doc.get("cluster") or {}).get("nodes") or []:
+        if info.get("http_port"):
+            out[info["node_id"]] = f"{info['host']}:{info['http_port']}"
+    return out
+
+
+def _graft_cluster_trace(router_doc: dict, node_docs: dict[str, dict]) -> dict:
+    """Stitch member-node span trees into the router's tree by parent id.
+
+    The router forwards each attempt with a child trace context, so a
+    node's root span carries ``parent_id == <attempt span id>``; grafting
+    is an index lookup, no heuristics.
+    """
+    spans = router_doc.get("spans")
+    if not spans:
+        return router_doc
+    by_id: dict[str, dict] = {}
+    stack = [spans]
+    while stack:
+        node = stack.pop()
+        if node.get("span_id"):
+            by_id[node["span_id"]] = node
+        stack.extend(node.get("children", []))
+    for node_id, doc in node_docs.items():
+        sub = doc.get("spans")
+        if not sub:
+            continue
+        sub.setdefault("attrs", {})["node"] = node_id
+        parent = by_id.get(sub.get("parent_id", ""))
+        if parent is not None:
+            parent.setdefault("children", []).append(sub)
+        else:  # orphaned subtree: keep it visible under the root
+            spans.setdefault("children", []).append(sub)
+    return router_doc
+
+
+def _render_cluster_traces(args: argparse.Namespace, stats_doc: dict) -> None:
+    """`repro trace --serve` against a router: the merged flight view."""
+    members = _member_http_addrs(stats_doc)
+    if args.trace_id:
+        router_doc = _http_json(args.serve_addr, f"/debug/traces?id={args.trace_id}")
+        node_docs: dict[str, dict] = {}
+        for node_id, addr in members.items():
+            try:
+                node_docs[node_id] = _http_json(
+                    addr, f"/debug/traces?id={args.trace_id}"
+                )
+            except CommandError:
+                continue  # this member never saw the trace (or is down)
+        doc = _graft_cluster_trace(router_doc, node_docs)
+        print(
+            f"trace {doc['trace_id']}  op={doc['op']} status={doc['status']} "
+            f"n={doc.get('n')} {doc['seconds'] * 1e3:.3f}ms "
+            f"(router + {len(node_docs)} node subtree(s))"
+        )
+        spans = doc.get("spans")
+        if spans:
+            print(obs.render_spans([obs.Span.from_dict(spans)], max_children=16))
+        return
+    query = f"/debug/traces?limit={args.limit}"
+    if args.errors_only:
+        query += "&errors=1"
+    if args.slow_only:
+        query += "&slow=1"
+    rows = []
+    sources = {"router": args.serve_addr, **members}
+    reachable = 0
+    for label, addr in sources.items():
+        try:
+            doc = _http_json(addr, query)
+        except CommandError:
+            rows.append((label, "-", "-", "unreachable", "", ""))
+            continue
+        reachable += 1
+        for t in doc.get("traces", []):
+            rows.append(
+                (label, t["trace_id"], t["op"], t["status"], t.get("n", ""),
+                 f"{t['seconds'] * 1e3:.3f}", t.get("started", 0.0))
+            )
+    rows.sort(key=lambda r: r[-1] if len(r) == 7 else 0.0, reverse=True)
+    print(
+        ascii_table(
+            ["node", "trace_id", "op", "status", "n", "ms"],
+            [r[:6] for r in rows[: args.limit]],
+            title=f"Flight recorder — cluster view ({reachable} listeners)",
+        )
+    )
+    print("use --trace-id <id> for one stitched span tree across the cluster")
+
+
 def _render_serve_traces(args: argparse.Namespace) -> None:
     """Flight-recorder traces from a live server, rendered for humans."""
+    stats_doc = _http_json(args.serve_addr, "/stats")
+    if "cluster" in stats_doc:
+        _render_cluster_traces(args, stats_doc)
+        return
     if args.trace_id:
         doc = _http_json(args.serve_addr, f"/debug/traces?id={args.trace_id}")
         print(
@@ -576,11 +734,172 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         handle.stop()
 
 
+def _parse_hostport(value: str, flag: str) -> tuple[str, int]:
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise CommandError(f"{flag} must look like HOST:PORT, got {value!r}")
+    return host, int(port)
+
+
+def _cmd_cluster(args: argparse.Namespace) -> None:
+    """Operate a multi-node planning cluster (see ``docs/cluster.md``).
+
+    ``repro cluster up`` boots a router plus ``--nodes`` planner node
+    processes and serves until interrupted (``--once`` self-checks one
+    routed plan and exits).  ``status`` / ``join`` / ``leave`` are admin
+    calls against a running router named by ``--router HOST:PORT`` —
+    they ride the same NDJSON protocol as the data path.
+    """
+    action = args.action or "status"
+    if action not in ("status", "join", "leave", "up"):
+        raise CommandError(
+            f"unknown cluster action {action!r}; pick status, join, leave or up"
+        )
+    if action == "up":
+        _cluster_up(args)
+        return
+    if not args.router:
+        raise CommandError(f"cluster {action} needs --router HOST:PORT")
+    from .serve import ServeClient
+
+    host, port = _parse_hostport(args.router, "--router")
+    with ServeClient(host, port) as client:
+        if action == "status":
+            resp = client.call("cluster_status")
+        elif action == "join":
+            if not args.node_addr:
+                raise CommandError("cluster join needs --node-addr HOST:PORT")
+            node_host, node_port = _parse_hostport(args.node_addr, "--node-addr")
+            fields: dict = {"host": node_host, "port": node_port}
+            if args.node_http is not None:
+                fields["http_port"] = args.node_http
+            resp = client.call("cluster_join", **fields)
+        else:
+            if not args.node_id:
+                raise CommandError("cluster leave needs --node-id HOST:PORT")
+            resp = client.call("cluster_leave", node=args.node_id)
+    if not resp.get("ok"):
+        err = resp.get("error") or {}
+        raise CommandError(
+            f"cluster {action}: {err.get('code')}: {err.get('message')}"
+        )
+    result = resp["result"]
+    if action == "status":
+        _print_cluster_status(result)
+    elif action == "join":
+        node = result.get("node") or {}
+        note = " (already a member)" if result.get("already_member") else ""
+        print(
+            f"joined {node.get('node_id')}{note}: {result.get('fleets_moved', 0)} "
+            f"fleet(s) remapped, {result.get('registered', 0)} registration(s) sent"
+        )
+    else:
+        drained = "drained" if result.get("drained") else "NOT fully drained"
+        print(
+            f"left {result.get('node_id')}: {result.get('fleets_moved', 0)} "
+            f"fleet(s) remapped, {result.get('registered', 0)} "
+            f"registration(s) sent, in-flight work {drained}"
+        )
+
+
+def _print_cluster_status(doc: dict) -> None:
+    router = doc.get("router") or {}
+    breakers = {
+        node_id: info.get("breaker", "?")
+        for node_id, info in (router.get("nodes") or {}).items()
+    }
+    print(
+        ascii_table(
+            ["node", "host", "port", "http", "breaker"],
+            [
+                (
+                    n["node_id"], n["host"], n["port"], n.get("http_port") or "-",
+                    breakers.get(n["node_id"], "?"),
+                )
+                for n in doc.get("nodes", [])
+            ],
+            title=f"Cluster members (replication {doc.get('replication')})",
+        )
+    )
+    fleets = doc.get("fleets") or {}
+    if fleets:
+        print()
+        print(
+            ascii_table(
+                ["fleet", "name", "replicas"],
+                [
+                    (fp[:16], info.get("name", ""), " ".join(info.get("nodes", [])))
+                    for fp, info in sorted(fleets.items())
+                ],
+                title="Fleet placement",
+            )
+        )
+
+
+def _cluster_up(args: argparse.Namespace) -> None:
+    import time as _time
+
+    from .cluster import RouterConfig, start_process_node, start_router_in_thread
+    from .experiments import tile_speed_functions
+    from .serve import ServeClient
+
+    models = build_network_models(table2_network(), args.kernel)
+    p = args.p if args.p is not None else len(models)
+    sfs = tile_speed_functions(models, p) if p != len(models) else models
+
+    members = [start_process_node(f"n{i}") for i in range(args.nodes)]
+    router = start_router_in_thread(
+        RouterConfig(
+            host=args.host,
+            port=args.port,
+            http_port=None if args.http_port < 0 else args.http_port,
+            replication=args.replication,
+        ),
+        [m.info for m in members],
+    )
+    try:
+        http = "disabled" if router.http_port is None else router.http_port
+        print(
+            f"cluster router on {router.host}:{router.port} (http {http}) over "
+            f"{args.nodes} node(s): " + ", ".join(m.node_id for m in members)
+        )
+        with ServeClient(router.host, router.port) as client:
+            info = client.register_fleet(
+                sfs, name=f"table2-{args.kernel}-p{p}", algorithm=args.algorithm
+            )
+            print(
+                f"fleet {info['name']} registered: fingerprint "
+                f"{info['fingerprint']} on {' '.join(info['registered'])}"
+            )
+            if args.once:
+                n = max(1, int(info["capacity"]) // 2)
+                result = client.plan(info["fingerprint"], n, allocation=False)
+                print(
+                    f"self-check plan n={n}: makespan {result['makespan']:.6g}s "
+                    f"in {result['iterations']} iterations"
+                )
+                print("draining")
+                return
+            print("press Ctrl-C to drain and stop")
+            while True:  # pragma: no cover - interactive loop
+                _time.sleep(1.0)
+    except KeyboardInterrupt:  # pragma: no cover - interactive loop
+        print("draining")
+    finally:
+        router.stop()
+        for m in members:
+            try:
+                m.stop()
+            except Exception:  # noqa: BLE001 - teardown best-effort
+                pass
+
+
 def _cmd_verify(args: argparse.Namespace) -> None:
     """Run the :mod:`repro.verify` harness (see ``docs/testing.md``).
 
-    Three sweeps — differential conformance, protocol fuzzing, adapt
-    chaos — all seeded, all replayable.  The ``--only-*`` flags replay a
+    Four sweeps — differential conformance, protocol fuzzing, adapt
+    chaos, and (opt-in via ``--cluster-runs``) kill-a-node cluster chaos
+    — all seeded, all replayable.  The ``--only-*`` flags replay a
     single case/frame/run and skip the other sweeps; any confirmed bug
     makes the command exit non-zero after printing one replay line per
     failure.
@@ -622,6 +941,15 @@ def _cmd_verify(args: argparse.Namespace) -> None:
             print(report.summary())
             failures += len(report.failures)
 
+    if args.cluster_runs > 0 and not replaying:
+        from .verify import run_cluster_chaos
+
+        report = run_cluster_chaos(runs=args.cluster_runs, seed=args.seed)
+        print(report.summary())
+        for failure in report.failures:
+            print(f"  {failure.summary()}")
+        failures += len(report.failures)
+
     if failures:
         raise CommandError(f"verification found {failures} failure(s)")
     print("verify: all sweeps clean")
@@ -646,11 +974,12 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], None]] = {
     "stats": _cmd_stats,
     "trace": _cmd_trace,
     "serve": _cmd_serve,
+    "cluster": _cmd_cluster,
     "verify": _cmd_verify,
 }
 
 #: Telemetry/serving tooling, not paper artefacts: excluded from ``repro all``.
-_TELEMETRY_COMMANDS = frozenset({"stats", "trace", "serve", "verify"})
+_TELEMETRY_COMMANDS = frozenset({"stats", "trace", "serve", "cluster", "verify"})
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -666,6 +995,11 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         choices=sorted(_COMMANDS) + ["all"],
         help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "action", nargs="?", default=None,
+        choices=["status", "join", "leave", "up"],
+        help="subaction for `repro cluster` (default: status)",
     )
     parser.add_argument(
         "--repeats", type=int, default=2, help="benchmark repeats where applicable"
@@ -782,6 +1116,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--once", action="store_true",
         help="answer one self-issued plan request, then drain and exit",
     )
+    cluster = parser.add_argument_group("cluster", "options for `repro cluster`")
+    cluster.add_argument(
+        "--router", default=None, metavar="HOST:PORT",
+        help="router address for `repro cluster status/join/leave`",
+    )
+    cluster.add_argument(
+        "--node-addr", default=None, metavar="HOST:PORT",
+        help="planner-node TCP address for `repro cluster join`",
+    )
+    cluster.add_argument(
+        "--node-http", type=int, default=None, metavar="PORT",
+        help="the joining node's HTTP port (enables aggregated tracing)",
+    )
+    cluster.add_argument(
+        "--node-id", default=None, metavar="HOST:PORT",
+        help="member node id for `repro cluster leave`",
+    )
+    cluster.add_argument(
+        "--nodes", type=int, default=3,
+        help="planner node processes for `repro cluster up`",
+    )
+    cluster.add_argument(
+        "--replication", type=int, default=2,
+        help="replica-set size per fleet for `repro cluster up`",
+    )
     verify = parser.add_argument_group("verify", "options for `repro verify`")
     verify.add_argument(
         "--cases", type=int, default=200,
@@ -800,6 +1159,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--chaos-runs", type=int, default=6,
         help="randomized fault-script runs of the adaptive simulator "
         "(0 skips the chaos sweep)",
+    )
+    verify.add_argument(
+        "--cluster-runs", type=int, default=0,
+        help="kill-a-node cluster chaos runs — router + node processes, "
+        "SIGKILL mid-load (0 skips; `make verify-smoke` runs one)",
     )
     verify.add_argument(
         "--only-case", type=int, default=None, metavar="K",

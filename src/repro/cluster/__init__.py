@@ -1,0 +1,56 @@
+"""Multi-node serving: replicated routing, live resharding, fault isolation.
+
+The cluster layer scales :mod:`repro.serve` horizontally: N independent
+planner node processes behind one :class:`~repro.cluster.router.RouterService`
+front-end that speaks the same NDJSON protocol v1 clients already use.
+Requests route by fleet fingerprint over the blake2b consistent-hash
+ring; each fleet lives on a replica set (primary + ring successors), and
+the router falls back across it when a node dies, sheds, or answers with
+a retryable code.  Membership is live (``repro cluster join/leave``)
+with minimal fleet remapping, and per-node circuit breakers + bulkhead
+connection pools keep one bad node from dragging the rest down.
+
+See ``docs/cluster.md`` for topology and tuning.
+"""
+
+from .breaker import CLOSED, HALF_OPEN, OPEN, BreakerConfig, CircuitBreaker
+from .membership import (
+    ClusterMembership,
+    NodeInfo,
+    RemapReport,
+    node_id_of,
+    parse_node_id,
+)
+from .node import (
+    ProcessNode,
+    ThreadNode,
+    start_nodes,
+    start_process_node,
+    start_thread_node,
+)
+from .pool import NodeBusy, NodeLink, NodeUnavailable
+from .router import RouterConfig, RouterService, start_router_in_thread
+
+__all__ = [
+    "BreakerConfig",
+    "CircuitBreaker",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "ClusterMembership",
+    "NodeInfo",
+    "RemapReport",
+    "node_id_of",
+    "parse_node_id",
+    "NodeBusy",
+    "NodeLink",
+    "NodeUnavailable",
+    "ProcessNode",
+    "ThreadNode",
+    "start_nodes",
+    "start_process_node",
+    "start_thread_node",
+    "RouterConfig",
+    "RouterService",
+    "start_router_in_thread",
+]

@@ -1,0 +1,216 @@
+"""Per-node circuit breakers: fail fast instead of queueing on the dead.
+
+One :class:`CircuitBreaker` guards one member node of the cluster.  The
+state machine is the classic three-state breaker:
+
+* **closed** — traffic flows; consecutive failures are counted and
+  ``failure_threshold`` of them in a row trip the breaker **open**;
+* **open** — every :meth:`allow` is refused without touching the node,
+  so a dead or wedged node costs the router a dictionary lookup instead
+  of a connect timeout.  After ``reset_timeout`` seconds the next
+  :meth:`allow` transitions to **half-open**;
+* **half-open** — at most ``half_open_max`` concurrent trial requests
+  are let through.  ``success_threshold`` consecutive successes close
+  the breaker; any failure re-opens it and restarts the timeout.
+
+The router's periodic health probes call :meth:`allow_probe`, which is
+exempt from the open refusal — probes *are* the trial traffic that
+discovers recovery, so they must never be locked out by the very state
+they are meant to clear.
+
+State transitions are counted in the global :mod:`repro.obs` registry
+(``cluster.breaker.{open,half_open,close}``, labelled by node) so a
+flapping node is visible on the ``/metrics`` plane.  All methods are
+safe to call from one event loop; there is no internal locking because
+the router touches breakers only from its serving loop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from .. import obs
+from ..exceptions import ConfigurationError
+
+__all__ = ["BreakerConfig", "CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Tuning knobs for one node's circuit breaker.
+
+    Attributes
+    ----------
+    failure_threshold:
+        Consecutive failures that trip a closed breaker open.
+    reset_timeout:
+        Seconds an open breaker refuses traffic before letting trial
+        requests through (half-open).
+    half_open_max:
+        Concurrent trial requests admitted while half-open; the rest
+        are refused as if the breaker were open.
+    success_threshold:
+        Consecutive half-open successes required to close the breaker.
+    """
+
+    failure_threshold: int = 3
+    reset_timeout: float = 1.0
+    half_open_max: int = 1
+    success_threshold: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be at least 1, got {self.failure_threshold!r}"
+            )
+        if self.reset_timeout <= 0:
+            raise ConfigurationError(
+                f"reset_timeout must be positive, got {self.reset_timeout!r}"
+            )
+        if self.half_open_max < 1:
+            raise ConfigurationError(
+                f"half_open_max must be at least 1, got {self.half_open_max!r}"
+            )
+        if self.success_threshold < 1:
+            raise ConfigurationError(
+                f"success_threshold must be at least 1, got {self.success_threshold!r}"
+            )
+
+
+class CircuitBreaker:
+    """Three-state breaker for one node (see the module notes).
+
+    ``clock`` is injectable (defaults to :func:`time.monotonic`) so the
+    state machine is testable without sleeping through reset timeouts.
+    """
+
+    def __init__(
+        self,
+        node_id: str = "",
+        config: BreakerConfig | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._config = config or BreakerConfig()
+        self._clock = clock
+        self._state = CLOSED
+        self._failures = 0          # consecutive failures while closed
+        self._successes = 0         # consecutive successes while half-open
+        self._trials = 0            # trial requests in flight while half-open
+        self._opened_at = 0.0
+        self.node_id = node_id
+        registry = obs.get_registry()
+        labels = {"node": node_id or "-"}
+        self._opened = registry.counter(
+            "cluster.breaker.open", labels=labels,
+            help="breaker transitions to open, by node",
+        )
+        self._half_opened = registry.counter(
+            "cluster.breaker.half_open", labels=labels,
+            help="breaker transitions to half-open, by node",
+        )
+        self._closed = registry.counter(
+            "cluster.breaker.close", labels=labels,
+            help="breaker transitions back to closed, by node",
+        )
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state, advancing open → half-open if the timeout passed."""
+        self._maybe_half_open()
+        return self._state
+
+    @property
+    def config(self) -> BreakerConfig:
+        return self._config
+
+    # -- gate -----------------------------------------------------------
+    def allow(self) -> bool:
+        """May one data-path request be sent to the node right now?
+
+        A half-open admission reserves one of the ``half_open_max``
+        trial slots; the caller MUST follow up with
+        :meth:`record_success` or :meth:`record_failure` to release it.
+        """
+        self._maybe_half_open()
+        if self._state == CLOSED:
+            return True
+        if self._state == HALF_OPEN and self._trials < self._config.half_open_max:
+            self._trials += 1
+            return True
+        return False
+
+    def allow_probe(self) -> bool:
+        """Health probes pass unless the open timeout has not elapsed.
+
+        While freshly open, even probes back off (the node just failed);
+        once the reset timeout passes, probes flow every cycle so
+        recovery is noticed within one probe interval.
+        """
+        self._maybe_half_open()
+        if self._state != OPEN:
+            return True
+        return False  # still inside the reset window
+
+    # -- outcomes --------------------------------------------------------
+    def record_success(self) -> None:
+        if self._state == HALF_OPEN:
+            self._trials = max(0, self._trials - 1)
+            self._successes += 1
+            if self._successes >= self._config.success_threshold:
+                self._to_closed()
+        else:
+            self._failures = 0
+
+    def record_failure(self) -> None:
+        if self._state == HALF_OPEN:
+            self._trials = max(0, self._trials - 1)
+            self._to_open()
+        elif self._state == CLOSED:
+            self._failures += 1
+            if self._failures >= self._config.failure_threshold:
+                self._to_open()
+        else:  # already open: restart the reset window
+            self._opened_at = self._clock()
+
+    def force_open(self) -> None:
+        """Trip the breaker immediately (a leave, or a failed probe burst)."""
+        if self._state != OPEN:
+            self._to_open()
+        else:
+            self._opened_at = self._clock()
+
+    # -- transitions -----------------------------------------------------
+    def _maybe_half_open(self) -> None:
+        if self._state == OPEN and (
+            self._clock() - self._opened_at >= self._config.reset_timeout
+        ):
+            self._state = HALF_OPEN
+            self._trials = 0
+            self._successes = 0
+            self._half_opened.inc()
+
+    def _to_open(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._failures = 0
+        self._successes = 0
+        self._trials = 0
+        self._opened.inc()
+
+    def _to_closed(self) -> None:
+        self._state = CLOSED
+        self._failures = 0
+        self._successes = 0
+        self._trials = 0
+        self._closed.inc()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CircuitBreaker(node={self.node_id!r}, state={self.state!r})"

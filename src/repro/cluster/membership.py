@@ -1,0 +1,205 @@
+"""Cluster membership: who is in the ring, and who owns which fleet.
+
+:class:`ClusterMembership` is the router's pure bookkeeping core — no
+sockets, no asyncio — which is what makes the resharding math unit- and
+property-testable in isolation.  It wraps the same blake2b
+:class:`~repro.serve.hashring.HashRing` the in-process shard pool uses,
+keyed by node id (``host:port``), and answers two questions:
+
+* :meth:`replicas_for` — the ordered replica set (primary first, then
+  ring successors) a fleet fingerprint is served by;
+* :meth:`remap` — given a membership change, exactly which fingerprints
+  changed replica sets, and which nodes *gained* each one (the nodes the
+  router must re-register the fleet on).
+
+The minimal-remap guarantee is inherited from the ring: a join moves
+only ``~1/nodes`` of the fingerprint space onto the new node, and a
+leave reassigns only the fingerprints whose replica set contained the
+leaver — everything else keeps its owners and therefore its warm plan
+caches (the Hypothesis suites on both layers assert this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..exceptions import ConfigurationError
+from ..serve.hashring import HashRing
+
+__all__ = [
+    "NodeInfo",
+    "RemapReport",
+    "ClusterMembership",
+    "node_id_of",
+    "parse_node_id",
+]
+
+
+@dataclass(frozen=True)
+class NodeInfo:
+    """One member node's addresses.
+
+    ``node_id`` is ``host:port`` — stable, human-readable, and derived
+    from the address every layer already needs, so there is no separate
+    naming authority to keep consistent.
+    """
+
+    host: str
+    port: int
+    http_port: int | None = None
+
+    @property
+    def node_id(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def to_dict(self) -> dict:
+        return {
+            "node_id": self.node_id,
+            "host": self.host,
+            "port": self.port,
+            "http_port": self.http_port,
+        }
+
+
+@dataclass(frozen=True)
+class RemapReport:
+    """What one membership change did to fleet ownership.
+
+    ``moved`` maps each affected fingerprint to the list of node ids
+    that must *newly* serve it (registration targets); fingerprints
+    whose replica set is unchanged do not appear at all.
+    """
+
+    changed_node: str
+    moved: Mapping[str, tuple[str, ...]]
+
+    @property
+    def fleets_moved(self) -> int:
+        return len(self.moved)
+
+
+class ClusterMembership:
+    """The ring of member nodes plus the fleet-spec registry."""
+
+    def __init__(self, *, replication: int = 2, ring_replicas: int = 64):
+        if replication < 1:
+            raise ConfigurationError(
+                f"replication must be at least 1, got {replication!r}"
+            )
+        self._replication = replication
+        self._ring = HashRing(replicas=ring_replicas)
+        self._nodes: dict[str, NodeInfo] = {}
+        self._fleets: dict[str, dict] = {}  # fingerprint -> wire fleet spec
+
+    # -- nodes -----------------------------------------------------------
+    @property
+    def replication(self) -> int:
+        return self._replication
+
+    @property
+    def nodes(self) -> dict[str, NodeInfo]:
+        return dict(self._nodes)
+
+    def node(self, node_id: str) -> NodeInfo:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown node {node_id!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def add(self, info: NodeInfo) -> RemapReport:
+        """Join a node; returns which fleets it must now serve."""
+        if info.node_id in self._nodes:
+            return RemapReport(info.node_id, {})
+        before = self._replica_snapshot()
+        self._nodes[info.node_id] = info
+        self._ring.add(info.node_id)
+        return self._diff(info.node_id, before)
+
+    def remove(self, node_id: str) -> RemapReport:
+        """Leave a node; returns which fleets gained new owners."""
+        if node_id not in self._nodes:
+            return RemapReport(node_id, {})
+        before = self._replica_snapshot()
+        del self._nodes[node_id]
+        self._ring.remove(node_id)
+        return self._diff(node_id, before)
+
+    # -- fleets ----------------------------------------------------------
+    @property
+    def fleets(self) -> dict[str, dict]:
+        return {fp: dict(spec) for fp, spec in self._fleets.items()}
+
+    def register_fleet(self, fingerprint: str, spec: Mapping) -> None:
+        self._fleets[fingerprint] = dict(spec)
+
+    def fleet_spec(self, fingerprint: str) -> dict | None:
+        spec = self._fleets.get(fingerprint)
+        return None if spec is None else dict(spec)
+
+    def knows_fleet(self, fingerprint: str) -> bool:
+        return fingerprint in self._fleets
+
+    # -- routing ---------------------------------------------------------
+    def replicas_for(self, fingerprint: str, count: int | None = None) -> list[str]:
+        """The replica set (primary first); empty when the ring is empty."""
+        if not self._nodes:
+            return []
+        want = self._replication if count is None else count
+        return [str(n) for n in self._ring.nodes_for(fingerprint, want)]
+
+    def fleets_on(self, node_id: str) -> list[str]:
+        """Fingerprints whose replica set includes ``node_id``."""
+        return [
+            fp for fp in self._fleets
+            if node_id in self.replicas_for(fp)
+        ]
+
+    # -- remap math ------------------------------------------------------
+    def _replica_snapshot(self) -> dict[str, tuple[str, ...]]:
+        return {fp: tuple(self.replicas_for(fp)) for fp in self._fleets}
+
+    def _diff(
+        self, changed_node: str, before: Mapping[str, tuple[str, ...]]
+    ) -> RemapReport:
+        moved: dict[str, tuple[str, ...]] = {}
+        for fp in self._fleets:
+            old = before.get(fp, ())
+            new = tuple(self.replicas_for(fp))
+            if new != old:
+                gained = tuple(n for n in new if n not in old)
+                moved[fp] = gained
+        return RemapReport(changed_node, moved)
+
+    def status(self) -> dict:
+        """The membership document behind ``repro cluster status``."""
+        return {
+            "replication": self._replication,
+            "nodes": [self._nodes[nid].to_dict() for nid in sorted(self._nodes)],
+            "fleets": {
+                fp: {
+                    "name": spec.get("name", ""),
+                    "nodes": self.replicas_for(fp),
+                }
+                for fp, spec in self._fleets.items()
+            },
+        }
+
+
+def node_id_of(host: str, port: int) -> str:
+    """The canonical node id for an address (mirrors NodeInfo.node_id)."""
+    return f"{host}:{port}"
+
+
+def parse_node_id(node_id: str) -> tuple[str, int]:
+    """Split ``host:port`` back into an address pair."""
+    host, _, port = node_id.rpartition(":")
+    if not host or not port.isdigit():
+        raise ConfigurationError(f"malformed node id {node_id!r}; expected host:port")
+    return host, int(port)

@@ -224,7 +224,19 @@ class AsyncServeClient:
                     )
             self._pending.clear()
 
+    @property
+    def connected(self) -> bool:
+        """False once the server closed the connection (or we did).
+
+        A dead connection's read loop has exited, so a request written
+        now would never be answered — callers holding pooled clients
+        check this to redial instead of parking a future forever.
+        """
+        return not self._read_task.done() and not self._writer.is_closing()
+
     async def call(self, op: str, **fields: Any) -> dict:
+        if not self.connected:
+            raise ConnectionError("the connection is closed")
         req_id = next(self._seq)
         frame = {"v": PROTOCOL_VERSION, "id": req_id, "op": op, **fields}
         future: asyncio.Future = asyncio.get_running_loop().create_future()

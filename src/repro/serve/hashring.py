@@ -102,6 +102,34 @@ class HashRing:
             idx = 0
         return self._owners[self._points[idx]]
 
+    def nodes_for(self, key: str, count: int) -> list[Hashable]:
+        """Up to ``count`` distinct nodes for ``key``: owner, then successors.
+
+        The first entry is always :meth:`node_for`'s answer; the rest are
+        the next distinct owners walking the ring clockwise — the replica
+        set the cluster router falls back across.  Two stability
+        properties make this safe to use for replication (asserted by the
+        Hypothesis suite): a node that is not in the set owns no ring
+        point before the set's last pick, so removing it never changes
+        the set; and adding a node either leaves the set alone or inserts
+        the new node, displacing only the tail.
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        if not self._points:
+            raise ValueError("cannot route on an empty ring")
+        idx = bisect.bisect_right(self._points, _point(str(key)))
+        out: list[Hashable] = []
+        seen: set[Hashable] = set()
+        for k in range(len(self._points)):
+            owner = self._owners[self._points[(idx + k) % len(self._points)]]
+            if owner not in seen:
+                seen.add(owner)
+                out.append(owner)
+                if len(out) == count:
+                    break
+        return out
+
     def distribution(self, keys: Sequence[str]) -> dict[Hashable, int]:
         """How many of ``keys`` each node owns (diagnostics)."""
         out: dict[Hashable, int] = {node: 0 for node in self._nodes}

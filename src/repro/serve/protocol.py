@@ -98,6 +98,7 @@ ERROR_CODES = frozenset(
         "deadline_exceeded",  # request expired before a worker reached it
         "shutting_down",  # server draining; no new work accepted
         "internal",  # unexpected failure inside a worker
+        "unavailable",  # cluster router: no live replica could answer
     }
 )
 

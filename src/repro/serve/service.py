@@ -137,6 +137,11 @@ class ServeConfig:
         Listener addresses for :class:`~repro.serve.server.PlanServer`
         (``port=0`` picks an ephemeral port; ``http_port=None`` disables
         the HTTP listener).
+    node_id:
+        Optional member name when this server runs as one node of a
+        :mod:`repro.cluster` deployment; surfaced in ``health`` and
+        ``stats`` so the router and the aggregating CLI can label
+        per-node columns.  Empty for a standalone server.
     tracing:
         Per-request distributed tracing (independent of the global
         :func:`repro.obs.enable` switch): every ``plan`` / ``plan_many``
@@ -166,6 +171,7 @@ class ServeConfig:
     host: str = "127.0.0.1"
     port: int = 0
     http_port: int | None = None
+    node_id: str = ""
     tracing: bool = True
     flight_capacity: int = 256
     flight_retain: int = 1024
@@ -720,6 +726,7 @@ class PlanningService:
         pool = self._pool
         return {
             "status": "draining" if self._draining else "ok",
+            "node_id": self._config.node_id,
             "shards": 0 if pool is None else pool.shards,
             "worker_mode": self._config.worker_mode,
             "fleets": len(self._fleets),
@@ -736,6 +743,7 @@ class PlanningService:
             )
             shards = [p for p in payloads if p.get("ok")]
         return {
+            "node_id": self._config.node_id,
             "requests": int(self._requests.value),
             "responses_ok": int(self._responses_ok.value),
             "responses_error": int(self._responses_err.value),

@@ -9,7 +9,10 @@ Three pillars (see ``docs/testing.md``):
   every partitioner, the planner's fast paths, and served plans, with
   each disagreement classified bug vs documented tolerance;
 * :mod:`repro.verify.fuzz` — mutated protocol frames against a live
-  server and chaos scripts against the adaptive simulators.
+  server and chaos scripts against the adaptive simulators;
+* :mod:`repro.verify.chaos` — kill-a-node runs against a live cluster
+  (router + planner node processes), auditing every answer for typed
+  failure, bit-identical replica plans, and minimal resharding.
 
 Everything is replayable from ``(seed, index)`` alone; the ``repro
 verify`` CLI subcommand and ``make verify-smoke`` drive all three.
@@ -28,6 +31,7 @@ from .differential import (
     replay_command,
     run_differential,
 )
+from .chaos import ChaosFailure, ChaosReport, run_cluster_chaos
 from .fuzz import FuzzFailure, FuzzReport, fuzz_adapt, fuzz_protocol
 
 __all__ = [
@@ -44,4 +48,7 @@ __all__ = [
     "FuzzReport",
     "fuzz_adapt",
     "fuzz_protocol",
+    "ChaosFailure",
+    "ChaosReport",
+    "run_cluster_chaos",
 ]

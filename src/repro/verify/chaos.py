@@ -1,0 +1,325 @@
+"""Kill-a-node chaos: SIGKILL a cluster member mid-load, audit every reply.
+
+The contract under test is the cluster's fault-isolation story end to
+end, on a *real* topology — a router thread fronting N planner node
+processes:
+
+* **no protocol-level hangs** — every request issued before, during and
+  after the kill gets an answer within a hard deadline; a parked future
+  is a failure, not a slow success;
+* **typed failure or replica answer** — each request either succeeds or
+  carries a wire code from :data:`~repro.serve.protocol.ERROR_CODES`;
+  nothing surfaces as a raw transport error through the router;
+* **replica answers are bit-identical** — every plan served (primary or
+  fallback) equals a cold :func:`~repro.core.partition_bisection` run
+  for that size: same makespan float, same allocation integers;
+* **minimal resharding** — after the victim is removed from the ring,
+  only fleets whose replica set contained the victim changed owners.
+
+Every run is a pure function of ``(seed, run index)``; failures carry a
+replay command (``repro verify --seed S --cluster-runs K``), matching
+the :mod:`repro.verify.fuzz` idiom.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..cluster import RouterConfig, start_process_node, start_router_in_thread
+from ..core import partition_bisection
+from ..experiments import build_network_models, tile_speed_functions
+from ..machines import table2_network
+from ..planner import Fleet
+from ..serve.client import AsyncServeClient, ServeClient
+from ..serve.protocol import ERROR_CODES
+
+__all__ = ["ChaosFailure", "ChaosReport", "run_cluster_chaos"]
+
+#: Per-request hard deadline: anything slower is recorded as a hang.
+#: Generous on purpose — failover is milliseconds; this bound exists to
+#: separate "slow" from "never".
+_HANG_DEADLINE = 30.0
+
+
+@dataclass(frozen=True)
+class ChaosFailure:
+    """One broken cluster contract, with enough context to replay it."""
+
+    run: int
+    seed: int
+    contract: str
+    detail: str
+
+    @property
+    def replay(self) -> str:
+        return (
+            f"repro verify --cases 0 --fuzz-frames 0 --chaos-runs 0 "
+            f"--seed {self.seed} --cluster-runs {self.run + 1}"
+        )
+
+    def summary(self) -> str:
+        return f"[{self.contract}] {self.detail}  |  replay: {self.replay}"
+
+
+@dataclass
+class ChaosReport:
+    """What the kill-a-node runs saw."""
+
+    seed: int
+    runs: int = 0
+    requests: int = 0
+    ok: int = 0
+    errors: dict[str, int] = field(default_factory=dict)
+    verified_plans: int = 0
+    failures: list[ChaosFailure] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        errs = (
+            " ".join(f"{c}={n}" for c, n in sorted(self.errors.items())) or "none"
+        )
+        return (
+            f"cluster chaos: {self.runs} runs, {self.ok}/{self.requests} plans ok "
+            f"({self.verified_plans} bit-checked), errors: {errs}, "
+            f"{len(self.failures)} failures (seed {self.seed})"
+        )
+
+
+async def _drive_load(
+    host: str,
+    port: int,
+    fingerprint: str,
+    sizes: Sequence[int],
+    *,
+    concurrency: int,
+    kill_after: int,
+    kill_event: threading.Event,
+) -> list[tuple[int, dict | None]]:
+    """Fire one ``plan`` per size; return ``(n, response-or-None)`` pairs.
+
+    ``None`` marks a hang (no answer within the deadline).  After
+    ``kill_after`` responses have arrived, ``kill_event`` is set — the
+    harness thread SIGKILLs the victim while the remaining requests are
+    still in flight, which is the window under test.
+    """
+    clients = [
+        await AsyncServeClient.connect(host, port)
+        for _ in range(max(1, min(4, concurrency)))
+    ]
+    queue: asyncio.Queue[int] = asyncio.Queue()
+    for n in sizes:
+        queue.put_nowait(int(n))
+    results: list[tuple[int, dict | None]] = []
+    answered = 0
+
+    async def worker(idx: int) -> None:
+        nonlocal answered
+        client = clients[idx % len(clients)]
+        while True:
+            try:
+                n = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            try:
+                response = await asyncio.wait_for(
+                    client.call("plan", fleet=fingerprint, n=n, allocation=True),
+                    timeout=_HANG_DEADLINE,
+                )
+            except (asyncio.TimeoutError, ConnectionError, OSError) as exc:
+                results.append((n, None if isinstance(exc, asyncio.TimeoutError)
+                                else {"transport_error": str(exc)}))
+                continue
+            results.append((n, response))
+            answered += 1
+            if answered >= kill_after:
+                kill_event.set()
+
+    try:
+        await asyncio.gather(*(worker(i) for i in range(concurrency)))
+    finally:
+        for client in clients:
+            await client.close()
+    return results
+
+
+def run_cluster_chaos(
+    *,
+    runs: int = 1,
+    seed: int = 0,
+    requests: int = 120,
+    concurrency: int = 8,
+    p: int = 24,
+    nodes: int = 3,
+    replication: int = 2,
+) -> ChaosReport:
+    """SIGKILL a member node mid-load ``runs`` times; audit every answer."""
+    report = ChaosReport(seed=seed)
+    for run in range(runs):
+        _one_run(
+            report, run,
+            seed=seed, requests=requests, concurrency=concurrency,
+            p=p, node_count=nodes, replication=replication,
+        )
+        report.runs += 1
+    return report
+
+
+def _one_run(
+    report: ChaosReport,
+    run: int,
+    *,
+    seed: int,
+    requests: int,
+    concurrency: int,
+    p: int,
+    node_count: int,
+    replication: int,
+) -> None:
+    rng = np.random.default_rng(seed * 7919 + run)
+    models = build_network_models(table2_network(), "matmul")
+
+    def fail(contract: str, detail: str) -> None:
+        report.failures.append(ChaosFailure(run, seed, contract, detail))
+
+    members = [start_process_node(f"chaos{run}-n{i}") for i in range(node_count)]
+    router = start_router_in_thread(
+        RouterConfig(replication=replication, probe_interval=0.1),
+        [m.info for m in members],
+    )
+    try:
+        # Several fleets with distinct fingerprints (varying p) so the
+        # minimal-remap check has bystanders that must NOT move.
+        fleets = []
+        with ServeClient(router.host, router.port) as client:
+            for k in range(3):
+                sfs = tile_speed_functions(models, p + k)
+                fleet = Fleet(sfs, name=f"chaos-p{p + k}")
+                info = client.register_fleet(sfs, name=fleet.name)
+                if info["fingerprint"] != fleet.fingerprint:
+                    fail("fingerprint", "wire fingerprint differs from local")
+                fleets.append((fleet, sfs))
+            status = client.call("cluster_status")["result"]
+
+        target_fleet, target_sfs = fleets[0]
+        fp = target_fleet.fingerprint
+        owners = status["fleets"][fp]["nodes"]
+        victim_id = owners[0]
+        victim = next(m for m in members if m.node_id == victim_id)
+        bystanders = {
+            other_fp: tuple(doc["nodes"])
+            for other_fp, doc in status["fleets"].items()
+            if victim_id not in doc["nodes"]
+        }
+
+        sizes = [
+            int(n)
+            for n in rng.integers(10_000, int(target_fleet.capacity), requests)
+        ]
+        # Cold references: one bit-exact plan per size, straight from the
+        # partitioner the cluster must agree with.
+        reference = {
+            n: partition_bisection(n, target_sfs) for n in sorted(set(sizes))
+        }
+
+        kill_event = threading.Event()
+        box: dict = {}
+
+        def _load_thread() -> None:
+            box["results"] = asyncio.run(
+                _drive_load(
+                    router.host, router.port, fp, sizes,
+                    concurrency=concurrency,
+                    kill_after=max(1, requests // 4),
+                    kill_event=kill_event,
+                )
+            )
+
+        loader = threading.Thread(target=_load_thread, daemon=True)
+        loader.start()
+        if not kill_event.wait(timeout=60.0):
+            fail("liveness", "load generator produced no responses in 60s")
+        victim.kill()
+        loader.join(timeout=requests * 2.0 + 120.0)
+        if loader.is_alive():
+            fail("hang", "load generator did not finish after the kill")
+            return  # the thread is wedged; no per-request audit possible
+
+        results = box.get("results", [])
+        report.requests += len(results)
+        if len(results) != requests:
+            fail("accounting", f"{len(results)} answers for {requests} requests")
+        verified = 0
+        for n, response in results:
+            if response is None:
+                fail("hang", f"plan(n={n}) exceeded the {_HANG_DEADLINE}s deadline")
+                continue
+            if "transport_error" in response:
+                fail(
+                    "typed-errors",
+                    f"plan(n={n}) died on transport: {response['transport_error']}",
+                )
+                continue
+            if not response.get("ok"):
+                code = (response.get("error") or {}).get("code")
+                if code not in ERROR_CODES:
+                    fail("typed-errors", f"plan(n={n}) failed with untyped {code!r}")
+                else:
+                    report.errors[code] = report.errors.get(code, 0) + 1
+                continue
+            report.ok += 1
+            want = reference[n]
+            got = response["result"]
+            if got["makespan"] != float(want.makespan) or got.get(
+                "allocation"
+            ) != [int(x) for x in want.allocation]:
+                fail(
+                    "bit-identity",
+                    f"plan(n={n}) differs from cold partition_bisection "
+                    f"(makespan {got['makespan']!r} vs {float(want.makespan)!r})",
+                )
+            else:
+                verified += 1
+        report.verified_plans += verified
+
+        # The dead node must still answer plans (replica path) and the
+        # ring rebalance must leave bystander fleets untouched.
+        with ServeClient(router.host, router.port) as client:
+            probe_n = sizes[0]
+            got = client.plan(fp, probe_n)
+            want = reference[probe_n]
+            if got["makespan"] != float(want.makespan):
+                fail("bit-identity", "post-kill probe plan differs from cold run")
+            leave = client.call("cluster_leave", node=victim_id)
+            if not leave.get("ok"):
+                fail("membership", f"cluster_leave failed: {leave.get('error')}")
+            after = client.call("cluster_status")["result"]
+            if victim_id in {n["node_id"] for n in after["nodes"]}:
+                fail("membership", "victim still listed after cluster_leave")
+            for other_fp, before_nodes in bystanders.items():
+                now = tuple(after["fleets"][other_fp]["nodes"])
+                if now != before_nodes:
+                    fail(
+                        "minimal-remap",
+                        f"fleet {other_fp[:12]} moved {before_nodes} -> {now} "
+                        "without owning the victim",
+                    )
+            got2 = client.plan(fp, probe_n)
+            if got2["makespan"] != float(want.makespan):
+                fail("bit-identity", "post-leave plan differs from cold run")
+    finally:
+        try:
+            router.stop()
+        finally:
+            for m in members:
+                try:
+                    m.kill() if not m.alive else m.stop()
+                except Exception:  # noqa: BLE001 - teardown best-effort
+                    pass

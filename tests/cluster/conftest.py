@@ -1,0 +1,106 @@
+"""Shared fixtures for the cluster tests: small clusters, isolated obs.
+
+The ``cluster`` factory boots real member nodes (thread mode by default,
+process mode on request) behind a real router thread, binds everything
+to ephemeral ports, and guarantees teardown even when a test fails
+mid-way — the same discipline as the serve suite's ``start_server``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro import obs
+from repro.io import speed_function_to_dict
+from tests.conftest import make_pwl
+
+
+@pytest.fixture(autouse=True)
+def cluster_obs():
+    """Fresh registry per test: routers and breakers create global metrics."""
+    previous = obs.set_registry(obs.MetricsRegistry())
+    obs.disable()
+    try:
+        yield obs
+    finally:
+        obs.disable()
+        obs.set_registry(previous)
+
+
+@pytest.fixture
+def trio_sfs():
+    """Three heterogeneous processors — a fast-to-solve fleet."""
+    return [make_pwl(100.0), make_pwl(220.0), make_pwl(320.0, scale=1.5)]
+
+
+@pytest.fixture
+def trio_spec(trio_sfs):
+    """The wire spec for :func:`trio_sfs` (a registered fleet's payload)."""
+    return {
+        "name": "trio",
+        "algorithm": "bisection",
+        "cache_size": 64,
+        "speed_functions": [speed_function_to_dict(sf) for sf in trio_sfs],
+    }
+
+
+@dataclass
+class Cluster:
+    """One booted topology: a router handle plus its member nodes."""
+
+    router: object
+    nodes: list
+
+    @property
+    def host(self) -> str:
+        return self.router.host
+
+    @property
+    def port(self) -> int:
+        return self.router.port
+
+    def node_by_id(self, node_id: str):
+        return next(n for n in self.nodes if n.node_id == node_id)
+
+
+@pytest.fixture
+def cluster():
+    """Factory booting a router over N member nodes, always stopped.
+
+    ``mode`` is ``"thread"`` (fast, default) or ``"process"`` (real
+    SIGKILL targets); ``config`` is the :class:`RouterConfig`; extra
+    keyword arguments are per-node :class:`ServeConfig` overrides.
+    """
+    from repro.cluster import (
+        RouterConfig,
+        start_nodes,
+        start_router_in_thread,
+    )
+
+    live: list[Cluster] = []
+
+    def _boot(count: int = 2, *, mode: str = "thread", config=None, **overrides):
+        overrides.setdefault("shards", 1)
+        nodes = start_nodes(count, mode=mode, **overrides)
+        router = start_router_in_thread(
+            config or RouterConfig(probe_interval=0.05),
+            [n.info for n in nodes],
+        )
+        booted = Cluster(router=router, nodes=nodes)
+        live.append(booted)
+        return booted
+
+    try:
+        yield _boot
+    finally:
+        for booted in reversed(live):
+            try:
+                booted.router.stop()
+            finally:
+                for node in booted.nodes:
+                    try:
+                        node.stop() if node.alive else node.kill()
+                    except Exception:  # noqa: BLE001 - teardown best-effort
+                        pass

@@ -1,0 +1,165 @@
+"""CircuitBreaker: every transition of the three-state machine.
+
+The clock is injected, so the reset timeout is crossed by advancing a
+number — no sleeps anywhere.  The obs counters are asserted alongside
+the transitions because the metrics *are* part of the contract: a
+flapping node must be visible on the ``/metrics`` plane.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.cluster import CLOSED, HALF_OPEN, OPEN, BreakerConfig, CircuitBreaker
+from repro.exceptions import ConfigurationError
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_breaker(**config) -> tuple[CircuitBreaker, FakeClock]:
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        "node-a:1", BreakerConfig(**config), clock=clock
+    )
+    return breaker, clock
+
+
+def counter(name: str) -> int | float:
+    return (
+        obs.get_registry()
+        .counter(f"cluster.breaker.{name}", labels={"node": "node-a:1"})
+        .value
+    )
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self):
+        breaker, _ = make_breaker()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        assert breaker.allow_probe()
+
+    def test_trips_open_after_consecutive_failures(self):
+        breaker, _ = make_breaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # two in a row is not enough
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert counter("open") == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _ = make_breaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()  # streak broken
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+
+
+class TestOpen:
+    def test_refuses_requests_and_probes_inside_the_window(self):
+        breaker, clock = make_breaker(failure_threshold=1, reset_timeout=1.0)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert not breaker.allow_probe()  # the node *just* failed
+        clock.advance(0.5)
+        assert not breaker.allow()
+
+    def test_failure_while_open_restarts_the_window(self):
+        breaker, clock = make_breaker(failure_threshold=1, reset_timeout=1.0)
+        breaker.record_failure()
+        clock.advance(0.9)
+        breaker.record_failure()  # e.g. a queued request finally erroring
+        clock.advance(0.9)  # 1.8s after the trip, 0.9 after the restart
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_force_open_trips_and_restarts(self):
+        breaker, clock = make_breaker(reset_timeout=1.0)
+        breaker.force_open()
+        assert breaker.state == OPEN
+        clock.advance(0.9)
+        breaker.force_open()  # already open: restart the window
+        clock.advance(0.9)
+        assert breaker.state == OPEN
+
+
+class TestHalfOpen:
+    def make_half_open(self, **config):
+        config.setdefault("failure_threshold", 1)
+        config.setdefault("reset_timeout", 1.0)
+        breaker, clock = make_breaker(**config)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+        return breaker, clock
+
+    def test_timeout_transitions_to_half_open_and_admits_trials(self):
+        breaker, _ = self.make_half_open(half_open_max=2)
+        assert counter("half_open") == 1
+        assert breaker.allow()  # trial slot 1
+        assert breaker.allow()  # trial slot 2
+        assert not breaker.allow()  # slots exhausted
+        assert breaker.allow_probe()  # probes are exempt past the window
+
+    def test_successes_close_the_breaker(self):
+        breaker, _ = self.make_half_open(success_threshold=2)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == HALF_OPEN  # one success is not enough
+        assert breaker.allow()  # the finished trial released its slot
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        assert counter("close") == 1
+
+    def test_failure_reopens_and_restarts_the_window(self):
+        breaker, clock = self.make_half_open()
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert counter("open") == 2  # the original trip plus the re-trip
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN  # the cycle repeats
+
+    def test_flap_cycle_counts_every_transition(self):
+        breaker, clock = self.make_half_open()
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        clock.advance(1.0)
+        breaker.allow()
+        breaker.record_success()
+        assert counter("open") == 2
+        assert counter("half_open") == 2
+        assert counter("close") == 2
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("failure_threshold", 0),
+            ("reset_timeout", 0.0),
+            ("reset_timeout", -1.0),
+            ("half_open_max", 0),
+            ("success_threshold", 0),
+        ],
+    )
+    def test_rejects_out_of_range(self, field, value):
+        with pytest.raises(ConfigurationError):
+            BreakerConfig(**{field: value})

@@ -1,0 +1,146 @@
+"""ClusterMembership: remap math, replica sets, node-id plumbing.
+
+Pure bookkeeping — no sockets — so the minimal-remap guarantee the
+chaos suite observes end-to-end is pinned down here at the unit level:
+a join's RemapReport names only the joiner as a gainer, a leave moves
+only the leaver's fleets, and bystander replica sets never change.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import ClusterMembership, NodeInfo, node_id_of, parse_node_id
+from repro.exceptions import ConfigurationError
+
+
+def info(i: int) -> NodeInfo:
+    return NodeInfo(host="127.0.0.1", port=9000 + i, http_port=9500 + i)
+
+
+def make_members(count: int, *, replication: int = 2, fleets: int = 8):
+    members = ClusterMembership(replication=replication)
+    for i in range(count):
+        members.add(info(i))
+    for k in range(fleets):
+        members.register_fleet(f"fp-{k:02d}", {"name": f"fleet-{k}"})
+    return members
+
+
+class TestNodes:
+    def test_node_identity_round_trips(self):
+        node = info(3)
+        assert node.node_id == "127.0.0.1:9003"
+        assert node_id_of(node.host, node.port) == node.node_id
+        assert parse_node_id(node.node_id) == (node.host, node.port)
+        doc = node.to_dict()
+        assert doc["node_id"] == node.node_id and doc["http_port"] == 9503
+
+    @pytest.mark.parametrize("bad", ["", "no-port", ":8080", "host:", "host:abc"])
+    def test_malformed_node_ids_are_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_node_id(bad)
+
+    def test_add_and_remove_are_idempotent(self):
+        members = make_members(2)
+        assert len(members) == 2
+        again = members.add(info(0))
+        assert again.moved == {}  # re-join of a known node moves nothing
+        gone = members.remove("127.0.0.1:9999")
+        assert gone.moved == {}
+        assert "127.0.0.1:9000" in members
+        with pytest.raises(ConfigurationError):
+            members.node("127.0.0.1:9999")
+
+    def test_replication_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            ClusterMembership(replication=0)
+
+
+class TestReplicaSets:
+    def test_replicas_are_distinct_and_capped_by_pool_size(self):
+        members = make_members(2, replication=3)
+        for fp in members.fleets:
+            replicas = members.replicas_for(fp)
+            assert len(replicas) == 2  # only two nodes exist
+            assert len(set(replicas)) == 2
+
+    def test_empty_ring_has_no_replicas(self):
+        members = ClusterMembership()
+        assert members.replicas_for("fp") == []
+
+    def test_fleets_on_inverts_replicas_for(self):
+        members = make_members(3, fleets=12)
+        for node_id in members.nodes:
+            for fp in members.fleets_on(node_id):
+                assert node_id in members.replicas_for(fp)
+        total = sum(len(members.fleets_on(nid)) for nid in members.nodes)
+        assert total == 12 * 2  # every fleet appears on exactly 2 nodes
+
+    def test_status_document_shape(self):
+        members = make_members(2, fleets=3)
+        doc = members.status()
+        assert doc["replication"] == 2
+        assert [n["node_id"] for n in doc["nodes"]] == sorted(
+            members.nodes
+        )
+        for fp, entry in doc["fleets"].items():
+            assert entry["nodes"] == members.replicas_for(fp)
+            assert entry["name"].startswith("fleet-")
+
+
+class TestRemap:
+    def test_join_gains_only_the_joiner(self):
+        members = make_members(3, fleets=16)
+        before = {fp: tuple(members.replicas_for(fp)) for fp in members.fleets}
+        report = members.add(info(3))
+        assert report.changed_node == info(3).node_id
+        for fp, gained in report.moved.items():
+            assert gained == (info(3).node_id,)
+            assert info(3).node_id in members.replicas_for(fp)
+        # Bystanders: every unmoved fleet kept its replica set verbatim.
+        for fp in members.fleets:
+            if fp not in report.moved:
+                assert tuple(members.replicas_for(fp)) == before[fp]
+
+    def test_leave_moves_only_the_leavers_fleets(self):
+        members = make_members(3, fleets=16)
+        victim = sorted(members.nodes)[0]
+        owned = set(members.fleets_on(victim))
+        before = {fp: tuple(members.replicas_for(fp)) for fp in members.fleets}
+        report = members.remove(victim)
+        assert set(report.moved) <= owned  # only the victim's fleets move
+        assert report.fleets_moved == len(report.moved)
+        for fp in members.fleets:
+            after = members.replicas_for(fp)
+            assert victim not in after
+            if fp not in owned:
+                assert tuple(after) == before[fp]
+
+    def test_fleet_registry_survives_membership_churn(self):
+        members = make_members(2, fleets=4)
+        members.register_fleet("fp-extra", {"name": "extra", "payload": 1})
+        members.add(info(2))
+        members.remove("127.0.0.1:9000")
+        assert members.knows_fleet("fp-extra")
+        assert members.fleet_spec("fp-extra")["payload"] == 1
+        assert members.fleet_spec("fp-missing") is None
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    count=st.integers(min_value=2, max_value=6),
+    replication=st.integers(min_value=1, max_value=3),
+    churn=st.integers(min_value=0, max_value=10**6),
+)
+def test_join_then_leave_restores_every_replica_set(
+    count: int, replication: int, churn: int
+) -> None:
+    members = make_members(count, replication=replication, fleets=12)
+    before = {fp: tuple(members.replicas_for(fp)) for fp in members.fleets}
+    transient = NodeInfo(host="10.0.0.1", port=20000 + churn % 1000)
+    members.add(transient)
+    members.remove(transient.node_id)
+    after = {fp: tuple(members.replicas_for(fp)) for fp in members.fleets}
+    assert after == before

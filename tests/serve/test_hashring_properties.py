@@ -8,6 +8,7 @@ keeps its owner, which is what preserves the warm planner caches.
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.serve.hashring import HashRing
@@ -80,3 +81,76 @@ def test_membership_api_is_idempotent() -> None:
     ring.remove(7)  # absent: no-op
     assert ring.nodes == frozenset({0, 1})
     assert 0 in ring and 7 not in ring
+
+
+# -- nodes_for: the replica sets the cluster router falls back across ----
+
+replica_counts = st.integers(min_value=1, max_value=4)
+
+#: Replica-set properties walk the ring per key, so a smaller key sample
+#: keeps each example cheap without losing coverage of the keyspace.
+_REPLICA_KEYS = 60
+
+
+@settings(max_examples=25, deadline=None)
+@given(p=nodes_count, salt=salts, count=replica_counts)
+def test_nodes_for_is_distinct_and_primary_first(
+    p: int, salt: int, count: int
+) -> None:
+    ring = HashRing(range(p))
+    for key in _keys(salt)[:_REPLICA_KEYS]:
+        replicas = ring.nodes_for(key, count)
+        assert len(replicas) == min(count, p)  # as many distinct nodes as exist
+        assert len(set(replicas)) == len(replicas)
+        assert replicas[0] == ring.node_for(key)
+
+
+@settings(max_examples=25, deadline=None)
+@given(p=st.integers(min_value=3, max_value=10), salt=salts)
+def test_removing_an_outsider_never_changes_a_replica_set(
+    p: int, salt: int
+) -> None:
+    """A node outside a key's replica set is invisible to that key.
+
+    This is what makes kill-then-leave safe: fleets that did not own the
+    victim keep their replica sets (and warm caches) bit-for-bit.
+    """
+    keys = _keys(salt)[:_REPLICA_KEYS]
+    ring = HashRing(range(p))
+    before = {k: ring.nodes_for(k, 2) for k in keys}
+    outsiders = {k: (set(range(p)) - set(rs)) for k, rs in before.items()}
+    # Remove each node in turn; only keys whose set contained it may move.
+    for victim in range(p):
+        shrunk = HashRing(range(p))
+        shrunk.remove(victim)
+        for k in keys:
+            if victim in outsiders[k]:
+                assert shrunk.nodes_for(k, 2) == before[k]
+
+
+@settings(max_examples=25, deadline=None)
+@given(p=nodes_count, salt=salts, count=replica_counts)
+def test_adding_a_node_displaces_at_most_the_tail(
+    p: int, salt: int, count: int
+) -> None:
+    """A join inserts at most the new node; survivors keep their order.
+
+    Filtering the newcomer out of the post-join replica set must leave a
+    prefix of the pre-join set — no reshuffle, no stranger appears.
+    """
+    keys = _keys(salt)[:_REPLICA_KEYS]
+    ring = HashRing(range(p))
+    before = {k: ring.nodes_for(k, count) for k in keys}
+    ring.add("grown")
+    for k in keys:
+        after = ring.nodes_for(k, count)
+        survivors = [n for n in after if n != "grown"]
+        assert survivors == before[k][: len(survivors)]
+
+
+def test_nodes_for_rejects_bad_inputs() -> None:
+    ring = HashRing([0, 1])
+    with pytest.raises(ValueError):
+        ring.nodes_for("k", 0)
+    with pytest.raises(ValueError):
+        HashRing().nodes_for("k", 1)
