@@ -392,6 +392,66 @@ def check_cluster() -> int:
     return status
 
 
+def check_multitenant() -> int:
+    """Gate weighted fairness and the cost of idle tenancy.
+
+    Delegates to ``bench_serve_throughput.measure_multitenant``: under a
+    10:1 heavy:light zipfian skew on a weighted-fair-queue server the
+    light tenant's p99 must stay within 3x its solo p99 and lose zero
+    requests (starvation-freedom); and the per-request work that only
+    runs with tenancy configured but unused (quota admission + weight
+    lookup) must cost under 3% of a served request — budget-vs-measured,
+    like the tracing gate, because a two-server throughput A/B cannot
+    resolve 3% on a shared machine.  Every number is a ratio of runs on
+    this machine, so load drift largely cancels.
+    """
+    from bench_serve_throughput import (
+        HEAVY_SKEW,
+        TENANT_IDLE_OVERHEAD_LIMIT,
+        TENANT_P99_LIMIT,
+        measure_multitenant,
+    )
+
+    r = measure_multitenant()
+    ratio = r["mixed_p99"] / r["solo_p99"]
+    overhead = r["tenancy_budget_seconds"] / r["served_seconds"]
+    status = 0
+    print(
+        f"perf-guard: tenancy light p99 {format_seconds(r['mixed_p99'])} "
+        f"under {HEAVY_SKEW}:1 skew vs {format_seconds(r['solo_p99'])} solo "
+        f"= {ratio:.1f}x (limit {TENANT_P99_LIMIT:.0f}x)"
+    )
+    if ratio > TENANT_P99_LIMIT:
+        print(
+            f"perf-guard: FAIL — light-tenant p99 degrades {ratio:.1f}x "
+            f"under {HEAVY_SKEW}:1 skew (limit {TENANT_P99_LIMIT:.0f}x)",
+            file=sys.stderr,
+        )
+        status = 1
+    if r["light_lost"]:
+        print(
+            f"perf-guard: FAIL — light tenant lost {r['light_lost']} "
+            f"requests under skew: {r['light_errors']}",
+            file=sys.stderr,
+        )
+        status = 1
+    print(
+        f"perf-guard: tenancy idle budget "
+        f"{format_seconds(r['tenancy_budget_seconds'])} on a "
+        f"{format_seconds(r['served_seconds'])} served request = "
+        f"{overhead:.2%} overhead (limit {TENANT_IDLE_OVERHEAD_LIMIT:.0%})"
+    )
+    if r["overhead_errors"] or overhead >= TENANT_IDLE_OVERHEAD_LIMIT:
+        print(
+            f"perf-guard: FAIL — idle tenancy costs {overhead:.1%} of a "
+            f"served request with {r['overhead_errors']} probe errors "
+            f"(limit {TENANT_IDLE_OVERHEAD_LIMIT:.0%})",
+            file=sys.stderr,
+        )
+        status = 1
+    return status
+
+
 def check_compiled_speedups(speedups: dict) -> int:
     """Gate the knot-compiled fast path against the per-object oracle.
 
@@ -527,6 +587,7 @@ def main(argv: list[str] | None = None) -> int:
         | check_serve_tracing()
         | check_online_refit()
         | check_cluster()
+        | check_multitenant()
     )
 
 

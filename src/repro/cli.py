@@ -371,7 +371,33 @@ def _render_serve_stats(args: argparse.Namespace) -> None:
     rows.append(
         ("planner.cache.invalidations", "refit", refit.get("invalidated", 0))
     )
+    tenancy = doc.get("tenancy") or {}
+    idem = tenancy.get("idempotency") or {}
+    warm = tenancy.get("warm_tier") or {}
+    rows.extend(
+        (f"serve.idempotent.{name}", "", idem.get(name, 0))
+        for name in ("hits", "coalesced", "misses", "evictions")
+    )
+    rows.append(("serve.warm_tier.entries",
+                 "enabled" if warm.get("enabled") else "disabled",
+                 warm.get("entries", 0)))
     print(ascii_table(["metric", "labels", "value"], rows, title="Serve counters"))
+    tenants = tenancy.get("tenants") or {}
+    if tenants:
+        backlogs = tenancy.get("backlogs") or {}
+        print()
+        print(
+            ascii_table(
+                ["tenant", "requests", "throttled", "shed", "backlog"],
+                [
+                    (name, t.get("requests", 0), t.get("throttled", 0),
+                     t.get("shed", 0), backlogs.get(name, 0))
+                    for name, t in sorted(tenants.items())
+                ],
+                title="Tenants"
+                + (" (quotas on)" if tenancy.get("enabled") else ""),
+            )
+        )
     recorder_rows = [
         (k, trace.get(k, 0))
         for k in ("ring_size", "error_store_size", "slow_store_size", "capacity")

@@ -17,9 +17,11 @@ node's circuit breaker is open, its bulkhead sheds locally, the
 transport fails or times out, or the node answers with a *retryable*
 code (``overloaded`` / ``shutting_down`` / ``unknown_fleet`` — the last
 one self-heals: the router re-registers the fleet on that node in the
-background).  Non-retryable answers (``infeasible``, a plan, ...) are
-returned as-is; plan requests are pure queries, so walking replicas
-never double-executes anything observable.
+background).  Non-retryable answers (``infeasible``, ``throttled``, a
+plan, ...) are returned as-is; plan requests are pure queries, so
+walking replicas never double-executes anything observable.  Per-tenant
+``tenant`` and ``idempotency_key`` fields forward verbatim, so quota
+verdicts are made by the owning node and retried frames dedup there.
 
 Responses are re-enveloped with the client's request id; when every
 replica fails, the client gets the new typed ``unavailable`` code (or
@@ -791,6 +793,14 @@ class RouterService:
                         "fleet": fleet, "n": request.n,
                         "allocation": request.allocation,
                     }
+                    # Tenancy and idempotency ride through verbatim: the
+                    # node applies quotas/fair queueing per tenant, and a
+                    # replica-walk retry carrying the same idempotency
+                    # key dedups against the node's window.
+                    if request.tenant:
+                        fields["tenant"] = request.tenant
+                    if request.idempotency_key is not None:
+                        fields["idempotency_key"] = request.idempotency_key
                     timeout_ms = request.timeout_ms
                 elif isinstance(request, PlanManyRequest):
                     ctx, root = self._open_trace(
@@ -800,6 +810,10 @@ class RouterService:
                         "fleet": fleet, "ns": list(request.ns),
                         "allocation": request.allocation,
                     }
+                    if request.tenant:
+                        fields["tenant"] = request.tenant
+                    if request.idempotency_key is not None:
+                        fields["idempotency_key"] = request.idempotency_key
                     timeout_ms = request.timeout_ms
                 else:
                     ctx, root = self._open_trace(

@@ -18,6 +18,7 @@ This package turns the one-shot geometric algorithms of
 from .cache import CacheStats, PlanCache
 from .fleet import Fleet
 from .planner import Planner, PlannerStats
+from .tiered import TieredPlanCache, WarmPlanStore
 
 __all__ = [
     "CacheStats",
@@ -25,4 +26,6 @@ __all__ = [
     "PlanCache",
     "Planner",
     "PlannerStats",
+    "TieredPlanCache",
+    "WarmPlanStore",
 ]

@@ -140,6 +140,12 @@ class Planner:
         Capacity of the LRU plan cache.
     warm_candidates:
         Number of converged brackets retained for warm-starting.
+    cache:
+        An externally constructed :class:`~repro.planner.cache.PlanCache`
+        to use instead of building one (``cache_size`` is then ignored).
+        This is how the serve layer hands shards a
+        :class:`~repro.planner.tiered.TieredPlanCache` backed by the
+        pool's shared warm store.
 
     Thread safety: :meth:`plan` and :meth:`plan_many` may be called
     concurrently; the cache and the warm index are lock-protected, and the
@@ -156,6 +162,7 @@ class Planner:
         refine: str = "greedy",
         cache_size: int = 1024,
         warm_candidates: int = 64,
+        cache: PlanCache | None = None,
     ):
         if algorithm not in _PLANNER_ALGORITHMS:
             raise ConfigurationError(
@@ -167,7 +174,7 @@ class Planner:
         self._mode = mode
         self._refine = refine
         instance = f"{fleet.name}#{next(_PLANNER_SEQ)}"
-        self._cache = PlanCache(cache_size, name=instance)
+        self._cache = cache if cache is not None else PlanCache(cache_size, name=instance)
         self._warm = _WarmIndex(warm_candidates)
         self._lock = threading.Lock()
         labels = {"planner": instance}

@@ -1,0 +1,268 @@
+"""A process-shared warm tier behind the per-shard plan-cache LRU.
+
+The per-shard :class:`~repro.planner.cache.PlanCache` dies with its
+worker: a shard restart, a ``cluster join``/``leave`` rebalance or a
+process-pool respawn cold-starts every plan the fleet had already paid
+for.  This module adds the classic cache-aside second tier:
+
+* :class:`WarmPlanStore` — a flat bounded key/value store living
+  *outside* any single worker: a plain locked ``dict`` for thread pools,
+  a ``multiprocessing.Manager`` dict proxy for process pools (proxies
+  pickle, so a freshly spawned worker attaches to the same store).
+* :class:`TieredPlanCache` — a drop-in :class:`PlanCache` subclass doing
+  **read-through** (an L1 miss consults the store and promotes the hit
+  back into the LRU) and **write-behind** (inserts are mirrored to the
+  store from a background writer thread, so the solve path never waits
+  on cross-process IPC).
+
+Plans are pure functions of ``(fingerprint, n, algorithm, refine,
+mode)`` — the :class:`~repro.planner.planner.Planner` key — so sharing
+them across workers can never serve a wrong answer, only a warmer one;
+the stored value is the bit-identical :class:`PartitionResult` minus its
+``region`` bracket (heavy, and only useful to the worker that solved
+it).  :meth:`TieredPlanCache.invalidate` keeps the exact-invalidation
+contract two-tier: it flushes pending write-behinds first (so a retired
+plan cannot be resurrected by a late mirror), then drops the fingerprint
+from both tiers and *only* that fingerprint.  The return value remains
+the L1 count — existing callers keep their arithmetic.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import replace
+from typing import Any, Hashable
+
+from .. import obs
+from ..core.result import PartitionResult
+from .cache import PlanCache
+
+__all__ = ["TieredPlanCache", "WarmPlanStore"]
+
+#: Default bound on warm-store entries (approximate FIFO beyond it).
+_DEFAULT_STORE_SIZE = 4096
+
+#: Bound on queued write-behind mirrors; beyond it writes are dropped
+#: (and counted) rather than ever blocking a solve.
+_WRITE_QUEUE_DEPTH = 512
+
+
+class WarmPlanStore:
+    """Bounded key/value plan store shared by every shard of a pool.
+
+    ``mapping`` and ``lock`` are injected so one class covers both
+    deployments: :meth:`local` (thread pools — plain dict) and
+    :meth:`shared` (process pools — ``Manager`` proxies, picklable into
+    spawned workers).  Eviction beyond ``maxsize`` is approximate FIFO:
+    the store is a longevity tier, not a recency tier, and FIFO needs no
+    per-read bookkeeping across process boundaries.
+    """
+
+    def __init__(self, mapping, lock, *, maxsize: int = _DEFAULT_STORE_SIZE):
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self._data = mapping
+        self._lock = lock
+        self._maxsize = int(maxsize)
+
+    @classmethod
+    def local(cls, maxsize: int = _DEFAULT_STORE_SIZE) -> "WarmPlanStore":
+        """In-process store for thread-mode shard pools."""
+        return cls({}, threading.Lock(), maxsize=maxsize)
+
+    @classmethod
+    def shared(cls, manager, maxsize: int = _DEFAULT_STORE_SIZE) -> "WarmPlanStore":
+        """Cross-process store over a ``multiprocessing`` manager."""
+        return cls(manager.dict(), manager.Lock(), maxsize=maxsize)
+
+    def get(self, key: Hashable) -> Any | None:
+        with self._lock:
+            try:
+                return self._data.get(key)
+            except (EOFError, BrokenPipeError, ConnectionError):
+                return None  # manager already gone (teardown race)
+
+    def keys(self) -> list:
+        """A snapshot of the stored keys (diagnostics and tests)."""
+        with self._lock:
+            try:
+                return list(self._data.keys())
+            except (EOFError, BrokenPipeError, ConnectionError):
+                return []
+
+    def put(self, key: Hashable, value: Any) -> None:
+        try:
+            with self._lock:
+                if key not in self._data and len(self._data) >= self._maxsize:
+                    for doomed in self._data.keys():
+                        del self._data[doomed]
+                        break
+                self._data[key] = value
+        except (EOFError, BrokenPipeError, ConnectionError):
+            pass
+
+    def invalidate(self, fingerprint: Hashable) -> int:
+        """Drop exactly one fingerprint's entries; return the count."""
+        with self._lock:
+            doomed = [
+                key
+                for key in list(self._data.keys())
+                if key == fingerprint
+                or (isinstance(key, tuple) and bool(key) and key[0] == fingerprint)
+            ]
+            for key in doomed:
+                del self._data[key]
+            return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        try:
+            with self._lock:
+                return len(self._data)
+        except (EOFError, BrokenPipeError, ConnectionError):
+            return 0
+
+    @property
+    def maxsize(self) -> int:
+        return self._maxsize
+
+
+#: Writer-queue control messages.
+_FLUSH = object()
+
+
+class TieredPlanCache(PlanCache):
+    """:class:`PlanCache` with a read-through / write-behind warm tier.
+
+    Lookup misses consult the shared :class:`WarmPlanStore` and promote
+    hits into the LRU (counted as ``planner.cache.warm_hits``; the L1
+    miss still counts as a miss, so L1 hit-rate math is unchanged).
+    Inserts mirror to the store via a daemon writer thread; a full
+    writer queue drops the mirror (``warm_drops``) instead of blocking.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = 1024,
+        *,
+        warm: WarmPlanStore,
+        name: str | None = None,
+    ):
+        super().__init__(maxsize, name=name)
+        self._store = warm
+        labels = {"cache": self.name}
+        registry = obs.get_registry()
+        self._warm_hits = registry.counter(
+            "planner.cache.warm_hits",
+            labels=labels,
+            help="L1 misses answered by the shared warm tier",
+        )
+        self._warm_writes = registry.counter(
+            "planner.cache.warm_writes",
+            labels=labels,
+            help="plans mirrored to the warm tier",
+        )
+        self._warm_drops = registry.counter(
+            "planner.cache.warm_drops",
+            labels=labels,
+            help="write-behind mirrors dropped on a full writer queue",
+        )
+        self._warm_invalidations = registry.counter(
+            "planner.cache.warm_invalidations",
+            labels=labels,
+            help="warm-tier entries dropped by explicit invalidation",
+        )
+        self._writes: queue.Queue = queue.Queue(maxsize=_WRITE_QUEUE_DEPTH)
+        self._writer = threading.Thread(
+            target=self._write_loop,
+            name=f"repro-warm-writer-{self.name}",
+            daemon=True,
+        )
+        self._writer.start()
+
+    # -- tiering --------------------------------------------------------
+    def get(self, key: Hashable) -> Any | None:
+        value = super().get(key)
+        if value is not None:
+            return value
+        warm = self._store.get(key)
+        if warm is None:
+            return None
+        self._warm_hits.inc()
+        super().put(key, warm)
+        return warm
+
+    def put(self, key: Hashable, value: Any) -> None:
+        super().put(key, value)
+        try:
+            self._writes.put_nowait((key, _strip(value)))
+        except queue.Full:
+            self._warm_drops.inc()
+
+    def invalidate(self, fingerprint: Hashable) -> int:
+        # Flush first: a queued mirror of a just-retired plan must not
+        # resurrect it in the store after the drop below.
+        self.flush()
+        count = super().invalidate(fingerprint)
+        dropped = self._store.invalidate(fingerprint)
+        if dropped:
+            self._warm_invalidations.inc(dropped)
+        return count
+
+    # -- write-behind machinery -----------------------------------------
+    def _write_loop(self) -> None:
+        while True:
+            job = self._writes.get()
+            if job is None:
+                return
+            if isinstance(job, tuple) and job[0] is _FLUSH:
+                job[1].set()
+                continue
+            key, value = job
+            self._store.put(key, value)
+            self._warm_writes.inc()
+
+    def flush(self, timeout: float = 10.0) -> bool:
+        """Block until every mirror queued so far has reached the store."""
+        if not self._writer.is_alive():
+            return False
+        done = threading.Event()
+        self._writes.put((_FLUSH, done))
+        return done.wait(timeout)
+
+    def close(self) -> None:
+        """Stop the writer thread (pending mirrors are written first)."""
+        if self._writer.is_alive():
+            self._writes.put(None)
+            self._writer.join(timeout=10.0)
+
+    # -- introspection --------------------------------------------------
+    @property
+    def warm_store(self) -> WarmPlanStore:
+        return self._store
+
+    def warm_stats(self) -> dict:
+        """Warm-tier counter snapshot (rides in shard stats payloads)."""
+        return {
+            "hits": self._warm_hits.value,
+            "writes": self._warm_writes.value,
+            "drops": self._warm_drops.value,
+            "invalidations": self._warm_invalidations.value,
+            "entries": len(self._store),
+        }
+
+
+def _strip(value: Any) -> Any:
+    """Shed the warm-start bracket before a value crosses process lines.
+
+    The ``region`` is by far the heaviest field and is only meaningful
+    to the planner that converged it; the mirrored plan stays
+    bit-identical in everything the wire exposes.
+    """
+    if isinstance(value, PartitionResult) and value.region is not None:
+        return replace(value, region=None)
+    return value

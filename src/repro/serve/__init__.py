@@ -57,6 +57,7 @@ from .protocol import (
 from .service import OnlineRefitConfig, PlanningService, ServeConfig
 from .server import PlanServer, ServerHandle, start_in_thread
 from .shard import ShardPool
+from .tenancy import QuotaManager, TenancyConfig, TenantQuota, TokenBucket, WFQueue
 
 __all__ = [
     "AsyncServeClient",
@@ -67,11 +68,16 @@ __all__ = [
     "PlanServer",
     "PlanningService",
     "ProtocolError",
+    "QuotaManager",
     "ServeClient",
     "ServeConfig",
     "ServeError",
     "ServerHandle",
     "ShardPool",
+    "TenancyConfig",
+    "TenantQuota",
+    "TokenBucket",
+    "WFQueue",
     "decode_frame",
     "encode_frame",
     "error_response",

@@ -126,6 +126,8 @@ class ServeClient:
         timeout_ms: float | None = None,
         allocation: bool = True,
         trace: Mapping | None = None,
+        tenant: str = "",
+        idempotency_key: str | None = None,
     ) -> dict:
         """One plan; returns the result item or raises :class:`ServeError`.
 
@@ -133,6 +135,9 @@ class ServeClient:
         (``{"trace_id": ..., "span_id": ...}``, e.g. from
         :meth:`repro.obs.TraceContext.to_dict`); the server threads it
         through its span tree and files the request under that id.
+        ``tenant`` selects the server-side fair-queueing lane and quota
+        bucket; ``idempotency_key`` makes retries of the same logical
+        request return the original response without re-solving.
         """
         fields: dict[str, Any] = {
             "fleet": fingerprint, "n": int(n), "allocation": allocation,
@@ -141,6 +146,10 @@ class ServeClient:
             fields["timeout_ms"] = timeout_ms
         if trace is not None:
             fields["trace"] = dict(trace)
+        if tenant:
+            fields["tenant"] = tenant
+        if idempotency_key is not None:
+            fields["idempotency_key"] = idempotency_key
         return _unwrap(self.call("plan", **fields))
 
     def plan_many(
@@ -151,6 +160,8 @@ class ServeClient:
         timeout_ms: float | None = None,
         allocation: bool = True,
         trace: Mapping | None = None,
+        tenant: str = "",
+        idempotency_key: str | None = None,
     ) -> list[dict]:
         """A batch; returns per-item verdicts (ok or error dicts)."""
         fields: dict[str, Any] = {
@@ -162,6 +173,10 @@ class ServeClient:
             fields["timeout_ms"] = timeout_ms
         if trace is not None:
             fields["trace"] = dict(trace)
+        if tenant:
+            fields["tenant"] = tenant
+        if idempotency_key is not None:
+            fields["idempotency_key"] = idempotency_key
         return _unwrap(self.call("plan_many", **fields))["results"]
 
     def observe(self, fingerprint: str, observations: Sequence) -> dict:
@@ -253,6 +268,8 @@ class AsyncServeClient:
         timeout_ms: float | None = None,
         allocation: bool = True,
         trace: Mapping | None = None,
+        tenant: str = "",
+        idempotency_key: str | None = None,
     ) -> dict:
         fields: dict[str, Any] = {
             "fleet": fingerprint, "n": int(n), "allocation": allocation,
@@ -261,6 +278,10 @@ class AsyncServeClient:
             fields["timeout_ms"] = timeout_ms
         if trace is not None:
             fields["trace"] = dict(trace)
+        if tenant:
+            fields["tenant"] = tenant
+        if idempotency_key is not None:
+            fields["idempotency_key"] = idempotency_key
         return _unwrap(await self.call("plan", **fields))
 
     async def plan_many(
@@ -269,15 +290,19 @@ class AsyncServeClient:
         ns: Sequence[int],
         *,
         allocation: bool = True,
+        tenant: str = "",
+        idempotency_key: str | None = None,
     ) -> list[dict]:
-        return _unwrap(
-            await self.call(
-                "plan_many",
-                fleet=fingerprint,
-                ns=[int(n) for n in ns],
-                allocation=allocation,
-            )
-        )["results"]
+        fields: dict[str, Any] = {
+            "fleet": fingerprint,
+            "ns": [int(n) for n in ns],
+            "allocation": allocation,
+        }
+        if tenant:
+            fields["tenant"] = tenant
+        if idempotency_key is not None:
+            fields["idempotency_key"] = idempotency_key
+        return _unwrap(await self.call("plan_many", **fields))["results"]
 
     async def close(self) -> None:
         self._read_task.cancel()
@@ -359,6 +384,7 @@ async def _run_load_async(
     connections: int,
     allocation: bool,
     timeout_ms: float | None,
+    tenant: str,
 ) -> LoadReport:
     connections = max(1, min(connections, concurrency))
     clients = [
@@ -382,6 +408,8 @@ async def _run_load_async(
             }
             if timeout_ms is not None:
                 fields["timeout_ms"] = timeout_ms
+            if tenant:
+                fields["tenant"] = tenant
             response = await client.call("plan", **fields)
             report.latencies_seconds.append(time.perf_counter() - begin)
             if response.get("ok"):
@@ -410,13 +438,16 @@ def run_load(
     connections: int = 8,
     allocation: bool = False,
     timeout_ms: float | None = None,
+    tenant: str = "",
 ) -> LoadReport:
     """Drive the service with ``concurrency`` workers; return the report.
 
     ``sizes`` is consumed exactly once (one ``plan`` request per entry)
     by workers multiplexed over ``connections`` pipelined TCP
-    connections.  Runs its own event loop, so call it from ordinary
-    synchronous code (benchmarks, ``make serve-smoke``).
+    connections.  All requests carry ``tenant`` when set, so a
+    multi-tenant scenario is just several ``run_load`` calls in threads.
+    Runs its own event loop, so call it from ordinary synchronous code
+    (benchmarks, ``make serve-smoke``).
     """
     return asyncio.run(
         _run_load_async(
@@ -428,5 +459,6 @@ def run_load(
             connections=connections,
             allocation=allocation,
             timeout_ms=timeout_ms,
+            tenant=tenant,
         )
     )

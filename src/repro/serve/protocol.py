@@ -26,6 +26,13 @@ client-supplied distributed-tracing identity; the response then echoes
 that ``trace_id`` and the flight recorder files the request under it.
 Requests without it get a server-generated trace id.
 
+``plan`` and ``plan_many`` also accept an optional ``tenant`` string
+(the quota and fair-queueing identity; absent means the shared default
+tenant) and an optional ``idempotency_key`` (a retry carrying the same
+key within the server's dedup window is answered with the original
+response, solved exactly once).  Both fields are additive: legacy v1
+frames without them behave exactly as before.
+
 Responses echo ``v`` and ``id`` and carry either ``"ok": true`` plus a
 ``result`` object, or ``"ok": false`` plus an ``error`` object with a
 machine-readable ``code`` (one of :data:`ERROR_CODES`) and a human
@@ -99,8 +106,15 @@ ERROR_CODES = frozenset(
         "shutting_down",  # server draining; no new work accepted
         "internal",  # unexpected failure inside a worker
         "unavailable",  # cluster router: no live replica could answer
+        "throttled",  # the tenant's token-bucket quota is exhausted
     }
 )
+
+#: Length caps on the optional multi-tenancy identity fields — long
+#: enough for any real naming scheme, short enough to bound hostile
+#: frames.
+MAX_TENANT_LEN = 128
+MAX_IDEMPOTENCY_KEY_LEN = 256
 
 #: Option fields a fleet registration may set (the serialisable subset
 #: of :class:`PartitionOptions` — rich objects like ``region``/``pack``
@@ -144,6 +158,8 @@ class PlanRequest:
     timeout_ms: float | None = None
     allocation: bool = True
     trace: TraceContext | None = None
+    tenant: str = ""
+    idempotency_key: str | None = None
 
     op = "plan"
 
@@ -156,6 +172,8 @@ class PlanManyRequest:
     timeout_ms: float | None = None
     allocation: bool = True
     trace: TraceContext | None = None
+    tenant: str = ""
+    idempotency_key: str | None = None
 
     op = "plan_many"
 
@@ -262,6 +280,46 @@ def _parse_trace(raw: Mapping) -> TraceContext | None:
         raise ProtocolError("invalid_request", str(exc)) from exc
 
 
+def _parse_tenant(raw: Mapping) -> str:
+    """The request's optional ``tenant`` field (``""`` when absent).
+
+    New in protocol v1 and optional: frames without it share the ``""``
+    tenant and behave exactly as before tenancy existed.
+    """
+    tenant = raw.get("tenant", "")
+    if not isinstance(tenant, str):
+        raise ProtocolError(
+            "invalid_request",
+            f"tenant must be a string, got {type(tenant).__name__}",
+        )
+    if len(tenant) > MAX_TENANT_LEN:
+        raise ProtocolError(
+            "invalid_request", f"tenant exceeds {MAX_TENANT_LEN} characters"
+        )
+    return tenant
+
+
+def _parse_idempotency_key(raw: Mapping) -> str | None:
+    """The request's optional ``idempotency_key`` (``None`` when absent).
+
+    A retry carrying the same key within the server's dedup window gets
+    the original response back without a second solve.
+    """
+    key = raw.get("idempotency_key")
+    if key is None:
+        return None
+    if not isinstance(key, str) or not key:
+        raise ProtocolError(
+            "invalid_request", "idempotency_key must be a non-empty string"
+        )
+    if len(key) > MAX_IDEMPOTENCY_KEY_LEN:
+        raise ProtocolError(
+            "invalid_request",
+            f"idempotency_key exceeds {MAX_IDEMPOTENCY_KEY_LEN} characters",
+        )
+    return key
+
+
 def _parse_timeout(raw: Mapping) -> float | None:
     timeout = raw.get("timeout_ms")
     if timeout is None:
@@ -346,6 +404,8 @@ def parse_request(raw: Any) -> Request:
             timeout_ms=_parse_timeout(raw),
             allocation=bool(raw.get("allocation", True)),
             trace=_parse_trace(raw),
+            tenant=_parse_tenant(raw),
+            idempotency_key=_parse_idempotency_key(raw),
         )
     if op == "plan_many":
         ns = _require(raw, "ns", (list, tuple), "plan_many")
@@ -356,6 +416,8 @@ def parse_request(raw: Any) -> Request:
             timeout_ms=_parse_timeout(raw),
             allocation=bool(raw.get("allocation", True)),
             trace=_parse_trace(raw),
+            tenant=_parse_tenant(raw),
+            idempotency_key=_parse_idempotency_key(raw),
         )
     if op == "register_fleet":
         sfs = _require(raw, "speed_functions", (list, tuple), "register_fleet")

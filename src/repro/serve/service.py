@@ -33,11 +33,13 @@ endpoint via the existing Prometheus exporter.
 from __future__ import annotations
 
 import asyncio
+import copy
 import functools
 import logging
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Mapping, Sequence
+from typing import Any, Hashable, Mapping, Sequence
 
 from .. import obs
 from ..core.options import PartitionOptions
@@ -65,6 +67,7 @@ from .protocol import (
     speed_functions_from_fleet_spec,
 )
 from .shard import ShardPool
+from .tenancy import QuotaManager, TenancyConfig
 
 __all__ = ["OnlineRefitConfig", "ServeConfig", "PlanningService"]
 
@@ -160,6 +163,23 @@ class ServeConfig:
         owning shard swaps the refreshed model in, and only that fleet's
         cached plans are invalidated.  ``None`` (the default) still
         accepts ``observe`` requests but only records telemetry.
+    tenancy:
+        Per-tenant quotas and fair-queueing weights
+        (:class:`~repro.serve.tenancy.TenancyConfig`).  ``None`` (the
+        default) leaves every tenant unmetered at weight 1.0 — the shard
+        inboxes still schedule fairly *across* whatever tenant names
+        requests carry, and requests without a ``tenant`` field share
+        one default lane, exactly like the FIFO they replaced.
+    idempotency_window:
+        How many completed ``plan``/``plan_many`` responses to remember
+        per server for ``idempotency_key`` dedup (0 disables).  Within
+        the window a retried key returns the original response without a
+        second solve; concurrent duplicates coalesce onto one solve.
+    warm_tier / warm_tier_size:
+        Keep a pool-wide warm plan store behind every shard's LRU (see
+        :class:`~repro.planner.tiered.TieredPlanCache`), so shard
+        restarts and rebalances re-warm instead of cold-starting;
+        ``warm_tier_size`` bounds its entries.
     """
 
     shards: int = 2
@@ -177,6 +197,10 @@ class ServeConfig:
     flight_retain: int = 1024
     flight_slow_k: int = 16
     online_refit: OnlineRefitConfig | None = None
+    tenancy: TenancyConfig | None = None
+    idempotency_window: int = 1024
+    warm_tier: bool = True
+    warm_tier_size: int = 4096
 
 
 class _Pending:
@@ -208,13 +232,93 @@ class _Pending:
 
 
 class _BatchState:
-    """The open batching window for one fleet fingerprint."""
+    """The open batching window for one ``(fingerprint, tenant)`` pair.
+
+    Windows are per tenant so every flushed batch is single-tenant —
+    the unit the shard inbox's weighted fair queue schedules.
+    """
 
     __slots__ = ("items", "timer")
 
     def __init__(self):
         self.items: list[_Pending] = []
         self.timer = None
+
+
+class _IdempotencyWindow:
+    """Bounded dedup window for ``idempotency_key`` requests.
+
+    Event-loop confined (no locks): ``lookup`` and ``reserve`` run
+    back-to-back with no ``await`` between them, so check-then-reserve
+    is atomic.  Completed **ok** responses are remembered (LRU, at most
+    ``capacity``); in-flight keys hold a future concurrent duplicates
+    coalesce onto.  Error responses complete waiters but are *not*
+    remembered — a retry after a transient failure gets a fresh attempt.
+    """
+
+    def __init__(self, capacity: int):
+        self._capacity = int(capacity)
+        self._done: OrderedDict[Hashable, Any] = OrderedDict()
+        self._pending: dict[Hashable, asyncio.Future] = {}
+        registry = obs.get_registry()
+        self._hits = registry.counter(
+            "serve.idempotent.hits",
+            help="requests answered from the completed-response window",
+        )
+        self._coalesced = registry.counter(
+            "serve.idempotent.coalesced",
+            help="concurrent duplicates attached to an in-flight solve",
+        )
+        self._misses = registry.counter(
+            "serve.idempotent.misses",
+            help="idempotency keys that started a fresh solve",
+        )
+        self._evictions = registry.counter(
+            "serve.idempotent.evictions",
+            help="remembered responses aged out of the window",
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return self._capacity > 0
+
+    def lookup(self, key: Hashable):
+        """``("done", value)``, ``("pending", future)`` or ``None``."""
+        if key in self._done:
+            self._done.move_to_end(key)
+            self._hits.inc()
+            return ("done", self._done[key])
+        fut = self._pending.get(key)
+        if fut is not None:
+            self._coalesced.inc()
+            return ("pending", fut)
+        return None
+
+    def reserve(self, key: Hashable, loop: asyncio.AbstractEventLoop) -> None:
+        self._misses.inc()
+        self._pending[key] = loop.create_future()
+
+    def complete(self, key: Hashable, value: Any, *, ok: bool) -> None:
+        fut = self._pending.pop(key, None)
+        if fut is not None and not fut.done():
+            fut.set_result(value)
+        if ok:
+            self._done[key] = value
+            self._done.move_to_end(key)
+            while len(self._done) > self._capacity:
+                self._done.popitem(last=False)
+                self._evictions.inc()
+
+    def stats(self) -> dict:
+        return {
+            "window": self._capacity,
+            "remembered": len(self._done),
+            "in_flight": len(self._pending),
+            "hits": int(self._hits.value),
+            "coalesced": int(self._coalesced.value),
+            "misses": int(self._misses.value),
+            "evictions": int(self._evictions.value),
+        }
 
 
 class _RefitState:
@@ -255,7 +359,7 @@ class PlanningService:
         self._pool: ShardPool | None = None
         self._fleets: dict[str, dict] = {}
         self._refits: dict[str, _RefitState] = {}
-        self._batches: dict[str, _BatchState] = {}
+        self._batches: dict[tuple[str, str], _BatchState] = {}
         self._inflight: set[asyncio.Task] = set()
         self._loop: asyncio.AbstractEventLoop | None = None
         self._draining = False
@@ -293,6 +397,9 @@ class PlanningService:
         self._batches_flushed = registry.counter(
             "serve.batches", help="micro-batches flushed to shards"
         )
+        self._quotas = QuotaManager(self._config.tenancy)
+        self._idem = _IdempotencyWindow(self._config.idempotency_window)
+        self._tenant_counters: dict[tuple[str, str], Any] = {}
 
         cfg = self._config
         self._tracing = bool(cfg.tracing)
@@ -339,7 +446,11 @@ class PlanningService:
         self._started_at = time.time()
         cfg = self._config
         self._pool = ShardPool(
-            cfg.shards, mode=cfg.worker_mode, queue_depth=cfg.queue_depth
+            cfg.shards,
+            mode=cfg.worker_mode,
+            queue_depth=cfg.queue_depth,
+            warm_tier=cfg.warm_tier,
+            warm_tier_size=cfg.warm_tier_size,
         )
         logger.info(
             "planning service started",
@@ -360,8 +471,8 @@ class PlanningService:
             self._draining = True
             return
         self._draining = True
-        for fingerprint in list(self._batches):
-            self._flush(fingerprint)
+        for key in list(self._batches):
+            self._flush(key)
         while self._inflight:
             await asyncio.gather(*list(self._inflight), return_exceptions=True)
         pool = self._pool
@@ -459,6 +570,31 @@ class PlanningService:
             return None
         return time.time() + timeout_ms / 1000.0
 
+    # -- tenancy --------------------------------------------------------
+    def _tenant_counter(self, kind: str, tenant: str):
+        """Lazy per-tenant counter (``serve.tenant.<kind>``)."""
+        key = (kind, tenant)
+        counter = self._tenant_counters.get(key)
+        if counter is None:
+            counter = obs.get_registry().counter(
+                f"serve.tenant.{kind}",
+                labels={"tenant": tenant or "default"},
+                help=f"plan requests {kind} per tenant",
+            )
+            self._tenant_counters[key] = counter
+        return counter
+
+    def _throttle(self, tenant: str, cost: float) -> dict | None:
+        """Charge ``cost`` against the tenant's bucket; an error item if broke."""
+        self._tenant_counter("requests", tenant).inc()
+        if self._quotas.try_acquire(tenant, cost):
+            return None
+        self._tenant_counter("throttled", tenant).inc()
+        return _item_error(
+            "throttled",
+            f"tenant {tenant or 'default'!r} exceeded its request quota",
+        )
+
     # -- plan paths -----------------------------------------------------
     async def plan(
         self,
@@ -469,12 +605,16 @@ class PlanningService:
         allocation: bool = True,
         trace: TraceContext | None = None,
         span: Span | None = None,
+        tenant: str = "",
+        idempotency_key: str | None = None,
     ) -> dict:
         """One plan query through the micro-batcher (an item dict back).
 
         ``trace`` / ``span`` carry the request's tracing identity and
         listener-side root span through the batching window; the shard's
         captured subtree is stitched under ``span`` on delivery.
+        ``tenant`` selects the fair-queueing lane and quota bucket;
+        ``idempotency_key`` dedups retries within the server's window.
         """
         if self._draining:
             return _item_error("shutting_down", "the service is draining")
@@ -483,21 +623,44 @@ class PlanningService:
                 "unknown_fleet", f"fleet {fingerprint!r} is not registered"
             )
         assert self._loop is not None
+        idem_key = None
+        if idempotency_key is not None and self._idem.enabled:
+            idem_key = (fingerprint, "plan", tenant, idempotency_key)
+            found = self._idem.lookup(idem_key)
+            if found is not None:
+                kind, value = found
+                if kind == "pending":
+                    value = await value
+                return copy.deepcopy(value)
+        throttled = self._throttle(tenant, 1.0)
+        if throttled is not None:
+            return throttled
+        if idem_key is not None:
+            self._idem.reserve(idem_key, self._loop)
         pending = _Pending(
             int(n), self._deadline_for(timeout_ms), allocation,
             self._loop.create_future(), trace, span,
         )
-        state = self._batches.get(fingerprint)
+        key = (fingerprint, tenant)
+        state = self._batches.get(key)
         if state is None:
             state = _BatchState()
-            self._batches[fingerprint] = state
+            self._batches[key] = state
             state.timer = self._loop.call_later(
-                self._config.batch_window, self._flush, fingerprint
+                self._config.batch_window, self._flush, key
             )
         state.items.append(pending)
         if len(state.items) >= self._config.max_batch:
-            self._flush(fingerprint)
-        return await pending.future
+            self._flush(key)
+        item = _item_error("internal", "plan future abandoned")
+        try:
+            item = await pending.future
+            return item
+        finally:
+            if idem_key is not None:
+                self._idem.complete(
+                    idem_key, copy.deepcopy(item), ok=bool(item.get("ok"))
+                )
 
     async def plan_many(
         self,
@@ -508,6 +671,8 @@ class PlanningService:
         allocation: bool = True,
         trace: TraceContext | None = None,
         span: Span | None = None,
+        tenant: str = "",
+        idempotency_key: str | None = None,
     ) -> list[dict]:
         """A caller-assembled batch: dispatched directly, no window."""
         if self._draining:
@@ -516,28 +681,53 @@ class PlanningService:
             return [
                 _item_error("unknown_fleet", f"fleet {fingerprint!r} is not registered")
             ] * len(ns)
-        deadline = self._deadline_for(timeout_ms)
         assert self._loop is not None
+        idem_key = None
+        if idempotency_key is not None and self._idem.enabled:
+            idem_key = (fingerprint, "plan_many", tenant, idempotency_key)
+            found = self._idem.lookup(idem_key)
+            if found is not None:
+                kind, value = found
+                if kind == "pending":
+                    value = await value
+                return copy.deepcopy(value)
+        throttled = self._throttle(tenant, float(len(ns)))
+        if throttled is not None:
+            return [dict(throttled) for _ in ns]
+        if idem_key is not None:
+            self._idem.reserve(idem_key, self._loop)
+        deadline = self._deadline_for(timeout_ms)
         pendings = [
             _Pending(int(n), deadline, allocation, self._loop.create_future(),
                      trace, span)
             for n in ns
         ]
-        self._dispatch(fingerprint, pendings)
-        return list(await asyncio.gather(*(p.future for p in pendings)))
+        self._dispatch((fingerprint, tenant), pendings)
+        items = [_item_error("internal", "plan future abandoned")] * len(ns)
+        try:
+            items = list(await asyncio.gather(*(p.future for p in pendings)))
+            return items
+        finally:
+            if idem_key is not None:
+                self._idem.complete(
+                    idem_key,
+                    copy.deepcopy(items),
+                    ok=all(it.get("ok") for it in items),
+                )
 
-    def _flush(self, fingerprint: str) -> None:
-        state = self._batches.pop(fingerprint, None)
+    def _flush(self, key: tuple[str, str]) -> None:
+        state = self._batches.pop(key, None)
         if state is None:
             return
         if state.timer is not None:
             state.timer.cancel()
-        self._dispatch(fingerprint, state.items)
+        self._dispatch(key, state.items)
 
-    def _dispatch(self, fingerprint: str, pendings: list[_Pending]) -> None:
-        """Hand one batch to the owning shard (or shed it, all at once)."""
+    def _dispatch(self, key: tuple[str, str], pendings: list[_Pending]) -> None:
+        """Hand one single-tenant batch to the owning shard (or shed it)."""
         if not pendings:
             return
+        fingerprint, tenant = key
         items = []
         for p in pendings:
             item = {"n": p.n, "deadline": p.deadline, "allocation": p.allocation}
@@ -553,6 +743,8 @@ class PlanningService:
                 fingerprint,
                 items,
                 trace=None if batch_trace is None else batch_trace.to_dict(),
+                tenant=tenant,
+                weight=self._quotas.weight_for(tenant),
             )
         except ReproError as exc:
             err = _item_error("shutting_down", str(exc))
@@ -562,6 +754,7 @@ class PlanningService:
             return
         if future is None:
             self._shed.inc(len(pendings))
+            self._tenant_counter("shed", tenant).inc(len(pendings))
             err = _item_error(
                 "overloaded",
                 f"shard {self.pool.shard_for(fingerprint)} queue is full "
@@ -760,6 +953,28 @@ class PlanningService:
                 "fingerprints": self._sink.fingerprints(),
             },
             "refit": self._refit_stats(),
+            "tenancy": self._tenancy_stats(),
+        }
+
+    def _tenancy_stats(self) -> dict:
+        """The stats() "tenancy" section: quotas, idempotency, warm tier."""
+        tenants: dict[str, dict] = {}
+        for (kind, tenant), counter in self._tenant_counters.items():
+            tenants.setdefault(tenant or "default", {})[kind] = int(counter.value)
+        pool = self._pool
+        backlogs = {}
+        if pool is not None and not pool.closed:
+            backlogs = {
+                tenant or "default": depth
+                for tenant, depth in pool.tenant_backlogs().items()
+            }
+        return {
+            "enabled": self._config.tenancy is not None,
+            "tenants": tenants,
+            "backlogs": backlogs,
+            "idempotency": self._idem.stats(),
+            "warm_tier": {"enabled": False} if pool is None or pool.closed
+            else pool.warm_tier_stats(),
         }
 
     def _refit_stats(self) -> dict:
@@ -868,6 +1083,8 @@ class PlanningService:
                     allocation=request.allocation,
                     trace=ctx if root is not None else None,
                     span=root,
+                    tenant=request.tenant,
+                    idempotency_key=request.idempotency_key,
                 )
                 if item.get("ok"):
                     response = ok_response(request.id, item, trace_id=trace_id)
@@ -889,6 +1106,8 @@ class PlanningService:
                     allocation=request.allocation,
                     trace=ctx if root is not None else None,
                     span=root,
+                    tenant=request.tenant,
+                    idempotency_key=request.idempotency_key,
                 )
                 # The envelope stays ok (each item carries its own
                 # verdict); the recorder files the worst item code so

@@ -19,8 +19,11 @@ Two worker flavours share one loop (:func:`worker_loop`):
   :func:`~repro.serve.protocol.fleet_spec_from_speed_functions`; each
   child rebuilds its fleets and keeps planners fully process-local.
 
-Admission control lives at the inbox: every shard's queue is bounded,
-:meth:`ShardPool.submit_batch` uses a non-blocking put, and a full queue
+Admission control lives at the inbox: every shard's queue is a bounded
+:class:`~repro.serve.tenancy.WFQueue` — jobs are scheduled by weighted
+fair queueing across tenants instead of FIFO arrival order, and the
+bound applies **per tenant**, so a flooding tenant sheds only itself.
+:meth:`ShardPool.submit_batch` uses a non-blocking put, and a full lane
 returns ``None`` — the service layer turns that into explicit
 ``overloaded`` responses instead of queueing without bound.  Each request
 carries its own deadline; a worker checks deadlines *when it dequeues* a
@@ -28,6 +31,19 @@ job, so requests that sat in a backlog past their deadline are answered
 ``deadline_exceeded`` without wasting a solve.  :meth:`ShardPool.close`
 with ``drain=True`` seals the inboxes, lets the workers finish every
 queued job, and joins them — in-flight work completes, nothing is lost.
+
+Two durability features ride on the same structure:
+
+* a pool-wide :class:`~repro.planner.tiered.WarmPlanStore` (a plain
+  locked dict for thread pools, ``multiprocessing.Manager`` proxies for
+  process pools) backs every shard planner's
+  :class:`~repro.planner.tiered.TieredPlanCache`, so plans survive the
+  workers that solved them;
+* :meth:`ShardPool.restart_shard` recycles one worker in place — an
+  urgent exit marker overtakes the queued backlog, the replacement
+  re-registers the shard's fleet specs and drains the *same* inbox, and
+  its planners re-warm from the shared store (queued jobs and their
+  futures are preserved across the swap).
 """
 
 from __future__ import annotations
@@ -45,8 +61,10 @@ from .. import obs
 from ..exceptions import ConfigurationError
 from ..obs.context import new_span_id
 from ..obs.spans import Span
+from ..planner.tiered import TieredPlanCache, WarmPlanStore
 from .hashring import HashRing
 from .protocol import error_code_for, speed_functions_from_fleet_spec
+from .tenancy import CONTROL_TENANT, WFQueue
 
 __all__ = ["ShardPool", "worker_loop", "result_to_dict"]
 
@@ -58,6 +76,10 @@ _KIND_REGISTER = "register"
 _KIND_BATCH = "batch"
 _KIND_STATS = "stats"
 _KIND_REFIT = "refit"
+
+#: Restart marker: the worker returns *without* emitting the collector's
+#: exit marker (a replacement is about to take over its inbox).
+_KIND_EXIT = "__worker_exit__"
 
 #: Collector-internal marker a worker emits as it exits.
 _SHARD_EXIT = "__shard_exit__"
@@ -82,42 +104,94 @@ def _item_error(code: str, message: str) -> dict:
     return {"ok": False, "code": code, "message": message}
 
 
-def worker_loop(shard_id: int, inbox, outbox) -> None:
+def _build_planner(spec: Mapping, warm: WarmPlanStore | None):
+    """One shard-local planner (and its fleet) from a wire spec.
+
+    With a shared warm store the planner gets a
+    :class:`~repro.planner.tiered.TieredPlanCache` in front of it, so a
+    freshly (re)built worker re-warms from plans its predecessors — or
+    sibling processes — already solved.
+    """
+    # Imported here (not at module top) so a spawned child pays the import
+    # once and fork-mode children reuse the parent's modules either way.
+    from ..planner import Fleet, Planner
+
+    sfs = speed_functions_from_fleet_spec(spec)
+    fleet = Fleet(sfs, name=spec.get("name") or None)
+    cache_size = int(spec.get("cache_size", 1024))
+    cache = (
+        None
+        if warm is None
+        else TieredPlanCache(cache_size, warm=warm)
+    )
+    planner = Planner(
+        fleet,
+        algorithm=spec.get("algorithm", "bisection"),
+        mode=spec.get("mode", "tangent"),
+        refine=spec.get("refine", "greedy"),
+        cache_size=cache_size,
+        cache=cache,
+    )
+    return fleet, planner
+
+
+def _close_caches(planners: Mapping) -> None:
+    """Stop the tiered caches' writer threads on worker exit/restart."""
+    for planner in planners.values():
+        cache = planner.cache
+        if isinstance(cache, TieredPlanCache):
+            cache.close()
+
+
+def worker_loop(
+    shard_id: int,
+    inbox,
+    outbox,
+    warm: WarmPlanStore | None = None,
+    initial_specs: Sequence[tuple[str, Mapping]] = (),
+) -> None:
     """One shard's request loop (runs in a thread or a child process).
 
     Reads ``(kind, job_id, ...)`` tuples from ``inbox`` until the ``None``
     sentinel, answering each with ``(job_id, payload)`` on ``outbox``.
     All fleet state — planners, capacities — is local to this function
     invocation, so nothing here needs a lock.
-    """
-    # Imported here (not at module top) so a spawned child pays the import
-    # once and fork-mode children reuse the parent's modules either way.
-    from ..planner import Fleet, Planner
 
-    planners: dict[str, Planner] = {}
+    ``warm`` is the pool's shared plan store (may be ``None``);
+    ``initial_specs`` is the ``(serving fingerprint, spec)`` list a
+    *restarted* worker re-registers before touching the queue, so jobs
+    that survived its predecessor in the inbox still find their fleets.
+    """
+    planners: dict = {}
     capacities: dict[str, float] = {}
     # Plans invalidated by refits, per serving fingerprint: a refit swaps
     # in a fresh planner (and a fresh cache), so this is carried here to
     # keep the fleet's lifetime invalidation count in its stats row.
     refit_invalidations: dict[str, int] = {}
+    for serving_fp, spec in initial_specs:
+        try:
+            fleet, planner = _build_planner(spec, warm)
+        except Exception:  # noqa: BLE001 - a bad spec must not kill the shard
+            logger.exception("shard %d could not rebuild fleet %s", shard_id, serving_fp)
+            continue
+        planners[serving_fp] = planner
+        capacities[serving_fp] = fleet.capacity
     while True:
         msg = inbox.get()
         if msg is None:
+            _close_caches(planners)
             outbox.put((_SHARD_EXIT, shard_id))
             return
         kind, job_id = msg[0], msg[1]
+        if kind == _KIND_EXIT:
+            # Restart marker: leave quietly — a replacement worker owns
+            # the inbox next, so the collector's exit count must not move.
+            _close_caches(planners)
+            return
         try:
             if kind == _KIND_REGISTER:
                 spec: Mapping = msg[2]
-                sfs = speed_functions_from_fleet_spec(spec)
-                fleet = Fleet(sfs, name=spec.get("name") or None)
-                planner = Planner(
-                    fleet,
-                    algorithm=spec.get("algorithm", "bisection"),
-                    mode=spec.get("mode", "tangent"),
-                    refine=spec.get("refine", "greedy"),
-                    cache_size=int(spec.get("cache_size", 1024)),
-                )
+                fleet, planner = _build_planner(spec, warm)
                 planners[fleet.fingerprint] = planner
                 capacities[fleet.fingerprint] = fleet.capacity
                 outbox.put(
@@ -182,15 +256,9 @@ def worker_loop(shard_id: int, inbox, outbox) -> None:
                 refit_invalidations[serving_fp] = (
                     refit_invalidations.get(serving_fp, 0) + invalidated
                 )
-                sfs = speed_functions_from_fleet_spec(spec)
-                fleet = Fleet(sfs, name=spec.get("name") or None)
-                planner = Planner(
-                    fleet,
-                    algorithm=spec.get("algorithm", "bisection"),
-                    mode=spec.get("mode", "tangent"),
-                    refine=spec.get("refine", "greedy"),
-                    cache_size=int(spec.get("cache_size", 1024)),
-                )
+                if isinstance(old_planner.cache, TieredPlanCache):
+                    old_planner.cache.close()
+                fleet, planner = _build_planner(spec, warm)
                 planners[serving_fp] = planner
                 capacities[serving_fp] = fleet.capacity
                 outbox.put(
@@ -223,6 +291,8 @@ def worker_loop(shard_id: int, inbox, outbox) -> None:
                         + refit_invalidations.get(fp, 0),
                         "cache_size": stats.cache.size,
                     }
+                    if isinstance(planner.cache, TieredPlanCache):
+                        fleets[fp]["warm"] = planner.cache.warm_stats()
                 outbox.put((job_id, {"ok": True, "shard": shard_id, "fleets": fleets}))
             else:
                 outbox.put((job_id, _item_error("internal", f"unknown job kind {kind!r}")))
@@ -326,8 +396,75 @@ def _add_item_spans(batch_span: Span, items: Sequence[Mapping], results) -> None
         batch_span.children.append(child)
 
 
+class _ShardInbox:
+    """One shard's admission front: a weighted-fair queue, parent-side.
+
+    Thread workers read the :class:`WFQueue` directly.  Process workers
+    cannot (the scheduler state lives in the parent), so a feeder thread
+    pumps scheduled jobs into a 1-slot ``mp.Queue`` transport — the WFQ
+    order is preserved up to that single slot of reordering slack, and
+    the admission bound still lives entirely in the WFQ.
+    """
+
+    def __init__(self, shard_id: int, depth: int, *, transport=None):
+        self.wfq = WFQueue(depth)
+        self._transport = transport
+        self._feeder = None
+        if transport is not None:
+            self._feeder = threading.Thread(
+                target=self._feed,
+                name=f"repro-serve-feeder-{shard_id}",
+                daemon=True,
+            )
+            self._feeder.start()
+
+    @property
+    def worker_end(self):
+        """What the worker's ``inbox.get()`` reads from."""
+        return self._transport if self._transport is not None else self.wfq
+
+    def _feed(self) -> None:
+        while True:
+            item = self.wfq.get()
+            self._transport.put(item)
+            if item is None:
+                return
+
+    def put_nowait(self, msg, *, tenant: str = "", weight: float = 1.0, cost: float = 1.0) -> None:
+        self.wfq.put_nowait(msg, tenant=tenant, weight=weight, cost=cost)
+
+    def put_control(self, msg, *, timeout: float | None = None) -> None:
+        """Blocking control-plane put on the reserved control lane.
+
+        Control traffic has its own per-tenant slots, so a data-plane
+        flood can never starve a registration out of admission.
+        """
+        self.wfq.put(msg, tenant=CONTROL_TENANT, cost=0.0, timeout=timeout)
+
+    def put_urgent(self, msg) -> None:
+        self.wfq.put_urgent(msg)
+
+    def put_sentinel(self) -> None:
+        self.wfq.put_sentinel(None)
+
+    def qsize(self) -> int:
+        depth = self.wfq.qsize()
+        if self._transport is not None:
+            try:
+                depth += self._transport.qsize()
+            except NotImplementedError:  # pragma: no cover - macOS mp.Queue
+                pass
+        return depth
+
+    def backlogs(self) -> dict[str, int]:
+        return self.wfq.backlogs()
+
+    def drain_pending(self) -> list:
+        return self.wfq.drain_pending()
+
+
 class ShardPool:
-    """Fixed pool of worker shards behind bounded inboxes.
+    """Fixed pool of worker shards behind bounded, fair inboxes.
 
     Parameters
     ----------
@@ -337,11 +474,26 @@ class ShardPool:
     mode:
         ``"thread"`` (default) or ``"process"`` — see the module notes.
     queue_depth:
-        Per-shard inbox bound, in *jobs* (a job is one coalesced batch).
-        This is the admission limit: submissions beyond it are shed.
+        Per-shard, **per-tenant** inbox bound, in *jobs* (a job is one
+        coalesced batch).  This is the admission limit: a tenant's
+        submissions beyond it are shed; other tenants are unaffected.
+    warm_tier:
+        Keep a pool-wide :class:`~repro.planner.tiered.WarmPlanStore`
+        behind every shard's plan cache (on by default), so restarts and
+        rebalances re-warm instead of cold-starting.
+    warm_tier_size:
+        Entry bound of that shared store.
     """
 
-    def __init__(self, shards: int = 2, *, mode: str = "thread", queue_depth: int = 128):
+    def __init__(
+        self,
+        shards: int = 2,
+        *,
+        mode: str = "thread",
+        queue_depth: int = 128,
+        warm_tier: bool = True,
+        warm_tier_size: int = 4096,
+    ):
         if shards <= 0:
             raise ConfigurationError(f"shards must be positive, got {shards}")
         if queue_depth <= 0:
@@ -359,6 +511,10 @@ class ShardPool:
         self._futures_lock = threading.Lock()
         self._closed = False
         self._submit_lock = threading.Lock()
+        # Serving fingerprint -> latest spec, for rebuilding a restarted
+        # worker's planners (register/refit keep it current).
+        self._specs: dict[str, dict] = {}
+        self._manager = None
 
         registry = obs.get_registry()
         self._depth_gauges = [
@@ -372,38 +528,62 @@ class ShardPool:
         self._jobs_counter = registry.counter(
             "serve.shard.jobs", help="jobs accepted across all shards"
         )
+        self._restarts_counter = registry.counter(
+            "serve.shard.restarts", help="in-place worker restarts"
+        )
 
         if mode == "thread":
-            self._inboxes: list[Any] = [queue.Queue(maxsize=queue_depth) for _ in range(shards)]
-            self._outbox: Any = queue.Queue()
-            self._workers: list[Any] = [
-                threading.Thread(
-                    target=worker_loop,
-                    args=(i, self._inboxes[i], self._outbox),
-                    name=f"repro-serve-shard-{i}",
-                    daemon=True,
-                )
-                for i in range(shards)
+            self._warm = WarmPlanStore.local(warm_tier_size) if warm_tier else None
+            self._inboxes: list[_ShardInbox] = [
+                _ShardInbox(i, queue_depth) for i in range(shards)
             ]
+            self._outbox: Any = queue.Queue()
+            self._ctx = None
         else:
             ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
-            self._inboxes = [ctx.Queue(maxsize=queue_depth) for _ in range(shards)]
-            self._outbox = ctx.Queue()
-            self._workers = [
-                ctx.Process(
-                    target=worker_loop,
-                    args=(i, self._inboxes[i], self._outbox),
-                    name=f"repro-serve-shard-{i}",
-                    daemon=True,
-                )
+            self._ctx = ctx
+            if warm_tier:
+                self._manager = ctx.Manager()
+                self._warm = WarmPlanStore.shared(self._manager, warm_tier_size)
+            else:
+                self._warm = None
+            self._inboxes = [
+                _ShardInbox(i, queue_depth, transport=ctx.Queue(maxsize=1))
                 for i in range(shards)
             ]
-        for w in self._workers:
-            w.start()
+            self._outbox = ctx.Queue()
+        self._workers: list[Any] = [
+            self._spawn_worker(i, initial_specs=[]) for i in range(shards)
+        ]
         self._collector = threading.Thread(
             target=self._collect, name="repro-serve-collector", daemon=True
         )
         self._collector.start()
+
+    def _spawn_worker(self, shard: int, *, initial_specs: list) -> Any:
+        args = (
+            shard,
+            self._inboxes[shard].worker_end,
+            self._outbox,
+            self._warm,
+            initial_specs,
+        )
+        if self._mode == "thread":
+            worker = threading.Thread(
+                target=worker_loop,
+                args=args,
+                name=f"repro-serve-shard-{shard}",
+                daemon=True,
+            )
+        else:
+            worker = self._ctx.Process(
+                target=worker_loop,
+                args=args,
+                name=f"repro-serve-shard-{shard}",
+                daemon=True,
+            )
+        worker.start()
+        return worker
 
     # -- routing --------------------------------------------------------
     @property
@@ -452,14 +632,19 @@ class ShardPool:
         items: Sequence[Mapping],
         *,
         trace: Mapping | None = None,
+        tenant: str = "",
+        weight: float = 1.0,
     ) -> Future | None:
         """Enqueue one coalesced batch on the owning shard.
 
         Returns a :class:`concurrent.futures.Future` resolving to the
-        worker's batch payload, or ``None`` when the shard's inbox is
-        full — the caller sheds the batch with ``overloaded`` responses.
-        Raises :class:`ConfigurationError` once the pool is closed.
+        worker's batch payload, or ``None`` when the *tenant's* lane in
+        the shard inbox is full — the caller sheds the batch with
+        ``overloaded`` responses.  Raises :class:`ConfigurationError`
+        once the pool is closed.
 
+        ``tenant``/``weight`` place the job in the weighted fair queue
+        (cost = batch size, so fairness is measured in plans, not jobs).
         ``trace`` is an optional serialized trace context (the wire dict
         of :class:`~repro.obs.context.TraceContext`); when set, the
         worker captures its span subtree and ships it back inside the
@@ -473,7 +658,12 @@ class ShardPool:
         if trace is not None:
             msg = msg + (dict(trace),)
         try:
-            self._inboxes[shard].put_nowait(msg)
+            self._inboxes[shard].put_nowait(
+                msg,
+                tenant=tenant,
+                weight=weight,
+                cost=float(max(1, len(items))),
+            )
         except queue.Full:
             self._drop_job(job_id)
             return None
@@ -493,12 +683,15 @@ class ShardPool:
         shard = self.shard_for(fingerprint)
         job_id, fut = self._new_job()
         try:
-            self._inboxes[shard].put((_KIND_REGISTER, job_id, dict(spec)), timeout=timeout)
+            self._inboxes[shard].put_control(
+                (_KIND_REGISTER, job_id, dict(spec)), timeout=timeout
+            )
         except queue.Full:
             self._drop_job(job_id)
             raise ConfigurationError(
                 f"shard {shard} did not accept a fleet registration within {timeout}s"
             ) from None
+        self._specs[fingerprint] = dict(spec)
         return fut
 
     def refit(
@@ -522,7 +715,7 @@ class ShardPool:
         shard = self.shard_for(fingerprint)
         job_id, fut = self._new_job()
         try:
-            self._inboxes[shard].put(
+            self._inboxes[shard].put_control(
                 (_KIND_REFIT, job_id, str(fingerprint), dict(spec), str(old_fingerprint)),
                 timeout=timeout,
             )
@@ -531,6 +724,7 @@ class ShardPool:
             raise ConfigurationError(
                 f"shard {shard} did not accept a fleet refit within {timeout}s"
             ) from None
+        self._specs[str(fingerprint)] = dict(spec)
         return fut
 
     def stats_all(self, *, timeout: float = 5.0) -> list[Future]:
@@ -539,7 +733,7 @@ class ShardPool:
         for shard in range(self._shards):
             job_id, fut = self._new_job()
             try:
-                self._inboxes[shard].put((_KIND_STATS, job_id), timeout=timeout)
+                self._inboxes[shard].put_control((_KIND_STATS, job_id), timeout=timeout)
             except queue.Full:
                 self._drop_job(job_id)
                 failed: Future = Future()
@@ -569,6 +763,64 @@ class ShardPool:
             if fut is not None and not fut.done():
                 fut.set_result(payload)
 
+    # -- restart --------------------------------------------------------
+    def restart_shard(self, shard: int, *, timeout: float = 30.0) -> None:
+        """Recycle one worker in place, preserving its queued backlog.
+
+        An urgent exit marker overtakes everything queued; the old worker
+        finishes its in-flight job, sees the marker and leaves quietly
+        (no collector exit).  The replacement re-registers the shard's
+        current fleet specs, re-warms its plan caches from the shared
+        store, and drains the *same* inbox — queued jobs and their
+        futures survive the swap.
+        """
+        if not 0 <= shard < self._shards:
+            raise ConfigurationError(f"no such shard {shard!r}")
+        if self._closed:
+            raise ConfigurationError("the shard pool is closed")
+        old = self._workers[shard]
+        self._inboxes[shard].put_urgent((_KIND_EXIT, 0))
+        old.join(timeout=timeout)
+        if old.is_alive():
+            if self._mode == "process":  # pragma: no cover - wedged worker
+                old.terminate()
+                old.join(timeout=5.0)
+            else:  # pragma: no cover - wedged worker
+                raise ConfigurationError(
+                    f"shard {shard} did not stop within {timeout}s"
+                )
+        specs = [
+            (fp, dict(spec))
+            for fp, spec in self._specs.items()
+            if self.shard_for(fp) == shard
+        ]
+        self._workers[shard] = self._spawn_worker(shard, initial_specs=specs)
+        self._restarts_counter.inc()
+
+    def warm_tier_stats(self) -> dict:
+        """Pool-level view of the shared warm store (for ``stats``)."""
+        if self._warm is None:
+            return {"enabled": False, "entries": 0}
+        return {
+            "enabled": True,
+            "entries": len(self._warm),
+            "maxsize": self._warm.maxsize,
+        }
+
+    @property
+    def warm_store(self) -> WarmPlanStore | None:
+        return self._warm
+
+    def tenant_backlogs(self) -> dict[str, int]:
+        """Queued jobs per tenant across every shard inbox."""
+        totals: dict[str, int] = {}
+        for inbox in self._inboxes:
+            for tenant, depth in inbox.backlogs().items():
+                if tenant == CONTROL_TENANT:
+                    continue
+                totals[tenant] = totals.get(tenant, 0) + depth
+        return totals
+
     # -- lifecycle ------------------------------------------------------
     def close(self, *, drain: bool = True, timeout: float = 30.0) -> None:
         """Stop the pool.
@@ -586,9 +838,9 @@ class ShardPool:
         if not drain:
             self._abandon()
         for inbox in self._inboxes:
-            # The blocking put waits for a full inbox to drain, which is
-            # exactly the graceful-drain contract.
-            inbox.put(None)
+            # The sentinel is delivered only after every queued job, which
+            # is exactly the graceful-drain contract.
+            inbox.put_sentinel()
         deadline = time.time() + timeout
         for w in self._workers:
             w.join(timeout=max(0.0, deadline - time.time()))
@@ -598,6 +850,11 @@ class ShardPool:
                 if w.is_alive():  # pragma: no cover - only on drain timeout
                     w.terminate()
         self._abandon()  # anything still unresolved (worker died) fails loudly
+        if self._manager is not None:
+            try:
+                self._manager.shutdown()
+            except Exception:  # noqa: BLE001 - teardown best-effort
+                pass
 
     def _abandon(self) -> None:
         with self._futures_lock:
@@ -612,11 +869,7 @@ class ShardPool:
             # Failed-fast shutdown: clear queued jobs so the sentinel is
             # reached immediately (their futures were just resolved).
             for inbox in self._inboxes:
-                while True:
-                    try:
-                        inbox.get_nowait()
-                    except queue.Empty:
-                        break
+                inbox.drain_pending()
 
     @property
     def closed(self) -> bool:

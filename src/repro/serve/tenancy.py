@@ -1,0 +1,406 @@
+"""Multi-tenant admission: token-bucket quotas and weighted fair queueing.
+
+One planning service, many tenants, heavy skew — the operational shape
+ROADMAP item 4 names.  Two mechanisms keep a zipfian-heavy tenant from
+degrading everyone else:
+
+* **Quotas** (:class:`QuotaManager`): a classic token bucket per tenant.
+  A tenant whose sustained request rate exceeds its configured budget is
+  answered with the typed ``throttled`` wire code *before* its work
+  touches a shard queue.  Quotas are policy, so ``throttled`` is **not**
+  retryable at the router — a replica would enforce the same budget.
+
+* **Weighted fair queueing** (:class:`WFQueue`): the shard inboxes
+  schedule queued jobs by *start-time fair queueing* (SFQ) virtual
+  finish times instead of FIFO arrival order.  Each job of cost ``c``
+  submitted by tenant ``t`` with weight ``w`` is stamped
+
+      ``start  = max(V, last_finish[t])``
+      ``finish = start + c / w``
+
+  where ``V`` is the queue's virtual time (the largest finish time ever
+  dequeued).  ``get`` always pops the globally minimal finish time, so
+  backlogged tenants drain in proportion to their weights and a light
+  tenant's next job overtakes at most a bounded amount of heavy-tenant
+  work (see ``tests/serve/test_wfq_properties.py`` for the machine-checked
+  statements).  Admission stays bounded, but **per tenant**: each tenant
+  owns ``maxsize`` slots, so a flooding tenant sheds only itself.
+
+Both pieces are dependency-free and clock-injectable, which is what the
+property suites lean on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import queue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "TenantQuota",
+    "TenancyConfig",
+    "TokenBucket",
+    "QuotaManager",
+    "WFQueue",
+]
+
+#: Reserved tenant name for control-plane traffic (register/refit/stats).
+#: It has its own per-tenant admission slots, so a data-plane flood can
+#: never lock out fleet registrations — strictly better than the shared
+#: FIFO bound it replaces.
+CONTROL_TENANT = "\x00control"
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """One tenant's scheduling weight and (optional) rate budget.
+
+    ``weight`` scales the tenant's fair share of shard time (2.0 drains
+    twice as fast as 1.0 under contention).  ``rate`` is a sustained
+    budget in plans per second enforced by a token bucket holding at
+    most ``burst`` tokens (defaults to ``max(rate, 1)``); ``rate=None``
+    means unmetered.
+    """
+
+    weight: float = 1.0
+    rate: float | None = None
+    burst: float | None = None
+
+    def __post_init__(self):
+        if not self.weight > 0:
+            raise ConfigurationError(
+                f"tenant weight must be positive, got {self.weight!r}"
+            )
+        if self.rate is not None and not self.rate > 0:
+            raise ConfigurationError(
+                f"tenant rate must be positive, got {self.rate!r}"
+            )
+        if self.burst is not None and not self.burst > 0:
+            raise ConfigurationError(
+                f"tenant burst must be positive, got {self.burst!r}"
+            )
+
+
+@dataclass(frozen=True)
+class TenancyConfig:
+    """Per-tenant quota table plus the default applied to unknown tenants.
+
+    Requests that carry no ``tenant`` field share the ``""`` tenant (and
+    therefore the default quota) — exactly the pre-tenancy behavior.
+    """
+
+    tenants: Mapping[str, TenantQuota] = field(default_factory=dict)
+    default: TenantQuota = field(default_factory=TenantQuota)
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.tenants.get(tenant, self.default)
+
+
+class TokenBucket:
+    """Thread-safe token bucket with an injectable monotonic clock."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if not rate > 0:
+            raise ConfigurationError(f"rate must be positive, got {rate!r}")
+        if not burst > 0:
+            raise ConfigurationError(f"burst must be positive, got {burst!r}")
+        self._rate = float(rate)
+        self._burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, cost: float = 1.0) -> bool:
+        """Take ``cost`` tokens if available; never blocks."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self._burst, self._tokens + (now - self._stamp) * self._rate
+            )
+            self._stamp = now
+            if self._tokens + 1e-12 >= cost:
+                self._tokens -= cost
+                return True
+            return False
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            now = self._clock()
+            return min(
+                self._burst, self._tokens + (now - self._stamp) * self._rate
+            )
+
+
+class QuotaManager:
+    """Lazy per-tenant token buckets over a :class:`TenancyConfig`.
+
+    With ``config=None`` every tenant is unmetered at weight 1.0 — the
+    single-tenant fast path stays a couple of dictionary lookups.
+    """
+
+    def __init__(
+        self,
+        config: TenancyConfig | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._config = config
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket | None] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def config(self) -> TenancyConfig | None:
+        return self._config
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        if self._config is None:
+            return TenantQuota()
+        return self._config.quota_for(tenant)
+
+    def weight_for(self, tenant: str) -> float:
+        return self.quota_for(tenant).weight
+
+    def _bucket(self, tenant: str) -> TokenBucket | None:
+        try:
+            return self._buckets[tenant]
+        except KeyError:
+            pass
+        quota = self.quota_for(tenant)
+        with self._lock:
+            if tenant not in self._buckets:
+                self._buckets[tenant] = (
+                    None
+                    if quota.rate is None
+                    else TokenBucket(
+                        quota.rate,
+                        quota.burst if quota.burst is not None
+                        else max(quota.rate, 1.0),
+                        clock=self._clock,
+                    )
+                )
+            return self._buckets[tenant]
+
+    def try_acquire(self, tenant: str, cost: float = 1.0) -> bool:
+        """Charge ``cost`` plans against the tenant's budget (if any)."""
+        bucket = self._bucket(tenant)
+        return True if bucket is None else bucket.try_acquire(cost)
+
+
+class _TenantLane:
+    """One tenant's FIFO backlog plus its SFQ bookkeeping."""
+
+    __slots__ = ("items", "last_finish")
+
+    def __init__(self):
+        self.items: deque = deque()  # (finish, seq, cost, payload)
+        self.last_finish = 0.0
+
+
+class WFQueue:
+    """Bounded multi-tenant queue with start-time fair queueing order.
+
+    ``maxsize`` bounds each **tenant's** backlog (the shed contract the
+    service layer turns into ``overloaded``); total occupancy is at most
+    ``maxsize × active tenants`` and ``0`` means unbounded, matching
+    :class:`queue.Queue`.  Within a tenant, order is FIFO; across
+    tenants, :meth:`get` pops the minimal virtual finish time with the
+    global enqueue sequence as a deterministic tie-break.
+
+    Three delivery classes exist besides normal items:
+
+    * :meth:`put_urgent` items jump ahead of everything queued (used for
+      shard restart markers);
+    * :meth:`put_sentinel` items are delivered only once everything else
+      has drained (the pool's ``None`` close sentinel);
+    * control-plane :meth:`put` calls block for space in their own
+      tenant lane instead of shedding.
+    """
+
+    def __init__(self, maxsize: int):
+        if maxsize < 0:
+            raise ConfigurationError(
+                f"maxsize must be >= 0 (0 = unbounded), got {maxsize}"
+            )
+        self._maxsize = int(maxsize) or float("inf")
+        self._lanes: dict[str, _TenantLane] = {}
+        self._heads: list[tuple[float, int, str]] = []  # (finish, seq, tenant)
+        self._urgent: deque = deque()
+        self._sentinels: deque = deque()
+        self._vtime = 0.0
+        self._seq = itertools.count()
+        self._size = 0  # normal items only
+        self._cond = threading.Condition()
+
+    # -- enqueue --------------------------------------------------------
+    def _stamp_locked(
+        self, item: Any, tenant: str, weight: float, cost: float
+    ) -> None:
+        if not weight > 0:
+            raise ConfigurationError(f"weight must be positive, got {weight!r}")
+        if cost < 0:
+            raise ConfigurationError(f"cost must be >= 0, got {cost!r}")
+        lane = self._lanes.get(tenant)
+        if lane is None:
+            lane = self._lanes[tenant] = _TenantLane()
+        start = max(self._vtime, lane.last_finish)
+        finish = start + cost / weight
+        lane.last_finish = finish
+        seq = next(self._seq)
+        lane.items.append((finish, seq, cost, item))
+        if len(lane.items) == 1:
+            heapq.heappush(self._heads, (finish, seq, tenant))
+        self._size += 1
+        self._cond.notify()
+
+    def put_nowait(
+        self,
+        item: Any,
+        *,
+        tenant: str = "",
+        weight: float = 1.0,
+        cost: float = 1.0,
+    ) -> None:
+        """Enqueue or raise :class:`queue.Full` on the tenant's own bound."""
+        with self._cond:
+            lane = self._lanes.get(tenant)
+            if lane is not None and len(lane.items) >= self._maxsize:
+                raise queue.Full
+            self._stamp_locked(item, tenant, weight, cost)
+
+    def put(
+        self,
+        item: Any,
+        *,
+        tenant: str = "",
+        weight: float = 1.0,
+        cost: float = 1.0,
+        timeout: float | None = None,
+    ) -> None:
+        """Blocking enqueue (control plane); :class:`queue.Full` on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                lane = self._lanes.get(tenant)
+                if lane is None or len(lane.items) < self._maxsize:
+                    break
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise queue.Full
+                self._cond.wait(remaining)
+            self._stamp_locked(item, tenant, weight, cost)
+
+    def put_urgent(self, item: Any) -> None:
+        """Enqueue ahead of every queued item (never bounded)."""
+        with self._cond:
+            self._urgent.append(item)
+            self._cond.notify()
+
+    def put_sentinel(self, item: Any) -> None:
+        """Enqueue behind every current *and future* normal item."""
+        with self._cond:
+            self._sentinels.append(item)
+            self._cond.notify()
+
+    # -- dequeue --------------------------------------------------------
+    def get(self, timeout: float | None = None) -> Any:
+        """Pop the next scheduled item; blocks (``queue.Empty`` on timeout)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                try:
+                    return self._try_pop_locked()
+                except queue.Empty:
+                    remaining = (
+                        None if deadline is None
+                        else deadline - time.monotonic()
+                    )
+                    if remaining is not None and remaining <= 0:
+                        raise
+                    self._cond.wait(remaining)
+
+    def get_nowait(self) -> Any:
+        with self._cond:
+            return self._try_pop_locked()
+
+    def _try_pop_locked(self) -> Any:
+        if self._urgent:
+            return self._urgent.popleft()
+        while self._heads:
+            finish, seq, tenant = self._heads[0]
+            lane = self._lanes.get(tenant)
+            if lane is None or not lane.items or lane.items[0][1] != seq:
+                heapq.heappop(self._heads)
+                if lane is not None and lane.items:
+                    f2, s2, _, _ = lane.items[0]
+                    heapq.heappush(self._heads, (f2, s2, tenant))
+                continue
+            entry = lane.items.popleft()
+            heapq.heappop(self._heads)
+            if lane.items:
+                f2, s2, _, _ = lane.items[0]
+                heapq.heappush(self._heads, (f2, s2, tenant))
+            elif lane.last_finish <= self._vtime:
+                del self._lanes[tenant]
+            self._vtime = max(self._vtime, entry[0])
+            self._size -= 1
+            self._cond.notify()
+            return entry[3]
+        if self._sentinels:
+            return self._sentinels.popleft()
+        raise queue.Empty
+
+    # -- introspection --------------------------------------------------
+    def qsize(self) -> int:
+        """Queued normal items (sentinels and urgent markers excluded)."""
+        with self._cond:
+            return self._size
+
+    def backlog(self, tenant: str = "") -> int:
+        with self._cond:
+            lane = self._lanes.get(tenant)
+            return 0 if lane is None else len(lane.items)
+
+    def backlogs(self) -> dict[str, int]:
+        """Per-tenant queued item counts (empty lanes omitted)."""
+        with self._cond:
+            return {
+                t: len(lane.items)
+                for t, lane in self._lanes.items()
+                if lane.items
+            }
+
+    @property
+    def vtime(self) -> float:
+        with self._cond:
+            return self._vtime
+
+    def drain_pending(self) -> list:
+        """Remove and return every queued normal item (abandon path)."""
+        with self._cond:
+            items = []
+            for lane in self._lanes.values():
+                items.extend(entry[3] for entry in lane.items)
+                lane.items.clear()
+            self._lanes.clear()
+            self._heads.clear()
+            self._size = 0
+            self._cond.notify_all()
+            return items

@@ -15,6 +15,27 @@ import pytest
 from repro import obs
 from repro.io import speed_function_to_dict
 from tests.conftest import make_pwl
+from tests.serve.conftest import eventually, poll_until
+
+__all__ = ["Cluster", "eventually", "poll_until"]
+
+#: Process-mode cluster machinery (node boot, SIGKILL recovery, manager
+#: round-trips) is slower than a single serve server; polling in this
+#: package uses this bound rather than the serve suite's default so a
+#: wedged cluster fails the test inside the suite timeout instead of
+#: hanging it.
+CLUSTER_POLL_TIMEOUT = 30.0
+
+
+def cluster_poll_until(predicate, *, timeout: float = CLUSTER_POLL_TIMEOUT,
+                       interval: float = 0.01, message: str = ""):
+    """Bounded :func:`tests.serve.conftest.poll_until` for cluster tests."""
+    return poll_until(
+        predicate,
+        timeout=timeout,
+        interval=interval,
+        message=message or f"cluster condition not met within {timeout:g}s",
+    )
 
 
 @pytest.fixture(autouse=True)

@@ -18,7 +18,7 @@ from repro.cluster import RouterConfig, start_thread_node
 from repro.planner import Fleet, Planner
 from repro.serve.client import ServeClient, run_load
 from tests.conftest import make_pwl
-from tests.serve.conftest import poll_until
+from tests.cluster.conftest import cluster_poll_until as poll_until
 
 SIZES = [900, 2_400, 5_600, 11_000, 23_000]
 
